@@ -1,0 +1,107 @@
+// E13/E16 (DESIGN.md): evaluation scaling per fragment over the synthetic
+// social graph, plus the join-engine ablation (indexed hash join vs the
+// nested-loop reference) — data complexity is polynomial for every
+// fragment; the constants differ.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "eval/evaluator.h"
+#include "util/check.h"
+#include "workload/graph_generator.h"
+
+namespace rdfql {
+namespace {
+
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
+
+// One representative query per fragment of the paper.
+constexpr NamedQuery kQueries[] = {
+    {"AF", "((?x was_born_in ?c) AND (?x email ?e)) FILTER !(?c = ?e)"},
+    {"AUF",
+     "((?x founder ?o) UNION (?x supporter ?o)) AND (?o stands_for ?w)"},
+    {"AUFS",
+     "(SELECT {?x ?w} WHERE (((?x founder ?o) UNION (?x supporter ?o)) AND "
+     "(?o stands_for ?w)))"},
+    {"WD-AOF", "((?x was_born_in ?c) AND (?x name ?n)) OPT (?x email ?e)"},
+    {"SP",
+     "NS(((?x was_born_in ?c) AND (?x name ?n)) UNION "
+     "(((?x was_born_in ?c) AND (?x name ?n)) AND (?x email ?e)))"},
+    {"USP",
+     "NS((?x founder ?o) UNION ((?x founder ?o) AND (?x email ?e))) UNION "
+     "NS((?x supporter ?o) UNION ((?x supporter ?o) AND (?x email ?e)))"},
+};
+
+void RunFragmentQuery(benchmark::State& state, const NamedQuery& q,
+                      EvalOptions options) {
+  Engine engine;
+  SocialGraphSpec spec;
+  spec.num_people = static_cast<int>(state.range(0));
+  Graph g = GenerateSocialGraph(spec, engine.dict());
+  Result<PatternPtr> p = engine.Parse(q.text);
+  RDFQL_CHECK(p.ok());
+  size_t answers = 0;
+  for (auto _ : state) {
+    MappingSet r = EvalPattern(g, p.value(), options);
+    answers = r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["triples"] = static_cast<double>(g.size());
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_FragmentAF(benchmark::State& state) {
+  RunFragmentQuery(state, kQueries[0], {});
+}
+void BM_FragmentAUF(benchmark::State& state) {
+  RunFragmentQuery(state, kQueries[1], {});
+}
+void BM_FragmentAUFS(benchmark::State& state) {
+  RunFragmentQuery(state, kQueries[2], {});
+}
+void BM_FragmentWdAof(benchmark::State& state) {
+  RunFragmentQuery(state, kQueries[3], {});
+}
+void BM_FragmentSP(benchmark::State& state) {
+  RunFragmentQuery(state, kQueries[4], {});
+}
+void BM_FragmentUSP(benchmark::State& state) {
+  RunFragmentQuery(state, kQueries[5], {});
+}
+BENCHMARK(BM_FragmentAF)->RangeMultiplier(4)->Range(64, 4096);
+BENCHMARK(BM_FragmentAUF)->RangeMultiplier(4)->Range(64, 4096);
+BENCHMARK(BM_FragmentAUFS)->RangeMultiplier(4)->Range(64, 4096);
+BENCHMARK(BM_FragmentWdAof)->RangeMultiplier(4)->Range(64, 4096);
+BENCHMARK(BM_FragmentSP)->RangeMultiplier(4)->Range(64, 4096);
+BENCHMARK(BM_FragmentUSP)->RangeMultiplier(4)->Range(64, 4096);
+
+// Join ablation on the join-heaviest query.
+void BM_JoinHash(benchmark::State& state) {
+  EvalOptions options;
+  options.join = EvalOptions::Join::kHash;
+  RunFragmentQuery(state, kQueries[1], options);
+}
+BENCHMARK(BM_JoinHash)->RangeMultiplier(4)->Range(64, 2048);
+
+void BM_JoinNestedLoop(benchmark::State& state) {
+  EvalOptions options;
+  options.join = EvalOptions::Join::kNestedLoop;
+  RunFragmentQuery(state, kQueries[1], options);
+}
+BENCHMARK(BM_JoinNestedLoop)->RangeMultiplier(4)->Range(64, 2048);
+
+void BM_JoinIndexNestedLoop(benchmark::State& state) {
+  EvalOptions options;
+  options.join = EvalOptions::Join::kIndexNestedLoop;
+  RunFragmentQuery(state, kQueries[1], options);
+}
+BENCHMARK(BM_JoinIndexNestedLoop)->RangeMultiplier(4)->Range(64, 2048);
+
+}  // namespace
+}  // namespace rdfql
+
+BENCHMARK_MAIN();

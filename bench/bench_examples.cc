@@ -1,0 +1,98 @@
+// E1/E2/E3 (DESIGN.md): regenerates the paper's worked artefacts — the
+// result tables of Examples 2.2, 3.1, 3.3 and 6.1 over the Figure 1-4
+// graphs — and times their evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algebra/pattern_printer.h"
+#include "core/engine.h"
+#include "eval/evaluator.h"
+#include "rdf/ntriples.h"
+#include "util/check.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+PatternPtr MustParse(Engine* engine, const std::string& text) {
+  Result<PatternPtr> r = engine->Parse(text);
+  RDFQL_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.value();
+}
+
+void PrintPaperTables() {
+  Engine engine;
+  std::printf("== E1: Example 2.2 over the Figure 1 graph ==\n");
+  Graph pirate = scenarios::PirateBayGraph(engine.dict());
+  PatternPtr q22 = MustParse(&engine, scenarios::Example22Query());
+  std::printf("query: %s\n%s\n",
+              PatternToString(q22, *engine.dict()).c_str(),
+              MappingTable(EvalPattern(pirate, q22), *engine.dict()).c_str());
+
+  std::printf("== E2: Examples 3.1/3.3 over the Figure 2 graphs ==\n");
+  Graph g1 = scenarios::ChileGraphG1(engine.dict());
+  Graph g2 = scenarios::ChileGraphG2(engine.dict());
+  PatternPtr p31 = MustParse(&engine, scenarios::Example31Query());
+  PatternPtr p33 = MustParse(&engine, scenarios::Example33Query());
+  std::printf("P(3.1) over G1:\n%s",
+              MappingTable(EvalPattern(g1, p31), *engine.dict()).c_str());
+  std::printf("P(3.1) over G2 (answer extended, weakly monotone):\n%s",
+              MappingTable(EvalPattern(g2, p31), *engine.dict()).c_str());
+  std::printf("P(3.3) over G1:\n%s",
+              MappingTable(EvalPattern(g1, p33), *engine.dict()).c_str());
+  std::printf("P(3.3) over G2 (answer LOST, not weakly monotone):\n%s\n",
+              MappingTable(EvalPattern(g2, p33), *engine.dict()).c_str());
+
+  std::printf("== E3: Example 6.1 CONSTRUCT over the Figure 3 graph ==\n");
+  Graph profs = scenarios::ProfessorsGraph(engine.dict());
+  Result<ConstructQuery> q61 =
+      engine.ParseConstructQuery(scenarios::Example61ConstructQuery());
+  RDFQL_CHECK(q61.ok());
+  Graph fig4 = q61->Answer(profs);
+  std::printf("ans(Q,G) (= the Figure 4 graph):\n%s\n",
+              WriteNTriples(fig4, *engine.dict()).c_str());
+}
+
+void BM_Example22(benchmark::State& state) {
+  Engine engine;
+  Graph g = scenarios::PirateBayGraph(engine.dict());
+  PatternPtr p = MustParse(&engine, scenarios::Example22Query());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPattern(g, p));
+  }
+}
+BENCHMARK(BM_Example22);
+
+void BM_Example31(benchmark::State& state) {
+  Engine engine;
+  Graph g = scenarios::ChileGraphG2(engine.dict());
+  PatternPtr p = MustParse(&engine, scenarios::Example31Query());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPattern(g, p));
+  }
+}
+BENCHMARK(BM_Example31);
+
+void BM_Example61Construct(benchmark::State& state) {
+  Engine engine;
+  Graph g = scenarios::ProfessorsGraph(engine.dict());
+  Result<ConstructQuery> q =
+      engine.ParseConstructQuery(scenarios::Example61ConstructQuery());
+  RDFQL_CHECK(q.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->Answer(g));
+  }
+}
+BENCHMARK(BM_Example61Construct);
+
+}  // namespace
+}  // namespace rdfql
+
+int main(int argc, char** argv) {
+  rdfql::PrintPaperTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// E6 (DESIGN.md): the Theorem 4.1 pipeline made effective. Measures
+// (a) the SPARQL → FO translation sizes (Lemmas C.1/C.2), (b) the FO →
+// UCQ≠ → SPARQL[AUFS] round trip (Lemma C.7 / Theorem C.8), and (c) the
+// AUFS translation search (pattern trees / envelopes with randomized ≡s
+// verification) over a curated suite of weakly-monotone patterns.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "fo/interpolant_search.h"
+#include "fo/sparql_to_fo.h"
+#include "fo/ucq.h"
+#include "fo/ucq_to_sparql.h"
+#include "util/check.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+struct SuiteEntry {
+  const char* name;
+  std::string text;
+};
+
+std::vector<SuiteEntry> Suite() {
+  return {
+      {"Example 3.1 (WD OPT)", scenarios::Example31Query()},
+      {"Thm 3.5 witness", scenarios::Theorem35Witness()},
+      {"Thm 3.6 witness", scenarios::Theorem36Witness()},
+      {"nested WD OPT",
+       "(((?x a ?y) OPT (?y b ?z)) OPT (?x c ?w))"},
+      {"ns-pattern",
+       "NS((?x a ?y) UNION ((?x a ?y) AND (?y b ?z))) UNION NS((?x c ?v))"},
+      {"monotone AUFS",
+       "(SELECT {?x} WHERE ((?x a ?y) AND (?y b ?z))) UNION (?x c d)"},
+      {"Example 3.3 (NOT w.m.)", scenarios::Example33Query()},
+  };
+}
+
+void PrintTranslationTable() {
+  std::printf(
+      "== E6: Theorem 4.1 pipeline ==\n"
+      "%-24s | %-18s | verified ≡s | |P| -> |Q| nodes\n", "pattern",
+      "method");
+  for (const SuiteEntry& entry : Suite()) {
+    Engine engine;
+    Result<PatternPtr> p = engine.Parse(entry.text);
+    RDFQL_CHECK(p.ok());
+    Result<AufsTranslation> t = FindAufsTranslation(p.value(), engine.dict());
+    RDFQL_CHECK(t.ok());
+    const char* method =
+        t->method == TranslationMethod::kWellDesignedTree ? "pattern tree"
+        : t->method == TranslationMethod::kNsPatternUnion ? "NS-child union"
+                                                          : "mono envelope";
+    std::printf("%-24s | %-18s | %-11s | %zu -> %zu\n", entry.name, method,
+                t->verified ? "yes" : "NO (refuted)",
+                p.value()->SizeInNodes(), t->q->SizeInNodes());
+  }
+  std::printf(
+      "(the refuted row is Example 3.3 — not weakly monotone, so no AUFS\n"
+      " pattern can be ≡s to it; exactly what Corollary 4.2 predicts)\n\n");
+
+  // FO pipeline sizes for AUFS inputs.
+  std::printf("FO round trip (Lemma C.2 / C.7 / Thm C.8):\n"
+              "%-24s | φ_P nodes | UCQ disjuncts | Q nodes\n", "pattern");
+  const char* aufs_suite[] = {
+      "(?x a ?y)",
+      "(?x a ?y) AND (?y b ?z)",
+      "(SELECT {?x} WHERE (?x a ?y))",
+      "((?x a ?y) FILTER !(?x = ?y)) UNION (?x b c)",
+  };
+  for (const char* text : aufs_suite) {
+    Engine engine;
+    Result<PatternPtr> p = engine.Parse(text);
+    RDFQL_CHECK(p.ok());
+    Result<FoFormulaPtr> phi = SparqlToFo(p.value());
+    RDFQL_CHECK(phi.ok());
+    Result<Ucq> ucq =
+        PositiveExistentialToUcq(*phi, p.value()->Vars(), engine.dict());
+    RDFQL_CHECK(ucq.ok());
+    Result<PatternPtr> q = UcqToSparql(*ucq, engine.dict());
+    RDFQL_CHECK(q.ok());
+    std::printf("%-24s | %9zu | %13zu | %7zu\n", text,
+                (*phi)->SizeInNodes(), ucq->disjuncts.size(),
+                q.value()->SizeInNodes());
+  }
+  std::printf("\n");
+}
+
+void BM_SparqlToFo(benchmark::State& state) {
+  Engine engine;
+  Result<PatternPtr> p =
+      engine.Parse("((?x a ?y) OPT (?y b ?z)) UNION (?x c ?w)");
+  RDFQL_CHECK(p.ok());
+  for (auto _ : state) {
+    Result<FoFormulaPtr> phi = SparqlToFo(p.value());
+    RDFQL_CHECK(phi.ok());
+    benchmark::DoNotOptimize(phi);
+  }
+}
+BENCHMARK(BM_SparqlToFo);
+
+void BM_UcqRoundTrip(benchmark::State& state) {
+  Engine engine;
+  Result<PatternPtr> p =
+      engine.Parse("((?x a ?y) FILTER !(?x = ?y)) UNION (?x b c)");
+  RDFQL_CHECK(p.ok());
+  Result<FoFormulaPtr> phi = SparqlToFo(p.value());
+  RDFQL_CHECK(phi.ok());
+  for (auto _ : state) {
+    Result<Ucq> ucq =
+        PositiveExistentialToUcq(*phi, p.value()->Vars(), engine.dict());
+    RDFQL_CHECK(ucq.ok());
+    Result<PatternPtr> q = UcqToSparql(*ucq, engine.dict());
+    RDFQL_CHECK(q.ok());
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_UcqRoundTrip);
+
+void BM_FindSimplePatternTranslation(benchmark::State& state) {
+  Engine engine;
+  Result<PatternPtr> p = engine.Parse(scenarios::Theorem35Witness());
+  RDFQL_CHECK(p.ok());
+  MonotonicityOptions opts;
+  opts.trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Result<AufsTranslation> t =
+        FindSimplePatternTranslation(p.value(), engine.dict(), opts);
+    RDFQL_CHECK(t.ok() && t->verified);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_FindSimplePatternTranslation)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_FindAufsTranslationWd(benchmark::State& state) {
+  Engine engine;
+  Result<PatternPtr> p =
+      engine.Parse("(((?x a ?y) OPT (?y b ?z)) OPT (?x c ?w))");
+  RDFQL_CHECK(p.ok());
+  MonotonicityOptions opts;
+  opts.trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Result<AufsTranslation> t =
+        FindAufsTranslation(p.value(), engine.dict(), opts);
+    RDFQL_CHECK(t.ok() && t->verified);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_FindAufsTranslationWd)->Arg(30)->Arg(100)->Arg(300);
+
+}  // namespace
+}  // namespace rdfql
+
+int main(int argc, char** argv) {
+  rdfql::PrintTranslationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

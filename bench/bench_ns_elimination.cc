@@ -1,0 +1,130 @@
+// E7 (DESIGN.md): Theorem 5.1's NS-elimination blow-up. The proof bounds
+// the translated pattern double-exponentially in the input; this bench
+// prints |P| vs |Q| as the number of optional variables grows and times
+// the transformation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "transform/ns_elimination.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+// NS( ((base OPT t0) OPT t1) ... ): k optional variables. Lemma D.2 must
+// split each disjunct over all 2^k bound/unbound domain profiles and
+// Lemma D.3 then subtracts every strictly-larger profile — this is the
+// family where the construction's exponential blow-up materializes.
+std::string OptionalFamily(int k) {
+  std::string inner = "(?x a b)";
+  for (int i = 0; i < k; ++i) {
+    inner = "(" + inner + " OPT (?x p" + std::to_string(i) + " ?y" +
+            std::to_string(i) + "))";
+  }
+  return "NS(" + inner + ")";
+}
+
+void PrintBlowupTable() {
+  std::printf(
+      "== E7: NS-elimination size (Theorem 5.1 / Lemma D.3) ==\n"
+      "k (optional vars) | input nodes | output nodes\n");
+  for (int k = 1; k <= 4; ++k) {
+    Engine engine;
+    Result<PatternPtr> p = engine.Parse(OptionalFamily(k));
+    RDFQL_CHECK(p.ok());
+    NormalFormLimits limits;
+    limits.max_disjuncts = 1u << 22;
+    Result<PatternPtr> q = EliminateNs(p.value(), limits);
+    if (!q.ok()) {
+      std::printf("%17d | %11zu | (limit: %s)\n", k,
+                  p.value()->SizeInNodes(), q.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%17d | %11zu | %12zu\n", k, p.value()->SizeInNodes(),
+                q.value()->SizeInNodes());
+  }
+  std::printf("\n");
+}
+
+void BM_EliminateNs(benchmark::State& state) {
+  Engine engine;
+  Result<PatternPtr> p = engine.Parse(OptionalFamily(
+      static_cast<int>(state.range(0))));
+  RDFQL_CHECK(p.ok());
+  NormalFormLimits limits;
+  limits.max_disjuncts = 1u << 22;
+  size_t out_nodes = 0;
+  for (auto _ : state) {
+    Result<PatternPtr> q = EliminateNs(p.value(), limits);
+    RDFQL_CHECK(q.ok());
+    out_nodes = q.value()->SizeInNodes();
+    benchmark::DoNotOptimize(q);
+  }
+  state.counters["output_nodes"] = static_cast<double>(out_nodes);
+}
+BENCHMARK(BM_EliminateNs)->DenseRange(1, 4);
+
+// Cost of *evaluating* the eliminated pattern vs evaluating NS directly —
+// the practical price of replacing the operator by its SPARQL encoding.
+void BM_EvalEliminated(benchmark::State& state) {
+  Engine engine;
+  int k = static_cast<int>(state.range(0));
+  Result<PatternPtr> p = engine.Parse(OptionalFamily(k));
+  RDFQL_CHECK(p.ok());
+  Result<PatternPtr> q = EliminateNs(p.value());
+  RDFQL_CHECK(q.ok());
+
+  Graph g;
+  Dictionary* d = engine.dict();
+  for (int x = 0; x < 20; ++x) {
+    TermId subj = d->InternIri("s" + std::to_string(x));
+    g.Insert(subj, d->InternIri("a"), d->InternIri("b"));
+    for (int i = 0; i < k; ++i) {
+      if ((x + i) % 2 == 0) {
+        g.Insert(subj, d->InternIri("p" + std::to_string(i)),
+                 d->InternIri("m" + std::to_string(x * 10 + i)));
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPattern(g, q.value()));
+  }
+}
+BENCHMARK(BM_EvalEliminated)->DenseRange(1, 3);
+
+void BM_EvalNsDirect(benchmark::State& state) {
+  Engine engine;
+  int k = static_cast<int>(state.range(0));
+  Result<PatternPtr> p = engine.Parse(OptionalFamily(k));
+  RDFQL_CHECK(p.ok());
+  Graph g;
+  Dictionary* d = engine.dict();
+  for (int x = 0; x < 20; ++x) {
+    TermId subj = d->InternIri("s" + std::to_string(x));
+    g.Insert(subj, d->InternIri("a"), d->InternIri("b"));
+    for (int i = 0; i < k; ++i) {
+      if ((x + i) % 2 == 0) {
+        g.Insert(subj, d->InternIri("p" + std::to_string(i)),
+                 d->InternIri("m" + std::to_string(x * 10 + i)));
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPattern(g, p.value()));
+  }
+}
+BENCHMARK(BM_EvalNsDirect)->DenseRange(1, 3);
+
+}  // namespace
+}  // namespace rdfql
+
+int main(int argc, char** argv) {
+  rdfql::PrintBlowupTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Optimizer ablation: raw vs optimized evaluation of filter- and
+// join-heavy queries over the synthetic social graph, plus the cost of
+// optimization itself. (Supplementary to the paper: the §8 "practical
+// studies" direction, in the spirit of the static-optimization line
+// [23]/[32] the paper cites.)
+
+#include <benchmark/benchmark.h>
+
+#include "core/rdfql.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+// A deliberately badly-written query: big cross-ish joins first, selective
+// triple last, filters at the top.
+constexpr const char* kBadQuery =
+    "(((?x works_at ?u) AND (?y works_at ?u) AND (?x founder ?o)) "
+    "FILTER ?u = org_0) FILTER ?x = person_1";
+
+constexpr const char* kFilterHeavy =
+    "(((?x was_born_in ?c) AND (?x email ?e)) AND (?x name ?n)) "
+    "FILTER (?c = country_0 | ?c = country_1)";
+
+void RunQuery(benchmark::State& state, const char* text, bool optimize) {
+  Engine engine;
+  SocialGraphSpec spec;
+  spec.num_people = static_cast<int>(state.range(0));
+  Graph g = GenerateSocialGraph(spec, engine.dict());
+  Result<PatternPtr> p = engine.Parse(text);
+  RDFQL_CHECK(p.ok());
+  PatternPtr query = p.value();
+  GraphStats stats = GraphStats::Collect(g);
+  if (optimize) {
+    Optimizer opt(&stats);
+    PatternPtr optimized = opt.Optimize(query);
+    // Spot-check equivalence once per configuration.
+    RDFQL_CHECK(EvalPattern(g, query) == EvalPattern(g, optimized));
+    query = optimized;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPattern(g, query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_BadJoinOrderRaw(benchmark::State& state) {
+  RunQuery(state, kBadQuery, false);
+}
+BENCHMARK(BM_BadJoinOrderRaw)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_BadJoinOrderOptimized(benchmark::State& state) {
+  RunQuery(state, kBadQuery, true);
+}
+BENCHMARK(BM_BadJoinOrderOptimized)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_FilterHeavyRaw(benchmark::State& state) {
+  RunQuery(state, kFilterHeavy, false);
+}
+BENCHMARK(BM_FilterHeavyRaw)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_FilterHeavyOptimized(benchmark::State& state) {
+  RunQuery(state, kFilterHeavy, true);
+}
+BENCHMARK(BM_FilterHeavyOptimized)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_OptimizeCost(benchmark::State& state) {
+  Engine engine;
+  SocialGraphSpec spec;
+  spec.num_people = 512;
+  Graph g = GenerateSocialGraph(spec, engine.dict());
+  GraphStats stats = GraphStats::Collect(g);
+  Result<PatternPtr> p = engine.Parse(kBadQuery);
+  RDFQL_CHECK(p.ok());
+  Optimizer opt(&stats);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.Optimize(p.value()));
+  }
+}
+BENCHMARK(BM_OptimizeCost);
+
+void BM_StatsCollection(benchmark::State& state) {
+  Engine engine;
+  SocialGraphSpec spec;
+  spec.num_people = static_cast<int>(state.range(0));
+  Graph g = GenerateSocialGraph(spec, engine.dict());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphStats::Collect(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StatsCollection)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace rdfql
+
+BENCHMARK_MAIN();

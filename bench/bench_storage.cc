@@ -1,0 +1,99 @@
+// Storage ablation: the mutable sorted-index `Graph` vs the immutable
+// per-predicate CSR `StaticGraph`, across the probe shapes triple-pattern
+// evaluation issues (predicate-bound prefix scans dominate real queries).
+
+#include <benchmark/benchmark.h>
+
+#include "core/rdfql.h"
+#include "rdf/static_graph.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+Graph MakeGraph(int people, Dictionary* dict) {
+  SocialGraphSpec spec;
+  spec.num_people = people;
+  return GenerateSocialGraph(spec, dict);
+}
+
+void BM_GraphPrefixScan(benchmark::State& state) {
+  Dictionary dict;
+  Graph g = MakeGraph(static_cast<int>(state.range(0)), &dict);
+  TermId born = dict.InternIri("was_born_in");
+  size_t n = 0;
+  for (auto _ : state) {
+    n = g.CountMatches(kInvalidTermId, born, kInvalidTermId);
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["matches"] = static_cast<double>(n);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GraphPrefixScan)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_StaticGraphPrefixScan(benchmark::State& state) {
+  Dictionary dict;
+  Graph g = MakeGraph(static_cast<int>(state.range(0)), &dict);
+  StaticGraph sg = StaticGraph::Build(g);
+  TermId born = dict.InternIri("was_born_in");
+  size_t n = 0;
+  for (auto _ : state) {
+    n = sg.CountMatches(kInvalidTermId, born, kInvalidTermId);
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["matches"] = static_cast<double>(n);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StaticGraphPrefixScan)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_GraphPointLookups(benchmark::State& state) {
+  Dictionary dict;
+  Graph g = MakeGraph(1024, &dict);
+  TermId email = dict.InternIri("email");
+  std::vector<TermId> subjects;
+  for (int i = 0; i < 1024; ++i) {
+    subjects.push_back(dict.InternIri("person_" + std::to_string(i)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g.CountMatches(subjects[i % subjects.size()], email,
+                       kInvalidTermId));
+    ++i;
+  }
+}
+BENCHMARK(BM_GraphPointLookups);
+
+void BM_StaticGraphPointLookups(benchmark::State& state) {
+  Dictionary dict;
+  Graph g = MakeGraph(1024, &dict);
+  StaticGraph sg = StaticGraph::Build(g);
+  TermId email = dict.InternIri("email");
+  std::vector<TermId> subjects;
+  for (int i = 0; i < 1024; ++i) {
+    subjects.push_back(dict.InternIri("person_" + std::to_string(i)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sg.CountMatches(subjects[i % subjects.size()], email,
+                        kInvalidTermId));
+    ++i;
+  }
+}
+BENCHMARK(BM_StaticGraphPointLookups);
+
+void BM_StaticGraphBuild(benchmark::State& state) {
+  Dictionary dict;
+  Graph g = MakeGraph(static_cast<int>(state.range(0)), &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StaticGraph::Build(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StaticGraphBuild)->RangeMultiplier(4)->Range(256, 16384);
+
+}  // namespace
+}  // namespace rdfql
+
+BENCHMARK_MAIN();

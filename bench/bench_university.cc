@@ -1,0 +1,107 @@
+// The LUBM-style university workload: the full query mix across dataset
+// scales, with and without the optimizer — a second, structurally richer
+// data point for the fragment-cost story of EXPERIMENTS.md E16.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/rdfql.h"
+#include "util/check.h"
+#include "workload/university_generator.h"
+
+namespace rdfql {
+namespace {
+
+Graph MakeGraph(Engine* engine, int universities) {
+  UniversitySpec spec;
+  spec.num_universities = universities;
+  return GenerateUniversityGraph(spec, engine->dict());
+}
+
+void PrintMixSummary() {
+  Engine engine;
+  Graph g = MakeGraph(&engine, 2);
+  std::printf("== University workload (2 universities, %zu triples) ==\n",
+              g.size());
+  std::printf("%-26s | answers | fragment\n", "query");
+  for (const NamedUniversityQuery& q : UniversityQueryMix()) {
+    Result<PatternPtr> p = engine.Parse(q.text);
+    RDFQL_CHECK(p.ok());
+    MappingSet r = EvalPattern(g, p.value());
+    std::printf("%-26s | %7zu | %s\n", q.name.c_str(), r.size(),
+                DescribeFragment(p.value()).c_str());
+  }
+  std::printf("\n");
+}
+
+void RunMixQuery(benchmark::State& state, size_t query_index,
+                 bool optimize) {
+  Engine engine;
+  Graph g = MakeGraph(&engine, static_cast<int>(state.range(0)));
+  NamedUniversityQuery q = UniversityQueryMix()[query_index];
+  Result<PatternPtr> parsed = engine.Parse(q.text);
+  RDFQL_CHECK(parsed.ok());
+  PatternPtr pattern = parsed.value();
+  if (optimize) {
+    GraphStats stats = GraphStats::Collect(g);
+    Optimizer opt(&stats);
+    PatternPtr optimized = opt.Optimize(pattern);
+    RDFQL_CHECK(EvalPattern(g, pattern) == EvalPattern(g, optimized));
+    pattern = optimized;
+  }
+  size_t answers = 0;
+  for (auto _ : state) {
+    MappingSet r = EvalPattern(g, pattern);
+    answers = r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(q.name + (optimize ? " (optimized)" : ""));
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["triples"] = static_cast<double>(g.size());
+}
+
+void BM_UniStudentTeacher(benchmark::State& state) {
+  RunMixQuery(state, 0, false);
+}
+BENCHMARK(BM_UniStudentTeacher)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UniStudentTeacherOptimized(benchmark::State& state) {
+  RunMixQuery(state, 0, true);
+}
+BENCHMARK(BM_UniStudentTeacherOptimized)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UniMembersUnion(benchmark::State& state) {
+  RunMixQuery(state, 1, false);
+}
+BENCHMARK(BM_UniMembersUnion)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UniAdvisorEmailOpt(benchmark::State& state) {
+  RunMixQuery(state, 2, false);
+}
+BENCHMARK(BM_UniAdvisorEmailOpt)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UniCourseInfoNestedOpt(benchmark::State& state) {
+  RunMixQuery(state, 3, false);
+}
+BENCHMARK(BM_UniCourseInfoNestedOpt)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UniAdvisorEmailSimple(benchmark::State& state) {
+  RunMixQuery(state, 4, false);
+}
+BENCHMARK(BM_UniAdvisorEmailSimple)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_UniFullProfDepts(benchmark::State& state) {
+  RunMixQuery(state, 5, false);
+}
+BENCHMARK(BM_UniFullProfDepts)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace rdfql
+
+int main(int argc, char** argv) {
+  rdfql::PrintMixSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

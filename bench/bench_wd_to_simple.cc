@@ -1,0 +1,160 @@
+// E8 (DESIGN.md): Proposition 5.6 — translating well-designed patterns
+// with nested OPT into simple patterns (one top-level NS). Prints the size
+// of the produced AUF union per OPT-nesting depth and compares evaluation
+// cost of the original vs the simple form.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "eval/wd_evaluator.h"
+#include "transform/wd_to_simple.h"
+#include "util/check.h"
+#include "workload/graph_generator.h"
+
+namespace rdfql {
+namespace {
+
+// (...((t0 OPT t1) OPT t2) ... OPT tk): a left-deep well-designed chain.
+std::string OptChain(int k) {
+  std::string p = "(?x r0 ?y0)";
+  for (int i = 1; i <= k; ++i) {
+    p = "(" + p + " OPT (?x r" + std::to_string(i) + " ?y" +
+        std::to_string(i) + "))";
+  }
+  return p;
+}
+
+// A binary tree of OPTs (each child hangs off the root block).
+std::string OptTree(int depth, int* counter) {
+  int id = (*counter)++;
+  std::string node = "(?x t" + std::to_string(id) + " ?v" +
+                     std::to_string(id) + ")";
+  if (depth == 0) return node;
+  return "((" + node + " OPT " + OptTree(depth - 1, counter) + ") OPT " +
+         OptTree(depth - 1, counter) + ")";
+}
+
+void PrintTranslationTable() {
+  std::printf(
+      "== E8: well-designed -> simple pattern (Proposition 5.6) ==\n"
+      "OPT chain length | input nodes | simple-pattern nodes | disjuncts\n");
+  for (int k = 1; k <= 6; ++k) {
+    Engine engine;
+    Result<PatternPtr> p = engine.Parse(OptChain(k));
+    RDFQL_CHECK(p.ok());
+    Result<PatternPtr> simple = WellDesignedToSimple(p.value());
+    RDFQL_CHECK(simple.ok());
+    size_t disjuncts = 1;
+    {
+      // Count top-level UNION disjuncts of the NS child.
+      std::vector<PatternPtr> stack = {simple.value()->child()};
+      disjuncts = 0;
+      while (!stack.empty()) {
+        PatternPtr q = stack.back();
+        stack.pop_back();
+        if (q->kind() == PatternKind::kUnion) {
+          stack.push_back(q->left());
+          stack.push_back(q->right());
+        } else {
+          ++disjuncts;
+        }
+      }
+    }
+    std::printf("%16d | %11zu | %20zu | %9zu\n", k, p.value()->SizeInNodes(),
+                simple.value()->SizeInNodes(), disjuncts);
+  }
+  std::printf("\n");
+}
+
+void BM_WdToSimpleChain(benchmark::State& state) {
+  Engine engine;
+  Result<PatternPtr> p =
+      engine.Parse(OptChain(static_cast<int>(state.range(0))));
+  RDFQL_CHECK(p.ok());
+  for (auto _ : state) {
+    Result<PatternPtr> simple = WellDesignedToSimple(p.value());
+    RDFQL_CHECK(simple.ok());
+    benchmark::DoNotOptimize(simple);
+  }
+}
+BENCHMARK(BM_WdToSimpleChain)->DenseRange(1, 6);
+
+void BM_WdToSimpleTree(benchmark::State& state) {
+  Engine engine;
+  int counter = 0;
+  Result<PatternPtr> p =
+      engine.Parse(OptTree(static_cast<int>(state.range(0)), &counter));
+  RDFQL_CHECK(p.ok());
+  for (auto _ : state) {
+    Result<PatternPtr> simple = WellDesignedToSimple(p.value());
+    RDFQL_CHECK(simple.ok());
+    benchmark::DoNotOptimize(simple);
+  }
+}
+BENCHMARK(BM_WdToSimpleTree)->DenseRange(1, 3);
+
+// Evaluation cost comparison: nested OPT vs single NS over AUF union, on
+// the synthetic social graph (people with optional emails).
+void EvalComparison(benchmark::State& state, bool use_simple) {
+  Engine engine;
+  SocialGraphSpec spec;
+  spec.num_people = static_cast<int>(state.range(0));
+  Graph g = GenerateSocialGraph(spec, engine.dict());
+  Result<PatternPtr> p = engine.Parse(
+      "((?x name ?n) OPT (?x email ?e)) OPT (?x was_born_in ?c)");
+  RDFQL_CHECK(p.ok());
+  PatternPtr query = p.value();
+  if (use_simple) {
+    Result<PatternPtr> simple = WellDesignedToSimple(query);
+    RDFQL_CHECK(simple.ok());
+    query = simple.value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPattern(g, query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_EvalWdOptForm(benchmark::State& state) {
+  EvalComparison(state, /*use_simple=*/false);
+}
+BENCHMARK(BM_EvalWdOptForm)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_EvalSimpleForm(benchmark::State& state) {
+  EvalComparison(state, /*use_simple=*/true);
+}
+BENCHMARK(BM_EvalSimpleForm)->RangeMultiplier(4)->Range(64, 1024);
+
+// Third WD evaluation strategy: the seeded top-down pattern-tree walk.
+void BM_EvalTopDownTree(benchmark::State& state) {
+  Engine engine;
+  SocialGraphSpec spec;
+  spec.num_people = static_cast<int>(state.range(0));
+  Graph g = GenerateSocialGraph(spec, engine.dict());
+  Result<PatternPtr> p = engine.Parse(
+      "((?x name ?n) OPT (?x email ?e)) OPT (?x was_born_in ?c)");
+  RDFQL_CHECK(p.ok());
+  // Sanity: all three strategies agree.
+  Result<MappingSet> top_down = EvalWellDesignedTopDown(g, p.value());
+  RDFQL_CHECK(top_down.ok());
+  RDFQL_CHECK(*top_down == EvalPattern(g, p.value()));
+  for (auto _ : state) {
+    Result<MappingSet> r = EvalWellDesignedTopDown(g, p.value());
+    RDFQL_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvalTopDownTree)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace
+}  // namespace rdfql
+
+int main(int argc, char** argv) {
+  rdfql::PrintTranslationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// A guided tour of Section 7 made executable: shows, for tiny inputs, the
+// actual reduction artifacts — graphs, patterns, mappings — behind each
+// completeness result, then *decides* the source problems by running the
+// SPARQL engine on them.
+
+#include <cstdio>
+
+#include "core/rdfql.h"
+
+namespace {
+
+void Banner(const char* text) { std::printf("\n=== %s ===\n", text); }
+
+void ShowInstance(rdfql::Dictionary* dict, const rdfql::EvalInstance& inst,
+                  bool expected, const char* what) {
+  std::printf("graph (%zu triples), pattern (%zu nodes)\n",
+              inst.graph.size(), inst.pattern->SizeInNodes());
+  std::printf("queried mapping: %s\n",
+              inst.mapping.ToString(*dict).c_str());
+  bool got = rdfql::DecideByEvaluation(inst);
+  std::printf("%s: engine says %s, oracle says %s %s\n", what,
+              got ? "YES" : "no", expected ? "YES" : "no",
+              got == expected ? "[agree]" : "[MISMATCH!]");
+}
+
+}  // namespace
+
+int main() {
+  rdfql::Dictionary dict;
+  rdfql::Rng rng(2016);
+
+  Banner("Theorem 7.1: Eval(SP-SPARQL) is DP-complete — SAT-UNSAT");
+  // ϕ = (x1 ∨ x2) ∧ (¬x1): satisfiable. ψ = x1 ∧ ¬x1: unsatisfiable.
+  rdfql::Cnf phi;
+  phi.num_vars = 2;
+  phi.AddClause({1, 2});
+  phi.AddClause({-1});
+  rdfql::Cnf psi;
+  psi.num_vars = 1;
+  psi.AddClause({1});
+  psi.AddClause({-1});
+  rdfql::EvalInstance dp =
+      rdfql::SatUnsatToSimplePattern(phi, psi, &dict, "lab_dp");
+  std::printf("simple pattern: %s\n",
+              rdfql::PatternToString(dp.pattern, dict).substr(0, 120).c_str());
+  ShowInstance(&dict, dp, true, "(phi SAT, psi UNSAT)?");
+
+  Banner("Theorem 7.2 machinery: exact chromatic number via USP-SPARQL");
+  rdfql::SimpleGraph c5;
+  c5.n = 5;
+  for (int i = 0; i < 5; ++i) c5.edges.emplace_back(i, (i + 1) % 5);
+  std::printf("C5 has chromatic number %d\n", rdfql::ChromaticNumber(c5));
+  rdfql::EvalInstance usp = rdfql::ExactColorSetToUsp(c5, {3}, &dict);
+  ShowInstance(&dict, usp, true, "chi(C5) in {3}?");
+
+  Banner("Theorem 7.3: MAX-ODD-SAT via USP-SPARQL");
+  // ϕ = (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2) ∧ ¬x3: max true vars = 1 (odd).
+  rdfql::Cnf modd;
+  modd.num_vars = 3;
+  modd.AddClause({1, 2});
+  modd.AddClause({-1, -2});
+  modd.AddClause({-3});
+  std::printf("IsMaxOddSat oracle: %s\n",
+              rdfql::IsMaxOddSat(modd) ? "true" : "false");
+  rdfql::EvalInstance mo = rdfql::MaxOddSatToUsp(modd, &dict);
+  ShowInstance(&dict, mo, rdfql::IsMaxOddSat(modd), "MAX-ODD-SAT?");
+
+  Banner("PSPACE backdrop: QBF via full SPARQL (OPT through MINUS)");
+  // ∀x ∃y. (x ∨ y) ∧ (¬x ∨ ¬y): true.
+  rdfql::Qbf qbf;
+  qbf.matrix.num_vars = 2;
+  qbf.matrix.AddClause({1, 2});
+  qbf.matrix.AddClause({-1, -2});
+  qbf.prefix = {{rdfql::Qbf::Quant::kForall, 1},
+                {rdfql::Qbf::Quant::kExists, 2}};
+  rdfql::EvalInstance qi = rdfql::QbfToPattern(qbf, &dict, "lab_qbf");
+  std::printf("pattern: %s\n",
+              rdfql::PatternToString(qi.pattern, dict).c_str());
+  ShowInstance(&dict, qi, rdfql::SolveQbf(qbf), "forall x exists y ...?");
+
+  std::printf(
+      "\nSummary (Section 7): SP-SPARQL is DP-complete, USP-SPARQL_k is\n"
+      "BH_2k-complete, USP-SPARQL is PNP||-complete, CONSTRUCT[AUF] is\n"
+      "NP-complete — all strictly below well-designed-with-projection\n"
+      "(Sigma_p_2) and full SPARQL (PSPACE).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// CONSTRUCT as a view mechanism (Section 6): runs the Example 6.1 query
+// over the Figure 3 graph to build the Figure 4 graph, *composes* queries
+// by querying the constructed view (the composability motivation of
+// Section 6), and shows Lemma 6.5's monotone normal form and Prop 6.7's
+// SELECT elimination.
+
+#include <cstdio>
+
+#include "core/rdfql.h"
+
+int main() {
+  rdfql::Engine engine;
+  rdfql::Graph professors =
+      rdfql::scenarios::ProfessorsGraph(engine.dict());
+  engine.PutGraph("professors", professors);
+
+  std::printf("=== Example 6.1: building an affiliation view ===\n");
+  rdfql::ConstructQuery q =
+      engine
+          .ParseConstructQuery(rdfql::scenarios::Example61ConstructQuery())
+          .value();
+  rdfql::Graph view = q.Answer(professors);
+  std::printf("ans(Q, G):\n%s\n",
+              rdfql::WriteNTriples(view, *engine.dict()).c_str());
+
+  std::printf("=== Composition: querying the constructed view ===\n");
+  engine.PutGraph("view", view);
+  const char* follow_up =
+      "(SELECT {?n} WHERE ((?n affiliated_to PUC_Chile) AND "
+      "(?n email ?e)))";
+  rdfql::Result<rdfql::MappingSet> reachable =
+      engine.Query("view", follow_up);
+  std::printf("PUC Chile affiliates with an email:\n%s\n",
+              rdfql::MappingTable(*reachable, *engine.dict()).c_str());
+
+  std::printf("=== Lemma 6.5: the monotone normal form ===\n");
+  rdfql::ConstructQuery nf = rdfql::MonotoneNormalForm(q, engine.dict());
+  std::printf("pattern grew from %zu to %zu nodes; answers agree: %s\n",
+              q.pattern()->SizeInNodes(), nf.pattern()->SizeInNodes(),
+              q.Answer(professors) == nf.Answer(professors) ? "yes" : "no");
+  std::printf("normal-form pattern is weakly monotone (empirical): %s\n\n",
+              rdfql::LooksWeaklyMonotone(nf.pattern(), engine.dict())
+                  ? "yes"
+                  : "no");
+
+  std::printf("=== Proposition 6.7: CONSTRUCT[AUFS] -> CONSTRUCT[AUF] "
+              "===\n");
+  rdfql::ConstructQuery with_select =
+      engine
+          .ParseConstructQuery(
+              "CONSTRUCT { (?x colleague ?y) } WHERE "
+              "(SELECT {?x ?y} WHERE ((?x works_at ?u) AND "
+              "(?y works_at ?u)))")
+          .value();
+  rdfql::ConstructQuery auf =
+      rdfql::EliminateSelect(with_select, engine.dict());
+  std::printf("SELECT-free pattern: %s\n",
+              rdfql::PatternToString(auf.pattern(), *engine.dict()).c_str());
+  std::printf("answers agree: %s\n\n",
+              with_select.Answer(professors) == auf.Answer(professors)
+                  ? "yes"
+                  : "no");
+
+  std::printf("=== Theorem 6.6 / Corollary 6.8: the full pipeline ===\n");
+  rdfql::ConstructQuery helpers =
+      engine
+          .ParseConstructQuery(
+              "CONSTRUCT { (?x helps ?o) } WHERE "
+              "((?x works_at ?o) UNION (?x email ?o))")
+          .value();
+  rdfql::Result<rdfql::AufConstructTranslation> pipeline =
+      rdfql::MonotoneConstructToAuf(helpers, engine.dict());
+  if (pipeline.ok() && pipeline->verified) {
+    std::printf("monotone CONSTRUCT rewritten into CONSTRUCT[AUF]; "
+                "answers agree: %s\n",
+                helpers.Answer(professors) ==
+                        pipeline->query.Answer(professors)
+                    ? "yes"
+                    : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The "query doctor": a small CLI that classifies a graph pattern in the
+// paper's vocabulary (fragment, well-designedness, empirical weak
+// monotonicity / monotonicity / subsumption-freeness) and, when possible,
+// rewrites it into the open-world-safe languages the paper proposes
+// (simple patterns, ns-patterns, SPARQL[AUFS] under ≡s).
+//
+// Usage:
+//   query_doctor                       # runs a demo suite
+//   query_doctor '<pattern>'           # diagnose one pattern
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rdfql.h"
+
+namespace {
+
+void Diagnose(rdfql::Engine* engine, const std::string& text) {
+  std::printf("----------------------------------------------------------\n");
+  std::printf("pattern: %s\n", text.c_str());
+  rdfql::Result<rdfql::PatternPtr> parsed = engine->Parse(text);
+  if (!parsed.ok()) {
+    std::printf("  parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  rdfql::PatternPtr p = parsed.value();
+  rdfql::PatternReport report = engine->Classify(p);
+  std::printf("  fragment:              %s\n", report.fragment.c_str());
+  std::printf("  well designed:         %s\n",
+              report.well_designed ? "yes" : "no");
+  std::printf("  union of WD:           %s\n",
+              report.union_well_designed ? "yes" : "no");
+  std::printf("  simple pattern:        %s\n",
+              report.simple_pattern ? "yes" : "no");
+  std::printf("  ns-pattern:            %s\n",
+              report.ns_pattern ? "yes" : "no");
+  std::printf("  weakly monotone*:      %s\n",
+              report.looks_weakly_monotone ? "yes" : "no");
+  std::printf("  monotone*:             %s\n",
+              report.looks_monotone ? "yes" : "no");
+  std::printf("  subsumption free*:     %s      (*empirical)\n",
+              report.looks_subsumption_free ? "yes" : "no");
+
+  if (!report.looks_weakly_monotone) {
+    std::printf("  verdict: NOT open-world safe — answers can vanish as "
+                "the graph grows.\n");
+    return;
+  }
+
+  // Suggest the open-world-safe rewritings of Sections 4-5.
+  if (report.well_designed) {
+    rdfql::Result<rdfql::PatternPtr> simple =
+        rdfql::WellDesignedToSimple(p);
+    if (simple.ok()) {
+      std::printf("  Prop 5.6 rewrite into SP-SPARQL:\n    %s\n",
+                  rdfql::PatternToString(simple.value(), *engine->dict())
+                      .c_str());
+    }
+  } else if (report.looks_subsumption_free && !report.simple_pattern &&
+             !report.ns_pattern) {
+    // Corollary 5.2, effective: NS of the monotone envelope.
+    rdfql::Result<rdfql::AufsTranslation> sp =
+        rdfql::FindSimplePatternTranslation(p, engine->dict());
+    if (sp.ok() && sp->verified) {
+      std::printf("  Cor 5.2 rewrite into SP-SPARQL:\n    %s\n",
+                  rdfql::PatternToString(sp->q, *engine->dict()).c_str());
+    }
+  }
+  rdfql::Result<rdfql::AufsTranslation> t =
+      rdfql::FindAufsTranslation(p, engine->dict());
+  if (t.ok() && t->verified) {
+    std::printf("  Thm 4.1 ≡s-translation into SPARQL[AUFS]:\n    %s\n",
+                rdfql::PatternToString(t->q, *engine->dict()).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rdfql::Engine engine;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) Diagnose(&engine, argv[i]);
+    return 0;
+  }
+  std::vector<std::string> demo = {
+      rdfql::scenarios::Example31Query(),
+      rdfql::scenarios::Example33Query(),
+      rdfql::scenarios::Theorem35Witness(),
+      rdfql::scenarios::Theorem36Witness(),
+      "NS((?x a ?y) UNION ((?x a ?y) AND (?y b ?z)))",
+      "(SELECT {?p} WHERE ((?o stands_for w) AND ((?p founder ?o) UNION "
+      "(?p supporter ?o))))",
+  };
+  for (const std::string& q : demo) Diagnose(&engine, q);
+  return 0;
+}

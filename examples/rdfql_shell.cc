@@ -1,0 +1,239 @@
+// An interactive / scriptable shell over the Engine façade.
+//
+// Commands (one per line, `#` starts a comment):
+//   load <graph> <file>        load simplified N-Triples from a file
+//   triple <graph> s p o       insert one triple
+//   query <graph> <pattern>    evaluate and print the result table
+//   ask <graph> <pattern>      print yes/no
+//   csv <graph> <pattern>      evaluate, print CSV
+//   json <graph> <pattern>     evaluate, print W3C-style JSON
+//   construct <graph> <query>  evaluate a CONSTRUCT query, print triples
+//   insertwhere <graph> <q>    CONSTRUCT-shaped update: insert instantiations
+//   deletewhere <graph> <q>    CONSTRUCT-shaped update: delete instantiations
+//   classify <pattern>         run the paper's classifiers
+//   optimize <graph> <pattern> show the optimized form for that graph
+//   explain <graph> <pattern>  evaluate with a per-operator trace
+//   dot <graph>                print the graph in Graphviz DOT
+//   graphs                     list loaded graphs
+//   quit
+//
+// With no stdin redirection it reads interactively; a built-in demo script
+// runs when invoked with `--demo`.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/rdfql.h"
+#include "util/string_util.h"
+
+namespace {
+
+using rdfql::Engine;
+
+void DoQuery(Engine* engine, const std::string& graph,
+             const std::string& text) {
+  rdfql::Result<rdfql::MappingSet> r = engine->Query(graph, text);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", rdfql::MappingTable(*r, *engine->dict()).c_str());
+}
+
+void DoConstruct(Engine* engine, const std::string& graph,
+                 const std::string& text) {
+  rdfql::Result<rdfql::ConstructQuery> q =
+      engine->ParseConstructQuery(text);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  rdfql::Result<const rdfql::Graph*> g = engine->GetGraph(graph);
+  if (!g.ok()) {
+    std::printf("error: %s\n", g.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s",
+              rdfql::WriteNTriples(q->Answer(**g), *engine->dict()).c_str());
+}
+
+void DoClassify(Engine* engine, const std::string& text) {
+  rdfql::Result<rdfql::PatternPtr> p = engine->Parse(text);
+  if (!p.ok()) {
+    std::printf("error: %s\n", p.status().ToString().c_str());
+    return;
+  }
+  rdfql::PatternReport r = engine->Classify(p.value());
+  std::printf(
+      "fragment=%s wd=%d uwd=%d simple=%d ns=%d wm*=%d mono*=%d sf*=%d\n",
+      r.fragment.c_str(), r.well_designed, r.union_well_designed,
+      r.simple_pattern, r.ns_pattern, r.looks_weakly_monotone,
+      r.looks_monotone, r.looks_subsumption_free);
+}
+
+void DoOptimize(Engine* engine, const std::string& graph,
+                const std::string& text) {
+  rdfql::Result<rdfql::PatternPtr> p = engine->Parse(text);
+  if (!p.ok()) {
+    std::printf("error: %s\n", p.status().ToString().c_str());
+    return;
+  }
+  rdfql::Result<const rdfql::Graph*> g = engine->GetGraph(graph);
+  if (!g.ok()) {
+    std::printf("error: %s\n", g.status().ToString().c_str());
+    return;
+  }
+  rdfql::GraphStats stats = rdfql::GraphStats::Collect(**g);
+  rdfql::Optimizer opt(&stats);
+  std::printf("%s\n",
+              rdfql::PatternToString(opt.Optimize(p.value()),
+                                     *engine->dict())
+                  .c_str());
+}
+
+bool HandleLine(Engine* engine, const std::string& raw) {
+  std::string line(rdfql::StripWhitespace(raw));
+  if (line.empty() || line[0] == '#') return true;
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "dot") {
+    std::string graph_name;
+    in >> graph_name;
+    rdfql::Result<const rdfql::Graph*> gr = engine->GetGraph(graph_name);
+    if (!gr.ok()) {
+      std::printf("error: %s\n", gr.status().ToString().c_str());
+    } else {
+      std::printf("%s", rdfql::WriteDot(**gr, *engine->dict()).c_str());
+    }
+    return true;
+  }
+  if (cmd == "graphs") {
+    std::printf("(use load/triple to create graphs)\n");
+    return true;
+  }
+  std::string graph;
+  if (cmd == "load") {
+    std::string file;
+    in >> graph >> file;
+    std::ifstream f(file);
+    if (!f) {
+      std::printf("error: cannot open %s\n", file.c_str());
+      return true;
+    }
+    std::stringstream buffer;
+    buffer << f.rdbuf();
+    rdfql::Status st = engine->LoadGraphText(graph, buffer.str());
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    return true;
+  }
+  if (cmd == "triple") {
+    std::string s, p, o;
+    in >> graph >> s >> p >> o;
+    rdfql::Status st = engine->LoadGraphText(graph, s + " " + p + " " + o);
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    return true;
+  }
+  std::string rest;
+  if (cmd == "classify") {
+    std::getline(in, rest);
+    DoClassify(engine, rest);
+    return true;
+  }
+  in >> graph;
+  std::getline(in, rest);
+  if (cmd == "query") {
+    DoQuery(engine, graph, rest);
+  } else if (cmd == "ask") {
+    rdfql::Result<bool> r = engine->Ask(graph, rest);
+    std::printf("%s\n", r.ok() ? (*r ? "yes" : "no")
+                                : r.status().ToString().c_str());
+  } else if (cmd == "csv") {
+    rdfql::Result<std::string> r = engine->QueryCsv(graph, rest);
+    std::printf("%s", r.ok() ? r->c_str() : r.status().ToString().c_str());
+  } else if (cmd == "json") {
+    rdfql::Result<std::string> r = engine->QueryJson(graph, rest);
+    std::printf("%s\n", r.ok() ? r->c_str()
+                                : r.status().ToString().c_str());
+  } else if (cmd == "explain") {
+    rdfql::Result<rdfql::PatternPtr> pat = engine->Parse(rest);
+    rdfql::Result<const rdfql::Graph*> gr = engine->GetGraph(graph);
+    if (!pat.ok() || !gr.ok()) {
+      std::printf("error: %s\n", (!pat.ok() ? pat.status() : gr.status())
+                                      .ToString()
+                                      .c_str());
+    } else {
+      rdfql::Explanation e =
+          rdfql::ExplainEval(**gr, pat.value(), *engine->dict());
+      std::printf("%s(%zu results, %zu intermediate mappings)\n",
+                  e.ToString().c_str(), e.result.size(),
+                  e.TotalIntermediate());
+    }
+  } else if (cmd == "construct") {
+    DoConstruct(engine, graph, rest);
+  } else if (cmd == "insertwhere" || cmd == "deletewhere") {
+    rdfql::Result<rdfql::ConstructQuery> q =
+        engine->ParseConstructQuery(rest);
+    rdfql::Result<const rdfql::Graph*> gr = engine->GetGraph(graph);
+    if (!q.ok() || !gr.ok()) {
+      std::printf("error: %s\n",
+                  (!q.ok() ? q.status() : gr.status()).ToString().c_str());
+    } else {
+      rdfql::Graph mutated = **gr;
+      size_t changed =
+          cmd == "insertwhere"
+              ? rdfql::InsertWhere(&mutated, q->templ(), q->pattern())
+              : rdfql::DeleteWhere(&mutated, q->templ(), q->pattern());
+      engine->PutGraph(graph, std::move(mutated));
+      std::printf("%zu triples %s\n", changed,
+                  cmd == "insertwhere" ? "inserted" : "deleted");
+    }
+  } else if (cmd == "optimize") {
+    DoOptimize(engine, graph, rest);
+  } else {
+    std::printf("unknown command: %s\n", cmd.c_str());
+  }
+  return true;
+}
+
+int RunDemo(Engine* engine) {
+  const char* script[] = {
+      "triple g Juan was_born_in Chile",
+      "triple g Juan email juan@puc.cl",
+      "triple g Ana was_born_in Chile",
+      "query g (?x was_born_in Chile) OPT (?x email ?e)",
+      "classify (?x was_born_in Chile) OPT (?x email ?e)",
+      "query g NS((?x was_born_in Chile) UNION ((?x was_born_in Chile) AND "
+      "(?x email ?e)))",
+      "construct g CONSTRUCT { (?x reachable ?e) } WHERE (?x email ?e)",
+      "ask g (Juan email ?e)",
+      "csv g (?x was_born_in ?c)",
+      "explain g ((?x was_born_in Chile) AND (?x email ?e)) FILTER ?x = "
+      "Juan",
+      "optimize g ((?x was_born_in Chile) AND (?x email ?e)) FILTER ?x = "
+      "Juan",
+  };
+  for (const char* line : script) {
+    std::printf("rdfql> %s\n", line);
+    HandleLine(engine, line);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Engine engine;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    return RunDemo(&engine);
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!HandleLine(&engine, line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: configure, build, run the full test suite
+# and every benchmark, recording the outputs the repository's
+# EXPERIMENTS.md refers to.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  echo "================ $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "Done. See test_output.txt and bench_output.txt."

@@ -1,0 +1,201 @@
+#include "algebra/builtin.h"
+
+#include "util/check.h"
+
+namespace rdfql {
+
+BuiltinPtr Builtin::True() {
+  static const BuiltinPtr& instance = *new BuiltinPtr(new Builtin(Kind::kTrue));
+  return instance;
+}
+
+BuiltinPtr Builtin::False() {
+  static const BuiltinPtr& instance =
+      *new BuiltinPtr(new Builtin(Kind::kFalse));
+  return instance;
+}
+
+BuiltinPtr Builtin::Bound(VarId v) {
+  auto* b = new Builtin(Kind::kBound);
+  b->var_ = v;
+  return BuiltinPtr(b);
+}
+
+BuiltinPtr Builtin::EqConst(VarId v, TermId c) {
+  auto* b = new Builtin(Kind::kEqConst);
+  b->var_ = v;
+  b->constant_ = c;
+  return BuiltinPtr(b);
+}
+
+BuiltinPtr Builtin::EqVars(VarId a, VarId b_var) {
+  auto* b = new Builtin(Kind::kEqVars);
+  b->var_ = a;
+  b->var2_ = b_var;
+  return BuiltinPtr(b);
+}
+
+BuiltinPtr Builtin::Not(BuiltinPtr r) {
+  RDFQL_CHECK(r != nullptr);
+  if (r->kind_ == Kind::kTrue) return False();
+  if (r->kind_ == Kind::kFalse) return True();
+  auto* b = new Builtin(Kind::kNot);
+  b->left_ = std::move(r);
+  return BuiltinPtr(b);
+}
+
+BuiltinPtr Builtin::And(BuiltinPtr a, BuiltinPtr b_cond) {
+  RDFQL_CHECK(a != nullptr && b_cond != nullptr);
+  if (a->kind_ == Kind::kFalse || b_cond->kind_ == Kind::kFalse) {
+    return False();
+  }
+  if (a->kind_ == Kind::kTrue) return b_cond;
+  if (b_cond->kind_ == Kind::kTrue) return a;
+  auto* b = new Builtin(Kind::kAnd);
+  b->left_ = std::move(a);
+  b->right_ = std::move(b_cond);
+  return BuiltinPtr(b);
+}
+
+BuiltinPtr Builtin::Or(BuiltinPtr a, BuiltinPtr b_cond) {
+  RDFQL_CHECK(a != nullptr && b_cond != nullptr);
+  if (a->kind_ == Kind::kTrue || b_cond->kind_ == Kind::kTrue) return True();
+  if (a->kind_ == Kind::kFalse) return b_cond;
+  if (b_cond->kind_ == Kind::kFalse) return a;
+  auto* b = new Builtin(Kind::kOr);
+  b->left_ = std::move(a);
+  b->right_ = std::move(b_cond);
+  return BuiltinPtr(b);
+}
+
+BuiltinPtr Builtin::AndAll(const std::vector<BuiltinPtr>& items) {
+  BuiltinPtr acc = True();
+  for (const BuiltinPtr& r : items) acc = And(acc, r);
+  return acc;
+}
+
+BuiltinPtr Builtin::OrAll(const std::vector<BuiltinPtr>& items) {
+  BuiltinPtr acc = False();
+  for (const BuiltinPtr& r : items) acc = Or(acc, r);
+  return acc;
+}
+
+bool Builtin::Eval(const Mapping& m) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kBound:
+      return m.Binds(var_);
+    case Kind::kEqConst: {
+      std::optional<TermId> v = m.Get(var_);
+      return v.has_value() && *v == constant_;
+    }
+    case Kind::kEqVars: {
+      std::optional<TermId> a = m.Get(var_);
+      std::optional<TermId> b = m.Get(var2_);
+      return a.has_value() && b.has_value() && *a == *b;
+    }
+    case Kind::kNot:
+      return !left_->Eval(m);
+    case Kind::kAnd:
+      return left_->Eval(m) && right_->Eval(m);
+    case Kind::kOr:
+      return left_->Eval(m) || right_->Eval(m);
+  }
+  return false;
+}
+
+void Builtin::CollectVars(std::set<VarId>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return;
+    case Kind::kBound:
+      out->insert(var_);
+      return;
+    case Kind::kEqConst:
+      out->insert(var_);
+      return;
+    case Kind::kEqVars:
+      out->insert(var_);
+      out->insert(var2_);
+      return;
+    case Kind::kNot:
+      left_->CollectVars(out);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->CollectVars(out);
+      right_->CollectVars(out);
+      return;
+  }
+}
+
+void Builtin::CollectIris(std::set<TermId>* out) const {
+  switch (kind_) {
+    case Kind::kEqConst:
+      out->insert(constant_);
+      return;
+    case Kind::kNot:
+      left_->CollectIris(out);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->CollectIris(out);
+      right_->CollectIris(out);
+      return;
+    default:
+      return;
+  }
+}
+
+std::string Builtin::ToString(const Dictionary& dict) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kBound:
+      return "bound(?" + dict.VarName(var_) + ")";
+    case Kind::kEqConst:
+      return "?" + dict.VarName(var_) + " = " + dict.IriName(constant_);
+    case Kind::kEqVars:
+      return "?" + dict.VarName(var_) + " = ?" + dict.VarName(var2_);
+    case Kind::kNot:
+      return "!(" + left_->ToString(dict) + ")";
+    case Kind::kAnd:
+      return "(" + left_->ToString(dict) + " & " + right_->ToString(dict) +
+             ")";
+    case Kind::kOr:
+      return "(" + left_->ToString(dict) + " | " + right_->ToString(dict) +
+             ")";
+  }
+  return "?";
+}
+
+bool Builtin::Equal(const BuiltinPtr& a, const BuiltinPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return true;
+    case Kind::kBound:
+      return a->var_ == b->var_;
+    case Kind::kEqConst:
+      return a->var_ == b->var_ && a->constant_ == b->constant_;
+    case Kind::kEqVars:
+      return a->var_ == b->var_ && a->var2_ == b->var2_;
+    case Kind::kNot:
+      return Equal(a->left_, b->left_);
+    case Kind::kAnd:
+    case Kind::kOr:
+      return Equal(a->left_, b->left_) && Equal(a->right_, b->right_);
+  }
+  return false;
+}
+
+}  // namespace rdfql

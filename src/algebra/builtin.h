@@ -1,0 +1,86 @@
+#ifndef RDFQL_ALGEBRA_BUILTIN_H_
+#define RDFQL_ALGEBRA_BUILTIN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/mapping.h"
+#include "rdf/dictionary.h"
+
+namespace rdfql {
+
+class Builtin;
+using BuiltinPtr = std::shared_ptr<const Builtin>;
+
+/// A SPARQL built-in condition R in the fragment of [30] used by the paper:
+/// atoms bound(?X), ?X = c, ?X = ?Y closed under ¬, ∧, ∨, plus the constants
+/// true/false (definable in the fragment, kept primitive for the
+/// transformations of Appendix C).
+///
+/// Nodes are immutable and shared; all construction goes through the static
+/// factories, which also perform the obvious constant foldings.
+class Builtin {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kBound,    // bound(?X)
+    kEqConst,  // ?X = c
+    kEqVars,   // ?X = ?Y
+    kNot,
+    kAnd,
+    kOr,
+  };
+
+  static BuiltinPtr True();
+  static BuiltinPtr False();
+  static BuiltinPtr Bound(VarId v);
+  static BuiltinPtr EqConst(VarId v, TermId c);
+  static BuiltinPtr EqVars(VarId a, VarId b);
+  static BuiltinPtr Not(BuiltinPtr r);
+  static BuiltinPtr And(BuiltinPtr a, BuiltinPtr b);
+  static BuiltinPtr Or(BuiltinPtr a, BuiltinPtr b);
+
+  /// Conjunction / disjunction of a list (empty list = true / false).
+  static BuiltinPtr AndAll(const std::vector<BuiltinPtr>& items);
+  static BuiltinPtr OrAll(const std::vector<BuiltinPtr>& items);
+
+  Kind kind() const { return kind_; }
+  VarId var() const { return var_; }        // kBound, kEqConst, kEqVars
+  VarId var2() const { return var2_; }      // kEqVars
+  TermId constant() const { return constant_; }  // kEqConst
+  const BuiltinPtr& left() const { return left_; }    // kNot/kAnd/kOr
+  const BuiltinPtr& right() const { return right_; }  // kAnd/kOr
+
+  /// µ ⊨ R per Section 2.1 (two-valued: unbound atoms are false, negation
+  /// is classical).
+  bool Eval(const Mapping& m) const;
+
+  /// Adds var(R) into `out`.
+  void CollectVars(std::set<VarId>* out) const;
+
+  /// Adds the IRIs mentioned (the constants of = atoms) into `out`.
+  void CollectIris(std::set<TermId>* out) const;
+
+  /// Renders in the paper's notation, e.g. `(bound(?x) | !(?y = c))`.
+  std::string ToString(const Dictionary& dict) const;
+
+  /// Structural equality.
+  static bool Equal(const BuiltinPtr& a, const BuiltinPtr& b);
+
+ private:
+  explicit Builtin(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  VarId var_ = kInvalidVarId;
+  VarId var2_ = kInvalidVarId;
+  TermId constant_ = kInvalidTermId;
+  BuiltinPtr left_;
+  BuiltinPtr right_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ALGEBRA_BUILTIN_H_

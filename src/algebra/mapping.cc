@@ -1,0 +1,139 @@
+#include "algebra/mapping.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfql {
+
+Mapping Mapping::FromBindings(
+    std::vector<std::pair<VarId, TermId>> bindings) {
+  std::sort(bindings.begin(), bindings.end());
+  Mapping m;
+  for (const auto& [v, t] : bindings) {
+    if (!m.bindings_.empty() && m.bindings_.back().first == v) {
+      RDFQL_CHECK_MSG(m.bindings_.back().second == t,
+                      "conflicting duplicate binding");
+      continue;
+    }
+    m.bindings_.emplace_back(v, t);
+  }
+  return m;
+}
+
+void Mapping::Set(VarId v, TermId t) {
+  auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), v,
+      [](const std::pair<VarId, TermId>& b, VarId key) {
+        return b.first < key;
+      });
+  if (it != bindings_.end() && it->first == v) {
+    it->second = t;
+  } else {
+    bindings_.insert(it, {v, t});
+  }
+}
+
+std::optional<TermId> Mapping::Get(VarId v) const {
+  auto it = std::lower_bound(
+      bindings_.begin(), bindings_.end(), v,
+      [](const std::pair<VarId, TermId>& b, VarId key) {
+        return b.first < key;
+      });
+  if (it != bindings_.end() && it->first == v) return it->second;
+  return std::nullopt;
+}
+
+std::vector<VarId> Mapping::Domain() const {
+  std::vector<VarId> out;
+  out.reserve(bindings_.size());
+  for (const auto& [v, t] : bindings_) out.push_back(v);
+  return out;
+}
+
+bool Mapping::CompatibleWith(const Mapping& other) const {
+  // Merge walk over two sorted binding lists.
+  size_t i = 0, j = 0;
+  while (i < bindings_.size() && j < other.bindings_.size()) {
+    if (bindings_[i].first < other.bindings_[j].first) {
+      ++i;
+    } else if (bindings_[i].first > other.bindings_[j].first) {
+      ++j;
+    } else {
+      if (bindings_[i].second != other.bindings_[j].second) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+Mapping Mapping::UnionWith(const Mapping& other) const {
+  Mapping out;
+  out.bindings_.reserve(bindings_.size() + other.bindings_.size());
+  size_t i = 0, j = 0;
+  while (i < bindings_.size() || j < other.bindings_.size()) {
+    if (j >= other.bindings_.size() ||
+        (i < bindings_.size() &&
+         bindings_[i].first < other.bindings_[j].first)) {
+      out.bindings_.push_back(bindings_[i++]);
+    } else if (i >= bindings_.size() ||
+               bindings_[i].first > other.bindings_[j].first) {
+      out.bindings_.push_back(other.bindings_[j++]);
+    } else {
+      RDFQL_CHECK_MSG(bindings_[i].second == other.bindings_[j].second,
+                      "UnionWith on incompatible mappings");
+      out.bindings_.push_back(bindings_[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool Mapping::SubsumedBy(const Mapping& other) const {
+  if (size() > other.size()) return false;
+  size_t j = 0;
+  for (const auto& [v, t] : bindings_) {
+    while (j < other.bindings_.size() && other.bindings_[j].first < v) ++j;
+    if (j >= other.bindings_.size() || other.bindings_[j].first != v ||
+        other.bindings_[j].second != t) {
+      return false;
+    }
+    ++j;
+  }
+  return true;
+}
+
+Mapping Mapping::RestrictTo(const std::vector<VarId>& vars) const {
+  Mapping out;
+  for (const auto& [v, t] : bindings_) {
+    if (std::find(vars.begin(), vars.end(), v) != vars.end()) {
+      out.bindings_.emplace_back(v, t);
+    }
+  }
+  return out;
+}
+
+std::string Mapping::ToString(const Dictionary& dict) const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [v, t] : bindings_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "?" + dict.VarName(v) + " -> " + dict.IriName(t);
+  }
+  out += "]";
+  return out;
+}
+
+size_t Mapping::Hash() const {
+  uint64_t h = 0x51ed270b76435a81ULL;
+  for (const auto& [v, t] : bindings_) {
+    h = (h ^ v) * 0x9e3779b97f4a7c15ULL;
+    h = (h ^ t) * 0x9e3779b97f4a7c15ULL;
+  }
+  return static_cast<size_t>(h ^ (h >> 32));
+}
+
+}  // namespace rdfql

@@ -1,0 +1,155 @@
+#include "algebra/mapping_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rdfql {
+namespace {
+
+// Variables bound in every mapping of `s` (the certain variables). For an
+// empty set, returns empty — callers handle that case directly.
+std::vector<VarId> CertainVars(const MappingSet& s) {
+  std::vector<VarId> certain;
+  bool first = true;
+  for (const Mapping& m : s) {
+    if (first) {
+      certain = m.Domain();
+      first = false;
+      continue;
+    }
+    std::vector<VarId> dom = m.Domain();
+    std::vector<VarId> keep;
+    std::set_intersection(certain.begin(), certain.end(), dom.begin(),
+                          dom.end(), std::back_inserter(keep));
+    certain.swap(keep);
+    if (certain.empty()) break;
+  }
+  return certain;
+}
+
+// Hash of µ restricted to `vars` (vars ⊆ dom(µ) guaranteed by caller).
+uint64_t KeyHash(const Mapping& m, const std::vector<VarId>& vars) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (VarId v : vars) {
+    h = (h ^ *m.Get(v)) * 0x9e3779b97f4a7c15ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+MappingSet MappingSet::FromList(const std::vector<Mapping>& mappings) {
+  MappingSet out;
+  for (const Mapping& m : mappings) out.Add(m);
+  return out;
+}
+
+bool MappingSet::Add(const Mapping& m) {
+  if (!set_.insert(m).second) return false;
+  items_.push_back(m);
+  return true;
+}
+
+MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  if (a.empty() || b.empty()) return out;
+
+  // Partition on variables certainly bound on both sides; mappings inside a
+  // bucket still get the full compatibility check for the remaining
+  // (optional) variables.
+  std::vector<VarId> ca = CertainVars(a);
+  std::vector<VarId> cb = CertainVars(b);
+  std::vector<VarId> shared;
+  std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(),
+                        std::back_inserter(shared));
+
+  if (shared.empty()) return JoinNestedLoop(a, b);
+
+  const MappingSet& build = a.size() <= b.size() ? a : b;
+  const MappingSet& probe = a.size() <= b.size() ? b : a;
+
+  std::unordered_map<uint64_t, std::vector<const Mapping*>> table;
+  for (const Mapping& m : build) {
+    table[KeyHash(m, shared)].push_back(&m);
+  }
+  for (const Mapping& m : probe) {
+    auto it = table.find(KeyHash(m, shared));
+    if (it == table.end()) continue;
+    for (const Mapping* other : it->second) {
+      if (m.CompatibleWith(*other)) out.Add(m.UnionWith(*other));
+    }
+  }
+  return out;
+}
+
+MappingSet MappingSet::JoinNestedLoop(const MappingSet& a,
+                                      const MappingSet& b) {
+  MappingSet out;
+  for (const Mapping& m1 : a) {
+    for (const Mapping& m2 : b) {
+      if (m1.CompatibleWith(m2)) out.Add(m1.UnionWith(m2));
+    }
+  }
+  return out;
+}
+
+MappingSet MappingSet::UnionSets(const MappingSet& a, const MappingSet& b) {
+  MappingSet out = a;
+  for (const Mapping& m : b) out.Add(m);
+  return out;
+}
+
+MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const Mapping& m1 : a) {
+    bool incompatible_with_all = true;
+    for (const Mapping& m2 : b) {
+      if (m1.CompatibleWith(m2)) {
+        incompatible_with_all = false;
+        break;
+      }
+    }
+    if (incompatible_with_all) out.Add(m1);
+  }
+  return out;
+}
+
+MappingSet MappingSet::LeftOuterJoin(const MappingSet& a,
+                                     const MappingSet& b) {
+  return UnionSets(Join(a, b), Minus(a, b));
+}
+
+bool MappingSet::Subsumed(const MappingSet& a, const MappingSet& b) {
+  for (const Mapping& m1 : a) {
+    bool found = false;
+    for (const Mapping& m2 : b) {
+      if (m1.SubsumedBy(m2)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool operator==(const MappingSet& a, const MappingSet& b) {
+  if (a.size() != b.size()) return false;
+  for (const Mapping& m : a) {
+    if (!b.Contains(m)) return false;
+  }
+  return true;
+}
+
+std::string MappingSet::ToString(const Dictionary& dict) const {
+  std::vector<Mapping> sorted = items_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const Mapping& m : sorted) {
+    out += m.ToString(dict);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rdfql

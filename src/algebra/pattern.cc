@@ -1,0 +1,401 @@
+#include "algebra/pattern.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+std::vector<VarId> SortedUnion(const std::vector<VarId>& a,
+                               const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<VarId> SortedIntersection(const std::vector<VarId>& a,
+                                      const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Term RenameTerm(Term t, const std::map<VarId, VarId>& renaming) {
+  if (!t.is_var()) return t;
+  auto it = renaming.find(t.var());
+  return it == renaming.end() ? t : Term::Var(it->second);
+}
+
+BuiltinPtr RenameBuiltin(const BuiltinPtr& r,
+                         const std::map<VarId, VarId>& renaming) {
+  auto rename = [&renaming](VarId v) {
+    auto it = renaming.find(v);
+    return it == renaming.end() ? v : it->second;
+  };
+  switch (r->kind()) {
+    case Builtin::Kind::kTrue:
+    case Builtin::Kind::kFalse:
+      return r;
+    case Builtin::Kind::kBound:
+      return Builtin::Bound(rename(r->var()));
+    case Builtin::Kind::kEqConst:
+      return Builtin::EqConst(rename(r->var()), r->constant());
+    case Builtin::Kind::kEqVars:
+      return Builtin::EqVars(rename(r->var()), rename(r->var2()));
+    case Builtin::Kind::kNot:
+      return Builtin::Not(RenameBuiltin(r->left(), renaming));
+    case Builtin::Kind::kAnd:
+      return Builtin::And(RenameBuiltin(r->left(), renaming),
+                          RenameBuiltin(r->right(), renaming));
+    case Builtin::Kind::kOr:
+      return Builtin::Or(RenameBuiltin(r->left(), renaming),
+                         RenameBuiltin(r->right(), renaming));
+  }
+  return r;
+}
+
+Term BindTerm(Term t, const std::map<VarId, TermId>& bindings) {
+  if (!t.is_var()) return t;
+  auto it = bindings.find(t.var());
+  return it == bindings.end() ? t : Term::Iri(it->second);
+}
+
+BuiltinPtr BindBuiltin(const BuiltinPtr& r,
+                       const std::map<VarId, TermId>& bindings) {
+  auto lookup = [&bindings](VarId v) {
+    auto it = bindings.find(v);
+    return it == bindings.end() ? std::optional<TermId>()
+                                : std::optional<TermId>(it->second);
+  };
+  switch (r->kind()) {
+    case Builtin::Kind::kTrue:
+    case Builtin::Kind::kFalse:
+      return r;
+    case Builtin::Kind::kBound: {
+      return lookup(r->var()).has_value() ? Builtin::True() : r;
+    }
+    case Builtin::Kind::kEqConst: {
+      std::optional<TermId> v = lookup(r->var());
+      if (!v.has_value()) return r;
+      return *v == r->constant() ? Builtin::True() : Builtin::False();
+    }
+    case Builtin::Kind::kEqVars: {
+      std::optional<TermId> a = lookup(r->var());
+      std::optional<TermId> b = lookup(r->var2());
+      if (a.has_value() && b.has_value()) {
+        return *a == *b ? Builtin::True() : Builtin::False();
+      }
+      if (a.has_value()) return Builtin::EqConst(r->var2(), *a);
+      if (b.has_value()) return Builtin::EqConst(r->var(), *b);
+      return r;
+    }
+    case Builtin::Kind::kNot:
+      return Builtin::Not(BindBuiltin(r->left(), bindings));
+    case Builtin::Kind::kAnd:
+      return Builtin::And(BindBuiltin(r->left(), bindings),
+                          BindBuiltin(r->right(), bindings));
+    case Builtin::Kind::kOr:
+      return Builtin::Or(BindBuiltin(r->left(), bindings),
+                         BindBuiltin(r->right(), bindings));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<VarId> TriplePatternVars(const TriplePattern& t) {
+  std::vector<VarId> out;
+  if (t.s.is_var()) out.push_back(t.s.var());
+  if (t.p.is_var()) out.push_back(t.p.var());
+  if (t.o.is_var()) out.push_back(t.o.var());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Triple Instantiate(const TriplePattern& t, const Mapping& m) {
+  auto value = [&m](Term term) -> TermId {
+    if (term.is_var()) {
+      std::optional<TermId> v = m.Get(term.var());
+      RDFQL_CHECK_MSG(v.has_value(), "Instantiate: unbound variable");
+      return *v;
+    }
+    return term.iri();
+  };
+  return Triple(value(t.s), value(t.p), value(t.o));
+}
+
+PatternPtr Pattern::MakeTriple(const TriplePattern& t) {
+  auto* p = new Pattern(PatternKind::kTriple);
+  p->triple_ = t;
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::And(PatternPtr l, PatternPtr r) {
+  RDFQL_CHECK(l != nullptr && r != nullptr);
+  auto* p = new Pattern(PatternKind::kAnd);
+  p->left_ = std::move(l);
+  p->right_ = std::move(r);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::Union(PatternPtr l, PatternPtr r) {
+  RDFQL_CHECK(l != nullptr && r != nullptr);
+  auto* p = new Pattern(PatternKind::kUnion);
+  p->left_ = std::move(l);
+  p->right_ = std::move(r);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::Opt(PatternPtr l, PatternPtr r) {
+  RDFQL_CHECK(l != nullptr && r != nullptr);
+  auto* p = new Pattern(PatternKind::kOpt);
+  p->left_ = std::move(l);
+  p->right_ = std::move(r);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::Minus(PatternPtr l, PatternPtr r) {
+  RDFQL_CHECK(l != nullptr && r != nullptr);
+  auto* p = new Pattern(PatternKind::kMinus);
+  p->left_ = std::move(l);
+  p->right_ = std::move(r);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::Filter(PatternPtr child, BuiltinPtr condition) {
+  RDFQL_CHECK(child != nullptr && condition != nullptr);
+  auto* p = new Pattern(PatternKind::kFilter);
+  p->left_ = std::move(child);
+  p->condition_ = std::move(condition);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::Select(std::vector<VarId> vars, PatternPtr child) {
+  RDFQL_CHECK(child != nullptr);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  auto* p = new Pattern(PatternKind::kSelect);
+  p->left_ = std::move(child);
+  p->projection_ = std::move(vars);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::Ns(PatternPtr child) {
+  RDFQL_CHECK(child != nullptr);
+  auto* p = new Pattern(PatternKind::kNs);
+  p->left_ = std::move(child);
+  p->ComputeVarCaches();
+  return PatternPtr(p);
+}
+
+PatternPtr Pattern::AndAll(const std::vector<PatternPtr>& items) {
+  RDFQL_CHECK(!items.empty());
+  PatternPtr acc = items[0];
+  for (size_t i = 1; i < items.size(); ++i) acc = And(acc, items[i]);
+  return acc;
+}
+
+PatternPtr Pattern::UnionAll(const std::vector<PatternPtr>& items) {
+  RDFQL_CHECK(!items.empty());
+  PatternPtr acc = items[0];
+  for (size_t i = 1; i < items.size(); ++i) acc = Union(acc, items[i]);
+  return acc;
+}
+
+void Pattern::ComputeVarCaches() {
+  switch (kind_) {
+    case PatternKind::kTriple:
+      vars_ = TriplePatternVars(triple_);
+      scope_vars_ = vars_;
+      return;
+    case PatternKind::kAnd:
+    case PatternKind::kUnion:
+    case PatternKind::kOpt:
+      vars_ = SortedUnion(left_->vars_, right_->vars_);
+      scope_vars_ = SortedUnion(left_->scope_vars_, right_->scope_vars_);
+      return;
+    case PatternKind::kMinus:
+      vars_ = SortedUnion(left_->vars_, right_->vars_);
+      scope_vars_ = left_->scope_vars_;
+      return;
+    case PatternKind::kFilter: {
+      std::set<VarId> cond_vars;
+      condition_->CollectVars(&cond_vars);
+      std::vector<VarId> cv(cond_vars.begin(), cond_vars.end());
+      vars_ = SortedUnion(left_->vars_, cv);
+      scope_vars_ = left_->scope_vars_;
+      return;
+    }
+    case PatternKind::kSelect:
+      vars_ = SortedUnion(left_->vars_, projection_);
+      scope_vars_ = SortedIntersection(left_->scope_vars_, projection_);
+      return;
+    case PatternKind::kNs:
+      vars_ = left_->vars_;
+      scope_vars_ = left_->scope_vars_;
+      return;
+  }
+}
+
+std::vector<TermId> Pattern::Iris() const {
+  std::set<TermId> acc;
+  // Iterative DFS to avoid building the set recursively at every level.
+  std::vector<const Pattern*> stack = {this};
+  while (!stack.empty()) {
+    const Pattern* p = stack.back();
+    stack.pop_back();
+    switch (p->kind_) {
+      case PatternKind::kTriple:
+        if (p->triple_.s.is_iri()) acc.insert(p->triple_.s.iri());
+        if (p->triple_.p.is_iri()) acc.insert(p->triple_.p.iri());
+        if (p->triple_.o.is_iri()) acc.insert(p->triple_.o.iri());
+        break;
+      case PatternKind::kFilter:
+        p->condition_->CollectIris(&acc);
+        stack.push_back(p->left_.get());
+        break;
+      case PatternKind::kSelect:
+      case PatternKind::kNs:
+        stack.push_back(p->left_.get());
+        break;
+      default:
+        stack.push_back(p->left_.get());
+        stack.push_back(p->right_.get());
+        break;
+    }
+  }
+  return std::vector<TermId>(acc.begin(), acc.end());
+}
+
+size_t Pattern::SizeInNodes() const {
+  switch (kind_) {
+    case PatternKind::kTriple:
+      return 1;
+    case PatternKind::kFilter:
+    case PatternKind::kSelect:
+    case PatternKind::kNs:
+      return 1 + left_->SizeInNodes();
+    default:
+      return 1 + left_->SizeInNodes() + right_->SizeInNodes();
+  }
+}
+
+bool Pattern::Uses(PatternKind op) const {
+  if (kind_ == op) return true;
+  switch (kind_) {
+    case PatternKind::kTriple:
+      return false;
+    case PatternKind::kFilter:
+    case PatternKind::kSelect:
+    case PatternKind::kNs:
+      return left_->Uses(op);
+    default:
+      return left_->Uses(op) || right_->Uses(op);
+  }
+}
+
+bool Pattern::Equal(const PatternPtr& a, const PatternPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case PatternKind::kTriple:
+      return a->triple_ == b->triple_;
+    case PatternKind::kFilter:
+      return Builtin::Equal(a->condition_, b->condition_) &&
+             Equal(a->left_, b->left_);
+    case PatternKind::kSelect:
+      return a->projection_ == b->projection_ && Equal(a->left_, b->left_);
+    case PatternKind::kNs:
+      return Equal(a->left_, b->left_);
+    default:
+      return Equal(a->left_, b->left_) && Equal(a->right_, b->right_);
+  }
+}
+
+PatternPtr Pattern::RenameVars(const PatternPtr& p,
+                               const std::map<VarId, VarId>& renaming) {
+  switch (p->kind_) {
+    case PatternKind::kTriple:
+      return MakeTriple(RenameTerm(p->triple_.s, renaming),
+                        RenameTerm(p->triple_.p, renaming),
+                        RenameTerm(p->triple_.o, renaming));
+    case PatternKind::kAnd:
+      return And(RenameVars(p->left_, renaming),
+                 RenameVars(p->right_, renaming));
+    case PatternKind::kUnion:
+      return Union(RenameVars(p->left_, renaming),
+                   RenameVars(p->right_, renaming));
+    case PatternKind::kOpt:
+      return Opt(RenameVars(p->left_, renaming),
+                 RenameVars(p->right_, renaming));
+    case PatternKind::kMinus:
+      return Minus(RenameVars(p->left_, renaming),
+                   RenameVars(p->right_, renaming));
+    case PatternKind::kFilter:
+      return Filter(RenameVars(p->left_, renaming),
+                    RenameBuiltin(p->condition_, renaming));
+    case PatternKind::kSelect: {
+      std::vector<VarId> proj;
+      proj.reserve(p->projection_.size());
+      for (VarId v : p->projection_) {
+        auto it = renaming.find(v);
+        proj.push_back(it == renaming.end() ? v : it->second);
+      }
+      return Select(std::move(proj), RenameVars(p->left_, renaming));
+    }
+    case PatternKind::kNs:
+      return Ns(RenameVars(p->left_, renaming));
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return nullptr;
+}
+
+PatternPtr Pattern::BindVars(const PatternPtr& p,
+                             const std::map<VarId, TermId>& bindings) {
+  switch (p->kind_) {
+    case PatternKind::kTriple:
+      return MakeTriple(BindTerm(p->triple_.s, bindings),
+                        BindTerm(p->triple_.p, bindings),
+                        BindTerm(p->triple_.o, bindings));
+    case PatternKind::kAnd:
+      return And(BindVars(p->left_, bindings),
+                 BindVars(p->right_, bindings));
+    case PatternKind::kUnion:
+      return Union(BindVars(p->left_, bindings),
+                   BindVars(p->right_, bindings));
+    case PatternKind::kOpt:
+      return Opt(BindVars(p->left_, bindings),
+                 BindVars(p->right_, bindings));
+    case PatternKind::kMinus:
+      return Minus(BindVars(p->left_, bindings),
+                   BindVars(p->right_, bindings));
+    case PatternKind::kFilter:
+      return Filter(BindVars(p->left_, bindings),
+                    BindBuiltin(p->condition_, bindings));
+    case PatternKind::kSelect: {
+      std::vector<VarId> projection;
+      for (VarId v : p->projection_) {
+        if (bindings.find(v) == bindings.end()) projection.push_back(v);
+      }
+      return Select(std::move(projection), BindVars(p->left_, bindings));
+    }
+    case PatternKind::kNs:
+      return Ns(BindVars(p->left_, bindings));
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return nullptr;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,131 @@
+#ifndef RDFQL_ALGEBRA_PATTERN_H_
+#define RDFQL_ALGEBRA_PATTERN_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "algebra/builtin.h"
+#include "rdf/triple.h"
+
+namespace rdfql {
+
+class Pattern;
+using PatternPtr = std::shared_ptr<const Pattern>;
+
+/// Operators of NS-SPARQL graph patterns (Sections 2.1 and 5.1).
+///
+/// `kMinus` is the derived difference operator of Appendix D
+/// (P1 MINUS P2 keeps the mappings of P1 incompatible with every mapping of
+/// P2). We keep it as a first-class node — `DesugarMinus` in
+/// transform/opt_rewriter.h rewrites it into the paper's OPT+FILTER
+/// encoding, and the fragment classifier treats it as requiring OPT+FILTER.
+enum class PatternKind {
+  kTriple,
+  kAnd,
+  kUnion,
+  kOpt,
+  kFilter,
+  kSelect,
+  kNs,
+  kMinus,
+};
+
+/// An immutable SPARQL/NS-SPARQL graph pattern node.
+///
+/// Nodes are shared (`shared_ptr<const Pattern>`), so the transformation
+/// passes — some of which are intentionally exponential, mirroring the
+/// paper's constructions — share subtrees instead of copying them.
+/// Per-node caches of var(P) (all mentioned variables) and scope(P) (the
+/// variables that may appear in an answer's domain) are computed at
+/// construction.
+class Pattern {
+ public:
+  // --- Factories (the only way to construct nodes) ---
+  static PatternPtr MakeTriple(const TriplePattern& t);
+  static PatternPtr MakeTriple(Term s, Term p, Term o) {
+    return MakeTriple(TriplePattern(s, p, o));
+  }
+  static PatternPtr And(PatternPtr l, PatternPtr r);
+  static PatternPtr Union(PatternPtr l, PatternPtr r);
+  static PatternPtr Opt(PatternPtr l, PatternPtr r);
+  static PatternPtr Minus(PatternPtr l, PatternPtr r);
+  static PatternPtr Filter(PatternPtr child, BuiltinPtr condition);
+  static PatternPtr Select(std::vector<VarId> vars, PatternPtr child);
+  static PatternPtr Ns(PatternPtr child);
+
+  /// Left-deep AND / UNION of a non-empty list.
+  static PatternPtr AndAll(const std::vector<PatternPtr>& items);
+  static PatternPtr UnionAll(const std::vector<PatternPtr>& items);
+
+  // --- Accessors ---
+  PatternKind kind() const { return kind_; }
+  const TriplePattern& triple() const { return triple_; }
+  const PatternPtr& left() const { return left_; }
+  const PatternPtr& right() const { return right_; }
+  const PatternPtr& child() const { return left_; }
+  const BuiltinPtr& condition() const { return condition_; }
+  /// Projection list of a kSelect node, sorted.
+  const std::vector<VarId>& projection() const { return projection_; }
+
+  /// var(P): every variable mentioned in P (triples, conditions,
+  /// projection lists), sorted.
+  const std::vector<VarId>& Vars() const { return vars_; }
+
+  /// scope(P): the variables that can occur in the domain of an answer
+  /// mapping (projection cuts this down; MINUS keeps only the left side).
+  const std::vector<VarId>& ScopeVars() const { return scope_vars_; }
+
+  /// I(P): every IRI mentioned in P, sorted.
+  std::vector<TermId> Iris() const;
+
+  /// Number of AST nodes (used by the blow-up benchmarks).
+  size_t SizeInNodes() const;
+
+  /// True if `op` occurs anywhere in the pattern ("O-free" checks).
+  bool Uses(PatternKind op) const;
+
+  /// Structural equality (not semantic equivalence).
+  static bool Equal(const PatternPtr& a, const PatternPtr& b);
+
+  /// Replaces every occurrence of each variable per `renaming` (applies to
+  /// triples, filter conditions and projection lists). Variables not in the
+  /// map are kept.
+  static PatternPtr RenameVars(const PatternPtr& p,
+                               const std::map<VarId, VarId>& renaming);
+
+  /// Parameter binding (prepared-query style): substitutes IRIs for
+  /// variables. Triple positions become constants; filter atoms over bound
+  /// variables partially evaluate (bound(?x) → true, ?x = c → true/false,
+  /// ?x = ?y → ?y = value); bound variables drop out of projections. For
+  /// patterns in the monotone fragments,
+  ///   ⟦BindVars(P, σ)⟧G = { µ|_{var(P) ∖ dom σ} : µ ∈ ⟦P⟧G, σ ⪯ µ }.
+  static PatternPtr BindVars(const PatternPtr& p,
+                             const std::map<VarId, TermId>& bindings);
+
+ private:
+  explicit Pattern(PatternKind kind) : kind_(kind) {}
+
+  void ComputeVarCaches();
+
+  PatternKind kind_;
+  TriplePattern triple_;
+  PatternPtr left_;
+  PatternPtr right_;
+  BuiltinPtr condition_;
+  std::vector<VarId> projection_;
+
+  std::vector<VarId> vars_;
+  std::vector<VarId> scope_vars_;
+};
+
+/// Convenience: sorted var(t) of a triple pattern.
+std::vector<VarId> TriplePatternVars(const TriplePattern& t);
+
+/// µ(t): instantiates a triple pattern under µ; requires var(t) ⊆ dom(µ).
+Triple Instantiate(const TriplePattern& t, const Mapping& m);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ALGEBRA_PATTERN_H_

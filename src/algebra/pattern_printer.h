@@ -1,0 +1,37 @@
+#ifndef RDFQL_ALGEBRA_PATTERN_PRINTER_H_
+#define RDFQL_ALGEBRA_PATTERN_PRINTER_H_
+
+#include <string>
+
+#include "algebra/mapping_set.h"
+#include "algebra/pattern.h"
+
+namespace rdfql {
+
+/// Renders a pattern in the paper's concrete syntax, fully parenthesized,
+/// e.g. `((?x founder ?o) AND ((?o stands_for w) OPT (?x email ?e)))`.
+/// The output round-trips through `ParsePattern`.
+std::string PatternToString(const PatternPtr& pattern,
+                            const Dictionary& dict);
+
+/// Renders an IRI as a token: bare if it is a plain word, `<...>` otherwise.
+std::string IriToken(const std::string& iri);
+
+/// Renders a triple pattern as `(s p o)`.
+std::string TriplePatternToString(const TriplePattern& t,
+                                  const Dictionary& dict);
+
+/// Renders a CONSTRUCT query (`CONSTRUCT { ... } WHERE ...`); the output
+/// round-trips through `ParseConstruct`.
+std::string ConstructToString(const std::vector<TriplePattern>& templ,
+                              const PatternPtr& where,
+                              const Dictionary& dict);
+
+/// Renders a mapping set as the tabular notation used by the paper's
+/// examples: one column per variable (sorted by name), one row per mapping,
+/// blank cells for unbound variables. Rows are sorted for stability.
+std::string MappingTable(const MappingSet& result, const Dictionary& dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ALGEBRA_PATTERN_PRINTER_H_

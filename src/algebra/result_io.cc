@@ -1,0 +1,121 @@
+#include "algebra/result_io.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rdfql {
+namespace {
+
+std::vector<VarId> SortedColumns(const MappingSet& result,
+                                 const Dictionary& dict) {
+  std::set<VarId> vars;
+  for (const Mapping& m : result) {
+    for (const auto& [v, t] : m.bindings()) vars.insert(v);
+  }
+  std::vector<VarId> columns(vars.begin(), vars.end());
+  std::sort(columns.begin(), columns.end(), [&dict](VarId a, VarId b) {
+    return dict.VarName(a) < dict.VarName(b);
+  });
+  return columns;
+}
+
+std::vector<Mapping> SortedRows(const MappingSet& result) {
+  std::vector<Mapping> rows = result.mappings();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string CsvEscape(const std::string& value) {
+  bool needs_quotes = value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsv(const MappingSet& result, const Dictionary& dict) {
+  std::vector<VarId> columns = SortedColumns(result, dict);
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ',';
+    out += CsvEscape(dict.VarName(columns[c]));
+  }
+  out += '\n';
+  for (const Mapping& m : SortedRows(result)) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out += ',';
+      std::optional<TermId> t = m.Get(columns[c]);
+      if (t.has_value()) out += CsvEscape(dict.IriName(*t));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WriteResultsJson(const MappingSet& result,
+                             const Dictionary& dict) {
+  std::vector<VarId> columns = SortedColumns(result, dict);
+  std::string out = "{\"head\":{\"vars\":[";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ',';
+    out += '"' + JsonEscape(dict.VarName(columns[c])) + '"';
+  }
+  out += "]},\"results\":{\"bindings\":[";
+  bool first_row = true;
+  for (const Mapping& m : SortedRows(result)) {
+    if (!first_row) out += ',';
+    first_row = false;
+    out += '{';
+    bool first_cell = true;
+    for (const auto& [v, t] : m.bindings()) {
+      if (!first_cell) out += ',';
+      first_cell = false;
+      out += '"' + JsonEscape(dict.VarName(v)) +
+             "\":{\"type\":\"iri\",\"value\":\"" +
+             JsonEscape(dict.IriName(t)) + "\"}";
+    }
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,27 @@
+#ifndef RDFQL_ALGEBRA_RESULT_IO_H_
+#define RDFQL_ALGEBRA_RESULT_IO_H_
+
+#include <string>
+
+#include "algebra/mapping_set.h"
+
+namespace rdfql {
+
+/// Serializes a result set as CSV: a header row with the variable names
+/// (sorted), then one row per mapping with empty cells for unbound
+/// variables. Values containing commas, quotes or newlines are quoted per
+/// RFC 4180. Rows are sorted for determinism.
+std::string WriteCsv(const MappingSet& result, const Dictionary& dict);
+
+/// Serializes a result set in the spirit of the W3C "SPARQL Query Results
+/// JSON" format:
+///   {"head":{"vars":[...]},
+///    "results":{"bindings":[{"x":{"type":"iri","value":"..."}, ...}]}}
+/// Unbound variables are omitted from their binding object, like the
+/// standard does. Rows are sorted for determinism.
+std::string WriteResultsJson(const MappingSet& result,
+                             const Dictionary& dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ALGEBRA_RESULT_IO_H_

@@ -1,0 +1,186 @@
+#include "analysis/containment.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/fragments.h"
+#include "eval/evaluator.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+Status NotConjunctive() {
+  return Status::Unsupported(
+      "pattern is outside the conjunctive (AND-only) fragment");
+}
+
+Status CollectTriples(const Pattern& p, std::vector<TriplePattern>* out) {
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      out->push_back(p.triple());
+      return Status::Ok();
+    case PatternKind::kAnd:
+      RDFQL_RETURN_IF_ERROR(CollectTriples(*p.left(), out));
+      return CollectTriples(*p.right(), out);
+    default:
+      return NotConjunctive();
+  }
+}
+
+}  // namespace
+
+Result<CqView> ExtractCq(const PatternPtr& pattern) {
+  RDFQL_CHECK(pattern != nullptr);
+  CqView view;
+  const Pattern* body = pattern.get();
+  if (body->kind() == PatternKind::kSelect) {
+    view.head = body->ScopeVars();
+    body = body->child().get();
+  }
+  RDFQL_RETURN_IF_ERROR(CollectTriples(*body, &view.triples));
+  if (pattern->kind() != PatternKind::kSelect) {
+    view.head = pattern->ScopeVars();
+  }
+  return view;
+}
+
+bool CqContained(const CqView& q1, const CqView& q2, Dictionary* dict) {
+  // Containment requires comparable heads.
+  if (q1.head != q2.head) return false;
+
+  // Freeze Q1: map each variable to a fresh IRI and materialize the
+  // canonical graph.
+  std::map<VarId, TermId> frozen;
+  auto freeze = [&frozen, dict](Term t) -> TermId {
+    if (!t.is_var()) return t.iri();
+    auto it = frozen.find(t.var());
+    if (it != frozen.end()) return it->second;
+    TermId id = dict->FreshIri("frz_" + dict->VarName(t.var()));
+    frozen[t.var()] = id;
+    return id;
+  };
+  Graph canonical;
+  for (const TriplePattern& t : q1.triples) {
+    canonical.Insert(freeze(t.s), freeze(t.p), freeze(t.o));
+  }
+
+  // Q1 ⊑ Q2 iff the frozen head of Q1 is an answer of Q2 over the
+  // canonical graph (the classical Chandra–Merlin argument).
+  std::vector<PatternPtr> triples;
+  for (const TriplePattern& t : q2.triples) {
+    triples.push_back(Pattern::MakeTriple(t));
+  }
+  RDFQL_CHECK(!triples.empty());
+  PatternPtr q2_pattern =
+      Pattern::Select(q2.head, Pattern::AndAll(triples));
+
+  Mapping frozen_head;
+  for (VarId v : q1.head) {
+    auto it = frozen.find(v);
+    // A head variable that does not occur in the body can never be bound;
+    // both sides then produce no bindings for it, which the evaluator
+    // handles by simply not producing answers — treat as not contained.
+    if (it == frozen.end()) return false;
+    frozen_head.Set(v, it->second);
+  }
+  return EvalPattern(canonical, q2_pattern).Contains(frozen_head);
+}
+
+bool CqEquivalent(const CqView& q1, const CqView& q2, Dictionary* dict) {
+  return CqContained(q1, q2, dict) && CqContained(q2, q1, dict);
+}
+
+Result<bool> UcqPatternContained(const PatternPtr& p1, const PatternPtr& p2,
+                                 Dictionary* dict) {
+  std::vector<CqView> left, right;
+  for (const PatternPtr& d : TopLevelDisjuncts(p1)) {
+    RDFQL_ASSIGN_OR_RETURN(CqView v, ExtractCq(d));
+    left.push_back(std::move(v));
+  }
+  for (const PatternPtr& d : TopLevelDisjuncts(p2)) {
+    RDFQL_ASSIGN_OR_RETURN(CqView v, ExtractCq(d));
+    right.push_back(std::move(v));
+  }
+  for (const CqView& l : left) {
+    bool covered = false;
+    for (const CqView& r : right) {
+      if (CqContained(l, r, dict)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+Result<bool> UcqPatternEquivalent(const PatternPtr& p1,
+                                  const PatternPtr& p2, Dictionary* dict) {
+  RDFQL_ASSIGN_OR_RETURN(bool forward, UcqPatternContained(p1, p2, dict));
+  if (!forward) return false;
+  return UcqPatternContained(p2, p1, dict);
+}
+
+CqView MinimizeCq(const CqView& query, Dictionary* dict) {
+  CqView current = query;
+  bool changed = true;
+  while (changed && current.triples.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.triples.size(); ++i) {
+      CqView candidate = current;
+      candidate.triples.erase(candidate.triples.begin() + i);
+      // Dropping an atom always relaxes the query (candidate ⊒ current);
+      // it is safe iff the relaxation is still contained in the original.
+      if (CqContained(candidate, current, dict)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+PatternPtr CqToPattern(const CqView& query) {
+  RDFQL_CHECK(!query.triples.empty());
+  std::vector<PatternPtr> triples;
+  for (const TriplePattern& t : query.triples) {
+    triples.push_back(Pattern::MakeTriple(t));
+  }
+  PatternPtr body = Pattern::AndAll(triples);
+  if (query.head == body->Vars()) return body;
+  return Pattern::Select(query.head, body);
+}
+
+PatternPtr MinimizeUnion(const PatternPtr& pattern, Dictionary* dict) {
+  std::vector<PatternPtr> disjuncts = TopLevelDisjuncts(pattern);
+  if (disjuncts.size() <= 1) return pattern;
+
+  std::vector<Result<CqView>> views;
+  views.reserve(disjuncts.size());
+  for (const PatternPtr& d : disjuncts) views.push_back(ExtractCq(d));
+
+  std::vector<bool> dead(disjuncts.size(), false);
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (!views[i].ok() || dead[i]) continue;
+    for (size_t j = 0; j < disjuncts.size(); ++j) {
+      if (i == j || dead[j] || !views[j].ok()) continue;
+      // Drop i if it is contained in j. Ties (mutual containment) keep the
+      // lower index.
+      if (CqContained(views[i].value(), views[j].value(), dict) &&
+          !(j > i && CqContained(views[j].value(), views[i].value(), dict))) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<PatternPtr> kept;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (!dead[i]) kept.push_back(disjuncts[i]);
+  }
+  RDFQL_CHECK(!kept.empty());
+  return Pattern::UnionAll(kept);
+}
+
+}  // namespace rdfql

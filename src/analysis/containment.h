@@ -1,0 +1,65 @@
+#ifndef RDFQL_ANALYSIS_CONTAINMENT_H_
+#define RDFQL_ANALYSIS_CONTAINMENT_H_
+
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// A conjunctive-query view of a pattern: a set of triple patterns with a
+/// projection (head) — the fragment where containment is decidable by the
+/// classical freezing/homomorphism argument (NP-complete, like Eval for
+/// SPARQL[A], Section 7's backdrop). Extractable from AND-only patterns,
+/// optionally under one top-level SELECT.
+struct CqView {
+  std::vector<TriplePattern> triples;
+  std::vector<VarId> head;  // sorted output variables
+};
+
+/// Extracts the CQ view; fails with Unsupported for patterns outside the
+/// conjunctive fragment (UNION/OPT/MINUS/FILTER/NS, or nested SELECT).
+Result<CqView> ExtractCq(const PatternPtr& pattern);
+
+/// Decides Q1 ⊑ Q2 (for every graph G, ⟦Q1⟧G ⊆ ⟦Q2⟧G) exactly, by
+/// freezing Q1 into its canonical graph and evaluating Q2 over it.
+/// Fresh frozen IRIs are interned in `dict`.
+bool CqContained(const CqView& q1, const CqView& q2, Dictionary* dict);
+
+/// Q1 ≡ Q2 on every graph.
+bool CqEquivalent(const CqView& q1, const CqView& q2, Dictionary* dict);
+
+/// Classical CQ minimization (computing the core): repeatedly drops a
+/// triple atom if the reduced query is still equivalent to the original
+/// (checked exactly with `CqContained`). The result is the unique core up
+/// to renaming. Runs in O(atoms² · hom-check).
+CqView MinimizeCq(const CqView& query, Dictionary* dict);
+
+/// Builds the SPARQL pattern of a CQ view: (SELECT head WHERE (AND of
+/// triples)); if the head equals all variables, the SELECT is omitted.
+PatternPtr CqToPattern(const CqView& query);
+
+/// Exact containment for UCQ-shaped patterns (UNION-normal-form patterns
+/// whose disjuncts are conjunctive, possibly under one SELECT): p1 ⊑ p2
+/// iff every disjunct of p1 is CQ-contained in some disjunct of p2 — the
+/// classical UCQ containment criterion, sound and complete for this
+/// fragment. Fails with Unsupported outside it.
+Result<bool> UcqPatternContained(const PatternPtr& p1, const PatternPtr& p2,
+                                 Dictionary* dict);
+
+/// Exact equivalence for UCQ-shaped patterns.
+Result<bool> UcqPatternEquivalent(const PatternPtr& p1,
+                                  const PatternPtr& p2, Dictionary* dict);
+
+/// Removes from a UNION of patterns every disjunct whose CQ view is
+/// contained in another disjunct's (sound for plain UNION semantics and
+/// for NS(U): dropping set-contained answers changes neither the union of
+/// answers nor its maximal elements). Disjuncts outside the conjunctive
+/// fragment are kept untouched.
+PatternPtr MinimizeUnion(const PatternPtr& pattern, Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ANALYSIS_CONTAINMENT_H_

@@ -1,0 +1,193 @@
+#include "analysis/fragments.h"
+
+#include "analysis/well_designed.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+void Collect(const Pattern& p, OperatorProfile* out) {
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      return;
+    case PatternKind::kAnd:
+      out->uses_and = true;
+      break;
+    case PatternKind::kUnion:
+      out->uses_union = true;
+      break;
+    case PatternKind::kOpt:
+      out->uses_opt = true;
+      break;
+    case PatternKind::kMinus:
+      out->uses_minus = true;
+      break;
+    case PatternKind::kFilter:
+      out->uses_filter = true;
+      break;
+    case PatternKind::kSelect:
+      out->uses_select = true;
+      break;
+    case PatternKind::kNs:
+      out->uses_ns = true;
+      break;
+  }
+  switch (p.kind()) {
+    case PatternKind::kFilter:
+    case PatternKind::kSelect:
+    case PatternKind::kNs:
+      Collect(*p.child(), out);
+      return;
+    default:
+      Collect(*p.left(), out);
+      Collect(*p.right(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+OperatorProfile GetOperatorProfile(const PatternPtr& pattern) {
+  RDFQL_CHECK(pattern != nullptr);
+  OperatorProfile out;
+  Collect(*pattern, &out);
+  return out;
+}
+
+bool InFragment(const PatternPtr& pattern, std::string_view letters) {
+  OperatorProfile prof = GetOperatorProfile(pattern);
+  if (prof.uses_ns) return false;
+  bool allow_and = false, allow_union = false, allow_opt = false,
+       allow_filter = false, allow_select = false;
+  for (char c : letters) {
+    switch (c) {
+      case 'A':
+        allow_and = true;
+        break;
+      case 'U':
+        allow_union = true;
+        break;
+      case 'O':
+        allow_opt = true;
+        break;
+      case 'F':
+        allow_filter = true;
+        break;
+      case 'S':
+        allow_select = true;
+        break;
+      default:
+        RDFQL_CHECK_MSG(false, "unknown fragment letter");
+    }
+  }
+  if (prof.uses_and && !allow_and) return false;
+  if (prof.uses_union && !allow_union) return false;
+  if (prof.uses_opt && !allow_opt) return false;
+  if (prof.uses_filter && !allow_filter) return false;
+  if (prof.uses_select && !allow_select) return false;
+  // MINUS desugars to OPT + FILTER (Appendix D).
+  if (prof.uses_minus && (!allow_opt || !allow_filter)) return false;
+  return true;
+}
+
+bool IsSimplePattern(const PatternPtr& pattern) {
+  if (pattern == nullptr || pattern->kind() != PatternKind::kNs) return false;
+  return InFragment(pattern->child(), "AUFS");
+}
+
+bool IsNsPattern(const PatternPtr& pattern) {
+  return NsPatternWidth(pattern) > 0;
+}
+
+size_t NsPatternWidth(const PatternPtr& pattern) {
+  if (pattern == nullptr) return 0;
+  std::vector<PatternPtr> disjuncts = TopLevelDisjuncts(pattern);
+  for (const PatternPtr& d : disjuncts) {
+    if (!IsSimplePattern(d)) return 0;
+  }
+  return disjuncts.size();
+}
+
+bool IsProjectedSimplePattern(const PatternPtr& pattern) {
+  if (pattern == nullptr) return false;
+  if (IsSimplePattern(pattern)) return true;
+  return pattern->kind() == PatternKind::kSelect &&
+         IsSimplePattern(pattern->child());
+}
+
+bool IsProjectedNsPattern(const PatternPtr& pattern) {
+  if (pattern == nullptr) return false;
+  // SELECT over an ns-pattern...
+  if (pattern->kind() == PatternKind::kSelect &&
+      IsNsPattern(pattern->child())) {
+    return true;
+  }
+  // ... or a union of projected simple patterns.
+  for (const PatternPtr& d : TopLevelDisjuncts(pattern)) {
+    if (!IsProjectedSimplePattern(d)) return false;
+  }
+  return true;
+}
+
+std::vector<PatternPtr> TopLevelDisjuncts(const PatternPtr& pattern) {
+  RDFQL_CHECK(pattern != nullptr);
+  std::vector<PatternPtr> out;
+  std::vector<PatternPtr> stack = {pattern};
+  while (!stack.empty()) {
+    PatternPtr p = stack.back();
+    stack.pop_back();
+    if (p->kind() == PatternKind::kUnion) {
+      // Right first so the output preserves left-to-right order.
+      stack.push_back(p->right());
+      stack.push_back(p->left());
+    } else {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool IsUnionNormalForm(const PatternPtr& pattern) {
+  for (const PatternPtr& d : TopLevelDisjuncts(pattern)) {
+    if (d->Uses(PatternKind::kUnion)) return false;
+  }
+  return true;
+}
+
+bool IsSyntacticallySubsumptionFree(const PatternPtr& pattern) {
+  if (pattern == nullptr) return false;
+  if (InFragment(pattern, "AFS")) return true;
+  if (IsWellDesigned(pattern)) return true;
+  if (IsSimplePattern(pattern)) return true;
+  // NS(P) for arbitrary P is subsumption-free by the semantics of NS.
+  if (pattern->kind() == PatternKind::kNs) return true;
+  return false;
+}
+
+std::string DescribeFragment(const PatternPtr& pattern) {
+  OperatorProfile prof = GetOperatorProfile(pattern);
+  if (prof.uses_ns) {
+    if (IsSimplePattern(pattern)) return "SP-SPARQL (simple pattern)";
+    if (IsNsPattern(pattern)) {
+      return "USP-SPARQL (ns-pattern, width " +
+             std::to_string(NsPatternWidth(pattern)) + ")";
+    }
+    if (IsProjectedSimplePattern(pattern)) {
+      return "projected SP-SPARQL (Section 8 extension)";
+    }
+    if (IsProjectedNsPattern(pattern)) {
+      return "projected USP-SPARQL (Section 8 extension)";
+    }
+    return "NS-SPARQL";
+  }
+  std::string letters;
+  if (prof.uses_and) letters += 'A';
+  if (prof.uses_union) letters += 'U';
+  if (prof.uses_opt || prof.uses_minus) letters += 'O';
+  if (prof.uses_filter || prof.uses_minus) letters += 'F';
+  if (prof.uses_select) letters += 'S';
+  if (letters.empty()) return "SPARQL[triple]";
+  return "SPARQL[" + letters + "]";
+}
+
+}  // namespace rdfql

@@ -1,0 +1,71 @@
+#ifndef RDFQL_ANALYSIS_FRAGMENTS_H_
+#define RDFQL_ANALYSIS_FRAGMENTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/pattern.h"
+
+namespace rdfql {
+
+/// Which operators occur in a pattern. MINUS is recorded separately but is
+/// derived from OPT + FILTER (Appendix D), so fragment membership counts it
+/// as using both.
+struct OperatorProfile {
+  bool uses_and = false;
+  bool uses_union = false;
+  bool uses_opt = false;
+  bool uses_filter = false;
+  bool uses_select = false;
+  bool uses_ns = false;
+  bool uses_minus = false;
+};
+
+OperatorProfile GetOperatorProfile(const PatternPtr& pattern);
+
+/// Membership in the fragment SPARQL[O] named by `letters` using the
+/// paper's convention: A = AND, U = UNION, O = OPT, F = FILTER,
+/// S = SELECT. A MINUS node requires both O and F; an NS node is never in
+/// a SPARQL[·] fragment (NS–SPARQL is the extension).
+bool InFragment(const PatternPtr& pattern, std::string_view letters);
+
+/// Simple pattern (Definition 5.3): NS(P) with P ∈ SPARQL[AUFS].
+bool IsSimplePattern(const PatternPtr& pattern);
+
+/// ns-pattern (Definition 5.7): P1 UNION ... UNION Pn with each Pi simple.
+bool IsNsPattern(const PatternPtr& pattern);
+
+/// Number of disjuncts of an ns-pattern (the k of USP–SPARQL_k, Thm 7.2);
+/// 0 if the pattern is not an ns-pattern.
+size_t NsPatternWidth(const PatternPtr& pattern);
+
+/// The paper's Section 8 future-work fragments: projection on top of
+/// simple and ns-patterns preserves weak monotonicity, giving more
+/// expressive open-world-safe languages. A *projected simple pattern* is
+/// (SELECT V WHERE NS(P)) with P ∈ SPARQL[AUFS]; a *projected ns-pattern*
+/// is (SELECT V WHERE P1 UNION ... UNION Pn) or a union of projected
+/// simple patterns.
+bool IsProjectedSimplePattern(const PatternPtr& pattern);
+bool IsProjectedNsPattern(const PatternPtr& pattern);
+
+/// Flattens top-level UNION nodes into the list of disjuncts.
+std::vector<PatternPtr> TopLevelDisjuncts(const PatternPtr& pattern);
+
+/// UNION-normal-form (Appendix D): a top-level union of UNION-free
+/// disjuncts.
+bool IsUnionNormalForm(const PatternPtr& pattern);
+
+/// Syntactic *sufficient* conditions for subsumption-freeness (§5.2): every
+/// pattern in SPARQL[AFS] is subsumption-free, and so is every
+/// well-designed pattern in SPARQL[AOF] ([30]); simple patterns are
+/// subsumption-free by construction. Returns false when membership cannot
+/// be established syntactically (the semantic property is undecidable).
+bool IsSyntacticallySubsumptionFree(const PatternPtr& pattern);
+
+/// Human-readable fragment summary, e.g. "SPARQL[AUF]" or "NS-SPARQL".
+std::string DescribeFragment(const PatternPtr& pattern);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ANALYSIS_FRAGMENTS_H_

@@ -1,0 +1,226 @@
+#include "analysis/monotonicity.h"
+
+#include <vector>
+
+#include "eval/ns.h"
+#include "util/random.h"
+
+namespace rdfql {
+namespace {
+
+// The IRI pool counterexample graphs draw from: every IRI of the pattern
+// plus a few fresh ones (fresh IRIs are essential — e.g. the witnesses of
+// Theorems 3.5/3.6 need triples over IRIs absent from the pattern).
+std::vector<TermId> BuildIriPool(const PatternPtr& pattern, Dictionary* dict,
+                                 int fresh_iris) {
+  std::vector<TermId> pool = pattern->Iris();
+  for (int i = 0; i < fresh_iris; ++i) {
+    pool.push_back(dict->InternIri("mono_pool_" + std::to_string(i)));
+  }
+  return pool;
+}
+
+void CollectTriplePatterns(const Pattern& p, std::vector<TriplePattern>* out) {
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      out->push_back(p.triple());
+      return;
+    case PatternKind::kFilter:
+    case PatternKind::kSelect:
+    case PatternKind::kNs:
+      CollectTriplePatterns(*p.child(), out);
+      return;
+    default:
+      CollectTriplePatterns(*p.left(), out);
+      CollectTriplePatterns(*p.right(), out);
+      return;
+  }
+}
+
+// Draws one triple, biased towards instantiations of the pattern's own
+// triple patterns (fully random triples almost never hit the constants a
+// pattern mentions, which would make the testers blind).
+Triple RandomTriple(const std::vector<TermId>& pool,
+                    const std::vector<TriplePattern>& shapes, Rng* rng) {
+  if (!shapes.empty() && rng->NextBool(0.7)) {
+    const TriplePattern& t = shapes[rng->NextBelow(shapes.size())];
+    auto instantiate = [&pool, rng](Term term) {
+      return term.is_iri() ? term.iri() : rng->Pick(pool);
+    };
+    return Triple(instantiate(t.s), instantiate(t.p), instantiate(t.o));
+  }
+  return Triple(rng->Pick(pool), rng->Pick(pool), rng->Pick(pool));
+}
+
+Graph RandomGraph(const std::vector<TermId>& pool,
+                  const std::vector<TriplePattern>& shapes, int max_triples,
+                  Rng* rng) {
+  Graph g;
+  int n = static_cast<int>(rng->NextBelow(max_triples + 1));
+  for (int i = 0; i < n; ++i) {
+    g.Insert(RandomTriple(pool, shapes, rng));
+  }
+  return g;
+}
+
+Graph ExtendGraph(const Graph& base, const std::vector<TermId>& pool,
+                  const std::vector<TriplePattern>& shapes, int max_extra,
+                  Rng* rng) {
+  Graph g = base;
+  int n = 1 + static_cast<int>(rng->NextBelow(max_extra));
+  for (int i = 0; i < n; ++i) {
+    g.Insert(RandomTriple(pool, shapes, rng));
+  }
+  return g;
+}
+
+using PairPredicate =
+    std::function<std::optional<Mapping>(const MappingSet&, const MappingSet&)>;
+
+// Shared driver: draws (G1, G2 ⊇ G1) pairs and applies `violation`, which
+// returns a witness mapping if the property fails on that pair.
+std::optional<PropertyCounterexample> SearchPairs(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options, const PairPredicate& violation,
+    const std::string& what) {
+  std::vector<TermId> pool = BuildIriPool(pattern, dict, options.fresh_iris);
+  std::vector<TriplePattern> shapes;
+  CollectTriplePatterns(*pattern, &shapes);
+  Rng rng(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Graph g1 = RandomGraph(pool, shapes, options.max_base_triples, &rng);
+    Graph g2 =
+        ExtendGraph(g1, pool, shapes, options.max_extra_triples, &rng);
+    MappingSet r1 = EvalPattern(g1, pattern);
+    MappingSet r2 = EvalPattern(g2, pattern);
+    std::optional<Mapping> witness = violation(r1, r2);
+    if (witness.has_value()) {
+      PropertyCounterexample ce;
+      ce.g1 = std::move(g1);
+      ce.g2 = std::move(g2);
+      ce.witness = *witness;
+      ce.explanation = what;
+      return ce;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PropertyCounterexample> FindWeakMonotonicityCounterexample(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  return SearchPairs(
+      pattern, dict, options,
+      [](const MappingSet& r1, const MappingSet& r2) -> std::optional<Mapping> {
+        for (const Mapping& m : r1) {
+          bool subsumed = false;
+          for (const Mapping& m2 : r2) {
+            if (m.SubsumedBy(m2)) {
+              subsumed = true;
+              break;
+            }
+          }
+          if (!subsumed) return m;
+        }
+        return std::nullopt;
+      },
+      "mapping from eval over G1 is subsumed by no mapping over G2 ⊇ G1");
+}
+
+std::optional<PropertyCounterexample> FindMonotonicityCounterexample(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  return SearchPairs(
+      pattern, dict, options,
+      [](const MappingSet& r1, const MappingSet& r2) -> std::optional<Mapping> {
+        for (const Mapping& m : r1) {
+          if (!r2.Contains(m)) return m;
+        }
+        return std::nullopt;
+      },
+      "mapping from eval over G1 is absent from eval over G2 ⊇ G1");
+}
+
+std::optional<PropertyCounterexample> FindSubsumptionFreenessCounterexample(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  std::vector<TermId> pool = BuildIriPool(pattern, dict, options.fresh_iris);
+  std::vector<TriplePattern> shapes;
+  CollectTriplePatterns(*pattern, &shapes);
+  Rng rng(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Graph g = RandomGraph(
+        pool, shapes, options.max_base_triples + options.max_extra_triples,
+        &rng);
+    MappingSet r = EvalPattern(g, pattern);
+    for (const Mapping& m : r) {
+      for (const Mapping& other : r) {
+        if (m.ProperlySubsumedBy(other)) {
+          PropertyCounterexample ce;
+          ce.g1 = g;
+          ce.g2 = std::move(g);
+          ce.witness = m;
+          ce.explanation = "answer properly subsumed by another answer";
+          return ce;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyCounterexample> FindEquivalenceGap(
+    const PatternPtr& p, const PatternPtr& q, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  std::vector<TermId> pool = BuildIriPool(p, dict, options.fresh_iris);
+  for (TermId iri : q->Iris()) pool.push_back(iri);
+  std::vector<TriplePattern> shapes;
+  CollectTriplePatterns(*p, &shapes);
+  CollectTriplePatterns(*q, &shapes);
+  Rng rng(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Graph g = RandomGraph(
+        pool, shapes, options.max_base_triples + options.max_extra_triples,
+        &rng);
+    MappingSet rp = EvalPattern(g, p);
+    MappingSet rq = EvalPattern(g, q);
+    if (rp == rq) continue;
+    Mapping witness;
+    for (const Mapping& m : rp) {
+      if (!rq.Contains(m)) {
+        witness = m;
+        break;
+      }
+    }
+    for (const Mapping& m : rq) {
+      if (!rp.Contains(m)) {
+        witness = m;
+        break;
+      }
+    }
+    return PropertyCounterexample{g, g, witness,
+                                  "⟦P⟧G differs from ⟦Q⟧G"};
+  }
+  return std::nullopt;
+}
+
+bool LooksWeaklyMonotone(const PatternPtr& pattern, Dictionary* dict,
+                         const MonotonicityOptions& options) {
+  return !FindWeakMonotonicityCounterexample(pattern, dict, options)
+              .has_value();
+}
+
+bool LooksMonotone(const PatternPtr& pattern, Dictionary* dict,
+                   const MonotonicityOptions& options) {
+  return !FindMonotonicityCounterexample(pattern, dict, options).has_value();
+}
+
+bool LooksSubsumptionFree(const PatternPtr& pattern, Dictionary* dict,
+                          const MonotonicityOptions& options) {
+  return !FindSubsumptionFreenessCounterexample(pattern, dict, options)
+              .has_value();
+}
+
+}  // namespace rdfql

@@ -1,0 +1,70 @@
+#ifndef RDFQL_ANALYSIS_MONOTONICITY_H_
+#define RDFQL_ANALYSIS_MONOTONICITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "algebra/pattern.h"
+#include "eval/evaluator.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// Knobs for the randomized property testers. Checking weak monotonicity is
+/// undecidable (Section 1), so these testers are refutation-complete in the
+/// limit: they search for counterexample pairs G1 ⊆ G2 built from the IRIs
+/// of the pattern plus `fresh_iris` extra IRIs.
+struct MonotonicityOptions {
+  int trials = 300;
+  int max_base_triples = 6;
+  int max_extra_triples = 3;
+  int fresh_iris = 3;
+  uint64_t seed = 0x5eed;
+};
+
+/// A refutation of (weak) monotonicity or subsumption-freeness.
+struct PropertyCounterexample {
+  Graph g1;
+  Graph g2;        // g1 ⊆ g2 (unused by the subsumption-freeness tester)
+  Mapping witness; // the mapping that is lost / not subsumed / subsumed
+  std::string explanation;
+};
+
+/// Searches for G1 ⊆ G2 with ⟦P⟧G1 ⋢ ⟦P⟧G2 (Definition 3.2 violated).
+std::optional<PropertyCounterexample> FindWeakMonotonicityCounterexample(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+/// Searches for G1 ⊆ G2 with ⟦P⟧G1 ⊄ ⟦P⟧G2 (monotonicity violated).
+std::optional<PropertyCounterexample> FindMonotonicityCounterexample(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+/// Searches for a graph G with ⟦P⟧G ≠ ⟦P⟧max_G (subsumption-freeness
+/// violated, Section 5.2).
+std::optional<PropertyCounterexample> FindSubsumptionFreenessCounterexample(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+/// Randomized check of plain equivalence P ≡ Q: samples graphs from the
+/// union of both patterns' IRIs and triple shapes and compares ⟦P⟧G with
+/// ⟦Q⟧G. Returns the first witness of disagreement (in `witness`, with
+/// g1 = g2 = the graph). Refutations are certain; acceptance is
+/// probabilistic — the workhorse behind the transformation test suites.
+std::optional<PropertyCounterexample> FindEquivalenceGap(
+    const PatternPtr& p, const PatternPtr& q, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+/// Convenience wrappers: true when no counterexample was found within the
+/// trial budget (sound for refutation, probabilistic for acceptance).
+bool LooksWeaklyMonotone(const PatternPtr& pattern, Dictionary* dict,
+                         const MonotonicityOptions& options = {});
+bool LooksMonotone(const PatternPtr& pattern, Dictionary* dict,
+                   const MonotonicityOptions& options = {});
+bool LooksSubsumptionFree(const PatternPtr& pattern, Dictionary* dict,
+                          const MonotonicityOptions& options = {});
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ANALYSIS_MONOTONICITY_H_

@@ -1,0 +1,132 @@
+#include "analysis/well_designed.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/fragments.h"
+
+namespace rdfql {
+namespace {
+
+// Number of syntactic occurrence *sites* of ?x in p (triples count each
+// position; conditions and projections count once per mention site).
+size_t CountOccurrences(const Pattern& p, VarId x);
+
+size_t CountBuiltinOccurrences(const Builtin& r, VarId x) {
+  switch (r.kind()) {
+    case Builtin::Kind::kTrue:
+    case Builtin::Kind::kFalse:
+      return 0;
+    case Builtin::Kind::kBound:
+      return r.var() == x ? 1 : 0;
+    case Builtin::Kind::kEqConst:
+      return r.var() == x ? 1 : 0;
+    case Builtin::Kind::kEqVars:
+      return (r.var() == x ? 1 : 0) + (r.var2() == x ? 1 : 0);
+    case Builtin::Kind::kNot:
+      return CountBuiltinOccurrences(*r.left(), x);
+    case Builtin::Kind::kAnd:
+    case Builtin::Kind::kOr:
+      return CountBuiltinOccurrences(*r.left(), x) +
+             CountBuiltinOccurrences(*r.right(), x);
+  }
+  return 0;
+}
+
+size_t CountOccurrences(const Pattern& p, VarId x) {
+  switch (p.kind()) {
+    case PatternKind::kTriple: {
+      size_t n = 0;
+      if (p.triple().s.is_var() && p.triple().s.var() == x) ++n;
+      if (p.triple().p.is_var() && p.triple().p.var() == x) ++n;
+      if (p.triple().o.is_var() && p.triple().o.var() == x) ++n;
+      return n;
+    }
+    case PatternKind::kFilter:
+      return CountOccurrences(*p.child(), x) +
+             CountBuiltinOccurrences(*p.condition(), x);
+    case PatternKind::kSelect: {
+      size_t n = CountOccurrences(*p.child(), x);
+      if (std::find(p.projection().begin(), p.projection().end(), x) !=
+          p.projection().end()) {
+        ++n;
+      }
+      return n;
+    }
+    case PatternKind::kNs:
+      return CountOccurrences(*p.child(), x);
+    default:
+      return CountOccurrences(*p.left(), x) + CountOccurrences(*p.right(), x);
+  }
+}
+
+bool VarInSorted(const std::vector<VarId>& vars, VarId x) {
+  return std::binary_search(vars.begin(), vars.end(), x);
+}
+
+// Checks conditions 1 and 2 of Definition 3.4 for every sub-pattern of
+// `node`, where `root` is the whole pattern.
+bool CheckWdConditions(const Pattern& root, const Pattern& node,
+                       std::string* why) {
+  switch (node.kind()) {
+    case PatternKind::kTriple:
+      return true;
+    case PatternKind::kFilter: {
+      std::set<VarId> cond_vars;
+      node.condition()->CollectVars(&cond_vars);
+      for (VarId x : cond_vars) {
+        if (!VarInSorted(node.child()->Vars(), x)) {
+          if (why) *why = "FILTER condition mentions a variable not in its scope pattern";
+          return false;
+        }
+      }
+      return CheckWdConditions(root, *node.child(), why);
+    }
+    case PatternKind::kAnd:
+      return CheckWdConditions(root, *node.left(), why) &&
+             CheckWdConditions(root, *node.right(), why);
+    case PatternKind::kOpt: {
+      const Pattern& p1 = *node.left();
+      const Pattern& p2 = *node.right();
+      for (VarId x : p2.Vars()) {
+        if (VarInSorted(p1.Vars(), x)) continue;
+        // ?x ∈ var(P2) \ var(P1): it must not occur outside this OPT node.
+        size_t total = CountOccurrences(root, x);
+        size_t inside = CountOccurrences(node, x);
+        if (total > inside) {
+          if (why) {
+            *why = "OPT right-hand variable occurs outside the OPT without "
+                   "appearing on the left";
+          }
+          return false;
+        }
+      }
+      return CheckWdConditions(root, p1, why) &&
+             CheckWdConditions(root, p2, why);
+    }
+    default:
+      if (why) *why = "pattern is not in SPARQL[AOF]";
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsWellDesigned(const PatternPtr& pattern, std::string* why) {
+  if (pattern == nullptr) return false;
+  if (!InFragment(pattern, "AOF")) {
+    if (why) *why = "pattern is not in SPARQL[AOF]";
+    return false;
+  }
+  return CheckWdConditions(*pattern, *pattern, why);
+}
+
+bool IsUnionOfWellDesigned(const PatternPtr& pattern, std::string* why) {
+  if (pattern == nullptr) return false;
+  for (const PatternPtr& disjunct : TopLevelDisjuncts(pattern)) {
+    if (!IsWellDesigned(disjunct, why)) return false;
+  }
+  return true;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,28 @@
+#ifndef RDFQL_ANALYSIS_WELL_DESIGNED_H_
+#define RDFQL_ANALYSIS_WELL_DESIGNED_H_
+
+#include <string>
+
+#include "algebra/pattern.h"
+
+namespace rdfql {
+
+/// Well-designedness of a SPARQL[AOF] pattern (Definition 3.4):
+///   1. for every sub-pattern (P1 FILTER R): var(R) ⊆ var(P1);
+///   2. for every sub-pattern (P1 OPT P2) and ?X ∈ var(P2): if ?X occurs in
+///      P outside (P1 OPT P2) then ?X ∈ var(P1).
+///
+/// Returns false for patterns outside SPARQL[AOF] (UNION/SELECT/NS/MINUS
+/// nodes), matching the paper's definition. When `why` is non-null and the
+/// result is false, it receives a one-line explanation.
+bool IsWellDesigned(const PatternPtr& pattern, std::string* why = nullptr);
+
+/// Well-designedness of a SPARQL[AUOF] pattern (Section 3.3): a top-level
+/// union P1 UNION ... UNION Pn where each Pi is a well-designed
+/// SPARQL[AOF] pattern.
+bool IsUnionOfWellDesigned(const PatternPtr& pattern,
+                           std::string* why = nullptr);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_ANALYSIS_WELL_DESIGNED_H_

@@ -1,0 +1,66 @@
+#include "complexity/cardinality.h"
+
+#include "util/check.h"
+
+namespace rdfql {
+
+void AddAtMostK(Cnf* cnf, const std::vector<Lit>& lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  RDFQL_CHECK(k >= 0);
+  if (k >= n) return;  // vacuous
+  if (k == 0) {
+    for (Lit l : lits) cnf->AddClause({-l});
+    return;
+  }
+  // Sequential counter: s[i][j] ⇔ "at least j of the first i+1 literals".
+  // Allocate registers s[i][j] for i in [0, n-1), j in [0, k).
+  std::vector<std::vector<int>> s(n - 1, std::vector<int>(k));
+  for (auto& row : s) {
+    for (int& v : row) v = cnf->NewVar();
+  }
+  // x1 -> s[0][0]
+  cnf->AddClause({-lits[0], s[0][0]});
+  // !s[0][j] for j >= 1
+  for (int j = 1; j < k; ++j) cnf->AddClause({-s[0][j]});
+  for (int i = 1; i < n - 1; ++i) {
+    // xi -> s[i][0];  s[i-1][0] -> s[i][0]
+    cnf->AddClause({-lits[i], s[i][0]});
+    cnf->AddClause({-s[i - 1][0], s[i][0]});
+    for (int j = 1; j < k; ++j) {
+      // xi & s[i-1][j-1] -> s[i][j];  s[i-1][j] -> s[i][j]
+      cnf->AddClause({-lits[i], -s[i - 1][j - 1], s[i][j]});
+      cnf->AddClause({-s[i - 1][j], s[i][j]});
+    }
+    // xi & s[i-1][k-1] -> conflict
+    cnf->AddClause({-lits[i], -s[i - 1][k - 1]});
+  }
+  // xn & s[n-2][k-1] -> conflict
+  cnf->AddClause({-lits[n - 1], -s[n - 2][k - 1]});
+}
+
+void AddAtLeastK(Cnf* cnf, const std::vector<Lit>& lits, int k) {
+  if (k <= 0) return;
+  const int n = static_cast<int>(lits.size());
+  if (k > n) {
+    cnf->AddClause({});  // unsatisfiable — but empty clauses need a stand-in
+    return;
+  }
+  if (k == 1) {
+    cnf->AddClause(lits);
+    return;
+  }
+  std::vector<Lit> negated;
+  negated.reserve(lits.size());
+  for (Lit l : lits) negated.push_back(-l);
+  AddAtMostK(cnf, negated, n - k);
+}
+
+Cnf PhiAtLeastK(const Cnf& phi, int k) {
+  Cnf out = phi;
+  std::vector<Lit> vars;
+  for (int v = 1; v <= phi.num_vars; ++v) vars.push_back(v);
+  AddAtLeastK(&out, vars, k);
+  return out;
+}
+
+}  // namespace rdfql

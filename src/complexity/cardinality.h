@@ -1,0 +1,25 @@
+#ifndef RDFQL_COMPLEXITY_CARDINALITY_H_
+#define RDFQL_COMPLEXITY_CARDINALITY_H_
+
+#include <vector>
+
+#include "complexity/cnf.h"
+
+namespace rdfql {
+
+/// Appends a sequential-counter encoding of "at most k of `lits` are true"
+/// to `cnf` (Sinz 2005). Auxiliary variables are allocated from `cnf`.
+void AddAtMostK(Cnf* cnf, const std::vector<Lit>& lits, int k);
+
+/// "At least k of `lits` are true", encoded as at-most-(n-k) of the
+/// negated literals. Used to build the ϕ_k formulas of Theorem 7.3
+/// (MAX-ODD-SAT): ϕ_k = ϕ ∧ (≥ k variables true).
+void AddAtLeastK(Cnf* cnf, const std::vector<Lit>& lits, int k);
+
+/// The formula ϕ_k of the Theorem 7.3 proof: satisfiable iff some
+/// assignment satisfies `phi` and sets at least `k` of its variables true.
+Cnf PhiAtLeastK(const Cnf& phi, int k);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_CARDINALITY_H_

@@ -1,0 +1,62 @@
+#include "complexity/cnf.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace rdfql {
+
+void Cnf::AddClause(std::vector<Lit> clause) {
+  for (Lit l : clause) {
+    RDFQL_CHECK(l != 0 && std::abs(l) <= num_vars);
+  }
+  clauses.push_back(std::move(clause));
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  RDFQL_CHECK(assignment.size() >= static_cast<size_t>(num_vars) + 1);
+  for (const std::vector<Lit>& clause : clauses) {
+    bool satisfied = false;
+    for (Lit l : clause) {
+      bool value = assignment[std::abs(l)];
+      if ((l > 0) == value) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToString() const {
+  std::string out = "p cnf " + std::to_string(num_vars) + " " +
+                    std::to_string(clauses.size()) + "\n";
+  for (const std::vector<Lit>& clause : clauses) {
+    for (Lit l : clause) out += std::to_string(l) + " ";
+    out += "0\n";
+  }
+  return out;
+}
+
+Cnf RandomCnf(int num_vars, int num_clauses, int k, Rng* rng) {
+  RDFQL_CHECK(num_vars >= k && k >= 1);
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> vars;
+    while (static_cast<int>(vars.size()) < k) {
+      int v = static_cast<int>(rng->NextBelow(num_vars)) + 1;
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    std::vector<Lit> clause;
+    for (int v : vars) clause.push_back(rng->NextBool() ? v : -v);
+    cnf.AddClause(std::move(clause));
+  }
+  return cnf;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,41 @@
+#ifndef RDFQL_COMPLEXITY_CNF_H_
+#define RDFQL_COMPLEXITY_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfql {
+
+/// A propositional literal in DIMACS convention: +v is variable v, -v its
+/// negation; variables are numbered from 1.
+using Lit = int;
+
+/// A propositional formula in conjunctive normal form. The substrate for
+/// every reduction of Section 7 (SAT-UNSAT, Exact-M_k-Colorability via
+/// coloring encodings, MAX-ODD-SAT via cardinality encodings).
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  /// Allocates a fresh variable and returns its index.
+  int NewVar() { return ++num_vars; }
+
+  /// Adds a clause; literals must reference variables ≤ num_vars.
+  void AddClause(std::vector<Lit> clause);
+
+  /// True if `assignment[v]` (1-indexed) satisfies every clause.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  /// DIMACS-ish rendering for debugging.
+  std::string ToString() const;
+};
+
+/// Uniform random k-CNF with `num_vars` variables and `num_clauses`
+/// clauses (distinct variables within a clause).
+Cnf RandomCnf(int num_vars, int num_clauses, int k, Rng* rng);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_CNF_H_

@@ -1,0 +1,57 @@
+#include "complexity/coloring.h"
+
+#include "complexity/sat_solver.h"
+#include "util/check.h"
+
+namespace rdfql {
+
+Cnf ColorabilityToCnf(const SimpleGraph& graph, int k) {
+  RDFQL_CHECK(k >= 1);
+  Cnf cnf;
+  // x_{v,c} = variable v * k + c + 1.
+  cnf.num_vars = graph.n * k;
+  auto var = [k](int v, int c) { return v * k + c + 1; };
+  for (int v = 0; v < graph.n; ++v) {
+    std::vector<Lit> some_color;
+    for (int c = 0; c < k; ++c) some_color.push_back(var(v, c));
+    cnf.AddClause(std::move(some_color));
+  }
+  for (const auto& [u, v] : graph.edges) {
+    if (u == v) continue;
+    for (int c = 0; c < k; ++c) {
+      cnf.AddClause({-var(u, c), -var(v, c)});
+    }
+  }
+  return cnf;
+}
+
+int ChromaticNumber(const SimpleGraph& graph) {
+  if (graph.n == 0) return 0;
+  for (int k = 1; k <= graph.n; ++k) {
+    if (SolveSat(ColorabilityToCnf(graph, k)).satisfiable) return k;
+  }
+  RDFQL_CHECK_MSG(false, "n colors always suffice");
+  return graph.n;
+}
+
+SimpleGraph RandomSimpleGraph(int n, double p, Rng* rng) {
+  SimpleGraph g;
+  g.n = n;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->NextBool(p)) g.edges.emplace_back(u, v);
+    }
+  }
+  return g;
+}
+
+SimpleGraph CompleteGraph(int n) {
+  SimpleGraph g;
+  g.n = n;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.edges.emplace_back(u, v);
+  }
+  return g;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,35 @@
+#ifndef RDFQL_COMPLEXITY_COLORING_H_
+#define RDFQL_COMPLEXITY_COLORING_H_
+
+#include <utility>
+#include <vector>
+
+#include "complexity/cnf.h"
+
+namespace rdfql {
+
+/// An undirected simple graph on vertices 0..n-1 (the input of
+/// Exact-M_k-Colorability, Theorem 7.2).
+struct SimpleGraph {
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// The standard propositional encoding of k-colorability: variables
+/// x_{v,c} (vertex v has color c), one-color-per-vertex clauses, and
+/// conflict clauses per edge. Satisfiable iff `graph` is k-colorable.
+Cnf ColorabilityToCnf(const SimpleGraph& graph, int k);
+
+/// Exact chromatic number via a satisfiability sweep (reference oracle for
+/// the Theorem 7.2 reduction tests). Returns 0 for the empty graph.
+int ChromaticNumber(const SimpleGraph& graph);
+
+/// Erdős–Rényi G(n, p).
+SimpleGraph RandomSimpleGraph(int n, double p, Rng* rng);
+
+/// A complete graph K_n (chromatic number n, handy for exact tests).
+SimpleGraph CompleteGraph(int n);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_COLORING_H_

@@ -1,0 +1,56 @@
+#include "complexity/combiner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rdfql {
+
+EvalInstance CombineDisjunction(const std::vector<EvalInstance>& instances,
+                                Dictionary* dict) {
+  RDFQL_CHECK(!instances.empty());
+
+  EvalInstance out;
+
+  // µ = µ1 ∪ ... ∪ µn (domains are disjoint by construction).
+  Mapping mu;
+  for (const EvalInstance& inst : instances) {
+    RDFQL_CHECK(mu.CompatibleWith(inst.mapping));
+    mu = mu.UnionWith(inst.mapping);
+  }
+  out.mapping = mu;
+
+  // G = ∪Gi plus the marker triples (µ(?x), c_x, d_x).
+  for (const EvalInstance& inst : instances) {
+    out.graph = Graph::Union(out.graph, inst.graph);
+  }
+  std::map<VarId, std::pair<TermId, TermId>> markers;
+  for (const auto& [x, value] : mu.bindings()) {
+    TermId c = dict->FreshIri("c_" + dict->VarName(x));
+    TermId d = dict->FreshIri("d_" + dict->VarName(x));
+    markers[x] = {c, d};
+    out.graph.Insert(value, c, d);
+  }
+
+  // Disjunct i: NS(Qi AND the markers of dom(µ) \ dom(µi)).
+  std::vector<PatternPtr> disjuncts;
+  for (const EvalInstance& inst : instances) {
+    RDFQL_CHECK_MSG(inst.pattern->kind() == PatternKind::kNs,
+                    "CombineDisjunction requires simple patterns");
+    PatternPtr qi = inst.pattern->child();
+    PatternPtr body = qi;
+    for (const auto& [x, value] : mu.bindings()) {
+      if (inst.mapping.Binds(x)) continue;
+      const auto& [c, d] = markers[x];
+      body = Pattern::And(
+          body, Pattern::MakeTriple(Term::Var(x), Term::Iri(c),
+                                    Term::Iri(d)));
+    }
+    disjuncts.push_back(Pattern::Ns(body));
+  }
+  out.pattern = Pattern::UnionAll(disjuncts);
+  return out;
+}
+
+}  // namespace rdfql

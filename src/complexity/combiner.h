@@ -1,0 +1,24 @@
+#ifndef RDFQL_COMPLEXITY_COMBINER_H_
+#define RDFQL_COMPLEXITY_COMBINER_H_
+
+#include <vector>
+
+#include "complexity/sat_reduction.h"
+
+namespace rdfql {
+
+/// Lemma H.1: combines n evaluation instances (µi, Pi, Gi) with pairwise
+/// disjoint variables and IRIs, where each Pi is a simple pattern NS(Qi),
+/// into a single instance (µ, P, G) with P an ns-pattern of n disjuncts
+/// such that
+///     µ ∈ ⟦P⟧G  ⇔  µi ∈ ⟦Pi⟧Gi for some i.
+///
+/// Construction: µ = µ1 ∪ ... ∪ µn; G = ∪Gi plus one marker triple
+/// (µ(?x), c_x, d_x) per ?x ∈ dom(µ) with fresh IRIs c_x, d_x; the i-th
+/// disjunct is NS(Qi AND ⋀_{?x ∈ dom(µ)∖dom(µi)} (?x c_x d_x)).
+EvalInstance CombineDisjunction(const std::vector<EvalInstance>& instances,
+                                Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_COMBINER_H_

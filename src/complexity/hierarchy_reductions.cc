@@ -1,0 +1,92 @@
+#include "complexity/hierarchy_reductions.h"
+
+#include "complexity/cardinality.h"
+#include "complexity/sat_solver.h"
+#include "util/check.h"
+
+namespace rdfql {
+
+std::vector<int> MkSet(int k) {
+  RDFQL_CHECK(k >= 1);
+  std::vector<int> out;
+  for (int m = 6 * k + 1; m <= 8 * k - 1; m += 2) out.push_back(m);
+  RDFQL_CHECK(static_cast<int>(out.size()) == k);
+  return out;
+}
+
+bool IsExactMkColorable(const SimpleGraph& graph, int k) {
+  int chi = ChromaticNumber(graph);
+  for (int m : MkSet(k)) {
+    if (chi == m) return true;
+  }
+  return false;
+}
+
+EvalInstance ExactColorSetToUsp(const SimpleGraph& graph,
+                                const std::vector<int>& colors,
+                                Dictionary* dict) {
+  std::vector<EvalInstance> pieces;
+  int index = 0;
+  for (int m : colors) {
+    RDFQL_CHECK(m >= 2);
+    // χ(H) = m  ⇔  (H m-colorable, H not (m-1)-colorable): a SAT-UNSAT
+    // pair, hence one simple-pattern instance (Theorem 7.1).
+    Cnf colorable_m = ColorabilityToCnf(graph, m);
+    Cnf colorable_m1 = ColorabilityToCnf(graph, m - 1);
+    pieces.push_back(SatUnsatToSimplePattern(
+        colorable_m, colorable_m1, dict, "col" + std::to_string(index)));
+    ++index;
+  }
+  return CombineDisjunction(pieces, dict);
+}
+
+EvalInstance ExactMkColorabilityToUsp(const SimpleGraph& graph, int k,
+                                      Dictionary* dict) {
+  return ExactColorSetToUsp(graph, MkSet(k), dict);
+}
+
+bool IsExactColorSetColorable(const SimpleGraph& graph,
+                              const std::vector<int>& colors) {
+  int chi = ChromaticNumber(graph);
+  for (int m : colors) {
+    if (chi == m) return true;
+  }
+  return false;
+}
+
+bool IsMaxOddSat(const Cnf& phi) {
+  if (!SolveSat(phi).satisfiable) return false;
+  int best = 0;
+  for (int k = phi.num_vars; k >= 1; --k) {
+    if (SolveSat(PhiAtLeastK(phi, k)).satisfiable) {
+      best = k;
+      break;
+    }
+  }
+  return best % 2 == 1;
+}
+
+EvalInstance MaxOddSatToUsp(const Cnf& phi, Dictionary* dict) {
+  // Pad to an even variable count with a variable forced to false (the
+  // paper's ϕ ∧ ¬r), so the odd candidates k range over 1, 3, ..., m-1.
+  Cnf padded = phi;
+  if (padded.num_vars % 2 == 1) {
+    int r = padded.NewVar();
+    padded.AddClause({-r});
+  }
+  const int m = padded.num_vars;
+  RDFQL_CHECK(m >= 2);
+
+  std::vector<EvalInstance> pieces;
+  for (int k = 1; k <= m - 1; k += 2) {
+    // (ϕ_k satisfiable, ϕ_{k+1} unsatisfiable) ⇔ the maximum number of
+    // true variables in a model of ϕ is exactly k (odd).
+    Cnf phi_k = PhiAtLeastK(padded, k);
+    Cnf phi_k1 = PhiAtLeastK(padded, k + 1);
+    pieces.push_back(SatUnsatToSimplePattern(phi_k, phi_k1, dict,
+                                             "odd" + std::to_string(k)));
+  }
+  return CombineDisjunction(pieces, dict);
+}
+
+}  // namespace rdfql

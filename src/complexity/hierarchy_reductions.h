@@ -1,0 +1,52 @@
+#ifndef RDFQL_COMPLEXITY_HIERARCHY_REDUCTIONS_H_
+#define RDFQL_COMPLEXITY_HIERARCHY_REDUCTIONS_H_
+
+#include <vector>
+
+#include "complexity/coloring.h"
+#include "complexity/combiner.h"
+#include "complexity/sat_reduction.h"
+
+namespace rdfql {
+
+/// The set M_k = {6k+1, 6k+3, ..., 8k-1} of Theorem 7.2 (k values, all
+/// odd, each ≥ 7 for k ≥ 1).
+std::vector<int> MkSet(int k);
+
+/// Reference decider: does `graph` have chromatic number in M_k?
+bool IsExactMkColorable(const SimpleGraph& graph, int k);
+
+/// The generic form of the Theorem 7.2 reduction: builds an ns-pattern
+/// with |colors| disjuncts (one SAT-UNSAT pair per m ∈ colors —
+/// "m-colorable and not (m-1)-colorable") combined via Lemma H.1, such
+/// that µ ∈ ⟦P⟧G iff χ(graph) ∈ colors. Every m must be ≥ 2.
+EvalInstance ExactColorSetToUsp(const SimpleGraph& graph,
+                                const std::vector<int>& colors,
+                                Dictionary* dict);
+
+/// Theorem 7.2 proper: Exact-M_k-Colorability → Eval(USP–SPARQL_k),
+/// i.e. ExactColorSetToUsp with colors = M_k. Note that already for k = 1
+/// the produced instance encodes 7-colorability, whose evaluation is
+/// genuinely exponential — which is the point of the theorem; tests
+/// exercise ExactColorSetToUsp on small color sets instead.
+EvalInstance ExactMkColorabilityToUsp(const SimpleGraph& graph, int k,
+                                      Dictionary* dict);
+
+/// Reference decider matching ExactColorSetToUsp.
+bool IsExactColorSetColorable(const SimpleGraph& graph,
+                              const std::vector<int>& colors);
+
+/// Reference decider for MAX-ODD-SAT (Theorem 7.3): does the satisfying
+/// assignment of `phi` with the maximum number of true variables set an
+/// odd number of them? (False when `phi` is unsatisfiable.)
+bool IsMaxOddSat(const Cnf& phi);
+
+/// Theorem 7.3: MAX-ODD-SAT → Eval(USP–SPARQL). Pads `phi` to an even
+/// variable count, builds the cardinality formulas ϕ_k (ϕ ∧ ≥k true) and
+/// one SAT-UNSAT pair (ϕ_k, ϕ_{k+1}) per odd k, and combines them with
+/// Lemma H.1: µ ∈ ⟦P⟧G iff phi ∈ MAX-ODD-SAT.
+EvalInstance MaxOddSatToUsp(const Cnf& phi, Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_HIERARCHY_REDUCTIONS_H_

@@ -1,0 +1,147 @@
+#include "complexity/qbf.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+bool Expand(const Qbf& qbf, size_t level, std::vector<bool>* assignment) {
+  if (level == qbf.prefix.size()) {
+    return qbf.matrix.IsSatisfiedBy(*assignment);
+  }
+  const auto& [quant, var] = qbf.prefix[level];
+  if (quant == Qbf::Quant::kExists) {
+    for (bool value : {false, true}) {
+      (*assignment)[var] = value;
+      if (Expand(qbf, level + 1, assignment)) return true;
+    }
+    return false;
+  }
+  for (bool value : {false, true}) {
+    (*assignment)[var] = value;
+    if (!Expand(qbf, level + 1, assignment)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SolveQbf(const Qbf& qbf) {
+  // Every matrix variable must be quantified.
+  std::vector<bool> quantified(qbf.matrix.num_vars + 1, false);
+  for (const auto& [quant, var] : qbf.prefix) {
+    RDFQL_CHECK(var >= 1 && var <= qbf.matrix.num_vars);
+    RDFQL_CHECK_MSG(!quantified[var], "variable quantified twice");
+    quantified[var] = true;
+  }
+  for (const std::vector<Lit>& clause : qbf.matrix.clauses) {
+    for (Lit l : clause) RDFQL_CHECK(quantified[std::abs(l)]);
+  }
+  std::vector<bool> assignment(qbf.matrix.num_vars + 1, false);
+  return Expand(qbf, 0, &assignment);
+}
+
+Qbf RandomQbf(int num_vars, int num_clauses, int clause_width, Rng* rng,
+              bool start_with_forall) {
+  Qbf qbf;
+  qbf.matrix = RandomCnf(num_vars, num_clauses, clause_width, rng);
+  std::vector<int> order;
+  for (int v = 1; v <= num_vars; ++v) order.push_back(v);
+  rng->Shuffle(&order);
+  for (int i = 0; i < num_vars; ++i) {
+    bool forall = (i % 2 == 0) == start_with_forall;
+    qbf.prefix.emplace_back(
+        forall ? Qbf::Quant::kForall : Qbf::Quant::kExists, order[i]);
+  }
+  return qbf;
+}
+
+EvalInstance QbfToPattern(const Qbf& qbf, Dictionary* dict,
+                          const std::string& tag) {
+  RDFQL_CHECK_MSG(
+      qbf.prefix.size() == static_cast<size_t>(qbf.matrix.num_vars),
+      "QbfToPattern requires a closed formula");
+  EvalInstance out;
+
+  TermId zero = dict->InternIri("zero_" + tag);
+  TermId one = dict->InternIri("one_" + tag);
+  TermId val = dict->InternIri("val_" + tag);
+  TermId res = dict->InternIri("res_" + tag);
+  TermId ans = dict->InternIri("ans_" + tag);
+  TermId yes = dict->InternIri("yes_" + tag);
+  out.graph.Insert(zero, val, zero);
+  out.graph.Insert(one, val, one);
+  out.graph.Insert(yes, res, ans);
+
+  std::vector<VarId> var_of(qbf.matrix.num_vars + 1, kInvalidVarId);
+  for (int v = 1; v <= qbf.matrix.num_vars; ++v) {
+    var_of[v] = dict->InternVar("Q" + std::to_string(v) + "_" + tag);
+  }
+
+  // All(V): the assignment pattern over a variable set; All(∅) is a ground
+  // triple guaranteed to be in G (answer {µ∅}).
+  auto all_pattern = [&](const std::vector<int>& vars) -> PatternPtr {
+    if (vars.empty()) {
+      return Pattern::MakeTriple(Term::Iri(zero), Term::Iri(val),
+                                 Term::Iri(zero));
+    }
+    std::vector<PatternPtr> gadgets;
+    for (int v : vars) {
+      gadgets.push_back(Pattern::MakeTriple(
+          Term::Var(var_of[v]), Term::Iri(val), Term::Var(var_of[v])));
+    }
+    return Pattern::AndAll(gadgets);
+  };
+
+  // The matrix: All(vars) FILTER R_ψ, with ψ encoded through the FILTER's
+  // full propositional structure (v ⇝ ?Qv = one).
+  std::vector<int> live;
+  for (int v = 1; v <= qbf.matrix.num_vars; ++v) live.push_back(v);
+  std::vector<BuiltinPtr> clause_conditions;
+  for (const std::vector<Lit>& clause : qbf.matrix.clauses) {
+    std::vector<BuiltinPtr> literals;
+    for (Lit l : clause) {
+      BuiltinPtr atom = Builtin::EqConst(var_of[std::abs(l)], one);
+      literals.push_back(l > 0 ? atom : Builtin::Not(atom));
+    }
+    clause_conditions.push_back(Builtin::OrAll(literals));
+  }
+  PatternPtr p = Pattern::Filter(all_pattern(live),
+                                 Builtin::AndAll(clause_conditions));
+
+  // Eliminate the prefix inside-out. Invariant: ⟦p⟧G is exactly the set of
+  // assignments over `live` under which the remaining formula is true.
+  for (auto it = qbf.prefix.rbegin(); it != qbf.prefix.rend(); ++it) {
+    const auto& [quant, v] = *it;
+    std::vector<int> remaining;
+    for (int u : live) {
+      if (u != v) remaining.push_back(u);
+    }
+    std::vector<VarId> projection;
+    for (int u : remaining) projection.push_back(var_of[u]);
+
+    if (quant == Qbf::Quant::kExists) {
+      p = Pattern::Select(projection, p);
+    } else {
+      // Assignments over `remaining` all of whose extensions satisfy p:
+      // complement of the projection of the complement. MINUS between
+      // equal-domain assignment sets is exact set complement.
+      PatternPtr bad = Pattern::Minus(all_pattern(live), p);
+      PatternPtr bad_proj = Pattern::Select(projection, bad);
+      p = Pattern::Minus(all_pattern(remaining), bad_proj);
+    }
+    live.swap(remaining);
+  }
+
+  // Join with the answer triple so the queried mapping has a variable.
+  VarId z = dict->InternVar("Z_" + tag);
+  out.pattern = Pattern::And(
+      Pattern::MakeTriple(Term::Var(z), Term::Iri(res), Term::Iri(ans)), p);
+  out.mapping = Mapping::FromBindings({{z, yes}});
+  return out;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,47 @@
+#ifndef RDFQL_COMPLEXITY_QBF_H_
+#define RDFQL_COMPLEXITY_QBF_H_
+
+#include <vector>
+
+#include "complexity/cnf.h"
+#include "complexity/sat_reduction.h"
+
+namespace rdfql {
+
+/// A quantified boolean formula in prenex CNF:
+/// Q1 v1 Q2 v2 ... Qn vn . matrix. Every variable of the matrix must be
+/// quantified exactly once.
+struct Qbf {
+  enum class Quant { kExists, kForall };
+
+  std::vector<std::pair<Quant, int>> prefix;  // outermost first
+  Cnf matrix;
+};
+
+/// Reference decider: recursive expansion with unit-style shortcuts —
+/// exponential, for the small instances the tests and benches use.
+bool SolveQbf(const Qbf& qbf);
+
+/// Random prenex QBF with alternating quantifiers (∀∃∀... or ∃∀∃...).
+Qbf RandomQbf(int num_vars, int num_clauses, int clause_width, Rng* rng,
+              bool start_with_forall);
+
+/// The PSPACE backdrop of Section 7: evaluation of full SPARQL (with OPT)
+/// is PSPACE-complete [29/30]. This builds an evaluation-problem instance
+/// from a QBF:
+///     µ∅-style mapping µ, graph G, pattern P in SPARQL[AOFS] (MINUS and
+///     SELECT over a FILTER-encoded matrix) with
+///         µ ∈ ⟦P⟧G  ⇔  the QBF is true.
+///
+/// Construction (inside-out over the prefix): the matrix becomes
+/// (AND of value gadgets (?vi val ?vi)) FILTER R_ψ whose answers are the
+/// satisfying total assignments; ∃v projects v away with SELECT; ∀v is a
+/// double complement  All(V∖{v}) MINUS (SELECT (V∖{v}) WHERE (All(V)
+/// MINUS P))  — MINUS against equal-domain assignment sets is exact set
+/// complement. After the whole prefix the answer set is {µ} or ∅.
+EvalInstance QbfToPattern(const Qbf& qbf, Dictionary* dict,
+                          const std::string& tag);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_QBF_H_

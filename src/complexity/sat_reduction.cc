@@ -1,0 +1,82 @@
+#include "complexity/sat_reduction.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace rdfql {
+
+bool DecideByEvaluation(const EvalInstance& instance, EvalOptions options) {
+  MappingSet result =
+      EvalPattern(instance.graph, instance.pattern, options);
+  return result.Contains(instance.mapping);
+}
+
+EvalInstance SatToPattern(const Cnf& phi, Dictionary* dict,
+                          const std::string& tag) {
+  EvalInstance out;
+
+  TermId tv = dict->InternIri("tv_" + tag);
+  TermId one = dict->InternIri("one_" + tag);
+  TermId zero = dict->InternIri("zero_" + tag);
+  TermId res = dict->InternIri("res_" + tag);
+  TermId yes = dict->InternIri("yes_" + tag);
+  TermId ans = dict->InternIri("ans_" + tag);
+
+  out.graph.Insert(one, tv, one);
+  out.graph.Insert(zero, tv, zero);
+  out.graph.Insert(yes, res, ans);
+
+  // One pattern variable per propositional variable; shared across clause
+  // gadgets, so the join enforces a consistent assignment.
+  std::vector<VarId> x(phi.num_vars + 1, kInvalidVarId);
+  for (int v = 1; v <= phi.num_vars; ++v) {
+    x[v] = dict->InternVar("X" + std::to_string(v) + "_" + tag);
+  }
+
+  // Clause gadget: UNION over the literals. The literal +v matches only
+  // ?Xv -> one, the literal -v only ?Xv -> zero.
+  std::vector<PatternPtr> clause_gadgets;
+  for (const std::vector<Lit>& clause : phi.clauses) {
+    std::vector<PatternPtr> choices;
+    for (Lit l : clause) {
+      VarId v = x[std::abs(l)];
+      TermId value = l > 0 ? one : zero;
+      choices.push_back(Pattern::MakeTriple(Term::Var(v), Term::Iri(tv),
+                                            Term::Iri(value)));
+    }
+    if (choices.empty()) {
+      // Empty clause: unsatisfiable — a triple pattern that never matches.
+      choices.push_back(Pattern::MakeTriple(Term::Iri(one), Term::Iri(tv),
+                                            Term::Iri(zero)));
+    }
+    clause_gadgets.push_back(Pattern::UnionAll(choices));
+  }
+
+  VarId z = dict->InternVar("Z_" + tag);
+  PatternPtr answer = Pattern::MakeTriple(Term::Var(z), Term::Iri(res),
+                                          Term::Iri(ans));
+  PatternPtr body = answer;
+  for (const PatternPtr& gadget : clause_gadgets) {
+    body = Pattern::And(body, gadget);
+  }
+  out.pattern = Pattern::Select({z}, body);
+  out.mapping = Mapping::FromBindings({{z, yes}});
+  return out;
+}
+
+EvalInstance SatUnsatToSimplePattern(const Cnf& phi, const Cnf& psi,
+                                     Dictionary* dict,
+                                     const std::string& tag) {
+  EvalInstance a = SatToPattern(phi, dict, tag + "_sat");
+  EvalInstance b = SatToPattern(psi, dict, tag + "_unsat");
+
+  EvalInstance out;
+  out.graph = Graph::Union(a.graph, b.graph);
+  out.pattern = Pattern::Ns(Pattern::Union(
+      a.pattern, Pattern::And(a.pattern, b.pattern)));
+  out.mapping = a.mapping;
+  return out;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,45 @@
+#ifndef RDFQL_COMPLEXITY_SAT_REDUCTION_H_
+#define RDFQL_COMPLEXITY_SAT_REDUCTION_H_
+
+#include <string>
+
+#include "algebra/pattern.h"
+#include "complexity/cnf.h"
+#include "eval/evaluator.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// An evaluation-problem instance (G, P, µ): the question "µ ∈ ⟦P⟧G?"
+/// (Section 7.2).
+struct EvalInstance {
+  Graph graph;
+  PatternPtr pattern;
+  Mapping mapping;
+};
+
+/// Decides the instance by full evaluation with the reference engine.
+bool DecideByEvaluation(const EvalInstance& instance, EvalOptions options = {});
+
+/// The SAT gadget behind Theorem 7.1 (our analogue of Lemma G.1, see
+/// DESIGN.md §4.3): builds (Gϕ, Pϕ, µϕ) with Pϕ ∈ SPARQL[AUFS] such that
+///     ⟦Pϕ⟧Gϕ = {µϕ}  if ϕ is satisfiable,
+///     ⟦Pϕ⟧Gϕ = ∅     otherwise,
+/// and dom(µϕ) = {?z_tag} (a single answer variable). Clause j becomes a
+/// UNION over its literals of triple patterns (?X_i tv 1)/(?X_i tv 0)
+/// joined by shared variables; a SELECT projects the choice variables
+/// away. All IRIs and variables are namespaced by `tag` so instances can
+/// be combined disjointly (Lemma G.2 / Lemma H.1).
+EvalInstance SatToPattern(const Cnf& phi, Dictionary* dict,
+                          const std::string& tag);
+
+/// Theorem 7.1: the SAT-UNSAT → Eval(SP–SPARQL) reduction. The returned
+/// instance has a simple pattern NS(Pϕ UNION (Pϕ AND Pψ)) over Gϕ ∪ Gψ and
+/// satisfies:  µϕ ∈ ⟦P⟧G  ⇔  ϕ satisfiable and ψ unsatisfiable.
+EvalInstance SatUnsatToSimplePattern(const Cnf& phi, const Cnf& psi,
+                                     Dictionary* dict,
+                                     const std::string& tag);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_SAT_REDUCTION_H_

@@ -1,0 +1,144 @@
+#include "complexity/sat_solver.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+enum class Value : uint8_t { kUnset, kTrue, kFalse };
+
+struct Solver {
+  const Cnf* cnf;
+  std::vector<Value> values;  // 1-indexed
+
+  bool LitSatisfied(Lit l) const {
+    Value v = values[std::abs(l)];
+    if (v == Value::kUnset) return false;
+    return (v == Value::kTrue) == (l > 0);
+  }
+  bool LitFalsified(Lit l) const {
+    Value v = values[std::abs(l)];
+    if (v == Value::kUnset) return false;
+    return (v == Value::kTrue) != (l > 0);
+  }
+
+  // Unit propagation over all clauses until fixpoint. Returns false on
+  // conflict; appends assigned variables to `trail`.
+  bool Propagate(std::vector<int>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const std::vector<Lit>& clause : cnf->clauses) {
+        Lit unit = 0;
+        int unassigned = 0;
+        bool satisfied = false;
+        for (Lit l : clause) {
+          if (LitSatisfied(l)) {
+            satisfied = true;
+            break;
+          }
+          if (!LitFalsified(l)) {
+            ++unassigned;
+            unit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned == 0) return false;  // conflict
+        if (unassigned == 1) {
+          values[std::abs(unit)] = unit > 0 ? Value::kTrue : Value::kFalse;
+          trail->push_back(std::abs(unit));
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Picks the unassigned variable occurring most often; 0 if none.
+  int PickBranchVar() const {
+    std::vector<int> score(values.size(), 0);
+    for (const std::vector<Lit>& clause : cnf->clauses) {
+      bool satisfied = false;
+      for (Lit l : clause) {
+        if (LitSatisfied(l)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (Lit l : clause) {
+        if (values[std::abs(l)] == Value::kUnset) ++score[std::abs(l)];
+      }
+    }
+    int best = 0;
+    for (size_t v = 1; v < values.size(); ++v) {
+      if (values[v] == Value::kUnset && score[v] > (best ? score[best] : -1)) {
+        best = static_cast<int>(v);
+      }
+    }
+    if (best == 0) {
+      // All clause variables assigned; pick any unset variable.
+      for (size_t v = 1; v < values.size(); ++v) {
+        if (values[v] == Value::kUnset) return static_cast<int>(v);
+      }
+    }
+    return best;
+  }
+
+  bool Dpll() {
+    std::vector<int> trail;
+    if (!Propagate(&trail)) {
+      for (int v : trail) values[v] = Value::kUnset;
+      return false;
+    }
+    int var = PickBranchVar();
+    if (var == 0) return true;  // fully assigned, no conflict
+    for (Value choice : {Value::kTrue, Value::kFalse}) {
+      values[var] = choice;
+      if (Dpll()) return true;
+      values[var] = Value::kUnset;
+    }
+    for (int v : trail) values[v] = Value::kUnset;
+    return false;
+  }
+};
+
+}  // namespace
+
+SatResult SolveSat(const Cnf& cnf) {
+  for (const std::vector<Lit>& clause : cnf.clauses) {
+    if (clause.empty()) return SatResult{false, {}};
+  }
+  Solver solver;
+  solver.cnf = &cnf;
+  solver.values.assign(cnf.num_vars + 1, Value::kUnset);
+  SatResult result;
+  result.satisfiable = solver.Dpll();
+  if (result.satisfiable) {
+    result.assignment.assign(cnf.num_vars + 1, false);
+    for (int v = 1; v <= cnf.num_vars; ++v) {
+      result.assignment[v] = solver.values[v] == Value::kTrue;
+    }
+    RDFQL_CHECK(cnf.IsSatisfiedBy(result.assignment));
+  }
+  return result;
+}
+
+SatResult BruteForceSat(const Cnf& cnf) {
+  RDFQL_CHECK(cnf.num_vars <= 24);
+  std::vector<bool> assignment(cnf.num_vars + 1, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << cnf.num_vars); ++mask) {
+    for (int v = 1; v <= cnf.num_vars; ++v) {
+      assignment[v] = (mask >> (v - 1)) & 1;
+    }
+    if (cnf.IsSatisfiedBy(assignment)) {
+      return SatResult{true, assignment};
+    }
+  }
+  return SatResult{false, {}};
+}
+
+}  // namespace rdfql

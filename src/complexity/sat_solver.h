@@ -1,0 +1,30 @@
+#ifndef RDFQL_COMPLEXITY_SAT_SOLVER_H_
+#define RDFQL_COMPLEXITY_SAT_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "complexity/cnf.h"
+
+namespace rdfql {
+
+/// Result of a satisfiability check: the assignment is 1-indexed and only
+/// present when satisfiable.
+struct SatResult {
+  bool satisfiable = false;
+  std::vector<bool> assignment;
+};
+
+/// DPLL with unit propagation and a most-occurrences branching heuristic —
+/// the reference oracle behind the Section 7 reduction tests and
+/// benchmarks. Complete (no decision limit); intended for the small-to-
+/// medium instances the reductions produce.
+SatResult SolveSat(const Cnf& cnf);
+
+/// Exhaustive 2^n check, used to cross-validate SolveSat in tests.
+/// Requires num_vars ≤ 24.
+SatResult BruteForceSat(const Cnf& cnf);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_COMPLEXITY_SAT_SOLVER_H_

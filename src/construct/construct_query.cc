@@ -1,0 +1,185 @@
+#include "construct/construct_query.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fo/interpolant_search.h"
+#include "transform/select_free.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+bool TemplateSatisfiable(const TriplePattern& t, const PatternPtr& pattern) {
+  for (VarId v : TriplePatternVars(t)) {
+    if (!std::binary_search(pattern->Vars().begin(), pattern->Vars().end(),
+                            v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Adom(?x): the pattern binding ?x to every IRI of the active domain,
+//   SELECT {?x} WHERE ((?x ?a ?b) UNION (?c ?x ?d) UNION (?e ?f ?x))
+// with fresh ?a..?f (Appendix E).
+PatternPtr AdomPattern(VarId x, Dictionary* dict) {
+  Term vx = Term::Var(x);
+  auto fresh = [dict] { return Term::Var(dict->FreshVar("ad")); };
+  PatternPtr as_subject = Pattern::MakeTriple(vx, fresh(), fresh());
+  PatternPtr as_predicate = Pattern::MakeTriple(fresh(), vx, fresh());
+  PatternPtr as_object = Pattern::MakeTriple(fresh(), fresh(), vx);
+  return Pattern::Select(
+      {x}, Pattern::Union(as_subject,
+                          Pattern::Union(as_predicate, as_object)));
+}
+
+// R_{t,s}: position-wise equality between t's components and the
+// σs-renaming of s's components.
+BuiltinPtr PositionEquality(Term a, Term b) {
+  if (a.is_iri() && b.is_iri()) {
+    return a.iri() == b.iri() ? Builtin::True() : Builtin::False();
+  }
+  if (a.is_var() && b.is_iri()) return Builtin::EqConst(a.var(), b.iri());
+  if (a.is_iri() && b.is_var()) return Builtin::EqConst(b.var(), a.iri());
+  return Builtin::EqVars(a.var(), b.var());
+}
+
+Term ApplyRenaming(Term t, const std::map<VarId, VarId>& renaming) {
+  if (!t.is_var()) return t;
+  auto it = renaming.find(t.var());
+  return it == renaming.end() ? t : Term::Var(it->second);
+}
+
+TriplePattern RenameTriple(const TriplePattern& t,
+                           const std::map<VarId, VarId>& renaming) {
+  return TriplePattern(ApplyRenaming(t.s, renaming),
+                       ApplyRenaming(t.p, renaming),
+                       ApplyRenaming(t.o, renaming));
+}
+
+}  // namespace
+
+Graph ConstructQuery::Answer(const Graph& graph, EvalOptions options) const {
+  MappingSet solutions = EvalPattern(graph, pattern_, options);
+  Graph out;
+  for (const Mapping& m : solutions) {
+    for (const TriplePattern& t : templ_) {
+      bool all_bound = true;
+      for (VarId v : TriplePatternVars(t)) {
+        if (!m.Binds(v)) {
+          all_bound = false;
+          break;
+        }
+      }
+      if (all_bound) out.Insert(Instantiate(t, m));
+    }
+  }
+  return out;
+}
+
+ConstructQuery ConstructQuery::DropUnsatisfiableTemplates() const {
+  std::vector<TriplePattern> kept;
+  for (const TriplePattern& t : templ_) {
+    if (TemplateSatisfiable(t, pattern_)) kept.push_back(t);
+  }
+  return ConstructQuery(std::move(kept), pattern_);
+}
+
+ConstructQuery WrapPatternInNs(const ConstructQuery& query) {
+  return ConstructQuery(query.templ(), Pattern::Ns(query.pattern()));
+}
+
+ConstructQuery MonotoneNormalForm(const ConstructQuery& query,
+                                  Dictionary* dict) {
+  ConstructQuery q = query.DropUnsatisfiableTemplates();
+  const std::vector<TriplePattern>& h = q.templ();
+  const PatternPtr& p = q.pattern();
+  if (h.empty()) {
+    // The answer is always the empty graph; any monotone pattern works.
+    return q;
+  }
+
+  // σs: one fresh renaming of var(P) per template triple s.
+  std::vector<std::map<VarId, VarId>> sigma(h.size());
+  for (size_t s = 0; s < h.size(); ++s) {
+    for (VarId v : p->Vars()) {
+      sigma[s][v] = dict->FreshVar("sg" + std::to_string(s));
+    }
+  }
+
+  std::vector<PatternPtr> final_disjuncts;
+  std::vector<TriplePattern> final_templates;
+  for (size_t ti = 0; ti < h.size(); ++ti) {
+    const TriplePattern& t = h[ti];
+    std::vector<VarId> t_vars = TriplePatternVars(t);
+
+    // Adom(t): conjunction of Adom(?x) over var(t) (tautology if ground).
+    std::vector<PatternPtr> adoms;
+    for (VarId v : t_vars) adoms.push_back(AdomPattern(v, dict));
+
+    std::vector<PatternPtr> disjuncts = {p};
+    for (size_t si = 0; si < h.size(); ++si) {
+      if (si == ti) continue;
+      const TriplePattern& s = h[si];
+      PatternPtr ps = Pattern::RenameVars(p, sigma[si]);
+      TriplePattern s_renamed = RenameTriple(s, sigma[si]);
+      BuiltinPtr rts = Builtin::And(
+          Builtin::And(PositionEquality(t.s, s_renamed.s),
+                       PositionEquality(t.p, s_renamed.p)),
+          PositionEquality(t.o, s_renamed.o));
+      PatternPtr branch = ps;
+      for (const PatternPtr& adom : adoms) {
+        branch = Pattern::And(branch, adom);
+      }
+      disjuncts.push_back(Pattern::Filter(branch, rts));
+    }
+
+    std::vector<BuiltinPtr> bounds;
+    for (VarId v : t_vars) bounds.push_back(Builtin::Bound(v));
+    PatternPtr pt = Pattern::Select(
+        t_vars,
+        Pattern::Filter(Pattern::UnionAll(disjuncts),
+                        Builtin::AndAll(bounds)));
+
+    // Final per-t renaming so the P_t have pairwise disjoint variables.
+    std::map<VarId, VarId> global;
+    for (VarId v : pt->Vars()) {
+      global[v] = dict->FreshVar("q" + std::to_string(ti));
+    }
+    final_disjuncts.push_back(Pattern::RenameVars(pt, global));
+    final_templates.push_back(RenameTriple(t, global));
+  }
+
+  return ConstructQuery(std::move(final_templates),
+                        Pattern::UnionAll(final_disjuncts));
+}
+
+ConstructQuery EliminateSelect(const ConstructQuery& query,
+                               Dictionary* dict) {
+  ConstructQuery q = query.DropUnsatisfiableTemplates();
+  return ConstructQuery(q.templ(), SelectFreeVersion(q.pattern(), dict));
+}
+
+Result<AufConstructTranslation> MonotoneConstructToAuf(
+    const ConstructQuery& query, Dictionary* dict) {
+  // (1) Lemma 6.5: an equivalent query whose pattern is weakly monotone
+  // whenever the input query is monotone.
+  ConstructQuery normal = MonotoneNormalForm(query, dict);
+
+  // (2) Theorem 4.1 on the pattern; by Lemma 6.3 a subsumption-equivalent
+  // pattern yields the same CONSTRUCT answers.
+  RDFQL_ASSIGN_OR_RETURN(
+      AufsTranslation pattern_translation,
+      FindAufsTranslation(normal.pattern(), dict));
+  AufConstructTranslation out{
+      ConstructQuery(normal.templ(), pattern_translation.q),
+      pattern_translation.verified};
+  if (!out.verified) return out;
+
+  // (3) Proposition 6.7: strip SELECT to land in CONSTRUCT[AUF].
+  out.query = EliminateSelect(out.query, dict);
+  return out;
+}
+
+}  // namespace rdfql

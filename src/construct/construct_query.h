@@ -1,0 +1,74 @@
+#ifndef RDFQL_CONSTRUCT_CONSTRUCT_QUERY_H_
+#define RDFQL_CONSTRUCT_CONSTRUCT_QUERY_H_
+
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "eval/evaluator.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// A CONSTRUCT query Q = (CONSTRUCT H WHERE P) (Section 6.1): `templ` is
+/// the template H (a finite set of triple patterns) and `pattern` is the
+/// graph pattern P.
+class ConstructQuery {
+ public:
+  ConstructQuery(std::vector<TriplePattern> templ, PatternPtr pattern)
+      : templ_(std::move(templ)), pattern_(std::move(pattern)) {}
+
+  const std::vector<TriplePattern>& templ() const { return templ_; }
+  const PatternPtr& pattern() const { return pattern_; }
+
+  /// ans(Q,G) = { µ(t) | µ ∈ ⟦P⟧G, t ∈ H, var(t) ⊆ dom(µ) }.
+  Graph Answer(const Graph& graph, EvalOptions options = {}) const;
+
+  /// Drops template triples mentioning variables absent from the pattern
+  /// (they can never instantiate — the normalization assumed w.l.o.g. at
+  /// the start of Lemma 6.5's proof).
+  ConstructQuery DropUnsatisfiableTemplates() const;
+
+ private:
+  std::vector<TriplePattern> templ_;
+  PatternPtr pattern_;
+};
+
+/// Lemma 6.3: (CONSTRUCT H WHERE P) ≡ (CONSTRUCT H WHERE NS(P)) — returns
+/// the NS-wrapped twin (tests verify the equivalence empirically).
+ConstructQuery WrapPatternInNs(const ConstructQuery& query);
+
+/// Lemma 6.5 (constructive): builds a CONSTRUCT query
+/// (CONSTRUCT H' WHERE P') with P' weakly monotone such that Q ≡ Q'
+/// whenever Q is monotone. Follows the appendix construction: per template
+/// triple t a renamed copy P_s of P for every other template triple s, glued
+/// with Adom(·) patterns and the filter R_{t,s}, projected to var(t).
+ConstructQuery MonotoneNormalForm(const ConstructQuery& query,
+                                  Dictionary* dict);
+
+/// Proposition 6.7: strips SELECT from the pattern of a CONSTRUCT[AUFS]
+/// query via the SELECT-free version (Definition F.1), giving an
+/// equivalent CONSTRUCT[AUF] query.
+ConstructQuery EliminateSelect(const ConstructQuery& query, Dictionary* dict);
+
+/// Outcome of the Theorem 6.6 / Corollary 6.8 pipeline.
+struct AufConstructTranslation {
+  ConstructQuery query;  // equivalent CONSTRUCT[AUF] query (if verified)
+  /// Verified means: every stage's equivalence held on randomized graphs;
+  /// false indicates the input was refuted as monotone.
+  bool verified = false;
+};
+
+/// Theorem 6.6 + Corollary 6.8, made effective: rewrites a monotone
+/// CONSTRUCT query into an equivalent CONSTRUCT[AUF] query by chaining
+/// (1) Lemma 6.5's normal form (weakly-monotone pattern), (2) the
+/// Theorem 4.1 translation of the pattern into SPARQL[AUFS] (subsumption
+/// equivalence suffices by Lemma 6.3), and (3) Prop 6.7's SELECT
+/// elimination. Each randomized-verification stage reports through
+/// `verified`.
+Result<AufConstructTranslation> MonotoneConstructToAuf(
+    const ConstructQuery& query, Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_CONSTRUCT_CONSTRUCT_QUERY_H_

@@ -1,0 +1,93 @@
+#include "core/engine.h"
+
+#include "algebra/result_io.h"
+#include "analysis/fragments.h"
+#include "analysis/well_designed.h"
+#include "rdf/ntriples.h"
+
+namespace rdfql {
+
+Status Engine::LoadGraphText(const std::string& name,
+                             std::string_view ntriples) {
+  Graph& g = graphs_[name];
+  return ParseNTriples(ntriples, &dict_, &g);
+}
+
+void Engine::PutGraph(const std::string& name, Graph graph) {
+  graphs_[name] = std::move(graph);
+}
+
+Result<const Graph*> Engine::GetGraph(const std::string& name) const {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<PatternPtr> Engine::Parse(std::string_view query) {
+  return ParsePattern(query, &dict_);
+}
+
+Result<ConstructQuery> Engine::ParseConstructQuery(std::string_view query) {
+  RDFQL_ASSIGN_OR_RETURN(ParsedConstruct parsed,
+                         ParseConstruct(query, &dict_));
+  return ConstructQuery(std::move(parsed.templ), std::move(parsed.where));
+}
+
+Result<MappingSet> Engine::Query(const std::string& graph_name,
+                                 std::string_view query,
+                                 EvalOptions options) {
+  RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
+  return Eval(graph_name, pattern, options);
+}
+
+Result<MappingSet> Engine::Eval(const std::string& graph_name,
+                                const PatternPtr& pattern,
+                                EvalOptions options) {
+  RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
+  return EvalPattern(*graph, pattern, options);
+}
+
+Result<bool> Engine::Ask(const std::string& graph_name,
+                         std::string_view query, EvalOptions options) {
+  RDFQL_ASSIGN_OR_RETURN(MappingSet result,
+                         Query(graph_name, query, options));
+  return !result.empty();
+}
+
+Result<std::string> Engine::QueryCsv(const std::string& graph_name,
+                                     std::string_view query,
+                                     EvalOptions options) {
+  RDFQL_ASSIGN_OR_RETURN(MappingSet result,
+                         Query(graph_name, query, options));
+  return WriteCsv(result, dict_);
+}
+
+Result<std::string> Engine::QueryJson(const std::string& graph_name,
+                                      std::string_view query,
+                                      EvalOptions options) {
+  RDFQL_ASSIGN_OR_RETURN(MappingSet result,
+                         Query(graph_name, query, options));
+  return WriteResultsJson(result, dict_);
+}
+
+PatternReport Engine::Classify(const PatternPtr& pattern,
+                               const MonotonicityOptions& options) {
+  PatternReport report;
+  report.fragment = DescribeFragment(pattern);
+  report.well_designed = IsWellDesigned(pattern);
+  report.union_well_designed = IsUnionOfWellDesigned(pattern);
+  report.simple_pattern = IsSimplePattern(pattern);
+  report.ns_pattern = IsNsPattern(pattern);
+  report.syntactically_subsumption_free =
+      IsSyntacticallySubsumptionFree(pattern);
+  report.looks_weakly_monotone =
+      LooksWeaklyMonotone(pattern, &dict_, options);
+  report.looks_monotone = LooksMonotone(pattern, &dict_, options);
+  report.looks_subsumption_free =
+      LooksSubsumptionFree(pattern, &dict_, options);
+  return report;
+}
+
+}  // namespace rdfql

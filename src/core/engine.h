@@ -1,0 +1,96 @@
+#ifndef RDFQL_CORE_ENGINE_H_
+#define RDFQL_CORE_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/mapping_set.h"
+#include "algebra/pattern.h"
+#include "analysis/monotonicity.h"
+#include "construct/construct_query.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// What the static and empirical analyzers say about a pattern — the
+/// vocabulary of the paper in one struct.
+struct PatternReport {
+  std::string fragment;            // e.g. "SPARQL[AUF]", "SP-SPARQL"
+  bool well_designed = false;      // Definition 3.4 (AOF)
+  bool union_well_designed = false;  // Section 3.3 (AUOF)
+  bool simple_pattern = false;     // Definition 5.3
+  bool ns_pattern = false;         // Definition 5.7
+  bool syntactically_subsumption_free = false;
+  bool looks_weakly_monotone = false;   // randomized, Definition 3.2
+  bool looks_monotone = false;          // randomized
+  bool looks_subsumption_free = false;  // randomized, Section 5.2
+};
+
+/// The top-level façade: owns the dictionary and a set of named graphs,
+/// and exposes parsing, evaluation, classification and the paper's
+/// transformations behind one object. All examples and the REPL go
+/// through this class; libraries embedding rdfql may also use the
+/// per-module headers directly.
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Dictionary* dict() { return &dict_; }
+
+  /// Parses simplified N-Triples into (or on top of) the named graph.
+  Status LoadGraphText(const std::string& name, std::string_view ntriples);
+
+  /// Registers/replaces a graph under `name`.
+  void PutGraph(const std::string& name, Graph graph);
+
+  /// Fails with NotFound for unknown names.
+  Result<const Graph*> GetGraph(const std::string& name) const;
+
+  /// Parses a graph pattern in the paper's syntax.
+  Result<PatternPtr> Parse(std::string_view query);
+
+  /// Parses a CONSTRUCT query.
+  Result<ConstructQuery> ParseConstructQuery(std::string_view query);
+
+  /// Parse + evaluate against a named graph.
+  Result<MappingSet> Query(const std::string& graph_name,
+                           std::string_view query,
+                           EvalOptions options = {});
+
+  /// Evaluates a parsed pattern against a named graph.
+  Result<MappingSet> Eval(const std::string& graph_name,
+                          const PatternPtr& pattern,
+                          EvalOptions options = {});
+
+  /// ASK-style query: true iff the pattern has at least one answer.
+  Result<bool> Ask(const std::string& graph_name, std::string_view query,
+                   EvalOptions options = {});
+
+  /// Query + CSV / W3C-style JSON serialization in one call.
+  Result<std::string> QueryCsv(const std::string& graph_name,
+                               std::string_view query,
+                               EvalOptions options = {});
+  Result<std::string> QueryJson(const std::string& graph_name,
+                                std::string_view query,
+                                EvalOptions options = {});
+
+  /// Runs every classifier over the pattern (the randomized ones with
+  /// `options`).
+  PatternReport Classify(const PatternPtr& pattern,
+                         const MonotonicityOptions& options = {});
+
+ private:
+  Dictionary dict_;
+  std::map<std::string, Graph> graphs_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_CORE_ENGINE_H_

@@ -1,0 +1,59 @@
+#ifndef RDFQL_CORE_RDFQL_H_
+#define RDFQL_CORE_RDFQL_H_
+
+/// Umbrella header for the rdfql library — a from-scratch implementation
+/// of the query languages, transformations and complexity reductions of
+/// "Designing a Query Language for RDF: Marrying Open and Closed Worlds"
+/// (Arenas & Ugarte, PODS 2016).
+
+#include "algebra/builtin.h"            // built-in conditions R
+#include "algebra/mapping.h"            // mappings µ
+#include "algebra/mapping_set.h"        // mapping sets Ω and the algebra
+#include "algebra/pattern.h"            // graph patterns (incl. NS, MINUS)
+#include "algebra/pattern_printer.h"    // rendering patterns and tables
+#include "algebra/result_io.h"          // CSV / JSON result serialization
+#include "analysis/containment.h"       // CQ containment (freezing)
+#include "analysis/fragments.h"         // SPARQL[·] / SP / USP classifiers
+#include "analysis/monotonicity.h"      // randomized property testers
+#include "analysis/well_designed.h"     // Definition 3.4
+#include "complexity/cardinality.h"     // ϕ_k encodings (Thm 7.3)
+#include "complexity/cnf.h"             // propositional substrate
+#include "complexity/coloring.h"        // Exact-M_k-Colorability substrate
+#include "complexity/combiner.h"        // Lemma H.1
+#include "complexity/hierarchy_reductions.h"  // Thm 7.2 / Thm 7.3
+#include "complexity/qbf.h"             // PSPACE backdrop (full SPARQL)
+#include "complexity/sat_reduction.h"   // Thm 7.1
+#include "complexity/sat_solver.h"      // DPLL oracle
+#include "construct/construct_query.h"  // Section 6
+#include "core/engine.h"                // the façade
+#include "eval/evaluator.h"             // ⟦·⟧G
+#include "eval/explain.h"               // EXPLAIN-style tracing
+#include "eval/ns.h"                    // ⟦·⟧max
+#include "eval/reference_evaluator.h"   // differential-testing oracle
+#include "eval/wd_evaluator.h"          // top-down well-designed evaluation
+#include "fo/fo_eval.h"                 // model checking
+#include "fo/formula.h"                 // L^P_RDF formulas
+#include "fo/interpolant_search.h"      // Theorem 4.1, made effective
+#include "fo/sparql_to_fo.h"            // Lemmas C.1/C.2
+#include "fo/structure.h"               // Definition C.5
+#include "fo/ucq.h"                     // Lemma C.7
+#include "fo/ucq_to_sparql.h"           // Theorem C.8
+#include "optimize/optimizer.h"         // rule-based pattern optimizer
+#include "optimize/stats.h"             // cardinality statistics
+#include "parser/parser.h"              // the paper-syntax parser
+#include "rdf/dictionary.h"             // IRI/variable interning
+#include "rdf/dot.h"                    // Graphviz export
+#include "rdf/graph.h"                  // RDF graphs
+#include "rdf/ntriples.h"               // simplified N-Triples I/O
+#include "transform/ns_elimination.h"   // Theorem 5.1
+#include "update/update.h"              // SPARQL-Update-style mutation
+#include "transform/opt_rewriter.h"     // OPT ≡ NS(...), MINUS desugaring
+#include "transform/select_free.h"      // Definition F.1
+#include "transform/union_normal_form.h"  // Prop D.1 / Lemma D.2
+#include "transform/wd_to_simple.h"     // Proposition 5.6
+#include "workload/graph_generator.h"   // synthetic data
+#include "workload/pattern_generator.h" // random patterns
+#include "workload/scenarios.h"         // the paper's figures
+#include "workload/university_generator.h"  // LUBM-style dataset
+
+#endif  // RDFQL_CORE_RDFQL_H_

@@ -1,0 +1,140 @@
+#include "eval/evaluator.h"
+
+#include "eval/ns.h"
+#include "util/check.h"
+
+namespace rdfql {
+
+MappingSet Evaluator::Eval(const PatternPtr& pattern) const {
+  RDFQL_CHECK(pattern != nullptr);
+  return EvalNode(*pattern);
+}
+
+MappingSet Evaluator::EvalMax(const PatternPtr& pattern) const {
+  return ApplyNs(Eval(pattern));
+}
+
+MappingSet Evaluator::ApplyNs(const MappingSet& input) const {
+  return options_.ns == EvalOptions::NsAlgo::kBucketed
+             ? RemoveSubsumedBucketed(input)
+             : RemoveSubsumedNaive(input);
+}
+
+MappingSet Evaluator::IndexJoinWithTriple(const MappingSet& left,
+                                          const TriplePattern& t) const {
+  MappingSet out;
+  for (const Mapping& m : left) {
+    // Substitute the bound variables of µ into the triple pattern and
+    // probe the graph index with the resulting prefix.
+    auto position = [&m](Term term) -> TermId {
+      if (term.is_iri()) return term.iri();
+      std::optional<TermId> v = m.Get(term.var());
+      return v.has_value() ? *v : kInvalidTermId;
+    };
+    matcher_(
+        position(t.s), position(t.p), position(t.o),
+        [&t, &m, &out](const Triple& match) {
+          Mapping extended = m;
+          bool ok = true;
+          auto bind = [&extended, &ok](Term term, TermId value) {
+            if (!term.is_var() || !ok) return;
+            std::optional<TermId> existing = extended.Get(term.var());
+            if (existing.has_value()) {
+              if (*existing != value) ok = false;
+            } else {
+              extended.Set(term.var(), value);
+            }
+          };
+          bind(t.s, match.s);
+          bind(t.p, match.p);
+          bind(t.o, match.o);
+          if (ok) out.Add(extended);
+        });
+  }
+  return out;
+}
+
+MappingSet Evaluator::EvalTriple(const TriplePattern& t) const {
+  MappingSet out;
+  TermId s = t.s.is_iri() ? t.s.iri() : kInvalidTermId;
+  TermId p = t.p.is_iri() ? t.p.iri() : kInvalidTermId;
+  TermId o = t.o.is_iri() ? t.o.iri() : kInvalidTermId;
+
+  matcher_(s, p, o, [&t, &out](const Triple& match) {
+    // Build µ with dom(µ) = var(t); repeated variables must agree.
+    Mapping m;
+    bool ok = true;
+    auto bind = [&m, &ok](Term term, TermId value) {
+      if (!term.is_var() || !ok) return;
+      std::optional<TermId> existing = m.Get(term.var());
+      if (existing.has_value()) {
+        if (*existing != value) ok = false;
+      } else {
+        m.Set(term.var(), value);
+      }
+    };
+    bind(t.s, match.s);
+    bind(t.p, match.p);
+    bind(t.o, match.o);
+    if (ok) out.Add(m);
+  });
+  return out;
+}
+
+MappingSet Evaluator::EvalNode(const Pattern& p) const {
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      return EvalTriple(p.triple());
+    case PatternKind::kAnd: {
+      MappingSet l = EvalNode(*p.left());
+      if (options_.join == EvalOptions::Join::kIndexNestedLoop &&
+          p.right()->kind() == PatternKind::kTriple) {
+        return IndexJoinWithTriple(l, p.right()->triple());
+      }
+      MappingSet r = EvalNode(*p.right());
+      return options_.join == EvalOptions::Join::kNestedLoop
+                 ? MappingSet::JoinNestedLoop(l, r)
+                 : MappingSet::Join(l, r);
+    }
+    case PatternKind::kUnion:
+      return MappingSet::UnionSets(EvalNode(*p.left()), EvalNode(*p.right()));
+    case PatternKind::kOpt: {
+      MappingSet l = EvalNode(*p.left());
+      MappingSet r = EvalNode(*p.right());
+      // OPT needs the materialized right side for the difference anyway.
+      MappingSet joined = options_.join == EvalOptions::Join::kNestedLoop
+                              ? MappingSet::JoinNestedLoop(l, r)
+                              : MappingSet::Join(l, r);
+      return MappingSet::UnionSets(joined, MappingSet::Minus(l, r));
+    }
+    case PatternKind::kMinus:
+      return MappingSet::Minus(EvalNode(*p.left()), EvalNode(*p.right()));
+    case PatternKind::kFilter: {
+      MappingSet in = EvalNode(*p.child());
+      MappingSet out;
+      for (const Mapping& m : in) {
+        if (p.condition()->Eval(m)) out.Add(m);
+      }
+      return out;
+    }
+    case PatternKind::kSelect: {
+      MappingSet in = EvalNode(*p.child());
+      MappingSet out;
+      for (const Mapping& m : in) {
+        out.Add(m.RestrictTo(p.projection()));
+      }
+      return out;
+    }
+    case PatternKind::kNs:
+      return ApplyNs(EvalNode(*p.child()));
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return MappingSet();
+}
+
+MappingSet EvalPattern(const Graph& graph, const PatternPtr& pattern,
+                       EvalOptions options) {
+  return Evaluator(&graph, options).Eval(pattern);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,79 @@
+#ifndef RDFQL_EVAL_EVALUATOR_H_
+#define RDFQL_EVAL_EVALUATOR_H_
+
+#include <functional>
+
+#include "algebra/mapping_set.h"
+#include "algebra/pattern.h"
+#include "rdf/graph.h"
+#include "rdf/static_graph.h"
+
+namespace rdfql {
+
+/// Tunables for the evaluator — the pairs of algorithms back the ablation
+/// benchmarks (E15/E16 in DESIGN.md).
+struct EvalOptions {
+  enum class Join {
+    kHash,        // partition on certainly-shared variables
+    kNestedLoop,  // reference pairwise join
+    // For (P AND t) with t a triple pattern: probe the graph indexes once
+    // per left mapping with the bound positions substituted (binding
+    // propagation), instead of materializing ⟦t⟧G and joining. Falls back
+    // to the hash join for non-triple right-hand sides.
+    kIndexNestedLoop,
+  };
+  enum class NsAlgo { kBucketed, kNaive };
+
+  Join join = Join::kHash;
+  NsAlgo ns = NsAlgo::kBucketed;
+};
+
+/// Bottom-up evaluator implementing ⟦P⟧G exactly as defined in Section 2.1
+/// of the paper (plus NS from Section 5.1 and the derived MINUS of
+/// Appendix D). The evaluator is the library's semantic ground truth: every
+/// transformation and every reduction is tested against it.
+class Evaluator {
+ public:
+  /// A storage probe: same contract as Graph::Match / StaticGraph::Match.
+  using Matcher = std::function<size_t(
+      TermId, TermId, TermId, const std::function<void(const Triple&)>&)>;
+
+  explicit Evaluator(const Graph* graph, EvalOptions options = {})
+      : matcher_([graph](TermId s, TermId p, TermId o,
+                         const std::function<void(const Triple&)>& fn) {
+          return graph->Match(s, p, o, fn);
+        }),
+        options_(options) {}
+
+  /// Evaluates directly against the immutable CSR store.
+  explicit Evaluator(const StaticGraph* graph, EvalOptions options = {})
+      : matcher_([graph](TermId s, TermId p, TermId o,
+                         const std::function<void(const Triple&)>& fn) {
+          return graph->Match(s, p, o, fn);
+        }),
+        options_(options) {}
+
+  /// ⟦P⟧G.
+  MappingSet Eval(const PatternPtr& pattern) const;
+
+  /// ⟦P⟧max_G — the maximal answers (Section 5.1).
+  MappingSet EvalMax(const PatternPtr& pattern) const;
+
+ private:
+  MappingSet EvalNode(const Pattern& p) const;
+  MappingSet EvalTriple(const TriplePattern& t) const;
+  MappingSet IndexJoinWithTriple(const MappingSet& left,
+                                 const TriplePattern& t) const;
+  MappingSet ApplyNs(const MappingSet& input) const;
+
+  Matcher matcher_;
+  EvalOptions options_;
+};
+
+/// One-shot convenience wrapper.
+MappingSet EvalPattern(const Graph& graph, const PatternPtr& pattern,
+                       EvalOptions options = {});
+
+}  // namespace rdfql
+
+#endif  // RDFQL_EVAL_EVALUATOR_H_

@@ -1,0 +1,124 @@
+#include "eval/explain.h"
+
+#include "algebra/pattern_printer.h"
+#include "eval/evaluator.h"
+#include "eval/ns.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+struct Tracer {
+  const Graph* graph;
+  const Dictionary* dict;
+
+  MappingSet Eval(const Pattern& p, PlanNode* node) {
+    MappingSet result = EvalInner(p, node);
+    node->cardinality = result.size();
+    return result;
+  }
+
+  MappingSet EvalInner(const Pattern& p, PlanNode* node) {
+    switch (p.kind()) {
+      case PatternKind::kTriple: {
+        node->label =
+            "TRIPLE " + PatternToString(Pattern::MakeTriple(p.triple()),
+                                        *dict);
+        Evaluator ev(graph);
+        return ev.Eval(Pattern::MakeTriple(p.triple()));
+      }
+      case PatternKind::kAnd:
+      case PatternKind::kUnion:
+      case PatternKind::kOpt:
+      case PatternKind::kMinus: {
+        node->label = p.kind() == PatternKind::kAnd     ? "AND"
+                      : p.kind() == PatternKind::kUnion ? "UNION"
+                      : p.kind() == PatternKind::kOpt   ? "OPT"
+                                                        : "MINUS";
+        auto left = std::make_unique<PlanNode>();
+        auto right = std::make_unique<PlanNode>();
+        MappingSet l = Eval(*p.left(), left.get());
+        MappingSet r = Eval(*p.right(), right.get());
+        node->children.push_back(std::move(left));
+        node->children.push_back(std::move(right));
+        switch (p.kind()) {
+          case PatternKind::kAnd:
+            return MappingSet::Join(l, r);
+          case PatternKind::kUnion:
+            return MappingSet::UnionSets(l, r);
+          case PatternKind::kOpt:
+            return MappingSet::LeftOuterJoin(l, r);
+          default:
+            return MappingSet::Minus(l, r);
+        }
+      }
+      case PatternKind::kFilter: {
+        node->label = "FILTER " + p.condition()->ToString(*dict);
+        auto child = std::make_unique<PlanNode>();
+        MappingSet in = Eval(*p.child(), child.get());
+        node->children.push_back(std::move(child));
+        MappingSet out;
+        for (const Mapping& m : in) {
+          if (p.condition()->Eval(m)) out.Add(m);
+        }
+        return out;
+      }
+      case PatternKind::kSelect: {
+        std::string vars;
+        for (VarId v : p.projection()) vars += " ?" + dict->VarName(v);
+        node->label = "SELECT {" + (vars.empty() ? "" : vars.substr(1)) + "}";
+        auto child = std::make_unique<PlanNode>();
+        MappingSet in = Eval(*p.child(), child.get());
+        node->children.push_back(std::move(child));
+        MappingSet out;
+        for (const Mapping& m : in) out.Add(m.RestrictTo(p.projection()));
+        return out;
+      }
+      case PatternKind::kNs: {
+        node->label = "NS";
+        auto child = std::make_unique<PlanNode>();
+        MappingSet in = Eval(*p.child(), child.get());
+        node->children.push_back(std::move(child));
+        return RemoveSubsumedBucketed(in);
+      }
+    }
+    RDFQL_CHECK_MSG(false, "unreachable");
+    return MappingSet();
+  }
+};
+
+size_t Total(const PlanNode& node) {
+  size_t n = node.cardinality;
+  for (const auto& c : node.children) n += Total(*c);
+  return n;
+}
+
+void Render(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.label + " [" + std::to_string(node.cardinality) + "]\n";
+  for (const auto& c : node.children) Render(*c, depth + 1, out);
+}
+
+}  // namespace
+
+size_t Explanation::TotalIntermediate() const {
+  return plan == nullptr ? 0 : Total(*plan);
+}
+
+std::string Explanation::ToString() const {
+  std::string out;
+  if (plan != nullptr) Render(*plan, 0, &out);
+  return out;
+}
+
+Explanation ExplainEval(const Graph& graph, const PatternPtr& pattern,
+                        const Dictionary& dict) {
+  RDFQL_CHECK(pattern != nullptr);
+  Explanation explanation;
+  explanation.plan = std::make_unique<PlanNode>();
+  Tracer tracer{&graph, &dict};
+  explanation.result = tracer.Eval(*pattern, explanation.plan.get());
+  return explanation;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,45 @@
+#ifndef RDFQL_EVAL_EXPLAIN_H_
+#define RDFQL_EVAL_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/mapping_set.h"
+#include "algebra/pattern.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// One node of an evaluation trace: the operator, its result cardinality,
+/// and its children — the EXPLAIN ANALYZE of the engine.
+struct PlanNode {
+  std::string label;        // e.g. "AND", "TRIPLE (?x a ?y)", "NS"
+  size_t cardinality = 0;   // |result| at this node
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+/// The result of an explained evaluation.
+struct Explanation {
+  MappingSet result;
+  std::unique_ptr<PlanNode> plan;
+
+  /// Total mappings materialized across all operators (a work proxy).
+  size_t TotalIntermediate() const;
+
+  /// Renders the plan as an indented tree, one operator per line:
+  ///   AND [12]
+  ///     TRIPLE (?x a ?y) [30]
+  ///     ...
+  std::string ToString() const;
+};
+
+/// Evaluates with the reference bottom-up semantics while recording every
+/// operator's output cardinality. Used by the shell's `explain` command
+/// and the optimizer tests (intermediate-size assertions).
+Explanation ExplainEval(const Graph& graph, const PatternPtr& pattern,
+                        const Dictionary& dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_EVAL_EXPLAIN_H_

@@ -1,0 +1,70 @@
+#include "eval/ns.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace rdfql {
+
+MappingSet RemoveSubsumedNaive(const MappingSet& input) {
+  MappingSet out;
+  for (const Mapping& m : input) {
+    bool subsumed = false;
+    for (const Mapping& other : input) {
+      if (m.ProperlySubsumedBy(other)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) out.Add(m);
+  }
+  return out;
+}
+
+MappingSet RemoveSubsumedBucketed(const MappingSet& input) {
+  // Bucket by domain.
+  std::map<std::vector<VarId>, std::vector<const Mapping*>> buckets;
+  for (const Mapping& m : input) {
+    buckets[m.Domain()].push_back(&m);
+  }
+
+  // For each pair D ⊊ D', mark the mappings of bucket D that appear as a
+  // projection of some mapping in bucket D'.
+  std::unordered_set<const Mapping*> dead;
+  for (auto& [dom, bucket] : buckets) {
+    for (auto& [sup_dom, sup_bucket] : buckets) {
+      if (sup_dom.size() <= dom.size()) continue;
+      if (!std::includes(sup_dom.begin(), sup_dom.end(), dom.begin(),
+                         dom.end())) {
+        continue;
+      }
+      std::unordered_set<Mapping, MappingHash> projections;
+      projections.reserve(sup_bucket.size());
+      for (const Mapping* sup : sup_bucket) {
+        projections.insert(sup->RestrictTo(dom));
+      }
+      for (const Mapping* m : bucket) {
+        if (dead.count(m)) continue;
+        if (projections.count(*m)) dead.insert(m);
+      }
+    }
+  }
+
+  MappingSet out;
+  for (const Mapping& m : input) {
+    if (!dead.count(&m)) out.Add(m);
+  }
+  return out;
+}
+
+bool IsSubsumptionFree(const MappingSet& input) {
+  for (const Mapping& m : input) {
+    for (const Mapping& other : input) {
+      if (m.ProperlySubsumedBy(other)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,20 @@
+#ifndef RDFQL_EVAL_REFERENCE_EVALUATOR_H_
+#define RDFQL_EVAL_REFERENCE_EVALUATOR_H_
+
+#include "algebra/mapping_set.h"
+#include "algebra/pattern.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// A deliberately independent re-implementation of ⟦·⟧G, transcribed
+/// directly from the paper's definitions with no shared algorithmic code:
+/// triple matching by full scans, joins and differences by nested loops
+/// over plain vectors, NS by pairwise maximality checks. It exists purely
+/// as a differential-testing oracle for the production `Evaluator` — any
+/// disagreement between the two on any (pattern, graph) pair is a bug.
+MappingSet ReferenceEval(const Graph& graph, const PatternPtr& pattern);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_EVAL_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,89 @@
+#include "eval/wd_evaluator.h"
+
+#include "transform/wd_to_simple.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+// Extends every seed mapping by one triple pattern, probing the graph
+// index with the seed's bindings substituted in.
+MappingSet ExtendByTriple(const Graph& graph, const MappingSet& seeds,
+                          const TriplePattern& t) {
+  MappingSet out;
+  for (const Mapping& m : seeds) {
+    auto position = [&m](Term term) -> TermId {
+      if (term.is_iri()) return term.iri();
+      std::optional<TermId> v = m.Get(term.var());
+      return v.has_value() ? *v : kInvalidTermId;
+    };
+    graph.Match(position(t.s), position(t.p), position(t.o),
+                [&t, &m, &out](const Triple& match) {
+                  Mapping extended = m;
+                  bool ok = true;
+                  auto bind = [&extended, &ok](Term term, TermId value) {
+                    if (!term.is_var() || !ok) return;
+                    std::optional<TermId> existing =
+                        extended.Get(term.var());
+                    if (existing.has_value()) {
+                      if (*existing != value) ok = false;
+                    } else {
+                      extended.Set(term.var(), value);
+                    }
+                  };
+                  bind(t.s, match.s);
+                  bind(t.p, match.p);
+                  bind(t.o, match.o);
+                  if (ok) out.Add(extended);
+                });
+  }
+  return out;
+}
+
+// Evaluates `node`'s block seeded with `seeds`, then optionally extends
+// through every child (a child with no compatible extension contributes
+// nothing — OPT semantics under well-designedness).
+MappingSet EvalNode(const Graph& graph, const WdTreeNode& node,
+                    const MappingSet& seeds) {
+  MappingSet current = seeds;
+  for (const TriplePattern& t : node.triples) {
+    current = ExtendByTriple(graph, current, t);
+    if (current.empty()) return current;
+  }
+  for (const BuiltinPtr& condition : node.filters) {
+    MappingSet filtered;
+    for (const Mapping& m : current) {
+      if (condition->Eval(m)) filtered.Add(m);
+    }
+    current = std::move(filtered);
+    if (current.empty()) return current;
+  }
+  for (const auto& child : node.children) {
+    MappingSet next;
+    for (const Mapping& m : current) {
+      MappingSet seed;
+      seed.Add(m);
+      MappingSet extensions = EvalNode(graph, *child, seed);
+      if (extensions.empty()) {
+        next.Add(m);
+      } else {
+        for (const Mapping& e : extensions) next.Add(e);
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<MappingSet> EvalWellDesignedTopDown(const Graph& graph,
+                                           const PatternPtr& pattern) {
+  RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
+                         BuildWdTree(pattern));
+  MappingSet seeds;
+  seeds.Add(Mapping());
+  return EvalNode(graph, *tree, seeds);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,29 @@
+#ifndef RDFQL_EVAL_WD_EVALUATOR_H_
+#define RDFQL_EVAL_WD_EVALUATOR_H_
+
+#include "algebra/mapping_set.h"
+#include "algebra/pattern.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Specialized top-down evaluation of *well-designed* patterns over their
+/// pattern tree (the algorithmic counterpart of Proposition 5.6 and the
+/// well-designed-pattern-tree literature the paper builds on, [23]/[8]).
+///
+/// Instead of materializing every OPT operand and running ⟕ = ⋈ ∪ ∖, the
+/// evaluator walks the tree once per candidate answer: each node's
+/// AND/FILTER block is evaluated with the parent's bindings *seeded into
+/// the graph-index probes* (sideways information passing), and a child
+/// that yields no compatible extension simply contributes nothing — which
+/// is exactly OPT's semantics on well-designed inputs, where a child
+/// variable shared with the outside must occur in the parent block.
+///
+/// Fails with InvalidArgument when the pattern is not well designed.
+Result<MappingSet> EvalWellDesignedTopDown(const Graph& graph,
+                                           const PatternPtr& pattern);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_EVAL_WD_EVALUATOR_H_

@@ -1,0 +1,105 @@
+#include "fo/fo_eval.h"
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+TermId Value(const FoTerm& t, const FoAssignment& assignment) {
+  switch (t.kind) {
+    case FoTerm::Kind::kConst:
+      return t.constant;
+    case FoTerm::Kind::kN:
+      return kNElement;
+    case FoTerm::Kind::kVar: {
+      auto it = assignment.find(t.var);
+      RDFQL_CHECK_MSG(it != assignment.end(), "unassigned FO variable");
+      return it->second;
+    }
+  }
+  return kNElement;
+}
+
+bool Eval(const FoFormula& f, const FoStructure& structure,
+          FoAssignment* assignment) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kTrue:
+      return true;
+    case FoFormula::Kind::kFalse:
+      return false;
+    case FoFormula::Kind::kT:
+      return structure.HoldsT(Value(f.terms()[0], *assignment),
+                              Value(f.terms()[1], *assignment),
+                              Value(f.terms()[2], *assignment));
+    case FoFormula::Kind::kDom:
+      return structure.HoldsDom(Value(f.terms()[0], *assignment));
+    case FoFormula::Kind::kEq:
+      return Value(f.terms()[0], *assignment) ==
+             Value(f.terms()[1], *assignment);
+    case FoFormula::Kind::kNot:
+      return !Eval(*f.children()[0], structure, assignment);
+    case FoFormula::Kind::kAnd:
+      for (const FoFormulaPtr& c : f.children()) {
+        if (!Eval(*c, structure, assignment)) return false;
+      }
+      return true;
+    case FoFormula::Kind::kOr:
+      for (const FoFormulaPtr& c : f.children()) {
+        if (Eval(*c, structure, assignment)) return true;
+      }
+      return false;
+    case FoFormula::Kind::kExists: {
+      // Backtracking enumeration over the universe, with proper shadowing
+      // of any outer binding of the quantified variables.
+      const std::vector<VarId>& vars = f.quantified();
+      std::vector<std::pair<bool, TermId>> saved;
+      saved.reserve(vars.size());
+      for (VarId v : vars) {
+        auto it = assignment->find(v);
+        saved.emplace_back(it != assignment->end(),
+                           it != assignment->end() ? it->second : 0);
+      }
+      const std::vector<TermId>& universe = structure.Universe();
+      std::vector<size_t> idx(vars.size(), 0);
+      bool found = false;
+      // Odometer over universe^|vars|.
+      for (;;) {
+        for (size_t i = 0; i < vars.size(); ++i) {
+          (*assignment)[vars[i]] = universe[idx[i]];
+        }
+        if (Eval(*f.children()[0], structure, assignment)) {
+          found = true;
+          break;
+        }
+        size_t i = 0;
+        while (i < idx.size()) {
+          if (++idx[i] < universe.size()) break;
+          idx[i] = 0;
+          ++i;
+        }
+        if (i == idx.size()) break;
+      }
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (saved[i].first) {
+          (*assignment)[vars[i]] = saved[i].second;
+        } else {
+          assignment->erase(vars[i]);
+        }
+      }
+      return found;
+    }
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return false;
+}
+
+}  // namespace
+
+bool FoEval(const FoFormulaPtr& formula, const FoStructure& structure,
+            const FoAssignment& assignment) {
+  RDFQL_CHECK(formula != nullptr);
+  FoAssignment mutable_assignment = assignment;
+  return Eval(*formula, structure, &mutable_assignment);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,23 @@
+#ifndef RDFQL_FO_FO_EVAL_H_
+#define RDFQL_FO_FO_EVAL_H_
+
+#include <unordered_map>
+
+#include "fo/formula.h"
+#include "fo/structure.h"
+
+namespace rdfql {
+
+/// A variable assignment into the structure's universe; values may be
+/// kNElement (the interpretation of n).
+using FoAssignment = std::unordered_map<VarId, TermId>;
+
+/// Model checking: A ⊨ ϕ[assignment]. Quantifiers range over the whole
+/// finite universe (Dom-relativization is explicit in the formulas built by
+/// SparqlToFo). Every free variable of ϕ must be assigned.
+bool FoEval(const FoFormulaPtr& formula, const FoStructure& structure,
+            const FoAssignment& assignment);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_FO_EVAL_H_

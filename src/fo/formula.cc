@@ -1,0 +1,189 @@
+#include "fo/formula.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+std::string TermString(const FoTerm& t, const Dictionary& dict) {
+  switch (t.kind) {
+    case FoTerm::Kind::kVar:
+      return "?" + dict.VarName(t.var);
+    case FoTerm::Kind::kConst:
+      return dict.IriName(t.constant);
+    case FoTerm::Kind::kN:
+      return "n";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FoFormulaPtr FoFormula::True() {
+  static const FoFormulaPtr& instance =
+      *new FoFormulaPtr(new FoFormula(Kind::kTrue));
+  return instance;
+}
+
+FoFormulaPtr FoFormula::False() {
+  static const FoFormulaPtr& instance =
+      *new FoFormulaPtr(new FoFormula(Kind::kFalse));
+  return instance;
+}
+
+FoFormulaPtr FoFormula::T(FoTerm s, FoTerm p, FoTerm o) {
+  auto* f = new FoFormula(Kind::kT);
+  f->terms_ = {s, p, o};
+  return FoFormulaPtr(f);
+}
+
+FoFormulaPtr FoFormula::Dom(FoTerm x) {
+  auto* f = new FoFormula(Kind::kDom);
+  f->terms_ = {x};
+  return FoFormulaPtr(f);
+}
+
+FoFormulaPtr FoFormula::Eq(FoTerm a, FoTerm b) {
+  if (a == b) return True();
+  // Distinct constants (and constant-vs-n) can never be equal in a
+  // structure corresponding to an RDF graph (ΦRDF, Appendix C).
+  if (!a.is_var() && !b.is_var()) return False();
+  auto* f = new FoFormula(Kind::kEq);
+  f->terms_ = {a, b};
+  return FoFormulaPtr(f);
+}
+
+FoFormulaPtr FoFormula::Not(FoFormulaPtr f) {
+  RDFQL_CHECK(f != nullptr);
+  if (f->kind_ == Kind::kTrue) return False();
+  if (f->kind_ == Kind::kFalse) return True();
+  auto* out = new FoFormula(Kind::kNot);
+  out->children_ = {std::move(f)};
+  return FoFormulaPtr(out);
+}
+
+FoFormulaPtr FoFormula::And(std::vector<FoFormulaPtr> children) {
+  std::vector<FoFormulaPtr> kept;
+  for (FoFormulaPtr& c : children) {
+    RDFQL_CHECK(c != nullptr);
+    if (c->kind_ == Kind::kFalse) return False();
+    if (c->kind_ == Kind::kTrue) continue;
+    if (c->kind_ == Kind::kAnd) {
+      kept.insert(kept.end(), c->children_.begin(), c->children_.end());
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  if (kept.empty()) return True();
+  if (kept.size() == 1) return kept[0];
+  auto* f = new FoFormula(Kind::kAnd);
+  f->children_ = std::move(kept);
+  return FoFormulaPtr(f);
+}
+
+FoFormulaPtr FoFormula::Or(std::vector<FoFormulaPtr> children) {
+  std::vector<FoFormulaPtr> kept;
+  for (FoFormulaPtr& c : children) {
+    RDFQL_CHECK(c != nullptr);
+    if (c->kind_ == Kind::kTrue) return True();
+    if (c->kind_ == Kind::kFalse) continue;
+    if (c->kind_ == Kind::kOr) {
+      kept.insert(kept.end(), c->children_.begin(), c->children_.end());
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  if (kept.empty()) return False();
+  if (kept.size() == 1) return kept[0];
+  auto* f = new FoFormula(Kind::kOr);
+  f->children_ = std::move(kept);
+  return FoFormulaPtr(f);
+}
+
+FoFormulaPtr FoFormula::Exists(std::vector<VarId> vars, FoFormulaPtr body) {
+  RDFQL_CHECK(body != nullptr);
+  if (vars.empty()) return body;
+  if (body->kind_ == Kind::kTrue || body->kind_ == Kind::kFalse) return body;
+  auto* f = new FoFormula(Kind::kExists);
+  f->quantified_ = std::move(vars);
+  f->children_ = {std::move(body)};
+  return FoFormulaPtr(f);
+}
+
+void FoFormula::CollectFreeVars(std::set<VarId>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return;
+    case Kind::kT:
+    case Kind::kDom:
+    case Kind::kEq:
+      for (const FoTerm& t : terms_) {
+        if (t.is_var()) out->insert(t.var);
+      }
+      return;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FoFormulaPtr& c : children_) c->CollectFreeVars(out);
+      return;
+    case Kind::kExists: {
+      std::set<VarId> inner;
+      children_[0]->CollectFreeVars(&inner);
+      for (VarId v : quantified_) inner.erase(v);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+  }
+}
+
+std::set<VarId> FoFormula::FreeVars() const {
+  std::set<VarId> out;
+  CollectFreeVars(&out);
+  return out;
+}
+
+size_t FoFormula::SizeInNodes() const {
+  size_t n = 1;
+  for (const FoFormulaPtr& c : children_) n += c->SizeInNodes();
+  return n;
+}
+
+std::string FoFormula::ToString(const Dictionary& dict) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kT:
+      return "T(" + TermString(terms_[0], dict) + "," +
+             TermString(terms_[1], dict) + "," + TermString(terms_[2], dict) +
+             ")";
+    case Kind::kDom:
+      return "Dom(" + TermString(terms_[0], dict) + ")";
+    case Kind::kEq:
+      return TermString(terms_[0], dict) + " = " + TermString(terms_[1], dict);
+    case Kind::kNot:
+      return "~(" + children_[0]->ToString(dict) + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString(dict);
+      }
+      return out + ")";
+    }
+    case Kind::kExists: {
+      std::string out = "exists";
+      for (VarId v : quantified_) out += " ?" + dict.VarName(v);
+      return out + " . (" + children_[0]->ToString(dict) + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace rdfql

@@ -1,0 +1,107 @@
+#ifndef RDFQL_FO_FORMULA_H_
+#define RDFQL_FO_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfql {
+
+/// The distinguished element N interpreted by the constant n (Appendix C).
+/// It stands for "unbound" and never occurs in Dom or T of a structure that
+/// corresponds to an RDF graph.
+constexpr TermId kNElement = 0xfffffffeu;
+
+/// A first-order term of the vocabulary L^P_RDF: a variable, a constant
+/// c_i (an IRI), or the constant n.
+struct FoTerm {
+  enum class Kind { kVar, kConst, kN };
+
+  static FoTerm Var(VarId v) { return FoTerm{Kind::kVar, v, kInvalidTermId}; }
+  static FoTerm Const(TermId c) {
+    return FoTerm{Kind::kConst, kInvalidVarId, c};
+  }
+  static FoTerm N() { return FoTerm{Kind::kN, kInvalidVarId, kInvalidTermId}; }
+
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_n() const { return kind == Kind::kN; }
+
+  friend bool operator==(const FoTerm& a, const FoTerm& b) {
+    return a.kind == b.kind && a.var == b.var && a.constant == b.constant;
+  }
+  friend bool operator<(const FoTerm& a, const FoTerm& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.var != b.var) return a.var < b.var;
+    return a.constant < b.constant;
+  }
+
+  Kind kind;
+  VarId var;
+  TermId constant;
+};
+
+class FoFormula;
+using FoFormulaPtr = std::shared_ptr<const FoFormula>;
+
+/// First-order formulas over L^P_RDF = { T/3, Dom/1, constants, n } with
+/// equality. Quantification is plain ∃ — the Dom-relativization of
+/// Appendix C is expressed by explicit Dom(x) conjuncts, which keeps the
+/// AST small and the evaluator simple. ∀ is not needed (the library only
+/// builds positive-existential formulas and negations thereof).
+class FoFormula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kT,       // T(s, p, o)
+    kDom,     // Dom(x)
+    kEq,      // a = b
+    kNot,
+    kAnd,     // n-ary
+    kOr,      // n-ary
+    kExists,  // ∃ vars . body
+  };
+
+  static FoFormulaPtr True();
+  static FoFormulaPtr False();
+  static FoFormulaPtr T(FoTerm s, FoTerm p, FoTerm o);
+  static FoFormulaPtr Dom(FoTerm x);
+  static FoFormulaPtr Eq(FoTerm a, FoTerm b);
+  static FoFormulaPtr Not(FoFormulaPtr f);
+  static FoFormulaPtr And(std::vector<FoFormulaPtr> children);
+  static FoFormulaPtr Or(std::vector<FoFormulaPtr> children);
+  static FoFormulaPtr Exists(std::vector<VarId> vars, FoFormulaPtr body);
+
+  Kind kind() const { return kind_; }
+  const std::vector<FoTerm>& terms() const { return terms_; }
+  const std::vector<FoFormulaPtr>& children() const { return children_; }
+  const std::vector<VarId>& quantified() const { return quantified_; }
+
+  /// Free variables of the formula.
+  std::set<VarId> FreeVars() const;
+
+  /// Syntax-tree size (for the blow-up measurements).
+  size_t SizeInNodes() const;
+
+  /// Renders with the usual logical notation.
+  std::string ToString(const Dictionary& dict) const;
+
+ private:
+  explicit FoFormula(Kind kind) : kind_(kind) {}
+
+  void CollectFreeVars(std::set<VarId>* out) const;
+
+  Kind kind_;
+  std::vector<FoTerm> terms_;
+  std::vector<FoFormulaPtr> children_;
+  std::vector<VarId> quantified_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_FORMULA_H_

@@ -1,0 +1,181 @@
+#include "fo/interpolant_search.h"
+
+#include "analysis/fragments.h"
+#include "analysis/well_designed.h"
+#include "eval/evaluator.h"
+#include "transform/opt_rewriter.h"
+#include "transform/wd_to_simple.h"
+#include "util/random.h"
+
+namespace rdfql {
+namespace {
+
+void CollectShapes(const Pattern& p, std::vector<TriplePattern>* out) {
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      out->push_back(p.triple());
+      return;
+    case PatternKind::kFilter:
+    case PatternKind::kSelect:
+    case PatternKind::kNs:
+      CollectShapes(*p.child(), out);
+      return;
+    default:
+      CollectShapes(*p.left(), out);
+      CollectShapes(*p.right(), out);
+      return;
+  }
+}
+
+// Random graphs biased towards instantiations of the patterns' own triple
+// shapes (see analysis/monotonicity.cc for the rationale).
+Graph RandomGraphFromPool(const std::vector<TermId>& pool,
+                          const std::vector<TriplePattern>& shapes,
+                          int max_triples, Rng* rng) {
+  Graph g;
+  int n = static_cast<int>(rng->NextBelow(max_triples + 1));
+  for (int i = 0; i < n; ++i) {
+    if (!shapes.empty() && rng->NextBool(0.7)) {
+      const TriplePattern& t = shapes[rng->NextBelow(shapes.size())];
+      auto instantiate = [&pool, rng](Term term) {
+        return term.is_iri() ? term.iri() : rng->Pick(pool);
+      };
+      g.Insert(instantiate(t.s), instantiate(t.p), instantiate(t.o));
+    } else {
+      g.Insert(rng->Pick(pool), rng->Pick(pool), rng->Pick(pool));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::optional<PropertyCounterexample> FindSubsumptionEquivalenceGap(
+    const PatternPtr& p, const PatternPtr& q, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  std::vector<TermId> pool = p->Iris();
+  for (TermId iri : q->Iris()) pool.push_back(iri);
+  for (int i = 0; i < options.fresh_iris; ++i) {
+    pool.push_back(dict->InternIri("seq_pool_" + std::to_string(i)));
+  }
+  std::vector<TriplePattern> shapes;
+  CollectShapes(*p, &shapes);
+  CollectShapes(*q, &shapes);
+  Rng rng(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Graph g = RandomGraphFromPool(
+        pool, shapes, options.max_base_triples + options.max_extra_triples,
+        &rng);
+    MappingSet rp = EvalPattern(g, p);
+    MappingSet rq = EvalPattern(g, q);
+    for (const Mapping& m : rp) {
+      bool covered = false;
+      for (const Mapping& other : rq) {
+        if (m.SubsumedBy(other)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return PropertyCounterexample{g, g, m,
+                                      "⟦P⟧G not subsumed by ⟦Q⟧G"};
+      }
+    }
+    for (const Mapping& m : rq) {
+      bool covered = false;
+      for (const Mapping& other : rp) {
+        if (m.SubsumedBy(other)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return PropertyCounterexample{g, g, m,
+                                      "⟦Q⟧G not subsumed by ⟦P⟧G"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<AufsTranslation> FindSimplePatternTranslation(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  AufsTranslation out;
+  if (IsWellDesigned(pattern)) {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr inner,
+                           WellDesignedToAufUnion(pattern));
+    out.q = Pattern::Ns(inner);
+    out.method = TranslationMethod::kWellDesignedTree;
+  } else {
+    out.q = Pattern::Ns(MonotoneEnvelope(pattern));
+    out.method = TranslationMethod::kMonotoneEnvelope;
+  }
+  // Plain equivalence check (NS output is subsumption-free, so ≡ and ≡s
+  // coincide exactly when P is subsumption-free too).
+  std::vector<TermId> pool = pattern->Iris();
+  for (int i = 0; i < options.fresh_iris; ++i) {
+    pool.push_back(dict->InternIri("sp_pool_" + std::to_string(i)));
+  }
+  std::vector<TriplePattern> shapes;
+  CollectShapes(*pattern, &shapes);
+  Rng rng(options.seed);
+  out.verified = true;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    Graph g = RandomGraphFromPool(
+        pool, shapes, options.max_base_triples + options.max_extra_triples,
+        &rng);
+    MappingSet rp = EvalPattern(g, pattern);
+    MappingSet rq = EvalPattern(g, out.q);
+    if (!(rp == rq)) {
+      Mapping witness;
+      for (const Mapping& m : rp) {
+        if (!rq.Contains(m)) {
+          witness = m;
+          break;
+        }
+      }
+      for (const Mapping& m : rq) {
+        if (!rp.Contains(m)) {
+          witness = m;
+          break;
+        }
+      }
+      out.counterexample = PropertyCounterexample{
+          g, g, witness,
+          "⟦P⟧G differs from ⟦NS(envelope)⟧G — P is not both "
+          "subsumption-free and weakly monotone"};
+      out.verified = false;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<AufsTranslation> FindAufsTranslation(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options) {
+  AufsTranslation out;
+
+  if (IsWellDesigned(pattern)) {
+    RDFQL_ASSIGN_OR_RETURN(out.q, WellDesignedToAufUnion(pattern));
+    out.method = TranslationMethod::kWellDesignedTree;
+  } else if (IsNsPattern(pattern)) {
+    std::vector<PatternPtr> inner;
+    for (const PatternPtr& d : TopLevelDisjuncts(pattern)) {
+      inner.push_back(d->child());  // each d is NS(Q) with Q ∈ AUFS
+    }
+    out.q = Pattern::UnionAll(inner);
+    out.method = TranslationMethod::kNsPatternUnion;
+  } else {
+    out.q = MonotoneEnvelope(pattern);
+    out.method = TranslationMethod::kMonotoneEnvelope;
+  }
+
+  out.counterexample =
+      FindSubsumptionEquivalenceGap(pattern, out.q, dict, options);
+  out.verified = !out.counterexample.has_value();
+  return out;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,66 @@
+#ifndef RDFQL_FO_INTERPOLANT_SEARCH_H_
+#define RDFQL_FO_INTERPOLANT_SEARCH_H_
+
+#include <optional>
+#include <string>
+
+#include "algebra/pattern.h"
+#include "analysis/monotonicity.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// How an AUFS translation (the Q of Theorem 4.1) was obtained.
+enum class TranslationMethod {
+  kWellDesignedTree,   // pattern-tree construction (exact, Prop 5.6)
+  kNsPatternUnion,     // union of the NS children (exact, ns-patterns)
+  kMonotoneEnvelope,   // general candidate, verified empirically
+};
+
+/// Result of searching for Q ∈ SPARQL[AUFS] with P ≡s Q (Theorem 4.1).
+struct AufsTranslation {
+  PatternPtr q;
+  TranslationMethod method;
+  /// True when the subsumption-equivalence was either guaranteed by
+  /// construction or survived the randomized verification.
+  bool verified = false;
+  /// A counterexample graph, when verification failed.
+  std::optional<PropertyCounterexample> counterexample;
+};
+
+/// Randomized check of P ≡s Q — for sampled graphs G, ⟦P⟧G ⊑ ⟦Q⟧G and
+/// ⟦Q⟧G ⊑ ⟦P⟧G. Returns the first counterexample found, if any.
+std::optional<PropertyCounterexample> FindSubsumptionEquivalenceGap(
+    const PatternPtr& p, const PatternPtr& q, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+/// Theorem 4.1, made effective on the decidable classes: produces a
+/// SPARQL[AUFS] pattern Q with P ≡s Q.
+///
+/// Lyndon/Otto interpolation (the paper's proof device) is
+/// non-constructive, so this routine substitutes, in order:
+///   1. well-designed patterns → the pattern-tree union (Prop 5.6);
+///   2. ns-patterns → the union of the NS children;
+///   3. anything else → the monotone envelope (OPT stripped to
+///      (AND) UNION left), verified by randomized ≡s testing.
+/// For genuinely weakly-monotone inputs the envelope is the interpolant
+/// the theorem promises; for non-weakly-monotone inputs verification fails
+/// and the returned translation carries the counterexample.
+Result<AufsTranslation> FindAufsTranslation(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+/// Corollary 5.2, made effective: for a subsumption-free unrestricted
+/// weakly-monotone pattern P there is Q ∈ SPARQL[AUFS] with P ≡ NS(Q).
+/// This builds the candidate NS(monotone envelope of P) — when P is
+/// subsumption-free and ≡s to its envelope (the weak-monotonicity case),
+/// ⟦P⟧ = ⟦P⟧max = ⟦envelope⟧max = ⟦NS(envelope)⟧ exactly — and verifies
+/// plain equivalence on randomized graphs. `verified == false` means P
+/// was refuted as subsumption-free or weakly monotone.
+Result<AufsTranslation> FindSimplePatternTranslation(
+    const PatternPtr& pattern, Dictionary* dict,
+    const MonotonicityOptions& options = {});
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_INTERPOLANT_SEARCH_H_

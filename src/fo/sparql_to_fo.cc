@@ -1,0 +1,233 @@
+#include "fo/sparql_to_fo.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+using VarSet = std::vector<VarId>;  // always sorted
+
+bool Subset(const VarSet& a, const VarSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+VarSet SetUnion(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+VarSet SetDifference(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// All subsets of `base` (2^|base| of them, each sorted).
+std::vector<VarSet> AllSubsets(const VarSet& base) {
+  RDFQL_CHECK(base.size() < 24);
+  std::vector<VarSet> out;
+  out.reserve(size_t{1} << base.size());
+  for (uint64_t mask = 0; mask < (uint64_t{1} << base.size()); ++mask) {
+    VarSet s;
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) s.push_back(base[i]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+FoTerm ToFoTerm(Term t) {
+  return t.is_var() ? FoTerm::Var(t.var()) : FoTerm::Const(t.iri());
+}
+
+// ⋀_{x ∈ vars} Dom(x).
+FoFormulaPtr DomAll(const VarSet& vars) {
+  std::vector<FoFormulaPtr> conj;
+  for (VarId v : vars) conj.push_back(FoFormula::Dom(FoTerm::Var(v)));
+  return FoFormula::And(std::move(conj));
+}
+
+Result<FoFormulaPtr> Phi(const PatternPtr& p, const VarSet& x);
+
+// φ^{P1 AND P2}_X = ⋁_{X1 ∪ X2 = X, Xi ⊆ var(Pi)} φ^{P1}_{X1} ∧ φ^{P2}_{X2}.
+Result<FoFormulaPtr> PhiAnd(const PatternPtr& p1, const PatternPtr& p2,
+                            const VarSet& x) {
+  std::vector<FoFormulaPtr> disjuncts;
+  std::vector<VarSet> subsets = AllSubsets(x);
+  for (const VarSet& x1 : subsets) {
+    if (!Subset(x1, p1->Vars())) continue;
+    for (const VarSet& x2 : subsets) {
+      if (!Subset(x2, p2->Vars())) continue;
+      if (SetUnion(x1, x2) != x) continue;
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr f1, Phi(p1, x1));
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr f2, Phi(p2, x2));
+      disjuncts.push_back(FoFormula::And({f1, f2}));
+    }
+  }
+  return FoFormula::Or(std::move(disjuncts));
+}
+
+// The negated "compatible-answer-of-P2 exists" part of the OPT/MINUS case:
+// ¬ ⋁_{X' ⊆ var(P2)} ∃(X' \ X) (⋀_{x' ∈ X'} Dom(x') ∧ φ^{P2}_{X'}).
+Result<FoFormulaPtr> NoCompatible(const PatternPtr& p2, const VarSet& x) {
+  std::vector<FoFormulaPtr> disjuncts;
+  for (const VarSet& xp : AllSubsets(p2->Vars())) {
+    RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr body, Phi(p2, xp));
+    FoFormulaPtr guarded = FoFormula::And({DomAll(xp), body});
+    disjuncts.push_back(
+        FoFormula::Exists(SetDifference(xp, x), std::move(guarded)));
+  }
+  return FoFormula::Not(FoFormula::Or(std::move(disjuncts)));
+}
+
+// φ_R of the FILTER case, relative to the bound-variable set X.
+FoFormulaPtr PhiCondition(const Builtin& r, const VarSet& x) {
+  auto in_x = [&x](VarId v) {
+    return std::binary_search(x.begin(), x.end(), v);
+  };
+  switch (r.kind()) {
+    case Builtin::Kind::kTrue:
+      return FoFormula::True();
+    case Builtin::Kind::kFalse:
+      return FoFormula::False();
+    case Builtin::Kind::kBound:
+      return in_x(r.var()) ? FoFormula::True() : FoFormula::False();
+    case Builtin::Kind::kEqConst:
+      return in_x(r.var()) ? FoFormula::Eq(FoTerm::Var(r.var()),
+                                           FoTerm::Const(r.constant()))
+                           : FoFormula::False();
+    case Builtin::Kind::kEqVars:
+      return (in_x(r.var()) && in_x(r.var2()))
+                 ? FoFormula::Eq(FoTerm::Var(r.var()), FoTerm::Var(r.var2()))
+                 : FoFormula::False();
+    case Builtin::Kind::kNot:
+      return FoFormula::Not(PhiCondition(*r.left(), x));
+    case Builtin::Kind::kAnd:
+      return FoFormula::And(
+          {PhiCondition(*r.left(), x), PhiCondition(*r.right(), x)});
+    case Builtin::Kind::kOr:
+      return FoFormula::Or(
+          {PhiCondition(*r.left(), x), PhiCondition(*r.right(), x)});
+  }
+  return FoFormula::False();
+}
+
+Result<FoFormulaPtr> Phi(const PatternPtr& p, const VarSet& x) {
+  switch (p->kind()) {
+    case PatternKind::kTriple: {
+      if (x != p->Vars()) return FoFormula::False();
+      FoTerm s = ToFoTerm(p->triple().s);
+      FoTerm pr = ToFoTerm(p->triple().p);
+      FoTerm o = ToFoTerm(p->triple().o);
+      return FoFormula::And({FoFormula::T(s, pr, o), FoFormula::Dom(s),
+                             FoFormula::Dom(pr), FoFormula::Dom(o)});
+    }
+    case PatternKind::kUnion: {
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr l, Phi(p->left(), x));
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr r, Phi(p->right(), x));
+      return FoFormula::Or({l, r});
+    }
+    case PatternKind::kAnd:
+      return PhiAnd(p->left(), p->right(), x);
+    case PatternKind::kOpt: {
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr both,
+                             PhiAnd(p->left(), p->right(), x));
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr left_only, Phi(p->left(), x));
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr no_compat,
+                             NoCompatible(p->right(), x));
+      return FoFormula::Or(
+          {both, FoFormula::And({left_only, no_compat})});
+    }
+    case PatternKind::kMinus: {
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr left_only, Phi(p->left(), x));
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr no_compat,
+                             NoCompatible(p->right(), x));
+      return FoFormula::And({left_only, no_compat});
+    }
+    case PatternKind::kFilter: {
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr inner, Phi(p->child(), x));
+      return FoFormula::And({inner, PhiCondition(*p->condition(), x)});
+    }
+    case PatternKind::kSelect: {
+      if (!Subset(x, p->projection()) || !Subset(x, p->child()->Vars())) {
+        return FoFormula::False();
+      }
+      std::vector<FoFormulaPtr> disjuncts;
+      for (const VarSet& y : AllSubsets(p->child()->Vars())) {
+        // The projection of a domain-Y answer onto V has domain Y ∩ V, so
+        // exactly the Y with Y ∩ V = X contribute to φ^P_X.
+        VarSet y_in_v;
+        std::set_intersection(y.begin(), y.end(), p->projection().begin(),
+                              p->projection().end(),
+                              std::back_inserter(y_in_v));
+        if (y_in_v != x) continue;
+        RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr body, Phi(p->child(), y));
+        disjuncts.push_back(FoFormula::Exists(
+            SetDifference(y, x), FoFormula::And({DomAll(y), body})));
+      }
+      return FoFormula::Or(std::move(disjuncts));
+    }
+    case PatternKind::kNs: {
+      // φ^Q_X ∧ ¬(some answer of Q binds a strict superset of X and agrees
+      // on X) — the natural extension of Lemma C.1 to the NS operator.
+      RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr base, Phi(p->child(), x));
+      std::vector<FoFormulaPtr> bigger;
+      for (const VarSet& xp : AllSubsets(p->child()->Vars())) {
+        if (xp.size() <= x.size() || !Subset(x, xp)) continue;
+        RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr body, Phi(p->child(), xp));
+        bigger.push_back(FoFormula::Exists(
+            SetDifference(xp, x), FoFormula::And({DomAll(xp), body})));
+      }
+      return FoFormula::And(
+          {base, FoFormula::Not(FoFormula::Or(std::move(bigger)))});
+    }
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<FoFormulaPtr> BuildPhiX(const PatternPtr& pattern,
+                               const std::vector<VarId>& x) {
+  RDFQL_CHECK(pattern != nullptr);
+  return Phi(pattern, x);
+}
+
+Result<FoFormulaPtr> SparqlToFo(const PatternPtr& pattern, size_t max_vars) {
+  RDFQL_CHECK(pattern != nullptr);
+  const VarSet& all = pattern->Vars();
+  if (all.size() > max_vars) {
+    return Status::ResourceExhausted(
+        "SparqlToFo: pattern has too many variables (" +
+        std::to_string(all.size()) + " > " + std::to_string(max_vars) + ")");
+  }
+  std::vector<FoFormulaPtr> disjuncts;
+  for (const VarSet& x : AllSubsets(all)) {
+    RDFQL_ASSIGN_OR_RETURN(FoFormulaPtr phi_x, Phi(pattern, x));
+    std::vector<FoFormulaPtr> conj = {phi_x};
+    for (VarId z : SetDifference(all, x)) {
+      conj.push_back(FoFormula::Eq(FoTerm::Var(z), FoTerm::N()));
+    }
+    disjuncts.push_back(FoFormula::And(std::move(conj)));
+  }
+  return FoFormula::Or(std::move(disjuncts));
+}
+
+FoAssignment TupleAssignment(const Mapping& mu,
+                             const std::vector<VarId>& vars) {
+  FoAssignment out;
+  for (VarId v : vars) {
+    std::optional<TermId> value = mu.Get(v);
+    out[v] = value.has_value() ? *value : kNElement;
+  }
+  return out;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,35 @@
+#ifndef RDFQL_FO_SPARQL_TO_FO_H_
+#define RDFQL_FO_SPARQL_TO_FO_H_
+
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "fo/fo_eval.h"
+#include "fo/formula.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Lemma C.1: the formula φ^P_X whose satisfying tuples are exactly the
+/// answers of P binding precisely the variables X (free variables = X).
+Result<FoFormulaPtr> BuildPhiX(const PatternPtr& pattern,
+                               const std::vector<VarId>& x);
+
+/// Lemma C.2: the formula ϕ_P with free variables var(P) such that for
+/// every mapping µ, RDF graph G and structure A = G^P_FO:
+///     µ ∈ ⟦P⟧G  ⇔  A ⊨ ϕ_P(t^P_µ),
+/// where t^P_µ assigns µ's values and N to the unbound variables.
+///
+/// The construction is exponential in |var(P)| (the union over subsets in
+/// Lemma C.2 plus the 3^|X| expansion of AND in Lemma C.1); patterns with
+/// more than `max_vars` variables are rejected with ResourceExhausted.
+Result<FoFormulaPtr> SparqlToFo(const PatternPtr& pattern,
+                                size_t max_vars = 10);
+
+/// t^P_µ as an FO assignment: µ's bindings over `vars`, N elsewhere.
+FoAssignment TupleAssignment(const Mapping& mu,
+                             const std::vector<VarId>& vars);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_SPARQL_TO_FO_H_

@@ -1,0 +1,12 @@
+#include "fo/structure.h"
+
+namespace rdfql {
+
+FoStructure::FoStructure(const Graph* graph) : graph_(graph) {
+  std::vector<TermId> iris = graph->Iris();
+  iris_.insert(iris.begin(), iris.end());
+  universe_ = std::move(iris);
+  universe_.push_back(kNElement);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,39 @@
+#ifndef RDFQL_FO_STRUCTURE_H_
+#define RDFQL_FO_STRUCTURE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "fo/formula.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// The first-order structure G^P_FO that represents an RDF graph
+/// (Definition C.5): domain I(G) ∪ {N}, T interpreted as the triples of G,
+/// Dom as I(G), every IRI constant as itself, and n as N.
+class FoStructure {
+ public:
+  explicit FoStructure(const Graph* graph);
+
+  /// The universe, as TermIds plus the sentinel kNElement.
+  const std::vector<TermId>& Universe() const { return universe_; }
+
+  bool HoldsT(TermId a, TermId b, TermId c) const {
+    if (a == kNElement || b == kNElement || c == kNElement) return false;
+    return graph_->Contains(Triple(a, b, c));
+  }
+
+  bool HoldsDom(TermId a) const {
+    return a != kNElement && iris_.count(a) > 0;
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<TermId> universe_;
+  std::unordered_set<TermId> iris_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_STRUCTURE_H_

@@ -1,0 +1,364 @@
+#include "fo/ucq.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+Status TooBig() {
+  return Status::ResourceExhausted("UCQ normalization exceeded the limit");
+}
+
+// A disjunct under construction; Dom atoms are kept symbolic until the
+// Adom expansion step.
+struct Partial {
+  std::vector<VarId> exist_vars;
+  std::vector<UcqTripleAtom> triples;
+  std::vector<UcqEquality> equalities;
+  std::vector<FoTerm> doms;
+};
+
+FoTerm RenameTerm(const FoTerm& t, const std::map<VarId, VarId>& renaming) {
+  if (!t.is_var()) return t;
+  auto it = renaming.find(t.var);
+  return it == renaming.end() ? t : FoTerm::Var(it->second);
+}
+
+void RenameInPlace(Partial* d, const std::map<VarId, VarId>& renaming) {
+  for (VarId& v : d->exist_vars) {
+    auto it = renaming.find(v);
+    if (it != renaming.end()) v = it->second;
+  }
+  for (UcqTripleAtom& t : d->triples) {
+    t.s = RenameTerm(t.s, renaming);
+    t.p = RenameTerm(t.p, renaming);
+    t.o = RenameTerm(t.o, renaming);
+  }
+  for (UcqEquality& e : d->equalities) {
+    e.a = RenameTerm(e.a, renaming);
+    e.b = RenameTerm(e.b, renaming);
+  }
+  for (FoTerm& t : d->doms) t = RenameTerm(t, renaming);
+}
+
+void Merge(Partial* dst, const Partial& src) {
+  dst->exist_vars.insert(dst->exist_vars.end(), src.exist_vars.begin(),
+                         src.exist_vars.end());
+  dst->triples.insert(dst->triples.end(), src.triples.begin(),
+                      src.triples.end());
+  dst->equalities.insert(dst->equalities.end(), src.equalities.begin(),
+                         src.equalities.end());
+  dst->doms.insert(dst->doms.end(), src.doms.begin(), src.doms.end());
+}
+
+// NNF + DNF in one pass: `negated` tracks the polarity. Returns the list
+// of disjuncts of the (possibly negated) formula.
+Result<std::vector<Partial>> Normalize(const FoFormula& f, bool negated,
+                                       Dictionary* dict,
+                                       size_t max_disjuncts) {
+  switch (f.kind()) {
+    case FoFormula::Kind::kTrue:
+    case FoFormula::Kind::kFalse: {
+      bool truthy = (f.kind() == FoFormula::Kind::kTrue) != negated;
+      std::vector<Partial> out;
+      if (truthy) out.push_back(Partial{});
+      return out;
+    }
+    case FoFormula::Kind::kEq: {
+      Partial d;
+      d.equalities.push_back(UcqEquality{f.terms()[0], f.terms()[1], negated});
+      return std::vector<Partial>{std::move(d)};
+    }
+    case FoFormula::Kind::kT: {
+      if (negated) {
+        return Status::Unsupported(
+            "negated T atom: formula is not positive-existential");
+      }
+      Partial d;
+      d.triples.push_back(UcqTripleAtom{f.terms()[0], f.terms()[1],
+                                        f.terms()[2]});
+      return std::vector<Partial>{std::move(d)};
+    }
+    case FoFormula::Kind::kDom: {
+      if (negated) {
+        return Status::Unsupported(
+            "negated Dom atom: formula is not positive-existential");
+      }
+      Partial d;
+      d.doms.push_back(f.terms()[0]);
+      return std::vector<Partial>{std::move(d)};
+    }
+    case FoFormula::Kind::kNot:
+      return Normalize(*f.children()[0], !negated, dict, max_disjuncts);
+    case FoFormula::Kind::kAnd:
+    case FoFormula::Kind::kOr: {
+      bool conjunctive = (f.kind() == FoFormula::Kind::kAnd) != negated;
+      if (!conjunctive) {
+        // Disjunction: concatenate the children's disjuncts.
+        std::vector<Partial> out;
+        for (const FoFormulaPtr& c : f.children()) {
+          RDFQL_ASSIGN_OR_RETURN(
+              std::vector<Partial> sub,
+              Normalize(*c, negated, dict, max_disjuncts));
+          if (out.size() + sub.size() > max_disjuncts) return TooBig();
+          for (Partial& d : sub) out.push_back(std::move(d));
+        }
+        return out;
+      }
+      // Conjunction: cartesian product of the children's disjunct lists.
+      std::vector<Partial> acc = {Partial{}};
+      for (const FoFormulaPtr& c : f.children()) {
+        RDFQL_ASSIGN_OR_RETURN(std::vector<Partial> sub,
+                               Normalize(*c, negated, dict, max_disjuncts));
+        if (acc.size() * sub.size() > max_disjuncts) return TooBig();
+        std::vector<Partial> next;
+        next.reserve(acc.size() * sub.size());
+        for (const Partial& a : acc) {
+          for (const Partial& b : sub) {
+            Partial merged = a;
+            Merge(&merged, b);
+            next.push_back(std::move(merged));
+          }
+        }
+        acc.swap(next);
+      }
+      return acc;
+    }
+    case FoFormula::Kind::kExists: {
+      if (negated) {
+        return Status::Unsupported(
+            "negated quantifier: formula is not positive-existential");
+      }
+      RDFQL_ASSIGN_OR_RETURN(
+          std::vector<Partial> sub,
+          Normalize(*f.children()[0], false, dict, max_disjuncts));
+      // Pull the existential out, renaming apart per disjunct so merging
+      // disjuncts from sibling conjuncts cannot capture variables.
+      for (Partial& d : sub) {
+        std::map<VarId, VarId> renaming;
+        for (VarId v : f.quantified()) {
+          renaming[v] = dict->FreshVar("e" + dict->VarName(v));
+        }
+        RenameInPlace(&d, renaming);
+        for (VarId v : f.quantified()) d.exist_vars.push_back(renaming[v]);
+      }
+      return sub;
+    }
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return Status::Internal("unreachable");
+}
+
+// Replaces Dom atoms by Adom (x occurs in some triple position), tripling
+// the disjunct per Dom atom.
+Result<std::vector<Partial>> ExpandDoms(std::vector<Partial> input,
+                                        Dictionary* dict,
+                                        size_t max_disjuncts) {
+  std::vector<Partial> out;
+  for (Partial& d : input) {
+    std::vector<Partial> acc = {d};
+    acc[0].doms.clear();
+    for (const FoTerm& t : d.doms) {
+      if (acc.size() * 3 > max_disjuncts) return TooBig();
+      std::vector<Partial> next;
+      for (const Partial& base : acc) {
+        for (int position = 0; position < 3; ++position) {
+          Partial expanded = base;
+          VarId f1 = dict->FreshVar("ad");
+          VarId f2 = dict->FreshVar("ad");
+          expanded.exist_vars.push_back(f1);
+          expanded.exist_vars.push_back(f2);
+          FoTerm v1 = FoTerm::Var(f1);
+          FoTerm v2 = FoTerm::Var(f2);
+          if (position == 0) {
+            expanded.triples.push_back(UcqTripleAtom{t, v1, v2});
+          } else if (position == 1) {
+            expanded.triples.push_back(UcqTripleAtom{v1, t, v2});
+          } else {
+            expanded.triples.push_back(UcqTripleAtom{v1, v2, t});
+          }
+          next.push_back(std::move(expanded));
+        }
+      }
+      acc.swap(next);
+    }
+    if (out.size() + acc.size() > max_disjuncts) return TooBig();
+    for (Partial& a : acc) out.push_back(std::move(a));
+  }
+  return out;
+}
+
+bool MentionsN(const UcqTripleAtom& t) {
+  return t.s.is_n() || t.p.is_n() || t.o.is_n();
+}
+
+// Appendix C cleanup: drop disjuncts whose T atoms mention n or whose
+// equalities are trivially contradictory; fold trivially true equalities.
+void Cleanup(std::vector<Partial>* disjuncts) {
+  std::vector<Partial> kept;
+  for (Partial& d : *disjuncts) {
+    bool dead = false;
+    for (const UcqTripleAtom& t : d.triples) {
+      if (MentionsN(t)) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) continue;
+    std::vector<UcqEquality> eqs;
+    for (const UcqEquality& e : d.equalities) {
+      if (!e.a.is_var() && !e.b.is_var()) {
+        bool holds = (e.a == e.b) != e.negated;
+        if (!holds) {
+          dead = true;
+          break;
+        }
+        continue;  // trivially true, drop
+      }
+      if (e.a == e.b) {
+        // x = x / x ≠ x.
+        if (e.negated) {
+          dead = true;
+          break;
+        }
+        continue;
+      }
+      eqs.push_back(e);
+    }
+    if (dead) continue;
+    d.equalities = std::move(eqs);
+    kept.push_back(std::move(d));
+  }
+  disjuncts->swap(kept);
+}
+
+void CollectMentionedVars(const Partial& d, std::vector<VarId>* out) {
+  auto add = [out](const FoTerm& t) {
+    if (t.is_var()) out->push_back(t.var);
+  };
+  for (const UcqTripleAtom& t : d.triples) {
+    add(t.s);
+    add(t.p);
+    add(t.o);
+  }
+  for (const UcqEquality& e : d.equalities) {
+    add(e.a);
+    add(e.b);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+// The γ_i padding of Lemma C.7: disjuncts that do not mention some free
+// variable x get expanded over the choices {x = n} ∪ Adom(x).
+Result<std::vector<Partial>> PadFreeVars(std::vector<Partial> input,
+                                         const std::vector<VarId>& free_vars,
+                                         Dictionary* dict,
+                                         size_t max_disjuncts) {
+  std::vector<Partial> out;
+  for (Partial& d : input) {
+    std::vector<VarId> mentioned;
+    CollectMentionedVars(d, &mentioned);
+    std::vector<VarId> missing;
+    std::set_difference(free_vars.begin(), free_vars.end(),
+                        mentioned.begin(), mentioned.end(),
+                        std::back_inserter(missing));
+    std::vector<Partial> acc = {std::move(d)};
+    for (VarId x : missing) {
+      if (acc.size() * 4 > max_disjuncts) return TooBig();
+      std::vector<Partial> next;
+      for (const Partial& base : acc) {
+        // Choice 1: x = n.
+        Partial with_n = base;
+        with_n.equalities.push_back(
+            UcqEquality{FoTerm::Var(x), FoTerm::N(), false});
+        next.push_back(std::move(with_n));
+        // Choices 2-4: Adom(x) in each position.
+        for (int position = 0; position < 3; ++position) {
+          Partial with_adom = base;
+          VarId f1 = dict->FreshVar("ad");
+          VarId f2 = dict->FreshVar("ad");
+          with_adom.exist_vars.push_back(f1);
+          with_adom.exist_vars.push_back(f2);
+          FoTerm vx = FoTerm::Var(x);
+          FoTerm v1 = FoTerm::Var(f1);
+          FoTerm v2 = FoTerm::Var(f2);
+          if (position == 0) {
+            with_adom.triples.push_back(UcqTripleAtom{vx, v1, v2});
+          } else if (position == 1) {
+            with_adom.triples.push_back(UcqTripleAtom{v1, vx, v2});
+          } else {
+            with_adom.triples.push_back(UcqTripleAtom{v1, v2, vx});
+          }
+          next.push_back(std::move(with_adom));
+        }
+      }
+      acc.swap(next);
+    }
+    if (out.size() + acc.size() > max_disjuncts) return TooBig();
+    for (Partial& a : acc) out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t Ucq::TotalAtoms() const {
+  size_t n = 0;
+  for (const UcqDisjunct& d : disjuncts) {
+    n += d.triples.size() + d.equalities.size();
+  }
+  return n;
+}
+
+FoFormulaPtr UcqToFormula(const Ucq& ucq) {
+  std::vector<FoFormulaPtr> disjuncts;
+  for (const UcqDisjunct& d : ucq.disjuncts) {
+    std::vector<FoFormulaPtr> conj;
+    for (const UcqTripleAtom& t : d.triples) {
+      conj.push_back(FoFormula::T(t.s, t.p, t.o));
+    }
+    for (const UcqEquality& e : d.equalities) {
+      FoFormulaPtr eq = FoFormula::Eq(e.a, e.b);
+      conj.push_back(e.negated ? FoFormula::Not(eq) : eq);
+    }
+    disjuncts.push_back(
+        FoFormula::Exists(d.exist_vars, FoFormula::And(std::move(conj))));
+  }
+  return FoFormula::Or(std::move(disjuncts));
+}
+
+Result<Ucq> PositiveExistentialToUcq(const FoFormulaPtr& formula,
+                                     std::vector<VarId> free_vars,
+                                     Dictionary* dict,
+                                     size_t max_disjuncts) {
+  RDFQL_CHECK(formula != nullptr);
+  std::sort(free_vars.begin(), free_vars.end());
+  RDFQL_ASSIGN_OR_RETURN(
+      std::vector<Partial> disjuncts,
+      Normalize(*formula, /*negated=*/false, dict, max_disjuncts));
+  RDFQL_ASSIGN_OR_RETURN(
+      disjuncts, ExpandDoms(std::move(disjuncts), dict, max_disjuncts));
+  Cleanup(&disjuncts);
+  RDFQL_ASSIGN_OR_RETURN(
+      disjuncts,
+      PadFreeVars(std::move(disjuncts), free_vars, dict, max_disjuncts));
+
+  Ucq out;
+  out.free_vars = std::move(free_vars);
+  out.disjuncts.reserve(disjuncts.size());
+  for (Partial& d : disjuncts) {
+    RDFQL_CHECK(d.doms.empty());
+    UcqDisjunct u;
+    u.exist_vars = std::move(d.exist_vars);
+    u.triples = std::move(d.triples);
+    u.equalities = std::move(d.equalities);
+    out.disjuncts.push_back(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace rdfql

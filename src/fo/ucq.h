@@ -1,0 +1,66 @@
+#ifndef RDFQL_FO_UCQ_H_
+#define RDFQL_FO_UCQ_H_
+
+#include <vector>
+
+#include "fo/formula.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// A relational atom T(s, p, o) of a conjunctive query.
+struct UcqTripleAtom {
+  FoTerm s;
+  FoTerm p;
+  FoTerm o;
+};
+
+/// An (in)equality atom a = b / a ≠ b.
+struct UcqEquality {
+  FoTerm a;
+  FoTerm b;
+  bool negated = false;
+};
+
+/// One disjunct of a UCQ with inequalities: ∃ exist_vars . (⋀ triples ∧
+/// ⋀ equalities). Free variables are those of the enclosing Ucq.
+struct UcqDisjunct {
+  std::vector<VarId> exist_vars;
+  std::vector<UcqTripleAtom> triples;
+  std::vector<UcqEquality> equalities;
+};
+
+/// A union of conjunctive queries with inequalities over L^P_RDF without
+/// Dom (Lemma C.7's target class): every disjunct has the same free
+/// variables.
+struct Ucq {
+  std::vector<VarId> free_vars;  // sorted
+  std::vector<UcqDisjunct> disjuncts;
+
+  size_t TotalAtoms() const;
+};
+
+/// Renders the UCQ back as an FO formula (for round-trip testing against
+/// FoEval).
+FoFormulaPtr UcqToFormula(const Ucq& ucq);
+
+/// Lemma C.7: normalizes a positive-existential formula (negation allowed
+/// only over equality combinations, the shape produced by SparqlToFo on
+/// SPARQL[AUFS] patterns) into an equivalent-over-RDF-structures UCQ with
+/// inequalities in which Dom does not occur:
+///   - NNF, with ¬(a=b) becoming inequalities,
+///   - distribution to DNF with existential variables renamed apart,
+///   - Dom(x) replaced by the active-domain shorthand Adom(x) (three
+///     T-atom disjuncts),
+///   - the Appendix-C cleanup (triples mentioning n dropped, trivial
+///     equalities folded) and the free-variable padding of the γ_i
+///     construction.
+/// `max_disjuncts` bounds the (intentionally) exponential blow-up.
+Result<Ucq> PositiveExistentialToUcq(const FoFormulaPtr& formula,
+                                     std::vector<VarId> free_vars,
+                                     Dictionary* dict,
+                                     size_t max_disjuncts = 1u << 18);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_UCQ_H_

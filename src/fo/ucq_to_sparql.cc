@@ -1,0 +1,83 @@
+#include "fo/ucq_to_sparql.h"
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+Result<Term> ToSparqlTerm(const FoTerm& t) {
+  if (t.is_var()) return Term::Var(t.var);
+  if (t.is_const()) return Term::Iri(t.constant);
+  return Status::InvalidArgument("n cannot occur in a T atom");
+}
+
+// Renders one (in)equality as a built-in condition. Equalities with n
+// become (un)boundedness tests on the variable side.
+Result<BuiltinPtr> ToCondition(const UcqEquality& e) {
+  const FoTerm& a = e.a;
+  const FoTerm& b = e.b;
+  BuiltinPtr base;
+  if (a.is_var() && b.is_var()) {
+    base = Builtin::EqVars(a.var, b.var);
+  } else if (a.is_var() && b.is_const()) {
+    base = Builtin::EqConst(a.var, b.constant);
+  } else if (a.is_const() && b.is_var()) {
+    base = Builtin::EqConst(b.var, a.constant);
+  } else if (a.is_var() && b.is_n()) {
+    base = Builtin::Not(Builtin::Bound(a.var));
+  } else if (a.is_n() && b.is_var()) {
+    base = Builtin::Not(Builtin::Bound(b.var));
+  } else {
+    return Status::InvalidArgument(
+        "constant-only equality should have been folded");
+  }
+  return e.negated ? Builtin::Not(base) : base;
+}
+
+}  // namespace
+
+Result<PatternPtr> UcqToSparql(const Ucq& ucq, Dictionary* dict) {
+  if (ucq.disjuncts.empty()) {
+    // The empty UCQ is unsatisfiable: encode as a triple filtered by false.
+    VarId v1 = dict->FreshVar("u");
+    VarId v2 = dict->FreshVar("u");
+    VarId v3 = dict->FreshVar("u");
+    return Pattern::Filter(
+        Pattern::MakeTriple(Term::Var(v1), Term::Var(v2), Term::Var(v3)),
+        Builtin::False());
+  }
+
+  std::vector<PatternPtr> disjunct_patterns;
+  for (const UcqDisjunct& d : ucq.disjuncts) {
+    std::vector<PatternPtr> triples;
+    for (const UcqTripleAtom& atom : d.triples) {
+      RDFQL_ASSIGN_OR_RETURN(Term s, ToSparqlTerm(atom.s));
+      RDFQL_ASSIGN_OR_RETURN(Term p, ToSparqlTerm(atom.p));
+      RDFQL_ASSIGN_OR_RETURN(Term o, ToSparqlTerm(atom.o));
+      triples.push_back(Pattern::MakeTriple(s, p, o));
+    }
+    if (triples.empty()) {
+      // All-n disjunct: yields the empty mapping on non-empty graphs.
+      VarId v1 = dict->FreshVar("u");
+      VarId v2 = dict->FreshVar("u");
+      VarId v3 = dict->FreshVar("u");
+      triples.push_back(
+          Pattern::MakeTriple(Term::Var(v1), Term::Var(v2), Term::Var(v3)));
+    }
+    PatternPtr body = Pattern::AndAll(triples);
+
+    std::vector<BuiltinPtr> conditions;
+    for (const UcqEquality& e : d.equalities) {
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr cond, ToCondition(e));
+      conditions.push_back(cond);
+    }
+    if (!conditions.empty()) {
+      body = Pattern::Filter(body, Builtin::AndAll(conditions));
+    }
+    // Project onto the free variables (drops the existential variables).
+    disjunct_patterns.push_back(Pattern::Select(ucq.free_vars, body));
+  }
+  return Pattern::UnionAll(disjunct_patterns);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,25 @@
+#ifndef RDFQL_FO_UCQ_TO_SPARQL_H_
+#define RDFQL_FO_UCQ_TO_SPARQL_H_
+
+#include "algebra/pattern.h"
+#include "fo/ucq.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Theorem C.8: translates a UCQ with inequalities into a SPARQL[AUFS]
+/// graph pattern P with ϕ ≡RDF P — for every RDF graph G and every mapping
+/// µ, µ ∈ ⟦P⟧G iff G^P_FO ⊨ ϕ(t^P_µ).
+///
+/// Each disjunct becomes (AND of its T-atoms) FILTER (its equalities, with
+/// x = n rendered as !bound(?x) and x ≠ n as bound(?x)), wrapped in a
+/// SELECT onto the free variables. A disjunct without T-atoms (all free
+/// variables equal to n) is rendered as SELECT {} over a universal triple
+/// pattern; it coincides with the FO semantics on every non-empty graph
+/// (on the empty graph the FO side can still make the all-n tuple true —
+/// the weaker ≡RDF equivalence of Appendix C tolerates exactly this).
+Result<PatternPtr> UcqToSparql(const Ucq& ucq, Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_FO_UCQ_TO_SPARQL_H_

@@ -1,0 +1,66 @@
+#include "optimize/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rdfql {
+
+GraphStats GraphStats::Collect(const Graph& graph) {
+  GraphStats stats;
+  stats.total_ = graph.size();
+
+  std::unordered_map<TermId, std::unordered_set<TermId>> subjects;
+  std::unordered_map<TermId, std::unordered_set<TermId>> objects;
+  std::unordered_set<TermId> all_subjects;
+  std::unordered_set<TermId> all_objects;
+  for (const Triple& t : graph.triples()) {
+    stats.by_predicate_[t.p].count++;
+    subjects[t.p].insert(t.s);
+    objects[t.p].insert(t.o);
+    all_subjects.insert(t.s);
+    all_objects.insert(t.o);
+  }
+  for (auto& [p, ps] : stats.by_predicate_) {
+    ps.subjects = subjects[p].size();
+    ps.objects = objects[p].size();
+  }
+  stats.distinct_subjects_ = all_subjects.size();
+  stats.distinct_objects_ = all_objects.size();
+  return stats;
+}
+
+size_t GraphStats::PredicateCount(TermId p) const {
+  auto it = by_predicate_.find(p);
+  return it == by_predicate_.end() ? 0 : it->second.count;
+}
+
+size_t GraphStats::DistinctSubjects(TermId p) const {
+  auto it = by_predicate_.find(p);
+  return it == by_predicate_.end() ? 0 : it->second.subjects;
+}
+
+size_t GraphStats::DistinctObjects(TermId p) const {
+  auto it = by_predicate_.find(p);
+  return it == by_predicate_.end() ? 0 : it->second.objects;
+}
+
+double GraphStats::EstimateCardinality(const TriplePattern& t) const {
+  if (t.p.is_iri()) {
+    auto it = by_predicate_.find(t.p.iri());
+    if (it == by_predicate_.end()) return 0.0;
+    double estimate = static_cast<double>(it->second.count);
+    if (t.s.is_iri()) {
+      estimate /= std::max<size_t>(1, it->second.subjects);
+    }
+    if (t.o.is_iri()) {
+      estimate /= std::max<size_t>(1, it->second.objects);
+    }
+    return estimate;
+  }
+  double estimate = static_cast<double>(total_);
+  if (t.s.is_iri()) estimate /= std::max<size_t>(1, distinct_subjects_);
+  if (t.o.is_iri()) estimate /= std::max<size_t>(1, distinct_objects_);
+  return estimate;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,46 @@
+#ifndef RDFQL_OPTIMIZE_STATS_H_
+#define RDFQL_OPTIMIZE_STATS_H_
+
+#include <unordered_map>
+
+#include "algebra/pattern.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// Summary statistics of a graph used for cardinality estimation: per
+/// predicate, the triple count and the number of distinct subjects and
+/// objects. Built in one pass; cheap enough to rebuild after bulk loads.
+class GraphStats {
+ public:
+  /// Collects statistics from `graph`.
+  static GraphStats Collect(const Graph& graph);
+
+  size_t total_triples() const { return total_; }
+
+  /// Triples with predicate `p` (0 if unseen).
+  size_t PredicateCount(TermId p) const;
+  size_t DistinctSubjects(TermId p) const;
+  size_t DistinctObjects(TermId p) const;
+
+  /// Estimated number of matches of a triple pattern: uses the predicate
+  /// statistics when the predicate is a constant, uniform fractions for
+  /// constant subject/object positions, and the whole graph otherwise.
+  double EstimateCardinality(const TriplePattern& t) const;
+
+ private:
+  struct PredicateStats {
+    size_t count = 0;
+    size_t subjects = 0;
+    size_t objects = 0;
+  };
+
+  size_t total_ = 0;
+  size_t distinct_subjects_ = 0;
+  size_t distinct_objects_ = 0;
+  std::unordered_map<TermId, PredicateStats> by_predicate_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_OPTIMIZE_STATS_H_

@@ -1,0 +1,168 @@
+#include "parser/lexer.h"
+
+namespace rdfql {
+namespace {
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '@' ||
+         c == ':' || c == '+' || c == '-' || c == '/';
+}
+
+bool IsWordStart(char c) {
+  // A bare-word IRI must not start with '.', which is the statement dot.
+  return IsWordChar(c) && c != '.';
+}
+
+TokenKind KeywordKind(const std::string& word) {
+  if (word == "AND") return TokenKind::kKwAnd;
+  if (word == "UNION") return TokenKind::kKwUnion;
+  if (word == "OPT") return TokenKind::kKwOpt;
+  if (word == "MINUS") return TokenKind::kKwMinus;
+  if (word == "FILTER") return TokenKind::kKwFilter;
+  if (word == "SELECT") return TokenKind::kKwSelect;
+  if (word == "WHERE") return TokenKind::kKwWhere;
+  if (word == "NS") return TokenKind::kKwNs;
+  if (word == "CONSTRUCT") return TokenKind::kKwConstruct;
+  if (word == "bound") return TokenKind::kKwBound;
+  if (word == "true") return TokenKind::kKwTrue;
+  if (word == "false") return TokenKind::kKwFalse;
+  return TokenKind::kIri;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kVar: return "variable";
+    case TokenKind::kIri: return "IRI";
+    case TokenKind::kKwAnd: return "AND";
+    case TokenKind::kKwUnion: return "UNION";
+    case TokenKind::kKwOpt: return "OPT";
+    case TokenKind::kKwMinus: return "MINUS";
+    case TokenKind::kKwFilter: return "FILTER";
+    case TokenKind::kKwSelect: return "SELECT";
+    case TokenKind::kKwWhere: return "WHERE";
+    case TokenKind::kKwNs: return "NS";
+    case TokenKind::kKwConstruct: return "CONSTRUCT";
+    case TokenKind::kKwBound: return "bound";
+    case TokenKind::kKwTrue: return "true";
+    case TokenKind::kKwFalse: return "false";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '(':
+        out.push_back({TokenKind::kLParen, "", start});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({TokenKind::kRParen, "", start});
+        ++i;
+        continue;
+      case '{':
+        out.push_back({TokenKind::kLBrace, "", start});
+        ++i;
+        continue;
+      case '}':
+        out.push_back({TokenKind::kRBrace, "", start});
+        ++i;
+        continue;
+      case '=':
+        out.push_back({TokenKind::kEq, "", start});
+        ++i;
+        continue;
+      case '&':
+        out.push_back({TokenKind::kAmp, "", start});
+        ++i;
+        continue;
+      case '|':
+        out.push_back({TokenKind::kPipe, "", start});
+        ++i;
+        continue;
+      case '.':
+        out.push_back({TokenKind::kDot, "", start});
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          out.push_back({TokenKind::kNeq, "", start});
+          i += 2;
+        } else {
+          out.push_back({TokenKind::kBang, "", start});
+          ++i;
+        }
+        continue;
+      case '?': {
+        ++i;
+        size_t word_start = i;
+        while (i < n && IsWordChar(text[i])) ++i;
+        if (i == word_start) {
+          return Status::ParseError("empty variable name at offset " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokenKind::kVar,
+                       std::string(text.substr(word_start, i - word_start)),
+                       start});
+        continue;
+      }
+      case '<': {
+        ++i;
+        size_t iri_start = i;
+        while (i < n && text[i] != '>') ++i;
+        if (i >= n) {
+          return Status::ParseError("unterminated '<' IRI at offset " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokenKind::kIri,
+                       std::string(text.substr(iri_start, i - iri_start)),
+                       start});
+        ++i;  // skip '>'
+        continue;
+      }
+      default:
+        break;
+    }
+    if (IsWordStart(c)) {
+      while (i < n && IsWordChar(text[i])) ++i;
+      std::string word(text.substr(start, i - start));
+      TokenKind kind = KeywordKind(word);
+      Token tok{kind, kind == TokenKind::kIri ? word : "", start};
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  out.push_back({TokenKind::kEof, "", n});
+  return out;
+}
+
+}  // namespace rdfql

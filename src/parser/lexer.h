@@ -1,0 +1,57 @@
+#ifndef RDFQL_PARSER_LEXER_H_
+#define RDFQL_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfql {
+
+enum class TokenKind {
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kVar,        // ?name (text excludes the '?')
+  kIri,        // bare word or <...> (text excludes the brackets)
+  kKwAnd,
+  kKwUnion,
+  kKwOpt,
+  kKwMinus,
+  kKwFilter,
+  kKwSelect,
+  kKwWhere,
+  kKwNs,
+  kKwConstruct,
+  kKwBound,
+  kKwTrue,
+  kKwFalse,
+  kEq,         // =
+  kNeq,        // !=
+  kBang,       // !
+  kAmp,        // &
+  kPipe,       // |
+  kDot,        // .
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // payload for kVar / kIri
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes the paper-syntax query language. Keywords are case-sensitive
+/// uppercase (AND, UNION, OPT, MINUS, FILTER, SELECT, WHERE, NS,
+/// CONSTRUCT) plus lowercase `bound`, `true`, `false`; everything else
+/// word-like is an IRI. `#` starts a comment to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+/// Name of a token kind, for error messages.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_PARSER_LEXER_H_

@@ -1,0 +1,286 @@
+#include "parser/parser.h"
+
+#include "parser/lexer.h"
+
+namespace rdfql {
+namespace {
+
+/// Recursive-descent parser over the token stream. Grammar:
+///
+///   pattern   := union
+///   union     := optchain ( UNION optchain )*
+///   optchain  := andchain ( (OPT | MINUS) andchain )*
+///   andchain  := postfix ( AND postfix )*
+///   postfix   := primary ( FILTER condUnit )*
+///   primary   := '(' triple-or-pattern ')' | NS '(' pattern ')'
+///              | SELECT '{' var* '}' WHERE pattern
+///   condUnit  := '(' cond ')' | atomCond          (* greedy single unit *)
+///   cond      := condAnd ( '|' condAnd )*
+///   condAnd   := condNot ( '&' condNot )*
+///   condNot   := '!' condNot | '(' cond ')' | atomCond
+///   atomCond  := bound '(' var ')' | true | false
+///              | var ('=' | '!=') (var | iri)
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Dictionary* dict)
+      : tokens_(std::move(tokens)), dict_(dict) {}
+
+  Result<PatternPtr> ParseFullPattern() {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr p, ParseUnion());
+    RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return p;
+  }
+
+  Result<ParsedConstruct> ParseFullConstruct() {
+    RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kKwConstruct));
+    RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    ParsedConstruct out;
+    while (!At(TokenKind::kRBrace)) {
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      RDFQL_ASSIGN_OR_RETURN(TriplePattern t, ParseTripleBody());
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      out.templ.push_back(t);
+      if (At(TokenKind::kDot)) Advance();  // optional separators
+    }
+    RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kKwWhere));
+    RDFQL_ASSIGN_OR_RETURN(out.where, ParseUnion());
+    RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind kind) {
+    if (!At(kind)) {
+      return Status::ParseError(std::string("expected ") +
+                                TokenKindName(kind) + ", found " +
+                                TokenKindName(Peek().kind) + " at offset " +
+                                std::to_string(Peek().offset));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<PatternPtr> ParseUnion() {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr left, ParseOptChain());
+    while (At(TokenKind::kKwUnion)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr right, ParseOptChain());
+      left = Pattern::Union(left, right);
+    }
+    return left;
+  }
+
+  Result<PatternPtr> ParseOptChain() {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr left, ParseAndChain());
+    while (At(TokenKind::kKwOpt) || At(TokenKind::kKwMinus)) {
+      bool is_opt = At(TokenKind::kKwOpt);
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr right, ParseAndChain());
+      left = is_opt ? Pattern::Opt(left, right)
+                    : Pattern::Minus(left, right);
+    }
+    return left;
+  }
+
+  Result<PatternPtr> ParseAndChain() {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr left, ParsePostfix());
+    while (At(TokenKind::kKwAnd)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr right, ParsePostfix());
+      left = Pattern::And(left, right);
+    }
+    return left;
+  }
+
+  Result<PatternPtr> ParsePostfix() {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr p, ParsePrimary());
+    while (At(TokenKind::kKwFilter)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr cond, ParseCondUnit());
+      p = Pattern::Filter(p, cond);
+    }
+    return p;
+  }
+
+  Result<PatternPtr> ParsePrimary() {
+    if (At(TokenKind::kKwNs)) {
+      Advance();
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr inner, ParseUnion());
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Pattern::Ns(inner);
+    }
+    if (At(TokenKind::kKwSelect)) {
+      Advance();
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+      std::vector<VarId> vars;
+      while (At(TokenKind::kVar)) {
+        vars.push_back(dict_->InternVar(Advance().text));
+      }
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kKwWhere));
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr inner, ParseUnion());
+      return Pattern::Select(std::move(vars), inner);
+    }
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      // Disambiguate triple vs grouped pattern: a pattern never starts with
+      // a bare term, so a VAR or IRI here means a triple.
+      if (At(TokenKind::kVar) || At(TokenKind::kIri)) {
+        RDFQL_ASSIGN_OR_RETURN(TriplePattern t, ParseTripleBody());
+        RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return Pattern::MakeTriple(t);
+      }
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr inner, ParseUnion());
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return Status::ParseError(
+        std::string("expected a pattern, found ") +
+        TokenKindName(Peek().kind) + " at offset " +
+        std::to_string(Peek().offset));
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kVar)) {
+      return Term::Var(dict_->InternVar(Advance().text));
+    }
+    if (At(TokenKind::kIri)) {
+      return Term::Iri(dict_->InternIri(Advance().text));
+    }
+    return Status::ParseError(std::string("expected a term, found ") +
+                              TokenKindName(Peek().kind) + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<TriplePattern> ParseTripleBody() {
+    RDFQL_ASSIGN_OR_RETURN(Term s, ParseTerm());
+    RDFQL_ASSIGN_OR_RETURN(Term p, ParseTerm());
+    RDFQL_ASSIGN_OR_RETURN(Term o, ParseTerm());
+    return TriplePattern(s, p, o);
+  }
+
+  // One FILTER operand: either a parenthesized condition or a single atom.
+  Result<BuiltinPtr> ParseCondUnit() {
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr cond, ParseCondOr());
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return cond;
+    }
+    if (At(TokenKind::kBang)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr inner, ParseCondNot());
+      return Builtin::Not(inner);
+    }
+    return ParseCondAtom();
+  }
+
+  Result<BuiltinPtr> ParseCondOr() {
+    RDFQL_ASSIGN_OR_RETURN(BuiltinPtr left, ParseCondAnd());
+    while (At(TokenKind::kPipe)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr right, ParseCondAnd());
+      left = Builtin::Or(left, right);
+    }
+    return left;
+  }
+
+  Result<BuiltinPtr> ParseCondAnd() {
+    RDFQL_ASSIGN_OR_RETURN(BuiltinPtr left, ParseCondNot());
+    while (At(TokenKind::kAmp)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr right, ParseCondNot());
+      left = Builtin::And(left, right);
+    }
+    return left;
+  }
+
+  Result<BuiltinPtr> ParseCondNot() {
+    if (At(TokenKind::kBang)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr inner, ParseCondNot());
+      return Builtin::Not(inner);
+    }
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      RDFQL_ASSIGN_OR_RETURN(BuiltinPtr cond, ParseCondOr());
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return cond;
+    }
+    return ParseCondAtom();
+  }
+
+  Result<BuiltinPtr> ParseCondAtom() {
+    if (At(TokenKind::kKwTrue)) {
+      Advance();
+      return Builtin::True();
+    }
+    if (At(TokenKind::kKwFalse)) {
+      Advance();
+      return Builtin::False();
+    }
+    if (At(TokenKind::kKwBound)) {
+      Advance();
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      if (!At(TokenKind::kVar)) {
+        return Status::ParseError("expected variable inside bound()");
+      }
+      VarId v = dict_->InternVar(Advance().text);
+      RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Builtin::Bound(v);
+    }
+    if (At(TokenKind::kVar)) {
+      VarId v = dict_->InternVar(Advance().text);
+      bool negated = At(TokenKind::kNeq);
+      if (!negated) {
+        RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      } else {
+        Advance();
+      }
+      BuiltinPtr eq;
+      if (At(TokenKind::kVar)) {
+        eq = Builtin::EqVars(v, dict_->InternVar(Advance().text));
+      } else if (At(TokenKind::kIri)) {
+        eq = Builtin::EqConst(v, dict_->InternIri(Advance().text));
+      } else {
+        return Status::ParseError("expected term on right of '='");
+      }
+      return negated ? Builtin::Not(eq) : eq;
+    }
+    return Status::ParseError(
+        std::string("expected a filter condition, found ") +
+        TokenKindName(Peek().kind) + " at offset " +
+        std::to_string(Peek().offset));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Dictionary* dict_;
+};
+
+}  // namespace
+
+Result<PatternPtr> ParsePattern(std::string_view text, Dictionary* dict) {
+  RDFQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), dict);
+  return parser.ParseFullPattern();
+}
+
+Result<ParsedConstruct> ParseConstruct(std::string_view text,
+                                       Dictionary* dict) {
+  RDFQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), dict);
+  return parser.ParseFullConstruct();
+}
+
+}  // namespace rdfql

@@ -1,0 +1,40 @@
+#ifndef RDFQL_PARSER_PARSER_H_
+#define RDFQL_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Parses a graph pattern in the paper's syntax. Examples:
+///
+///   (?p founder ?o)
+///   ((?o stands_for w) AND ((?p founder ?o) UNION (?p supporter ?o)))
+///   (SELECT {?p} WHERE (?p founder ?o))
+///   ((?x born Chile) OPT (?x email ?y))
+///   NS((?x a b) UNION ((?x a b) AND (?x c ?y)))
+///   ((?x a b) FILTER (bound(?y) | ?x = c))
+///
+/// Binary operators can be chained without parentheses; precedence from
+/// tightest to loosest is FILTER (postfix), AND, OPT/MINUS, UNION, all
+/// left-associative. New IRIs and variables are interned into `dict`.
+Result<PatternPtr> ParsePattern(std::string_view text, Dictionary* dict);
+
+/// The two components of a CONSTRUCT query, before the construct module
+/// wraps them (Section 6.1): `CONSTRUCT { (t) (t) ... } WHERE pattern`.
+struct ParsedConstruct {
+  std::vector<TriplePattern> templ;
+  PatternPtr where;
+};
+
+/// Parses a CONSTRUCT query in the paper's syntax.
+Result<ParsedConstruct> ParseConstruct(std::string_view text,
+                                       Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_PARSER_PARSER_H_

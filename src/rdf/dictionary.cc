@@ -1,0 +1,72 @@
+#include "rdf/dictionary.h"
+
+#include "util/check.h"
+
+namespace rdfql {
+
+TermId Dictionary::InternIri(std::string_view iri) {
+  auto it = iri_index_.find(std::string(iri));
+  if (it != iri_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(iris_.size());
+  RDFQL_CHECK_MSG(id < 0x7fffffffu, "IRI id space exhausted");
+  iris_.emplace_back(iri);
+  iri_index_.emplace(iris_.back(), id);
+  return id;
+}
+
+VarId Dictionary::InternVar(std::string_view name) {
+  auto it = var_index_.find(std::string(name));
+  if (it != var_index_.end()) return it->second;
+  VarId id = static_cast<VarId>(vars_.size());
+  RDFQL_CHECK_MSG(id < 0x7fffffffu, "variable id space exhausted");
+  vars_.emplace_back(name);
+  var_index_.emplace(vars_.back(), id);
+  return id;
+}
+
+TermId Dictionary::FindIri(std::string_view iri) const {
+  auto it = iri_index_.find(std::string(iri));
+  return it == iri_index_.end() ? kInvalidTermId : it->second;
+}
+
+VarId Dictionary::FindVar(std::string_view name) const {
+  auto it = var_index_.find(std::string(name));
+  return it == var_index_.end() ? kInvalidVarId : it->second;
+}
+
+const std::string& Dictionary::IriName(TermId id) const {
+  RDFQL_CHECK(id < iris_.size());
+  return iris_[id];
+}
+
+const std::string& Dictionary::VarName(VarId id) const {
+  RDFQL_CHECK(id < vars_.size());
+  return vars_[id];
+}
+
+std::string Dictionary::TermName(Term t) const {
+  if (t.is_var()) return "?" + VarName(t.var());
+  return IriName(t.iri());
+}
+
+VarId Dictionary::FreshVar(std::string_view stem) {
+  for (;;) {
+    std::string candidate =
+        std::string(stem) + "_f" + std::to_string(fresh_counter_++);
+    if (var_index_.find(candidate) == var_index_.end()) {
+      return InternVar(candidate);
+    }
+  }
+}
+
+TermId Dictionary::FreshIri(std::string_view stem) {
+  for (;;) {
+    std::string candidate =
+        std::string(stem) + "_i" + std::to_string(fresh_counter_++);
+    if (iri_index_.find(candidate) == iri_index_.end()) {
+      return InternIri(candidate);
+    }
+  }
+}
+
+}  // namespace rdfql

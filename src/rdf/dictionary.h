@@ -1,0 +1,66 @@
+#ifndef RDFQL_RDF_DICTIONARY_H_
+#define RDFQL_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfql {
+
+/// Bidirectional interning table for IRIs and variable names.
+///
+/// All graphs, patterns and mappings in one workload share a `Dictionary`
+/// (typically owned by `Engine`); ids are dense and stable, which lets the
+/// algebra work on 32-bit integers instead of strings. Following the paper
+/// we allow any string to be used as an IRI.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the id for `iri`, interning it if new.
+  TermId InternIri(std::string_view iri);
+
+  /// Returns the id for variable `name` (without the leading '?'),
+  /// interning it if new.
+  VarId InternVar(std::string_view name);
+
+  /// Looks up an existing IRI; returns kInvalidTermId if absent.
+  TermId FindIri(std::string_view iri) const;
+
+  /// Looks up an existing variable; returns kInvalidVarId if absent.
+  VarId FindVar(std::string_view name) const;
+
+  const std::string& IriName(TermId id) const;
+  const std::string& VarName(VarId id) const;
+
+  /// Renders a term: IRIs verbatim, variables with a leading '?'.
+  std::string TermName(Term t) const;
+
+  size_t iri_count() const { return iris_.size(); }
+  size_t var_count() const { return vars_.size(); }
+
+  /// Interns a fresh variable name guaranteed not to collide with any
+  /// existing variable (used by renaming transformations, Appendix E/F).
+  VarId FreshVar(std::string_view stem);
+
+  /// Interns a fresh IRI guaranteed not to collide with any existing IRI
+  /// (used by reductions that need IRIs outside I(G) ∪ I(P)).
+  TermId FreshIri(std::string_view stem);
+
+ private:
+  std::vector<std::string> iris_;
+  std::vector<std::string> vars_;
+  std::unordered_map<std::string, TermId> iri_index_;
+  std::unordered_map<std::string, VarId> var_index_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_RDF_DICTIONARY_H_

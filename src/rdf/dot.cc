@@ -1,0 +1,42 @@
+#include "rdf/dot.h"
+
+#include <set>
+
+namespace rdfql {
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteDot(const Graph& graph, const Dictionary& dict,
+                     const std::string& name) {
+  std::string out = "digraph " + name + " {\n";
+  out += "  rankdir=LR;\n  node [shape=ellipse, fontsize=11];\n";
+
+  std::set<TermId> nodes;
+  for (const Triple& t : graph.triples()) {
+    nodes.insert(t.s);
+    nodes.insert(t.o);
+  }
+  for (TermId n : nodes) {
+    out += "  n" + std::to_string(n) + " [label=" +
+           Quote(dict.IriName(n)) + "];\n";
+  }
+  for (const Triple& t : graph.triples()) {
+    out += "  n" + std::to_string(t.s) + " -> n" + std::to_string(t.o) +
+           " [label=" + Quote(dict.IriName(t.p)) + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rdfql

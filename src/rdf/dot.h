@@ -1,0 +1,21 @@
+#ifndef RDFQL_RDF_DOT_H_
+#define RDFQL_RDF_DOT_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// Renders the graph in Graphviz DOT as a directed edge-labeled graph —
+/// the visual form the paper uses for its figures (e.g. Figure 1):
+/// subjects/objects are nodes, predicates are edge labels.
+///
+///   dot -Tpng out.dot -o out.png
+std::string WriteDot(const Graph& graph, const Dictionary& dict,
+                     const std::string& name = "rdf");
+
+}  // namespace rdfql
+
+#endif  // RDFQL_RDF_DOT_H_

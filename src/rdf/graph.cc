@@ -1,0 +1,173 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace rdfql {
+namespace {
+
+// Key extractors giving the component order of each index.
+struct SpoKey {
+  std::tuple<TermId, TermId, TermId> operator()(const Triple& t) const {
+    return {t.s, t.p, t.o};
+  }
+};
+struct PosKey {
+  std::tuple<TermId, TermId, TermId> operator()(const Triple& t) const {
+    return {t.p, t.o, t.s};
+  }
+};
+struct OspKey {
+  std::tuple<TermId, TermId, TermId> operator()(const Triple& t) const {
+    return {t.o, t.s, t.p};
+  }
+};
+
+template <typename Key>
+void SortBy(std::vector<Triple>* v) {
+  std::sort(v->begin(), v->end(), [](const Triple& a, const Triple& b) {
+    return Key()(a) < Key()(b);
+  });
+}
+
+// Scans the sorted index for triples whose first `bound` key components
+// equal `k1[,k2]`, invoking fn on each.
+template <typename Key>
+size_t ScanPrefix(const std::vector<Triple>& index, TermId k1, TermId k2,
+                  int bound, const std::function<void(const Triple&)>& fn) {
+  auto lower = std::lower_bound(
+      index.begin(), index.end(), std::make_pair(k1, k2),
+      [bound](const Triple& t, const std::pair<TermId, TermId>& key) {
+        auto tk = Key()(t);
+        if (std::get<0>(tk) != key.first) return std::get<0>(tk) < key.first;
+        if (bound < 2) return false;
+        return std::get<1>(tk) < key.second;
+      });
+  size_t count = 0;
+  for (auto it = lower; it != index.end(); ++it) {
+    auto tk = Key()(*it);
+    if (std::get<0>(tk) != k1) break;
+    if (bound >= 2 && std::get<1>(tk) != k2) break;
+    fn(*it);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+bool Graph::Insert(const Triple& t) {
+  if (!set_.insert(t).second) return false;
+  triples_.push_back(t);
+  for (auto& idx : index_) idx.clear();
+  return true;
+}
+
+bool Graph::Erase(const Triple& t) {
+  if (set_.erase(t) == 0) return false;
+  triples_.erase(std::find(triples_.begin(), triples_.end(), t));
+  for (auto& idx : index_) idx.clear();
+  return true;
+}
+
+void Graph::EnsureIndex(IndexKind kind) const {
+  std::vector<Triple>& idx = index_[kind];
+  if (idx.size() == triples_.size()) return;
+  idx = triples_;
+  switch (kind) {
+    case kSpo:
+      SortBy<SpoKey>(&idx);
+      break;
+    case kPos:
+      SortBy<PosKey>(&idx);
+      break;
+    case kOsp:
+      SortBy<OspKey>(&idx);
+      break;
+  }
+}
+
+size_t Graph::Match(TermId s, TermId p, TermId o,
+                    const std::function<void(const Triple&)>& fn) const {
+  const bool bs = s != kInvalidTermId;
+  const bool bp = p != kInvalidTermId;
+  const bool bo = o != kInvalidTermId;
+
+  if (bs && bp && bo) {
+    Triple t(s, p, o);
+    if (Contains(t)) {
+      fn(t);
+      return 1;
+    }
+    return 0;
+  }
+  if (!bs && !bp && !bo) {
+    for (const Triple& t : triples_) fn(t);
+    return triples_.size();
+  }
+
+  // Pick the index whose order makes the bound positions a prefix. The one
+  // combination with no contiguous prefix (s and o bound, p free) uses OSP
+  // with a post-filter on s handled by the two-component scan (o, s bound).
+  if (bs && bp) {
+    EnsureIndex(kSpo);
+    return ScanPrefix<SpoKey>(index_[kSpo], s, p, 2, fn);
+  }
+  if (bp && bo) {
+    EnsureIndex(kPos);
+    return ScanPrefix<PosKey>(index_[kPos], p, o, 2, fn);
+  }
+  if (bo && bs) {
+    EnsureIndex(kOsp);
+    return ScanPrefix<OspKey>(index_[kOsp], o, s, 2, fn);
+  }
+  if (bs) {
+    EnsureIndex(kSpo);
+    return ScanPrefix<SpoKey>(index_[kSpo], s, 0, 1, fn);
+  }
+  if (bp) {
+    EnsureIndex(kPos);
+    return ScanPrefix<PosKey>(index_[kPos], p, 0, 1, fn);
+  }
+  EnsureIndex(kOsp);
+  return ScanPrefix<OspKey>(index_[kOsp], o, 0, 1, fn);
+}
+
+size_t Graph::CountMatches(TermId s, TermId p, TermId o) const {
+  size_t n = 0;
+  Match(s, p, o, [&n](const Triple&) { ++n; });
+  return n;
+}
+
+bool Graph::IsSubsetOf(const Graph& other) const {
+  if (size() > other.size()) return false;
+  for (const Triple& t : triples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+Graph Graph::Union(const Graph& a, const Graph& b) {
+  Graph out = a;
+  for (const Triple& t : b.triples_) out.Insert(t);
+  return out;
+}
+
+std::vector<TermId> Graph::Iris() const {
+  std::vector<TermId> ids;
+  ids.reserve(triples_.size() * 3);
+  for (const Triple& t : triples_) {
+    ids.push_back(t.s);
+    ids.push_back(t.p);
+    ids.push_back(t.o);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.size() == b.size() && a.IsSubsetOf(b);
+}
+
+}  // namespace rdfql

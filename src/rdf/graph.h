@@ -1,0 +1,76 @@
+#ifndef RDFQL_RDF_GRAPH_H_
+#define RDFQL_RDF_GRAPH_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfql {
+
+/// A finite RDF graph: a set of ground triples (Section 2 of the paper).
+///
+/// Storage is a deduplicated triple vector plus three lazily built sorted
+/// permutation indexes (SPO, POS, OSP). Lookups with any combination of
+/// bound positions pick the index whose sort order makes the bound
+/// positions a prefix and binary-search the matching range, so triple
+/// pattern evaluation is O(log n + #matches).
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Inserts a triple; returns true if it was new.
+  bool Insert(const Triple& t);
+  bool Insert(TermId s, TermId p, TermId o) { return Insert(Triple(s, p, o)); }
+
+  /// Removes a triple; returns true if it was present.
+  bool Erase(const Triple& t);
+
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  /// All triples, in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Invokes `fn` for every triple matching the partially bound pattern;
+  /// `kInvalidTermId` in a position means "any". Returns the match count.
+  size_t Match(TermId s, TermId p, TermId o,
+               const std::function<void(const Triple&)>& fn) const;
+
+  /// Number of triples matching the partially bound pattern.
+  size_t CountMatches(TermId s, TermId p, TermId o) const;
+
+  /// G1 ⊆ G2.
+  bool IsSubsetOf(const Graph& other) const;
+
+  /// Set union (used throughout the monotonicity machinery).
+  static Graph Union(const Graph& a, const Graph& b);
+
+  /// The set of IRIs mentioned in the graph, I(G), sorted ascending.
+  std::vector<TermId> Iris() const;
+
+  friend bool operator==(const Graph& a, const Graph& b);
+
+ private:
+  enum IndexKind { kSpo = 0, kPos = 1, kOsp = 2 };
+
+  void EnsureIndex(IndexKind kind) const;
+
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple> set_;
+
+  // Lazily built sorted copies of triples_; cleared on insert.
+  mutable std::vector<Triple> index_[3];
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_RDF_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "rdf/ntriples.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace rdfql {
+namespace {
+
+// Strips optional angle brackets from an IRI token.
+std::string_view StripBrackets(std::string_view token) {
+  if (token.size() >= 2 && token.front() == '<' && token.back() == '>') {
+    return token.substr(1, token.size() - 2);
+  }
+  return token;
+}
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, Dictionary* dict, Graph* graph) {
+  size_t line_no = 0;
+  for (const std::string& raw_line : SplitNonEmpty(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string> tokens = SplitNonEmpty(line, ' ');
+    // Drop a trailing standalone dot.
+    if (!tokens.empty() && tokens.back() == ".") tokens.pop_back();
+    if (tokens.size() != 3) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected `s p o .`, got `" +
+                                std::string(line) + "`");
+    }
+    TermId s = dict->InternIri(StripBrackets(tokens[0]));
+    TermId p = dict->InternIri(StripBrackets(tokens[1]));
+    TermId o = dict->InternIri(StripBrackets(tokens[2]));
+    graph->Insert(s, p, o);
+  }
+  return Status::Ok();
+}
+
+std::string WriteNTriples(const Graph& graph, const Dictionary& dict) {
+  std::string out;
+  for (const Triple& t : graph.triples()) {
+    out += dict.IriName(t.s);
+    out += ' ';
+    out += dict.IriName(t.p);
+    out += ' ';
+    out += dict.IriName(t.o);
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace rdfql

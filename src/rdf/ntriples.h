@@ -1,0 +1,27 @@
+#ifndef RDFQL_RDF_NTRIPLES_H_
+#define RDFQL_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Parses a simplified N-Triples document into `graph`, interning IRIs in
+/// `dict`. Each non-empty, non-comment (#) line must be
+/// `<subject> <predicate> <object> .` — angle brackets and the trailing dot
+/// are optional, so `Juan was_born_in Chile .` also works (the paper treats
+/// every string as an IRI).
+Status ParseNTriples(std::string_view text, Dictionary* dict, Graph* graph);
+
+/// Serializes `graph` one triple per line in the same format (angle
+/// brackets omitted; terms separated by single spaces, line terminated by
+/// " .").
+std::string WriteNTriples(const Graph& graph, const Dictionary& dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_RDF_NTRIPLES_H_

@@ -1,0 +1,115 @@
+#include "rdf/static_graph.h"
+
+#include <algorithm>
+
+namespace rdfql {
+namespace {
+
+using Pair = std::pair<TermId, TermId>;
+
+// Emits all pairs in [lo, hi) of `pairs` whose first component equals
+// `first` (or all pairs if `first` is the wildcard), filtered on the
+// second component if `second` is bound. `emit` receives (first, second)
+// in the pair's own order.
+size_t ScanPairs(const std::vector<Pair>& pairs, TermId first,
+                 TermId second,
+                 const std::function<void(TermId, TermId)>& emit) {
+  size_t count = 0;
+  if (first == kInvalidTermId) {
+    for (const Pair& pr : pairs) {
+      if (second != kInvalidTermId && pr.second != second) continue;
+      emit(pr.first, pr.second);
+      ++count;
+    }
+    return count;
+  }
+  auto lo = std::lower_bound(pairs.begin(), pairs.end(),
+                             Pair{first, 0});
+  if (second != kInvalidTermId) {
+    auto it = std::lower_bound(lo, pairs.end(), Pair{first, second});
+    if (it != pairs.end() && it->first == first && it->second == second) {
+      emit(first, second);
+      return 1;
+    }
+    return 0;
+  }
+  for (auto it = lo; it != pairs.end() && it->first == first; ++it) {
+    emit(it->first, it->second);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+StaticGraph StaticGraph::Build(const Graph& graph) {
+  StaticGraph out;
+  out.total_ = graph.size();
+  for (const Triple& t : graph.triples()) {
+    PredicateBlock& block = out.blocks_[t.p];
+    block.by_subject.emplace_back(t.s, t.o);
+    block.by_object.emplace_back(t.o, t.s);
+  }
+  for (auto& [p, block] : out.blocks_) {
+    std::sort(block.by_subject.begin(), block.by_subject.end());
+    std::sort(block.by_object.begin(), block.by_object.end());
+    out.predicates_.push_back(p);
+  }
+  std::sort(out.predicates_.begin(), out.predicates_.end());
+  return out;
+}
+
+const StaticGraph::PredicateBlock* StaticGraph::FindBlock(TermId p) const {
+  auto it = blocks_.find(p);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool StaticGraph::Contains(const Triple& t) const {
+  const PredicateBlock* block = FindBlock(t.p);
+  if (block == nullptr) return false;
+  return std::binary_search(block->by_subject.begin(),
+                            block->by_subject.end(), Pair{t.s, t.o});
+}
+
+size_t StaticGraph::Match(
+    TermId s, TermId p, TermId o,
+    const std::function<void(const Triple&)>& fn) const {
+  size_t count = 0;
+  auto match_block = [&](TermId predicate, const PredicateBlock& block) {
+    // Choose the orientation whose bound component comes first.
+    if (s != kInvalidTermId || o == kInvalidTermId) {
+      return ScanPairs(block.by_subject, s, o,
+                       [&](TermId subject, TermId object) {
+                         fn(Triple(subject, predicate, object));
+                       });
+    }
+    return ScanPairs(block.by_object, o, s,
+                     [&](TermId object, TermId subject) {
+                       fn(Triple(subject, predicate, object));
+                     });
+  };
+  if (p != kInvalidTermId) {
+    const PredicateBlock* block = FindBlock(p);
+    if (block == nullptr) return 0;
+    return match_block(p, *block);
+  }
+  for (TermId predicate : predicates_) {
+    count += match_block(predicate, *FindBlock(predicate));
+  }
+  return count;
+}
+
+size_t StaticGraph::CountMatches(TermId s, TermId p, TermId o) const {
+  size_t n = 0;
+  Match(s, p, o, [&n](const Triple&) { ++n; });
+  return n;
+}
+
+Graph StaticGraph::ToGraph() const {
+  Graph out;
+  Match(kInvalidTermId, kInvalidTermId, kInvalidTermId,
+        [&out](const Triple& t) { out.Insert(t); });
+  return out;
+}
+
+}  // namespace rdfql

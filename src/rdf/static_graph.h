@@ -1,0 +1,59 @@
+#ifndef RDFQL_RDF_STATIC_GRAPH_H_
+#define RDFQL_RDF_STATIC_GRAPH_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// An immutable, read-optimized triple store with a per-predicate CSR
+/// (compressed sparse row) layout:
+///
+///   predicate → [ (s, o) sorted by (s, o) ]  +  subject offset index
+///   predicate → [ (o, s) sorted by (o, s) ]  +  object  offset index
+///
+/// Point and prefix lookups bound on the predicate — the shape of almost
+/// every triple pattern in practice — are O(log) + output; predicate-free
+/// probes fall back to scanning the predicate directory. Build once from
+/// a `Graph`, then share freely (cheap to copy by const reference).
+class StaticGraph {
+ public:
+  /// Builds the CSR layout from a mutable graph (O(n log n)).
+  static StaticGraph Build(const Graph& graph);
+
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  bool Contains(const Triple& t) const;
+
+  /// Same contract as `Graph::Match`: kInvalidTermId is a wildcard;
+  /// returns the number of matches.
+  size_t Match(TermId s, TermId p, TermId o,
+               const std::function<void(const Triple&)>& fn) const;
+
+  size_t CountMatches(TermId s, TermId p, TermId o) const;
+
+  /// Exports back to a mutable graph (for round-trip tests).
+  Graph ToGraph() const;
+
+ private:
+  struct PredicateBlock {
+    // (s, o) pairs sorted by (s, o); `by_object` holds the same pairs as
+    // (o, s) sorted by (o, s).
+    std::vector<std::pair<TermId, TermId>> by_subject;
+    std::vector<std::pair<TermId, TermId>> by_object;
+  };
+
+  const PredicateBlock* FindBlock(TermId p) const;
+
+  std::unordered_map<TermId, PredicateBlock> blocks_;
+  std::vector<TermId> predicates_;  // directory, sorted
+  size_t total_ = 0;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_RDF_STATIC_GRAPH_H_

@@ -1,0 +1,65 @@
+#ifndef RDFQL_RDF_TERM_H_
+#define RDFQL_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rdfql {
+
+/// Interned identifier of an IRI. The paper (Section 2) works with triples
+/// over an infinite set I of IRIs only (constants and existential values are
+/// disallowed without loss of generality); we follow that model.
+using TermId = uint32_t;
+
+/// Interned identifier of a query variable (elements of V, written `?x`).
+using VarId = uint32_t;
+
+constexpr TermId kInvalidTermId = 0xffffffffu;
+constexpr VarId kInvalidVarId = 0xffffffffu;
+
+/// One position of a triple pattern: either an IRI or a variable
+/// (elements of I ∪ V). Packed into 32 bits with the top bit as the tag so
+/// triple patterns stay trivially copyable and hashable.
+class Term {
+ public:
+  Term() : bits_(kInvalidTermId) {}
+
+  static Term Iri(TermId id) { return Term(id & kIdMask); }
+  static Term Var(VarId id) { return Term((id & kIdMask) | kVarBit); }
+
+  bool is_var() const {
+    return (bits_ & kVarBit) != 0 && bits_ != kInvalidTermId;
+  }
+  bool is_iri() const { return (bits_ & kVarBit) == 0 && bits_ != kInvalidTermId; }
+  bool is_valid() const { return bits_ != kInvalidTermId; }
+
+  /// The IRI id; only meaningful when `is_iri()`.
+  TermId iri() const { return bits_ & kIdMask; }
+  /// The variable id; only meaningful when `is_var()`.
+  VarId var() const { return bits_ & kIdMask; }
+
+  uint32_t raw() const { return bits_; }
+
+  friend bool operator==(Term a, Term b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Term a, Term b) { return a.bits_ != b.bits_; }
+  friend bool operator<(Term a, Term b) { return a.bits_ < b.bits_; }
+
+ private:
+  explicit Term(uint32_t bits) : bits_(bits) {}
+
+  static constexpr uint32_t kVarBit = 0x80000000u;
+  static constexpr uint32_t kIdMask = 0x7fffffffu;
+
+  uint32_t bits_;
+};
+
+}  // namespace rdfql
+
+template <>
+struct std::hash<rdfql::Term> {
+  size_t operator()(rdfql::Term t) const noexcept {
+    return std::hash<uint32_t>()(t.raw());
+  }
+};
+
+#endif  // RDFQL_RDF_TERM_H_

@@ -1,0 +1,65 @@
+#ifndef RDFQL_RDF_TRIPLE_H_
+#define RDFQL_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace rdfql {
+
+/// A ground RDF triple (s, p, o) ∈ I × I × I.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  Triple() = default;
+  Triple(TermId subject, TermId predicate, TermId object)
+      : s(subject), p(predicate), o(object) {}
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator!=(const Triple& a, const Triple& b) {
+    return !(a == b);
+  }
+  /// SPO lexicographic order (the graph's canonical order).
+  friend bool operator<(const Triple& a, const Triple& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+
+/// A triple pattern in (I ∪ V) × (I ∪ V) × (I ∪ V).
+struct TriplePattern {
+  Term s;
+  Term p;
+  Term o;
+
+  TriplePattern() = default;
+  TriplePattern(Term subject, Term predicate, Term object)
+      : s(subject), p(predicate), o(object) {}
+
+  friend bool operator==(const TriplePattern& a, const TriplePattern& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const TriplePattern& a, const TriplePattern& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+
+}  // namespace rdfql
+
+template <>
+struct std::hash<rdfql::Triple> {
+  size_t operator()(const rdfql::Triple& t) const noexcept {
+    uint64_t h = t.s;
+    h = h * 0x9e3779b97f4a7c15ULL + t.p;
+    h = h * 0x9e3779b97f4a7c15ULL + t.o;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+#endif  // RDFQL_RDF_TRIPLE_H_

@@ -1,0 +1,93 @@
+#include "transform/ns_elimination.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+bool StrictSubset(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  return a.size() < b.size() &&
+         std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+// Rewrites one NS node whose child `q` is already NS-free.
+Result<PatternPtr> EliminateOneNs(const PatternPtr& q,
+                                  const NormalFormLimits& limits) {
+  RDFQL_ASSIGN_OR_RETURN(std::vector<FixedDomainDisjunct> disjuncts,
+                         FixedDomainUnionNormalForm(q, limits));
+  RDFQL_CHECK(!disjuncts.empty());
+
+  std::vector<PatternPtr> pieces;
+  pieces.reserve(disjuncts.size());
+  for (const FixedDomainDisjunct& d : disjuncts) {
+    // Subtract every disjunct with a strictly larger domain: a mapping of
+    // `d` survives NS iff it is compatible with no mapping binding strictly
+    // more variables (Lemma D.3).
+    std::vector<PatternPtr> larger;
+    for (const FixedDomainDisjunct& other : disjuncts) {
+      if (StrictSubset(d.domain, other.domain)) {
+        larger.push_back(other.pattern);
+      }
+    }
+    if (larger.empty()) {
+      pieces.push_back(d.pattern);
+    } else {
+      pieces.push_back(Pattern::Minus(d.pattern, Pattern::UnionAll(larger)));
+    }
+  }
+  return Pattern::UnionAll(pieces);
+}
+
+Result<PatternPtr> Eliminate(const PatternPtr& p,
+                             const NormalFormLimits& limits) {
+  switch (p->kind()) {
+    case PatternKind::kTriple:
+      return p;
+    case PatternKind::kAnd: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr l, Eliminate(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr r, Eliminate(p->right(), limits));
+      return Pattern::And(l, r);
+    }
+    case PatternKind::kUnion: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr l, Eliminate(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr r, Eliminate(p->right(), limits));
+      return Pattern::Union(l, r);
+    }
+    case PatternKind::kOpt: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr l, Eliminate(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr r, Eliminate(p->right(), limits));
+      return Pattern::Opt(l, r);
+    }
+    case PatternKind::kMinus: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr l, Eliminate(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr r, Eliminate(p->right(), limits));
+      return Pattern::Minus(l, r);
+    }
+    case PatternKind::kFilter: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr c, Eliminate(p->child(), limits));
+      return Pattern::Filter(c, p->condition());
+    }
+    case PatternKind::kSelect: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr c, Eliminate(p->child(), limits));
+      return Pattern::Select(p->projection(), c);
+    }
+    case PatternKind::kNs: {
+      RDFQL_ASSIGN_OR_RETURN(PatternPtr c, Eliminate(p->child(), limits));
+      return EliminateOneNs(c, limits);
+    }
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<PatternPtr> EliminateNs(const PatternPtr& pattern,
+                               const NormalFormLimits& limits) {
+  RDFQL_CHECK(pattern != nullptr);
+  return Eliminate(pattern, limits);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,26 @@
+#ifndef RDFQL_TRANSFORM_NS_ELIMINATION_H_
+#define RDFQL_TRANSFORM_NS_ELIMINATION_H_
+
+#include "algebra/pattern.h"
+#include "transform/union_normal_form.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Theorem 5.1 / Lemma D.3: rewrites an NS–SPARQL pattern into an
+/// equivalent SPARQL pattern (no NS nodes; the result may use MINUS, which
+/// is itself SPARQL-definable — see DesugarMinus).
+///
+/// The algorithm processes NS nodes innermost-first; for each NS(Q) it
+/// builds the fixed-domain UNION normal form of Q (Lemma D.2) and replaces
+/// each disjunct D with domain V by
+///     D MINUS (D''_1 UNION ... UNION D''_k)
+/// over the disjuncts D''_i whose domain strictly contains V. The size of
+/// the output is double-exponential in the input in the worst case
+/// (bench_ns_elimination measures the curve); `limits` caps the work.
+Result<PatternPtr> EliminateNs(const PatternPtr& pattern,
+                               const NormalFormLimits& limits = {});
+
+}  // namespace rdfql
+
+#endif  // RDFQL_TRANSFORM_NS_ELIMINATION_H_

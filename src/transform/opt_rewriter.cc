@@ -1,0 +1,79 @@
+#include "transform/opt_rewriter.h"
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+// Generic bottom-up rebuild with a per-node hook for the interesting kinds.
+template <typename OptFn, typename MinusFn, typename NsFn>
+PatternPtr Rebuild(const PatternPtr& p, const OptFn& on_opt,
+                   const MinusFn& on_minus, const NsFn& on_ns) {
+  switch (p->kind()) {
+    case PatternKind::kTriple:
+      return p;
+    case PatternKind::kAnd:
+      return Pattern::And(Rebuild(p->left(), on_opt, on_minus, on_ns),
+                          Rebuild(p->right(), on_opt, on_minus, on_ns));
+    case PatternKind::kUnion:
+      return Pattern::Union(Rebuild(p->left(), on_opt, on_minus, on_ns),
+                            Rebuild(p->right(), on_opt, on_minus, on_ns));
+    case PatternKind::kOpt:
+      return on_opt(Rebuild(p->left(), on_opt, on_minus, on_ns),
+                    Rebuild(p->right(), on_opt, on_minus, on_ns));
+    case PatternKind::kMinus:
+      return on_minus(Rebuild(p->left(), on_opt, on_minus, on_ns),
+                      Rebuild(p->right(), on_opt, on_minus, on_ns));
+    case PatternKind::kFilter:
+      return Pattern::Filter(Rebuild(p->child(), on_opt, on_minus, on_ns),
+                             p->condition());
+    case PatternKind::kSelect:
+      return Pattern::Select(p->projection(),
+                             Rebuild(p->child(), on_opt, on_minus, on_ns));
+    case PatternKind::kNs:
+      return on_ns(Rebuild(p->child(), on_opt, on_minus, on_ns));
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return nullptr;
+}
+
+}  // namespace
+
+PatternPtr RewriteOptToNs(const PatternPtr& pattern) {
+  return Rebuild(
+      pattern,
+      [](PatternPtr l, PatternPtr r) {
+        return Pattern::Ns(Pattern::Union(l, Pattern::And(l, r)));
+      },
+      [](PatternPtr l, PatternPtr r) { return Pattern::Minus(l, r); },
+      [](PatternPtr c) { return Pattern::Ns(c); });
+}
+
+PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict) {
+  return Rebuild(
+      pattern,
+      [](PatternPtr l, PatternPtr r) { return Pattern::Opt(l, r); },
+      [dict](PatternPtr l, PatternPtr r) {
+        VarId v1 = dict->FreshVar("m1");
+        VarId v2 = dict->FreshVar("m2");
+        VarId v3 = dict->FreshVar("m3");
+        PatternPtr probe = Pattern::MakeTriple(
+            Term::Var(v1), Term::Var(v2), Term::Var(v3));
+        return Pattern::Filter(
+            Pattern::Opt(l, Pattern::And(r, probe)),
+            Builtin::Not(Builtin::Bound(v1)));
+      },
+      [](PatternPtr c) { return Pattern::Ns(c); });
+}
+
+PatternPtr MonotoneEnvelope(const PatternPtr& pattern) {
+  return Rebuild(
+      pattern,
+      [](PatternPtr l, PatternPtr r) {
+        return Pattern::Union(Pattern::And(l, r), l);
+      },
+      [](PatternPtr l, PatternPtr) { return l; },
+      [](PatternPtr c) { return c; });
+}
+
+}  // namespace rdfql

@@ -1,0 +1,38 @@
+#ifndef RDFQL_TRANSFORM_OPT_REWRITER_H_
+#define RDFQL_TRANSFORM_OPT_REWRITER_H_
+
+#include "algebra/pattern.h"
+#include "rdf/dictionary.h"
+
+namespace rdfql {
+
+/// Section 5.1: replaces every OPT node by the NS encoding
+///     (P1 OPT P2)  ⇝  NS(P1 UNION (P1 AND P2)).
+/// The result is subsumption-equivalent to the input, and exactly
+/// equivalent whenever the input is subsumption-free (in general
+/// NS(P1 UNION (P1 AND P2)) ≡ NS(P1 OPT P2) — the NS encoding keeps the
+/// maximal answers). The rewrite shows NS is "an alternative way of
+/// obtaining optional information".
+PatternPtr RewriteOptToNs(const PatternPtr& pattern);
+
+/// Appendix D: desugars every MINUS node into pure SPARQL,
+///     P1 MINUS P2  ⇝  (P1 OPT (P2 AND (?v1 ?v2 ?v3))) FILTER !bound(?v1)
+/// with fresh variables ?v1 ?v2 ?v3 interned in `dict`.
+PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict);
+
+/// The monotone envelope of a pattern: strips every non-monotone construct
+/// upward,
+///     P1 OPT P2   ⇝  (P1 AND P2) UNION P1,
+///     P1 MINUS P2 ⇝  P1,
+///     NS(P)       ⇝  P,
+/// yielding a pattern in SPARQL[AUFS] (for inputs over AUOFS+NS+MINUS)
+/// that satisfies ⟦P⟧G ⊆ ⟦envelope⟧G on every graph.
+///
+/// This is the constructive candidate for Theorem 4.1: when P is (weakly)
+/// monotone enough, envelope ≡s P — `FindAufsTranslation` in
+/// fo/interpolant_search.h verifies that claim instance by instance.
+PatternPtr MonotoneEnvelope(const PatternPtr& pattern);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_TRANSFORM_OPT_REWRITER_H_

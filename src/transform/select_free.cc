@@ -1,0 +1,53 @@
+#include "transform/select_free.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+PatternPtr Sf(const PatternPtr& p, Dictionary* dict) {
+  switch (p->kind()) {
+    case PatternKind::kTriple:
+      return p;
+    case PatternKind::kSelect: {
+      // Replace in (P')_sf every variable of var(P') \ V by a fresh one;
+      // freshly generated names are globally unique, so sibling disjointness
+      // (Definition F.1's side condition) holds by construction.
+      PatternPtr inner = Sf(p->child(), dict);
+      std::map<VarId, VarId> renaming;
+      for (VarId v : p->child()->Vars()) {
+        if (!std::binary_search(p->projection().begin(),
+                                p->projection().end(), v)) {
+          renaming[v] = dict->FreshVar("sf_" + dict->VarName(v));
+        }
+      }
+      return Pattern::RenameVars(inner, renaming);
+    }
+    case PatternKind::kAnd:
+      return Pattern::And(Sf(p->left(), dict), Sf(p->right(), dict));
+    case PatternKind::kUnion:
+      return Pattern::Union(Sf(p->left(), dict), Sf(p->right(), dict));
+    case PatternKind::kOpt:
+      return Pattern::Opt(Sf(p->left(), dict), Sf(p->right(), dict));
+    case PatternKind::kMinus:
+      return Pattern::Minus(Sf(p->left(), dict), Sf(p->right(), dict));
+    case PatternKind::kFilter:
+      return Pattern::Filter(Sf(p->child(), dict), p->condition());
+    case PatternKind::kNs:
+      return Pattern::Ns(Sf(p->child(), dict));
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return nullptr;
+}
+
+}  // namespace
+
+PatternPtr SelectFreeVersion(const PatternPtr& pattern, Dictionary* dict) {
+  RDFQL_CHECK(pattern != nullptr);
+  return Sf(pattern, dict);
+}
+
+}  // namespace rdfql

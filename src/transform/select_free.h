@@ -1,0 +1,20 @@
+#ifndef RDFQL_TRANSFORM_SELECT_FREE_H_
+#define RDFQL_TRANSFORM_SELECT_FREE_H_
+
+#include "algebra/pattern.h"
+#include "rdf/dictionary.h"
+
+namespace rdfql {
+
+/// The SELECT-free version P_sf of a pattern (Definition F.1, used by
+/// Proposition 6.7 to strip SELECT from CONSTRUCT[AUFS] queries).
+///
+/// Every SELECT node is removed and the variables it would have projected
+/// away are renamed to fresh variables; sibling subpatterns receive
+/// disjoint fresh variables. Lemma F.2 relates P and P_sf: µ ∈ ⟦P⟧G iff
+/// some µ' ∈ ⟦P_sf⟧G has µ ⪯ µ' and dom(µ) = dom(µ') ∩ var(P).
+PatternPtr SelectFreeVersion(const PatternPtr& pattern, Dictionary* dict);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_TRANSFORM_SELECT_FREE_H_

@@ -1,0 +1,201 @@
+#include "transform/union_normal_form.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+Status TooBig() {
+  return Status::ResourceExhausted(
+      "UNION normal form exceeded the disjunct limit");
+}
+
+Result<std::vector<PatternPtr>> Unf(const PatternPtr& p,
+                                    const NormalFormLimits& limits) {
+  switch (p->kind()) {
+    case PatternKind::kTriple:
+      return std::vector<PatternPtr>{p};
+    case PatternKind::kUnion: {
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> l,
+                             Unf(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> r,
+                             Unf(p->right(), limits));
+      if (l.size() + r.size() > limits.max_disjuncts) return TooBig();
+      l.insert(l.end(), r.begin(), r.end());
+      return l;
+    }
+    case PatternKind::kAnd: {
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> l,
+                             Unf(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> r,
+                             Unf(p->right(), limits));
+      if (l.size() * r.size() > limits.max_disjuncts) return TooBig();
+      std::vector<PatternPtr> out;
+      out.reserve(l.size() * r.size());
+      for (const PatternPtr& a : l) {
+        for (const PatternPtr& b : r) {
+          out.push_back(Pattern::And(a, b));
+        }
+      }
+      return out;
+    }
+    case PatternKind::kOpt: {
+      // (P1 OPT P2) ≡ (P1 AND P2) UNION (P1 MINUS P2); both halves then
+      // distribute over the disjuncts of P1 and P2.
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> l,
+                             Unf(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> r,
+                             Unf(p->right(), limits));
+      size_t total = l.size() * r.size() + l.size();
+      if (total > limits.max_disjuncts) return TooBig();
+      std::vector<PatternPtr> out;
+      out.reserve(total);
+      for (const PatternPtr& a : l) {
+        for (const PatternPtr& b : r) {
+          out.push_back(Pattern::And(a, b));
+        }
+      }
+      for (const PatternPtr& a : l) {
+        // P1 MINUS (D1 ∪ ... ∪ Dm) ≡ ((P1 MINUS D1) ... MINUS Dm).
+        PatternPtr acc = a;
+        for (const PatternPtr& b : r) acc = Pattern::Minus(acc, b);
+        out.push_back(acc);
+      }
+      return out;
+    }
+    case PatternKind::kMinus: {
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> l,
+                             Unf(p->left(), limits));
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> r,
+                             Unf(p->right(), limits));
+      std::vector<PatternPtr> out;
+      out.reserve(l.size());
+      for (const PatternPtr& a : l) {
+        PatternPtr acc = a;
+        for (const PatternPtr& b : r) acc = Pattern::Minus(acc, b);
+        out.push_back(acc);
+      }
+      return out;
+    }
+    case PatternKind::kFilter: {
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> inner,
+                             Unf(p->child(), limits));
+      std::vector<PatternPtr> out;
+      out.reserve(inner.size());
+      for (const PatternPtr& a : inner) {
+        out.push_back(Pattern::Filter(a, p->condition()));
+      }
+      return out;
+    }
+    case PatternKind::kSelect: {
+      RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> inner,
+                             Unf(p->child(), limits));
+      std::vector<PatternPtr> out;
+      out.reserve(inner.size());
+      for (const PatternPtr& a : inner) {
+        out.push_back(Pattern::Select(p->projection(), a));
+      }
+      return out;
+    }
+    case PatternKind::kNs:
+      return Status::InvalidArgument(
+          "UnionNormalForm requires an NS-free pattern (run EliminateNs "
+          "first)");
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return std::vector<PatternPtr>{};
+}
+
+}  // namespace
+
+Result<std::vector<PatternPtr>> UnionNormalForm(
+    const PatternPtr& pattern, const NormalFormLimits& limits) {
+  RDFQL_CHECK(pattern != nullptr);
+  return Unf(pattern, limits);
+}
+
+std::vector<VarId> CertainVars(const PatternPtr& pattern) {
+  switch (pattern->kind()) {
+    case PatternKind::kTriple:
+      return pattern->Vars();
+    case PatternKind::kAnd: {
+      std::vector<VarId> l = CertainVars(pattern->left());
+      std::vector<VarId> r = CertainVars(pattern->right());
+      std::vector<VarId> out;
+      std::set_union(l.begin(), l.end(), r.begin(), r.end(),
+                     std::back_inserter(out));
+      return out;
+    }
+    case PatternKind::kUnion: {
+      std::vector<VarId> l = CertainVars(pattern->left());
+      std::vector<VarId> r = CertainVars(pattern->right());
+      std::vector<VarId> out;
+      std::set_intersection(l.begin(), l.end(), r.begin(), r.end(),
+                            std::back_inserter(out));
+      return out;
+    }
+    case PatternKind::kOpt:
+    case PatternKind::kMinus:
+      return CertainVars(pattern->left());
+    case PatternKind::kFilter:
+    case PatternKind::kNs:
+      return CertainVars(pattern->child());
+    case PatternKind::kSelect: {
+      std::vector<VarId> inner = CertainVars(pattern->child());
+      std::vector<VarId> out;
+      std::set_intersection(inner.begin(), inner.end(),
+                            pattern->projection().begin(),
+                            pattern->projection().end(),
+                            std::back_inserter(out));
+      return out;
+    }
+  }
+  RDFQL_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+Result<std::vector<FixedDomainDisjunct>> FixedDomainUnionNormalForm(
+    const PatternPtr& pattern, const NormalFormLimits& limits) {
+  RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> disjuncts,
+                         UnionNormalForm(pattern, limits));
+
+  std::vector<FixedDomainDisjunct> out;
+  for (const PatternPtr& d : disjuncts) {
+    // Lemma D.2 conjoins, for every V ⊆ var(P), the bound/!bound profile of
+    // V onto every disjunct. Profiles outside [certain(D), scope(D)] yield
+    // empty disjuncts and are pruned (the enumeration below only walks the
+    // free positions, so the blow-up is 2^|scope \ certain| per disjunct).
+    std::vector<VarId> certain = CertainVars(d);
+    const std::vector<VarId>& scope = d->ScopeVars();
+    std::vector<VarId> optional_vars;
+    std::set_difference(scope.begin(), scope.end(), certain.begin(),
+                        certain.end(), std::back_inserter(optional_vars));
+    if (optional_vars.size() >= 30 ||
+        out.size() + (size_t{1} << optional_vars.size()) >
+            limits.max_disjuncts) {
+      return TooBig();
+    }
+    for (uint64_t mask = 0; mask < (uint64_t{1} << optional_vars.size());
+         ++mask) {
+      std::vector<VarId> domain = certain;
+      std::vector<BuiltinPtr> profile;
+      for (size_t i = 0; i < optional_vars.size(); ++i) {
+        if (mask & (uint64_t{1} << i)) {
+          domain.push_back(optional_vars[i]);
+          profile.push_back(Builtin::Bound(optional_vars[i]));
+        } else {
+          profile.push_back(Builtin::Not(Builtin::Bound(optional_vars[i])));
+        }
+      }
+      std::sort(domain.begin(), domain.end());
+      PatternPtr constrained =
+          profile.empty() ? d : Pattern::Filter(d, Builtin::AndAll(profile));
+      out.push_back(FixedDomainDisjunct{constrained, std::move(domain)});
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfql

@@ -1,0 +1,50 @@
+#ifndef RDFQL_TRANSFORM_UNION_NORMAL_FORM_H_
+#define RDFQL_TRANSFORM_UNION_NORMAL_FORM_H_
+
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Limits for the intentionally exponential normal-form constructions; when
+/// exceeded the transformation returns ResourceExhausted instead of
+/// consuming the machine.
+struct NormalFormLimits {
+  size_t max_disjuncts = 1u << 20;
+};
+
+/// UNION normal form (Proposition D.1): returns the disjuncts D1..Dn of an
+/// equivalent pattern D1 UNION ... UNION Dn where every Di is UNION-free.
+///
+/// The rewriting distributes UNION over AND, FILTER and SELECT, and splits
+/// OPT as (P1 OPT P2) ≡ (P1 AND P2) UNION (P1 MINUS P2), pushing a
+/// union-free right-hand side into chained MINUS. The input must be NS-free
+/// (NS does not distribute over UNION; EliminateNs handles it first).
+Result<std::vector<PatternPtr>> UnionNormalForm(
+    const PatternPtr& pattern, const NormalFormLimits& limits = {});
+
+/// One disjunct of the fixed-domain UNION normal form of Lemma D.2: a
+/// UNION-free pattern all of whose answers bind exactly `domain`.
+struct FixedDomainDisjunct {
+  PatternPtr pattern;
+  std::vector<VarId> domain;  // sorted
+};
+
+/// Fixed-domain UNION normal form (Lemma D.2): an equivalent union of
+/// UNION-free disjuncts, each annotated with the exact domain V ⊆ var(P)
+/// bound by all of its answers (enforced with a bound/!bound FILTER
+/// profile). Disjuncts whose domain constraint is syntactically
+/// unsatisfiable (V outside [certain(D), scope(D)]) are pruned.
+Result<std::vector<FixedDomainDisjunct>> FixedDomainUnionNormalForm(
+    const PatternPtr& pattern, const NormalFormLimits& limits = {});
+
+/// Variables bound in *every* answer of the pattern, syntactically
+/// approximated from below (used to prune Lemma D.2's 2^|var(P)| domain
+/// candidates; always a subset of the true certain variables).
+std::vector<VarId> CertainVars(const PatternPtr& pattern);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_TRANSFORM_UNION_NORMAL_FORM_H_

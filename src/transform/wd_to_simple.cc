@@ -1,0 +1,170 @@
+#include "transform/wd_to_simple.h"
+
+#include "analysis/well_designed.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace {
+
+// Merges `src` into `dst` (AND of two blocks: triples, filters and OPT
+// children all accumulate at the root — sound for well-designed patterns).
+void MergeInto(WdTreeNode* dst, WdTreeNode&& src) {
+  dst->triples.insert(dst->triples.end(), src.triples.begin(),
+                      src.triples.end());
+  dst->filters.insert(dst->filters.end(), src.filters.begin(),
+                      src.filters.end());
+  for (auto& child : src.children) {
+    dst->children.push_back(std::move(child));
+  }
+}
+
+std::unique_ptr<WdTreeNode> Build(const Pattern& p) {
+  switch (p.kind()) {
+    case PatternKind::kTriple: {
+      auto node = std::make_unique<WdTreeNode>();
+      node->triples.push_back(p.triple());
+      return node;
+    }
+    case PatternKind::kAnd: {
+      std::unique_ptr<WdTreeNode> l = Build(*p.left());
+      std::unique_ptr<WdTreeNode> r = Build(*p.right());
+      MergeInto(l.get(), std::move(*r));
+      return l;
+    }
+    case PatternKind::kOpt: {
+      std::unique_ptr<WdTreeNode> l = Build(*p.left());
+      l->children.push_back(Build(*p.right()));
+      return l;
+    }
+    case PatternKind::kFilter: {
+      std::unique_ptr<WdTreeNode> node = Build(*p.child());
+      node->filters.push_back(p.condition());
+      return node;
+    }
+    default:
+      RDFQL_CHECK_MSG(false, "BuildWdTree: pattern not in SPARQL[AOF]");
+      return nullptr;
+  }
+}
+
+struct Block {
+  std::vector<TriplePattern> triples;
+  std::vector<BuiltinPtr> filters;
+};
+
+void Append(Block* acc, const WdTreeNode& node) {
+  acc->triples.insert(acc->triples.end(), node.triples.begin(),
+                      node.triples.end());
+  acc->filters.insert(acc->filters.end(), node.filters.begin(),
+                      node.filters.end());
+}
+
+// Enumerates every connected subtree containing `node`, emitting the
+// accumulated block for each. Returns false if `max_subtrees` was hit.
+bool EnumerateSubtrees(const WdTreeNode& node, Block prefix,
+                       std::vector<Block>* out, size_t max_subtrees) {
+  Append(&prefix, node);
+  // For each subset of children, recursively expand. We iterate
+  // combinatorially: children contribute independently, so enumerate the
+  // cartesian product of (skip | each-subtree-choice) per child. To keep
+  // memory in check we materialize child choices first.
+  std::vector<std::vector<Block>> child_choices;
+  for (const auto& child : node.children) {
+    std::vector<Block> choices;
+    if (!EnumerateSubtrees(*child, Block{}, &choices, max_subtrees)) {
+      return false;
+    }
+    child_choices.push_back(std::move(choices));
+  }
+  // Cartesian product over children of ({skip} ∪ choices).
+  std::vector<Block> acc = {prefix};
+  for (const std::vector<Block>& choices : child_choices) {
+    std::vector<Block> next;
+    for (const Block& base : acc) {
+      next.push_back(base);  // skip this child
+      for (const Block& choice : choices) {
+        Block combined = base;
+        combined.triples.insert(combined.triples.end(),
+                                choice.triples.begin(), choice.triples.end());
+        combined.filters.insert(combined.filters.end(),
+                                choice.filters.begin(), choice.filters.end());
+        next.push_back(std::move(combined));
+        if (next.size() + out->size() > max_subtrees) return false;
+      }
+    }
+    acc.swap(next);
+  }
+  out->insert(out->end(), acc.begin(), acc.end());
+  return true;
+}
+
+PatternPtr BlockToPattern(const Block& block) {
+  RDFQL_CHECK(!block.triples.empty());
+  std::vector<PatternPtr> triples;
+  triples.reserve(block.triples.size());
+  for (const TriplePattern& t : block.triples) {
+    triples.push_back(Pattern::MakeTriple(t));
+  }
+  PatternPtr cq = Pattern::AndAll(triples);
+  if (!block.filters.empty()) {
+    cq = Pattern::Filter(cq, Builtin::AndAll(block.filters));
+  }
+  return cq;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WdTreeNode>> BuildWdTree(const PatternPtr& pattern) {
+  std::string why;
+  if (!IsWellDesigned(pattern, &why)) {
+    return Status::InvalidArgument("pattern is not well designed: " + why);
+  }
+  return Build(*pattern);
+}
+
+PatternPtr WdTreeToPattern(const WdTreeNode& node) {
+  RDFQL_CHECK(!node.triples.empty());
+  std::vector<PatternPtr> triples;
+  for (const TriplePattern& t : node.triples) {
+    triples.push_back(Pattern::MakeTriple(t));
+  }
+  PatternPtr block = Pattern::AndAll(triples);
+  if (!node.filters.empty()) {
+    block = Pattern::Filter(block, Builtin::AndAll(node.filters));
+  }
+  for (const auto& child : node.children) {
+    block = Pattern::Opt(block, WdTreeToPattern(*child));
+  }
+  return block;
+}
+
+Result<PatternPtr> ToOptNormalForm(const PatternPtr& pattern) {
+  RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
+                         BuildWdTree(pattern));
+  return WdTreeToPattern(*tree);
+}
+
+Result<PatternPtr> WellDesignedToAufUnion(const PatternPtr& pattern,
+                                          size_t max_subtrees) {
+  RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
+                         BuildWdTree(pattern));
+  std::vector<Block> blocks;
+  if (!EnumerateSubtrees(*tree, Block{}, &blocks, max_subtrees)) {
+    return Status::ResourceExhausted(
+        "WellDesignedToSimple exceeded the subtree limit");
+  }
+  RDFQL_CHECK(!blocks.empty());
+  std::vector<PatternPtr> disjuncts;
+  disjuncts.reserve(blocks.size());
+  for (const Block& b : blocks) disjuncts.push_back(BlockToPattern(b));
+  return Pattern::UnionAll(disjuncts);
+}
+
+Result<PatternPtr> WellDesignedToSimple(const PatternPtr& pattern,
+                                        size_t max_subtrees) {
+  RDFQL_ASSIGN_OR_RETURN(PatternPtr inner,
+                         WellDesignedToAufUnion(pattern, max_subtrees));
+  return Pattern::Ns(inner);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,54 @@
+#ifndef RDFQL_TRANSFORM_WD_TO_SIMPLE_H_
+#define RDFQL_TRANSFORM_WD_TO_SIMPLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "util/status.h"
+
+namespace rdfql {
+
+/// A well-designed pattern tree: each node is an AND/FILTER block (a set of
+/// triple patterns plus filter conditions); each child hangs off its parent
+/// by an implicit OPT. This is the normal form underlying Proposition 5.6
+/// (and the literature on well-designed SPARQL, [23]/[32]).
+struct WdTreeNode {
+  std::vector<TriplePattern> triples;
+  std::vector<BuiltinPtr> filters;
+  std::vector<std::unique_ptr<WdTreeNode>> children;
+};
+
+/// Builds the pattern tree of a well-designed SPARQL[AOF] pattern.
+/// Fails with InvalidArgument if the pattern is not well designed.
+Result<std::unique_ptr<WdTreeNode>> BuildWdTree(const PatternPtr& pattern);
+
+/// Proposition 5.6 (constructive direction): translates a well-designed
+/// SPARQL[AOF] pattern with arbitrarily nested OPT into an equivalent
+/// simple pattern NS(Q1 UNION ... UNION Qk) with one NS at the top, where
+/// every Qi is a conjunctive AND/FILTER pattern — one per connected subtree
+/// of the pattern tree containing the root. The number of subtrees is
+/// exponential in the tree size in the worst case; `max_subtrees` caps it.
+Result<PatternPtr> WellDesignedToSimple(const PatternPtr& pattern,
+                                        size_t max_subtrees = 1u << 16);
+
+/// Rebuilds a pattern from a well-designed pattern tree: the node's block
+/// is the AND of its triples (FILTERed by its conditions), children attach
+/// with nested OPTs. Inverse of `BuildWdTree` up to equivalence.
+PatternPtr WdTreeToPattern(const WdTreeNode& node);
+
+/// Proposition A.1, made constructive: every well-designed SPARQL[AOF]
+/// pattern is equivalent to one in OPT normal form
+/// (...((P1 OPT P2) OPT P3)... with P1 OPT-free) — obtained by a
+/// tree round trip. Fails for non-well-designed inputs.
+Result<PatternPtr> ToOptNormalForm(const PatternPtr& pattern);
+
+/// The inner SPARQL[AUF] union of `WellDesignedToSimple` without the
+/// enclosing NS — this is the subsumption-equivalent monotone pattern
+/// promised by Theorem 4.1 for well-designed inputs.
+Result<PatternPtr> WellDesignedToAufUnion(const PatternPtr& pattern,
+                                          size_t max_subtrees = 1u << 16);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_TRANSFORM_WD_TO_SIMPLE_H_

@@ -1,0 +1,57 @@
+#include "update/update.h"
+
+namespace rdfql {
+namespace {
+
+// Materializes the template instantiations of a pattern's answers over
+// the current graph snapshot (exactly CONSTRUCT's ans(Q,G), Section 6.1).
+std::vector<Triple> Instantiations(const Graph& graph,
+                                   const std::vector<TriplePattern>& templ,
+                                   const PatternPtr& pattern,
+                                   EvalOptions options) {
+  std::vector<Triple> out;
+  MappingSet solutions = EvalPattern(graph, pattern, options);
+  for (const Mapping& m : solutions) {
+    for (const TriplePattern& t : templ) {
+      bool all_bound = true;
+      for (VarId v : TriplePatternVars(t)) {
+        if (!m.Binds(v)) {
+          all_bound = false;
+          break;
+        }
+      }
+      if (all_bound) out.push_back(Instantiate(t, m));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t InsertData(Graph* graph, const std::vector<Triple>& triples) {
+  size_t added = 0;
+  for (const Triple& t : triples) {
+    if (graph->Insert(t)) ++added;
+  }
+  return added;
+}
+
+size_t DeleteData(Graph* graph, const std::vector<Triple>& triples) {
+  size_t removed = 0;
+  for (const Triple& t : triples) {
+    if (graph->Erase(t)) ++removed;
+  }
+  return removed;
+}
+
+size_t InsertWhere(Graph* graph, const std::vector<TriplePattern>& templ,
+                   const PatternPtr& pattern, EvalOptions options) {
+  return InsertData(graph, Instantiations(*graph, templ, pattern, options));
+}
+
+size_t DeleteWhere(Graph* graph, const std::vector<TriplePattern>& templ,
+                   const PatternPtr& pattern, EvalOptions options) {
+  return DeleteData(graph, Instantiations(*graph, templ, pattern, options));
+}
+
+}  // namespace rdfql

@@ -1,0 +1,40 @@
+#ifndef RDFQL_UPDATE_UPDATE_H_
+#define RDFQL_UPDATE_UPDATE_H_
+
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "eval/evaluator.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// SPARQL-Update-flavoured graph mutation, built on the engine's own
+/// pattern evaluation (the paper's Section 6 composability theme in the
+/// other direction: query results flowing back into the store).
+///
+/// All operations mutate `graph` in place and return the number of
+/// triples actually added/removed (set semantics, like everything else).
+
+/// INSERT DATA: adds ground triples.
+size_t InsertData(Graph* graph, const std::vector<Triple>& triples);
+
+/// DELETE DATA: removes ground triples.
+size_t DeleteData(Graph* graph, const std::vector<Triple>& triples);
+
+/// INSERT { template } WHERE { pattern }: evaluates the pattern against
+/// the *current* graph state, instantiates the template per answer
+/// (skipping template triples with unbound variables, as in CONSTRUCT),
+/// then inserts all produced triples at once — the paper-standard
+/// snapshot semantics, so the insertions cannot feed their own matching.
+size_t InsertWhere(Graph* graph, const std::vector<TriplePattern>& templ,
+                   const PatternPtr& pattern, EvalOptions options = {});
+
+/// DELETE { template } WHERE { pattern }: same snapshot evaluation; all
+/// instantiated triples are removed.
+size_t DeleteWhere(Graph* graph, const std::vector<TriplePattern>& templ,
+                   const PatternPtr& pattern, EvalOptions options = {});
+
+}  // namespace rdfql
+
+#endif  // RDFQL_UPDATE_UPDATE_H_

@@ -1,0 +1,28 @@
+#ifndef RDFQL_UTIL_CHECK_H_
+#define RDFQL_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checking. `RDFQL_CHECK` is always on (the library is
+/// not performance-bound by these), and failures abort with a location so
+/// bugs surface loudly in tests and benchmarks alike.
+#define RDFQL_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RDFQL_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define RDFQL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RDFQL_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // RDFQL_UTIL_CHECK_H_

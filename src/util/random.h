@@ -1,0 +1,55 @@
+#ifndef RDFQL_UTIL_RANDOM_H_
+#define RDFQL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rdfql {
+
+/// Deterministic xoshiro256**-based PRNG. Tests and benchmarks need
+/// reproducible randomness independent of the standard library's
+/// implementation-defined distributions, so we ship our own.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniform element; vector must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_UTIL_RANDOM_H_

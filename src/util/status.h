@@ -1,0 +1,111 @@
+#ifndef RDFQL_UTIL_STATUS_H_
+#define RDFQL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rdfql {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-library convention (RocksDB/Arrow-style status codes) so callers
+/// can branch on the kind of failure without parsing messages.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kUnsupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Lightweight status object: the library does not use exceptions (per the
+/// style guide); every fallible public API returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Minimal `StatusOr`-style result type: either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites readable (`return pattern;` / `return Status::ParseError(...)`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const { return std::get<Status>(data_); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace rdfql
+
+/// Propagates a non-OK status from an expression that yields `Status`.
+#define RDFQL_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::rdfql::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors, else binds the value.
+#define RDFQL_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  RDFQL_ASSIGN_OR_RETURN_IMPL_(                \
+      RDFQL_STATUS_CONCAT_(_res, __LINE__), lhs, rexpr)
+
+#define RDFQL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define RDFQL_STATUS_CONCAT_INNER_(a, b) a##b
+#define RDFQL_STATUS_CONCAT_(a, b) RDFQL_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // RDFQL_UTIL_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef RDFQL_UTIL_STRING_UTIL_H_
+#define RDFQL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfql {
+
+/// Splits on a single character, omitting empty pieces.
+std::vector<std::string> SplitNonEmpty(std::string_view text, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,74 @@
+#include "workload/graph_generator.h"
+
+namespace rdfql {
+
+Graph GenerateSocialGraph(const SocialGraphSpec& spec, Dictionary* dict) {
+  Rng rng(spec.seed);
+  Graph g;
+
+  TermId founder = dict->InternIri("founder");
+  TermId supporter = dict->InternIri("supporter");
+  TermId stands_for = dict->InternIri("stands_for");
+  TermId works_at = dict->InternIri("works_at");
+  TermId name = dict->InternIri("name");
+  TermId email = dict->InternIri("email");
+  TermId was_born_in = dict->InternIri("was_born_in");
+
+  std::vector<TermId> people, orgs, causes, countries;
+  for (int i = 0; i < spec.num_people; ++i) {
+    people.push_back(dict->InternIri("person_" + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.num_orgs; ++i) {
+    orgs.push_back(dict->InternIri("org_" + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.num_causes; ++i) {
+    causes.push_back(dict->InternIri("cause_" + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.num_countries; ++i) {
+    countries.push_back(dict->InternIri("country_" + std::to_string(i)));
+  }
+
+  for (int i = 0; i < spec.num_people; ++i) {
+    TermId p = people[i];
+    g.Insert(p, name, dict->InternIri("name_" + std::to_string(i)));
+    g.Insert(p, was_born_in, rng.Pick(countries));
+    if (rng.NextBool(spec.email_probability)) {
+      g.Insert(p, email, dict->InternIri("mail_" + std::to_string(i)));
+    }
+    g.Insert(p, works_at, rng.Pick(orgs));
+    for (TermId org : orgs) {
+      if (rng.NextBool(spec.founder_probability)) g.Insert(p, founder, org);
+      if (rng.NextBool(spec.supporter_probability)) {
+        g.Insert(p, supporter, org);
+      }
+    }
+  }
+  for (TermId org : orgs) {
+    g.Insert(org, stands_for, rng.Pick(causes));
+  }
+  return g;
+}
+
+Graph GenerateRandomGraph(int num_triples, int pool_size, Dictionary* dict,
+                          Rng* rng, const std::string& stem) {
+  std::vector<TermId> pool;
+  pool.reserve(pool_size);
+  for (int i = 0; i < pool_size; ++i) {
+    pool.push_back(dict->InternIri(stem + "_" + std::to_string(i)));
+  }
+  Graph g;
+  for (int i = 0; i < num_triples; ++i) {
+    g.Insert(rng->Pick(pool), rng->Pick(pool), rng->Pick(pool));
+  }
+  return g;
+}
+
+Graph RandomSubgraph(const Graph& graph, double keep, Rng* rng) {
+  Graph out;
+  for (const Triple& t : graph.triples()) {
+    if (rng->NextBool(keep)) out.Insert(t);
+  }
+  return out;
+}
+
+}  // namespace rdfql

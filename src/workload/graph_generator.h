@@ -1,0 +1,43 @@
+#ifndef RDFQL_WORKLOAD_GRAPH_GENERATOR_H_
+#define RDFQL_WORKLOAD_GRAPH_GENERATOR_H_
+
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "util/random.h"
+
+namespace rdfql {
+
+/// Parameters of the scalable synthetic "people and organizations" graph
+/// modeled on the paper's running examples (founders/supporters,
+/// professors/universities, emails, birthplaces). Predicates:
+/// founder, supporter, stands_for, works_at, name, email, was_born_in.
+struct SocialGraphSpec {
+  int num_people = 100;
+  int num_orgs = 10;
+  int num_causes = 5;
+  int num_countries = 8;
+  /// Probability that a person has an email triple (the optional
+  /// information that OPT / NS queries reach for).
+  double email_probability = 0.5;
+  double founder_probability = 0.05;
+  double supporter_probability = 0.10;
+  uint64_t seed = 42;
+};
+
+/// Generates the synthetic social graph; predicate and entity IRIs are
+/// interned into `dict` with stable names (person_i, org_j, ...).
+Graph GenerateSocialGraph(const SocialGraphSpec& spec, Dictionary* dict);
+
+/// A uniform random graph over `pool_size` IRIs named <stem>_i.
+Graph GenerateRandomGraph(int num_triples, int pool_size, Dictionary* dict,
+                          Rng* rng, const std::string& stem = "node");
+
+/// Random subgraph keeping each triple with probability `keep`; used to
+/// build G1 ⊆ G2 pairs for the monotonicity experiments.
+Graph RandomSubgraph(const Graph& graph, double keep, Rng* rng);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_WORKLOAD_GRAPH_GENERATOR_H_

@@ -1,0 +1,110 @@
+#include "workload/pattern_generator.h"
+
+#include <vector>
+
+namespace rdfql {
+namespace {
+
+Term RandomTerm(const PatternGenSpec& spec, Dictionary* dict, Rng* rng) {
+  if (rng->NextBool(0.55)) {
+    int v = static_cast<int>(rng->NextBelow(spec.num_vars));
+    return Term::Var(dict->InternVar(spec.var_stem + std::to_string(v)));
+  }
+  int i = static_cast<int>(rng->NextBelow(spec.num_iris));
+  return Term::Iri(dict->InternIri(spec.iri_stem + std::to_string(i)));
+}
+
+PatternPtr RandomTriple(const PatternGenSpec& spec, Dictionary* dict,
+                        Rng* rng) {
+  return Pattern::MakeTriple(RandomTerm(spec, dict, rng),
+                             RandomTerm(spec, dict, rng),
+                             RandomTerm(spec, dict, rng));
+}
+
+BuiltinPtr RandomCondition(const PatternGenSpec& spec,
+                           const std::vector<VarId>& vars, Dictionary* dict,
+                           Rng* rng, int depth) {
+  if (vars.empty()) return Builtin::True();
+  if (depth > 0 && rng->NextBool(0.4)) {
+    BuiltinPtr a = RandomCondition(spec, vars, dict, rng, depth - 1);
+    BuiltinPtr b = RandomCondition(spec, vars, dict, rng, depth - 1);
+    switch (rng->NextBelow(3)) {
+      case 0:
+        return Builtin::And(a, b);
+      case 1:
+        return Builtin::Or(a, b);
+      default:
+        return Builtin::Not(a);
+    }
+  }
+  VarId v = rng->Pick(vars);
+  switch (rng->NextBelow(3)) {
+    case 0:
+      return Builtin::Bound(v);
+    case 1: {
+      int i = static_cast<int>(rng->NextBelow(spec.num_iris));
+      return Builtin::EqConst(
+          v, dict->InternIri(spec.iri_stem + std::to_string(i)));
+    }
+    default:
+      return Builtin::EqVars(v, rng->Pick(vars));
+  }
+}
+
+PatternPtr Generate(const PatternGenSpec& spec, Dictionary* dict, Rng* rng,
+                    int depth) {
+  if (depth <= 0) return RandomTriple(spec, dict, rng);
+
+  // Collect the operators enabled by the spec and pick one (triples get a
+  // fixed share so patterns stay small).
+  std::vector<int> ops = {0};  // 0 = triple
+  if (spec.allow_and) ops.push_back(1);
+  if (spec.allow_union) ops.push_back(2);
+  if (spec.allow_opt) ops.push_back(3);
+  if (spec.allow_filter) ops.push_back(4);
+  if (spec.allow_select) ops.push_back(5);
+  if (spec.allow_minus) ops.push_back(6);
+  if (spec.allow_ns) ops.push_back(7);
+
+  switch (rng->Pick(ops)) {
+    case 1:
+      return Pattern::And(Generate(spec, dict, rng, depth - 1),
+                          Generate(spec, dict, rng, depth - 1));
+    case 2:
+      return Pattern::Union(Generate(spec, dict, rng, depth - 1),
+                            Generate(spec, dict, rng, depth - 1));
+    case 3:
+      return Pattern::Opt(Generate(spec, dict, rng, depth - 1),
+                          Generate(spec, dict, rng, depth - 1));
+    case 4: {
+      PatternPtr child = Generate(spec, dict, rng, depth - 1);
+      return Pattern::Filter(
+          child, RandomCondition(spec, child->Vars(), dict, rng, 1));
+    }
+    case 5: {
+      PatternPtr child = Generate(spec, dict, rng, depth - 1);
+      const std::vector<VarId>& vars = child->ScopeVars();
+      std::vector<VarId> projection;
+      for (VarId v : vars) {
+        if (rng->NextBool(0.6)) projection.push_back(v);
+      }
+      return Pattern::Select(std::move(projection), child);
+    }
+    case 6:
+      return Pattern::Minus(Generate(spec, dict, rng, depth - 1),
+                            Generate(spec, dict, rng, depth - 1));
+    case 7:
+      return Pattern::Ns(Generate(spec, dict, rng, depth - 1));
+    default:
+      return RandomTriple(spec, dict, rng);
+  }
+}
+
+}  // namespace
+
+PatternPtr GenerateRandomPattern(const PatternGenSpec& spec,
+                                 Dictionary* dict, Rng* rng) {
+  return Generate(spec, dict, rng, spec.max_depth);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,36 @@
+#ifndef RDFQL_WORKLOAD_PATTERN_GENERATOR_H_
+#define RDFQL_WORKLOAD_PATTERN_GENERATOR_H_
+
+#include "algebra/pattern.h"
+#include "rdf/dictionary.h"
+#include "util/random.h"
+
+namespace rdfql {
+
+/// Shape of the random patterns used by the property tests and the
+/// scaling benchmarks. Operators are opt-in so a generator instance can be
+/// confined to any SPARQL[·] fragment (or NS–SPARQL).
+struct PatternGenSpec {
+  bool allow_and = true;
+  bool allow_union = true;
+  bool allow_opt = false;
+  bool allow_filter = false;
+  bool allow_select = false;
+  bool allow_minus = false;
+  bool allow_ns = false;
+  int max_depth = 3;
+  int num_vars = 4;
+  int num_iris = 4;
+  /// Variable/IRI name prefixes (so independent generators stay disjoint).
+  std::string var_stem = "v";
+  std::string iri_stem = "i";
+};
+
+/// Draws a random pattern; all variables are <var_stem><k> and IRIs
+/// <iri_stem><k>, interned into `dict`.
+PatternPtr GenerateRandomPattern(const PatternGenSpec& spec,
+                                 Dictionary* dict, Rng* rng);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_WORKLOAD_PATTERN_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "workload/scenarios.h"
+
+#include "rdf/ntriples.h"
+#include "util/check.h"
+
+namespace rdfql {
+namespace scenarios {
+namespace {
+
+Graph MustParse(const char* text, Dictionary* dict) {
+  Graph g;
+  Status st = ParseNTriples(text, dict, &g);
+  RDFQL_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return g;
+}
+
+}  // namespace
+
+Graph PirateBayGraph(Dictionary* dict) {
+  return MustParse(R"(
+    Gottfrid_Svartholm founder The_Pirate_Bay .
+    Fredrik_Neij founder The_Pirate_Bay .
+    Peter_Sunde founder The_Pirate_Bay .
+    founder sub_property supporter .
+    The_Pirate_Bay stands_for sharing_rights .
+    Carl_Lundstrom supporter The_Pirate_Bay .
+  )",
+                   dict);
+}
+
+Graph ChileGraphG1(Dictionary* dict) {
+  return MustParse(R"(
+    prof_01 name Cristian .
+    prof_01 email cris@puc.cl .
+    prof_01 works_at PUC_Chile .
+    prof_01 works_at U_Oxford .
+    prof_02 name Denis .
+    prof_02 works_at PUC_Chile .
+    Juan was_born_in Chile .
+  )",
+                   dict);
+}
+
+Graph ChileGraphG2(Dictionary* dict) {
+  Graph g = ChileGraphG1(dict);
+  g.Insert(dict->InternIri("Juan"), dict->InternIri("email"),
+           dict->InternIri("juan@puc.cl"));
+  return g;
+}
+
+Graph ProfessorsGraph(Dictionary* dict) {
+  return MustParse(R"(
+    prof_01 name Cristian .
+    prof_01 email cris@puc.cl .
+    prof_01 works_at U_Oxford .
+    prof_01 works_at PUC_Chile .
+    prof_02 name Denis .
+    prof_02 works_at PUC_Chile .
+  )",
+                   dict);
+}
+
+std::string Example22Query() {
+  return "(SELECT {?p} WHERE ((?o stands_for sharing_rights) AND "
+         "((?p founder ?o) UNION (?p supporter ?o))))";
+}
+
+std::string Example31Query() {
+  return "((?X was_born_in Chile) OPT (?X email ?Y))";
+}
+
+std::string Example33Query() {
+  return "((?X was_born_in Chile) AND "
+         "((?Y was_born_in Chile) OPT (?Y email ?X)))";
+}
+
+std::string Theorem35Witness() {
+  return "((((a b c) OPT (?X d e)) OPT (?Y f g)) "
+         "FILTER (bound(?X) | bound(?Y)))";
+}
+
+std::string Theorem36Witness() {
+  return "((?X a b) OPT ((?X c ?Y) UNION (?X d ?Z)))";
+}
+
+std::string Example61ConstructQuery() {
+  return "CONSTRUCT { (?n affiliated_to ?u) (?n email ?e) } WHERE "
+         "(((?p name ?n) AND (?p works_at ?u)) OPT (?p email ?e))";
+}
+
+}  // namespace scenarios
+}  // namespace rdfql

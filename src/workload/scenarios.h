@@ -1,0 +1,55 @@
+#ifndef RDFQL_WORKLOAD_SCENARIOS_H_
+#define RDFQL_WORKLOAD_SCENARIOS_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// Canned data from the paper, used by the examples, the integration tests
+/// and bench_examples:
+///  - Figure 1: founders and supporters of The Pirate Bay.
+///  - Figure 2: the G1 ⊆ G2 pair about professors and Juan's email
+///    (Examples 3.1 / 3.3).
+///  - Figure 3: professors, names, affiliations (Example 6.1).
+namespace scenarios {
+
+/// Figure 1.
+Graph PirateBayGraph(Dictionary* dict);
+
+/// Figure 2, left (G1) — without Juan's email.
+Graph ChileGraphG1(Dictionary* dict);
+
+/// Figure 2, right (G2 ⊇ G1) — with (Juan, email, juan@puc.cl).
+Graph ChileGraphG2(Dictionary* dict);
+
+/// Figure 3.
+Graph ProfessorsGraph(Dictionary* dict);
+
+/// Example 2.2: founders/supporters of organizations standing for
+/// sharing_rights (a SELECT over AND/UNION).
+std::string Example22Query();
+
+/// Example 3.1: the weakly-monotone OPT pattern.
+std::string Example31Query();
+
+/// Example 3.3: the non-weakly-monotone AND/OPT pattern.
+std::string Example33Query();
+
+/// Theorem 3.5 witness (Appendix A): weakly monotone in SPARQL[AOF] but
+/// not expressible as a well-designed pattern.
+std::string Theorem35Witness();
+
+/// Theorem 3.6 witness (Appendix B): weakly monotone in SPARQL[AUOF] but
+/// not expressible as a union of well-designed patterns.
+std::string Theorem36Witness();
+
+/// Example 6.1: the CONSTRUCT query building affiliations and emails.
+std::string Example61ConstructQuery();
+
+}  // namespace scenarios
+}  // namespace rdfql
+
+#endif  // RDFQL_WORKLOAD_SCENARIOS_H_

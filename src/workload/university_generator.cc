@@ -1,0 +1,116 @@
+#include "workload/university_generator.h"
+
+#include "util/random.h"
+
+namespace rdfql {
+
+Graph GenerateUniversityGraph(const UniversitySpec& spec, Dictionary* dict) {
+  Rng rng(spec.seed);
+  Graph g;
+
+  TermId sub_org = dict->InternIri("sub_organization_of");
+  TermId works_for = dict->InternIri("works_for");
+  TermId studies_at = dict->InternIri("studies_at");
+  TermId rank = dict->InternIri("rank");
+  TermId advisor = dict->InternIri("advisor");
+  TermId teaches = dict->InternIri("teaches");
+  TermId takes = dict->InternIri("takes");
+  TermId author_of = dict->InternIri("author_of");
+  TermId email = dict->InternIri("email");
+  TermId webpage = dict->InternIri("webpage");
+  TermId offered_by = dict->InternIri("offered_by");
+
+  std::vector<TermId> ranks = {dict->InternIri("assistant"),
+                               dict->InternIri("associate"),
+                               dict->InternIri("full")};
+
+  for (int u = 0; u < spec.num_universities; ++u) {
+    std::string u_name = "u" + std::to_string(u);
+    TermId university = dict->InternIri(u_name);
+    for (int d = 0; d < spec.departments_per_university; ++d) {
+      std::string d_name = u_name + "_d" + std::to_string(d);
+      TermId department = dict->InternIri(d_name);
+      g.Insert(department, sub_org, university);
+
+      std::vector<TermId> professors;
+      for (int k = 0; k < spec.professors_per_department; ++k) {
+        TermId prof =
+            dict->InternIri(d_name + "_prof" + std::to_string(k));
+        professors.push_back(prof);
+        g.Insert(prof, works_for, department);
+        g.Insert(prof, rank, rng.Pick(ranks));
+        if (rng.NextBool(spec.email_probability)) {
+          g.Insert(prof, email,
+                   dict->InternIri(d_name + "_prof" + std::to_string(k) +
+                                   "@mail"));
+        }
+        for (int pub = 0; pub < spec.publications_per_professor; ++pub) {
+          g.Insert(prof, author_of,
+                   dict->InternIri(d_name + "_prof" + std::to_string(k) +
+                                   "_pub" + std::to_string(pub)));
+        }
+      }
+
+      std::vector<TermId> courses;
+      for (int c = 0; c < spec.courses_per_department; ++c) {
+        TermId course =
+            dict->InternIri(d_name + "_course" + std::to_string(c));
+        courses.push_back(course);
+        g.Insert(course, offered_by, department);
+        g.Insert(rng.Pick(professors), teaches, course);
+        if (rng.NextBool(spec.webpage_probability)) {
+          g.Insert(course, webpage,
+                   dict->InternIri(d_name + "_course" + std::to_string(c) +
+                                   "_www"));
+        }
+      }
+
+      for (int s = 0; s < spec.students_per_department; ++s) {
+        TermId student =
+            dict->InternIri(d_name + "_stud" + std::to_string(s));
+        g.Insert(student, studies_at, department);
+        if (rng.NextBool(spec.advisor_probability)) {
+          g.Insert(student, advisor, rng.Pick(professors));
+        }
+        if (rng.NextBool(spec.email_probability)) {
+          g.Insert(student, email,
+                   dict->InternIri(d_name + "_stud" + std::to_string(s) +
+                                   "@mail"));
+        }
+        int enrolled = 1 + static_cast<int>(rng.NextBelow(4));
+        for (int e = 0; e < enrolled; ++e) {
+          g.Insert(student, takes, rng.Pick(courses));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<NamedUniversityQuery> UniversityQueryMix() {
+  return {
+      // Conjunctive: students and the professors teaching their courses.
+      {"cq_student_teacher",
+       "((?s takes ?c) AND (?p teaches ?c)) AND (?s studies_at ?d)"},
+      // Union: everyone attached to a department.
+      {"union_members",
+       "(?x works_for ?d) UNION (?x studies_at ?d)"},
+      // Well-designed OPT: advisors with optional emails.
+      {"wd_advisor_email",
+       "((?s advisor ?p) AND (?p works_for ?d)) OPT (?p email ?e)"},
+      // Nested well-designed OPT: course info with optional extras.
+      {"wd_course_info",
+       "((?p teaches ?c) OPT (?c webpage ?w)) OPT (?p email ?e)"},
+      // Simple pattern (NS form of the advisor query).
+      {"sp_advisor_email",
+       "NS(((?s advisor ?p) AND (?p works_for ?d)) UNION "
+       "(((?s advisor ?p) AND (?p works_for ?d)) AND (?p email ?e)))"},
+      // Projection-heavy: which departments have full professors with
+      // publications.
+      {"select_full_prof_depts",
+       "(SELECT {?d} WHERE (((?p rank full) AND (?p works_for ?d)) AND "
+       "(?p author_of ?pub)))"},
+  };
+}
+
+}  // namespace rdfql

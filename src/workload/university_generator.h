@@ -1,0 +1,48 @@
+#ifndef RDFQL_WORKLOAD_UNIVERSITY_GENERATOR_H_
+#define RDFQL_WORKLOAD_UNIVERSITY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+
+namespace rdfql {
+
+/// A LUBM-flavoured synthetic university dataset — a second, structurally
+/// richer workload than the social graph: departments within
+/// universities, professors with ranks, students with advisors, courses
+/// with teachers and takers, publications with authors. Optional
+/// information (the paper's theme) appears as emails (per person, with
+/// probability) and course webpages.
+struct UniversitySpec {
+  int num_universities = 2;
+  int departments_per_university = 4;
+  int professors_per_department = 6;
+  int students_per_department = 40;
+  int courses_per_department = 8;
+  int publications_per_professor = 3;
+  double email_probability = 0.6;
+  double webpage_probability = 0.4;
+  /// Fraction of students that have an advisor.
+  double advisor_probability = 0.7;
+  uint64_t seed = 7;
+};
+
+/// Generates the dataset; entity IRIs are `uN_dM_profK`-style stable
+/// names. Predicates: sub_organization_of, works_for, studies_at, rank,
+/// advisor, teaches, takes, author_of, email, webpage, offered_by.
+Graph GenerateUniversityGraph(const UniversitySpec& spec, Dictionary* dict);
+
+/// A canned query mix over the university vocabulary (name + paper-syntax
+/// text), covering the paper's fragments: conjunctive lookups, unions,
+/// well-designed OPT, simple patterns, and a CONSTRUCT-ready view query.
+struct NamedUniversityQuery {
+  std::string name;
+  std::string text;
+};
+std::vector<NamedUniversityQuery> UniversityQueryMix();
+
+}  // namespace rdfql
+
+#endif  // RDFQL_WORKLOAD_UNIVERSITY_GENERATOR_H_

@@ -1,0 +1,96 @@
+#include "algebra/builtin.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfql {
+namespace {
+
+class BuiltinTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  VarId x_ = dict_.InternVar("x");
+  VarId y_ = dict_.InternVar("y");
+  TermId a_ = dict_.InternIri("a");
+  TermId b_ = dict_.InternIri("b");
+};
+
+TEST_F(BuiltinTest, BoundSemantics) {
+  BuiltinPtr r = Builtin::Bound(x_);
+  Mapping m;
+  EXPECT_FALSE(r->Eval(m));
+  m.Set(x_, a_);
+  EXPECT_TRUE(r->Eval(m));
+}
+
+TEST_F(BuiltinTest, EqConstSemantics) {
+  BuiltinPtr r = Builtin::EqConst(x_, a_);
+  Mapping m;
+  EXPECT_FALSE(r->Eval(m));  // unbound atoms are false
+  m.Set(x_, b_);
+  EXPECT_FALSE(r->Eval(m));
+  m.Set(x_, a_);
+  EXPECT_TRUE(r->Eval(m));
+}
+
+TEST_F(BuiltinTest, EqVarsSemantics) {
+  BuiltinPtr r = Builtin::EqVars(x_, y_);
+  Mapping m;
+  EXPECT_FALSE(r->Eval(m));
+  m.Set(x_, a_);
+  EXPECT_FALSE(r->Eval(m));  // ?y unbound
+  m.Set(y_, a_);
+  EXPECT_TRUE(r->Eval(m));
+  m.Set(y_, b_);
+  EXPECT_FALSE(r->Eval(m));
+}
+
+TEST_F(BuiltinTest, BooleanConnectives) {
+  Mapping m;
+  m.Set(x_, a_);
+  BuiltinPtr bound_x = Builtin::Bound(x_);
+  BuiltinPtr bound_y = Builtin::Bound(y_);
+  EXPECT_TRUE(Builtin::Or(bound_x, bound_y)->Eval(m));
+  EXPECT_FALSE(Builtin::And(bound_x, bound_y)->Eval(m));
+  EXPECT_TRUE(Builtin::Not(bound_y)->Eval(m));
+  EXPECT_FALSE(Builtin::Not(bound_x)->Eval(m));
+}
+
+TEST_F(BuiltinTest, ConstantFolding) {
+  EXPECT_EQ(Builtin::And(Builtin::True(), Builtin::Bound(x_))->kind(),
+            Builtin::Kind::kBound);
+  EXPECT_EQ(Builtin::And(Builtin::False(), Builtin::Bound(x_))->kind(),
+            Builtin::Kind::kFalse);
+  EXPECT_EQ(Builtin::Or(Builtin::True(), Builtin::Bound(x_))->kind(),
+            Builtin::Kind::kTrue);
+  EXPECT_EQ(Builtin::Not(Builtin::True())->kind(), Builtin::Kind::kFalse);
+  EXPECT_EQ(Builtin::AndAll({})->kind(), Builtin::Kind::kTrue);
+  EXPECT_EQ(Builtin::OrAll({})->kind(), Builtin::Kind::kFalse);
+}
+
+TEST_F(BuiltinTest, CollectVars) {
+  BuiltinPtr r = Builtin::Or(Builtin::EqVars(x_, y_),
+                             Builtin::Not(Builtin::EqConst(x_, a_)));
+  std::set<VarId> vars;
+  r->CollectVars(&vars);
+  EXPECT_EQ(vars, (std::set<VarId>{x_, y_}));
+  std::set<TermId> iris;
+  r->CollectIris(&iris);
+  EXPECT_EQ(iris, (std::set<TermId>{a_}));
+}
+
+TEST_F(BuiltinTest, ToStringRendersPaperNotation) {
+  EXPECT_EQ(Builtin::Bound(x_)->ToString(dict_), "bound(?x)");
+  EXPECT_EQ(Builtin::EqConst(x_, a_)->ToString(dict_), "?x = a");
+  EXPECT_EQ(Builtin::EqVars(x_, y_)->ToString(dict_), "?x = ?y");
+}
+
+TEST_F(BuiltinTest, StructuralEquality) {
+  EXPECT_TRUE(Builtin::Equal(Builtin::Bound(x_), Builtin::Bound(x_)));
+  EXPECT_FALSE(Builtin::Equal(Builtin::Bound(x_), Builtin::Bound(y_)));
+  EXPECT_TRUE(Builtin::Equal(
+      Builtin::And(Builtin::Bound(x_), Builtin::Bound(y_)),
+      Builtin::And(Builtin::Bound(x_), Builtin::Bound(y_))));
+}
+
+}  // namespace
+}  // namespace rdfql

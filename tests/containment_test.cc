@@ -1,0 +1,266 @@
+#include "analysis/containment.h"
+
+#include "analysis/fragments.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  CqView Cq(const std::string& text) {
+    Result<CqView> v = ExtractCq(Parse(text));
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(ContainmentTest, ExtractRejectsNonConjunctive) {
+  EXPECT_FALSE(ExtractCq(Parse("(?x a ?y) UNION (?x b ?y)")).ok());
+  EXPECT_FALSE(ExtractCq(Parse("(?x a ?y) OPT (?x b ?z)")).ok());
+  EXPECT_FALSE(ExtractCq(Parse("NS((?x a ?y))")).ok());
+  EXPECT_FALSE(
+      ExtractCq(Parse("(?x a ?y) AND (SELECT {?x} WHERE (?x b ?z))")).ok());
+}
+
+TEST_F(ContainmentTest, ExtractCollectsTriplesAndHead) {
+  CqView v = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?y b ?z)))");
+  EXPECT_EQ(v.triples.size(), 2u);
+  EXPECT_EQ(v.head.size(), 1u);
+}
+
+TEST_F(ContainmentTest, IdenticalQueriesAreEquivalent) {
+  CqView q = Cq("(?x a ?y) AND (?y b ?z)");
+  EXPECT_TRUE(CqEquivalent(q, q, &dict_));
+}
+
+TEST_F(ContainmentTest, MoreConstrainedIsContained) {
+  // Q1 asks for x with both an a- and b-edge; Q2 only the a-edge.
+  CqView q1 = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?x b ?z)))");
+  CqView q2 = Cq("(SELECT {?x} WHERE (?x a ?y))");
+  EXPECT_TRUE(CqContained(q1, q2, &dict_));
+  EXPECT_FALSE(CqContained(q2, q1, &dict_));
+}
+
+TEST_F(ContainmentTest, HomomorphismFoldsVariables) {
+  // A length-2 a-path is contained in a length-1 a-pattern (project x),
+  // and the cyclic query maps onto the self-loop query.
+  CqView path2 = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?y a ?z)))");
+  CqView path1 = Cq("(SELECT {?x} WHERE (?x a ?y))");
+  EXPECT_TRUE(CqContained(path2, path1, &dict_));
+  EXPECT_FALSE(CqContained(path1, path2, &dict_));
+
+  CqView loop = Cq("(SELECT {?x} WHERE (?x a ?x))");
+  EXPECT_TRUE(CqContained(loop, path1, &dict_));
+  EXPECT_FALSE(CqContained(path1, loop, &dict_));
+}
+
+TEST_F(ContainmentTest, DifferentHeadsAreIncomparable) {
+  CqView q1 = Cq("(SELECT {?x} WHERE (?x a ?y))");
+  CqView q2 = Cq("(SELECT {?y} WHERE (?x a ?y))");
+  EXPECT_FALSE(CqContained(q1, q2, &dict_));
+}
+
+TEST_F(ContainmentTest, ConstantsMustMatch) {
+  CqView qa = Cq("(SELECT {?x} WHERE (?x a c1))");
+  CqView qb = Cq("(SELECT {?x} WHERE (?x a c2))");
+  CqView qv = Cq("(SELECT {?x} WHERE (?x a ?y))");
+  EXPECT_FALSE(CqContained(qa, qb, &dict_));
+  EXPECT_TRUE(CqContained(qa, qv, &dict_));
+  EXPECT_FALSE(CqContained(qv, qa, &dict_));
+}
+
+// Soundness and completeness against the semantic definition, on random
+// CQ pairs and random graphs: if CqContained says yes, answers are always
+// contained; if it says no, a witness graph exists (we search for it).
+TEST_F(ContainmentTest, AgreesWithSemanticContainment) {
+  Rng rng(77);
+  PatternGenSpec spec;
+  spec.allow_union = false;
+  spec.max_depth = 2;
+  spec.num_vars = 3;
+  spec.num_iris = 2;
+  int disagreements = 0;
+  for (int i = 0; i < 60; ++i) {
+    PatternPtr p1 = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr p2 = GenerateRandomPattern(spec, &dict_, &rng);
+    Result<CqView> v1 = ExtractCq(p1);
+    Result<CqView> v2 = ExtractCq(p2);
+    ASSERT_TRUE(v1.ok() && v2.ok());
+    if (v1->head != v2->head) continue;
+    bool contained = CqContained(*v1, *v2, &dict_);
+    bool refuted = false;
+    for (int trial = 0; trial < 15 && !refuted; ++trial) {
+      Graph g = GenerateRandomGraph(10, 3, &dict_, &rng, "c");
+      MappingSet r1 = EvalPattern(g, p1);
+      MappingSet r2 = EvalPattern(g, p2);
+      for (const Mapping& m : r1) {
+        if (!r2.Contains(m)) {
+          refuted = true;
+          break;
+        }
+      }
+    }
+    if (contained && refuted) ++disagreements;  // would be a soundness bug
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+TEST_F(ContainmentTest, MinimizeCqComputesTheCore) {
+  // (?x a ?y) AND (?x a ?z) with head {x}: one atom is redundant.
+  CqView q = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?x a ?z)))");
+  CqView core = MinimizeCq(q, &dict_);
+  EXPECT_EQ(core.triples.size(), 1u);
+  EXPECT_TRUE(CqEquivalent(q, core, &dict_));
+
+  // (?x a ?y) AND (?z a ?y) with head {x}: the ?z atom folds onto the ?x
+  // atom, so the core has one triple. A length-2 *path* (?x a ?y)(?y a ?z)
+  // does NOT minimize — reachability depth is semantic.
+  CqView fold = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?z a ?y)))");
+  EXPECT_EQ(MinimizeCq(fold, &dict_).triples.size(), 1u);
+  CqView path = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?y a ?z)))");
+  EXPECT_EQ(MinimizeCq(path, &dict_).triples.size(), 2u);
+
+  // A genuinely non-redundant query stays intact.
+  CqView tight = Cq("(SELECT {?x} WHERE ((?x a ?y) AND (?x b ?y)))");
+  EXPECT_EQ(MinimizeCq(tight, &dict_).triples.size(), 2u);
+
+  // Full-head queries cannot drop atoms binding head variables.
+  CqView full = Cq("(?x a ?y) AND (?x a ?z)");
+  EXPECT_EQ(MinimizeCq(full, &dict_).triples.size(), 2u);
+}
+
+TEST_F(ContainmentTest, MinimizeCqPreservesSemantics) {
+  Rng rng(909);
+  PatternGenSpec spec;
+  spec.allow_union = false;
+  spec.allow_select = false;
+  spec.max_depth = 3;
+  spec.num_vars = 3;
+  spec.num_iris = 2;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    Result<CqView> v = ExtractCq(p);
+    ASSERT_TRUE(v.ok());
+    CqView core = MinimizeCq(*v, &dict_);
+    EXPECT_LE(core.triples.size(), v->triples.size());
+    PatternPtr q = CqToPattern(core);
+    for (int trial = 0; trial < 5; ++trial) {
+      Graph g = GenerateRandomGraph(10, 3, &dict_, &rng, "mc");
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, q));
+    }
+  }
+}
+
+TEST_F(ContainmentTest, MinimizeUnionDropsRedundantDisjuncts) {
+  PatternPtr p = Parse(
+      "(SELECT {?x} WHERE (?x a ?y)) UNION "
+      "(SELECT {?x} WHERE ((?x a ?y) AND (?x b ?z))) UNION "
+      "(SELECT {?x} WHERE (?x c ?y))");
+  PatternPtr minimized = MinimizeUnion(p, &dict_);
+  // The middle disjunct is contained in the first.
+  EXPECT_EQ(TopLevelDisjuncts(minimized).size(), 2u);
+
+  // Equivalence on random graphs.
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "m");
+    EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, minimized));
+  }
+}
+
+TEST_F(ContainmentTest, MinimizeUnionKeepsOneOfEquivalentPair) {
+  PatternPtr p = Parse("(?x a ?y) UNION (?x a ?y)");
+  EXPECT_EQ(TopLevelDisjuncts(MinimizeUnion(p, &dict_)).size(), 1u);
+}
+
+TEST_F(ContainmentTest, UcqContainmentCriterion) {
+  // {a-edge} ∪ {b-edge} ⊑ {a-edge} ∪ {b-edge} ∪ {c-edge}.
+  PatternPtr small = Parse("(?x a ?y) UNION (?x b ?y)");
+  PatternPtr big = Parse("(?x a ?y) UNION (?x b ?y) UNION (?x c ?y)");
+  Result<bool> forward = UcqPatternContained(small, big, &dict_);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(*forward);
+  Result<bool> backward = UcqPatternContained(big, small, &dict_);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_FALSE(*backward);
+
+  // A disjunct can be covered by a *more general* disjunct.
+  PatternPtr specific = Parse("((?x a ?y) AND (?x b ?z)) UNION (?x c ?w)");
+  PatternPtr general = Parse("(?x a ?y) UNION (?x c ?w)");
+  // Heads differ ({x,y,z} vs {x,y}), so containment fails — UCQ
+  // containment is head-sensitive.
+  Result<bool> r = UcqPatternContained(specific, general, &dict_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+
+  // With matching projections it succeeds.
+  PatternPtr proj_specific = Parse(
+      "(SELECT {?x} WHERE ((?x a ?y) AND (?x b ?z))) UNION "
+      "(SELECT {?x} WHERE (?x c ?w))");
+  PatternPtr proj_general = Parse(
+      "(SELECT {?x} WHERE (?x a ?y)) UNION (SELECT {?x} WHERE (?x c ?w))");
+  Result<bool> r2 =
+      UcqPatternContained(proj_specific, proj_general, &dict_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+
+  // Equivalence under disjunct reordering and duplication.
+  PatternPtr p1 = Parse("(?x a ?y) UNION (?x b ?y)");
+  PatternPtr p2 = Parse("(?x b ?y) UNION (?x a ?y) UNION (?x a ?y)");
+  Result<bool> eq = UcqPatternEquivalent(p1, p2, &dict_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+
+  // Outside the fragment: Unsupported.
+  EXPECT_FALSE(UcqPatternContained(Parse("(?x a ?y) OPT (?x b ?z)"),
+                                   Parse("(?x a ?y)"), &dict_)
+                   .ok());
+}
+
+// Soundness of UCQ containment against semantic evaluation.
+TEST_F(ContainmentTest, UcqContainmentIsSemanticallySound) {
+  Rng rng(1212);
+  PatternGenSpec spec;
+  spec.allow_union = true;
+  spec.max_depth = 3;
+  spec.num_vars = 3;
+  spec.num_iris = 2;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p1 = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr p2 = GenerateRandomPattern(spec, &dict_, &rng);
+    Result<bool> contained = UcqPatternContained(p1, p2, &dict_);
+    if (!contained.ok() || !*contained) continue;
+    for (int trial = 0; trial < 8; ++trial) {
+      Graph g = GenerateRandomGraph(10, 3, &dict_, &rng, "uc");
+      MappingSet r1 = EvalPattern(g, p1);
+      MappingSet r2 = EvalPattern(g, p2);
+      for (const Mapping& m : r1) {
+        EXPECT_TRUE(r2.Contains(m));
+      }
+    }
+  }
+}
+
+TEST_F(ContainmentTest, MinimizeUnionLeavesNonCqDisjunctsAlone) {
+  PatternPtr p = Parse("((?x a ?y) OPT (?x b ?z)) UNION (?x a ?y)");
+  // The OPT disjunct is not a CQ; nothing can be dropped (the CQ disjunct
+  // is not comparable to it syntactically).
+  EXPECT_EQ(TopLevelDisjuncts(MinimizeUnion(p, &dict_)).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdfql

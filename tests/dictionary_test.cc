@@ -1,0 +1,86 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfql {
+namespace {
+
+TEST(DictionaryTest, InternIriIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternIri("alpha");
+  TermId b = dict.InternIri("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, dict.InternIri("alpha"));
+  EXPECT_EQ(b, dict.InternIri("beta"));
+  EXPECT_EQ(dict.iri_count(), 2u);
+}
+
+TEST(DictionaryTest, InternVarIsIdempotent) {
+  Dictionary dict;
+  VarId x = dict.InternVar("x");
+  VarId y = dict.InternVar("y");
+  EXPECT_NE(x, y);
+  EXPECT_EQ(x, dict.InternVar("x"));
+  EXPECT_EQ(dict.var_count(), 2u);
+}
+
+TEST(DictionaryTest, IriAndVarNamespacesAreIndependent) {
+  Dictionary dict;
+  TermId iri = dict.InternIri("same");
+  VarId var = dict.InternVar("same");
+  EXPECT_EQ(dict.IriName(iri), "same");
+  EXPECT_EQ(dict.VarName(var), "same");
+}
+
+TEST(DictionaryTest, FindReturnsInvalidForUnknown) {
+  Dictionary dict;
+  EXPECT_EQ(dict.FindIri("nope"), kInvalidTermId);
+  EXPECT_EQ(dict.FindVar("nope"), kInvalidVarId);
+  dict.InternIri("yes");
+  EXPECT_NE(dict.FindIri("yes"), kInvalidTermId);
+}
+
+TEST(DictionaryTest, TermNameRendersVariablesWithQuestionMark) {
+  Dictionary dict;
+  Term var = Term::Var(dict.InternVar("x"));
+  Term iri = Term::Iri(dict.InternIri("a"));
+  EXPECT_EQ(dict.TermName(var), "?x");
+  EXPECT_EQ(dict.TermName(iri), "a");
+}
+
+TEST(DictionaryTest, FreshVarNeverCollides) {
+  Dictionary dict;
+  dict.InternVar("x_f0");
+  VarId fresh = dict.FreshVar("x");
+  EXPECT_NE(dict.VarName(fresh), "x_f0");
+  VarId fresh2 = dict.FreshVar("x");
+  EXPECT_NE(fresh, fresh2);
+}
+
+TEST(DictionaryTest, FreshIriNeverCollides) {
+  Dictionary dict;
+  TermId a = dict.FreshIri("g");
+  TermId b = dict.FreshIri("g");
+  EXPECT_NE(a, b);
+}
+
+TEST(TermTest, TagBitsSeparateVarsFromIris) {
+  Term var = Term::Var(5);
+  Term iri = Term::Iri(5);
+  EXPECT_TRUE(var.is_var());
+  EXPECT_FALSE(var.is_iri());
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_NE(var, iri);
+  EXPECT_EQ(var.var(), 5u);
+  EXPECT_EQ(iri.iri(), 5u);
+}
+
+TEST(TermTest, DefaultTermIsInvalid) {
+  Term t;
+  EXPECT_FALSE(t.is_valid());
+  EXPECT_FALSE(t.is_iri());
+  EXPECT_FALSE(t.is_var());
+}
+
+}  // namespace
+}  // namespace rdfql

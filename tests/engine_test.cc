@@ -1,0 +1,123 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+TEST(EngineTest, LoadAndQuery) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText("g", "a knows b .\nb knows c .").ok());
+  Result<MappingSet> r = engine.Query("g", "(?x knows ?y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(EngineTest, LoadAppendsToExistingGraph) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText("g", "a p b .").ok());
+  ASSERT_TRUE(engine.LoadGraphText("g", "c p d .").ok());
+  Result<const Graph*> g = engine.GetGraph("g");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->size(), 2u);
+}
+
+TEST(EngineTest, UnknownGraphIsNotFound) {
+  Engine engine;
+  Result<MappingSet> r = engine.Query("missing", "(?x p ?y)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText("g", "a p b .").ok());
+  EXPECT_FALSE(engine.Query("g", "(?x p").ok());
+}
+
+TEST(EngineTest, PutGraphReplaces) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText("g", "a p b .").ok());
+  Graph replacement;
+  engine.PutGraph("g", replacement);
+  Result<const Graph*> g = engine.GetGraph("g");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE((*g)->empty());
+}
+
+TEST(EngineTest, ClassifyWellDesignedOpt) {
+  Engine engine;
+  Result<PatternPtr> p = engine.Parse(scenarios::Example31Query());
+  ASSERT_TRUE(p.ok());
+  PatternReport report = engine.Classify(p.value());
+  EXPECT_EQ(report.fragment, "SPARQL[O]");
+  EXPECT_TRUE(report.well_designed);
+  EXPECT_TRUE(report.union_well_designed);
+  EXPECT_FALSE(report.simple_pattern);
+  EXPECT_TRUE(report.syntactically_subsumption_free);
+  EXPECT_TRUE(report.looks_weakly_monotone);
+  EXPECT_FALSE(report.looks_monotone);
+  EXPECT_TRUE(report.looks_subsumption_free);
+}
+
+TEST(EngineTest, ClassifyExample33) {
+  Engine engine;
+  Result<PatternPtr> p = engine.Parse(scenarios::Example33Query());
+  ASSERT_TRUE(p.ok());
+  PatternReport report = engine.Classify(p.value());
+  EXPECT_FALSE(report.well_designed);
+  EXPECT_FALSE(report.looks_weakly_monotone);
+}
+
+TEST(EngineTest, ClassifySimplePattern) {
+  Engine engine;
+  Result<PatternPtr> p =
+      engine.Parse("NS((?x a ?y) UNION ((?x a ?y) AND (?y b ?z)))");
+  ASSERT_TRUE(p.ok());
+  PatternReport report = engine.Classify(p.value());
+  EXPECT_TRUE(report.simple_pattern);
+  EXPECT_TRUE(report.ns_pattern);
+  EXPECT_TRUE(report.looks_weakly_monotone);
+  EXPECT_TRUE(report.looks_subsumption_free);
+}
+
+TEST(EngineTest, AskQueries) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText("g", "a p b .").ok());
+  Result<bool> yes = engine.Ask("g", "(?x p ?y)");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  Result<bool> no = engine.Ask("g", "(?x q ?y)");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+  EXPECT_FALSE(engine.Ask("missing", "(?x p ?y)").ok());
+}
+
+TEST(EngineTest, CsvAndJsonSerialization) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadGraphText("g", "a p b .\nc p d .").ok());
+  Result<std::string> csv = engine.QueryCsv("g", "(?x p ?y)");
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(*csv, "x,y\na,b\nc,d\n");
+  Result<std::string> json = engine.QueryJson("g", "(?x p ?y)");
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"vars\":[\"x\",\"y\"]"), std::string::npos);
+  EXPECT_NE(json->find("\"value\":\"b\""), std::string::npos);
+}
+
+TEST(EngineTest, ConstructQueryEndToEnd) {
+  Engine engine;
+  Graph g = scenarios::ProfessorsGraph(engine.dict());
+  engine.PutGraph("profs", std::move(g));
+  Result<ConstructQuery> q =
+      engine.ParseConstructQuery(scenarios::Example61ConstructQuery());
+  ASSERT_TRUE(q.ok());
+  Result<const Graph*> input = engine.GetGraph("profs");
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(q->Answer(**input).size(), 4u);
+}
+
+}  // namespace
+}  // namespace rdfql

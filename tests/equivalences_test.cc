@@ -1,0 +1,202 @@
+// Algebraic equivalences of SPARQL/NS-SPARQL graph patterns (the identity
+// toolbox of the foundations literature [29]/[37] plus NS laws), each
+// verified over random patterns and random graphs. These are the
+// identities the transformations in src/transform rely on.
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class EquivalencesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.allow_opt = spec_.allow_filter = true;
+    spec_.max_depth = 2;
+  }
+
+  // Checks ⟦a⟧G = ⟦b⟧G over `trials` random graphs.
+  void ExpectEquivalent(const PatternPtr& a, const PatternPtr& b,
+                        int trials = 6) {
+    for (int t = 0; t < trials; ++t) {
+      Graph g = GenerateRandomGraph(14, 4, &dict_, &rng_, "e");
+      EXPECT_EQ(EvalPattern(g, a), EvalPattern(g, b));
+    }
+  }
+
+  PatternPtr Rand() { return GenerateRandomPattern(spec_, &dict_, &rng_); }
+
+  BuiltinPtr RandCond(const PatternPtr& p) {
+    if (p->Vars().empty()) return Builtin::True();
+    VarId v = p->Vars()[rng_.NextBelow(p->Vars().size())];
+    switch (rng_.NextBelow(3)) {
+      case 0:
+        return Builtin::Bound(v);
+      case 1:
+        return Builtin::EqConst(v, dict_.InternIri("i0"));
+      default:
+        return Builtin::Not(Builtin::Bound(v));
+    }
+  }
+
+  Dictionary dict_;
+  Rng rng_{424242};
+  PatternGenSpec spec_;
+};
+
+TEST_F(EquivalencesTest, AndIsCommutativeAndAssociative) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand(), c = Rand();
+    ExpectEquivalent(Pattern::And(a, b), Pattern::And(b, a));
+    ExpectEquivalent(Pattern::And(Pattern::And(a, b), c),
+                     Pattern::And(a, Pattern::And(b, c)));
+  }
+}
+
+TEST_F(EquivalencesTest, UnionIsCommutativeAndAssociative) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand(), c = Rand();
+    ExpectEquivalent(Pattern::Union(a, b), Pattern::Union(b, a));
+    ExpectEquivalent(Pattern::Union(Pattern::Union(a, b), c),
+                     Pattern::Union(a, Pattern::Union(b, c)));
+  }
+}
+
+TEST_F(EquivalencesTest, AndDistributesOverUnion) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand(), c = Rand();
+    ExpectEquivalent(
+        Pattern::And(Pattern::Union(a, b), c),
+        Pattern::Union(Pattern::And(a, c), Pattern::And(b, c)));
+  }
+}
+
+TEST_F(EquivalencesTest, OptDistributesOverLeftUnion) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand(), c = Rand();
+    ExpectEquivalent(
+        Pattern::Opt(Pattern::Union(a, b), c),
+        Pattern::Union(Pattern::Opt(a, c), Pattern::Opt(b, c)));
+  }
+}
+
+TEST_F(EquivalencesTest, FilterDistributesOverUnion) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand();
+    BuiltinPtr r = RandCond(Pattern::Union(a, b));
+    ExpectEquivalent(
+        Pattern::Filter(Pattern::Union(a, b), r),
+        Pattern::Union(Pattern::Filter(a, r), Pattern::Filter(b, r)));
+  }
+}
+
+TEST_F(EquivalencesTest, FilterConjunctionSplits) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand();
+    BuiltinPtr r1 = RandCond(a);
+    BuiltinPtr r2 = RandCond(a);
+    ExpectEquivalent(Pattern::Filter(a, Builtin::And(r1, r2)),
+                     Pattern::Filter(Pattern::Filter(a, r1), r2));
+    // Filters commute.
+    ExpectEquivalent(Pattern::Filter(Pattern::Filter(a, r1), r2),
+                     Pattern::Filter(Pattern::Filter(a, r2), r1));
+  }
+}
+
+TEST_F(EquivalencesTest, MinusLaws) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand(), c = Rand();
+    // P1 ∖ (P2 ∪ P3) ≡ (P1 ∖ P2) ∖ P3.
+    ExpectEquivalent(
+        Pattern::Minus(a, Pattern::Union(b, c)),
+        Pattern::Minus(Pattern::Minus(a, b), c));
+    // (P1 ∪ P2) ∖ P3 ≡ (P1 ∖ P3) ∪ (P2 ∖ P3).
+    ExpectEquivalent(
+        Pattern::Minus(Pattern::Union(a, b), c),
+        Pattern::Union(Pattern::Minus(a, c), Pattern::Minus(b, c)));
+    // MINUS right side order is irrelevant.
+    ExpectEquivalent(
+        Pattern::Minus(Pattern::Minus(a, b), c),
+        Pattern::Minus(Pattern::Minus(a, c), b));
+  }
+}
+
+TEST_F(EquivalencesTest, OptDecomposesIntoJoinPlusMinus) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand();
+    ExpectEquivalent(
+        Pattern::Opt(a, b),
+        Pattern::Union(Pattern::And(a, b), Pattern::Minus(a, b)));
+  }
+}
+
+TEST_F(EquivalencesTest, NsIsIdempotent) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand();
+    ExpectEquivalent(Pattern::Ns(Pattern::Ns(a)), Pattern::Ns(a));
+  }
+}
+
+TEST_F(EquivalencesTest, InnerNsAbsorbsUnderOuterNs) {
+  // NS(P1 ∪ NS(P2)) ≡ NS(P1 ∪ P2): replacing a subresult by its maximal
+  // answers does not change the overall maximal answers.
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand(), b = Rand();
+    ExpectEquivalent(
+        Pattern::Ns(Pattern::Union(a, Pattern::Ns(b))),
+        Pattern::Ns(Pattern::Union(a, b)));
+  }
+}
+
+TEST_F(EquivalencesTest, SelectComposition) {
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr a = Rand();
+    const std::vector<VarId>& vars = a->ScopeVars();
+    std::vector<VarId> v1, v2;
+    for (VarId v : vars) {
+      if (rng_.NextBool(0.7)) v1.push_back(v);
+      if (rng_.NextBool(0.7)) v2.push_back(v);
+    }
+    std::vector<VarId> both;
+    std::set_intersection(v1.begin(), v1.end(), v2.begin(), v2.end(),
+                          std::back_inserter(both));
+    ExpectEquivalent(
+        Pattern::Select(v1, Pattern::Select(v2, a)),
+        Pattern::Select(both, a));
+    // Projecting onto all variables is the identity.
+    ExpectEquivalent(Pattern::Select(a->Vars(), a), a);
+  }
+}
+
+TEST_F(EquivalencesTest, FilterDoesNotCommuteWithNs) {
+  // Deliberate negative result: FILTER(NS(P), R) and NS(FILTER(P, R))
+  // differ — filtering first can promote a previously subsumed answer to
+  // maximal. Concrete witness:
+  Dictionary& d = dict_;
+  TermId a = d.InternIri("a"), b = d.InternIri("b"), c = d.InternIri("c");
+  TermId s = d.InternIri("s"), m = d.InternIri("m");
+  VarId x = d.InternVar("nx"), y = d.InternVar("ny");
+  Graph g;
+  g.Insert(s, a, b);
+  g.Insert(s, c, m);
+  // P = (?x a b) ∪ ((?x a b) AND (?x c ?y)); R = !bound(?y).
+  PatternPtr base = Pattern::MakeTriple(Term::Var(x), Term::Iri(a),
+                                        Term::Iri(b));
+  PatternPtr ext = Pattern::And(
+      base, Pattern::MakeTriple(Term::Var(x), Term::Iri(c), Term::Var(y)));
+  PatternPtr p = Pattern::Union(base, ext);
+  BuiltinPtr r = Builtin::Not(Builtin::Bound(y));
+  MappingSet filter_after = EvalPattern(g, Pattern::Filter(Pattern::Ns(p), r));
+  MappingSet filter_before = EvalPattern(g, Pattern::Ns(Pattern::Filter(p, r)));
+  EXPECT_TRUE(filter_after.empty());
+  EXPECT_EQ(filter_before.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdfql

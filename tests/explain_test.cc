@@ -1,0 +1,97 @@
+#include "eval/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "optimize/optimizer.h"
+#include "parser/parser.h"
+#include "rdf/dot.h"
+#include "rdf/ntriples.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Graph Load(const char* text) {
+    Graph g;
+    Status st = ParseNTriples(text, &dict_, &g);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return g;
+  }
+  Dictionary dict_;
+};
+
+TEST_F(ExplainTest, RecordsPerOperatorCardinalities) {
+  Graph g = Load("a p b .\nc p d .\nb q e .");
+  Explanation e =
+      ExplainEval(g, Parse("(?x p ?y) AND (?y q ?z)"), dict_);
+  EXPECT_EQ(e.result.size(), 1u);
+  ASSERT_TRUE(e.plan != nullptr);
+  EXPECT_EQ(e.plan->label, "AND");
+  EXPECT_EQ(e.plan->cardinality, 1u);
+  ASSERT_EQ(e.plan->children.size(), 2u);
+  EXPECT_EQ(e.plan->children[0]->cardinality, 2u);  // (?x p ?y)
+  EXPECT_EQ(e.plan->children[1]->cardinality, 1u);  // (?y q ?z)
+  EXPECT_EQ(e.TotalIntermediate(), 4u);
+  std::string text = e.ToString();
+  EXPECT_NE(text.find("AND [1]"), std::string::npos);
+  EXPECT_NE(text.find("TRIPLE"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ResultMatchesEvaluatorOnRandomPatterns) {
+  Rng rng(42);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = spec.allow_select = true;
+  spec.allow_minus = spec.allow_ns = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "ex");
+    Explanation e = ExplainEval(g, p, dict_);
+    EXPECT_EQ(e.result, EvalPattern(g, p));
+    EXPECT_GE(e.TotalIntermediate(), e.result.size());
+  }
+}
+
+// The optimizer should not increase the intermediate work on its target
+// workload (a filter that can be pushed below a join).
+TEST_F(ExplainTest, OptimizerReducesIntermediateWork) {
+  Graph g;
+  for (int i = 0; i < 50; ++i) {
+    g.Insert(dict_.InternIri("s" + std::to_string(i)), dict_.InternIri("p"),
+             dict_.InternIri("o" + std::to_string(i)));
+    g.Insert(dict_.InternIri("s" + std::to_string(i)), dict_.InternIri("q"),
+             dict_.InternIri("t"));
+  }
+  PatternPtr raw = Parse("((?x p ?y) AND (?x q ?z)) FILTER ?x = s0");
+  GraphStats stats = GraphStats::Collect(g);
+  Optimizer opt(&stats);
+  PatternPtr optimized = opt.Optimize(raw);
+
+  Explanation before = ExplainEval(g, raw, dict_);
+  Explanation after = ExplainEval(g, optimized, dict_);
+  EXPECT_EQ(before.result, after.result);
+  EXPECT_LT(after.TotalIntermediate(), before.TotalIntermediate());
+}
+
+TEST_F(ExplainTest, DotExportShapesTheFigure) {
+  Graph g = Load("Juan was_born_in Chile .\nJuan email juan@puc.cl .");
+  std::string dot = WriteDot(g, dict_);
+  EXPECT_NE(dot.find("digraph rdf {"), std::string::npos);
+  EXPECT_NE(dot.find("\"was_born_in\""), std::string::npos);
+  EXPECT_NE(dot.find("\"Juan\""), std::string::npos);
+  // Three distinct nodes (Juan, Chile, juan@puc.cl), two edges.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '>'), 2);
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,198 @@
+// Empirical checks of the structural facts behind the paper's
+// expressiveness results: Proposition B.1 (well-designed patterns never
+// produce compatible distinct answers — the engine of Theorem 3.6),
+// subsumption-freeness of the AFS and well-designed fragments (§5.2), and
+// weak monotonicity of simple and ns-patterns (Theorem 5.4 / Cor 5.9).
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "analysis/monotonicity.h"
+#include "analysis/well_designed.h"
+#include "eval/evaluator.h"
+#include "eval/ns.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class ExpressivenessTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+// Proposition B.1: a well-designed SPARQL[AOF] pattern cannot output two
+// distinct compatible mappings.
+TEST_F(ExpressivenessTest, PropB1NoCompatibleAnswersForWd) {
+  Rng rng(361);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 3;
+  int tested = 0;
+  for (int i = 0; i < 300 && tested < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    ++tested;
+    for (int trial = 0; trial < 5; ++trial) {
+      Graph g = GenerateRandomGraph(14, 4, &dict_, &rng, "i");
+      MappingSet r = EvalPattern(g, p);
+      for (const Mapping& m1 : r) {
+        for (const Mapping& m2 : r) {
+          if (m1 == m2) continue;
+          EXPECT_FALSE(m1.CompatibleWith(m2));
+        }
+      }
+    }
+  }
+  EXPECT_GE(tested, 15);
+}
+
+// ... and the Theorem 3.6 witness DOES produce two compatible answers on
+// the appendix graph G4, which is why no union of well-designed patterns
+// can express it.
+TEST_F(ExpressivenessTest, Witness36ProducesCompatibleAnswers) {
+  Graph g;
+  TermId one = dict_.InternIri("1");
+  g.Insert(one, dict_.InternIri("a"), dict_.InternIri("b"));
+  g.Insert(one, dict_.InternIri("c"), dict_.InternIri("2"));
+  g.Insert(one, dict_.InternIri("d"), dict_.InternIri("3"));
+  PatternPtr p = Parse("(?X a b) OPT ((?X c ?Y) UNION (?X d ?Z))");
+  MappingSet r = EvalPattern(g, p);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.mappings()[0].CompatibleWith(r.mappings()[1]));
+}
+
+// §5.2: every SPARQL[AFS] pattern is subsumption-free, and so is every
+// well-designed SPARQL[AOF] pattern.
+TEST_F(ExpressivenessTest, AfsAndWdAreSubsumptionFree) {
+  Rng rng(52);
+  PatternGenSpec afs;
+  afs.allow_union = false;
+  afs.allow_filter = true;
+  afs.allow_select = true;
+  afs.max_depth = 3;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(afs, &dict_, &rng);
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(14, 4, &dict_, &rng, "i");
+      EXPECT_TRUE(IsSubsumptionFree(EvalPattern(g, p)));
+    }
+  }
+  PatternGenSpec aof;
+  aof.allow_union = false;
+  aof.allow_opt = true;
+  aof.allow_filter = true;
+  aof.max_depth = 3;
+  int tested = 0;
+  for (int i = 0; i < 300 && tested < 30; ++i) {
+    PatternPtr p = GenerateRandomPattern(aof, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    ++tested;
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(14, 4, &dict_, &rng, "j");
+      EXPECT_TRUE(IsSubsumptionFree(EvalPattern(g, p)));
+    }
+  }
+  EXPECT_GE(tested, 10);
+}
+
+// Theorem 5.4 prerequisites: every simple pattern is subsumption-free and
+// weakly monotone; Cor 5.9: every ns-pattern is weakly monotone.
+TEST_F(ExpressivenessTest, SimpleAndNsPatternsAreOpenWorldSafe) {
+  Rng rng(54);
+  PatternGenSpec aufs;
+  aufs.allow_filter = true;
+  aufs.allow_select = true;
+  aufs.max_depth = 2;
+  MonotonicityOptions opts;
+  opts.trials = 80;
+  for (int i = 0; i < 25; ++i) {
+    // Build a random ns-pattern with 1-3 simple disjuncts.
+    int width = 1 + static_cast<int>(rng.NextBelow(3));
+    std::vector<PatternPtr> disjuncts;
+    for (int d = 0; d < width; ++d) {
+      disjuncts.push_back(
+          Pattern::Ns(GenerateRandomPattern(aufs, &dict_, &rng)));
+    }
+    PatternPtr p = Pattern::UnionAll(disjuncts);
+    ASSERT_TRUE(IsNsPattern(p));
+    EXPECT_TRUE(LooksWeaklyMonotone(p, &dict_, opts));
+    if (width == 1) {
+      EXPECT_TRUE(LooksSubsumptionFree(p, &dict_, opts));
+    }
+  }
+}
+
+// Section 8's future-work claim, tested: projection on top of simple and
+// ns-patterns preserves weak monotonicity.
+TEST_F(ExpressivenessTest, ProjectedFragmentsStayWeaklyMonotone) {
+  Rng rng(88);
+  PatternGenSpec aufs;
+  aufs.allow_filter = true;
+  aufs.max_depth = 2;
+  MonotonicityOptions opts;
+  opts.trials = 80;
+  for (int i = 0; i < 25; ++i) {
+    PatternPtr simple = Pattern::Ns(GenerateRandomPattern(aufs, &dict_, &rng));
+    const std::vector<VarId>& vars = simple->ScopeVars();
+    std::vector<VarId> projection;
+    for (VarId v : vars) {
+      if (rng.NextBool(0.5)) projection.push_back(v);
+    }
+    PatternPtr projected = Pattern::Select(projection, simple);
+    EXPECT_TRUE(IsProjectedSimplePattern(projected));
+    EXPECT_TRUE(LooksWeaklyMonotone(projected, &dict_, opts)) << i;
+  }
+}
+
+// ...and a projected simple pattern can express queries outside
+// SP-SPARQL: projection can reintroduce subsumed answers, which no
+// (subsumption-free) simple pattern produces.
+TEST_F(ExpressivenessTest, ProjectionCanBreakSubsumptionFreeness) {
+  PatternPtr p = Parse(
+      "(SELECT {?x ?y} WHERE NS(((?x a b) AND (?x c ?y)) UNION "
+      "((?x a b) AND (?z d ?w))))");
+  EXPECT_TRUE(IsProjectedSimplePattern(p));
+  Graph g;
+  TermId a = dict_.InternIri("a"), b = dict_.InternIri("b"),
+         c = dict_.InternIri("c"), d = dict_.InternIri("d");
+  TermId s = dict_.InternIri("s"), m = dict_.InternIri("m"),
+         u = dict_.InternIri("u"), w = dict_.InternIri("w");
+  g.Insert(s, a, b);
+  g.Insert(s, c, m);
+  g.Insert(u, d, w);
+  MappingSet r = EvalPattern(g, p);
+  EXPECT_FALSE(IsSubsumptionFree(r));
+}
+
+// The paper's motivating asymmetry (§5.3): SPARQL[AUFS] patterns are
+// monotone but can produce subsumed answers; simple patterns are
+// subsumption-free but not monotone. USP contains both behaviours.
+TEST_F(ExpressivenessTest, IncomparabilityOfAufsAndSp) {
+  // An AUFS pattern with subsumed answers:
+  PatternPtr aufs = Parse("(?x a ?y) UNION ((?x a ?y) AND (?y b ?z))");
+  Graph g;
+  TermId a = dict_.InternIri("a"), b = dict_.InternIri("b");
+  g.Insert(dict_.InternIri("s"), a, dict_.InternIri("o"));
+  g.Insert(dict_.InternIri("o"), b, dict_.InternIri("t"));
+  EXPECT_FALSE(IsSubsumptionFree(EvalPattern(g, aufs)));
+  EXPECT_TRUE(LooksMonotone(aufs, &dict_));
+
+  // The corresponding simple pattern: subsumption-free but not monotone.
+  PatternPtr sp = Pattern::Ns(aufs);
+  EXPECT_TRUE(IsSubsumptionFree(EvalPattern(g, sp)));
+  EXPECT_FALSE(LooksMonotone(sp, &dict_));
+  EXPECT_TRUE(LooksWeaklyMonotone(sp, &dict_));
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,148 @@
+#include "analysis/fragments.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace rdfql {
+namespace {
+
+class FragmentsTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(FragmentsTest, OperatorProfile) {
+  OperatorProfile prof = GetOperatorProfile(
+      Parse("NS((?x a ?y) OPT ((?y b ?z) UNION (?z c ?w)))"));
+  EXPECT_TRUE(prof.uses_ns);
+  EXPECT_TRUE(prof.uses_opt);
+  EXPECT_TRUE(prof.uses_union);
+  EXPECT_FALSE(prof.uses_and);
+  EXPECT_FALSE(prof.uses_filter);
+}
+
+TEST_F(FragmentsTest, InFragmentRespectsLetters) {
+  PatternPtr auf = Parse("((?x a ?y) AND (?y b ?z)) UNION "
+                         "((?x a ?y) FILTER ?x = c)");
+  EXPECT_TRUE(InFragment(auf, "AUF"));
+  EXPECT_TRUE(InFragment(auf, "AUFS"));
+  EXPECT_FALSE(InFragment(auf, "AU"));
+  EXPECT_FALSE(InFragment(auf, "AF"));
+
+  PatternPtr aof = Parse("((?x a ?y) OPT (?y b ?z))");
+  EXPECT_TRUE(InFragment(aof, "AOF"));
+  EXPECT_FALSE(InFragment(aof, "AUF"));
+
+  // A bare triple pattern belongs to every fragment.
+  PatternPtr t = Parse("(?x a ?y)");
+  EXPECT_TRUE(InFragment(t, "A"));
+  EXPECT_TRUE(InFragment(t, "AUOFS"));
+}
+
+TEST_F(FragmentsTest, MinusCountsAsOptPlusFilter) {
+  PatternPtr p = Parse("(?x a ?y) MINUS (?y b ?z)");
+  EXPECT_TRUE(InFragment(p, "AOF"));
+  EXPECT_FALSE(InFragment(p, "AO"));
+  EXPECT_FALSE(InFragment(p, "AF"));
+}
+
+TEST_F(FragmentsTest, NsExcludedFromSparqlFragments) {
+  EXPECT_FALSE(InFragment(Parse("NS((?x a ?y))"), "AUOFS"));
+}
+
+TEST_F(FragmentsTest, SimplePatternDetection) {
+  // NS over AUFS: simple.
+  EXPECT_TRUE(IsSimplePattern(
+      Parse("NS((SELECT {?x} WHERE (?x a ?y)) UNION (?x b c))")));
+  // NS over OPT: not simple.
+  EXPECT_FALSE(IsSimplePattern(Parse("NS((?x a ?y) OPT (?y b ?z))")));
+  // No top-level NS: not simple.
+  EXPECT_FALSE(IsSimplePattern(Parse("(?x a ?y)")));
+  // Nested NS: not simple (inner NS is not AUFS).
+  EXPECT_FALSE(IsSimplePattern(Parse("NS(NS((?x a ?y)))")));
+}
+
+TEST_F(FragmentsTest, NsPatternDetection) {
+  PatternPtr usp = Parse("NS((?x a ?y)) UNION NS((?x b ?z) AND (?z c d))");
+  EXPECT_TRUE(IsNsPattern(usp));
+  EXPECT_EQ(NsPatternWidth(usp), 2u);
+  // A simple pattern is an ns-pattern of width 1.
+  EXPECT_EQ(NsPatternWidth(Parse("NS((?x a ?y))")), 1u);
+  // Mixed disjuncts break it.
+  EXPECT_FALSE(IsNsPattern(Parse("NS((?x a ?y)) UNION (?x b ?z)")));
+}
+
+TEST_F(FragmentsTest, TopLevelDisjunctsFlattensInOrder) {
+  PatternPtr p = Parse("(?a x b) UNION (?c x d) UNION (?e x f)");
+  std::vector<PatternPtr> d = TopLevelDisjuncts(p);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(dict_.VarName(d[0]->triple().s.var()), "a");
+  EXPECT_EQ(dict_.VarName(d[1]->triple().s.var()), "c");
+  EXPECT_EQ(dict_.VarName(d[2]->triple().s.var()), "e");
+}
+
+TEST_F(FragmentsTest, UnionNormalFormCheck) {
+  EXPECT_TRUE(IsUnionNormalForm(Parse("((?x a ?y) AND (?y b ?z)) UNION "
+                                      "((?x c ?y) OPT (?y d ?z))")));
+  EXPECT_FALSE(
+      IsUnionNormalForm(Parse("(?x a ?y) AND ((?y b ?z) UNION (?z c d))")));
+}
+
+TEST_F(FragmentsTest, SyntacticSubsumptionFreeness) {
+  EXPECT_TRUE(IsSyntacticallySubsumptionFree(
+      Parse("(SELECT {?x} WHERE ((?x a ?y) AND (?y b ?z)))")));
+  EXPECT_TRUE(IsSyntacticallySubsumptionFree(
+      Parse("(?x a ?y) OPT (?y b ?z)")));  // well designed
+  EXPECT_TRUE(
+      IsSyntacticallySubsumptionFree(Parse("NS((?x a ?y) UNION (?x b ?z))")));
+  // A UNION of different-domain CQs is not recognized (and indeed may
+  // produce subsumed answers).
+  EXPECT_FALSE(IsSyntacticallySubsumptionFree(
+      Parse("(?x a ?y) UNION ((?x a ?y) AND (?y b ?z))")));
+}
+
+TEST_F(FragmentsTest, ProjectedFragments) {
+  // Section 8 future work: SELECT on top of simple / ns-patterns.
+  PatternPtr psp = Parse("(SELECT {?x} WHERE NS((?x a ?y) UNION "
+                         "((?x a ?y) AND (?y b ?z))))");
+  EXPECT_TRUE(IsProjectedSimplePattern(psp));
+  EXPECT_TRUE(IsProjectedNsPattern(psp));
+  EXPECT_FALSE(IsSimplePattern(psp));
+
+  PatternPtr pusp =
+      Parse("(SELECT {?x} WHERE (NS((?x a ?y)) UNION NS((?x b ?z))))");
+  EXPECT_TRUE(IsProjectedNsPattern(pusp));
+  EXPECT_FALSE(IsProjectedSimplePattern(pusp));
+
+  // Union of projected simple patterns is a projected ns-pattern.
+  PatternPtr union_psp =
+      Parse("(SELECT {?x} WHERE NS((?x a ?y))) UNION NS((?x b ?z))");
+  EXPECT_TRUE(IsProjectedNsPattern(union_psp));
+
+  // SELECT over OPT inside NS is not in these fragments.
+  EXPECT_FALSE(IsProjectedSimplePattern(
+      Parse("(SELECT {?x} WHERE NS((?x a ?y) OPT (?y b ?z)))")));
+  EXPECT_EQ(DescribeFragment(psp), "projected SP-SPARQL (Section 8 extension)");
+  EXPECT_EQ(DescribeFragment(pusp),
+            "projected USP-SPARQL (Section 8 extension)");
+}
+
+TEST_F(FragmentsTest, DescribeFragment) {
+  EXPECT_EQ(DescribeFragment(Parse("(?x a ?y)")), "SPARQL[triple]");
+  EXPECT_EQ(DescribeFragment(Parse("(?x a ?y) AND (?y b ?z)")), "SPARQL[A]");
+  EXPECT_EQ(DescribeFragment(Parse("NS((?x a ?y))")),
+            "SP-SPARQL (simple pattern)");
+  EXPECT_EQ(DescribeFragment(Parse("NS((?x a ?y)) UNION NS((?x b ?z))")),
+            "USP-SPARQL (ns-pattern, width 2)");
+  EXPECT_EQ(DescribeFragment(Parse("NS((?x a ?y) OPT (?y b ?z))")),
+            "NS-SPARQL");
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,127 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace rdfql {
+namespace {
+
+TEST(GraphTest, InsertDeduplicates) {
+  Graph g;
+  EXPECT_TRUE(g.Insert(1, 2, 3));
+  EXPECT_FALSE(g.Insert(1, 2, 3));
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.Contains(Triple(1, 2, 3)));
+  EXPECT_FALSE(g.Contains(Triple(3, 2, 1)));
+}
+
+TEST(GraphTest, MatchFullyBound) {
+  Graph g;
+  g.Insert(1, 2, 3);
+  EXPECT_EQ(g.CountMatches(1, 2, 3), 1u);
+  EXPECT_EQ(g.CountMatches(1, 2, 4), 0u);
+}
+
+TEST(GraphTest, MatchWildcards) {
+  Graph g;
+  g.Insert(1, 2, 3);
+  g.Insert(1, 2, 4);
+  g.Insert(1, 5, 3);
+  g.Insert(6, 2, 3);
+
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, kInvalidTermId), 3u);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, 2, kInvalidTermId), 3u);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, kInvalidTermId, 3), 3u);
+  EXPECT_EQ(g.CountMatches(1, 2, kInvalidTermId), 2u);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, 2, 3), 2u);
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, 3), 2u);
+  EXPECT_EQ(
+      g.CountMatches(kInvalidTermId, kInvalidTermId, kInvalidTermId), 4u);
+}
+
+// Every index path must agree with a brute-force scan.
+TEST(GraphTest, MatchAgreesWithScanOnRandomGraphs) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    Graph g;
+    for (int i = 0; i < 50; ++i) {
+      g.Insert(rng.NextBelow(5), rng.NextBelow(5), rng.NextBelow(5));
+    }
+    for (int probe = 0; probe < 30; ++probe) {
+      TermId s = rng.NextBool(0.5) ? rng.NextBelow(5) : kInvalidTermId;
+      TermId p = rng.NextBool(0.5) ? rng.NextBelow(5) : kInvalidTermId;
+      TermId o = rng.NextBool(0.5) ? rng.NextBelow(5) : kInvalidTermId;
+      size_t expected = 0;
+      for (const Triple& t : g.triples()) {
+        if ((s == kInvalidTermId || t.s == s) &&
+            (p == kInvalidTermId || t.p == p) &&
+            (o == kInvalidTermId || t.o == o)) {
+          ++expected;
+        }
+      }
+      EXPECT_EQ(g.CountMatches(s, p, o), expected)
+          << "probe (" << s << "," << p << "," << o << ")";
+    }
+  }
+}
+
+TEST(GraphTest, MatchAfterInsertInvalidatesIndexes) {
+  Graph g;
+  g.Insert(1, 2, 3);
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, kInvalidTermId), 1u);
+  g.Insert(1, 9, 9);
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, kInvalidTermId), 2u);
+}
+
+TEST(GraphTest, EraseRemovesAndInvalidatesIndexes) {
+  Graph g;
+  g.Insert(1, 2, 3);
+  g.Insert(4, 5, 6);
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, kInvalidTermId), 1u);
+  EXPECT_TRUE(g.Erase(Triple(1, 2, 3)));
+  EXPECT_FALSE(g.Erase(Triple(1, 2, 3)));
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_FALSE(g.Contains(Triple(1, 2, 3)));
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, kInvalidTermId), 0u);
+  // Re-insert after erase keeps indexes consistent.
+  g.Insert(1, 2, 9);
+  EXPECT_EQ(g.CountMatches(1, kInvalidTermId, kInvalidTermId), 1u);
+}
+
+TEST(GraphTest, SubsetAndUnion) {
+  Graph g1;
+  g1.Insert(1, 2, 3);
+  Graph g2 = g1;
+  g2.Insert(4, 5, 6);
+  EXPECT_TRUE(g1.IsSubsetOf(g2));
+  EXPECT_FALSE(g2.IsSubsetOf(g1));
+
+  Graph u = Graph::Union(g1, g2);
+  EXPECT_EQ(u, g2);
+}
+
+TEST(GraphTest, IrisReturnsSortedUniqueIds) {
+  Graph g;
+  g.Insert(5, 1, 5);
+  g.Insert(2, 1, 3);
+  std::vector<TermId> iris = g.Iris();
+  EXPECT_EQ(iris, (std::vector<TermId>{1, 2, 3, 5}));
+}
+
+TEST(GraphTest, EqualityIsSetEquality) {
+  Graph a;
+  a.Insert(1, 2, 3);
+  a.Insert(4, 5, 6);
+  Graph b;
+  b.Insert(4, 5, 6);
+  b.Insert(1, 2, 3);
+  EXPECT_EQ(a, b);
+  b.Insert(7, 8, 9);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace rdfql

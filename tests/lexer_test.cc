@@ -1,0 +1,85 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfql {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  Result<std::vector<Token>> r = Tokenize(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *r) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(Kinds("AND UNION OPT MINUS FILTER SELECT WHERE NS CONSTRUCT"),
+            (std::vector<TokenKind>{
+                TokenKind::kKwAnd, TokenKind::kKwUnion, TokenKind::kKwOpt,
+                TokenKind::kKwMinus, TokenKind::kKwFilter,
+                TokenKind::kKwSelect, TokenKind::kKwWhere, TokenKind::kKwNs,
+                TokenKind::kKwConstruct, TokenKind::kEof}));
+  // Keywords are case-sensitive: lowercase forms are IRIs.
+  EXPECT_EQ(Kinds("and")[0], TokenKind::kIri);
+  EXPECT_EQ(Kinds("bound true false")[0], TokenKind::kKwBound);
+}
+
+TEST(LexerTest, VariablesAndIris) {
+  Result<std::vector<Token>> r = Tokenize("?x foo <a weird iri> ?long_name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kVar);
+  EXPECT_EQ((*r)[0].text, "x");
+  EXPECT_EQ((*r)[1].kind, TokenKind::kIri);
+  EXPECT_EQ((*r)[1].text, "foo");
+  EXPECT_EQ((*r)[2].kind, TokenKind::kIri);
+  EXPECT_EQ((*r)[2].text, "a weird iri");
+  EXPECT_EQ((*r)[3].text, "long_name");
+}
+
+TEST(LexerTest, PunctuationAndOperators) {
+  EXPECT_EQ(Kinds("( ) { } = != ! & | ."),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+                TokenKind::kRBrace, TokenKind::kEq, TokenKind::kNeq,
+                TokenKind::kBang, TokenKind::kAmp, TokenKind::kPipe,
+                TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentsAndWhitespace) {
+  EXPECT_EQ(Kinds("?x # trailing comment with ?junk\n?y"),
+            (std::vector<TokenKind>{TokenKind::kVar, TokenKind::kVar,
+                                    TokenKind::kEof}));
+  EXPECT_EQ(Kinds("  \t\r\n "),
+            (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, WordCharactersIncludeUrlPieces) {
+  Result<std::vector<Token>> r = Tokenize("http://example.org/a-b+c@d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kIri);
+  EXPECT_EQ((*r)[0].text, "http://example.org/a-b+c@d");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("?").ok());          // empty variable name
+  EXPECT_FALSE(Tokenize("<unterminated").ok());
+  EXPECT_FALSE(Tokenize("\x01").ok());        // control character
+}
+
+TEST(LexerTest, OffsetsPointIntoTheInput) {
+  Result<std::vector<Token>> r = Tokenize("?x AND ?y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].offset, 0u);
+  EXPECT_EQ((*r)[1].offset, 3u);
+  EXPECT_EQ((*r)[2].offset, 7u);
+}
+
+TEST(LexerTest, TokenKindNamesAreStable) {
+  EXPECT_STREQ(TokenKindName(TokenKind::kKwAnd), "AND");
+  EXPECT_STREQ(TokenKindName(TokenKind::kEof), "end of input");
+  EXPECT_STREQ(TokenKindName(TokenKind::kVar), "variable");
+}
+
+}  // namespace
+}  // namespace rdfql

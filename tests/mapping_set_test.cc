@@ -1,0 +1,134 @@
+#include "algebra/mapping_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rdfql {
+namespace {
+
+Mapping Make(std::vector<std::pair<VarId, TermId>> b) {
+  return Mapping::FromBindings(std::move(b));
+}
+
+TEST(MappingSetTest, AddDeduplicates) {
+  MappingSet s;
+  EXPECT_TRUE(s.Add(Make({{1, 10}})));
+  EXPECT_FALSE(s.Add(Make({{1, 10}})));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(MappingSetTest, JoinMatchesDefinition) {
+  // Ω1 = {[x→1], [x→2]}, Ω2 = {[x→1, y→5], [y→6]}.
+  MappingSet a = MappingSet::FromList({Make({{1, 1}}), Make({{1, 2}})});
+  MappingSet b =
+      MappingSet::FromList({Make({{1, 1}, {2, 5}}), Make({{2, 6}})});
+  MappingSet joined = MappingSet::Join(a, b);
+  // [x→1]⋈[x→1,y→5] = [x→1,y→5]; [x→1]⋈[y→6]; [x→2]⋈[y→6];
+  // [x→2] vs [x→1,y→5] incompatible.
+  MappingSet expected = MappingSet::FromList({Make({{1, 1}, {2, 5}}),
+                                              Make({{1, 1}, {2, 6}}),
+                                              Make({{1, 2}, {2, 6}})});
+  EXPECT_EQ(joined, expected);
+}
+
+TEST(MappingSetTest, JoinWithEmptyMappingIsIdentityLike) {
+  MappingSet a = MappingSet::FromList({Make({{1, 1}})});
+  MappingSet unit = MappingSet::FromList({Mapping()});
+  EXPECT_EQ(MappingSet::Join(a, unit), a);
+  EXPECT_EQ(MappingSet::Join(unit, a), a);
+}
+
+TEST(MappingSetTest, JoinWithEmptySetIsEmpty) {
+  MappingSet a = MappingSet::FromList({Make({{1, 1}})});
+  MappingSet empty;
+  EXPECT_TRUE(MappingSet::Join(a, empty).empty());
+  EXPECT_TRUE(MappingSet::Join(empty, a).empty());
+}
+
+TEST(MappingSetTest, MinusKeepsOnlyFullyIncompatible) {
+  MappingSet a =
+      MappingSet::FromList({Make({{1, 1}}), Make({{1, 2}}), Make({{1, 3}})});
+  MappingSet b = MappingSet::FromList({Make({{1, 1}}), Make({{1, 2}, {2, 5}})});
+  MappingSet diff = MappingSet::Minus(a, b);
+  EXPECT_EQ(diff, MappingSet::FromList({Make({{1, 3}})}));
+}
+
+TEST(MappingSetTest, MinusAgainstEmptySetKeepsAll) {
+  MappingSet a = MappingSet::FromList({Make({{1, 1}})});
+  EXPECT_EQ(MappingSet::Minus(a, MappingSet()), a);
+}
+
+TEST(MappingSetTest, LeftOuterJoinDecomposition) {
+  MappingSet a = MappingSet::FromList({Make({{1, 1}}), Make({{1, 2}})});
+  MappingSet b = MappingSet::FromList({Make({{1, 1}, {2, 5}})});
+  MappingSet louter = MappingSet::LeftOuterJoin(a, b);
+  // [x→1] extends; [x→2] survives bare.
+  MappingSet expected =
+      MappingSet::FromList({Make({{1, 1}, {2, 5}}), Make({{1, 2}})});
+  EXPECT_EQ(louter, expected);
+}
+
+TEST(MappingSetTest, SubsumptionPreorder) {
+  MappingSet small = MappingSet::FromList({Make({{1, 1}})});
+  MappingSet big = MappingSet::FromList({Make({{1, 1}, {2, 5}})});
+  EXPECT_TRUE(MappingSet::Subsumed(small, big));
+  EXPECT_FALSE(MappingSet::Subsumed(big, small));
+  EXPECT_TRUE(MappingSet::Subsumed(MappingSet(), small));
+}
+
+// The hash join must agree with the reference nested-loop join on random
+// heterogeneous inputs (mappings with varying domains).
+TEST(MappingSetTest, HashJoinAgreesWithNestedLoop) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    auto random_set = [&rng]() {
+      MappingSet s;
+      int n = static_cast<int>(rng.NextBelow(8));
+      for (int i = 0; i < n; ++i) {
+        Mapping m;
+        for (VarId v = 0; v < 4; ++v) {
+          if (rng.NextBool(0.6)) m.Set(v, rng.NextBelow(3));
+        }
+        s.Add(m);
+      }
+      return s;
+    };
+    MappingSet a = random_set();
+    MappingSet b = random_set();
+    EXPECT_EQ(MappingSet::Join(a, b), MappingSet::JoinNestedLoop(a, b));
+  }
+}
+
+// Algebraic laws of the paper's operators (on random sets): join is
+// commutative and associative, union likewise, and ⟕ = ⋈ ∪ ∖.
+TEST(MappingSetTest, AlgebraicLaws) {
+  Rng rng(123);
+  auto random_set = [&rng]() {
+    MappingSet s;
+    int n = static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < n; ++i) {
+      Mapping m;
+      for (VarId v = 0; v < 3; ++v) {
+        if (rng.NextBool(0.5)) m.Set(v, rng.NextBelow(2));
+      }
+      s.Add(m);
+    }
+    return s;
+  };
+  for (int round = 0; round < 40; ++round) {
+    MappingSet a = random_set();
+    MappingSet b = random_set();
+    MappingSet c = random_set();
+    EXPECT_EQ(MappingSet::Join(a, b), MappingSet::Join(b, a));
+    EXPECT_EQ(MappingSet::Join(MappingSet::Join(a, b), c),
+              MappingSet::Join(a, MappingSet::Join(b, c)));
+    EXPECT_EQ(MappingSet::UnionSets(a, b), MappingSet::UnionSets(b, a));
+    EXPECT_EQ(
+        MappingSet::LeftOuterJoin(a, b),
+        MappingSet::UnionSets(MappingSet::Join(a, b), MappingSet::Minus(a, b)));
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

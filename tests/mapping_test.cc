@@ -1,0 +1,105 @@
+#include "algebra/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfql {
+namespace {
+
+Mapping Make(std::vector<std::pair<VarId, TermId>> b) {
+  return Mapping::FromBindings(std::move(b));
+}
+
+TEST(MappingTest, EmptyMapping) {
+  Mapping m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.Binds(0));
+}
+
+TEST(MappingTest, SetAndGet) {
+  Mapping m;
+  m.Set(3, 30);
+  m.Set(1, 10);
+  m.Set(2, 20);
+  EXPECT_EQ(m.Get(1), std::optional<TermId>(10));
+  EXPECT_EQ(m.Get(2), std::optional<TermId>(20));
+  EXPECT_EQ(m.Get(3), std::optional<TermId>(30));
+  EXPECT_EQ(m.Get(4), std::nullopt);
+  EXPECT_EQ(m.Domain(), (std::vector<VarId>{1, 2, 3}));
+}
+
+TEST(MappingTest, SetOverwrites) {
+  Mapping m;
+  m.Set(1, 10);
+  m.Set(1, 11);
+  EXPECT_EQ(m.Get(1), std::optional<TermId>(11));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MappingTest, CompatibilityAgreesOnSharedVariables) {
+  Mapping a = Make({{1, 10}, {2, 20}});
+  Mapping b = Make({{2, 20}, {3, 30}});
+  Mapping c = Make({{2, 99}});
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_TRUE(b.CompatibleWith(a));
+  EXPECT_FALSE(a.CompatibleWith(c));
+  // Disjoint domains are always compatible.
+  EXPECT_TRUE(a.CompatibleWith(Make({{7, 70}})));
+  // The empty mapping is compatible with everything.
+  EXPECT_TRUE(Mapping().CompatibleWith(a));
+}
+
+TEST(MappingTest, UnionMergesBindings) {
+  Mapping a = Make({{1, 10}, {2, 20}});
+  Mapping b = Make({{2, 20}, {3, 30}});
+  Mapping u = a.UnionWith(b);
+  EXPECT_EQ(u, Make({{1, 10}, {2, 20}, {3, 30}}));
+}
+
+TEST(MappingTest, SubsumptionIsDomainContainmentPlusAgreement) {
+  Mapping small = Make({{1, 10}});
+  Mapping big = Make({{1, 10}, {2, 20}});
+  Mapping other = Make({{1, 11}, {2, 20}});
+
+  EXPECT_TRUE(small.SubsumedBy(big));
+  EXPECT_FALSE(big.SubsumedBy(small));
+  EXPECT_FALSE(small.SubsumedBy(other));
+  // Reflexive.
+  EXPECT_TRUE(big.SubsumedBy(big));
+  // Empty mapping subsumed by everything.
+  EXPECT_TRUE(Mapping().SubsumedBy(small));
+}
+
+TEST(MappingTest, ProperSubsumptionExcludesEquality) {
+  Mapping small = Make({{1, 10}});
+  Mapping big = Make({{1, 10}, {2, 20}});
+  EXPECT_TRUE(small.ProperlySubsumedBy(big));
+  EXPECT_FALSE(big.ProperlySubsumedBy(big));
+  EXPECT_FALSE(small.ProperlySubsumedBy(small));
+}
+
+TEST(MappingTest, RestrictTo) {
+  Mapping m = Make({{1, 10}, {2, 20}, {3, 30}});
+  Mapping r = m.RestrictTo({1, 3});
+  EXPECT_EQ(r, Make({{1, 10}, {3, 30}}));
+  EXPECT_TRUE(m.RestrictTo({}).empty());
+  // Restriction to variables outside dom(µ) ignores them.
+  EXPECT_EQ(m.RestrictTo({1, 9}), Make({{1, 10}}));
+}
+
+TEST(MappingTest, HashAndEquality) {
+  Mapping a = Make({{1, 10}, {2, 20}});
+  Mapping b = Make({{2, 20}, {1, 10}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Mapping c = Make({{1, 10}});
+  EXPECT_NE(a, c);
+}
+
+TEST(MappingTest, FromBindingsChecksDuplicatesAgree) {
+  Mapping m = Make({{1, 10}, {1, 10}, {2, 20}});
+  EXPECT_EQ(m.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,181 @@
+#include "analysis/monotonicity.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/well_designed.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+class MonotonicityTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(MonotonicityTest, AufsPatternsLookMonotone) {
+  EXPECT_TRUE(LooksMonotone(
+      Parse("(SELECT {?x} WHERE ((?x a ?y) AND (?y b ?z))) UNION (?x c d)"),
+      &dict_));
+}
+
+TEST_F(MonotonicityTest, OptPatternIsWeaklyButNotMonotone) {
+  PatternPtr p = Parse(scenarios::Example31Query());
+  EXPECT_TRUE(LooksWeaklyMonotone(p, &dict_));
+  // The tester must find the classical counterexample: adding the email
+  // triple shrinks the answer.
+  EXPECT_FALSE(LooksMonotone(p, &dict_));
+}
+
+TEST_F(MonotonicityTest, Example33IsNotWeaklyMonotone) {
+  std::optional<PropertyCounterexample> ce =
+      FindWeakMonotonicityCounterexample(Parse(scenarios::Example33Query()),
+                                         &dict_);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_TRUE(ce->g1.IsSubsetOf(ce->g2));
+  // Re-verify the counterexample explicitly.
+  PatternPtr p = Parse(scenarios::Example33Query());
+  MappingSet r1 = EvalPattern(ce->g1, p);
+  MappingSet r2 = EvalPattern(ce->g2, p);
+  EXPECT_FALSE(MappingSet::Subsumed(r1, r2));
+}
+
+TEST_F(MonotonicityTest, Theorem35WitnessLooksWeaklyMonotone) {
+  EXPECT_TRUE(
+      LooksWeaklyMonotone(Parse(scenarios::Theorem35Witness()), &dict_));
+}
+
+TEST_F(MonotonicityTest, Theorem36WitnessLooksWeaklyMonotone) {
+  EXPECT_TRUE(
+      LooksWeaklyMonotone(Parse(scenarios::Theorem36Witness()), &dict_));
+}
+
+// [30]/[7]: every well-designed pattern is weakly monotone. The randomized
+// tester must never refute that on random well-designed patterns.
+TEST_F(MonotonicityTest, WellDesignedImpliesWeaklyMonotone) {
+  Rng rng(31337);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 3;
+  MonotonicityOptions opts;
+  opts.trials = 60;
+  int tested = 0;
+  for (int i = 0; i < 300 && tested < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    ++tested;
+    std::optional<PropertyCounterexample> ce =
+        FindWeakMonotonicityCounterexample(p, &dict_, opts);
+    EXPECT_FALSE(ce.has_value());
+  }
+  EXPECT_GE(tested, 10);
+}
+
+// Monotone fragments: AUFS patterns must never be refuted.
+TEST_F(MonotonicityTest, AufsImpliesMonotone) {
+  Rng rng(999);
+  PatternGenSpec spec;
+  spec.allow_filter = true;
+  spec.allow_select = true;
+  spec.max_depth = 3;
+  MonotonicityOptions opts;
+  opts.trials = 60;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    EXPECT_FALSE(FindMonotonicityCounterexample(p, &dict_, opts).has_value());
+  }
+}
+
+TEST_F(MonotonicityTest, SubsumptionFreenessTester) {
+  // AFS patterns are subsumption free.
+  EXPECT_TRUE(LooksSubsumptionFree(
+      Parse("(SELECT {?x ?y} WHERE ((?x a ?y) AND (?y b ?z)))"), &dict_));
+  // A union mixing domains is not.
+  PatternPtr p = Parse("(?x a ?y) UNION ((?x a ?y) AND (?y b ?z))");
+  std::optional<PropertyCounterexample> ce =
+      FindSubsumptionFreenessCounterexample(p, &dict_);
+  ASSERT_TRUE(ce.has_value());
+  // NS repairs it.
+  EXPECT_TRUE(LooksSubsumptionFree(Pattern::Ns(p), &dict_));
+}
+
+TEST_F(MonotonicityTest, EquivalenceGapFinder) {
+  // Identical patterns: no gap.
+  PatternPtr p = Parse("(?x a ?y) OPT (?y b ?z)");
+  EXPECT_FALSE(FindEquivalenceGap(p, p, &dict_).has_value());
+  // Known equivalence: OPT decomposition.
+  PatternPtr decomposed = Parse(
+      "((?x a ?y) AND (?y b ?z)) UNION ((?x a ?y) MINUS (?y b ?z))");
+  EXPECT_FALSE(FindEquivalenceGap(p, decomposed, &dict_).has_value());
+  // Known inequivalence: OPT vs plain AND.
+  PatternPtr conj = Parse("(?x a ?y) AND (?y b ?z)");
+  std::optional<PropertyCounterexample> gap =
+      FindEquivalenceGap(p, conj, &dict_);
+  ASSERT_TRUE(gap.has_value());
+  // The witness mapping distinguishes the two on the witness graph.
+  MappingSet rp = EvalPattern(gap->g1, p);
+  MappingSet rq = EvalPattern(gap->g1, conj);
+  EXPECT_NE(rp, rq);
+}
+
+// Removing triples from a graph can only lose answer information for
+// weakly-monotone patterns (the mirror image of Definition 3.2, exercised
+// through Graph::Erase).
+TEST_F(MonotonicityTest, ErasingTriplesOnlyLosesInformation) {
+  Rng rng(4242);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 3;
+  MonotonicityOptions opts;
+  opts.trials = 60;
+  int tested = 0;
+  for (int i = 0; i < 200 && tested < 20; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;  // WD ⇒ weakly monotone
+    ++tested;
+    Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "er");
+    if (g.empty()) continue;
+    MappingSet before = EvalPattern(g, p);
+    Graph shrunk = g;
+    // Erase a random third of the triples.
+    std::vector<Triple> triples = g.triples();
+    for (const Triple& t : triples) {
+      if (rng.NextBool(0.33)) shrunk.Erase(t);
+    }
+    MappingSet after = EvalPattern(shrunk, p);
+    EXPECT_TRUE(MappingSet::Subsumed(after, before));
+  }
+  EXPECT_GE(tested, 10);
+}
+
+// Weak monotonicity and monotonicity coincide for patterns whose answers
+// always bind every variable (e.g. OPT-free, UNION-free patterns).
+TEST_F(MonotonicityTest, MonotoneImpliesWeaklyMonotoneEmpirically) {
+  Rng rng(555);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_union = true;
+  spec.max_depth = 3;
+  MonotonicityOptions opts;
+  opts.trials = 50;
+  for (int i = 0; i < 30; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (LooksMonotone(p, &dict_, opts)) {
+      EXPECT_TRUE(LooksWeaklyMonotone(p, &dict_, opts));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

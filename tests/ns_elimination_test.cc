@@ -1,0 +1,150 @@
+#include "transform/ns_elimination.h"
+
+#include "analysis/well_designed.h"
+#include "transform/opt_rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class NsEliminationTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(NsEliminationTest, NsFreePatternsPassThrough) {
+  PatternPtr p = Parse("(?x a ?y) OPT (?y b ?z)");
+  Result<PatternPtr> r = EliminateNs(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(Pattern::Equal(p, r.value()));
+}
+
+TEST_F(NsEliminationTest, ResultHasNoNs) {
+  PatternPtr p = Parse("NS((?x a b) UNION ((?x a b) AND (?x c ?y)))");
+  Result<PatternPtr> r = EliminateNs(p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value()->Uses(PatternKind::kNs));
+}
+
+// Theorem 5.1 on the canonical OPT example: NS(P1 ∪ (P1 AND P2)) after
+// elimination must still produce the maximal answers.
+TEST_F(NsEliminationTest, EquivalentOnOptEncoding) {
+  PatternPtr p = Parse("NS((?x a b) UNION ((?x a b) AND (?x c ?y)))");
+  Result<PatternPtr> elim = EliminateNs(p);
+  ASSERT_TRUE(elim.ok());
+
+  // x1 has the optional triple, x2 does not.
+  Graph g;
+  TermId a = dict_.InternIri("a"), b = dict_.InternIri("b"),
+         c = dict_.InternIri("c");
+  g.Insert(dict_.InternIri("x1"), a, b);
+  g.Insert(dict_.InternIri("x2"), a, b);
+  g.Insert(dict_.InternIri("x1"), c, dict_.InternIri("m"));
+  EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, elim.value()));
+  EXPECT_EQ(EvalPattern(g, p).size(), 2u);
+}
+
+// The main property: EliminateNs preserves ⟦·⟧G exactly, on random
+// NS-SPARQL patterns and random graphs (Theorem 5.1).
+TEST_F(NsEliminationTest, PreservesSemanticsOnRandomPatterns) {
+  Rng rng(2016);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = spec.allow_ns = true;
+  spec.allow_select = true;
+  spec.max_depth = 3;
+  int checked = 0;
+  for (int i = 0; i < 80; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    NormalFormLimits limits;
+    limits.max_disjuncts = 4000;
+    Result<PatternPtr> elim = EliminateNs(p, limits);
+    if (!elim.ok()) continue;  // over the blow-up budget: skip
+    ++checked;
+    EXPECT_FALSE(elim.value()->Uses(PatternKind::kNs));
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(10, 4, &dict_, &rng, "i");
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, elim.value()));
+    }
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST_F(NsEliminationTest, NestedNsIsEliminatedInnermostFirst) {
+  PatternPtr p = Parse("NS(NS((?x a b) UNION ((?x a b) AND (?x c ?y))))");
+  Result<PatternPtr> elim = EliminateNs(p);
+  ASSERT_TRUE(elim.ok());
+  EXPECT_FALSE(elim.value()->Uses(PatternKind::kNs));
+
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = GenerateRandomGraph(10, 4, &dict_, &rng, "j");
+    EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, elim.value()));
+  }
+}
+
+// Theorem 5.1 full circle: SPARQL → NS-SPARQL (RewriteOptToNs) → SPARQL
+// (EliminateNs). For well-designed (hence subsumption-free) inputs the
+// composition is exactly equivalent to the original pattern.
+TEST_F(NsEliminationTest, FullCircleWithOptRewriting) {
+  Rng rng(51);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 3;
+  int tested = 0;
+  for (int i = 0; i < 200 && tested < 25; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    PatternPtr ns_form = RewriteOptToNs(p);
+    NormalFormLimits limits;
+    limits.max_disjuncts = 4000;
+    Result<PatternPtr> back = EliminateNs(ns_form, limits);
+    if (!back.ok()) continue;  // blow-up budget
+    ++tested;
+    EXPECT_FALSE(back.value()->Uses(PatternKind::kNs));
+    // OPT itself was consumed by the rewriting; the eliminated form may
+    // use MINUS, which is SPARQL-definable.
+    EXPECT_FALSE(back.value()->Uses(PatternKind::kOpt));
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(10, 4, &dict_, &rng, "fc");
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, back.value()));
+    }
+  }
+  EXPECT_GE(tested, 10);
+}
+
+// The blow-up is real: the eliminated pattern grows with the number of
+// optional variables (this is the curve bench_ns_elimination measures).
+TEST_F(NsEliminationTest, SizeGrowsWithOptionalVariables) {
+  std::vector<size_t> sizes;
+  for (int k = 1; k <= 3; ++k) {
+    std::string inner = "(?x a b)";
+    for (int i = 0; i < k; ++i) {
+      std::string v = "?y" + std::to_string(i);
+      std::string pred = "p" + std::to_string(i);
+      inner = "(" + inner + " UNION ((?x a b) AND (?x " + pred + " " + v +
+              ")))";
+    }
+    Result<PatternPtr> elim = EliminateNs(Parse("NS(" + inner + ")"));
+    ASSERT_TRUE(elim.ok());
+    sizes.push_back(elim.value()->SizeInNodes());
+  }
+  EXPECT_LT(sizes[0], sizes[1]);
+  EXPECT_LT(sizes[1], sizes[2]);
+}
+
+}  // namespace
+}  // namespace rdfql

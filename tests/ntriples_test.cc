@@ -1,0 +1,61 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfql {
+namespace {
+
+TEST(NTriplesTest, ParsesPlainTriples) {
+  Dictionary dict;
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("a b c .\nd e f .", &dict, &g).ok());
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.Contains(Triple(dict.FindIri("a"), dict.FindIri("b"),
+                                dict.FindIri("c"))));
+}
+
+TEST(NTriplesTest, TrailingDotIsOptional) {
+  Dictionary dict;
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("a b c", &dict, &g).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(NTriplesTest, AngleBracketsAreStripped) {
+  Dictionary dict;
+  Graph g;
+  ASSERT_TRUE(
+      ParseNTriples("<http://x/a> <http://x/b> <http://x/c> .", &dict, &g)
+          .ok());
+  EXPECT_NE(dict.FindIri("http://x/a"), kInvalidTermId);
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  Dictionary dict;
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("# comment\n\n  a b c .\n", &dict, &g).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(NTriplesTest, RejectsWrongArity) {
+  Dictionary dict;
+  Graph g;
+  Status st = ParseNTriples("a b .", &dict, &g);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(NTriplesTest, RoundTripsThroughWriter) {
+  Dictionary dict;
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("a b c .\nx y z .", &dict, &g).ok());
+  std::string text = WriteNTriples(g, dict);
+
+  Dictionary dict2;
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(text, &dict2, &g2).ok());
+  EXPECT_EQ(g2.size(), g.size());
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,113 @@
+#include "transform/opt_rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "eval/evaluator.h"
+#include "eval/ns.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+class OptRewriterTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(OptRewriterTest, RewriteRemovesOpt) {
+  PatternPtr p = Parse("((?x a ?y) OPT (?y b ?z)) OPT (?x c ?w)");
+  PatternPtr q = RewriteOptToNs(p);
+  EXPECT_FALSE(q->Uses(PatternKind::kOpt));
+  EXPECT_TRUE(q->Uses(PatternKind::kNs));
+}
+
+// Section 5.1: ⟦NS(P1 ∪ (P1 AND P2))⟧ = ⟦P1 OPT P2⟧max — for
+// subsumption-free inputs (e.g. well-designed ones) the two coincide.
+TEST_F(OptRewriterTest, NsEncodingKeepsMaximalAnswersOfOpt) {
+  Rng rng(2902298);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 50; ++i) {
+    PatternPtr p1 = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr p2 = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr opt = Pattern::Opt(p1, p2);
+    PatternPtr ns = Pattern::Ns(Pattern::Union(p1, Pattern::And(p1, p2)));
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+      MappingSet opt_max = RemoveSubsumedNaive(EvalPattern(g, opt));
+      EXPECT_EQ(opt_max, EvalPattern(g, ns));
+    }
+  }
+}
+
+TEST_F(OptRewriterTest, NsEncodingExactForWellDesignedExample) {
+  PatternPtr p = Parse(scenarios::Example31Query());
+  PatternPtr q = RewriteOptToNs(p);
+  Graph g1 = scenarios::ChileGraphG1(&dict_);
+  Graph g2 = scenarios::ChileGraphG2(&dict_);
+  EXPECT_EQ(EvalPattern(g1, p), EvalPattern(g1, q));
+  EXPECT_EQ(EvalPattern(g2, p), EvalPattern(g2, q));
+}
+
+TEST_F(OptRewriterTest, DesugarMinusMatchesPrimitiveMinus) {
+  Rng rng(404);
+  PatternGenSpec spec;
+  spec.allow_minus = true;
+  spec.allow_opt = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 50; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr q = DesugarMinus(p, &dict_);
+    EXPECT_FALSE(q->Uses(PatternKind::kMinus));
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+      MappingSet rp = EvalPattern(g, p);
+      // The desugared form may bind the probe variables in intermediate
+      // results but never in the final one (they are filtered unbound).
+      EXPECT_EQ(rp, EvalPattern(g, q));
+    }
+  }
+}
+
+TEST_F(OptRewriterTest, MonotoneEnvelopeIsAufs) {
+  PatternPtr p =
+      Parse("NS(((?x a ?y) OPT (?y b ?z)) MINUS (?x c ?w)) UNION "
+            "(SELECT {?x} WHERE (?x d ?v))");
+  PatternPtr env = MonotoneEnvelope(p);
+  EXPECT_TRUE(InFragment(env, "AUFS"));
+}
+
+TEST_F(OptRewriterTest, MonotoneEnvelopeContainsOriginal) {
+  Rng rng(606);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_minus = spec.allow_ns = true;
+  spec.allow_filter = spec.allow_select = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 50; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr env = MonotoneEnvelope(p);
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+      MappingSet rp = EvalPattern(g, p);
+      MappingSet re = EvalPattern(g, env);
+      for (const Mapping& m : rp) {
+        EXPECT_TRUE(re.Contains(m));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,180 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/pattern_printer.h"
+#include "util/random.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+PatternPtr MustParse(const std::string& text, Dictionary* dict) {
+  Result<PatternPtr> r = ParsePattern(text, dict);
+  if (!r.ok()) {
+    ADD_FAILURE() << "parse failed: " << r.status().ToString();
+    return nullptr;
+  }
+  return r.value();
+}
+
+TEST(ParserTest, ParsesTriple) {
+  Dictionary dict;
+  PatternPtr p = MustParse("(?x founder ?o)", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kTriple);
+  EXPECT_TRUE(p->triple().s.is_var());
+  EXPECT_TRUE(p->triple().p.is_iri());
+  EXPECT_EQ(dict.IriName(p->triple().p.iri()), "founder");
+}
+
+TEST(ParserTest, ParsesBinaryOperatorsWithPrecedence) {
+  Dictionary dict;
+  // AND binds tighter than OPT, OPT tighter than UNION.
+  PatternPtr p =
+      MustParse("(?a x ?b) AND (?b x ?c) OPT (?c x ?d) UNION (?e x ?f)",
+                &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kUnion);
+  EXPECT_EQ(p->left()->kind(), PatternKind::kOpt);
+  EXPECT_EQ(p->left()->left()->kind(), PatternKind::kAnd);
+}
+
+TEST(ParserTest, ParsesNestedParentheses) {
+  Dictionary dict;
+  PatternPtr p = MustParse("((?x a b) UNION ((?x c ?y) AND (?y d ?z)))",
+                           &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kUnion);
+  EXPECT_EQ(p->right()->kind(), PatternKind::kAnd);
+}
+
+TEST(ParserTest, ParsesSelect) {
+  Dictionary dict;
+  PatternPtr p = MustParse("(SELECT {?x ?y} WHERE (?x a ?y))", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kSelect);
+  EXPECT_EQ(p->projection().size(), 2u);
+}
+
+TEST(ParserTest, ParsesNs) {
+  Dictionary dict;
+  PatternPtr p = MustParse("NS((?x a b) UNION (?x c ?y))", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kNs);
+  EXPECT_EQ(p->child()->kind(), PatternKind::kUnion);
+}
+
+TEST(ParserTest, ParsesMinus) {
+  Dictionary dict;
+  PatternPtr p = MustParse("(?x a b) MINUS (?x c ?y)", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kMinus);
+}
+
+TEST(ParserTest, ParsesFilterConditions) {
+  Dictionary dict;
+  PatternPtr p = MustParse(
+      "((?x a ?y) FILTER (bound(?x) & (?y = c | !(?x = ?y))))", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kFilter);
+  EXPECT_EQ(p->condition()->kind(), Builtin::Kind::kAnd);
+}
+
+TEST(ParserTest, ParsesFilterAtomWithoutParens) {
+  Dictionary dict;
+  PatternPtr p = MustParse("(?x a ?y) FILTER bound(?x)", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kFilter);
+  EXPECT_EQ(p->condition()->kind(), Builtin::Kind::kBound);
+}
+
+TEST(ParserTest, ParsesNotEqualSugar) {
+  Dictionary dict;
+  PatternPtr p = MustParse("(?x a ?y) FILTER ?x != ?y", &dict);
+  ASSERT_EQ(p->kind(), PatternKind::kFilter);
+  EXPECT_EQ(p->condition()->kind(), Builtin::Kind::kNot);
+}
+
+TEST(ParserTest, ParsesAngleBracketIris) {
+  Dictionary dict;
+  PatternPtr p = MustParse("(?x <http://ex/p> <a weird iri>)", &dict);
+  EXPECT_EQ(dict.FindIri("http://ex/p"), p->triple().p.iri());
+  EXPECT_EQ(dict.FindIri("a weird iri"), p->triple().o.iri());
+}
+
+TEST(ParserTest, ReportsErrors) {
+  Dictionary dict;
+  EXPECT_FALSE(ParsePattern("", &dict).ok());
+  EXPECT_FALSE(ParsePattern("(?x a)", &dict).ok());
+  EXPECT_FALSE(ParsePattern("(?x a b) AND", &dict).ok());
+  EXPECT_FALSE(ParsePattern("(?x a b) EXTRA (?x a b)", &dict).ok());
+  EXPECT_FALSE(ParsePattern("SELECT {?x} (?x a b)", &dict).ok());
+}
+
+TEST(ParserTest, ParsesConstructQuery) {
+  Dictionary dict;
+  Result<ParsedConstruct> r = ParseConstruct(
+      "CONSTRUCT { (?n affiliated_to ?u) (?n email ?e) } WHERE "
+      "(((?p name ?n) AND (?p works_at ?u)) OPT (?p email ?e))",
+      &dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->templ.size(), 2u);
+  EXPECT_EQ(r->where->kind(), PatternKind::kOpt);
+}
+
+TEST(ParserTest, ConstructRequiresTemplateBraces) {
+  Dictionary dict;
+  EXPECT_FALSE(ParseConstruct("CONSTRUCT (?a b c) WHERE (?a b c)", &dict).ok());
+}
+
+// Robustness: random token soup must produce a Status, never a crash, and
+// never a silent success for garbage endings.
+TEST(ParserTest, SurvivesRandomTokenSoup) {
+  const char* tokens[] = {"(",      ")",     "{",     "}",    "?x",
+                          "?y",     "iri",   "AND",   "UNION", "OPT",
+                          "FILTER", "SELECT", "WHERE", "NS",   "MINUS",
+                          "bound",  "=",     "!",     "&",    "|",
+                          "true",   "false", ".",     "<a b>"};
+  Rng rng(666);
+  int ok_count = 0;
+  for (int i = 0; i < 3000; ++i) {
+    Dictionary dict;
+    std::string text;
+    int len = 1 + static_cast<int>(rng.NextBelow(12));
+    for (int t = 0; t < len; ++t) {
+      text += tokens[rng.NextBelow(std::size(tokens))];
+      text += ' ';
+    }
+    Result<PatternPtr> r = ParsePattern(text, &dict);
+    if (r.ok()) ++ok_count;  // fine — just must not crash
+  }
+  // Some soups happen to be valid patterns, most are not.
+  EXPECT_LT(ok_count, 3000);
+}
+
+TEST(ParserTest, SurvivesRandomBytes) {
+  Rng rng(667);
+  for (int i = 0; i < 2000; ++i) {
+    Dictionary dict;
+    std::string text;
+    int len = static_cast<int>(rng.NextBelow(30));
+    for (int t = 0; t < len; ++t) {
+      text += static_cast<char>(32 + rng.NextBelow(95));
+    }
+    ParsePattern(text, &dict);  // must not crash
+  }
+}
+
+// Printer output must parse back to a structurally identical pattern.
+TEST(ParserTest, RoundTripsRandomPatterns) {
+  Dictionary dict;
+  Rng rng(2024);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = spec.allow_select = true;
+  spec.allow_minus = spec.allow_ns = true;
+  spec.max_depth = 4;
+  for (int i = 0; i < 200; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict, &rng);
+    std::string text = PatternToString(p, dict);
+    Result<PatternPtr> reparsed = ParsePattern(text, &dict);
+    ASSERT_TRUE(reparsed.ok())
+        << text << " -> " << reparsed.status().ToString();
+    EXPECT_TRUE(Pattern::Equal(p, reparsed.value())) << text;
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

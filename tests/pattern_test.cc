@@ -1,0 +1,106 @@
+#include "algebra/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/pattern_printer.h"
+
+namespace rdfql {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  Dictionary dict_;
+  VarId x_ = dict_.InternVar("x");
+  VarId y_ = dict_.InternVar("y");
+  VarId z_ = dict_.InternVar("z");
+  TermId a_ = dict_.InternIri("a");
+  TermId b_ = dict_.InternIri("b");
+
+  PatternPtr Txy() {
+    return Pattern::MakeTriple(Term::Var(x_), Term::Iri(a_), Term::Var(y_));
+  }
+  PatternPtr Tz() {
+    return Pattern::MakeTriple(Term::Var(z_), Term::Iri(b_), Term::Iri(b_));
+  }
+};
+
+TEST_F(PatternTest, TripleVarsAndIris) {
+  PatternPtr t = Txy();
+  EXPECT_EQ(t->Vars(), (std::vector<VarId>{x_, y_}));
+  EXPECT_EQ(t->ScopeVars(), (std::vector<VarId>{x_, y_}));
+  EXPECT_EQ(t->Iris(), (std::vector<TermId>{a_}));
+  EXPECT_EQ(t->SizeInNodes(), 1u);
+}
+
+TEST_F(PatternTest, BinaryOpsUnionVars) {
+  PatternPtr p = Pattern::And(Txy(), Tz());
+  EXPECT_EQ(p->Vars(), (std::vector<VarId>{x_, y_, z_}));
+  EXPECT_EQ(p->SizeInNodes(), 3u);
+  EXPECT_TRUE(p->Uses(PatternKind::kAnd));
+  EXPECT_FALSE(p->Uses(PatternKind::kOpt));
+}
+
+TEST_F(PatternTest, MinusScopeIsLeftOnly) {
+  PatternPtr p = Pattern::Minus(Txy(), Tz());
+  EXPECT_EQ(p->Vars(), (std::vector<VarId>{x_, y_, z_}));
+  EXPECT_EQ(p->ScopeVars(), (std::vector<VarId>{x_, y_}));
+}
+
+TEST_F(PatternTest, SelectRestrictsScope) {
+  PatternPtr p = Pattern::Select({x_}, Pattern::And(Txy(), Tz()));
+  EXPECT_EQ(p->ScopeVars(), (std::vector<VarId>{x_}));
+  // var(P) still mentions everything.
+  EXPECT_EQ(p->Vars(), (std::vector<VarId>{x_, y_, z_}));
+}
+
+TEST_F(PatternTest, FilterVarsIncludeConditionVars) {
+  PatternPtr p = Pattern::Filter(Txy(), Builtin::Bound(z_));
+  EXPECT_EQ(p->Vars(), (std::vector<VarId>{x_, y_, z_}));
+  EXPECT_EQ(p->ScopeVars(), (std::vector<VarId>{x_, y_}));
+}
+
+TEST_F(PatternTest, StructuralEquality) {
+  EXPECT_TRUE(Pattern::Equal(Txy(), Txy()));
+  EXPECT_FALSE(Pattern::Equal(Txy(), Tz()));
+  EXPECT_TRUE(Pattern::Equal(Pattern::Opt(Txy(), Tz()),
+                             Pattern::Opt(Txy(), Tz())));
+  EXPECT_FALSE(Pattern::Equal(Pattern::Opt(Txy(), Tz()),
+                              Pattern::And(Txy(), Tz())));
+}
+
+TEST_F(PatternTest, RenameVarsAppliesEverywhere) {
+  PatternPtr p = Pattern::Select(
+      {x_}, Pattern::Filter(Txy(), Builtin::EqVars(x_, y_)));
+  VarId w = dict_.InternVar("w");
+  PatternPtr renamed = Pattern::RenameVars(p, {{x_, w}});
+  EXPECT_EQ(renamed->projection(), (std::vector<VarId>{w}));
+  EXPECT_EQ(renamed->Vars(), (std::vector<VarId>{y_, w}));
+}
+
+TEST_F(PatternTest, AndAllIsLeftDeep) {
+  PatternPtr p = Pattern::AndAll({Txy(), Tz(), Txy()});
+  EXPECT_EQ(p->kind(), PatternKind::kAnd);
+  EXPECT_EQ(p->left()->kind(), PatternKind::kAnd);
+  EXPECT_EQ(p->right()->kind(), PatternKind::kTriple);
+}
+
+TEST_F(PatternTest, PrinterRendersPaperSyntax) {
+  PatternPtr p = Pattern::Opt(Txy(), Tz());
+  EXPECT_EQ(PatternToString(p, dict_), "((?x a ?y) OPT (?z b b))");
+  PatternPtr ns = Pattern::Ns(Txy());
+  EXPECT_EQ(PatternToString(ns, dict_), "NS((?x a ?y))");
+  PatternPtr sel = Pattern::Select({x_, y_}, Txy());
+  EXPECT_EQ(PatternToString(sel, dict_),
+            "(SELECT {?x ?y} WHERE (?x a ?y))");
+}
+
+TEST_F(PatternTest, InstantiateTriple) {
+  Mapping m = Mapping::FromBindings({{x_, a_}, {y_, b_}});
+  Triple t = Instantiate(TriplePattern(Term::Var(x_), Term::Iri(a_),
+                                       Term::Var(y_)),
+                         m);
+  EXPECT_EQ(t, Triple(a_, a_, b_));
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,102 @@
+#include "algebra/pattern_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace rdfql {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Mapping Make(std::vector<std::pair<std::string, std::string>> bindings) {
+    std::vector<std::pair<VarId, TermId>> ids;
+    for (const auto& [var, iri] : bindings) {
+      ids.emplace_back(dict_.InternVar(var), dict_.InternIri(iri));
+    }
+    return Mapping::FromBindings(std::move(ids));
+  }
+  Dictionary dict_;
+};
+
+TEST_F(PrinterTest, IriTokenQuotesNonWords) {
+  EXPECT_EQ(IriToken("plain_word"), "plain_word");
+  EXPECT_EQ(IriToken("http://x/y"), "http://x/y");
+  EXPECT_EQ(IriToken("has space"), "<has space>");
+  EXPECT_EQ(IriToken("AND"), "<AND>");  // reserved word
+  EXPECT_EQ(IriToken("bound"), "<bound>");
+  EXPECT_EQ(IriToken(""), "<>");
+}
+
+TEST_F(PrinterTest, ReservedWordIrisRoundTrip) {
+  dict_.InternVar("x");
+  PatternPtr p = Pattern::MakeTriple(
+      Term::Var(dict_.FindVar("x")), Term::Iri(dict_.InternIri("AND")),
+      Term::Iri(dict_.InternIri("a b")));
+  std::string text = PatternToString(p, dict_);
+  EXPECT_EQ(text, "(?x <AND> <a b>)");
+  Result<PatternPtr> reparsed = ParsePattern(text, &dict_);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(Pattern::Equal(p, reparsed.value()));
+}
+
+TEST_F(PrinterTest, MappingTableColumnsAndBlanks) {
+  MappingSet r = MappingSet::FromList(
+      {Make({{"x", "juan"}}),
+       Make({{"x", "ana"}, {"y", "ana@puc.cl"}})});
+  std::string table = MappingTable(r, dict_);
+  // Header with both columns, one blank cell for juan's ?y.
+  EXPECT_NE(table.find("?x"), std::string::npos);
+  EXPECT_NE(table.find("?y"), std::string::npos);
+  EXPECT_NE(table.find("juan"), std::string::npos);
+  EXPECT_NE(table.find("ana@puc.cl"), std::string::npos);
+}
+
+TEST_F(PrinterTest, MappingTableEmptyCases) {
+  MappingSet empty;
+  EXPECT_EQ(MappingTable(empty, dict_), "(no solutions)\n");
+  MappingSet unit = MappingSet::FromList({Mapping()});
+  EXPECT_EQ(MappingTable(unit, dict_), "(the empty mapping, x1)\n");
+}
+
+TEST_F(PrinterTest, ConstructRoundTrips) {
+  Result<ParsedConstruct> q = ParseConstruct(
+      "CONSTRUCT { (?n affiliated_to ?u) (flag is set) } WHERE "
+      "(((?p name ?n) AND (?p works_at ?u)) OPT (?p email ?e))",
+      &dict_);
+  ASSERT_TRUE(q.ok());
+  std::string text = ConstructToString(q->templ, q->where, dict_);
+  Result<ParsedConstruct> reparsed = ParseConstruct(text, &dict_);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->templ.size(), q->templ.size());
+  for (size_t i = 0; i < q->templ.size(); ++i) {
+    EXPECT_TRUE(reparsed->templ[i] == q->templ[i]);
+  }
+  EXPECT_TRUE(Pattern::Equal(q->where, reparsed->where));
+}
+
+TEST_F(PrinterTest, TriplePatternToStringMatchesPatternForm) {
+  dict_.InternVar("x");
+  TriplePattern t(Term::Var(dict_.FindVar("x")),
+                  Term::Iri(dict_.InternIri("p")),
+                  Term::Iri(dict_.InternIri("two words")));
+  EXPECT_EQ(TriplePatternToString(t, dict_), "(?x p <two words>)");
+}
+
+TEST_F(PrinterTest, PrintsFullOperatorSet) {
+  PatternPtr p = Parse(
+      "NS(((?x a ?y) MINUS (?y b ?z)) UNION "
+      "((SELECT {?x} WHERE (?x c ?w)) FILTER bound(?x)))");
+  std::string text = PatternToString(p, dict_);
+  Result<PatternPtr> reparsed = ParsePattern(text, &dict_);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_TRUE(Pattern::Equal(p, reparsed.value()));
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,217 @@
+// Tests of the Section 7 reductions: the SAT gadget, the SAT-UNSAT →
+// SP–SPARQL reduction (Theorem 7.1), the Lemma H.1 combiner, and the
+// BH_2k / PNP‖ reductions (Theorems 7.2 and 7.3) — each validated against
+// the from-scratch SAT/coloring oracles by actually *evaluating* the
+// produced instances with the SPARQL engine.
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "complexity/hierarchy_reductions.h"
+#include "complexity/sat_solver.h"
+
+namespace rdfql {
+namespace {
+
+TEST(SatReductionTest, GadgetIsSingletonIffSatisfiable) {
+  Rng rng(1);
+  Dictionary dict;
+  for (int round = 0; round < 60; ++round) {
+    int n = 2 + static_cast<int>(rng.NextBelow(4));
+    int m = 1 + static_cast<int>(rng.NextBelow(8));
+    int k = 2 + static_cast<int>(rng.NextBelow(2));
+    if (k > n) k = n;
+    Cnf phi = RandomCnf(n, m, k, &rng);
+    EvalInstance inst =
+        SatToPattern(phi, &dict, "t" + std::to_string(round));
+    MappingSet result = EvalPattern(inst.graph, inst.pattern);
+    if (SolveSat(phi).satisfiable) {
+      EXPECT_EQ(result.size(), 1u);
+      EXPECT_TRUE(result.Contains(inst.mapping));
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  }
+}
+
+TEST(SatReductionTest, GadgetPatternIsAufs) {
+  Rng rng(2);
+  Dictionary dict;
+  Cnf phi = RandomCnf(3, 4, 2, &rng);
+  EvalInstance inst = SatToPattern(phi, &dict, "frag");
+  EXPECT_TRUE(InFragment(inst.pattern, "AUFS"));
+}
+
+TEST(SatReductionTest, EmptyClauseMakesGadgetEmpty) {
+  Dictionary dict;
+  Cnf phi;
+  phi.num_vars = 2;
+  phi.AddClause({});
+  EvalInstance inst = SatToPattern(phi, &dict, "empty");
+  EXPECT_TRUE(EvalPattern(inst.graph, inst.pattern).empty());
+}
+
+TEST(SatReductionTest, NoClausesMeansTriviallySat) {
+  Dictionary dict;
+  Cnf phi;
+  phi.num_vars = 2;
+  EvalInstance inst = SatToPattern(phi, &dict, "trivial");
+  EXPECT_TRUE(DecideByEvaluation(inst));
+}
+
+// Theorem 7.1: the reduction decides SAT-UNSAT through SPARQL evaluation.
+TEST(SatUnsatTest, ReductionDecidesSatUnsat) {
+  Rng rng(71);
+  Dictionary dict;
+  for (int round = 0; round < 40; ++round) {
+    Cnf phi = RandomCnf(3, 1 + static_cast<int>(rng.NextBelow(7)), 2, &rng);
+    Cnf psi = RandomCnf(3, 1 + static_cast<int>(rng.NextBelow(7)), 2, &rng);
+    EvalInstance inst = SatUnsatToSimplePattern(
+        phi, psi, &dict, "su" + std::to_string(round));
+
+    EXPECT_TRUE(IsSimplePattern(inst.pattern));
+    bool expected =
+        SolveSat(phi).satisfiable && !SolveSat(psi).satisfiable;
+    EXPECT_EQ(DecideByEvaluation(inst), expected) << "round " << round;
+  }
+}
+
+// Lemma H.1: the combiner implements disjunction of instances.
+TEST(CombinerTest, DisjunctionOfInstances) {
+  Rng rng(81);
+  Dictionary dict;
+  for (int round = 0; round < 25; ++round) {
+    int n = 2 + static_cast<int>(rng.NextBelow(3));
+    std::vector<EvalInstance> pieces;
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+      Cnf phi = RandomCnf(3, 1 + static_cast<int>(rng.NextBelow(6)), 2, &rng);
+      Cnf psi = RandomCnf(3, 1 + static_cast<int>(rng.NextBelow(6)), 2, &rng);
+      pieces.push_back(SatUnsatToSimplePattern(
+          phi, psi, &dict,
+          "c" + std::to_string(round) + "_" + std::to_string(i)));
+      any = any || (SolveSat(phi).satisfiable &&
+                    !SolveSat(psi).satisfiable);
+    }
+    EvalInstance combined = CombineDisjunction(pieces, &dict);
+    EXPECT_TRUE(IsNsPattern(combined.pattern));
+    EXPECT_EQ(NsPatternWidth(combined.pattern), pieces.size());
+    EXPECT_EQ(DecideByEvaluation(combined), any) << "round " << round;
+  }
+}
+
+// Lemma G.2: if I(G1) ∩ I(G2) = ∅, P has no variable-only triple patterns
+// and I(P) ⊆ I(G1), then ⟦P⟧_{G1 ∪ G2} = ⟦P⟧_{G1}. This locality lemma is
+// what lets the reductions evaluate each SAT gadget inside the combined
+// graph; test it on the gadgets themselves plus random extensions.
+TEST(SatReductionTest, LemmaG2DisjointGraphLocality) {
+  Rng rng(92);
+  Dictionary dict;
+  for (int round = 0; round < 20; ++round) {
+    Cnf phi = RandomCnf(3, 4, 2, &rng);
+    EvalInstance inst =
+        SatToPattern(phi, &dict, "g2_" + std::to_string(round));
+    // A disjoint graph over fresh IRIs.
+    Graph noise;
+    for (int i = 0; i < 10; ++i) {
+      noise.Insert(dict.FreshIri("noise"), dict.FreshIri("noise"),
+                   dict.FreshIri("noise"));
+    }
+    Graph combined = Graph::Union(inst.graph, noise);
+    EXPECT_EQ(EvalPattern(inst.graph, inst.pattern),
+              EvalPattern(combined, inst.pattern));
+  }
+}
+
+TEST(HierarchyTest, MkSetShape) {
+  EXPECT_EQ(MkSet(1), (std::vector<int>{7}));
+  EXPECT_EQ(MkSet(2), (std::vector<int>{13, 15}));
+  EXPECT_EQ(MkSet(3), (std::vector<int>{19, 21, 23}));
+}
+
+// Theorem 7.2's machinery on small color sets (the paper's M_k = {6k+1,…}
+// already at k = 1 demands evaluating 7-colorability, which is the
+// theorem's point but too heavy for a unit test; ExactColorSetToUsp is the
+// same construction parameterized by the color set).
+TEST(HierarchyTest, ExactColorSetViaUsp) {
+  Dictionary dict;
+  // C5 has χ = 3; K4 has χ = 4; a path has χ = 2.
+  SimpleGraph c5;
+  c5.n = 5;
+  for (int i = 0; i < 5; ++i) c5.edges.emplace_back(i, (i + 1) % 5);
+  SimpleGraph path;
+  path.n = 4;
+  for (int i = 0; i < 3; ++i) path.edges.emplace_back(i, i + 1);
+
+  struct Case {
+    SimpleGraph graph;
+    std::vector<int> colors;
+  };
+  std::vector<Case> cases = {
+      {c5, {3}},        // χ = 3 ∈ {3}: yes
+      {c5, {2, 4}},     // χ = 3 ∉ {2,4}: no
+      {path, {2}},      // yes
+      {path, {3}},      // no
+      {CompleteGraph(4), {3, 4}},  // χ = 4: yes
+  };
+  int index = 0;
+  for (const Case& c : cases) {
+    bool expected = IsExactColorSetColorable(c.graph, c.colors);
+    EvalInstance inst = ExactColorSetToUsp(c.graph, c.colors, &dict);
+    EXPECT_EQ(NsPatternWidth(inst.pattern), c.colors.size());
+    EXPECT_EQ(DecideByEvaluation(inst), expected) << "case " << index;
+    ++index;
+  }
+}
+
+TEST(HierarchyTest, ExactMkIsColorSetWithMk) {
+  // Structural check only (evaluation of the k = 1 instance encodes
+  // 7-colorability and is exercised by bench_complexity instead).
+  Dictionary dict;
+  SimpleGraph g = CompleteGraph(3);
+  EvalInstance inst = ExactMkColorabilityToUsp(g, 1, &dict);
+  EXPECT_EQ(NsPatternWidth(inst.pattern), 1u);
+  EXPECT_FALSE(IsExactMkColorable(g, 1));  // χ(K3)=3 ∉ {7}
+}
+
+// Theorem 7.3 on small formulas, cross-checked against the direct decider.
+TEST(HierarchyTest, MaxOddSatViaUsp) {
+  Rng rng(73);
+  Dictionary dict;
+  int positives = 0;
+  for (int round = 0; round < 12; ++round) {
+    Cnf phi = RandomCnf(3, 1 + static_cast<int>(rng.NextBelow(4)), 2, &rng);
+    bool expected = IsMaxOddSat(phi);
+    positives += expected ? 1 : 0;
+    EvalInstance inst = MaxOddSatToUsp(phi, &dict);
+    EXPECT_TRUE(IsNsPattern(inst.pattern));
+    EXPECT_EQ(DecideByEvaluation(inst), expected) << "round " << round;
+  }
+  // The sample should include both outcomes.
+  EXPECT_GT(positives, 0);
+  EXPECT_LT(positives, 12);
+}
+
+TEST(HierarchyTest, IsMaxOddSatReference) {
+  // ϕ = (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): max-true = 1 with x3 absent... add x3
+  // free: max-true = 2 → even → false.
+  Cnf phi;
+  phi.num_vars = 3;
+  phi.AddClause({1, 2});
+  phi.AddClause({-1, -2});
+  EXPECT_FALSE(IsMaxOddSat(phi));
+
+  // Forcing x3 false: max-true = 1 → odd → true.
+  phi.AddClause({-3});
+  EXPECT_TRUE(IsMaxOddSat(phi));
+
+  // Unsatisfiable: false.
+  Cnf unsat;
+  unsat.num_vars = 1;
+  unsat.AddClause({1});
+  unsat.AddClause({-1});
+  EXPECT_FALSE(IsMaxOddSat(unsat));
+}
+
+}  // namespace
+}  // namespace rdfql

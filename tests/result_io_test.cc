@@ -1,0 +1,72 @@
+#include "algebra/result_io.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfql {
+namespace {
+
+class ResultIoTest : public ::testing::Test {
+ protected:
+  Mapping Make(std::vector<std::pair<std::string, std::string>> bindings) {
+    std::vector<std::pair<VarId, TermId>> ids;
+    for (const auto& [var, iri] : bindings) {
+      ids.emplace_back(dict_.InternVar(var), dict_.InternIri(iri));
+    }
+    return Mapping::FromBindings(std::move(ids));
+  }
+  Dictionary dict_;
+};
+
+TEST_F(ResultIoTest, CsvBasic) {
+  MappingSet r = MappingSet::FromList(
+      {Make({{"x", "a"}, {"y", "b"}}), Make({{"x", "c"}})});
+  EXPECT_EQ(WriteCsv(r, dict_), "x,y\na,b\nc,\n");
+}
+
+TEST_F(ResultIoTest, CsvEscaping) {
+  MappingSet r = MappingSet::FromList(
+      {Make({{"x", "has,comma"}, {"y", "has\"quote"}})});
+  EXPECT_EQ(WriteCsv(r, dict_),
+            "x,y\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST_F(ResultIoTest, CsvEmptyResult) {
+  MappingSet empty;
+  EXPECT_EQ(WriteCsv(empty, dict_), "\n");
+}
+
+TEST_F(ResultIoTest, JsonBasic) {
+  MappingSet r = MappingSet::FromList({Make({{"x", "a"}})});
+  EXPECT_EQ(WriteResultsJson(r, dict_),
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":["
+            "{\"x\":{\"type\":\"iri\",\"value\":\"a\"}}]}}");
+}
+
+TEST_F(ResultIoTest, JsonOmitsUnboundAndEscapes) {
+  MappingSet r = MappingSet::FromList(
+      {Make({{"x", "line\nbreak"}}), Make({{"x", "v"}, {"y", "w\\z"}})});
+  std::string json = WriteResultsJson(r, dict_);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("w\\\\z"), std::string::npos);
+  // The first row must not mention ?y at all.
+  size_t first_obj = json.find("{\"x\"");
+  size_t first_close = json.find('}', first_obj);
+  EXPECT_EQ(json.substr(first_obj, first_close - first_obj).find("\"y\""),
+            std::string::npos);
+}
+
+TEST_F(ResultIoTest, JsonEmptyResult) {
+  MappingSet empty;
+  EXPECT_EQ(WriteResultsJson(empty, dict_),
+            "{\"head\":{\"vars\":[]},\"results\":{\"bindings\":[]}}");
+}
+
+TEST_F(ResultIoTest, RowsAreSortedDeterministically) {
+  MappingSet a = MappingSet::FromList({Make({{"x", "b"}}), Make({{"x", "a"}})});
+  MappingSet b = MappingSet::FromList({Make({{"x", "a"}}), Make({{"x", "b"}})});
+  EXPECT_EQ(WriteCsv(a, dict_), WriteCsv(b, dict_));
+  EXPECT_EQ(WriteResultsJson(a, dict_), WriteResultsJson(b, dict_));
+}
+
+}  // namespace
+}  // namespace rdfql

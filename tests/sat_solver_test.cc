@@ -1,0 +1,177 @@
+#include "complexity/sat_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "complexity/cardinality.h"
+#include "complexity/coloring.h"
+
+namespace rdfql {
+namespace {
+
+TEST(SatSolverTest, TrivialCases) {
+  Cnf empty;
+  EXPECT_TRUE(SolveSat(empty).satisfiable);
+
+  Cnf unit;
+  unit.num_vars = 1;
+  unit.AddClause({1});
+  SatResult r = SolveSat(unit);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.assignment[1]);
+
+  Cnf contradiction;
+  contradiction.num_vars = 1;
+  contradiction.AddClause({1});
+  contradiction.AddClause({-1});
+  EXPECT_FALSE(SolveSat(contradiction).satisfiable);
+
+  Cnf empty_clause;
+  empty_clause.num_vars = 1;
+  empty_clause.AddClause({});
+  EXPECT_FALSE(SolveSat(empty_clause).satisfiable);
+}
+
+TEST(SatSolverTest, PigeonholeIsUnsat) {
+  // 3 pigeons, 2 holes: p_{i,h} = var i*2 + h + 1.
+  Cnf cnf;
+  cnf.num_vars = 6;
+  auto var = [](int pigeon, int hole) { return pigeon * 2 + hole + 1; };
+  for (int pigeon = 0; pigeon < 3; ++pigeon) {
+    cnf.AddClause({var(pigeon, 0), var(pigeon, 1)});
+  }
+  for (int hole = 0; hole < 2; ++hole) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        cnf.AddClause({-var(i, hole), -var(j, hole)});
+      }
+    }
+  }
+  EXPECT_FALSE(SolveSat(cnf).satisfiable);
+}
+
+TEST(SatSolverTest, AgreesWithBruteForceOnRandomInstances) {
+  Rng rng(606);
+  for (int round = 0; round < 150; ++round) {
+    int n = 3 + static_cast<int>(rng.NextBelow(6));
+    int m = 1 + static_cast<int>(rng.NextBelow(20));
+    Cnf cnf = RandomCnf(n, m, 3, &rng);
+    EXPECT_EQ(SolveSat(cnf).satisfiable, BruteForceSat(cnf).satisfiable);
+  }
+}
+
+TEST(CardinalityTest, AtMostKCountsCorrectly) {
+  Rng rng(9);
+  for (int round = 0; round < 60; ++round) {
+    int n = 2 + static_cast<int>(rng.NextBelow(5));
+    int k = static_cast<int>(rng.NextBelow(n + 1));
+    // Force a specific subset true and the rest false; at-most-k must be
+    // satisfiable iff |subset| ≤ k.
+    uint64_t mask = rng.NextBelow(uint64_t{1} << n);
+    Cnf cnf;
+    cnf.num_vars = n;
+    std::vector<Lit> lits;
+    int true_count = 0;
+    for (int v = 1; v <= n; ++v) {
+      lits.push_back(v);
+      if ((mask >> (v - 1)) & 1) {
+        cnf.AddClause({v});
+        ++true_count;
+      } else {
+        cnf.AddClause({-v});
+      }
+    }
+    AddAtMostK(&cnf, lits, k);
+    EXPECT_EQ(SolveSat(cnf).satisfiable, true_count <= k)
+        << "n=" << n << " k=" << k << " true=" << true_count;
+  }
+}
+
+TEST(CardinalityTest, AtLeastKCountsCorrectly) {
+  Rng rng(10);
+  for (int round = 0; round < 60; ++round) {
+    int n = 2 + static_cast<int>(rng.NextBelow(5));
+    int k = static_cast<int>(rng.NextBelow(n + 2));
+    uint64_t mask = rng.NextBelow(uint64_t{1} << n);
+    Cnf cnf;
+    cnf.num_vars = n;
+    std::vector<Lit> lits;
+    int true_count = 0;
+    for (int v = 1; v <= n; ++v) {
+      lits.push_back(v);
+      if ((mask >> (v - 1)) & 1) {
+        cnf.AddClause({v});
+        ++true_count;
+      } else {
+        cnf.AddClause({-v});
+      }
+    }
+    AddAtLeastK(&cnf, lits, k);
+    EXPECT_EQ(SolveSat(cnf).satisfiable, true_count >= k);
+  }
+}
+
+TEST(CardinalityTest, PhiAtLeastKSweepFindsMaximum) {
+  // ϕ = (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2) — max true vars of a model is 2 (x3 free).
+  Cnf phi;
+  phi.num_vars = 3;
+  phi.AddClause({1, 2});
+  phi.AddClause({-1, -2});
+  EXPECT_TRUE(SolveSat(PhiAtLeastK(phi, 2)).satisfiable);
+  EXPECT_FALSE(SolveSat(PhiAtLeastK(phi, 3)).satisfiable);
+}
+
+TEST(ColoringTest, ChromaticNumbers) {
+  EXPECT_EQ(ChromaticNumber(CompleteGraph(1)), 1);
+  EXPECT_EQ(ChromaticNumber(CompleteGraph(4)), 4);
+
+  // A 5-cycle needs 3 colors.
+  SimpleGraph c5;
+  c5.n = 5;
+  for (int i = 0; i < 5; ++i) c5.edges.emplace_back(i, (i + 1) % 5);
+  EXPECT_EQ(ChromaticNumber(c5), 3);
+
+  // A path is 2-colorable.
+  SimpleGraph path;
+  path.n = 4;
+  for (int i = 0; i < 3; ++i) path.edges.emplace_back(i, i + 1);
+  EXPECT_EQ(ChromaticNumber(path), 2);
+
+  // Edgeless graph: 1 color.
+  SimpleGraph edgeless;
+  edgeless.n = 3;
+  EXPECT_EQ(ChromaticNumber(edgeless), 1);
+}
+
+TEST(ColoringTest, ColorabilityCnfMatchesBruteForce) {
+  Rng rng(12);
+  for (int round = 0; round < 20; ++round) {
+    SimpleGraph g = RandomSimpleGraph(5, 0.5, &rng);
+    for (int k = 1; k <= 4; ++k) {
+      Cnf cnf = ColorabilityToCnf(g, k);
+      // Brute-force coloring check.
+      bool colorable = false;
+      int total = 1;
+      for (int i = 0; i < g.n; ++i) total *= k;
+      for (int code = 0; code < total && !colorable; ++code) {
+        int c = code;
+        std::vector<int> color(g.n);
+        for (int i = 0; i < g.n; ++i) {
+          color[i] = c % k;
+          c /= k;
+        }
+        bool ok = true;
+        for (const auto& [u, v] : g.edges) {
+          if (color[u] == color[v]) {
+            ok = false;
+            break;
+          }
+        }
+        colorable = ok;
+      }
+      EXPECT_EQ(SolveSat(cnf).satisfiable, colorable);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,86 @@
+#include "transform/select_free.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class SelectFreeTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(SelectFreeTest, RemovesEverySelect) {
+  PatternPtr p = Parse(
+      "(SELECT {?x} WHERE ((?x a ?y) AND (SELECT {?y} WHERE (?y b ?z))))");
+  PatternPtr sf = SelectFreeVersion(p, &dict_);
+  EXPECT_FALSE(sf->Uses(PatternKind::kSelect));
+}
+
+TEST_F(SelectFreeTest, ProjectedVariablesKeepTheirNames) {
+  PatternPtr p = Parse("(SELECT {?x} WHERE (?x a ?y))");
+  PatternPtr sf = SelectFreeVersion(p, &dict_);
+  VarId x = dict_.FindVar("x");
+  VarId y = dict_.FindVar("y");
+  const std::vector<VarId>& vars = sf->Vars();
+  EXPECT_TRUE(std::binary_search(vars.begin(), vars.end(), x));
+  // ?y was projected away: it must have been renamed.
+  EXPECT_FALSE(std::binary_search(vars.begin(), vars.end(), y));
+}
+
+// Lemma F.2: µ ∈ ⟦P⟧G iff some µ' ∈ ⟦P_sf⟧G has µ ⪯ µ' and
+// dom(µ) = dom(µ') ∩ var(P).
+TEST_F(SelectFreeTest, LemmaF2OnRandomPatterns) {
+  Rng rng(61);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = spec.allow_select = true;
+  spec.allow_minus = spec.allow_ns = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 60; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    PatternPtr sf = SelectFreeVersion(p, &dict_);
+    const std::vector<VarId>& pvars = p->Vars();
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+      MappingSet rp = EvalPattern(g, p);
+      MappingSet rsf = EvalPattern(g, sf);
+      // Forward: every µ has a witness µ'.
+      for (const Mapping& m : rp) {
+        bool found = false;
+        for (const Mapping& mp : rsf) {
+          if (m.SubsumedBy(mp) && m.Domain() == mp.RestrictTo(pvars).Domain()) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+      // Backward: restricting any µ' to var(P) gives an answer of P.
+      for (const Mapping& mp : rsf) {
+        EXPECT_TRUE(rp.Contains(mp.RestrictTo(pvars)));
+      }
+    }
+  }
+}
+
+TEST_F(SelectFreeTest, SelectFreePatternUnchanged) {
+  PatternPtr p = Parse("(?x a ?y) OPT (?y b ?z)");
+  PatternPtr sf = SelectFreeVersion(p, &dict_);
+  EXPECT_TRUE(Pattern::Equal(p, sf));
+}
+
+}  // namespace
+}  // namespace rdfql

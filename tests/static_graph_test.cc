@@ -1,0 +1,80 @@
+#include "rdf/static_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rdfql {
+namespace {
+
+TEST(StaticGraphTest, BuildAndContains) {
+  Graph g;
+  g.Insert(1, 2, 3);
+  g.Insert(1, 2, 4);
+  g.Insert(5, 6, 1);
+  StaticGraph sg = StaticGraph::Build(g);
+  EXPECT_EQ(sg.size(), 3u);
+  EXPECT_TRUE(sg.Contains(Triple(1, 2, 3)));
+  EXPECT_FALSE(sg.Contains(Triple(1, 2, 5)));
+  EXPECT_FALSE(sg.Contains(Triple(1, 9, 3)));  // unseen predicate
+}
+
+TEST(StaticGraphTest, EmptyGraph) {
+  StaticGraph sg = StaticGraph::Build(Graph());
+  EXPECT_TRUE(sg.empty());
+  EXPECT_EQ(sg.CountMatches(kInvalidTermId, kInvalidTermId, kInvalidTermId),
+            0u);
+}
+
+TEST(StaticGraphTest, RoundTripsToGraph) {
+  Rng rng(1);
+  Graph g;
+  for (int i = 0; i < 60; ++i) {
+    g.Insert(rng.NextBelow(6), rng.NextBelow(4), rng.NextBelow(6));
+  }
+  StaticGraph sg = StaticGraph::Build(g);
+  EXPECT_EQ(sg.ToGraph(), g);
+}
+
+// Every probe shape must agree with the mutable graph's index paths.
+TEST(StaticGraphTest, MatchAgreesWithGraphOnAllProbeShapes) {
+  Rng rng(2);
+  for (int round = 0; round < 25; ++round) {
+    Graph g;
+    int n = static_cast<int>(rng.NextBelow(80));
+    for (int i = 0; i < n; ++i) {
+      g.Insert(rng.NextBelow(6), rng.NextBelow(4), rng.NextBelow(6));
+    }
+    StaticGraph sg = StaticGraph::Build(g);
+    for (int probe = 0; probe < 40; ++probe) {
+      TermId s = rng.NextBool(0.5) ? rng.NextBelow(7) : kInvalidTermId;
+      TermId p = rng.NextBool(0.5) ? rng.NextBelow(5) : kInvalidTermId;
+      TermId o = rng.NextBool(0.5) ? rng.NextBelow(7) : kInvalidTermId;
+      // Counts agree...
+      EXPECT_EQ(sg.CountMatches(s, p, o), g.CountMatches(s, p, o));
+      // ... and the emitted triples are identical as sets.
+      Graph from_static;
+      sg.Match(s, p, o, [&from_static](const Triple& t) {
+        from_static.Insert(t);
+      });
+      Graph from_mutable;
+      g.Match(s, p, o, [&from_mutable](const Triple& t) {
+        from_mutable.Insert(t);
+      });
+      EXPECT_EQ(from_static, from_mutable);
+    }
+  }
+}
+
+TEST(StaticGraphTest, ObjectOrientedProbeUsesObjectIndex) {
+  Graph g;
+  for (TermId s = 0; s < 50; ++s) g.Insert(s, 100, 7);
+  g.Insert(3, 100, 8);
+  StaticGraph sg = StaticGraph::Build(g);
+  EXPECT_EQ(sg.CountMatches(kInvalidTermId, 100, 7), 50u);
+  EXPECT_EQ(sg.CountMatches(kInvalidTermId, 100, 8), 1u);
+  EXPECT_EQ(sg.CountMatches(3, 100, kInvalidTermId), 2u);
+}
+
+}  // namespace
+}  // namespace rdfql

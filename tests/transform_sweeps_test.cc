@@ -1,0 +1,145 @@
+// Parameterized transformation sweeps: every semantics-preserving rewrite
+// in src/transform run over each applicable fragment × several seeds,
+// checked against the evaluator. Complements the per-transformation unit
+// tests with broad cross-fragment coverage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/monotonicity.h"
+#include "eval/evaluator.h"
+#include "transform/ns_elimination.h"
+#include "transform/opt_rewriter.h"
+#include "transform/select_free.h"
+#include "transform/union_normal_form.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+struct SweepFragment {
+  const char* name;
+  bool opt;
+  bool filter;
+  bool select;
+  bool minus;
+  bool ns;
+};
+
+constexpr SweepFragment kSweepFragments[] = {
+    {"AUF", false, true, false, false, false},
+    {"AUOF", true, true, false, false, false},
+    {"AUOFS", true, true, true, false, false},
+    {"AUOFS_minus", true, true, true, true, false},
+    {"NS_SPARQL", true, true, true, true, true},
+};
+
+using Param = std::tuple<int, uint64_t>;
+
+class TransformSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  TransformSweep() {
+    const SweepFragment& f = kSweepFragments[std::get<0>(GetParam())];
+    spec_.allow_opt = f.opt;
+    spec_.allow_filter = f.filter;
+    spec_.allow_select = f.select;
+    spec_.allow_minus = f.minus;
+    spec_.allow_ns = f.ns;
+    spec_.max_depth = 3;
+  }
+
+  // Runs `count` random (pattern, graph ×4) probes of `rewrite`, skipping
+  // patterns where the rewrite reports ResourceExhausted.
+  template <typename Rewrite>
+  void CheckPreserves(const Rewrite& rewrite, int count) {
+    Rng rng(std::get<1>(GetParam()));
+    int checked = 0;
+    for (int i = 0; i < count * 4 && checked < count; ++i) {
+      PatternPtr p = GenerateRandomPattern(spec_, &dict_, &rng);
+      Result<PatternPtr> q = rewrite(p);
+      if (!q.ok()) {
+        ASSERT_EQ(q.status().code(), StatusCode::kResourceExhausted);
+        continue;
+      }
+      ++checked;
+      for (int trial = 0; trial < 4; ++trial) {
+        Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "ts");
+        EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, q.value()));
+      }
+    }
+    EXPECT_GE(checked, count / 2);
+  }
+
+  Dictionary dict_;
+  PatternGenSpec spec_;
+};
+
+TEST_P(TransformSweep, UnionNormalFormPreserves) {
+  // UNF requires NS-free input: eliminate NS first when the fragment has
+  // it (which also makes this a compositional test).
+  CheckPreserves(
+      [this](const PatternPtr& p) -> Result<PatternPtr> {
+        NormalFormLimits limits;
+        limits.max_disjuncts = 3000;
+        RDFQL_ASSIGN_OR_RETURN(PatternPtr ns_free, EliminateNs(p, limits));
+        RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> disjuncts,
+                               UnionNormalForm(ns_free, limits));
+        return Pattern::UnionAll(disjuncts);
+      },
+      15);
+}
+
+TEST_P(TransformSweep, NsEliminationPreserves) {
+  CheckPreserves(
+      [](const PatternPtr& p) -> Result<PatternPtr> {
+        NormalFormLimits limits;
+        limits.max_disjuncts = 3000;
+        return EliminateNs(p, limits);
+      },
+      15);
+}
+
+TEST_P(TransformSweep, MinusDesugaringPreserves) {
+  CheckPreserves(
+      [this](const PatternPtr& p) -> Result<PatternPtr> {
+        return DesugarMinus(p, &dict_);
+      },
+      15);
+}
+
+TEST_P(TransformSweep, SelectFreeVersionSatisfiesLemmaF2Projection) {
+  // Projection form of Lemma F.2: restricting the SELECT-free answers to
+  // var(P) yields exactly the original answers.
+  Rng rng(std::get<1>(GetParam()) + 7);
+  for (int i = 0; i < 15; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec_, &dict_, &rng);
+    PatternPtr sf = SelectFreeVersion(p, &dict_);
+    for (int trial = 0; trial < 3; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "sf");
+      MappingSet expected = EvalPattern(g, p);
+      MappingSet projected;
+      for (const Mapping& m : EvalPattern(g, sf)) {
+        projected.Add(m.RestrictTo(p->Vars()));
+      }
+      EXPECT_EQ(projected, expected);
+    }
+  }
+}
+
+std::string SweepParamName(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(kSweepFragments[std::get<0>(info.param)].name) +
+         "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFragments, TransformSweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(uint64_t{3}, uint64_t{19})),
+    SweepParamName);
+
+}  // namespace
+}  // namespace rdfql

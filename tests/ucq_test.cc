@@ -1,0 +1,155 @@
+// Tests of the UCQ normalization (Lemma C.7) and the UCQ → SPARQL
+// translation (Theorem C.8), including the full Appendix C round trip
+//   P ∈ SPARQL[AUFS]  →  ϕ_P  →  UCQ≠  →  Q ∈ SPARQL[AUFS]
+// which must preserve ⟦·⟧G on (non-empty) graphs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "eval/evaluator.h"
+#include "fo/fo_eval.h"
+#include "fo/sparql_to_fo.h"
+#include "fo/structure.h"
+#include "fo/ucq.h"
+#include "fo/ucq_to_sparql.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class UcqTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+// Lemma C.7 output shape: no Dom atoms (by construction of the types), and
+// UcqToFormula must agree with the source formula on RDF structures.
+TEST_F(UcqTest, NormalizationAgreesWithSourceFormula) {
+  Rng rng(17);
+  PatternGenSpec spec;
+  spec.allow_filter = true;
+  spec.allow_select = true;
+  spec.max_depth = 2;
+  spec.num_vars = 3;
+  int checked = 0;
+  for (int i = 0; i < 60 && checked < 12; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (p->Vars().size() > 3) continue;
+    Result<FoFormulaPtr> phi = SparqlToFo(p);
+    ASSERT_TRUE(phi.ok());
+    if ((*phi)->SizeInNodes() > 400) continue;
+    Result<Ucq> ucq = PositiveExistentialToUcq(*phi, p->Vars(), &dict_);
+    ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+    // FO model checking is exponential in the existential variables, so
+    // keep the round-trip instances small.
+    if (ucq->disjuncts.size() > 60) continue;
+    FoFormulaPtr back = UcqToFormula(*ucq);
+
+    Graph g = GenerateRandomGraph(5, 3, &dict_, &rng, "i");
+    if (g.empty()) continue;  // all-n disjuncts differ on the empty graph
+    ++checked;
+    FoStructure s(&g);
+    std::vector<TermId> universe = g.Iris();
+    universe.push_back(kNElement);
+    for (int probe = 0; probe < 6; ++probe) {
+      FoAssignment a;
+      for (VarId v : p->Vars()) a[v] = rng.Pick(universe);
+      EXPECT_EQ(FoEval(*phi, s, a), FoEval(back, s, a));
+    }
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST_F(UcqTest, RejectsNonPositiveExistential) {
+  // An OPT pattern produces genuine negation over T/Dom — the normalizer
+  // must refuse it.
+  PatternPtr p = Parse("(?x a ?y) OPT (?y b ?z)");
+  Result<FoFormulaPtr> phi = SparqlToFo(p);
+  ASSERT_TRUE(phi.ok());
+  Result<Ucq> ucq = PositiveExistentialToUcq(*phi, p->Vars(), &dict_);
+  EXPECT_FALSE(ucq.ok());
+  EXPECT_EQ(ucq.status().code(), StatusCode::kUnsupported);
+}
+
+// The full Appendix C round trip for AUFS patterns.
+TEST_F(UcqTest, AppendixCRoundTripPreservesSemantics) {
+  const char* queries[] = {
+      "(?x p ?y)",
+      "(?x p ?y) AND (?y p ?z)",
+      "(?x p ?y) UNION ((?x q ?z) AND (?z p c))",
+      "(SELECT {?x} WHERE (?x p ?y))",
+      "(SELECT {?x ?z} WHERE ((?x p ?y) AND (?y q ?z)))",
+      "((?x p ?y) FILTER !(?x = ?y)) UNION (?x q c)",
+      "((?x p ?y) FILTER (?x = a | ?y = b))",
+  };
+  Rng rng(29);
+  for (const char* query : queries) {
+    PatternPtr p = Parse(query);
+    Result<FoFormulaPtr> phi = SparqlToFo(p);
+    ASSERT_TRUE(phi.ok()) << query;
+    Result<Ucq> ucq = PositiveExistentialToUcq(*phi, p->Vars(), &dict_);
+    ASSERT_TRUE(ucq.ok()) << query << ": " << ucq.status().ToString();
+    Result<PatternPtr> q = UcqToSparql(*ucq, &dict_);
+    ASSERT_TRUE(q.ok()) << query;
+    EXPECT_TRUE(InFragment(q.value(), "AUFS")) << query;
+
+    for (int trial = 0; trial < 8; ++trial) {
+      Graph g = GenerateRandomGraph(10, 3, &dict_, &rng, "rt");
+      if (g.empty()) continue;
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, q.value())) << query;
+    }
+  }
+}
+
+TEST_F(UcqTest, RandomAufsRoundTrip) {
+  Rng rng(31);
+  PatternGenSpec spec;
+  spec.allow_filter = true;
+  spec.allow_select = true;
+  spec.max_depth = 2;
+  spec.num_vars = 3;
+  int checked = 0;
+  for (int i = 0; i < 60 && checked < 25; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (p->Vars().size() > 4) continue;
+    Result<FoFormulaPtr> phi = SparqlToFo(p);
+    if (!phi.ok()) continue;
+    Result<Ucq> ucq = PositiveExistentialToUcq(*phi, p->Vars(), &dict_);
+    if (!ucq.ok()) {
+      // Deep SELECT nestings legitimately exceed the normalization budget
+      // (the construction is exponential); skip those instances.
+      ASSERT_EQ(ucq.status().code(), StatusCode::kResourceExhausted);
+      continue;
+    }
+    if (ucq->disjuncts.size() > 400) continue;
+    Result<PatternPtr> q = UcqToSparql(*ucq, &dict_);
+    ASSERT_TRUE(q.ok());
+    ++checked;
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(9, 3, &dict_, &rng, "rr");
+      if (g.empty()) continue;
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, q.value()));
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST_F(UcqTest, EmptyUcqIsUnsatisfiablePattern) {
+  Ucq empty;
+  Result<PatternPtr> q = UcqToSparql(empty, &dict_);
+  ASSERT_TRUE(q.ok());
+  Rng rng(5);
+  Graph g = GenerateRandomGraph(6, 3, &dict_, &rng, "e");
+  EXPECT_TRUE(EvalPattern(g, q.value()).empty());
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,137 @@
+#include "transform/union_normal_form.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+
+namespace rdfql {
+namespace {
+
+class UnfTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(UnfTest, TripleIsItsOwnNormalForm) {
+  Result<std::vector<PatternPtr>> r = UnionNormalForm(Parse("(?x a ?y)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(UnfTest, DistributesUnionOverAnd) {
+  Result<std::vector<PatternPtr>> r = UnionNormalForm(
+      Parse("((?x a b) UNION (?x c d)) AND ((?x e f) UNION (?x g h))"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  for (const PatternPtr& d : *r) {
+    EXPECT_FALSE(d->Uses(PatternKind::kUnion));
+  }
+}
+
+TEST_F(UnfTest, OptSplitsIntoAndPlusMinus) {
+  Result<std::vector<PatternPtr>> r =
+      UnionNormalForm(Parse("(?x a b) OPT ((?x c ?y) UNION (?x d ?z))"));
+  ASSERT_TRUE(r.ok());
+  // 1×2 AND-disjuncts + 1 chained-MINUS disjunct.
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST_F(UnfTest, RejectsNsPatterns) {
+  Result<std::vector<PatternPtr>> r = UnionNormalForm(Parse("NS((?x a b))"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UnfTest, EnforcesDisjunctLimit) {
+  NormalFormLimits limits;
+  limits.max_disjuncts = 3;
+  Result<std::vector<PatternPtr>> r = UnionNormalForm(
+      Parse("((?x a b) UNION (?x c d)) AND ((?x e f) UNION (?x g h))"),
+      limits);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Prop D.1: the union of the disjuncts is equivalent to the input.
+TEST_F(UnfTest, PreservesSemanticsOnRandomPatterns) {
+  Rng rng(42);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = spec.allow_select = true;
+  spec.allow_minus = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 60; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    Result<std::vector<PatternPtr>> unf = UnionNormalForm(p);
+    ASSERT_TRUE(unf.ok()) << unf.status().ToString();
+    PatternPtr rebuilt = Pattern::UnionAll(*unf);
+    for (int trial = 0; trial < 5; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, rebuilt));
+    }
+  }
+}
+
+TEST_F(UnfTest, CertainVarsApproximatesFromBelow) {
+  EXPECT_EQ(CertainVars(Parse("(?x a ?y)")).size(), 2u);
+  EXPECT_EQ(CertainVars(Parse("(?x a ?y) OPT (?y b ?z)")).size(), 2u);
+  EXPECT_EQ(CertainVars(Parse("(?x a b) UNION (?y c d)")).size(), 0u);
+  EXPECT_EQ(CertainVars(Parse("(SELECT {?x} WHERE (?x a ?y))")).size(), 1u);
+}
+
+// CertainVars must be a lower bound of every answer's domain.
+TEST_F(UnfTest, CertainVarsIsSound) {
+  Rng rng(88);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = spec.allow_select = true;
+  spec.allow_minus = spec.allow_ns = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    std::vector<VarId> certain = CertainVars(p);
+    Graph g = GenerateRandomGraph(15, 4, &dict_, &rng, "i");
+    for (const Mapping& m : EvalPattern(g, p)) {
+      for (VarId v : certain) {
+        EXPECT_TRUE(m.Binds(v));
+      }
+    }
+  }
+}
+
+// Lemma D.2: the fixed-domain disjuncts partition every answer by domain.
+TEST_F(UnfTest, FixedDomainUnfPreservesSemanticsAndFixesDomains) {
+  Rng rng(7);
+  PatternGenSpec spec;
+  spec.allow_opt = spec.allow_filter = true;
+  spec.max_depth = 3;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    Result<std::vector<FixedDomainDisjunct>> fd =
+        FixedDomainUnionNormalForm(p);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+
+    Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+    // (1) every disjunct's answers bind exactly the annotated domain;
+    MappingSet all;
+    for (const FixedDomainDisjunct& d : *fd) {
+      MappingSet r = EvalPattern(g, d.pattern);
+      for (const Mapping& m : r) {
+        EXPECT_EQ(m.Domain(), d.domain);
+        all.Add(m);
+      }
+    }
+    // (2) the union over all disjuncts is the original evaluation.
+    EXPECT_EQ(all, EvalPattern(g, p));
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,103 @@
+#include "workload/university_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "analysis/well_designed.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+
+namespace rdfql {
+namespace {
+
+TEST(UniversityGeneratorTest, DeterministicAndScales) {
+  Dictionary dict;
+  UniversitySpec spec;
+  Graph g1 = GenerateUniversityGraph(spec, &dict);
+  Graph g2 = GenerateUniversityGraph(spec, &dict);
+  EXPECT_EQ(g1, g2);
+
+  UniversitySpec bigger = spec;
+  bigger.num_universities = 4;
+  EXPECT_GT(GenerateUniversityGraph(bigger, &dict).size(), g1.size());
+}
+
+TEST(UniversityGeneratorTest, SchemaShape) {
+  Dictionary dict;
+  UniversitySpec spec;
+  spec.num_universities = 1;
+  spec.departments_per_university = 2;
+  Graph g = GenerateUniversityGraph(spec, &dict);
+
+  // Two departments attached to the university.
+  EXPECT_EQ(g.CountMatches(kInvalidTermId,
+                           dict.FindIri("sub_organization_of"),
+                           dict.FindIri("u0")),
+            2u);
+  // Every professor has exactly one rank triple.
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, dict.FindIri("rank"),
+                           kInvalidTermId),
+            static_cast<size_t>(2 * spec.professors_per_department));
+  // Each course has exactly one teacher.
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, dict.FindIri("teaches"),
+                           kInvalidTermId),
+            static_cast<size_t>(2 * spec.courses_per_department));
+}
+
+TEST(UniversityGeneratorTest, OptionalDataRespectsProbabilities) {
+  Dictionary dict;
+  UniversitySpec none;
+  none.email_probability = 0.0;
+  none.webpage_probability = 0.0;
+  none.advisor_probability = 0.0;
+  Graph g = GenerateUniversityGraph(none, &dict);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, dict.FindIri("email"),
+                           kInvalidTermId),
+            0u);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, dict.FindIri("advisor"),
+                           kInvalidTermId),
+            0u);
+
+  UniversitySpec all;
+  all.advisor_probability = 1.0;
+  Graph g2 = GenerateUniversityGraph(all, &dict);
+  size_t students = g2.CountMatches(
+      kInvalidTermId, dict.FindIri("studies_at"), kInvalidTermId);
+  EXPECT_EQ(g2.CountMatches(kInvalidTermId, dict.FindIri("advisor"),
+                            kInvalidTermId),
+            students);
+}
+
+TEST(UniversityGeneratorTest, QueryMixParsesAndClassifies) {
+  Dictionary dict;
+  Graph g = GenerateUniversityGraph(UniversitySpec{}, &dict);
+  for (const NamedUniversityQuery& q : UniversityQueryMix()) {
+    Result<PatternPtr> p = ParsePattern(q.text, &dict);
+    ASSERT_TRUE(p.ok()) << q.name << ": " << p.status().ToString();
+    MappingSet r = EvalPattern(g, p.value());
+    EXPECT_FALSE(r.empty()) << q.name << " should match the default graph";
+  }
+  // The fragment labels behind the mix's design.
+  auto mix = UniversityQueryMix();
+  Result<PatternPtr> wd = ParsePattern(mix[2].text, &dict);
+  ASSERT_TRUE(wd.ok());
+  EXPECT_TRUE(IsWellDesigned(wd.value()));
+  Result<PatternPtr> sp = ParsePattern(mix[4].text, &dict);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_TRUE(IsSimplePattern(sp.value()));
+}
+
+TEST(UniversityGeneratorTest, OptAndSimpleFormsAgree) {
+  // The mix's OPT advisor query and its NS (simple-pattern) form produce
+  // identical answers — the paper's §5.1 encoding on realistic data.
+  Dictionary dict;
+  Graph g = GenerateUniversityGraph(UniversitySpec{}, &dict);
+  auto mix = UniversityQueryMix();
+  Result<PatternPtr> wd = ParsePattern(mix[2].text, &dict);
+  Result<PatternPtr> sp = ParsePattern(mix[4].text, &dict);
+  ASSERT_TRUE(wd.ok() && sp.ok());
+  EXPECT_EQ(EvalPattern(g, wd.value()), EvalPattern(g, sp.value()));
+}
+
+}  // namespace
+}  // namespace rdfql

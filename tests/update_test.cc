@@ -1,0 +1,176 @@
+#include "update/update.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "rdf/ntriples.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+
+namespace rdfql {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Graph Load(const char* text) {
+    Graph g;
+    Status st = ParseNTriples(text, &dict_, &g);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return g;
+  }
+  TriplePattern Tp(const char* s, const char* p, const char* o) {
+    auto term = [this](const char* x) {
+      if (x[0] == '?') return Term::Var(dict_.InternVar(x + 1));
+      return Term::Iri(dict_.InternIri(x));
+    };
+    return TriplePattern(term(s), term(p), term(o));
+  }
+  Dictionary dict_;
+};
+
+TEST_F(UpdateTest, InsertAndDeleteData) {
+  Graph g;
+  Triple t(dict_.InternIri("a"), dict_.InternIri("p"), dict_.InternIri("b"));
+  EXPECT_EQ(InsertData(&g, {t, t}), 1u);  // set semantics
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(DeleteData(&g, {t}), 1u);
+  EXPECT_EQ(DeleteData(&g, {t}), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST_F(UpdateTest, InsertWhereMaterializesView) {
+  Graph g = Load("a knows b .\nb knows c .");
+  size_t added = InsertWhere(&g, {Tp("?y", "known_by", "?x")},
+                             Parse("(?x knows ?y)"));
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(g.Contains(Triple(dict_.FindIri("b"),
+                                dict_.FindIri("known_by"),
+                                dict_.FindIri("a"))));
+  // Idempotent on re-run (set semantics).
+  EXPECT_EQ(InsertWhere(&g, {Tp("?y", "known_by", "?x")},
+                        Parse("(?x knows ?y)")),
+            0u);
+}
+
+TEST_F(UpdateTest, InsertWhereUsesSnapshotSemantics) {
+  // Inserting (?y knows ?z) for every (?x knows ?y)(?y knows ?z) chain
+  // must not consume its own output (no transitive-closure runaway in one
+  // call).
+  Graph g = Load("a knows b .\nb knows c .\nc knows d .");
+  size_t added =
+      InsertWhere(&g, {Tp("?x", "knows", "?z")},
+                  Parse("(?x knows ?y) AND (?y knows ?z)"));
+  EXPECT_EQ(added, 2u);  // a->c and b->d, but NOT a->d
+  EXPECT_FALSE(g.Contains(Triple(dict_.FindIri("a"), dict_.FindIri("knows"),
+                                 dict_.FindIri("d"))));
+}
+
+TEST_F(UpdateTest, DeleteWhereRemovesMatches) {
+  Graph g = Load("a born chile .\na email m .\nb born chile .");
+  // Forget every email of people born in Chile.
+  size_t removed = DeleteWhere(
+      &g, {Tp("?x", "email", "?e")},
+      Parse("(?x born chile) AND (?x email ?e)"));
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST_F(UpdateTest, DeleteWhereWithOptionalTemplateVars) {
+  // Template triples whose variables are unbound in an answer are skipped,
+  // like CONSTRUCT.
+  Graph g = Load("a born chile .\na email m .\nb born chile .");
+  size_t removed = DeleteWhere(
+      &g, {Tp("?x", "email", "?e"), Tp("?x", "born", "chile")},
+      Parse("(?x born chile) OPT (?x email ?e)"));
+  // Removes both born triples and a's email.
+  EXPECT_EQ(removed, 3u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST_F(UpdateTest, InsertThenDeleteRoundTrip) {
+  Rng rng(5);
+  Graph g = GenerateRandomGraph(20, 5, &dict_, &rng, "u");
+  Graph original = g;
+  PatternPtr all = Parse("(?s ?p ?o)");
+  std::vector<TriplePattern> mirror = {Tp("?o", "mirror", "?s")};
+  size_t added = InsertWhere(&g, mirror, all);
+  EXPECT_GT(added, 0u);
+  // Deleting with the same template over the *mirror* pattern restores
+  // the original graph.
+  size_t removed = DeleteWhere(
+      &g, {Tp("?o", "mirror", "?s")},
+      Parse("(?o mirror ?s)"));
+  EXPECT_EQ(removed, added);
+  EXPECT_EQ(g, original);
+}
+
+TEST_F(UpdateTest, BindVarsPreparedQueries) {
+  Graph g = Load("a p b .\nc p d .\na q x .");
+  PatternPtr templ = Parse("(?s p ?o) AND (?s q ?t)");
+  VarId s = dict_.FindVar("s");
+  // Bind ?s := a.
+  PatternPtr bound =
+      Pattern::BindVars(templ, {{s, dict_.FindIri("a")}});
+  // ?s no longer occurs.
+  const std::vector<VarId>& vars = bound->Vars();
+  EXPECT_FALSE(std::binary_search(vars.begin(), vars.end(), s));
+  // Answers = projections of the original answers extending [s→a].
+  MappingSet r = EvalPattern(g, bound);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Mapping::FromBindings(
+      {{dict_.FindVar("o"), dict_.FindIri("b")},
+       {dict_.FindVar("t"), dict_.FindIri("x")}})));
+}
+
+TEST_F(UpdateTest, BindVarsSemanticsOnRandomAufPatterns) {
+  Rng rng(99);
+  for (int i = 0; i < 30; ++i) {
+    // Build a small AUF pattern over ?v0..?v2 and bind ?v0 to a random IRI.
+    Dictionary& d = dict_;
+    PatternPtr p = Parse(
+        "((?v0 e" + std::to_string(i % 3) + " ?v1) UNION "
+        "((?v0 e" + std::to_string(i % 2) + " ?v1) AND (?v1 f ?v2))) "
+        "FILTER !(?v0 = ?v1)");
+    Graph g = GenerateRandomGraph(14, 3, &d, &rng, "bv");
+    TermId c = d.InternIri("bv_" + std::to_string(rng.NextBelow(3)));
+    VarId v0 = d.FindVar("v0");
+    PatternPtr bound = Pattern::BindVars(p, {{v0, c}});
+
+    // Expected: answers of P extending [v0→c], with v0 dropped.
+    MappingSet expected;
+    for (const Mapping& m : EvalPattern(g, p)) {
+      std::optional<TermId> value = m.Get(v0);
+      if (value.has_value() && *value == c) {
+        std::vector<VarId> rest;
+        for (VarId v : p->Vars()) {
+          if (v != v0) rest.push_back(v);
+        }
+        expected.Add(m.RestrictTo(rest));
+      }
+    }
+    EXPECT_EQ(EvalPattern(g, bound), expected) << i;
+  }
+}
+
+TEST_F(UpdateTest, BindVarsPartialFilterEvaluation) {
+  VarId x = dict_.InternVar("bx");
+  VarId y = dict_.InternVar("by");
+  TermId c = dict_.InternIri("bc");
+  PatternPtr p = Pattern::Filter(
+      Pattern::MakeTriple(Term::Var(x), Term::Iri(dict_.InternIri("p")),
+                          Term::Var(y)),
+      Builtin::And(Builtin::Bound(x), Builtin::EqVars(x, y)));
+  PatternPtr bound = Pattern::BindVars(p, {{x, c}});
+  // bound(?x) folded to true; ?x = ?y became ?y = bc.
+  ASSERT_EQ(bound->kind(), PatternKind::kFilter);
+  EXPECT_EQ(bound->condition()->kind(), Builtin::Kind::kEqConst);
+  EXPECT_EQ(bound->condition()->constant(), c);
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,105 @@
+#include "eval/wd_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/well_designed.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "rdf/ntriples.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+class WdEvaluatorTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Graph Load(const char* text) {
+    Graph g;
+    Status st = ParseNTriples(text, &dict_, &g);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return g;
+  }
+  Dictionary dict_;
+};
+
+TEST_F(WdEvaluatorTest, RejectsNonWellDesigned) {
+  Graph g;
+  Result<MappingSet> r =
+      EvalWellDesignedTopDown(g, Parse(scenarios::Example33Query()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WdEvaluatorTest, MatchesBottomUpOnExample31) {
+  Graph g1 = scenarios::ChileGraphG1(&dict_);
+  Graph g2 = scenarios::ChileGraphG2(&dict_);
+  PatternPtr p = Parse(scenarios::Example31Query());
+  Result<MappingSet> r1 = EvalWellDesignedTopDown(g1, p);
+  Result<MappingSet> r2 = EvalWellDesignedTopDown(g2, p);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(*r1, EvalPattern(g1, p));
+  EXPECT_EQ(*r2, EvalPattern(g2, p));
+}
+
+TEST_F(WdEvaluatorTest, MultipleOptionalExtensionsAreAllKept) {
+  // Two emails for one person: ⟕ keeps both combinations.
+  Graph g = Load("a born chile .\na email m1 .\na email m2 .");
+  PatternPtr p = Parse("(?x born chile) OPT (?x email ?e)");
+  Result<MappingSet> r = EvalWellDesignedTopDown(g, p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(*r, EvalPattern(g, p));
+}
+
+TEST_F(WdEvaluatorTest, SiblingChildrenExtendIndependently) {
+  Graph g = Load("a born chile .\na email m .\nb born chile .\nb phone t .");
+  PatternPtr p = Parse(
+      "((?x born chile) OPT (?x email ?e)) OPT (?x phone ?t)");
+  Result<MappingSet> r = EvalWellDesignedTopDown(g, p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, EvalPattern(g, p));
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(WdEvaluatorTest, NestedChildrenSeedBindings) {
+  Graph g = Load("a born chile .\na works org .\norg in city .");
+  PatternPtr p = Parse(
+      "(?x born chile) OPT ((?x works ?o) OPT (?o in ?c))");
+  Result<MappingSet> r = EvalWellDesignedTopDown(g, p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, EvalPattern(g, p));
+}
+
+// The main property: agreement with the bottom-up engine on random
+// well-designed patterns and random graphs.
+TEST_F(WdEvaluatorTest, DifferentialAgainstBottomUp) {
+  Rng rng(777);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 4;
+  int tested = 0;
+  for (int i = 0; i < 400 && tested < 60; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    ++tested;
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(16, 4, &dict_, &rng, "wd");
+      Result<MappingSet> top_down = EvalWellDesignedTopDown(g, p);
+      ASSERT_TRUE(top_down.ok());
+      EXPECT_EQ(*top_down, EvalPattern(g, p));
+    }
+  }
+  EXPECT_GE(tested, 25);
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,148 @@
+#include "transform/wd_to_simple.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "analysis/well_designed.h"
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+#include "util/random.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+class WdToSimpleTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(WdToSimpleTest, RejectsNonWellDesigned) {
+  Result<PatternPtr> r =
+      WellDesignedToSimple(Parse(scenarios::Example33Query()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WdToSimpleTest, ProducesSimplePattern) {
+  Result<PatternPtr> r =
+      WellDesignedToSimple(Parse("(?x a ?y) OPT (?y b ?z)"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(IsSimplePattern(r.value()));
+}
+
+TEST_F(WdToSimpleTest, TreeStructure) {
+  Result<std::unique_ptr<WdTreeNode>> tree = BuildWdTree(
+      Parse("(((?x a ?y) AND (?y b ?z)) OPT (?z c ?w)) OPT (?x d ?v)"));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->triples.size(), 2u);
+  EXPECT_EQ((*tree)->children.size(), 2u);
+}
+
+TEST_F(WdToSimpleTest, SubtreeCountIsExponentialInChildren) {
+  // Root with two independent OPT children: 4 subtrees.
+  Result<PatternPtr> r = WellDesignedToAufUnion(
+      Parse("((?x a ?y) OPT (?x b ?z)) OPT (?x c ?w)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(TopLevelDisjuncts(r.value()).size(), 4u);
+}
+
+TEST_F(WdToSimpleTest, Example31Equivalence) {
+  PatternPtr p = Parse(scenarios::Example31Query());
+  Result<PatternPtr> simple = WellDesignedToSimple(p);
+  ASSERT_TRUE(simple.ok());
+  Graph g1 = scenarios::ChileGraphG1(&dict_);
+  Graph g2 = scenarios::ChileGraphG2(&dict_);
+  EXPECT_EQ(EvalPattern(g1, p), EvalPattern(g1, simple.value()));
+  EXPECT_EQ(EvalPattern(g2, p), EvalPattern(g2, simple.value()));
+}
+
+// Proposition 5.6 (constructive direction): P ≡ NS(∪ subtree CQs) for
+// well-designed P, verified over random patterns and graphs.
+TEST_F(WdToSimpleTest, EquivalenceOnRandomWellDesignedPatterns) {
+  Rng rng(56);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 3;
+  int tested = 0;
+  for (int i = 0; i < 400 && tested < 50; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    ++tested;
+    Result<PatternPtr> simple = WellDesignedToSimple(p);
+    ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+    for (int trial = 0; trial < 5; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "i");
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, simple.value()));
+    }
+  }
+  EXPECT_GE(tested, 20);
+}
+
+// Proposition A.1: every well-designed pattern is equivalent to one in
+// OPT normal form (left-deep OPT chain with an OPT-free head).
+TEST_F(WdToSimpleTest, OptNormalFormEquivalence) {
+  Rng rng(101);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.allow_filter = true;
+  spec.max_depth = 4;
+  int tested = 0;
+  for (int i = 0; i < 300 && tested < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    if (!IsWellDesigned(p)) continue;
+    ++tested;
+    Result<PatternPtr> nf = ToOptNormalForm(p);
+    ASSERT_TRUE(nf.ok());
+    // The head of the OPT chain is OPT-free.
+    const Pattern* head = nf.value().get();
+    while (head->kind() == PatternKind::kOpt) head = head->left().get();
+    EXPECT_FALSE(head->Uses(PatternKind::kOpt));
+    // The normal form is still well designed and equivalent.
+    EXPECT_TRUE(IsWellDesigned(nf.value()));
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "nf");
+      EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, nf.value()));
+    }
+  }
+  EXPECT_GE(tested, 15);
+}
+
+TEST_F(WdToSimpleTest, TreeRoundTrip) {
+  PatternPtr p = Parse(
+      "(((?x a ?y) AND (?y b ?z)) OPT (?z c ?w)) OPT (?x d ?v)");
+  Result<std::unique_ptr<WdTreeNode>> tree = BuildWdTree(p);
+  ASSERT_TRUE(tree.ok());
+  PatternPtr rebuilt = WdTreeToPattern(**tree);
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = GenerateRandomGraph(12, 4, &dict_, &rng, "rt");
+    EXPECT_EQ(EvalPattern(g, p), EvalPattern(g, rebuilt));
+  }
+}
+
+TEST_F(WdToSimpleTest, InnerUnionIsAuf) {
+  Result<PatternPtr> r = WellDesignedToAufUnion(
+      Parse("((?x a ?y) FILTER bound(?x)) OPT (?y b ?z)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(InFragment(r.value(), "AUF"));
+}
+
+TEST_F(WdToSimpleTest, EnforcesSubtreeLimit) {
+  Result<PatternPtr> r = WellDesignedToSimple(
+      Parse("(((?x a ?y) OPT (?x b ?z)) OPT (?x c ?w)) OPT (?x d ?v)"),
+      /*max_subtrees=*/3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,86 @@
+#include "analysis/well_designed.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+class WellDesignedTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const std::string& text) {
+    Result<PatternPtr> r = ParsePattern(text, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(WellDesignedTest, TriplesAndAndsAreWellDesigned) {
+  EXPECT_TRUE(IsWellDesigned(Parse("(?x a ?y)")));
+  EXPECT_TRUE(IsWellDesigned(Parse("(?x a ?y) AND (?y b ?z)")));
+}
+
+TEST_F(WellDesignedTest, Example31IsWellDesigned) {
+  EXPECT_TRUE(IsWellDesigned(Parse(scenarios::Example31Query())));
+}
+
+TEST_F(WellDesignedTest, Example33IsNotWellDesigned) {
+  // ?X appears in the OPT's right arm and outside the OPT, but not on the
+  // left (the paper's canonical violation).
+  std::string why;
+  EXPECT_FALSE(IsWellDesigned(Parse(scenarios::Example33Query()), &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST_F(WellDesignedTest, FilterSafetyCondition) {
+  // var(R) ⊆ var(P1) holds:
+  EXPECT_TRUE(IsWellDesigned(Parse("((?x a ?y) FILTER bound(?y))")));
+  // var(R) ⊈ var(P1):
+  EXPECT_FALSE(IsWellDesigned(Parse("((?x a ?y) FILTER bound(?z))")));
+}
+
+TEST_F(WellDesignedTest, NestedOptConditions) {
+  // Nested OPT where the inner optional variable stays local: fine.
+  EXPECT_TRUE(IsWellDesigned(
+      Parse("((?x a ?y) OPT ((?x b ?z) OPT (?z c ?w)))")));
+  // ?w leaks to a sibling branch: violation.
+  EXPECT_FALSE(IsWellDesigned(
+      Parse("(((?x a ?y) OPT (?x b ?w)) OPT (?x c ?w))")));
+  // Same variable on both OPT arms of *independent* OPTs under AND —
+  // violation (?z occurs outside each OPT without being on its left).
+  EXPECT_FALSE(IsWellDesigned(
+      Parse("((?x a ?y) OPT (?x b ?z)) AND ((?x c ?y) OPT (?x d ?z))")));
+}
+
+TEST_F(WellDesignedTest, OptVariableSharedWithLeftIsFine) {
+  EXPECT_TRUE(IsWellDesigned(
+      Parse("((?x a ?y) AND (?y b ?z)) OPT (?z c ?w)")));
+}
+
+TEST_F(WellDesignedTest, UnionPatternsAreNotWellDesignedPerDef34) {
+  EXPECT_FALSE(IsWellDesigned(Parse("(?x a ?y) UNION (?x b ?y)")));
+  EXPECT_FALSE(IsWellDesigned(Parse("NS((?x a ?y))")));
+  EXPECT_FALSE(IsWellDesigned(Parse("(SELECT {?x} WHERE (?x a ?y))")));
+}
+
+TEST_F(WellDesignedTest, UnionOfWellDesigned) {
+  EXPECT_TRUE(IsUnionOfWellDesigned(
+      Parse("((?x a ?y) OPT (?x b ?z)) UNION ((?x c ?y) OPT (?x d ?w))")));
+  EXPECT_FALSE(IsUnionOfWellDesigned(
+      Parse("((?x a ?y) OPT (?x b ?z)) UNION "
+            "((?u was c) AND ((?v was c) OPT (?v e ?u)))")));
+  // The Theorem 3.6 witness is in AUOF but not a union of well-designed
+  // patterns syntactically? It actually IS well designed as a single
+  // disjunct (OPT over a UNION is outside SPARQL[AOF], though).
+  EXPECT_FALSE(IsUnionOfWellDesigned(Parse(scenarios::Theorem36Witness())));
+}
+
+TEST_F(WellDesignedTest, Theorem35WitnessNotWellDesigned) {
+  EXPECT_FALSE(IsWellDesigned(Parse(scenarios::Theorem35Witness())));
+}
+
+}  // namespace
+}  // namespace rdfql

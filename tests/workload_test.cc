@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "analysis/fragments.h"
+#include "workload/graph_generator.h"
+#include "workload/pattern_generator.h"
+#include "workload/scenarios.h"
+
+namespace rdfql {
+namespace {
+
+TEST(GraphGeneratorTest, SocialGraphIsDeterministicAndScales) {
+  Dictionary dict;
+  SocialGraphSpec spec;
+  spec.num_people = 50;
+  Graph g1 = GenerateSocialGraph(spec, &dict);
+  Graph g2 = GenerateSocialGraph(spec, &dict);
+  EXPECT_EQ(g1, g2);
+  // Every person contributes at least name/birthplace/works_at triples.
+  EXPECT_GE(g1.size(), 150u);
+
+  spec.num_people = 100;
+  Graph bigger = GenerateSocialGraph(spec, &dict);
+  EXPECT_GT(bigger.size(), g1.size());
+}
+
+TEST(GraphGeneratorTest, EmailProbabilityControlsOptionalData) {
+  Dictionary dict;
+  SocialGraphSpec none;
+  none.email_probability = 0.0;
+  Graph g = GenerateSocialGraph(none, &dict);
+  TermId email = dict.InternIri("email");
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, email, kInvalidTermId), 0u);
+
+  SocialGraphSpec all;
+  all.email_probability = 1.0;
+  Graph g2 = GenerateSocialGraph(all, &dict);
+  EXPECT_EQ(g2.CountMatches(kInvalidTermId, email, kInvalidTermId),
+            static_cast<size_t>(all.num_people));
+}
+
+TEST(GraphGeneratorTest, RandomSubgraphIsSubset) {
+  Dictionary dict;
+  Rng rng(1);
+  Graph g = GenerateRandomGraph(100, 10, &dict, &rng);
+  Graph sub = RandomSubgraph(g, 0.5, &rng);
+  EXPECT_TRUE(sub.IsSubsetOf(g));
+  EXPECT_LT(sub.size(), g.size());
+}
+
+TEST(PatternGeneratorTest, RespectsFragmentSpec) {
+  Dictionary dict;
+  Rng rng(2);
+  PatternGenSpec spec;  // AND/UNION only by default
+  for (int i = 0; i < 100; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict, &rng);
+    EXPECT_TRUE(InFragment(p, "AU"));
+  }
+  spec.allow_opt = true;
+  spec.allow_ns = true;
+  bool saw_opt = false, saw_ns = false;
+  for (int i = 0; i < 200; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict, &rng);
+    saw_opt = saw_opt || p->Uses(PatternKind::kOpt);
+    saw_ns = saw_ns || p->Uses(PatternKind::kNs);
+  }
+  EXPECT_TRUE(saw_opt);
+  EXPECT_TRUE(saw_ns);
+}
+
+TEST(ScenariosTest, GraphsMatchTheFigures) {
+  Dictionary dict;
+  EXPECT_EQ(scenarios::PirateBayGraph(&dict).size(), 6u);
+  Graph g1 = scenarios::ChileGraphG1(&dict);
+  Graph g2 = scenarios::ChileGraphG2(&dict);
+  EXPECT_TRUE(g1.IsSubsetOf(g2));
+  EXPECT_EQ(g2.size(), g1.size() + 1);
+  EXPECT_EQ(scenarios::ProfessorsGraph(&dict).size(), 6u);
+}
+
+}  // namespace
+}  // namespace rdfql
