@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_complexity"
+  "../bench/bench_complexity.pdb"
+  "CMakeFiles/bench_complexity.dir/bench_complexity.cc.o"
+  "CMakeFiles/bench_complexity.dir/bench_complexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_construct"
+  "../bench/bench_construct.pdb"
+  "CMakeFiles/bench_construct.dir/bench_construct.cc.o"
+  "CMakeFiles/bench_construct.dir/bench_construct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

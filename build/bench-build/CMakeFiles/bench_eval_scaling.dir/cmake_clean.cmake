@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eval_scaling"
+  "../bench/bench_eval_scaling.pdb"
+  "CMakeFiles/bench_eval_scaling.dir/bench_eval_scaling.cc.o"
+  "CMakeFiles/bench_eval_scaling.dir/bench_eval_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

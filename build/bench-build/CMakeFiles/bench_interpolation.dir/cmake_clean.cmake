@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interpolation"
+  "../bench/bench_interpolation.pdb"
+  "CMakeFiles/bench_interpolation.dir/bench_interpolation.cc.o"
+  "CMakeFiles/bench_interpolation.dir/bench_interpolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ns_elimination"
+  "../bench/bench_ns_elimination.pdb"
+  "CMakeFiles/bench_ns_elimination.dir/bench_ns_elimination.cc.o"
+  "CMakeFiles/bench_ns_elimination.dir/bench_ns_elimination.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ns_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

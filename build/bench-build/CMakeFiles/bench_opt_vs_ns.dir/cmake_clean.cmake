@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_opt_vs_ns"
+  "../bench/bench_opt_vs_ns.pdb"
+  "CMakeFiles/bench_opt_vs_ns.dir/bench_opt_vs_ns.cc.o"
+  "CMakeFiles/bench_opt_vs_ns.dir/bench_opt_vs_ns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_vs_ns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_separations"
+  "../bench/bench_separations.pdb"
+  "CMakeFiles/bench_separations.dir/bench_separations.cc.o"
+  "CMakeFiles/bench_separations.dir/bench_separations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

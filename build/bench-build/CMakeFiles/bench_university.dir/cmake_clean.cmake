@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_university"
+  "../bench/bench_university.pdb"
+  "CMakeFiles/bench_university.dir/bench_university.cc.o"
+  "CMakeFiles/bench_university.dir/bench_university.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_university.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wd_to_simple"
+  "../bench/bench_wd_to_simple.pdb"
+  "CMakeFiles/bench_wd_to_simple.dir/bench_wd_to_simple.cc.o"
+  "CMakeFiles/bench_wd_to_simple.dir/bench_wd_to_simple.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wd_to_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_wd_to_simple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_wd_to_simple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construct_views.dir/construct_views.cc.o"
+  "CMakeFiles/construct_views.dir/construct_views.cc.o.d"
+  "construct_views"
+  "construct_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construct_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_world.dir/open_world.cc.o"
+  "CMakeFiles/open_world.dir/open_world.cc.o.d"
+  "open_world"
+  "open_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_doctor.dir/query_doctor.cc.o"
+  "CMakeFiles/query_doctor.dir/query_doctor.cc.o.d"
+  "query_doctor"
+  "query_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

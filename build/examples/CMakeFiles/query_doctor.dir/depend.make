@@ -1,0 +1,2 @@
+# Empty dependencies file for query_doctor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_shell.dir/rdfql_shell.cc.o"
+  "CMakeFiles/rdfql_shell.dir/rdfql_shell.cc.o.d"
+  "rdfql_shell"
+  "rdfql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

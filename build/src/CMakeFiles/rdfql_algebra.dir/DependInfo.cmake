@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/builtin.cc" "src/CMakeFiles/rdfql_algebra.dir/algebra/builtin.cc.o" "gcc" "src/CMakeFiles/rdfql_algebra.dir/algebra/builtin.cc.o.d"
+  "/root/repo/src/algebra/mapping.cc" "src/CMakeFiles/rdfql_algebra.dir/algebra/mapping.cc.o" "gcc" "src/CMakeFiles/rdfql_algebra.dir/algebra/mapping.cc.o.d"
+  "/root/repo/src/algebra/mapping_set.cc" "src/CMakeFiles/rdfql_algebra.dir/algebra/mapping_set.cc.o" "gcc" "src/CMakeFiles/rdfql_algebra.dir/algebra/mapping_set.cc.o.d"
+  "/root/repo/src/algebra/pattern.cc" "src/CMakeFiles/rdfql_algebra.dir/algebra/pattern.cc.o" "gcc" "src/CMakeFiles/rdfql_algebra.dir/algebra/pattern.cc.o.d"
+  "/root/repo/src/algebra/pattern_printer.cc" "src/CMakeFiles/rdfql_algebra.dir/algebra/pattern_printer.cc.o" "gcc" "src/CMakeFiles/rdfql_algebra.dir/algebra/pattern_printer.cc.o.d"
+  "/root/repo/src/algebra/result_io.cc" "src/CMakeFiles/rdfql_algebra.dir/algebra/result_io.cc.o" "gcc" "src/CMakeFiles/rdfql_algebra.dir/algebra/result_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_algebra.dir/algebra/builtin.cc.o"
+  "CMakeFiles/rdfql_algebra.dir/algebra/builtin.cc.o.d"
+  "CMakeFiles/rdfql_algebra.dir/algebra/mapping.cc.o"
+  "CMakeFiles/rdfql_algebra.dir/algebra/mapping.cc.o.d"
+  "CMakeFiles/rdfql_algebra.dir/algebra/mapping_set.cc.o"
+  "CMakeFiles/rdfql_algebra.dir/algebra/mapping_set.cc.o.d"
+  "CMakeFiles/rdfql_algebra.dir/algebra/pattern.cc.o"
+  "CMakeFiles/rdfql_algebra.dir/algebra/pattern.cc.o.d"
+  "CMakeFiles/rdfql_algebra.dir/algebra/pattern_printer.cc.o"
+  "CMakeFiles/rdfql_algebra.dir/algebra/pattern_printer.cc.o.d"
+  "CMakeFiles/rdfql_algebra.dir/algebra/result_io.cc.o"
+  "CMakeFiles/rdfql_algebra.dir/algebra/result_io.cc.o.d"
+  "librdfql_algebra.a"
+  "librdfql_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_analysis.dir/analysis/containment.cc.o"
+  "CMakeFiles/rdfql_analysis.dir/analysis/containment.cc.o.d"
+  "CMakeFiles/rdfql_analysis.dir/analysis/fragments.cc.o"
+  "CMakeFiles/rdfql_analysis.dir/analysis/fragments.cc.o.d"
+  "CMakeFiles/rdfql_analysis.dir/analysis/monotonicity.cc.o"
+  "CMakeFiles/rdfql_analysis.dir/analysis/monotonicity.cc.o.d"
+  "CMakeFiles/rdfql_analysis.dir/analysis/well_designed.cc.o"
+  "CMakeFiles/rdfql_analysis.dir/analysis/well_designed.cc.o.d"
+  "librdfql_analysis.a"
+  "librdfql_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

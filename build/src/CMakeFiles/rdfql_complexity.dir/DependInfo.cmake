@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/complexity/cardinality.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/cardinality.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/cardinality.cc.o.d"
+  "/root/repo/src/complexity/cnf.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/cnf.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/cnf.cc.o.d"
+  "/root/repo/src/complexity/coloring.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/coloring.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/coloring.cc.o.d"
+  "/root/repo/src/complexity/combiner.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/combiner.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/combiner.cc.o.d"
+  "/root/repo/src/complexity/hierarchy_reductions.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/hierarchy_reductions.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/hierarchy_reductions.cc.o.d"
+  "/root/repo/src/complexity/qbf.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/qbf.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/qbf.cc.o.d"
+  "/root/repo/src/complexity/sat_reduction.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/sat_reduction.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/sat_reduction.cc.o.d"
+  "/root/repo/src/complexity/sat_solver.cc" "src/CMakeFiles/rdfql_complexity.dir/complexity/sat_solver.cc.o" "gcc" "src/CMakeFiles/rdfql_complexity.dir/complexity/sat_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_complexity.dir/complexity/cardinality.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/cardinality.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/cnf.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/cnf.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/coloring.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/coloring.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/combiner.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/combiner.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/hierarchy_reductions.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/hierarchy_reductions.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/qbf.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/qbf.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/sat_reduction.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/sat_reduction.cc.o.d"
+  "CMakeFiles/rdfql_complexity.dir/complexity/sat_solver.cc.o"
+  "CMakeFiles/rdfql_complexity.dir/complexity/sat_solver.cc.o.d"
+  "librdfql_complexity.a"
+  "librdfql_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

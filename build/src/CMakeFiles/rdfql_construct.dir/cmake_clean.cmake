@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_construct.dir/construct/construct_query.cc.o"
+  "CMakeFiles/rdfql_construct.dir/construct/construct_query.cc.o.d"
+  "librdfql_construct.a"
+  "librdfql_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

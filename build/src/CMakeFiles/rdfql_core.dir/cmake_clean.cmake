@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_core.dir/core/engine.cc.o"
+  "CMakeFiles/rdfql_core.dir/core/engine.cc.o.d"
+  "librdfql_core.a"
+  "librdfql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

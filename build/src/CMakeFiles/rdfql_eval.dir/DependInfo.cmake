@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/rdfql_eval.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/rdfql_eval.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/explain.cc" "src/CMakeFiles/rdfql_eval.dir/eval/explain.cc.o" "gcc" "src/CMakeFiles/rdfql_eval.dir/eval/explain.cc.o.d"
+  "/root/repo/src/eval/ns.cc" "src/CMakeFiles/rdfql_eval.dir/eval/ns.cc.o" "gcc" "src/CMakeFiles/rdfql_eval.dir/eval/ns.cc.o.d"
+  "/root/repo/src/eval/reference_evaluator.cc" "src/CMakeFiles/rdfql_eval.dir/eval/reference_evaluator.cc.o" "gcc" "src/CMakeFiles/rdfql_eval.dir/eval/reference_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/rdfql_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/rdfql_eval.dir/eval/explain.cc.o"
+  "CMakeFiles/rdfql_eval.dir/eval/explain.cc.o.d"
+  "CMakeFiles/rdfql_eval.dir/eval/ns.cc.o"
+  "CMakeFiles/rdfql_eval.dir/eval/ns.cc.o.d"
+  "CMakeFiles/rdfql_eval.dir/eval/reference_evaluator.cc.o"
+  "CMakeFiles/rdfql_eval.dir/eval/reference_evaluator.cc.o.d"
+  "librdfql_eval.a"
+  "librdfql_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

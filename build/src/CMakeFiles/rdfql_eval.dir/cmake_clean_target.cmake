@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfql_eval.a"
+)

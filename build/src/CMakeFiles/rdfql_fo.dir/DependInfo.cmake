@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fo/fo_eval.cc" "src/CMakeFiles/rdfql_fo.dir/fo/fo_eval.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/fo_eval.cc.o.d"
+  "/root/repo/src/fo/formula.cc" "src/CMakeFiles/rdfql_fo.dir/fo/formula.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/formula.cc.o.d"
+  "/root/repo/src/fo/interpolant_search.cc" "src/CMakeFiles/rdfql_fo.dir/fo/interpolant_search.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/interpolant_search.cc.o.d"
+  "/root/repo/src/fo/sparql_to_fo.cc" "src/CMakeFiles/rdfql_fo.dir/fo/sparql_to_fo.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/sparql_to_fo.cc.o.d"
+  "/root/repo/src/fo/structure.cc" "src/CMakeFiles/rdfql_fo.dir/fo/structure.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/structure.cc.o.d"
+  "/root/repo/src/fo/ucq.cc" "src/CMakeFiles/rdfql_fo.dir/fo/ucq.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/ucq.cc.o.d"
+  "/root/repo/src/fo/ucq_to_sparql.cc" "src/CMakeFiles/rdfql_fo.dir/fo/ucq_to_sparql.cc.o" "gcc" "src/CMakeFiles/rdfql_fo.dir/fo/ucq_to_sparql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_fo.dir/fo/fo_eval.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/fo_eval.cc.o.d"
+  "CMakeFiles/rdfql_fo.dir/fo/formula.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/formula.cc.o.d"
+  "CMakeFiles/rdfql_fo.dir/fo/interpolant_search.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/interpolant_search.cc.o.d"
+  "CMakeFiles/rdfql_fo.dir/fo/sparql_to_fo.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/sparql_to_fo.cc.o.d"
+  "CMakeFiles/rdfql_fo.dir/fo/structure.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/structure.cc.o.d"
+  "CMakeFiles/rdfql_fo.dir/fo/ucq.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/ucq.cc.o.d"
+  "CMakeFiles/rdfql_fo.dir/fo/ucq_to_sparql.cc.o"
+  "CMakeFiles/rdfql_fo.dir/fo/ucq_to_sparql.cc.o.d"
+  "librdfql_fo.a"
+  "librdfql_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

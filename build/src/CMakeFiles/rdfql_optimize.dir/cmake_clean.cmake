@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_optimize.dir/optimize/optimizer.cc.o"
+  "CMakeFiles/rdfql_optimize.dir/optimize/optimizer.cc.o.d"
+  "CMakeFiles/rdfql_optimize.dir/optimize/stats.cc.o"
+  "CMakeFiles/rdfql_optimize.dir/optimize/stats.cc.o.d"
+  "librdfql_optimize.a"
+  "librdfql_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

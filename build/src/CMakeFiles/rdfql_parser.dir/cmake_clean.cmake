@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_parser.dir/parser/lexer.cc.o"
+  "CMakeFiles/rdfql_parser.dir/parser/lexer.cc.o.d"
+  "CMakeFiles/rdfql_parser.dir/parser/parser.cc.o"
+  "CMakeFiles/rdfql_parser.dir/parser/parser.cc.o.d"
+  "librdfql_parser.a"
+  "librdfql_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_rdf.dir/rdf/dictionary.cc.o"
+  "CMakeFiles/rdfql_rdf.dir/rdf/dictionary.cc.o.d"
+  "CMakeFiles/rdfql_rdf.dir/rdf/dot.cc.o"
+  "CMakeFiles/rdfql_rdf.dir/rdf/dot.cc.o.d"
+  "CMakeFiles/rdfql_rdf.dir/rdf/graph.cc.o"
+  "CMakeFiles/rdfql_rdf.dir/rdf/graph.cc.o.d"
+  "CMakeFiles/rdfql_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/rdfql_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/rdfql_rdf.dir/rdf/static_graph.cc.o"
+  "CMakeFiles/rdfql_rdf.dir/rdf/static_graph.cc.o.d"
+  "librdfql_rdf.a"
+  "librdfql_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/wd_evaluator.cc" "src/CMakeFiles/rdfql_transform.dir/eval/wd_evaluator.cc.o" "gcc" "src/CMakeFiles/rdfql_transform.dir/eval/wd_evaluator.cc.o.d"
+  "/root/repo/src/transform/ns_elimination.cc" "src/CMakeFiles/rdfql_transform.dir/transform/ns_elimination.cc.o" "gcc" "src/CMakeFiles/rdfql_transform.dir/transform/ns_elimination.cc.o.d"
+  "/root/repo/src/transform/opt_rewriter.cc" "src/CMakeFiles/rdfql_transform.dir/transform/opt_rewriter.cc.o" "gcc" "src/CMakeFiles/rdfql_transform.dir/transform/opt_rewriter.cc.o.d"
+  "/root/repo/src/transform/select_free.cc" "src/CMakeFiles/rdfql_transform.dir/transform/select_free.cc.o" "gcc" "src/CMakeFiles/rdfql_transform.dir/transform/select_free.cc.o.d"
+  "/root/repo/src/transform/union_normal_form.cc" "src/CMakeFiles/rdfql_transform.dir/transform/union_normal_form.cc.o" "gcc" "src/CMakeFiles/rdfql_transform.dir/transform/union_normal_form.cc.o.d"
+  "/root/repo/src/transform/wd_to_simple.cc" "src/CMakeFiles/rdfql_transform.dir/transform/wd_to_simple.cc.o" "gcc" "src/CMakeFiles/rdfql_transform.dir/transform/wd_to_simple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

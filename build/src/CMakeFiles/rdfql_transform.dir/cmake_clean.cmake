@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_transform.dir/eval/wd_evaluator.cc.o"
+  "CMakeFiles/rdfql_transform.dir/eval/wd_evaluator.cc.o.d"
+  "CMakeFiles/rdfql_transform.dir/transform/ns_elimination.cc.o"
+  "CMakeFiles/rdfql_transform.dir/transform/ns_elimination.cc.o.d"
+  "CMakeFiles/rdfql_transform.dir/transform/opt_rewriter.cc.o"
+  "CMakeFiles/rdfql_transform.dir/transform/opt_rewriter.cc.o.d"
+  "CMakeFiles/rdfql_transform.dir/transform/select_free.cc.o"
+  "CMakeFiles/rdfql_transform.dir/transform/select_free.cc.o.d"
+  "CMakeFiles/rdfql_transform.dir/transform/union_normal_form.cc.o"
+  "CMakeFiles/rdfql_transform.dir/transform/union_normal_form.cc.o.d"
+  "CMakeFiles/rdfql_transform.dir/transform/wd_to_simple.cc.o"
+  "CMakeFiles/rdfql_transform.dir/transform/wd_to_simple.cc.o.d"
+  "librdfql_transform.a"
+  "librdfql_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_update.dir/update/update.cc.o"
+  "CMakeFiles/rdfql_update.dir/update/update.cc.o.d"
+  "librdfql_update.a"
+  "librdfql_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

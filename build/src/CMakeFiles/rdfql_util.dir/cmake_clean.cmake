@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_util.dir/util/random.cc.o"
+  "CMakeFiles/rdfql_util.dir/util/random.cc.o.d"
+  "CMakeFiles/rdfql_util.dir/util/status.cc.o"
+  "CMakeFiles/rdfql_util.dir/util/status.cc.o.d"
+  "CMakeFiles/rdfql_util.dir/util/string_util.cc.o"
+  "CMakeFiles/rdfql_util.dir/util/string_util.cc.o.d"
+  "librdfql_util.a"
+  "librdfql_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

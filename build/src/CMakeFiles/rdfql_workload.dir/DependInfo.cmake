@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/graph_generator.cc" "src/CMakeFiles/rdfql_workload.dir/workload/graph_generator.cc.o" "gcc" "src/CMakeFiles/rdfql_workload.dir/workload/graph_generator.cc.o.d"
+  "/root/repo/src/workload/pattern_generator.cc" "src/CMakeFiles/rdfql_workload.dir/workload/pattern_generator.cc.o" "gcc" "src/CMakeFiles/rdfql_workload.dir/workload/pattern_generator.cc.o.d"
+  "/root/repo/src/workload/scenarios.cc" "src/CMakeFiles/rdfql_workload.dir/workload/scenarios.cc.o" "gcc" "src/CMakeFiles/rdfql_workload.dir/workload/scenarios.cc.o.d"
+  "/root/repo/src/workload/university_generator.cc" "src/CMakeFiles/rdfql_workload.dir/workload/university_generator.cc.o" "gcc" "src/CMakeFiles/rdfql_workload.dir/workload/university_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

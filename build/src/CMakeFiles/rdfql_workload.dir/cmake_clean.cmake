@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfql_workload.dir/workload/graph_generator.cc.o"
+  "CMakeFiles/rdfql_workload.dir/workload/graph_generator.cc.o.d"
+  "CMakeFiles/rdfql_workload.dir/workload/pattern_generator.cc.o"
+  "CMakeFiles/rdfql_workload.dir/workload/pattern_generator.cc.o.d"
+  "CMakeFiles/rdfql_workload.dir/workload/scenarios.cc.o"
+  "CMakeFiles/rdfql_workload.dir/workload/scenarios.cc.o.d"
+  "CMakeFiles/rdfql_workload.dir/workload/university_generator.cc.o"
+  "CMakeFiles/rdfql_workload.dir/workload/university_generator.cc.o.d"
+  "librdfql_workload.a"
+  "librdfql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

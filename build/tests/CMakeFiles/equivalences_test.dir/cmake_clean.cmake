@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalences_test.dir/equivalences_test.cc.o"
+  "CMakeFiles/equivalences_test.dir/equivalences_test.cc.o.d"
+  "equivalences_test"
+  "equivalences_test.pdb"
+  "equivalences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expressiveness_test.dir/expressiveness_test.cc.o"
+  "CMakeFiles/expressiveness_test.dir/expressiveness_test.cc.o.d"
+  "expressiveness_test"
+  "expressiveness_test.pdb"
+  "expressiveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expressiveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

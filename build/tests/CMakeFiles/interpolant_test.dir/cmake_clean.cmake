@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolant_test.dir/interpolant_test.cc.o"
+  "CMakeFiles/interpolant_test.dir/interpolant_test.cc.o.d"
+  "interpolant_test"
+  "interpolant_test.pdb"
+  "interpolant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_set_test.dir/mapping_set_test.cc.o"
+  "CMakeFiles/mapping_set_test.dir/mapping_set_test.cc.o.d"
+  "mapping_set_test"
+  "mapping_set_test.pdb"
+  "mapping_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_elimination_test.dir/ns_elimination_test.cc.o"
+  "CMakeFiles/ns_elimination_test.dir/ns_elimination_test.cc.o.d"
+  "ns_elimination_test"
+  "ns_elimination_test.pdb"
+  "ns_elimination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_elimination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_test.dir/ns_test.cc.o"
+  "CMakeFiles/ns_test.dir/ns_test.cc.o.d"
+  "ns_test"
+  "ns_test.pdb"
+  "ns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

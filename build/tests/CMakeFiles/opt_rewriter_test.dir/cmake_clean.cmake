@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_rewriter_test.dir/opt_rewriter_test.cc.o"
+  "CMakeFiles/opt_rewriter_test.dir/opt_rewriter_test.cc.o.d"
+  "opt_rewriter_test"
+  "opt_rewriter_test.pdb"
+  "opt_rewriter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_free_test.dir/select_free_test.cc.o"
+  "CMakeFiles/select_free_test.dir/select_free_test.cc.o.d"
+  "select_free_test"
+  "select_free_test.pdb"
+  "select_free_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_free_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

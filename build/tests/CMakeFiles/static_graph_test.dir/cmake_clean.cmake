@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_graph_test.dir/static_graph_test.cc.o"
+  "CMakeFiles/static_graph_test.dir/static_graph_test.cc.o.d"
+  "static_graph_test"
+  "static_graph_test.pdb"
+  "static_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_sweeps_test.dir/transform_sweeps_test.cc.o"
+  "CMakeFiles/transform_sweeps_test.dir/transform_sweeps_test.cc.o.d"
+  "transform_sweeps_test"
+  "transform_sweeps_test.pdb"
+  "transform_sweeps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

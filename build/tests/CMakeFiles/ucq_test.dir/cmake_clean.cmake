@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucq_test.dir/ucq_test.cc.o"
+  "CMakeFiles/ucq_test.dir/ucq_test.cc.o.d"
+  "ucq_test"
+  "ucq_test.pdb"
+  "ucq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

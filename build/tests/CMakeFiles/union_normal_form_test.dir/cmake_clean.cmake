@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_normal_form_test.dir/union_normal_form_test.cc.o"
+  "CMakeFiles/union_normal_form_test.dir/union_normal_form_test.cc.o.d"
+  "union_normal_form_test"
+  "union_normal_form_test.pdb"
+  "union_normal_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_normal_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

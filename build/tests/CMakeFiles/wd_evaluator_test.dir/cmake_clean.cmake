@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wd_evaluator_test.dir/wd_evaluator_test.cc.o"
+  "CMakeFiles/wd_evaluator_test.dir/wd_evaluator_test.cc.o.d"
+  "wd_evaluator_test"
+  "wd_evaluator_test.pdb"
+  "wd_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wd_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

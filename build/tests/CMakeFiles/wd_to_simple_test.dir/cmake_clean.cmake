@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wd_to_simple_test.dir/wd_to_simple_test.cc.o"
+  "CMakeFiles/wd_to_simple_test.dir/wd_to_simple_test.cc.o.d"
+  "wd_to_simple_test"
+  "wd_to_simple_test.pdb"
+  "wd_to_simple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wd_to_simple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

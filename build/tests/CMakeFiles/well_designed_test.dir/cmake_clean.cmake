@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/well_designed_test.dir/well_designed_test.cc.o"
+  "CMakeFiles/well_designed_test.dir/well_designed_test.cc.o.d"
+  "well_designed_test"
+  "well_designed_test.pdb"
+  "well_designed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/well_designed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

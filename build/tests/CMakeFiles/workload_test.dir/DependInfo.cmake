@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_construct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_complexity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
