@@ -17,6 +17,8 @@
 #include "util/check.h"
 #include "util/random.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -159,7 +161,5 @@ BENCHMARK(BM_DpllRandom3Sat)->Arg(10)->Arg(20)->Arg(30);
 
 int main(int argc, char** argv) {
   rdfql::PrintComplexityTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_complexity");
 }

@@ -12,6 +12,8 @@
 #include "util/check.h"
 #include "workload/graph_generator.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -130,7 +132,5 @@ BENCHMARK(BM_SelectEliminationEval)->RangeMultiplier(4)->Range(64, 512);
 
 int main(int argc, char** argv) {
   rdfql::PrintNormalFormSizes();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_construct");
 }

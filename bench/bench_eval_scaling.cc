@@ -10,6 +10,8 @@
 #include "util/check.h"
 #include "workload/graph_generator.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -104,4 +106,4 @@ BENCHMARK(BM_JoinIndexNestedLoop)->RangeMultiplier(4)->Range(64, 2048);
 }  // namespace
 }  // namespace rdfql
 
-BENCHMARK_MAIN();
+RDFQL_BENCH_MAIN("bench_eval_scaling")

@@ -13,6 +13,8 @@
 #include "util/check.h"
 #include "workload/scenarios.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -92,7 +94,5 @@ BENCHMARK(BM_Example61Construct);
 
 int main(int argc, char** argv) {
   rdfql::PrintPaperTables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_examples");
 }

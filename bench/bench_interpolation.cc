@@ -16,6 +16,8 @@
 #include "util/check.h"
 #include "workload/scenarios.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -156,7 +158,5 @@ BENCHMARK(BM_FindAufsTranslationWd)->Arg(30)->Arg(100)->Arg(300);
 
 int main(int argc, char** argv) {
   rdfql::PrintTranslationTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_interpolation");
 }

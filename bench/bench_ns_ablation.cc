@@ -8,6 +8,8 @@
 #include "util/check.h"
 #include "util/random.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -64,4 +66,4 @@ BENCHMARK(BM_NsBucketed)
 }  // namespace
 }  // namespace rdfql
 
-BENCHMARK_MAIN();
+RDFQL_BENCH_MAIN("bench_ns_ablation")

@@ -12,6 +12,8 @@
 #include "transform/ns_elimination.h"
 #include "util/check.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -124,7 +126,5 @@ BENCHMARK(BM_EvalNsDirect)->DenseRange(1, 3);
 
 int main(int argc, char** argv) {
   rdfql::PrintBlowupTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_ns_elimination");
 }

@@ -13,6 +13,8 @@
 #include "util/check.h"
 #include "workload/graph_generator.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -92,7 +94,5 @@ void PrintAgreementCheck() {
 
 int main(int argc, char** argv) {
   rdfql::PrintAgreementCheck();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_opt_vs_ns");
 }

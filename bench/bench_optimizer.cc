@@ -9,6 +9,8 @@
 #include "core/rdfql.h"
 #include "util/check.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -94,4 +96,4 @@ BENCHMARK(BM_StatsCollection)->RangeMultiplier(4)->Range(64, 4096);
 }  // namespace
 }  // namespace rdfql
 
-BENCHMARK_MAIN();
+RDFQL_BENCH_MAIN("bench_optimizer")

@@ -1,0 +1,467 @@
+#include "bench_reporting.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace rdfql {
+namespace bench {
+namespace {
+
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  // Enough digits to round-trip timings; integers print exactly.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out->append(buf);
+}
+
+bool IsInteger(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+/// Collects finished runs for the JSON document while delegating the usual
+/// console rendering to the base class.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(std::vector<BenchCase>* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred ||
+          r.report_big_o || r.report_rms) {
+        continue;
+      }
+      BenchCase c;
+      c.name = r.benchmark_name();
+      std::string_view rest = c.name;
+      size_t slash = rest.find('/');
+      c.family = std::string(rest.substr(0, slash));
+      while (slash != std::string_view::npos) {
+        rest = rest.substr(slash + 1);
+        slash = rest.find('/');
+        std::string_view seg = rest.substr(0, slash);
+        if (IsInteger(seg)) {
+          c.args.push_back(std::strtoll(std::string(seg).c_str(), nullptr, 10));
+        }
+      }
+      c.iterations = static_cast<int64_t>(r.iterations);
+      double iters = r.iterations == 0 ? 1.0 : static_cast<double>(r.iterations);
+      c.real_ns = r.real_accumulated_time / iters * 1e9;
+      c.cpu_ns = r.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [name, counter] : r.counters) {
+        c.counters.emplace_back(name, static_cast<double>(counter));
+      }
+      sink_->push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::vector<BenchCase>* sink_;
+};
+
+// --- A minimal JSON reader for the validator (objects, arrays, strings,
+// numbers, bools, null — no surrogate handling; our emitters stay ASCII).
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    bool ok = ParseValue(out) && (SkipWs(), pos_ == text_.size());
+    if (!ok && error != nullptr) {
+      *error = "JSON parse error near offset " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->obj.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->arr.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out->push_back(esc);
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+          case 'f':
+            out->push_back(' ');
+            break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // keep validation simple: skip the code point
+            out->push_back('?');
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string RenderBenchJson(const std::string& bench_name,
+                            const std::vector<BenchCase>& cases) {
+  std::string out = "{\"schema\":\"";
+  out += kBenchJsonSchema;
+  out += "\",\"bench\":\"";
+  AppendJsonEscaped(bench_name, &out);
+  out += "\",\"cases\":[\n";
+  bool first = true;
+  for (const BenchCase& c : cases) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\":\"";
+    AppendJsonEscaped(c.name, &out);
+    out += "\",\"family\":\"";
+    AppendJsonEscaped(c.family, &out);
+    out += "\",\"args\":[";
+    for (size_t i = 0; i < c.args.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(c.args[i]);
+    }
+    out += "],\"iterations\":" + std::to_string(c.iterations) +
+           ",\"real_ns\":";
+    AppendDouble(c.real_ns, &out);
+    out += ",\"cpu_ns\":";
+    AppendDouble(c.cpu_ns, &out);
+    out += ",\"counters\":{";
+    for (size_t i = 0; i < c.counters.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      AppendJsonEscaped(c.counters[i].first, &out);
+      out += "\":";
+      AppendDouble(c.counters[i].second, &out);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool ValidateBenchJson(const std::string& json, bool expect_growth,
+                       std::string* error) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(&root, error)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    return Fail(error, "top level is not an object");
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+      schema->str != kBenchJsonSchema) {
+    return Fail(error, std::string("missing or wrong \"schema\" (want ") +
+                           kBenchJsonSchema + ")");
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || bench->type != JsonValue::Type::kString ||
+      bench->str.empty()) {
+    return Fail(error, "missing \"bench\" name");
+  }
+  const JsonValue* cases = root.Find("cases");
+  if (cases == nullptr || cases->type != JsonValue::Type::kArray) {
+    return Fail(error, "missing \"cases\" array");
+  }
+  if (cases->arr.empty()) return Fail(error, "\"cases\" is empty");
+
+  // family -> (arg, real_ns), only for single-argument cases.
+  std::map<std::string, std::vector<std::pair<int64_t, double>>> by_family;
+
+  for (size_t i = 0; i < cases->arr.size(); ++i) {
+    const JsonValue& c = cases->arr[i];
+    std::string at = "case " + std::to_string(i) + ": ";
+    if (c.type != JsonValue::Type::kObject) {
+      return Fail(error, at + "not an object");
+    }
+    const JsonValue* name = c.Find("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        name->str.empty()) {
+      return Fail(error, at + "missing \"name\"");
+    }
+    at = "case \"" + name->str + "\": ";
+    const JsonValue* family = c.Find("family");
+    if (family == nullptr || family->type != JsonValue::Type::kString ||
+        family->str.empty()) {
+      return Fail(error, at + "missing \"family\"");
+    }
+    const JsonValue* args = c.Find("args");
+    if (args == nullptr || args->type != JsonValue::Type::kArray) {
+      return Fail(error, at + "missing \"args\"");
+    }
+    for (const JsonValue& a : args->arr) {
+      if (a.type != JsonValue::Type::kNumber) {
+        return Fail(error, at + "non-numeric arg");
+      }
+    }
+    const JsonValue* iterations = c.Find("iterations");
+    if (iterations == nullptr ||
+        iterations->type != JsonValue::Type::kNumber ||
+        iterations->number <= 0) {
+      return Fail(error, at + "missing or non-positive \"iterations\"");
+    }
+    const JsonValue* real_ns = c.Find("real_ns");
+    if (real_ns == nullptr || real_ns->type != JsonValue::Type::kNumber ||
+        real_ns->number < 0) {
+      return Fail(error, at + "missing or negative \"real_ns\"");
+    }
+    const JsonValue* cpu_ns = c.Find("cpu_ns");
+    if (cpu_ns == nullptr || cpu_ns->type != JsonValue::Type::kNumber) {
+      return Fail(error, at + "missing \"cpu_ns\"");
+    }
+    const JsonValue* counters = c.Find("counters");
+    if (counters == nullptr || counters->type != JsonValue::Type::kObject) {
+      return Fail(error, at + "missing \"counters\" object");
+    }
+    for (const auto& [cname, cvalue] : counters->obj) {
+      if (cvalue.type != JsonValue::Type::kNumber) {
+        return Fail(error, at + "counter \"" + cname + "\" not numeric");
+      }
+    }
+    if (args->arr.size() == 1) {
+      by_family[family->str].emplace_back(
+          static_cast<int64_t>(args->arr[0].number), real_ns->number);
+    }
+  }
+
+  if (!expect_growth) return true;
+
+  for (auto& [family, points] : by_family) {
+    if (points.size() < 2) continue;
+    std::sort(points.begin(), points.end());
+    if (points.front().first == points.back().first) continue;
+    for (size_t i = 1; i < points.size(); ++i) {
+      // Growth with a 10% noise allowance per step.
+      if (points[i].second < 0.9 * points[i - 1].second) {
+        return Fail(error,
+                    "family \"" + family + "\": real_ns not monotone at arg " +
+                        std::to_string(points[i].first));
+      }
+    }
+    if (points.back().second <= points.front().second) {
+      return Fail(error, "family \"" + family +
+                             "\": largest instance is not slower than the "
+                             "smallest");
+    }
+  }
+  return true;
+}
+
+int BenchMain(int argc, char** argv, const char* bench_name) {
+  bool emit_json = false;
+  std::string json_path = std::string("BENCH_") + bench_name + ".json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--json") {
+      emit_json = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      emit_json = true;
+      json_path = std::string(a.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&filtered_argc, args.data());
+
+  std::vector<BenchCase> cases;
+  CollectingReporter reporter(&cases);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (emit_json) {
+    std::string doc = RenderBenchJson(bench_name, cases);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu cases)\n", json_path.c_str(),
+                 cases.size());
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace rdfql

@@ -1,0 +1,58 @@
+#ifndef RDFQL_BENCH_BENCH_REPORTING_H_
+#define RDFQL_BENCH_BENCH_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+namespace rdfql {
+namespace bench {
+
+/// One benchmark case as emitted into BENCH_<name>.json.
+struct BenchCase {
+  std::string name;    // full google-benchmark name, e.g. "BM_Foo/64"
+  std::string family;  // name up to the first '/', e.g. "BM_Foo"
+  std::vector<int64_t> args;  // numeric '/'-segments, e.g. [64]
+  int64_t iterations = 0;
+  double real_ns = 0;  // wall time per iteration
+  double cpu_ns = 0;   // cpu time per iteration
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// The schema tag every emitted file carries; bump on breaking change.
+inline constexpr char kBenchJsonSchema[] = "rdfql-bench-v1";
+
+/// Renders the shared BENCH_<name>.json document:
+///   {"schema":"rdfql-bench-v1","bench":"<name>","cases":[
+///     {"name":..,"family":..,"args":[..],"iterations":..,
+///      "real_ns":..,"cpu_ns":..,"counters":{..}}, ...]}
+std::string RenderBenchJson(const std::string& bench_name,
+                            const std::vector<BenchCase>& cases);
+
+/// Validates `json` against the schema above. With `expect_growth`, also
+/// asserts that within every family whose cases carry a single numeric
+/// argument, wall time grows with the argument: each successive case may
+/// dip at most 10% below its predecessor (noise allowance) and the largest
+/// instance must be strictly slower than the smallest — the empirical
+/// shadow of the Thm 7.1–7.4 scaling claims. Returns true on success;
+/// otherwise fills *error.
+bool ValidateBenchJson(const std::string& json, bool expect_growth,
+                       std::string* error);
+
+/// Shared main for every bench binary:
+///  - strips `--json[=path]` from argv (default path: BENCH_<name>.json in
+///    the current directory),
+///  - runs google-benchmark as usual (console output preserved),
+///  - when --json was given, additionally writes the schema file above.
+/// Returns the process exit code.
+int BenchMain(int argc, char** argv, const char* bench_name);
+
+}  // namespace bench
+}  // namespace rdfql
+
+/// Drop-in replacement for BENCHMARK_MAIN() with JSON emission.
+#define RDFQL_BENCH_MAIN(bench_name)                      \
+  int main(int argc, char** argv) {                       \
+    return rdfql::bench::BenchMain(argc, argv, bench_name); \
+  }
+
+#endif  // RDFQL_BENCH_BENCH_REPORTING_H_

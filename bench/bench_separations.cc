@@ -16,6 +16,8 @@
 #include "workload/graph_generator.h"
 #include "workload/scenarios.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -104,7 +106,5 @@ BENCHMARK(BM_Witness36EvalScaling)
 
 int main(int argc, char** argv) {
   rdfql::PrintSeparationFacts();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_separations");
 }

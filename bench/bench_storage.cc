@@ -8,6 +8,8 @@
 #include "rdf/static_graph.h"
 #include "util/check.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -96,4 +98,4 @@ BENCHMARK(BM_StaticGraphBuild)->RangeMultiplier(4)->Range(256, 16384);
 }  // namespace
 }  // namespace rdfql
 
-BENCHMARK_MAIN();
+RDFQL_BENCH_MAIN("bench_storage")

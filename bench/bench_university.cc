@@ -10,6 +10,8 @@
 #include "util/check.h"
 #include "workload/university_generator.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -101,7 +103,5 @@ BENCHMARK(BM_UniFullProfDepts)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char** argv) {
   rdfql::PrintMixSummary();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_university");
 }

@@ -13,6 +13,8 @@
 #include "util/check.h"
 #include "workload/graph_generator.h"
 
+#include "bench_reporting.h"
+
 namespace rdfql {
 namespace {
 
@@ -154,7 +156,5 @@ BENCHMARK(BM_EvalTopDownTree)->RangeMultiplier(4)->Range(64, 1024);
 
 int main(int argc, char** argv) {
   rdfql::PrintTranslationTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rdfql::bench::BenchMain(argc, argv, "bench_wd_to_simple");
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the bench binaries, runs each with --json, and collects the emitted
+# BENCH_<name>.json files under bench/out/, validating every file with
+# bench_json_check afterwards. Pass extra google-benchmark flags through,
+# e.g.: scripts/bench_json.sh --benchmark_min_time=0.01
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build --target \
+  bench_examples bench_separations bench_interpolation bench_ns_elimination \
+  bench_wd_to_simple bench_opt_vs_ns bench_complexity bench_eval_scaling \
+  bench_ns_ablation bench_construct bench_optimizer bench_storage \
+  bench_university bench_json_check
+
+out=bench/out
+mkdir -p "$out"
+
+failures=0
+for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  [ "$name" = bench_json_check ] && continue
+  echo "================ $name"
+  if ! "$b" --json="$out/BENCH_$name.json" "$@"; then
+    echo "$name: FAILED" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+build/bench/bench_json_check "$out"/BENCH_*.json || failures=$((failures + 1))
+
+if [ "$failures" -ne 0 ]; then
+  echo "bench_json.sh: $failures failure(s)" >&2
+  exit 1
+fi
+echo "Done. JSON reports in $out/."

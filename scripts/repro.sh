@@ -10,10 +10,14 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+mkdir -p bench/out
 : > bench_output.txt
-for b in build/bench/*; do
+for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  [ "$name" = bench_json_check ] && continue
   echo "================ $b" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  "$b" --json="bench/out/BENCH_$name.json" 2>&1 | tee -a bench_output.txt
 done
+build/bench/bench_json_check bench/out/BENCH_*.json | tee -a bench_output.txt
 
-echo "Done. See test_output.txt and bench_output.txt."
+echo "Done. See test_output.txt, bench_output.txt and bench/out/*.json."

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/tracer.h"
+
 namespace rdfql {
 namespace {
 
@@ -72,13 +74,16 @@ MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b) {
   for (const Mapping& m : build) {
     table[KeyHash(m, shared)].push_back(&m);
   }
+  uint64_t probes = 0;
   for (const Mapping& m : probe) {
     auto it = table.find(KeyHash(m, shared));
     if (it == table.end()) continue;
     for (const Mapping* other : it->second) {
+      ++probes;
       if (m.CompatibleWith(*other)) out.Add(m.UnionWith(*other));
     }
   }
+  if (OpCounters* oc = ScopedOpCounters::Current()) oc->join_probes += probes;
   return out;
 }
 
@@ -89,6 +94,9 @@ MappingSet MappingSet::JoinNestedLoop(const MappingSet& a,
     for (const Mapping& m2 : b) {
       if (m1.CompatibleWith(m2)) out.Add(m1.UnionWith(m2));
     }
+  }
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->join_probes += static_cast<uint64_t>(a.size()) * b.size();
   }
   return out;
 }
@@ -101,9 +109,11 @@ MappingSet MappingSet::UnionSets(const MappingSet& a, const MappingSet& b) {
 
 MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b) {
   MappingSet out;
+  uint64_t pairs = 0;
   for (const Mapping& m1 : a) {
     bool incompatible_with_all = true;
     for (const Mapping& m2 : b) {
+      ++pairs;
       if (m1.CompatibleWith(m2)) {
         incompatible_with_all = false;
         break;
@@ -111,6 +121,7 @@ MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b) {
     }
     if (incompatible_with_all) out.Add(m1);
   }
+  if (OpCounters* oc = ScopedOpCounters::Current()) oc->join_probes += pairs;
   return out;
 }
 

@@ -1,11 +1,45 @@
 #include "core/engine.h"
 
+#include <chrono>
+#include <cstdio>
+
 #include "algebra/result_io.h"
 #include "analysis/fragments.h"
 #include "analysis/well_designed.h"
+#include "obs/tracer.h"
 #include "rdf/ntriples.h"
 
 namespace rdfql {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string PhaseString(uint64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryExplanation::ToString() const {
+  std::string out = "parse: " + PhaseString(parse_ns) +
+                    "  eval: " + PhaseString(eval_ns) + "\n";
+  out += explanation.ToString();
+  return out;
+}
 
 Status Engine::LoadGraphText(const std::string& name,
                              std::string_view ntriples) {
@@ -38,7 +72,14 @@ Result<ConstructQuery> Engine::ParseConstructQuery(std::string_view query) {
 Result<MappingSet> Engine::Query(const std::string& graph_name,
                                  std::string_view query,
                                  EvalOptions options) {
+  if (!collect_metrics_) {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
+    return Eval(graph_name, pattern, options);
+  }
+  metrics_.GetCounter("engine.queries")->Inc();
+  uint64_t t0 = NowNs();
   RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
+  metrics_.GetHistogram("engine.parse_ns")->Observe(NowNs() - t0);
   return Eval(graph_name, pattern, options);
 }
 
@@ -46,7 +87,36 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
                                 const PatternPtr& pattern,
                                 EvalOptions options) {
   RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
-  return EvalPattern(*graph, pattern, options);
+  if (!collect_metrics_) {
+    return EvalPattern(*graph, pattern, options);
+  }
+  if (options.metrics == nullptr) options.metrics = &metrics_;
+  uint64_t t0 = NowNs();
+  MappingSet result = EvalPattern(*graph, pattern, options);
+  metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
+  return result;
+}
+
+Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
+                                                std::string_view query,
+                                                EvalOptions options) {
+  QueryExplanation out;
+  if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
+  uint64_t t0 = NowNs();
+  RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
+  out.parse_ns = NowNs() - t0;
+  RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
+  if (collect_metrics_ && options.metrics == nullptr) {
+    options.metrics = &metrics_;
+  }
+  t0 = NowNs();
+  out.explanation = ExplainEval(*graph, pattern, dict_, options);
+  out.eval_ns = NowNs() - t0;
+  if (collect_metrics_) {
+    metrics_.GetHistogram("engine.parse_ns")->Observe(out.parse_ns);
+    metrics_.GetHistogram("engine.eval_ns")->Observe(out.eval_ns);
+  }
+  return out;
 }
 
 Result<bool> Engine::Ask(const std::string& graph_name,

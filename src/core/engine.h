@@ -1,6 +1,7 @@
 #ifndef RDFQL_CORE_ENGINE_H_
 #define RDFQL_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -9,12 +10,30 @@
 #include "analysis/monotonicity.h"
 #include "construct/construct_query.h"
 #include "eval/evaluator.h"
+#include "eval/explain.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
 #include "util/status.h"
 
 namespace rdfql {
+
+/// EXPLAIN ANALYZE at the engine level: the per-operator plan (cardinality,
+/// wall time, work counters) plus the query's phase timings.
+struct QueryExplanation {
+  Explanation explanation;  // result + instrumented plan tree
+  uint64_t parse_ns = 0;
+  uint64_t eval_ns = 0;
+
+  const MappingSet& result() const { return explanation.result; }
+
+  /// Phase header followed by the plan tree, e.g.
+  ///   parse: 3.1us  eval: 120.4us
+  ///   AND [1] (t=118.0us join_probes=4)
+  ///     ...
+  std::string ToString() const;
+};
 
 /// What the static and empirical analyzers say about a pattern — the
 /// vocabulary of the paper in one struct.
@@ -64,6 +83,13 @@ class Engine {
                            std::string_view query,
                            EvalOptions options = {});
 
+  /// Parse + evaluate under a tracer: returns the results together with a
+  /// per-operator EXPLAIN ANALYZE plan and phase timings. Honors `options`'
+  /// join/NS choices (its tracer/trace_dict fields are overridden).
+  Result<QueryExplanation> QueryExplained(const std::string& graph_name,
+                                          std::string_view query,
+                                          EvalOptions options = {});
+
   /// Evaluates a parsed pattern against a named graph.
   Result<MappingSet> Eval(const std::string& graph_name,
                           const PatternPtr& pattern,
@@ -86,9 +112,30 @@ class Engine {
   PatternReport Classify(const PatternPtr& pattern,
                          const MonotonicityOptions& options = {});
 
+  // --- Observability ---
+
+  /// Turns metric collection on/off (off by default: the uninstrumented
+  /// path stays zero-overhead). While enabled, every Query/Eval records
+  /// `engine.*` phase timings and `eval.*` operator counters into this
+  /// engine's registry.
+  void EnableMetrics(bool on = true) { collect_metrics_ = on; }
+  bool metrics_enabled() const { return collect_metrics_; }
+
+  /// The engine's registry (always present; callers may add their own
+  /// metrics next to the engine's).
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Point-in-time copy of every engine metric.
+  RegistrySnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+
+  /// Zeroes the engine's metrics (e.g. between bench cases).
+  void ResetMetrics() { metrics_.Reset(); }
+
  private:
   Dictionary dict_;
   std::map<std::string, Graph> graphs_;
+  MetricsRegistry metrics_;
+  bool collect_metrics_ = false;
 };
 
 }  // namespace rdfql

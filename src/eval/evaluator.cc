@@ -1,9 +1,32 @@
 #include "eval/evaluator.h"
 
+#include "algebra/pattern_printer.h"
 #include "eval/ns.h"
 #include "util/check.h"
 
 namespace rdfql {
+
+const char* PatternOpName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kTriple:
+      return "TRIPLE";
+    case PatternKind::kAnd:
+      return "AND";
+    case PatternKind::kUnion:
+      return "UNION";
+    case PatternKind::kOpt:
+      return "OPT";
+    case PatternKind::kMinus:
+      return "MINUS";
+    case PatternKind::kFilter:
+      return "FILTER";
+    case PatternKind::kSelect:
+      return "SELECT";
+    case PatternKind::kNs:
+      return "NS";
+  }
+  return "?";
+}
 
 MappingSet Evaluator::Eval(const PatternPtr& pattern) const {
   RDFQL_CHECK(pattern != nullptr);
@@ -23,6 +46,8 @@ MappingSet Evaluator::ApplyNs(const MappingSet& input) const {
 MappingSet Evaluator::IndexJoinWithTriple(const MappingSet& left,
                                           const TriplePattern& t) const {
   MappingSet out;
+  uint64_t probes = 0;
+  uint64_t pairs = 0;
   for (const Mapping& m : left) {
     // Substitute the bound variables of µ into the triple pattern and
     // probe the graph index with the resulting prefix.
@@ -31,9 +56,11 @@ MappingSet Evaluator::IndexJoinWithTriple(const MappingSet& left,
       std::optional<TermId> v = m.Get(term.var());
       return v.has_value() ? *v : kInvalidTermId;
     };
+    ++probes;
     matcher_(
         position(t.s), position(t.p), position(t.o),
-        [&t, &m, &out](const Triple& match) {
+        [&t, &m, &out, &pairs](const Triple& match) {
+          ++pairs;
           Mapping extended = m;
           bool ok = true;
           auto bind = [&extended, &ok](Term term, TermId value) {
@@ -50,6 +77,10 @@ MappingSet Evaluator::IndexJoinWithTriple(const MappingSet& left,
           bind(t.o, match.o);
           if (ok) out.Add(extended);
         });
+  }
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->index_probes += probes;
+    oc->join_probes += pairs;
   }
   return out;
 }
@@ -78,10 +109,59 @@ MappingSet Evaluator::EvalTriple(const TriplePattern& t) const {
     bind(t.o, match.o);
     if (ok) out.Add(m);
   });
+  if (OpCounters* oc = ScopedOpCounters::Current()) ++oc->index_probes;
   return out;
 }
 
 MappingSet Evaluator::EvalNode(const Pattern& p) const {
+  if (!options_.observed()) [[likely]] {
+    return EvalNodeImpl(p);
+  }
+  return EvalNodeObserved(p);
+}
+
+std::string Evaluator::NodeDetail(const Pattern& p) const {
+  const Dictionary* dict = options_.trace_dict;
+  if (dict == nullptr) return "";
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      return TriplePatternToString(p.triple(), *dict);
+    case PatternKind::kFilter:
+      return p.condition()->ToString(*dict);
+    case PatternKind::kSelect: {
+      std::string vars;
+      for (VarId v : p.projection()) vars += " ?" + dict->VarName(v);
+      return "{" + (vars.empty() ? "" : vars.substr(1)) + "}";
+    }
+    default:
+      return "";
+  }
+}
+
+MappingSet Evaluator::EvalNodeObserved(const Pattern& p) const {
+  ScopedSpan span(options_.tracer, PatternOpName(p.kind()), NodeDetail(p));
+  OpCounters counters;
+  MappingSet result;
+  {
+    // Children re-enter EvalNodeObserved and install their own sink, so
+    // `counters` sees exactly this node's own work.
+    ScopedOpCounters install(&counters);
+    result = EvalNodeImpl(p);
+  }
+  counters.mappings_out = result.size();
+  counters.AttachTo(&span);
+  if (MetricsRegistry* m = options_.metrics) {
+    m->GetCounter("eval.nodes")->Inc();
+    m->GetCounter("eval.join_probes")->Inc(counters.join_probes);
+    m->GetCounter("eval.index_probes")->Inc(counters.index_probes);
+    m->GetCounter("eval.ns_pairs_compared")->Inc(counters.ns_pairs_compared);
+    m->GetCounter("eval.filter_evals")->Inc(counters.filter_evals);
+    m->GetCounter("eval.mappings_out")->Inc(counters.mappings_out);
+  }
+  return result;
+}
+
+MappingSet Evaluator::EvalNodeImpl(const Pattern& p) const {
   switch (p.kind()) {
     case PatternKind::kTriple:
       return EvalTriple(p.triple());
@@ -100,8 +180,10 @@ MappingSet Evaluator::EvalNode(const Pattern& p) const {
       return MappingSet::UnionSets(EvalNode(*p.left()), EvalNode(*p.right()));
     case PatternKind::kOpt: {
       MappingSet l = EvalNode(*p.left());
+      // The difference half of ⟕ = ⋈ ∪ ∖ needs ⟦P2⟧G materialized whatever
+      // the join strategy, so the index-join shortcut never pays here (see
+      // the note on EvalOptions::Join::kIndexNestedLoop in evaluator.h).
       MappingSet r = EvalNode(*p.right());
-      // OPT needs the materialized right side for the difference anyway.
       MappingSet joined = options_.join == EvalOptions::Join::kNestedLoop
                               ? MappingSet::JoinNestedLoop(l, r)
                               : MappingSet::Join(l, r);
@@ -114,6 +196,9 @@ MappingSet Evaluator::EvalNode(const Pattern& p) const {
       MappingSet out;
       for (const Mapping& m : in) {
         if (p.condition()->Eval(m)) out.Add(m);
+      }
+      if (OpCounters* oc = ScopedOpCounters::Current()) {
+        oc->filter_evals += in.size();
       }
       return out;
     }

@@ -5,13 +5,15 @@
 
 #include "algebra/mapping_set.h"
 #include "algebra/pattern.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "rdf/graph.h"
 #include "rdf/static_graph.h"
 
 namespace rdfql {
 
 /// Tunables for the evaluator — the pairs of algorithms back the ablation
-/// benchmarks (E15/E16 in DESIGN.md).
+/// benchmarks (E15/E16 in DESIGN.md) — plus the observability opt-ins.
 struct EvalOptions {
   enum class Join {
     kHash,        // partition on certainly-shared variables
@@ -20,12 +22,34 @@ struct EvalOptions {
     // per left mapping with the bound positions substituted (binding
     // propagation), instead of materializing ⟦t⟧G and joining. Falls back
     // to the hash join for non-triple right-hand sides.
+    //
+    // Note on OPT: the index-join shortcut is deliberately NOT taken for
+    // the join half of (P1 OPT P2) even when P2 is a triple pattern. OPT
+    // is computed as (P1 ⋈ P2) ∪ (P1 ∖ P2) and the difference half needs
+    // ⟦P2⟧G materialized regardless, so probing the index for the join
+    // half would evaluate P2's matches a second time — strictly more work
+    // for identical results. evaluator_test.cc (OptAgreesAcrossJoin
+    // Strategies) asserts the strategies agree on OPT patterns.
     kIndexNestedLoop,
   };
   enum class NsAlgo { kBucketed, kNaive };
 
   Join join = Join::kHash;
   NsAlgo ns = NsAlgo::kBucketed;
+
+  // --- Observability (all opt-in; defaults keep the hot path free) ---
+  /// When set, every operator node is evaluated under an RAII span carrying
+  /// its wall time and work counters; the span tree mirrors the pattern
+  /// tree. The tracer must outlive the evaluation (single-threaded use).
+  Tracer* tracer = nullptr;
+  /// When set, per-operator work counters are also accumulated into this
+  /// registry under `eval.*` names (see docs/observability.md).
+  MetricsRegistry* metrics = nullptr;
+  /// Dictionary for human-readable span labels ("(?x p ?y)"). Optional;
+  /// without it spans carry only the operator kind.
+  const Dictionary* trace_dict = nullptr;
+
+  bool observed() const { return tracer != nullptr || metrics != nullptr; }
 };
 
 /// Bottom-up evaluator implementing ⟦P⟧G exactly as defined in Section 2.1
@@ -61,10 +85,17 @@ class Evaluator {
 
  private:
   MappingSet EvalNode(const Pattern& p) const;
+  /// The uninstrumented operator dispatch (the hot path).
+  MappingSet EvalNodeImpl(const Pattern& p) const;
+  /// EvalNodeImpl wrapped in a span + per-node counter sink.
+  MappingSet EvalNodeObserved(const Pattern& p) const;
   MappingSet EvalTriple(const TriplePattern& t) const;
   MappingSet IndexJoinWithTriple(const MappingSet& left,
                                  const TriplePattern& t) const;
   MappingSet ApplyNs(const MappingSet& input) const;
+  /// Span label for a node ("(?x p ?y)" for triples, the condition for
+  /// FILTER, ...); empty without options_.trace_dict.
+  std::string NodeDetail(const Pattern& p) const;
 
   Matcher matcher_;
   EvalOptions options_;
@@ -73,6 +104,10 @@ class Evaluator {
 /// One-shot convenience wrapper.
 MappingSet EvalPattern(const Graph& graph, const PatternPtr& pattern,
                        EvalOptions options = {});
+
+/// The operator's display name ("TRIPLE", "AND", ...), shared by spans and
+/// EXPLAIN output.
+const char* PatternOpName(PatternKind kind);
 
 }  // namespace rdfql
 

@@ -1,91 +1,12 @@
 #include "eval/explain.h"
 
-#include "algebra/pattern_printer.h"
-#include "eval/evaluator.h"
-#include "eval/ns.h"
+#include <cstdio>
+
+#include "obs/tracer.h"
 #include "util/check.h"
 
 namespace rdfql {
 namespace {
-
-struct Tracer {
-  const Graph* graph;
-  const Dictionary* dict;
-
-  MappingSet Eval(const Pattern& p, PlanNode* node) {
-    MappingSet result = EvalInner(p, node);
-    node->cardinality = result.size();
-    return result;
-  }
-
-  MappingSet EvalInner(const Pattern& p, PlanNode* node) {
-    switch (p.kind()) {
-      case PatternKind::kTriple: {
-        node->label =
-            "TRIPLE " + PatternToString(Pattern::MakeTriple(p.triple()),
-                                        *dict);
-        Evaluator ev(graph);
-        return ev.Eval(Pattern::MakeTriple(p.triple()));
-      }
-      case PatternKind::kAnd:
-      case PatternKind::kUnion:
-      case PatternKind::kOpt:
-      case PatternKind::kMinus: {
-        node->label = p.kind() == PatternKind::kAnd     ? "AND"
-                      : p.kind() == PatternKind::kUnion ? "UNION"
-                      : p.kind() == PatternKind::kOpt   ? "OPT"
-                                                        : "MINUS";
-        auto left = std::make_unique<PlanNode>();
-        auto right = std::make_unique<PlanNode>();
-        MappingSet l = Eval(*p.left(), left.get());
-        MappingSet r = Eval(*p.right(), right.get());
-        node->children.push_back(std::move(left));
-        node->children.push_back(std::move(right));
-        switch (p.kind()) {
-          case PatternKind::kAnd:
-            return MappingSet::Join(l, r);
-          case PatternKind::kUnion:
-            return MappingSet::UnionSets(l, r);
-          case PatternKind::kOpt:
-            return MappingSet::LeftOuterJoin(l, r);
-          default:
-            return MappingSet::Minus(l, r);
-        }
-      }
-      case PatternKind::kFilter: {
-        node->label = "FILTER " + p.condition()->ToString(*dict);
-        auto child = std::make_unique<PlanNode>();
-        MappingSet in = Eval(*p.child(), child.get());
-        node->children.push_back(std::move(child));
-        MappingSet out;
-        for (const Mapping& m : in) {
-          if (p.condition()->Eval(m)) out.Add(m);
-        }
-        return out;
-      }
-      case PatternKind::kSelect: {
-        std::string vars;
-        for (VarId v : p.projection()) vars += " ?" + dict->VarName(v);
-        node->label = "SELECT {" + (vars.empty() ? "" : vars.substr(1)) + "}";
-        auto child = std::make_unique<PlanNode>();
-        MappingSet in = Eval(*p.child(), child.get());
-        node->children.push_back(std::move(child));
-        MappingSet out;
-        for (const Mapping& m : in) out.Add(m.RestrictTo(p.projection()));
-        return out;
-      }
-      case PatternKind::kNs: {
-        node->label = "NS";
-        auto child = std::make_unique<PlanNode>();
-        MappingSet in = Eval(*p.child(), child.get());
-        node->children.push_back(std::move(child));
-        return RemoveSubsumedBucketed(in);
-      }
-    }
-    RDFQL_CHECK_MSG(false, "unreachable");
-    return MappingSet();
-  }
-};
 
 size_t Total(const PlanNode& node) {
   size_t n = node.cardinality;
@@ -93,13 +14,53 @@ size_t Total(const PlanNode& node) {
   return n;
 }
 
+void AppendTime(uint64_t ns, std::string* out) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  out->append(buf);
+}
+
 void Render(const PlanNode& node, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
-  *out += node.label + " [" + std::to_string(node.cardinality) + "]\n";
+  *out += node.label + " [" + std::to_string(node.cardinality) + "]";
+  *out += " (t=";
+  AppendTime(node.wall_ns, out);
+  for (const auto& [name, value] : node.counters) {
+    if (name == "mappings_out" || value == 0) continue;
+    *out += " " + name + "=" + std::to_string(value);
+  }
+  *out += ")\n";
   for (const auto& c : node.children) Render(*c, depth + 1, out);
 }
 
 }  // namespace
+
+uint64_t PlanNode::GetCounter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::unique_ptr<PlanNode> PlanFromSpan(const TraceSpan& span) {
+  auto node = std::make_unique<PlanNode>();
+  node->label =
+      span.detail.empty() ? span.op : span.op + " " + span.detail;
+  node->cardinality = span.GetCounter("mappings_out");
+  node->wall_ns = span.duration_ns;
+  node->counters = span.counters;
+  for (const auto& child : span.children) {
+    node->children.push_back(PlanFromSpan(*child));
+  }
+  return node;
+}
 
 size_t Explanation::TotalIntermediate() const {
   return plan == nullptr ? 0 : Total(*plan);
@@ -112,12 +73,16 @@ std::string Explanation::ToString() const {
 }
 
 Explanation ExplainEval(const Graph& graph, const PatternPtr& pattern,
-                        const Dictionary& dict) {
+                        const Dictionary& dict, EvalOptions options) {
   RDFQL_CHECK(pattern != nullptr);
+  Tracer tracer;
+  options.tracer = &tracer;
+  options.trace_dict = &dict;
+  Evaluator evaluator(&graph, options);
   Explanation explanation;
-  explanation.plan = std::make_unique<PlanNode>();
-  Tracer tracer{&graph, &dict};
-  explanation.result = tracer.Eval(*pattern, explanation.plan.get());
+  explanation.result = evaluator.Eval(pattern);
+  RDFQL_CHECK(tracer.root() != nullptr);
+  explanation.plan = PlanFromSpan(*tracer.root());
   return explanation;
 }
 

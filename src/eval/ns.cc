@@ -5,19 +5,26 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/tracer.h"
+
 namespace rdfql {
 
 MappingSet RemoveSubsumedNaive(const MappingSet& input) {
   MappingSet out;
+  uint64_t pairs = 0;
   for (const Mapping& m : input) {
     bool subsumed = false;
     for (const Mapping& other : input) {
+      ++pairs;
       if (m.ProperlySubsumedBy(other)) {
         subsumed = true;
         break;
       }
     }
     if (!subsumed) out.Add(m);
+  }
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->ns_pairs_compared += pairs;
   }
   return out;
 }
@@ -31,6 +38,7 @@ MappingSet RemoveSubsumedBucketed(const MappingSet& input) {
 
   // For each pair D ⊊ D', mark the mappings of bucket D that appear as a
   // projection of some mapping in bucket D'.
+  uint64_t pairs = 0;
   std::unordered_set<const Mapping*> dead;
   for (auto& [dom, bucket] : buckets) {
     for (auto& [sup_dom, sup_bucket] : buckets) {
@@ -44,11 +52,15 @@ MappingSet RemoveSubsumedBucketed(const MappingSet& input) {
       for (const Mapping* sup : sup_bucket) {
         projections.insert(sup->RestrictTo(dom));
       }
+      pairs += sup_bucket.size() + bucket.size();
       for (const Mapping* m : bucket) {
         if (dead.count(m)) continue;
         if (projections.count(*m)) dead.insert(m);
       }
     }
+  }
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->ns_pairs_compared += pairs;
   }
 
   MappingSet out;

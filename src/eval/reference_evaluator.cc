@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "util/check.h"
 
 namespace rdfql {
@@ -26,6 +27,9 @@ std::optional<Mapping> Bind(Mapping m, Term term, TermId value) {
 
 Rows EvalTriple(const Graph& g, const TriplePattern& t) {
   Rows out;
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->index_probes += g.size();
+  }
   for (const Triple& triple : g.triples()) {
     std::optional<Mapping> m = Bind(Mapping(), t.s, triple.s);
     if (m) m = Bind(*m, t.p, triple.p);
@@ -39,6 +43,9 @@ Rows Eval(const Graph& g, const Pattern& p);
 
 Rows Join(const Rows& a, const Rows& b) {
   Rows out;
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->join_probes += static_cast<uint64_t>(a.size()) * b.size();
+  }
   for (const Mapping& m1 : a) {
     for (const Mapping& m2 : b) {
       if (m1.CompatibleWith(m2)) out.push_back(m1.UnionWith(m2));
@@ -49,9 +56,11 @@ Rows Join(const Rows& a, const Rows& b) {
 
 Rows Difference(const Rows& a, const Rows& b) {
   Rows out;
+  uint64_t pairs = 0;
   for (const Mapping& m1 : a) {
     bool clash = false;
     for (const Mapping& m2 : b) {
+      ++pairs;
       if (m1.CompatibleWith(m2)) {
         clash = true;
         break;
@@ -59,6 +68,7 @@ Rows Difference(const Rows& a, const Rows& b) {
     }
     if (!clash) out.push_back(m1);
   }
+  if (OpCounters* oc = ScopedOpCounters::Current()) oc->join_probes += pairs;
   return out;
 }
 
@@ -101,15 +111,21 @@ Rows Eval(const Graph& g, const Pattern& p) {
     case PatternKind::kNs: {
       Rows in = Eval(g, *p.child());
       Rows out;
+      uint64_t pairs = 0;
       for (size_t i = 0; i < in.size(); ++i) {
         bool subsumed = false;
         for (size_t j = 0; j < in.size(); ++j) {
-          if (i != j && in[i].ProperlySubsumedBy(in[j])) {
+          if (i == j) continue;
+          ++pairs;
+          if (in[i].ProperlySubsumedBy(in[j])) {
             subsumed = true;
             break;
           }
         }
         if (!subsumed) out.push_back(in[i]);
+      }
+      if (OpCounters* oc = ScopedOpCounters::Current()) {
+        oc->ns_pairs_compared += pairs;
       }
       return out;
     }
@@ -120,9 +136,20 @@ Rows Eval(const Graph& g, const Pattern& p) {
 
 }  // namespace
 
-MappingSet ReferenceEval(const Graph& graph, const PatternPtr& pattern) {
+MappingSet ReferenceEval(const Graph& graph, const PatternPtr& pattern,
+                         Tracer* tracer) {
   RDFQL_CHECK(pattern != nullptr);
-  return MappingSet::FromList(Eval(graph, *pattern));
+  if (tracer == nullptr) return MappingSet::FromList(Eval(graph, *pattern));
+  ScopedSpan span(tracer, "REFERENCE");
+  OpCounters counters;
+  MappingSet result;
+  {
+    ScopedOpCounters install(&counters);
+    result = MappingSet::FromList(Eval(graph, *pattern));
+  }
+  counters.mappings_out = result.size();
+  counters.AttachTo(&span);
+  return result;
 }
 
 }  // namespace rdfql

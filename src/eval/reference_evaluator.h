@@ -3,6 +3,7 @@
 
 #include "algebra/mapping_set.h"
 #include "algebra/pattern.h"
+#include "obs/tracer.h"
 #include "rdf/graph.h"
 
 namespace rdfql {
@@ -13,7 +14,14 @@ namespace rdfql {
 /// over plain vectors, NS by pairwise maximality checks. It exists purely
 /// as a differential-testing oracle for the production `Evaluator` — any
 /// disagreement between the two on any (pattern, graph) pair is a bug.
-MappingSet ReferenceEval(const Graph& graph, const PatternPtr& pattern);
+///
+/// With a non-null `tracer`, the evaluation is recorded under a single
+/// "REFERENCE" span with `index_probes` (full-scan triples visited),
+/// `join_probes`, `ns_pairs_compared` and `mappings_out` counters — enough
+/// to compare its work against the production evaluator's without giving
+/// the oracle its own (bug-prone) per-node machinery.
+MappingSet ReferenceEval(const Graph& graph, const PatternPtr& pattern,
+                         Tracer* tracer = nullptr);
 
 }  // namespace rdfql
 

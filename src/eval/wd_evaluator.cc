@@ -11,6 +11,7 @@ namespace {
 MappingSet ExtendByTriple(const Graph& graph, const MappingSet& seeds,
                           const TriplePattern& t) {
   MappingSet out;
+  uint64_t pairs = 0;
   for (const Mapping& m : seeds) {
     auto position = [&m](Term term) -> TermId {
       if (term.is_iri()) return term.iri();
@@ -18,7 +19,8 @@ MappingSet ExtendByTriple(const Graph& graph, const MappingSet& seeds,
       return v.has_value() ? *v : kInvalidTermId;
     };
     graph.Match(position(t.s), position(t.p), position(t.o),
-                [&t, &m, &out](const Triple& match) {
+                [&t, &m, &out, &pairs](const Triple& match) {
+                  ++pairs;
                   Mapping extended = m;
                   bool ok = true;
                   auto bind = [&extended, &ok](Term term, TermId value) {
@@ -36,6 +38,10 @@ MappingSet ExtendByTriple(const Graph& graph, const MappingSet& seeds,
                   bind(t.o, match.o);
                   if (ok) out.Add(extended);
                 });
+  }
+  if (OpCounters* oc = ScopedOpCounters::Current()) {
+    oc->index_probes += seeds.size();
+    oc->join_probes += pairs;
   }
   return out;
 }
@@ -78,12 +84,32 @@ MappingSet EvalNode(const Graph& graph, const WdTreeNode& node,
 }  // namespace
 
 Result<MappingSet> EvalWellDesignedTopDown(const Graph& graph,
-                                           const PatternPtr& pattern) {
+                                           const PatternPtr& pattern,
+                                           Tracer* tracer,
+                                           MetricsRegistry* metrics) {
   RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
                          BuildWdTree(pattern));
   MappingSet seeds;
   seeds.Add(Mapping());
-  return EvalNode(graph, *tree, seeds);
+  if (tracer == nullptr && metrics == nullptr) {
+    return EvalNode(graph, *tree, seeds);
+  }
+  ScopedSpan span(tracer, "WD-TOPDOWN");
+  OpCounters counters;
+  MappingSet result;
+  {
+    ScopedOpCounters install(&counters);
+    result = EvalNode(graph, *tree, seeds);
+  }
+  counters.mappings_out = result.size();
+  counters.AttachTo(&span);
+  if (metrics != nullptr) {
+    metrics->GetCounter("wd_eval.evals")->Inc();
+    metrics->GetCounter("wd_eval.index_probes")->Inc(counters.index_probes);
+    metrics->GetCounter("wd_eval.join_probes")->Inc(counters.join_probes);
+    metrics->GetCounter("wd_eval.mappings_out")->Inc(counters.mappings_out);
+  }
+  return result;
 }
 
 }  // namespace rdfql

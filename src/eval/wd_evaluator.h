@@ -3,6 +3,8 @@
 
 #include "algebra/mapping_set.h"
 #include "algebra/pattern.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "rdf/graph.h"
 #include "util/status.h"
 
@@ -20,9 +22,17 @@ namespace rdfql {
 /// is exactly OPT's semantics on well-designed inputs, where a child
 /// variable shared with the outside must occur in the parent block.
 ///
+/// With a non-null `tracer` the whole walk is recorded under one
+/// "WD-TOPDOWN" span carrying `index_probes` / `join_probes` /
+/// `mappings_out`; with a non-null `metrics` the same counts land under
+/// `wd_eval.*` (the walk is per-seed recursive, so per-tree-node spans
+/// would explode — aggregate counters are the useful granularity here).
+///
 /// Fails with InvalidArgument when the pattern is not well designed.
 Result<MappingSet> EvalWellDesignedTopDown(const Graph& graph,
-                                           const PatternPtr& pattern);
+                                           const PatternPtr& pattern,
+                                           Tracer* tracer = nullptr,
+                                           MetricsRegistry* metrics = nullptr);
 
 }  // namespace rdfql
 

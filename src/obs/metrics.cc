@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace rdfql {
+namespace {
+
+void AppendNumber(double v, std::string* out) {
+  // Integral values print without a fraction so counter JSON stays exact.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    out->append(std::to_string(static_cast<int64_t>(v)));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketBound(int i) { return uint64_t{1} << i; }
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t RegistrySnapshot::HistogramData::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (const auto& [bound, n] : buckets) {
+    seen += n;
+    if (seen > rank) return bound;
+  }
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+std::string RegistrySnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out += name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name + " count=" + std::to_string(h.count) +
+           " sum=" + std::to_string(h.sum);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " mean=%.1f p50<=%llu p99<=%llu\n",
+                  h.Mean(),
+                  static_cast<unsigned long long>(h.ApproxQuantile(0.5)),
+                  static_cast<unsigned long long>(h.ApproxQuantile(0.99)));
+    out += buf;
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + ",\"mean\":";
+    AppendNumber(h.Mean(), &out);
+    out += ",\"p50\":" + std::to_string(h.ApproxQuantile(0.5)) +
+           ",\"p99\":" + std::to_string(h.ApproxQuantile(0.99)) +
+           ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [bound, n] : h.buckets) {
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "[" + std::to_string(bound) + "," + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    RegistrySnapshot::HistogramData data;
+    data.count = h->Count();
+    data.sum = h->Sum();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t n = h->BucketCount(i);
+      if (n > 0) data.buckets.emplace_back(Histogram::BucketBound(i), n);
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace rdfql

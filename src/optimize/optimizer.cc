@@ -81,8 +81,15 @@ size_t SharedVarCount(const std::vector<VarId>& bound,
 
 }  // namespace
 
+void Optimizer::Count(const char* name, uint64_t n) const {
+  if (options_.metrics != nullptr && n > 0) {
+    options_.metrics->GetCounter(std::string("optimizer.") + name)->Inc(n);
+  }
+}
+
 PatternPtr Optimizer::Optimize(const PatternPtr& pattern) const {
   RDFQL_CHECK(pattern != nullptr);
+  Count("runs");
   return Rewrite(pattern);
 }
 
@@ -102,6 +109,7 @@ PatternPtr Optimizer::Rewrite(const PatternPtr& p) const {
         // Dropping an empty branch of a UNION is always sound.
         bool l_dead = IsUnsatisfiable(*l);
         bool r_dead = IsUnsatisfiable(*r);
+        if (l_dead != r_dead) Count("union_branches_pruned");
         if (l_dead && !r_dead) return r;
         if (r_dead && !l_dead) return l;
       }
@@ -119,6 +127,7 @@ PatternPtr Optimizer::Rewrite(const PatternPtr& p) const {
         // (P FILTER R1) FILTER R2 ≡ P FILTER (R1 ∧ R2).
         cond = Builtin::And(child->condition(), cond);
         child = child->child();
+        Count("filters_merged");
       }
       if (!options_.push_filters) return Pattern::Filter(child, cond);
       std::vector<BuiltinPtr> conjuncts;
@@ -148,32 +157,38 @@ PatternPtr Optimizer::PushFilter(const PatternPtr& child,
                                  BuiltinPtr condition) const {
   switch (child->kind()) {
     case PatternKind::kUnion:
+      Count("filters_pushed");
       return Pattern::Union(PushFilter(child->left(), condition),
                             PushFilter(child->right(), condition));
     case PatternKind::kAnd:
       if (VarsCertainlyBoundIn(condition, child->left())) {
+        Count("filters_pushed");
         return Pattern::And(PushFilter(child->left(), condition),
                             child->right());
       }
       if (VarsCertainlyBoundIn(condition, child->right())) {
+        Count("filters_pushed");
         return Pattern::And(child->left(),
                             PushFilter(child->right(), condition));
       }
       return Pattern::Filter(child, condition);
     case PatternKind::kOpt:
       if (VarsCertainlyBoundIn(condition, child->left())) {
+        Count("filters_pushed");
         return Pattern::Opt(PushFilter(child->left(), condition),
                             child->right());
       }
       return Pattern::Filter(child, condition);
     case PatternKind::kMinus:
       if (VarsCertainlyBoundIn(condition, child->left())) {
+        Count("filters_pushed");
         return Pattern::Minus(PushFilter(child->left(), condition),
                               child->right());
       }
       return Pattern::Filter(child, condition);
     case PatternKind::kSelect:
       if (VarsSubsetOf(condition, child->projection())) {
+        Count("filters_pushed");
         return Pattern::Select(child->projection(),
                                PushFilter(child->child(), condition));
       }
@@ -187,9 +202,11 @@ PatternPtr Optimizer::ReorderAnds(const PatternPtr& p) const {
   std::vector<PatternPtr> conjuncts;
   FlattenAnd(p, &conjuncts);
   if (conjuncts.size() <= 2) return p;
+  Count("joins_reordered");
 
   auto estimate = [this](const PatternPtr& q) -> double {
     if (q->kind() == PatternKind::kTriple) {
+      Count("stats_estimates");
       return stats_->EstimateCardinality(q->triple());
     }
     // Non-leaf conjuncts: assume graph-sized.

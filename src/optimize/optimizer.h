@@ -2,6 +2,7 @@
 #define RDFQL_OPTIMIZE_OPTIMIZER_H_
 
 #include "algebra/pattern.h"
+#include "obs/metrics.h"
 #include "optimize/stats.h"
 #include "rdf/dictionary.h"
 
@@ -22,6 +23,9 @@ struct OptimizerOptions {
   /// Remove UNION branches that are syntactically unsatisfiable
   /// (FILTER false).
   bool prune_unsatisfiable = true;
+  /// When set, each applied rewrite and each statistics-estimation call is
+  /// counted under `optimizer.*` (see docs/observability.md).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A statistics-driven, rule-based pattern optimizer in the spirit of the
@@ -39,6 +43,8 @@ class Optimizer {
   PatternPtr Rewrite(const PatternPtr& p) const;
   PatternPtr ReorderAnds(const PatternPtr& p) const;
   PatternPtr PushFilter(const PatternPtr& child, BuiltinPtr condition) const;
+  /// Bumps `optimizer.<name>` when options_.metrics is set.
+  void Count(const char* name, uint64_t n = 1) const;
 
   const GraphStats* stats_;
   OptimizerOptions options_;

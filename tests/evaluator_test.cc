@@ -170,6 +170,42 @@ TEST_F(EvaluatorTest, IndexNestedLoopHandlesRepeatedVars) {
       EvalPattern(g, Parse("(?x p ?y) AND (?x q ?x)"), inl).empty());
 }
 
+TEST_F(EvaluatorTest, OptAgreesAcrossJoinStrategies) {
+  // Promised by the kIndexNestedLoop note in evaluator.h: OPT deliberately
+  // skips the index-join shortcut (the difference half needs ⟦P2⟧G
+  // materialized anyway), so all three strategies must agree on OPT-heavy
+  // patterns — both where the optional side matches and where it dangles.
+  Graph g = Load("a p b .\nc p d .\nb q e .\ne r f .");
+  const char* queries[] = {
+      "(?x p ?y) OPT (?y q ?z)",
+      "((?x p ?y) OPT (?y q ?z)) OPT (?z r ?w)",
+      "((?x p ?y) AND (?y q ?z)) OPT (?z r ?w)",
+      "(?x p ?y) OPT ((?y q ?z) AND (?z r ?w))",
+  };
+  EvalOptions hash, nested, inl;
+  hash.join = EvalOptions::Join::kHash;
+  nested.join = EvalOptions::Join::kNestedLoop;
+  inl.join = EvalOptions::Join::kIndexNestedLoop;
+  for (const char* q : queries) {
+    PatternPtr p = Parse(q);
+    MappingSet expected = EvalPattern(g, p, hash);
+    EXPECT_EQ(expected, EvalPattern(g, p, nested)) << q;
+    EXPECT_EQ(expected, EvalPattern(g, p, inl)) << q;
+  }
+  // And on random OPT-rich patterns.
+  Rng rng(515);
+  PatternGenSpec spec;
+  spec.allow_opt = true;
+  spec.max_depth = 4;
+  for (int i = 0; i < 40; ++i) {
+    PatternPtr p = GenerateRandomPattern(spec, &dict_, &rng);
+    Graph rg = GenerateRandomGraph(15, 4, &dict_, &rng, "opt");
+    MappingSet expected = EvalPattern(rg, p, hash);
+    EXPECT_EQ(expected, EvalPattern(rg, p, nested));
+    EXPECT_EQ(expected, EvalPattern(rg, p, inl));
+  }
+}
+
 TEST_F(EvaluatorTest, EvalMaxEqualsNsWrap) {
   Rng rng(23);
   PatternGenSpec spec;
