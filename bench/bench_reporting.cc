@@ -424,6 +424,12 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
   return true;
 }
 
+namespace {
+int cli_threads = 1;
+}  // namespace
+
+int CliThreads() { return cli_threads; }
+
 int BenchMain(int argc, char** argv, const char* bench_name) {
   bool emit_json = false;
   std::string json_path = std::string("BENCH_") + bench_name + ".json";
@@ -435,6 +441,11 @@ int BenchMain(int argc, char** argv, const char* bench_name) {
     } else if (a.rfind("--json=", 0) == 0) {
       emit_json = true;
       json_path = std::string(a.substr(7));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      cli_threads =
+          static_cast<int>(std::strtol(std::string(a.substr(10)).c_str(),
+                                       nullptr, 10));
+      if (cli_threads < 1) cli_threads = 1;
     } else {
       args.push_back(argv[i]);
     }

@@ -41,10 +41,18 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
 /// Shared main for every bench binary:
 ///  - strips `--json[=path]` from argv (default path: BENCH_<name>.json in
 ///    the current directory),
+///  - strips `--threads=N`, exposed to cases via CliThreads() so any bench
+///    can be rerun parallel and its BENCH_<name>.json diffed against the
+///    serial run (same cases, serial-vs-parallel real_ns),
 ///  - runs google-benchmark as usual (console output preserved),
 ///  - when --json was given, additionally writes the schema file above.
 /// Returns the process exit code.
 int BenchMain(int argc, char** argv, const char* bench_name);
+
+/// The `--threads=N` value BenchMain parsed, 1 when absent. Benches that
+/// evaluate queries put this into EvalOptions::threads (and typically echo
+/// it back as a `threads` case counter).
+int CliThreads();
 
 }  // namespace bench
 }  // namespace rdfql

@@ -52,15 +52,18 @@ void RunMixQuery(benchmark::State& state, size_t query_index,
     RDFQL_CHECK(EvalPattern(g, pattern) == EvalPattern(g, optimized));
     pattern = optimized;
   }
+  EvalOptions options;
+  options.threads = bench::CliThreads();
   size_t answers = 0;
   for (auto _ : state) {
-    MappingSet r = EvalPattern(g, pattern);
+    MappingSet r = EvalPattern(g, pattern, options);
     answers = r.size();
     benchmark::DoNotOptimize(r);
   }
   state.SetLabel(q.name + (optimize ? " (optimized)" : ""));
   state.counters["answers"] = static_cast<double>(answers);
   state.counters["triples"] = static_cast<double>(g.size());
+  state.counters["threads"] = static_cast<double>(options.threads);
 }
 
 void BM_UniStudentTeacher(benchmark::State& state) {

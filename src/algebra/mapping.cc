@@ -52,6 +52,14 @@ std::vector<VarId> Mapping::Domain() const {
 }
 
 bool Mapping::CompatibleWith(const Mapping& other) const {
+  // Disjoint VarId ranges (common under INL joins, where one side binds a
+  // low prefix of variables and the other a high suffix) share no
+  // variables, hence are vacuously compatible — skip the merge walk.
+  if (bindings_.empty() || other.bindings_.empty() ||
+      bindings_.back().first < other.bindings_.front().first ||
+      other.bindings_.back().first < bindings_.front().first) {
+    return true;
+  }
   // Merge walk over two sorted binding lists.
   size_t i = 0, j = 0;
   while (i < bindings_.size() && j < other.bindings_.size()) {
@@ -71,6 +79,20 @@ bool Mapping::CompatibleWith(const Mapping& other) const {
 Mapping Mapping::UnionWith(const Mapping& other) const {
   Mapping out;
   out.bindings_.reserve(bindings_.size() + other.bindings_.size());
+  // Non-overlapping VarId ranges concatenate without a merge walk.
+  if (bindings_.empty() || other.bindings_.empty() ||
+      bindings_.back().first < other.bindings_.front().first) {
+    out.bindings_ = bindings_;
+    out.bindings_.insert(out.bindings_.end(), other.bindings_.begin(),
+                         other.bindings_.end());
+    return out;
+  }
+  if (other.bindings_.back().first < bindings_.front().first) {
+    out.bindings_ = other.bindings_;
+    out.bindings_.insert(out.bindings_.end(), bindings_.begin(),
+                         bindings_.end());
+    return out;
+  }
   size_t i = 0, j = 0;
   while (i < bindings_.size() || j < other.bindings_.size()) {
     if (j >= other.bindings_.size() ||

@@ -4,9 +4,30 @@
 #include <unordered_map>
 
 #include "obs/tracer.h"
+#include "util/thread_pool.h"
 
 namespace rdfql {
 namespace {
+
+// Below this many probe-side (resp. left-side) mappings the fork/join
+// overhead outweighs the work; the kernels stay serial. The threshold only
+// affects scheduling, never results — outputs are scheduling-independent.
+constexpr size_t kParallelKernelMinInput = 64;
+
+// Chunk layout for a parallel kernel: `chunks` contiguous ranges covering
+// [0, n), each at least kParallelKernelMinInput/2 long, at most 4 per
+// thread so the atomic claim cursor balances uneven chunks.
+size_t NumChunks(size_t n, int threads) {
+  size_t by_threads = static_cast<size_t>(threads) * 4;
+  size_t by_size = n / (kParallelKernelMinInput / 2);
+  size_t chunks = std::min(by_threads, by_size);
+  return chunks < 2 ? 2 : chunks;
+}
+
+bool UseParallel(ThreadPool* pool, size_t n) {
+  return pool != nullptr && pool->num_threads() > 1 &&
+         n >= kParallelKernelMinInput;
+}
 
 // Variables bound in every mapping of `s` (the certain variables). For an
 // empty set, returns empty — callers handle that case directly.
@@ -52,7 +73,8 @@ bool MappingSet::Add(const Mapping& m) {
   return true;
 }
 
-MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b) {
+MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b,
+                            ThreadPool* pool) {
   MappingSet out;
   if (a.empty() || b.empty()) return out;
 
@@ -74,6 +96,43 @@ MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b) {
   for (const Mapping& m : build) {
     table[KeyHash(m, shared)].push_back(&m);
   }
+
+  if (UseParallel(pool, probe.size())) {
+    // Each chunk probes the shared (read-only) table into its own output
+    // vector; chunks concatenate in index order, so the candidate stream —
+    // and therefore the deduplicated result — matches the serial loop.
+    const std::vector<Mapping>& ps = probe.mappings();
+    size_t chunks = NumChunks(ps.size(), pool->num_threads());
+    std::vector<std::vector<Mapping>> results(chunks);
+    std::vector<uint64_t> probe_counts(chunks, 0);
+    pool->ParallelFor(chunks, [&](size_t c) {
+      size_t lo = ps.size() * c / chunks;
+      size_t hi = ps.size() * (c + 1) / chunks;
+      uint64_t local_probes = 0;
+      std::vector<Mapping>& local = results[c];
+      for (size_t i = lo; i < hi; ++i) {
+        auto it = table.find(KeyHash(ps[i], shared));
+        if (it == table.end()) continue;
+        for (const Mapping* other : it->second) {
+          ++local_probes;
+          if (ps[i].CompatibleWith(*other)) {
+            local.push_back(ps[i].UnionWith(*other));
+          }
+        }
+      }
+      probe_counts[c] = local_probes;
+    });
+    uint64_t probes = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      probes += probe_counts[c];
+      for (const Mapping& m : results[c]) out.Add(m);
+    }
+    if (OpCounters* oc = ScopedOpCounters::Current()) {
+      oc->join_probes += probes;
+    }
+    return out;
+  }
+
   uint64_t probes = 0;
   for (const Mapping& m : probe) {
     auto it = table.find(KeyHash(m, shared));
@@ -107,8 +166,44 @@ MappingSet MappingSet::UnionSets(const MappingSet& a, const MappingSet& b) {
   return out;
 }
 
-MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b) {
+MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b,
+                             ThreadPool* pool) {
   MappingSet out;
+  if (UseParallel(pool, a.size())) {
+    // Each left mapping's verdict is independent; chunk survivors keep
+    // their relative order and concatenate in chunk order, reproducing the
+    // serial output exactly (including the early-exit probe counts).
+    const std::vector<Mapping>& as = a.mappings();
+    size_t chunks = NumChunks(as.size(), pool->num_threads());
+    std::vector<std::vector<const Mapping*>> kept(chunks);
+    std::vector<uint64_t> pair_counts(chunks, 0);
+    pool->ParallelFor(chunks, [&](size_t c) {
+      size_t lo = as.size() * c / chunks;
+      size_t hi = as.size() * (c + 1) / chunks;
+      uint64_t local_pairs = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        bool incompatible_with_all = true;
+        for (const Mapping& m2 : b) {
+          ++local_pairs;
+          if (as[i].CompatibleWith(m2)) {
+            incompatible_with_all = false;
+            break;
+          }
+        }
+        if (incompatible_with_all) kept[c].push_back(&as[i]);
+      }
+      pair_counts[c] = local_pairs;
+    });
+    uint64_t pairs = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      pairs += pair_counts[c];
+      for (const Mapping* m : kept[c]) out.Add(*m);
+    }
+    if (OpCounters* oc = ScopedOpCounters::Current()) {
+      oc->join_probes += pairs;
+    }
+    return out;
+  }
   uint64_t pairs = 0;
   for (const Mapping& m1 : a) {
     bool incompatible_with_all = true;
@@ -125,9 +220,9 @@ MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b) {
   return out;
 }
 
-MappingSet MappingSet::LeftOuterJoin(const MappingSet& a,
-                                     const MappingSet& b) {
-  return UnionSets(Join(a, b), Minus(a, b));
+MappingSet MappingSet::LeftOuterJoin(const MappingSet& a, const MappingSet& b,
+                                     ThreadPool* pool) {
+  return UnionSets(Join(a, b, pool), Minus(a, b, pool));
 }
 
 bool MappingSet::Subsumed(const MappingSet& a, const MappingSet& b) {

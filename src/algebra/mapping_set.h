@@ -9,6 +9,8 @@
 
 namespace rdfql {
 
+class ThreadPool;
+
 /// A set of mappings Ω, the result type of SPARQL graph-pattern evaluation.
 ///
 /// Set semantics with deterministic iteration order (insertion order) so
@@ -40,7 +42,14 @@ class MappingSet {
   /// Uses a hash partition on the variables that are bound in *every*
   /// mapping of each side (the certain variables); falls back to pairwise
   /// checks within buckets, so it is correct for heterogeneous domains.
-  static MappingSet Join(const MappingSet& a, const MappingSet& b);
+  ///
+  /// With a non-null `pool` the probe side is split into contiguous chunks
+  /// evaluated across the pool's threads; chunk outputs are concatenated in
+  /// chunk order before the deduplicating insert, so the result — content
+  /// *and* iteration order — is bit-for-bit the serial result regardless of
+  /// scheduling. A null pool (the default) is the unchanged serial path.
+  static MappingSet Join(const MappingSet& a, const MappingSet& b,
+                         ThreadPool* pool = nullptr);
 
   /// Reference nested-loop join (baseline for the join ablation bench).
   static MappingSet JoinNestedLoop(const MappingSet& a, const MappingSet& b);
@@ -48,11 +57,14 @@ class MappingSet {
   /// Ω1 ∪ Ω2.
   static MappingSet UnionSets(const MappingSet& a, const MappingSet& b);
 
-  /// Ω1 ∖ Ω2 = { µ ∈ Ω1 | ∀ µ' ∈ Ω2 : µ ≁ µ' }.
-  static MappingSet Minus(const MappingSet& a, const MappingSet& b);
+  /// Ω1 ∖ Ω2 = { µ ∈ Ω1 | ∀ µ' ∈ Ω2 : µ ≁ µ' }. Same parallel contract as
+  /// Join: Ω1 is chunked, per-chunk survivors concatenate in chunk order.
+  static MappingSet Minus(const MappingSet& a, const MappingSet& b,
+                          ThreadPool* pool = nullptr);
 
   /// Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2).
-  static MappingSet LeftOuterJoin(const MappingSet& a, const MappingSet& b);
+  static MappingSet LeftOuterJoin(const MappingSet& a, const MappingSet& b,
+                                  ThreadPool* pool = nullptr);
 
   /// Ω1 ⊑ Ω2: every µ1 ∈ Ω1 is subsumed by some µ2 ∈ Ω2.
   static bool Subsumed(const MappingSet& a, const MappingSet& b);

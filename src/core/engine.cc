@@ -83,10 +83,29 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
   return Eval(graph_name, pattern, options);
 }
 
+void Engine::SetDefaultThreads(int threads) {
+  default_threads_ = threads < 1 ? 1 : threads;
+  // Resize (or drop) the shared pool; queries in flight are the caller's
+  // responsibility — the engine is not itself thread-safe for writes.
+  pool_.reset();
+  if (default_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(default_threads_);
+  }
+}
+
+EvalOptions Engine::WithEngineDefaults(EvalOptions options) const {
+  if (options.threads <= 1 && default_threads_ > 1) {
+    options.threads = default_threads_;
+    options.pool = pool_.get();
+  }
+  return options;
+}
+
 Result<MappingSet> Engine::Eval(const std::string& graph_name,
                                 const PatternPtr& pattern,
                                 EvalOptions options) {
   RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
+  options = WithEngineDefaults(options);
   if (!collect_metrics_) {
     return EvalPattern(*graph, pattern, options);
   }
@@ -106,6 +125,7 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
   out.parse_ns = NowNs() - t0;
   RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
+  options = WithEngineDefaults(options);
   if (collect_metrics_ && options.metrics == nullptr) {
     options.metrics = &metrics_;
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "algebra/mapping_set.h"
@@ -112,6 +113,16 @@ class Engine {
   PatternReport Classify(const PatternPtr& pattern,
                          const MonotonicityOptions& options = {});
 
+  // --- Parallelism ---
+
+  /// Engine-wide default for EvalOptions::threads. Queries whose options
+  /// leave `threads` at 1 (the default) adopt this value and run on the
+  /// engine's shared thread pool; options that explicitly ask for more
+  /// threads keep their own setting. 1 (the default) keeps every query on
+  /// the bit-for-bit serial path.
+  void SetDefaultThreads(int threads);
+  int default_threads() const { return default_threads_; }
+
   // --- Observability ---
 
   /// Turns metric collection on/off (off by default: the uninstrumented
@@ -132,10 +143,16 @@ class Engine {
   void ResetMetrics() { metrics_.Reset(); }
 
  private:
+  /// Applies the engine-wide thread default to per-query options.
+  EvalOptions WithEngineDefaults(EvalOptions options) const;
+
   Dictionary dict_;
   std::map<std::string, Graph> graphs_;
   MetricsRegistry metrics_;
   bool collect_metrics_ = false;
+  int default_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // shared across queries; sized
+                                      // default_threads_, created lazily
 };
 
 }  // namespace rdfql

@@ -28,6 +28,16 @@ const char* PatternOpName(PatternKind kind) {
   return "?";
 }
 
+void Evaluator::InitPool() {
+  if (options_.threads <= 1) return;
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+    return;
+  }
+  owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  pool_ = owned_pool_.get();
+}
+
 MappingSet Evaluator::Eval(const PatternPtr& pattern) const {
   RDFQL_CHECK(pattern != nullptr);
   return EvalNode(*pattern);
@@ -39,8 +49,80 @@ MappingSet Evaluator::EvalMax(const PatternPtr& pattern) const {
 
 MappingSet Evaluator::ApplyNs(const MappingSet& input) const {
   return options_.ns == EvalOptions::NsAlgo::kBucketed
-             ? RemoveSubsumedBucketed(input)
+             ? RemoveSubsumedBucketed(input, pool_)
              : RemoveSubsumedNaive(input);
+}
+
+void Evaluator::EvalBranches(const Pattern& left, const Pattern& right,
+                             MappingSet* l, MappingSet* r) const {
+  // Callers only reach here when ParallelSubtrees() holds; the guard is
+  // kept as a safety net. Keeping the serial fallback at the call sites
+  // (not here) matters for stack depth: UCQ expansions produce patterns
+  // tens of thousands of nodes deep, and an extra frame per level is the
+  // difference between fitting in the stack and overflowing it.
+  if (pool_ == nullptr || options_.tracer != nullptr) {
+    *l = EvalNode(left);
+    *r = EvalNode(right);
+    return;
+  }
+  // A branch that lands on a worker thread starts with no counter sink
+  // installed there; give each branch a private sink mirroring the calling
+  // thread's, and merge after the join so totals match the serial run.
+  OpCounters* parent_sink = ScopedOpCounters::Current();
+  OpCounters branch_counters[2];
+  pool_->ParallelFor(2, [&](size_t i) {
+    ScopedOpCounters install(parent_sink != nullptr ? &branch_counters[i]
+                                                    : nullptr);
+    if (i == 0) {
+      *l = EvalNode(left);
+    } else {
+      *r = EvalNode(right);
+    }
+  });
+  if (parent_sink != nullptr) {
+    parent_sink->MergeFrom(branch_counters[0]);
+    parent_sink->MergeFrom(branch_counters[1]);
+  }
+}
+
+MappingSet Evaluator::EvalUnionSpine(const Pattern& p) const {
+  // In-order leaves of the maximal UNION subtree rooted at p, collected
+  // with an explicit stack (the spine can be deeper than the call stack).
+  std::vector<const Pattern*> disjuncts;
+  std::vector<const Pattern*> walk{&p};
+  while (!walk.empty()) {
+    const Pattern* cur = walk.back();
+    walk.pop_back();
+    if (cur->kind() == PatternKind::kUnion) {
+      walk.push_back(cur->right().get());
+      walk.push_back(cur->left().get());
+    } else {
+      disjuncts.push_back(cur);
+    }
+  }
+  std::vector<MappingSet> parts(disjuncts.size());
+  if (ParallelSubtrees() && disjuncts.size() > 1) {
+    OpCounters* parent_sink = ScopedOpCounters::Current();
+    std::vector<OpCounters> sinks(parent_sink != nullptr ? disjuncts.size()
+                                                         : 0);
+    pool_->ParallelFor(disjuncts.size(), [&](size_t i) {
+      ScopedOpCounters install(parent_sink != nullptr ? &sinks[i] : nullptr);
+      parts[i] = EvalNode(*disjuncts[i]);
+    });
+    for (const OpCounters& s : sinks) parent_sink->MergeFrom(s);
+  } else {
+    for (size_t i = 0; i < disjuncts.size(); ++i) {
+      parts[i] = EvalNode(*disjuncts[i]);
+    }
+  }
+  // Folding left to right with the deduplicating Add reproduces exactly
+  // what the recursive UnionSets nest would: first occurrence wins, in
+  // disjunct order.
+  MappingSet out;
+  for (const MappingSet& part : parts) {
+    for (const Mapping& m : part) out.Add(m);
+  }
+  return out;
 }
 
 MappingSet Evaluator::IndexJoinWithTriple(const MappingSet& left,
@@ -166,31 +248,59 @@ MappingSet Evaluator::EvalNodeImpl(const Pattern& p) const {
     case PatternKind::kTriple:
       return EvalTriple(p.triple());
     case PatternKind::kAnd: {
-      MappingSet l = EvalNode(*p.left());
       if (options_.join == EvalOptions::Join::kIndexNestedLoop &&
           p.right()->kind() == PatternKind::kTriple) {
+        MappingSet l = EvalNode(*p.left());
         return IndexJoinWithTriple(l, p.right()->triple());
       }
-      MappingSet r = EvalNode(*p.right());
+      MappingSet l, r;
+      if (ParallelSubtrees()) {
+        EvalBranches(*p.left(), *p.right(), &l, &r);
+      } else {
+        l = EvalNode(*p.left());
+        r = EvalNode(*p.right());
+      }
       return options_.join == EvalOptions::Join::kNestedLoop
                  ? MappingSet::JoinNestedLoop(l, r)
-                 : MappingSet::Join(l, r);
+                 : MappingSet::Join(l, r, pool_);
     }
-    case PatternKind::kUnion:
-      return MappingSet::UnionSets(EvalNode(*p.left()), EvalNode(*p.right()));
-    case PatternKind::kOpt: {
+    case PatternKind::kUnion: {
+      // The unobserved path flattens the whole UNION spine (stack safety
+      // on deep UCQ chains + multi-way parallel disjuncts); the observed
+      // path recurses two-way so each UNION node keeps its own span.
+      if (!options_.observed()) {
+        return EvalUnionSpine(p);
+      }
       MappingSet l = EvalNode(*p.left());
+      MappingSet r = EvalNode(*p.right());
+      return MappingSet::UnionSets(l, r);
+    }
+    case PatternKind::kOpt: {
       // The difference half of ⟕ = ⋈ ∪ ∖ needs ⟦P2⟧G materialized whatever
       // the join strategy, so the index-join shortcut never pays here (see
       // the note on EvalOptions::Join::kIndexNestedLoop in evaluator.h).
-      MappingSet r = EvalNode(*p.right());
+      MappingSet l, r;
+      if (ParallelSubtrees()) {
+        EvalBranches(*p.left(), *p.right(), &l, &r);
+      } else {
+        l = EvalNode(*p.left());
+        r = EvalNode(*p.right());
+      }
       MappingSet joined = options_.join == EvalOptions::Join::kNestedLoop
                               ? MappingSet::JoinNestedLoop(l, r)
-                              : MappingSet::Join(l, r);
-      return MappingSet::UnionSets(joined, MappingSet::Minus(l, r));
+                              : MappingSet::Join(l, r, pool_);
+      return MappingSet::UnionSets(joined, MappingSet::Minus(l, r, pool_));
     }
-    case PatternKind::kMinus:
-      return MappingSet::Minus(EvalNode(*p.left()), EvalNode(*p.right()));
+    case PatternKind::kMinus: {
+      MappingSet l, r;
+      if (ParallelSubtrees()) {
+        EvalBranches(*p.left(), *p.right(), &l, &r);
+      } else {
+        l = EvalNode(*p.left());
+        r = EvalNode(*p.right());
+      }
+      return MappingSet::Minus(l, r, pool_);
+    }
     case PatternKind::kFilter: {
       MappingSet in = EvalNode(*p.child());
       MappingSet out;

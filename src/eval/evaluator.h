@@ -2,6 +2,7 @@
 #define RDFQL_EVAL_EVALUATOR_H_
 
 #include <functional>
+#include <memory>
 
 #include "algebra/mapping_set.h"
 #include "algebra/pattern.h"
@@ -9,6 +10,7 @@
 #include "obs/tracer.h"
 #include "rdf/graph.h"
 #include "rdf/static_graph.h"
+#include "util/thread_pool.h"
 
 namespace rdfql {
 
@@ -36,6 +38,22 @@ struct EvalOptions {
 
   Join join = Join::kHash;
   NsAlgo ns = NsAlgo::kBucketed;
+
+  // --- Parallelism (opt-in; default is the bit-for-bit serial path) ---
+  /// Number of evaluation threads. 1 (the default) is exactly the serial
+  /// evaluator: no pool, no forks, byte-identical results and counters.
+  /// With threads > 1 the hot kernels (hash join probes, MINUS scans,
+  /// bucketed NS pruning) split their input across a thread pool and the
+  /// independent AND/UNION/OPT/MINUS subtrees evaluate concurrently.
+  /// Results are merged deterministically (chunk/insertion order), so any
+  /// thread count produces the same MappingSet — content and iteration
+  /// order — and the same work counters as threads = 1.
+  int threads = 1;
+  /// Optional externally owned pool to run on (so repeated evaluations
+  /// don't pay thread startup). If null and threads > 1, the Evaluator
+  /// constructs a private pool of `threads` threads for its lifetime.
+  /// Ignored when threads <= 1.
+  ThreadPool* pool = nullptr;
 
   // --- Observability (all opt-in; defaults keep the hot path free) ---
   /// When set, every operator node is evaluated under an RAII span carrying
@@ -67,7 +85,9 @@ class Evaluator {
                          const std::function<void(const Triple&)>& fn) {
           return graph->Match(s, p, o, fn);
         }),
-        options_(options) {}
+        options_(options) {
+    InitPool();
+  }
 
   /// Evaluates directly against the immutable CSR store.
   explicit Evaluator(const StaticGraph* graph, EvalOptions options = {})
@@ -75,7 +95,9 @@ class Evaluator {
                          const std::function<void(const Triple&)>& fn) {
           return graph->Match(s, p, o, fn);
         }),
-        options_(options) {}
+        options_(options) {
+    InitPool();
+  }
 
   /// ⟦P⟧G.
   MappingSet Eval(const PatternPtr& pattern) const;
@@ -84,11 +106,30 @@ class Evaluator {
   MappingSet EvalMax(const PatternPtr& pattern) const;
 
  private:
+  /// Resolves options_.threads/pool into pool_ (see EvalOptions::pool).
+  void InitPool();
   MappingSet EvalNode(const Pattern& p) const;
   /// The uninstrumented operator dispatch (the hot path).
   MappingSet EvalNodeImpl(const Pattern& p) const;
   /// EvalNodeImpl wrapped in a span + per-node counter sink.
   MappingSet EvalNodeObserved(const Pattern& p) const;
+  /// Whether independent subtrees may evaluate concurrently: a pool is
+  /// available and no tracer is attached (the span tree is single-threaded
+  /// by contract). Callers fall back to direct EvalNode calls otherwise —
+  /// inline, so the serial path adds no stack frame per tree level.
+  bool ParallelSubtrees() const {
+    return pool_ != nullptr && options_.tracer == nullptr;
+  }
+  /// Evaluates two independent subtrees into *l / *r on the pool; call
+  /// only when ParallelSubtrees() holds.
+  void EvalBranches(const Pattern& left, const Pattern& right, MappingSet* l,
+                    MappingSet* r) const;
+  /// Evaluates the in-order disjuncts of a maximal UNION spine and folds
+  /// them left to right — iteratively, because UCQ expansions build spines
+  /// tens of thousands of nodes deep that would overflow the stack if each
+  /// level recursed. Used on the unobserved path only (the traced path
+  /// keeps per-node recursion so every UNION node gets its span).
+  MappingSet EvalUnionSpine(const Pattern& p) const;
   MappingSet EvalTriple(const TriplePattern& t) const;
   MappingSet IndexJoinWithTriple(const MappingSet& left,
                                  const TriplePattern& t) const;
@@ -99,6 +140,9 @@ class Evaluator {
 
   Matcher matcher_;
   EvalOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  /// Null on the serial path; the active pool when threads > 1.
+  ThreadPool* pool_ = nullptr;
 };
 
 /// One-shot convenience wrapper.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/tracer.h"
+#include "util/thread_pool.h"
 
 namespace rdfql {
 
@@ -29,7 +30,39 @@ MappingSet RemoveSubsumedNaive(const MappingSet& input) {
   return out;
 }
 
-MappingSet RemoveSubsumedBucketed(const MappingSet& input) {
+namespace {
+
+// Marks the mappings of `bucket` (domain `dom`) that appear as a
+// projection of some mapping in a strictly-larger bucket; returns the pair
+// count charged to this bucket (identical to the serial accounting).
+uint64_t MarkSubsumedInBucket(
+    const std::vector<VarId>& dom, const std::vector<const Mapping*>& bucket,
+    const std::map<std::vector<VarId>, std::vector<const Mapping*>>& buckets,
+    std::unordered_set<const Mapping*>* dead) {
+  uint64_t pairs = 0;
+  for (const auto& [sup_dom, sup_bucket] : buckets) {
+    if (sup_dom.size() <= dom.size()) continue;
+    if (!std::includes(sup_dom.begin(), sup_dom.end(), dom.begin(),
+                       dom.end())) {
+      continue;
+    }
+    std::unordered_set<Mapping, MappingHash> projections;
+    projections.reserve(sup_bucket.size());
+    for (const Mapping* sup : sup_bucket) {
+      projections.insert(sup->RestrictTo(dom));
+    }
+    pairs += sup_bucket.size() + bucket.size();
+    for (const Mapping* m : bucket) {
+      if (dead->count(m)) continue;
+      if (projections.count(*m)) dead->insert(m);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+MappingSet RemoveSubsumedBucketed(const MappingSet& input, ThreadPool* pool) {
   // Bucket by domain.
   std::map<std::vector<VarId>, std::vector<const Mapping*>> buckets;
   for (const Mapping& m : input) {
@@ -37,26 +70,33 @@ MappingSet RemoveSubsumedBucketed(const MappingSet& input) {
   }
 
   // For each pair D ⊊ D', mark the mappings of bucket D that appear as a
-  // projection of some mapping in bucket D'.
+  // projection of some mapping in bucket D'. Distinct candidate buckets
+  // are independent (a bucket's dead marks never feed another bucket's
+  // decision), so they parallelize with a private dead set per task; the
+  // final filter walks the input in its original order either way.
   uint64_t pairs = 0;
   std::unordered_set<const Mapping*> dead;
-  for (auto& [dom, bucket] : buckets) {
-    for (auto& [sup_dom, sup_bucket] : buckets) {
-      if (sup_dom.size() <= dom.size()) continue;
-      if (!std::includes(sup_dom.begin(), sup_dom.end(), dom.begin(),
-                         dom.end())) {
-        continue;
-      }
-      std::unordered_set<Mapping, MappingHash> projections;
-      projections.reserve(sup_bucket.size());
-      for (const Mapping* sup : sup_bucket) {
-        projections.insert(sup->RestrictTo(dom));
-      }
-      pairs += sup_bucket.size() + bucket.size();
-      for (const Mapping* m : bucket) {
-        if (dead.count(m)) continue;
-        if (projections.count(*m)) dead.insert(m);
-      }
+  if (pool != nullptr && pool->num_threads() > 1 && buckets.size() > 1) {
+    std::vector<const std::pair<const std::vector<VarId>,
+                                std::vector<const Mapping*>>*>
+        bucket_list;
+    bucket_list.reserve(buckets.size());
+    for (const auto& entry : buckets) bucket_list.push_back(&entry);
+    std::vector<std::unordered_set<const Mapping*>> dead_local(
+        bucket_list.size());
+    std::vector<uint64_t> pairs_local(bucket_list.size(), 0);
+    pool->ParallelFor(bucket_list.size(), [&](size_t i) {
+      pairs_local[i] =
+          MarkSubsumedInBucket(bucket_list[i]->first, bucket_list[i]->second,
+                               buckets, &dead_local[i]);
+    });
+    for (size_t i = 0; i < bucket_list.size(); ++i) {
+      pairs += pairs_local[i];
+      dead.insert(dead_local[i].begin(), dead_local[i].end());
+    }
+  } else {
+    for (const auto& [dom, bucket] : buckets) {
+      pairs += MarkSubsumedInBucket(dom, bucket, buckets, &dead);
     }
   }
   if (OpCounters* oc = ScopedOpCounters::Current()) {

@@ -93,6 +93,14 @@ uint64_t TraceSpan::GetCounter(std::string_view name) const {
   return 0;
 }
 
+void OpCounters::MergeFrom(const OpCounters& other) {
+  join_probes += other.join_probes;
+  index_probes += other.index_probes;
+  ns_pairs_compared += other.ns_pairs_compared;
+  filter_evals += other.filter_evals;
+  mappings_out += other.mappings_out;
+}
+
 void OpCounters::AttachTo(ScopedSpan* span) const {
   span->AddCounter("join_probes", join_probes);
   span->AddCounter("index_probes", index_probes);

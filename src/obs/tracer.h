@@ -115,6 +115,12 @@ struct OpCounters {
 
   /// Copies the non-zero counters onto a span.
   void AttachTo(ScopedSpan* span) const;
+
+  /// Accumulates another sink's counts into this one. Used by the parallel
+  /// evaluator: each worker-side subtree gets its own thread-local sink,
+  /// merged into the calling thread's sink after the fork joins — so the
+  /// hot path never shares a counter between threads.
+  void MergeFrom(const OpCounters& other);
 };
 
 /// Installs `sink` as the thread's current counter sink for the enclosing

@@ -30,11 +30,16 @@ void SortBy(std::vector<Triple>* v) {
   });
 }
 
-// Scans the sorted index for triples whose first `bound` key components
-// equal `k1[,k2]`, invoking fn on each.
+// Past this size (relative to the base index) the side array is folded
+// into the base by a full re-sort; below it, inserts stay cheap and scans
+// pay one extra binary search plus a two-way merge.
+size_t SideRebuildThreshold(size_t base_size) { return 64 + base_size / 8; }
+
+// Finds the [lower, end-of-prefix) range of `index` whose first `bound`
+// key components equal `k1[,k2]`.
 template <typename Key>
-size_t ScanPrefix(const std::vector<Triple>& index, TermId k1, TermId k2,
-                  int bound, const std::function<void(const Triple&)>& fn) {
+std::pair<const Triple*, const Triple*> PrefixRange(
+    const std::vector<Triple>& index, TermId k1, TermId k2, int bound) {
   auto lower = std::lower_bound(
       index.begin(), index.end(), std::make_pair(k1, k2),
       [bound](const Triple& t, const std::pair<TermId, TermId>& key) {
@@ -43,14 +48,36 @@ size_t ScanPrefix(const std::vector<Triple>& index, TermId k1, TermId k2,
         if (bound < 2) return false;
         return std::get<1>(tk) < key.second;
       });
-  size_t count = 0;
-  for (auto it = lower; it != index.end(); ++it) {
+  auto it = lower;
+  for (; it != index.end(); ++it) {
     auto tk = Key()(*it);
     if (std::get<0>(tk) != k1) break;
     if (bound >= 2 && std::get<1>(tk) != k2) break;
-    fn(*it);
+  }
+  return {index.data() + (lower - index.begin()),
+          index.data() + (it - index.begin())};
+}
+
+// Scans base and side for the bound prefix, merging the two sorted ranges
+// in key order so callbacks fire exactly as they would from one fully
+// sorted index (keys are unique: distinct triples, permutation keys).
+template <typename Key>
+size_t ScanPrefix(const std::vector<Triple>& base,
+                  const std::vector<Triple>& side, TermId k1, TermId k2,
+                  int bound, const std::function<void(const Triple&)>& fn) {
+  auto [b, b_end] = PrefixRange<Key>(base, k1, k2, bound);
+  auto [s, s_end] = PrefixRange<Key>(side, k1, k2, bound);
+  size_t count = 0;
+  while (b != b_end && s != s_end) {
+    if (Key()(*b) < Key()(*s)) {
+      fn(*b++);
+    } else {
+      fn(*s++);
+    }
     ++count;
   }
+  for (; b != b_end; ++b, ++count) fn(*b);
+  for (; s != s_end; ++s, ++count) fn(*s);
   return count;
 }
 
@@ -59,32 +86,53 @@ size_t ScanPrefix(const std::vector<Triple>& index, TermId k1, TermId k2,
 bool Graph::Insert(const Triple& t) {
   if (!set_.insert(t).second) return false;
   triples_.push_back(t);
-  for (auto& idx : index_) idx.clear();
+  // Indexes stay valid for their covered prefix; EnsureIndex absorbs the
+  // new tail into each side array on the next lookup.
   return true;
+}
+
+void Graph::InvalidateIndexes() {
+  for (Index& idx : index_) {
+    idx.base.clear();
+    idx.side.clear();
+    idx.covered = 0;
+  }
 }
 
 bool Graph::Erase(const Triple& t) {
   if (set_.erase(t) == 0) return false;
   triples_.erase(std::find(triples_.begin(), triples_.end(), t));
-  for (auto& idx : index_) idx.clear();
+  // Removal from the middle breaks the covered-prefix bookkeeping; erases
+  // are rare (updates), so a full invalidation keeps them simple.
+  InvalidateIndexes();
   return true;
 }
 
 void Graph::EnsureIndex(IndexKind kind) const {
-  std::vector<Triple>& idx = index_[kind];
-  if (idx.size() == triples_.size()) return;
-  idx = triples_;
+  Index& idx = index_[kind];
+  if (idx.covered == triples_.size()) return;
+  size_t added = triples_.size() - idx.covered;
+  if (idx.side.size() + added > SideRebuildThreshold(idx.base.size())) {
+    idx.base = triples_;
+    idx.side.clear();
+  } else {
+    idx.side.insert(idx.side.end(), triples_.begin() + idx.covered,
+                    triples_.end());
+  }
+  std::vector<Triple>* to_sort =
+      idx.side.empty() ? &idx.base : &idx.side;
   switch (kind) {
     case kSpo:
-      SortBy<SpoKey>(&idx);
+      SortBy<SpoKey>(to_sort);
       break;
     case kPos:
-      SortBy<PosKey>(&idx);
+      SortBy<PosKey>(to_sort);
       break;
     case kOsp:
-      SortBy<OspKey>(&idx);
+      SortBy<OspKey>(to_sort);
       break;
   }
+  idx.covered = triples_.size();
 }
 
 size_t Graph::Match(TermId s, TermId p, TermId o,
@@ -111,26 +159,32 @@ size_t Graph::Match(TermId s, TermId p, TermId o,
   // with a post-filter on s handled by the two-component scan (o, s bound).
   if (bs && bp) {
     EnsureIndex(kSpo);
-    return ScanPrefix<SpoKey>(index_[kSpo], s, p, 2, fn);
+    const Index& idx = index_[kSpo];
+    return ScanPrefix<SpoKey>(idx.base, idx.side, s, p, 2, fn);
   }
   if (bp && bo) {
     EnsureIndex(kPos);
-    return ScanPrefix<PosKey>(index_[kPos], p, o, 2, fn);
+    const Index& idx = index_[kPos];
+    return ScanPrefix<PosKey>(idx.base, idx.side, p, o, 2, fn);
   }
   if (bo && bs) {
     EnsureIndex(kOsp);
-    return ScanPrefix<OspKey>(index_[kOsp], o, s, 2, fn);
+    const Index& idx = index_[kOsp];
+    return ScanPrefix<OspKey>(idx.base, idx.side, o, s, 2, fn);
   }
   if (bs) {
     EnsureIndex(kSpo);
-    return ScanPrefix<SpoKey>(index_[kSpo], s, 0, 1, fn);
+    const Index& idx = index_[kSpo];
+    return ScanPrefix<SpoKey>(idx.base, idx.side, s, 0, 1, fn);
   }
   if (bp) {
     EnsureIndex(kPos);
-    return ScanPrefix<PosKey>(index_[kPos], p, 0, 1, fn);
+    const Index& idx = index_[kPos];
+    return ScanPrefix<PosKey>(idx.base, idx.side, p, 0, 1, fn);
   }
   EnsureIndex(kOsp);
-  return ScanPrefix<OspKey>(index_[kOsp], o, 0, 1, fn);
+  const Index& idx = index_[kOsp];
+  return ScanPrefix<OspKey>(idx.base, idx.side, o, 0, 1, fn);
 }
 
 size_t Graph::CountMatches(TermId s, TermId p, TermId o) const {

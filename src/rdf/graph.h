@@ -16,6 +16,15 @@ namespace rdfql {
 /// bound positions pick the index whose sort order makes the bound
 /// positions a prefix and binary-search the matching range, so triple
 /// pattern evaluation is O(log n + #matches).
+///
+/// Inserts do not invalidate the indexes: new triples accumulate in a
+/// small sorted side array per index, and scans merge the main index with
+/// the side array in key order (callback order is identical to a fully
+/// rebuilt index, since keys are unique permutations of unique triples).
+/// Only when the side array outgrows a threshold does the index re-sort
+/// from scratch — so interleaved insert/match workloads (updates, graph
+/// generators) pay O(side · log side) per touched index instead of a full
+/// O(n log n) re-sort after every insert.
 class Graph {
  public:
   Graph() = default;
@@ -62,13 +71,24 @@ class Graph {
  private:
   enum IndexKind { kSpo = 0, kPos = 1, kOsp = 2 };
 
+  /// One lazily maintained permutation index: `base` is a sorted copy of
+  /// the first `covered` inserted triples minus those in `side`; `side` is
+  /// the (sorted) overflow of recent inserts, merged into scans on demand
+  /// and folded into `base` by a full re-sort once it crosses the rebuild
+  /// threshold.
+  struct Index {
+    std::vector<Triple> base;
+    std::vector<Triple> side;
+    size_t covered = 0;  // prefix of triples_ reflected in base + side
+  };
+
   void EnsureIndex(IndexKind kind) const;
+  void InvalidateIndexes();
 
   std::vector<Triple> triples_;
   std::unordered_set<Triple> set_;
 
-  // Lazily built sorted copies of triples_; cleared on insert.
-  mutable std::vector<Triple> index_[3];
+  mutable Index index_[3];
 };
 
 }  // namespace rdfql

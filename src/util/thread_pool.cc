@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+namespace rdfql {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  size_t i;
+  while ((i = batch->next.fetch_add(1, std::memory_order_relaxed)) <
+         batch->num_tasks) {
+    (*batch->task)(i);
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->num_tasks) {
+      // Last task: wake the ParallelFor caller (and any idle worker).
+      // Locking mu_ orders this notify against the caller's predicate
+      // check, so the wakeup cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Find a batch with unclaimed tasks.
+    std::shared_ptr<Batch> batch;
+    for (const std::shared_ptr<Batch>& b : active_) {
+      if (b->next.load(std::memory_order_relaxed) < b->num_tasks) {
+        batch = b;
+        break;
+      }
+    }
+    if (batch != nullptr) {
+      lock.unlock();
+      DrainBatch(batch.get());
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;
+    cv_.wait(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks,
+                             const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(batch);
+  }
+  cv_.notify_all();
+  // Participate: claim tasks until none are left, then wait for the ones
+  // other threads claimed.
+  DrainBatch(batch.get());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&batch] {
+      return batch->done.load(std::memory_order_acquire) == batch->num_tasks;
+    });
+    for (size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i] == batch) {
+        active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rdfql

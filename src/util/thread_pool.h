@@ -1,0 +1,76 @@
+#ifndef RDFQL_UTIL_THREAD_POOL_H_
+#define RDFQL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfql {
+
+/// A fixed-size thread pool built for deterministic data parallelism: the
+/// only entry point is a blocking ParallelFor whose tasks are claimed from
+/// a shared atomic cursor (no work stealing, no per-thread deques). The
+/// calling thread participates, so a pool constructed with `num_threads`
+/// runs at most `num_threads` tasks concurrently while spawning only
+/// `num_threads - 1` workers — and a pool of size 1 degenerates to a plain
+/// serial loop with no threads at all.
+///
+/// Determinism contract: the pool never decides *what* the result is, only
+/// *who* computes which task. Callers that want scheduling-independent
+/// output must write task `i`'s results into slot `i` (or an
+/// index-addressed chunk) and combine slots in index order after
+/// ParallelFor returns — which is exactly how the parallel algebra kernels
+/// (MappingSet::Join / Minus, RemoveSubsumedBucketed) use it.
+///
+/// ParallelFor is reentrant: a task may itself call ParallelFor on the
+/// same pool (the parallel evaluator does this when a UNION branch
+/// contains a parallel join). The nested call's tasks are claimed by the
+/// nested caller and by any idle worker; a thread blocked in ParallelFor
+/// has no in-progress task of its own, so waits always target running
+/// threads and the nesting cannot deadlock.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (clamped to at least 0). The pool
+  /// must outlive every ParallelFor call issued against it.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum concurrency, workers plus the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs task(0), ..., task(num_tasks - 1), each exactly once, on the
+  /// workers and the calling thread; returns when all have completed.
+  /// Tasks must not throw (the engine's error discipline is Status/CHECK).
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
+
+ private:
+  /// One in-flight ParallelFor: a claim cursor and a completion count.
+  struct Batch {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  /// Runs tasks from `batch` until none are left to claim.
+  void DrainBatch(Batch* batch);
+
+  std::mutex mu_;
+  std::condition_variable cv_;  // woken on new work and batch completion
+  std::vector<std::shared_ptr<Batch>> active_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_UTIL_THREAD_POOL_H_

@@ -123,5 +123,67 @@ TEST(GraphTest, EqualityIsSetEquality) {
   EXPECT_FALSE(a == b);
 }
 
+// Interleaved insert/match workloads exercise the index side buffers: each
+// Match after an Insert must see all triples, in full index order, without
+// rebuilding the base index every time.
+TEST(GraphTest, InterleavedInsertAndMatchSeesEveryTriple) {
+  Rng rng(314);
+  Graph incremental;
+  std::vector<Triple> all;
+  for (int i = 0; i < 400; ++i) {
+    Triple t(rng.NextBelow(20), rng.NextBelow(6), rng.NextBelow(20));
+    if (incremental.Insert(t)) all.push_back(t);
+    // Alternate the probed index so every side buffer gets exercised.
+    TermId s = i % 3 == 0 ? t.s : kInvalidTermId;
+    TermId p = i % 3 == 1 ? t.p : kInvalidTermId;
+    TermId o = i % 3 == 2 ? t.o : kInvalidTermId;
+    // A Graph built fresh from the same triples has no side buffers; both
+    // must report identical matches in identical order.
+    Graph fresh;
+    for (const Triple& x : all) fresh.Insert(x);
+    std::vector<Triple> got, want;
+    incremental.Match(s, p, o, [&](const Triple& m) { got.push_back(m); });
+    fresh.Match(s, p, o, [&](const Triple& m) { want.push_back(m); });
+    ASSERT_EQ(got, want) << "iteration " << i;
+    ASSERT_FALSE(want.empty());  // the inserted triple itself matches
+  }
+}
+
+TEST(GraphTest, SideBufferCrossesRebuildThreshold) {
+  // Push enough triples through interleaved probes that the side arrays
+  // overflow their threshold and fold into the base at least once.
+  Graph g;
+  size_t expected = 0;
+  for (TermId s = 0; s < 40; ++s) {
+    for (TermId o = 0; o < 10; ++o) {
+      g.Insert(s, 7, o);
+      ++expected;
+    }
+    // Probe after every subject batch to force index maintenance.
+    ASSERT_EQ(g.CountMatches(s, kInvalidTermId, kInvalidTermId), 10u);
+  }
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, 7, kInvalidTermId), expected);
+  // Spot-check order on a two-component scan after many incremental adds.
+  std::vector<Triple> got;
+  g.Match(3, 7, kInvalidTermId, [&](const Triple& t) { got.push_back(t); });
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], Triple(3, 7, static_cast<TermId>(i)));
+  }
+}
+
+TEST(GraphTest, EraseInvalidatesIndexes) {
+  Graph g;
+  for (TermId i = 0; i < 100; ++i) g.Insert(i, 1, i + 1);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, 1, kInvalidTermId), 100u);
+  EXPECT_TRUE(g.Erase(Triple(50, 1, 51)));
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, 1, kInvalidTermId), 99u);
+  EXPECT_EQ(g.CountMatches(50, 1, kInvalidTermId), 0u);
+  // Inserts after an erase keep working through fresh side buffers.
+  g.Insert(200, 1, 201);
+  EXPECT_EQ(g.CountMatches(kInvalidTermId, 1, kInvalidTermId), 100u);
+  EXPECT_EQ(g.CountMatches(200, kInvalidTermId, kInvalidTermId), 1u);
+}
+
 }  // namespace
 }  // namespace rdfql

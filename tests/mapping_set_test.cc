@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace rdfql {
 namespace {
@@ -128,6 +129,47 @@ TEST(MappingSetTest, AlgebraicLaws) {
         MappingSet::LeftOuterJoin(a, b),
         MappingSet::UnionSets(MappingSet::Join(a, b), MappingSet::Minus(a, b)));
   }
+}
+
+// Parallel kernels must return byte-identical results to the serial ones:
+// same mappings AND same insertion order (chunk-ordered merge contract).
+TEST(MappingSetTest, ParallelJoinMinusOptMatchSerialExactly) {
+  ThreadPool pool(4);
+  Rng rng(2024);
+  // Sets large enough to cross the parallel threshold (64 probe inputs).
+  auto random_set = [&rng](int n) {
+    MappingSet s;
+    for (int i = 0; i < n; ++i) {
+      Mapping m;
+      for (VarId v = 0; v < 5; ++v) {
+        if (rng.NextBool(0.6)) m.Set(v, rng.NextBelow(4));
+      }
+      s.Add(m);
+    }
+    return s;
+  };
+  for (int round = 0; round < 10; ++round) {
+    MappingSet a = random_set(200);
+    MappingSet b = random_set(150);
+    EXPECT_EQ(MappingSet::Join(a, b).mappings(),
+              MappingSet::Join(a, b, &pool).mappings());
+    EXPECT_EQ(MappingSet::Minus(a, b).mappings(),
+              MappingSet::Minus(a, b, &pool).mappings());
+    EXPECT_EQ(MappingSet::LeftOuterJoin(a, b).mappings(),
+              MappingSet::LeftOuterJoin(a, b, &pool).mappings());
+  }
+}
+
+TEST(MappingSetTest, ParallelKernelsHandleSmallAndEmptyInputs) {
+  // Below the parallel threshold the pool is ignored; results still match.
+  ThreadPool pool(4);
+  MappingSet a = MappingSet::FromList({Make({{1, 1}}), Make({{1, 2}})});
+  MappingSet b = MappingSet::FromList({Make({{1, 1}, {2, 5}})});
+  MappingSet empty;
+  EXPECT_EQ(MappingSet::Join(a, b), MappingSet::Join(a, b, &pool));
+  EXPECT_EQ(MappingSet::Minus(a, b), MappingSet::Minus(a, b, &pool));
+  EXPECT_EQ(MappingSet::Join(a, empty), MappingSet::Join(a, empty, &pool));
+  EXPECT_EQ(MappingSet::Minus(empty, b), MappingSet::Minus(empty, b, &pool));
 }
 
 }  // namespace

@@ -101,5 +101,40 @@ TEST(MappingTest, FromBindingsChecksDuplicatesAgree) {
   EXPECT_EQ(m.size(), 2u);
 }
 
+TEST(MappingTest, DisjointVarRangesAreAlwaysCompatible) {
+  // Exercises the disjoint-range fast path: no shared variables possible
+  // when one domain's VarIds all precede the other's.
+  Mapping low = Make({{1, 10}, {2, 20}});
+  Mapping high = Make({{3, 99}, {5, 50}});
+  EXPECT_TRUE(low.CompatibleWith(high));
+  EXPECT_TRUE(high.CompatibleWith(low));
+  EXPECT_TRUE(Mapping().CompatibleWith(low));
+  EXPECT_TRUE(low.CompatibleWith(Mapping()));
+}
+
+TEST(MappingTest, DisjointRangeUnionConcatenates) {
+  Mapping low = Make({{1, 10}, {2, 20}});
+  Mapping high = Make({{3, 30}, {5, 50}});
+  Mapping expected = Make({{1, 10}, {2, 20}, {3, 30}, {5, 50}});
+  // Both argument orders hit a fast path; result is order-normalized.
+  EXPECT_EQ(low.UnionWith(high), expected);
+  EXPECT_EQ(high.UnionWith(low), expected);
+  EXPECT_EQ(Mapping().UnionWith(low), low);
+  EXPECT_EQ(low.UnionWith(Mapping()), low);
+}
+
+TEST(MappingTest, InterleavedRangesStillMergeCorrectly) {
+  // Overlapping VarId ranges with no shared variables must take the full
+  // merge walk and still produce the sorted union.
+  Mapping odd = Make({{1, 10}, {3, 30}});
+  Mapping even = Make({{2, 20}, {4, 40}});
+  EXPECT_TRUE(odd.CompatibleWith(even));
+  EXPECT_EQ(odd.UnionWith(even), Make({{1, 10}, {2, 20}, {3, 30}, {4, 40}}));
+  // Shared variable with conflicting values: incompatible despite
+  // overlapping ranges.
+  Mapping clash = Make({{2, 21}, {3, 30}});
+  EXPECT_FALSE(even.CompatibleWith(clash));
+}
+
 }  // namespace
 }  // namespace rdfql

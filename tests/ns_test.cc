@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace rdfql {
 namespace {
@@ -93,6 +94,27 @@ TEST(NsTest, SubsumptionIsPreservedSemantics) {
     for (const Mapping& m : max) {
       EXPECT_TRUE(s.Contains(m));
     }
+  }
+}
+
+// Parallel bucket pruning must produce byte-identical output (content and
+// order) to the serial pass, for inputs well past the parallel threshold.
+TEST(NsTest, ParallelBucketedMatchesSerialExactly) {
+  ThreadPool pool(4);
+  Rng rng(404);
+  for (int round = 0; round < 10; ++round) {
+    MappingSet s;
+    for (int i = 0; i < 300; ++i) {
+      Mapping m;
+      for (VarId v = 0; v < 6; ++v) {
+        if (rng.NextBool(0.5)) m.Set(v, rng.NextBelow(3));
+      }
+      s.Add(m);
+    }
+    MappingSet serial = RemoveSubsumedBucketed(s);
+    MappingSet parallel = RemoveSubsumedBucketed(s, &pool);
+    EXPECT_EQ(serial.mappings(), parallel.mappings());
+    EXPECT_EQ(serial, RemoveSubsumedNaive(s));
   }
 }
 
