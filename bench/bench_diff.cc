@@ -1,0 +1,231 @@
+// bench_diff: compare a fresh BENCH_*.json against a committed baseline and
+// fail on regression. The regression gate of scripts/bench_baseline.sh and
+// the CI workflow.
+//
+// Usage:
+//   bench_diff [flags] <baseline.json> <fresh.json>
+//     --time-tol=F      allowed per-case real_ns growth, fraction (default
+//                       0.5: fresh may be up to 50% slower). One-sided —
+//                       getting faster never fails.
+//     --counter-tol=F   allowed relative drift in counters/metrics, fraction
+//                       (default 0.25). Two-sided: work counters are
+//                       deterministic, so drift either way is a behavior
+//                       change. Keys containing "_ns" (embedded timings)
+//                       are always skipped.
+//     --ignore-time     skip the real_ns check (for cross-machine diffs
+//                       against a committed baseline).
+//     --require-cases   baseline cases missing from the fresh run fail the
+//                       diff (default: warn).
+//
+//   bench_diff --inflate=F <in.json> <out.json>
+//     writes a copy of <in.json> with real_ns and every counter multiplied
+//     by F — a synthetic regression for testing the gate itself.
+//
+// Exit codes: 0 ok, 1 regression detected, 2 usage/IO/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_reporting.h"
+
+namespace rdfql {
+namespace bench {
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool IsTimingKey(std::string_view name) {
+  return name.find("_ns") != std::string_view::npos;
+}
+
+const BenchCase* FindCase(const ParsedBenchDoc& doc,
+                          const std::string& name) {
+  for (const BenchCase& c : doc.cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+double FindValue(const std::vector<std::pair<std::string, double>>& kv,
+                 const std::string& key, bool* found) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) {
+      *found = true;
+      return v;
+    }
+  }
+  *found = false;
+  return 0;
+}
+
+/// Two-sided relative comparison for deterministic counters/metrics.
+bool WithinTolerance(double base, double fresh, double tol) {
+  if (base == fresh) return true;
+  double mag = base < 0 ? -base : base;
+  if (mag < 1e-12) return fresh > -tol && fresh < tol;
+  double drift = (fresh - base) / mag;
+  if (drift < 0) drift = -drift;
+  return drift <= tol;
+}
+
+struct DiffOptions {
+  double time_tol = 0.5;
+  double counter_tol = 0.25;
+  bool ignore_time = false;
+  bool require_cases = false;
+};
+
+int Diff(const ParsedBenchDoc& base, const ParsedBenchDoc& fresh,
+         const DiffOptions& opts) {
+  int regressions = 0;
+  size_t compared = 0;
+  for (const BenchCase& b : base.cases) {
+    const BenchCase* f = FindCase(fresh, b.name);
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: case \"%s\" missing from fresh run\n",
+                   opts.require_cases ? "FAIL" : "warn", b.name.c_str());
+      if (opts.require_cases) ++regressions;
+      continue;
+    }
+    ++compared;
+    if (!opts.ignore_time && f->real_ns > b.real_ns * (1.0 + opts.time_tol)) {
+      std::fprintf(stderr,
+                   "FAIL %s: real_ns %.0f -> %.0f (+%.0f%%, tol +%.0f%%)\n",
+                   b.name.c_str(), b.real_ns, f->real_ns,
+                   (f->real_ns / b.real_ns - 1.0) * 100, opts.time_tol * 100);
+      ++regressions;
+    }
+    // Counters and metrics share the comparison: exact-name match, skip
+    // embedded timings, two-sided tolerance.
+    const std::pair<const char*,
+                    const std::vector<std::pair<std::string, double>>*>
+        groups[2] = {{"counter", &b.counters}, {"metric", &b.metrics}};
+    for (const auto& [kind, base_kv] : groups) {
+      const auto& fresh_kv =
+          std::strcmp(kind, "counter") == 0 ? f->counters : f->metrics;
+      for (const auto& [key, base_value] : *base_kv) {
+        if (IsTimingKey(key)) continue;
+        bool found = false;
+        double fresh_value = FindValue(fresh_kv, key, &found);
+        if (!found) {
+          std::fprintf(stderr, "%s %s: %s \"%s\" missing from fresh run\n",
+                       opts.require_cases ? "FAIL" : "warn", b.name.c_str(),
+                       kind, key.c_str());
+          if (opts.require_cases) ++regressions;
+          continue;
+        }
+        if (!WithinTolerance(base_value, fresh_value, opts.counter_tol)) {
+          std::fprintf(
+              stderr, "FAIL %s: %s \"%s\" %g -> %g (tol ±%.0f%%)\n",
+              b.name.c_str(), kind, key.c_str(), base_value, fresh_value,
+              opts.counter_tol * 100);
+          ++regressions;
+        }
+      }
+    }
+  }
+  std::fprintf(stderr, "bench_diff: %zu case(s) compared, %d regression(s)\n",
+               compared, regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+int Inflate(const char* in_path, const char* out_path, double factor) {
+  std::string text;
+  if (!ReadFile(in_path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", in_path);
+    return 2;
+  }
+  ParsedBenchDoc doc;
+  std::string error;
+  if (!ParseBenchJson(text, &doc, &error)) {
+    std::fprintf(stderr, "%s: %s\n", in_path, error.c_str());
+    return 2;
+  }
+  for (BenchCase& c : doc.cases) {
+    c.real_ns *= factor;
+    c.cpu_ns *= factor;
+    for (auto& [name, value] : c.counters) value *= factor;
+    for (auto& [name, value] : c.metrics) value *= factor;
+  }
+  std::string out = RenderBenchJson(doc.bench, doc.cases);
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (x%g)\n", out_path, factor);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  DiffOptions opts;
+  double inflate = 0;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--time-tol=", 0) == 0) {
+      opts.time_tol = std::strtod(argv[i] + 11, nullptr);
+    } else if (a.rfind("--counter-tol=", 0) == 0) {
+      opts.counter_tol = std::strtod(argv[i] + 14, nullptr);
+    } else if (a == "--ignore-time") {
+      opts.ignore_time = true;
+    } else if (a == "--require-cases") {
+      opts.require_cases = true;
+    } else if (a.rfind("--inflate=", 0) == 0) {
+      inflate = std::strtod(argv[i] + 10, nullptr);
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [flags] <baseline.json> <fresh.json>\n"
+                 "       bench_diff --inflate=F <in.json> <out.json>\n");
+    return 2;
+  }
+  if (inflate > 0) return Inflate(paths[0], paths[1], inflate);
+
+  std::string base_text, fresh_text;
+  if (!ReadFile(paths[0], &base_text)) {
+    std::fprintf(stderr, "cannot read %s\n", paths[0]);
+    return 2;
+  }
+  if (!ReadFile(paths[1], &fresh_text)) {
+    std::fprintf(stderr, "cannot read %s\n", paths[1]);
+    return 2;
+  }
+  ParsedBenchDoc base, fresh;
+  std::string error;
+  if (!ParseBenchJson(base_text, &base, &error)) {
+    std::fprintf(stderr, "%s: %s\n", paths[0], error.c_str());
+    return 2;
+  }
+  if (!ParseBenchJson(fresh_text, &fresh, &error)) {
+    std::fprintf(stderr, "%s: %s\n", paths[1], error.c_str());
+    return 2;
+  }
+  return Diff(base, fresh, opts);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfql
+
+int main(int argc, char** argv) { return rdfql::bench::Main(argc, argv); }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/engine.h"
 #include "eval/evaluator.h"
 #include "util/check.h"
@@ -37,8 +39,8 @@ constexpr NamedQuery kQueries[] = {
      "NS((?x supporter ?o) UNION ((?x supporter ?o) AND (?x email ?e)))"},
 };
 
-void RunFragmentQuery(benchmark::State& state, const NamedQuery& q,
-                      EvalOptions options) {
+void RunFragmentQuery(benchmark::State& state, const char* family,
+                      const NamedQuery& q, EvalOptions options) {
   Engine engine;
   SocialGraphSpec spec;
   spec.num_people = static_cast<int>(state.range(0));
@@ -46,6 +48,8 @@ void RunFragmentQuery(benchmark::State& state, const NamedQuery& q,
   Result<PatternPtr> p = engine.Parse(q.text);
   RDFQL_CHECK(p.ok());
   options.threads = bench::CliThreads();
+  ResourceAccountant acct;
+  options.accountant = &acct;
   size_t answers = 0;
   for (auto _ : state) {
     MappingSet r = EvalPattern(g, p.value(), options);
@@ -55,26 +59,38 @@ void RunFragmentQuery(benchmark::State& state, const NamedQuery& q,
   state.counters["answers"] = static_cast<double>(answers);
   state.counters["triples"] = static_cast<double>(g.size());
   state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["peak_mappings"] =
+      static_cast<double>(acct.peak_mappings());
+  // Embed the memory figures as a per-case metrics snapshot (the --json
+  // document's "metrics" object; google-benchmark's State has no name
+  // accessor, so the case name is rebuilt from family + arg).
+  RegistrySnapshot snap;
+  snap.gauges["engine.peak_mappings"] =
+      static_cast<int64_t>(acct.peak_mappings());
+  snap.gauges["engine.peak_bytes"] = static_cast<int64_t>(acct.peak_bytes());
+  snap.counters["engine.total_mappings"] = acct.total_mappings();
+  bench::SetCaseMetrics(
+      std::string(family) + "/" + std::to_string(state.range(0)), snap);
   state.SetComplexityN(state.range(0));
 }
 
 void BM_FragmentAF(benchmark::State& state) {
-  RunFragmentQuery(state, kQueries[0], {});
+  RunFragmentQuery(state, "BM_FragmentAF", kQueries[0], {});
 }
 void BM_FragmentAUF(benchmark::State& state) {
-  RunFragmentQuery(state, kQueries[1], {});
+  RunFragmentQuery(state, "BM_FragmentAUF", kQueries[1], {});
 }
 void BM_FragmentAUFS(benchmark::State& state) {
-  RunFragmentQuery(state, kQueries[2], {});
+  RunFragmentQuery(state, "BM_FragmentAUFS", kQueries[2], {});
 }
 void BM_FragmentWdAof(benchmark::State& state) {
-  RunFragmentQuery(state, kQueries[3], {});
+  RunFragmentQuery(state, "BM_FragmentWdAof", kQueries[3], {});
 }
 void BM_FragmentSP(benchmark::State& state) {
-  RunFragmentQuery(state, kQueries[4], {});
+  RunFragmentQuery(state, "BM_FragmentSP", kQueries[4], {});
 }
 void BM_FragmentUSP(benchmark::State& state) {
-  RunFragmentQuery(state, kQueries[5], {});
+  RunFragmentQuery(state, "BM_FragmentUSP", kQueries[5], {});
 }
 BENCHMARK(BM_FragmentAF)->RangeMultiplier(4)->Range(64, 4096);
 BENCHMARK(BM_FragmentAUF)->RangeMultiplier(4)->Range(64, 4096);
@@ -87,21 +103,21 @@ BENCHMARK(BM_FragmentUSP)->RangeMultiplier(4)->Range(64, 4096);
 void BM_JoinHash(benchmark::State& state) {
   EvalOptions options;
   options.join = EvalOptions::Join::kHash;
-  RunFragmentQuery(state, kQueries[1], options);
+  RunFragmentQuery(state, "BM_JoinHash", kQueries[1], options);
 }
 BENCHMARK(BM_JoinHash)->RangeMultiplier(4)->Range(64, 2048);
 
 void BM_JoinNestedLoop(benchmark::State& state) {
   EvalOptions options;
   options.join = EvalOptions::Join::kNestedLoop;
-  RunFragmentQuery(state, kQueries[1], options);
+  RunFragmentQuery(state, "BM_JoinNestedLoop", kQueries[1], options);
 }
 BENCHMARK(BM_JoinNestedLoop)->RangeMultiplier(4)->Range(64, 2048);
 
 void BM_JoinIndexNestedLoop(benchmark::State& state) {
   EvalOptions options;
   options.join = EvalOptions::Join::kIndexNestedLoop;
-  RunFragmentQuery(state, kQueries[1], options);
+  RunFragmentQuery(state, "BM_JoinIndexNestedLoop", kQueries[1], options);
 }
 BENCHMARK(BM_JoinIndexNestedLoop)->RangeMultiplier(4)->Range(64, 2048);
 

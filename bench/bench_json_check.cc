@@ -1,6 +1,6 @@
 // Standalone validator for the BENCH_<name>.json files the bench binaries
 // emit under --json. Exits 0 iff every given file matches the
-// rdfql-bench-v1 schema; with --expect-growth it additionally checks that
+// rdfql-bench-v2 schema; with --expect-growth it additionally checks that
 // wall time grows with the single numeric size argument within each
 // benchmark family (the empirical shadow of the Thm 7.1-7.4 scaling
 // claims). Used by the `bench_json_smoke` ctest entry and by

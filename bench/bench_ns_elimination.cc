@@ -54,8 +54,8 @@ void PrintBlowupTable() {
 
 void BM_EliminateNs(benchmark::State& state) {
   Engine engine;
-  Result<PatternPtr> p = engine.Parse(OptionalFamily(
-      static_cast<int>(state.range(0))));
+  int k = static_cast<int>(state.range(0));
+  Result<PatternPtr> p = engine.Parse(OptionalFamily(k));
   RDFQL_CHECK(p.ok());
   NormalFormLimits limits;
   limits.max_disjuncts = 1u << 22;
@@ -67,6 +67,19 @@ void BM_EliminateNs(benchmark::State& state) {
     benchmark::DoNotOptimize(q);
   }
   state.counters["output_nodes"] = static_cast<double>(out_nodes);
+  // One instrumented run outside the timing loop for the measured blowup
+  // ratio (Theorem 5.1's bound, observed).
+  PipelineReport report;
+  Result<PatternPtr> q = EliminateNs(p.value(), limits, &report);
+  RDFQL_CHECK(q.ok());
+  const PipelineStage* stage = report.Find("ns_elimination");
+  RDFQL_CHECK(stage != nullptr);
+  state.counters["node_blowup"] = stage->NodeBlowup();
+  bench::AddCaseMetric("BM_EliminateNs/" + std::to_string(k),
+                       "ns_elimination.node_blowup", stage->NodeBlowup());
+  bench::AddCaseMetric("BM_EliminateNs/" + std::to_string(k),
+                       "ns_elimination.nodes_out",
+                       static_cast<double>(stage->out.nodes));
 }
 BENCHMARK(BM_EliminateNs)->DenseRange(1, 4);
 

@@ -276,7 +276,44 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Metrics attached to cases by name while the benchmark runs; folded into
+/// the emitted document by BenchMain.
+std::map<std::string, std::vector<std::pair<std::string, double>>>&
+CaseMetricsStore() {
+  static std::map<std::string, std::vector<std::pair<std::string, double>>>
+      store;
+  return store;
+}
+
 }  // namespace
+
+void SetCaseMetrics(const std::string& case_name,
+                    const RegistrySnapshot& snapshot) {
+  std::vector<std::pair<std::string, double>> flat;
+  for (const auto& [name, value] : snapshot.counters) {
+    flat.emplace_back(name, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    flat.emplace_back(name, static_cast<double>(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    flat.emplace_back(name + ".count", static_cast<double>(h.count));
+    flat.emplace_back(name + ".sum", static_cast<double>(h.sum));
+  }
+  CaseMetricsStore()[case_name] = std::move(flat);
+}
+
+void AddCaseMetric(const std::string& case_name, const std::string& metric,
+                   double value) {
+  auto& flat = CaseMetricsStore()[case_name];
+  for (auto& [name, v] : flat) {
+    if (name == metric) {
+      v = value;
+      return;
+    }
+  }
+  flat.emplace_back(metric, value);
+}
 
 std::string RenderBenchJson(const std::string& bench_name,
                             const std::vector<BenchCase>& cases) {
@@ -303,6 +340,7 @@ std::string RenderBenchJson(const std::string& bench_name,
     AppendDouble(c.real_ns, &out);
     out += ",\"cpu_ns\":";
     AppendDouble(c.cpu_ns, &out);
+    out += ",\"threads\":" + std::to_string(c.threads);
     out += ",\"counters\":{";
     for (size_t i = 0; i < c.counters.size(); ++i) {
       if (i > 0) out += ",";
@@ -311,14 +349,25 @@ std::string RenderBenchJson(const std::string& bench_name,
       out += "\":";
       AppendDouble(c.counters[i].second, &out);
     }
+    out += "},\"metrics\":{";
+    for (size_t i = 0; i < c.metrics.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      AppendJsonEscaped(c.metrics[i].first, &out);
+      out += "\":";
+      AppendDouble(c.metrics[i].second, &out);
+    }
     out += "}}";
   }
   out += "\n]}\n";
   return out;
 }
 
-bool ValidateBenchJson(const std::string& json, bool expect_growth,
-                       std::string* error) {
+bool ParseBenchJson(const std::string& json, ParsedBenchDoc* out,
+                    std::string* error) {
+  out->schema.clear();
+  out->bench.clear();
+  out->cases.clear();
   JsonValue root;
   JsonParser parser(json);
   if (!parser.Parse(&root, error)) return false;
@@ -331,19 +380,18 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
     return Fail(error, std::string("missing or wrong \"schema\" (want ") +
                            kBenchJsonSchema + ")");
   }
+  out->schema = schema->str;
   const JsonValue* bench = root.Find("bench");
   if (bench == nullptr || bench->type != JsonValue::Type::kString ||
       bench->str.empty()) {
     return Fail(error, "missing \"bench\" name");
   }
+  out->bench = bench->str;
   const JsonValue* cases = root.Find("cases");
   if (cases == nullptr || cases->type != JsonValue::Type::kArray) {
     return Fail(error, "missing \"cases\" array");
   }
   if (cases->arr.empty()) return Fail(error, "\"cases\" is empty");
-
-  // family -> (arg, real_ns), only for single-argument cases.
-  std::map<std::string, std::vector<std::pair<int64_t, double>>> by_family;
 
   for (size_t i = 0; i < cases->arr.size(); ++i) {
     const JsonValue& c = cases->arr[i];
@@ -351,17 +399,20 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
     if (c.type != JsonValue::Type::kObject) {
       return Fail(error, at + "not an object");
     }
+    BenchCase parsed;
     const JsonValue* name = c.Find("name");
     if (name == nullptr || name->type != JsonValue::Type::kString ||
         name->str.empty()) {
       return Fail(error, at + "missing \"name\"");
     }
+    parsed.name = name->str;
     at = "case \"" + name->str + "\": ";
     const JsonValue* family = c.Find("family");
     if (family == nullptr || family->type != JsonValue::Type::kString ||
         family->str.empty()) {
       return Fail(error, at + "missing \"family\"");
     }
+    parsed.family = family->str;
     const JsonValue* args = c.Find("args");
     if (args == nullptr || args->type != JsonValue::Type::kArray) {
       return Fail(error, at + "missing \"args\"");
@@ -370,6 +421,7 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
       if (a.type != JsonValue::Type::kNumber) {
         return Fail(error, at + "non-numeric arg");
       }
+      parsed.args.push_back(static_cast<int64_t>(a.number));
     }
     const JsonValue* iterations = c.Find("iterations");
     if (iterations == nullptr ||
@@ -377,15 +429,24 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
         iterations->number <= 0) {
       return Fail(error, at + "missing or non-positive \"iterations\"");
     }
+    parsed.iterations = static_cast<int64_t>(iterations->number);
     const JsonValue* real_ns = c.Find("real_ns");
     if (real_ns == nullptr || real_ns->type != JsonValue::Type::kNumber ||
         real_ns->number < 0) {
       return Fail(error, at + "missing or negative \"real_ns\"");
     }
+    parsed.real_ns = real_ns->number;
     const JsonValue* cpu_ns = c.Find("cpu_ns");
     if (cpu_ns == nullptr || cpu_ns->type != JsonValue::Type::kNumber) {
       return Fail(error, at + "missing \"cpu_ns\"");
     }
+    parsed.cpu_ns = cpu_ns->number;
+    const JsonValue* threads = c.Find("threads");
+    if (threads == nullptr || threads->type != JsonValue::Type::kNumber ||
+        threads->number < 1) {
+      return Fail(error, at + "missing or non-positive \"threads\"");
+    }
+    parsed.threads = static_cast<int>(threads->number);
     const JsonValue* counters = c.Find("counters");
     if (counters == nullptr || counters->type != JsonValue::Type::kObject) {
       return Fail(error, at + "missing \"counters\" object");
@@ -394,14 +455,36 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
       if (cvalue.type != JsonValue::Type::kNumber) {
         return Fail(error, at + "counter \"" + cname + "\" not numeric");
       }
+      parsed.counters.emplace_back(cname, cvalue.number);
     }
-    if (args->arr.size() == 1) {
-      by_family[family->str].emplace_back(
-          static_cast<int64_t>(args->arr[0].number), real_ns->number);
+    const JsonValue* metrics = c.Find("metrics");
+    if (metrics == nullptr || metrics->type != JsonValue::Type::kObject) {
+      return Fail(error, at + "missing \"metrics\" object");
+    }
+    for (const auto& [mname, mvalue] : metrics->obj) {
+      if (mvalue.type != JsonValue::Type::kNumber) {
+        return Fail(error, at + "metric \"" + mname + "\" not numeric");
+      }
+      parsed.metrics.emplace_back(mname, mvalue.number);
+    }
+    out->cases.push_back(std::move(parsed));
+  }
+  return true;
+}
+
+bool ValidateBenchJson(const std::string& json, bool expect_growth,
+                       std::string* error) {
+  ParsedBenchDoc doc;
+  if (!ParseBenchJson(json, &doc, error)) return false;
+  if (!expect_growth) return true;
+
+  // family -> (arg, real_ns), only for single-argument cases.
+  std::map<std::string, std::vector<std::pair<int64_t, double>>> by_family;
+  for (const BenchCase& c : doc.cases) {
+    if (c.args.size() == 1) {
+      by_family[c.family].emplace_back(c.args[0], c.real_ns);
     }
   }
-
-  if (!expect_growth) return true;
 
   for (auto& [family, points] : by_family) {
     if (points.size() < 2) continue;
@@ -460,6 +543,12 @@ int BenchMain(int argc, char** argv, const char* bench_name) {
   benchmark::Shutdown();
 
   if (emit_json) {
+    const auto& store = CaseMetricsStore();
+    for (BenchCase& c : cases) {
+      c.threads = cli_threads;
+      auto it = store.find(c.name);
+      if (it != store.end()) c.metrics = it->second;
+    }
     std::string doc = RenderBenchJson(bench_name, cases);
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace rdfql {
 namespace bench {
 
@@ -15,18 +17,49 @@ struct BenchCase {
   int64_t iterations = 0;
   double real_ns = 0;  // wall time per iteration
   double cpu_ns = 0;   // cpu time per iteration
+  int threads = 1;     // the --threads=N the binary ran under
   std::vector<std::pair<std::string, double>> counters;
+  /// Flattened engine-metrics snapshot attached via SetCaseMetrics:
+  /// counters and gauges by name, histograms as <name>.count/<name>.sum.
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 /// The schema tag every emitted file carries; bump on breaking change.
-inline constexpr char kBenchJsonSchema[] = "rdfql-bench-v1";
+/// v2 added the per-case "threads" and "metrics" fields.
+inline constexpr char kBenchJsonSchema[] = "rdfql-bench-v2";
 
 /// Renders the shared BENCH_<name>.json document:
-///   {"schema":"rdfql-bench-v1","bench":"<name>","cases":[
+///   {"schema":"rdfql-bench-v2","bench":"<name>","cases":[
 ///     {"name":..,"family":..,"args":[..],"iterations":..,
-///      "real_ns":..,"cpu_ns":..,"counters":{..}}, ...]}
+///      "real_ns":..,"cpu_ns":..,"threads":..,"counters":{..},
+///      "metrics":{..}}, ...]}
 std::string RenderBenchJson(const std::string& bench_name,
                             const std::vector<BenchCase>& cases);
+
+/// A parsed BENCH_*.json document (the inverse of RenderBenchJson), shared
+/// by the validator and the bench_diff regression tool.
+struct ParsedBenchDoc {
+  std::string schema;
+  std::string bench;
+  std::vector<BenchCase> cases;
+};
+
+/// Parses and field-checks a BENCH_*.json document. Returns true on
+/// success; otherwise fills *error with the first violation.
+bool ParseBenchJson(const std::string& json, ParsedBenchDoc* out,
+                    std::string* error);
+
+/// Associates a flattened metrics snapshot with the named case (full
+/// google-benchmark name, e.g. "BM_Foo/64"); BenchMain embeds it into that
+/// case's "metrics" JSON object when emitting. Call from inside the bench
+/// function after the timing loop; the last call per name wins.
+void SetCaseMetrics(const std::string& case_name,
+                    const RegistrySnapshot& snapshot);
+
+/// Adds a single metric to the named case's snapshot (e.g. a blowup ratio
+/// measured from a PipelineReport) without replacing metrics already set.
+void AddCaseMetric(const std::string& case_name, const std::string& metric,
+                   double value);
 
 /// Validates `json` against the schema above. With `expect_growth`, also
 /// asserts that within every family whose cases carry a single numeric

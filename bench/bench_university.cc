@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "core/rdfql.h"
 #include "util/check.h"
@@ -37,8 +38,8 @@ void PrintMixSummary() {
   std::printf("\n");
 }
 
-void RunMixQuery(benchmark::State& state, size_t query_index,
-                 bool optimize) {
+void RunMixQuery(benchmark::State& state, const char* family,
+                 size_t query_index, bool optimize) {
   Engine engine;
   Graph g = MakeGraph(&engine, static_cast<int>(state.range(0)));
   NamedUniversityQuery q = UniversityQueryMix()[query_index];
@@ -54,6 +55,8 @@ void RunMixQuery(benchmark::State& state, size_t query_index,
   }
   EvalOptions options;
   options.threads = bench::CliThreads();
+  ResourceAccountant acct;
+  options.accountant = &acct;
   size_t answers = 0;
   for (auto _ : state) {
     MappingSet r = EvalPattern(g, pattern, options);
@@ -64,40 +67,49 @@ void RunMixQuery(benchmark::State& state, size_t query_index,
   state.counters["answers"] = static_cast<double>(answers);
   state.counters["triples"] = static_cast<double>(g.size());
   state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["peak_mappings"] =
+      static_cast<double>(acct.peak_mappings());
+  RegistrySnapshot snap;
+  snap.gauges["engine.peak_mappings"] =
+      static_cast<int64_t>(acct.peak_mappings());
+  snap.gauges["engine.peak_bytes"] = static_cast<int64_t>(acct.peak_bytes());
+  snap.counters["engine.total_mappings"] = acct.total_mappings();
+  bench::SetCaseMetrics(
+      std::string(family) + "/" + std::to_string(state.range(0)), snap);
 }
 
 void BM_UniStudentTeacher(benchmark::State& state) {
-  RunMixQuery(state, 0, false);
+  RunMixQuery(state, "BM_UniStudentTeacher", 0, false);
 }
 BENCHMARK(BM_UniStudentTeacher)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UniStudentTeacherOptimized(benchmark::State& state) {
-  RunMixQuery(state, 0, true);
+  RunMixQuery(state, "BM_UniStudentTeacherOptimized", 0, true);
 }
 BENCHMARK(BM_UniStudentTeacherOptimized)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UniMembersUnion(benchmark::State& state) {
-  RunMixQuery(state, 1, false);
+  RunMixQuery(state, "BM_UniMembersUnion", 1, false);
 }
 BENCHMARK(BM_UniMembersUnion)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UniAdvisorEmailOpt(benchmark::State& state) {
-  RunMixQuery(state, 2, false);
+  RunMixQuery(state, "BM_UniAdvisorEmailOpt", 2, false);
 }
 BENCHMARK(BM_UniAdvisorEmailOpt)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UniCourseInfoNestedOpt(benchmark::State& state) {
-  RunMixQuery(state, 3, false);
+  RunMixQuery(state, "BM_UniCourseInfoNestedOpt", 3, false);
 }
 BENCHMARK(BM_UniCourseInfoNestedOpt)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UniAdvisorEmailSimple(benchmark::State& state) {
-  RunMixQuery(state, 4, false);
+  RunMixQuery(state, "BM_UniAdvisorEmailSimple", 4, false);
 }
 BENCHMARK(BM_UniAdvisorEmailSimple)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UniFullProfDepts(benchmark::State& state) {
-  RunMixQuery(state, 5, false);
+  RunMixQuery(state, "BM_UniFullProfDepts", 5, false);
 }
 BENCHMARK(BM_UniFullProfDepts)->Arg(1)->Arg(2)->Arg(4);
 

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "core/engine.h"
 #include "eval/wd_evaluator.h"
@@ -70,6 +71,22 @@ void PrintTranslationTable() {
   std::printf("\n");
 }
 
+// Shared tail: one instrumented run for the measured Prop 5.6 blowup.
+void RecordBlowup(benchmark::State& state, const std::string& case_name,
+                  const PatternPtr& p) {
+  PipelineReport report;
+  Result<PatternPtr> simple =
+      WellDesignedToSimple(p, /*max_subtrees=*/1u << 16, &report);
+  RDFQL_CHECK(simple.ok());
+  const PipelineStage* stage = report.Find("wd_to_simple");
+  RDFQL_CHECK(stage != nullptr);
+  state.counters["node_blowup"] = stage->NodeBlowup();
+  bench::AddCaseMetric(case_name, "wd_to_simple.node_blowup",
+                       stage->NodeBlowup());
+  bench::AddCaseMetric(case_name, "wd_to_simple.nodes_out",
+                       static_cast<double>(stage->out.nodes));
+}
+
 void BM_WdToSimpleChain(benchmark::State& state) {
   Engine engine;
   Result<PatternPtr> p =
@@ -80,6 +97,9 @@ void BM_WdToSimpleChain(benchmark::State& state) {
     RDFQL_CHECK(simple.ok());
     benchmark::DoNotOptimize(simple);
   }
+  RecordBlowup(state,
+               "BM_WdToSimpleChain/" + std::to_string(state.range(0)),
+               p.value());
 }
 BENCHMARK(BM_WdToSimpleChain)->DenseRange(1, 6);
 
@@ -94,6 +114,9 @@ void BM_WdToSimpleTree(benchmark::State& state) {
     RDFQL_CHECK(simple.ok());
     benchmark::DoNotOptimize(simple);
   }
+  RecordBlowup(state,
+               "BM_WdToSimpleTree/" + std::to_string(state.range(0)),
+               p.value());
 }
 BENCHMARK(BM_WdToSimpleTree)->DenseRange(1, 3);
 

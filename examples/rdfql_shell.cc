@@ -160,18 +160,14 @@ bool HandleLine(Engine* engine, const std::string& raw) {
     std::printf("%s\n", r.ok() ? r->c_str()
                                 : r.status().ToString().c_str());
   } else if (cmd == "explain") {
-    rdfql::Result<rdfql::PatternPtr> pat = engine->Parse(rest);
-    rdfql::Result<const rdfql::Graph*> gr = engine->GetGraph(graph);
-    if (!pat.ok() || !gr.ok()) {
-      std::printf("error: %s\n", (!pat.ok() ? pat.status() : gr.status())
-                                      .ToString()
-                                      .c_str());
+    rdfql::Result<rdfql::QueryExplanation> e =
+        engine->QueryExplained(graph, rest);
+    if (!e.ok()) {
+      std::printf("error: %s\n", e.status().ToString().c_str());
     } else {
-      rdfql::Explanation e =
-          rdfql::ExplainEval(**gr, pat.value(), *engine->dict());
       std::printf("%s(%zu results, %zu intermediate mappings)\n",
-                  e.ToString().c_str(), e.result.size(),
-                  e.TotalIntermediate());
+                  e->ToString().c_str(), e->result().size(),
+                  e->explanation.TotalIntermediate());
     }
   } else if (cmd == "construct") {
     DoConstruct(engine, graph, rest);

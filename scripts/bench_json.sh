@@ -11,7 +11,7 @@ cmake --build build --target \
   bench_examples bench_separations bench_interpolation bench_ns_elimination \
   bench_wd_to_simple bench_opt_vs_ns bench_complexity bench_eval_scaling \
   bench_ns_ablation bench_construct bench_optimizer bench_storage \
-  bench_university bench_parallel_scaling bench_json_check
+  bench_university bench_parallel_scaling bench_json_check bench_diff
 
 out=bench/out
 mkdir -p "$out"
@@ -20,6 +20,7 @@ failures=0
 for b in build/bench/bench_*; do
   name=$(basename "$b")
   [ "$name" = bench_json_check ] && continue
+  [ "$name" = bench_diff ] && continue
   echo "================ $name"
   if ! "$b" --json="$out/BENCH_$name.json" "$@"; then
     echo "$name: FAILED" >&2

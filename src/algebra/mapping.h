@@ -62,6 +62,17 @@ class Mapping {
   /// µ|V — restriction to the (sorted or unsorted) variable list V.
   Mapping RestrictTo(const std::vector<VarId>& vars) const;
 
+  /// Fixed per-mapping overhead the resource accountant charges on top of
+  /// the binding payload (vector slot + dedup-set node bookkeeping).
+  static constexpr size_t kApproxFixedBytes = 64;
+
+  /// Approximate footprint as the accountant counts it. Deliberately a
+  /// simple closed formula — fixed overhead plus 8 bytes per binding — so
+  /// tests can hand-compute expected byte totals exactly.
+  size_t ApproxBytes() const {
+    return kApproxFixedBytes + bindings_.size() * sizeof(bindings_[0]);
+  }
+
   /// Renders as `[?x -> a, ?y -> b]`.
   std::string ToString(const Dictionary& dict) const;
 

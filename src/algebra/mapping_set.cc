@@ -70,7 +70,68 @@ MappingSet MappingSet::FromList(const std::vector<Mapping>& mappings) {
 bool MappingSet::Add(const Mapping& m) {
   if (!set_.insert(m).second) return false;
   items_.push_back(m);
+  AccountAdd(m.ApproxBytes());
   return true;
+}
+
+MappingSet::MappingSet(const MappingSet& other)
+    : items_(other.items_), set_(other.set_) {
+  // A copy is a fresh allocation: charge it in full to whichever
+  // accountant is installed *now* (e.g. UnionSets copying its left input
+  // inside an accounted evaluation).
+  if (ResourceAccountant::Current() == nullptr) return;
+  for (const Mapping& m : items_) AccountAdd(m.ApproxBytes());
+}
+
+MappingSet& MappingSet::operator=(const MappingSet& other) {
+  if (this == &other) return *this;
+  DetachAccounting();
+  items_ = other.items_;
+  set_ = other.set_;
+  if (ResourceAccountant::Current() != nullptr) {
+    for (const Mapping& m : items_) AccountAdd(m.ApproxBytes());
+  }
+  return *this;
+}
+
+MappingSet::MappingSet(MappingSet&& other) noexcept
+    : items_(std::move(other.items_)),
+      set_(std::move(other.set_)),
+      acct_(other.acct_),
+      acct_epoch_(other.acct_epoch_),
+      acct_mappings_(other.acct_mappings_),
+      acct_bytes_(other.acct_bytes_) {
+  other.items_.clear();
+  other.set_.clear();
+  other.acct_ = nullptr;
+  other.acct_mappings_ = 0;
+  other.acct_bytes_ = 0;
+}
+
+MappingSet& MappingSet::operator=(MappingSet&& other) noexcept {
+  if (this == &other) return *this;
+  DetachAccounting();
+  items_ = std::move(other.items_);
+  set_ = std::move(other.set_);
+  acct_ = other.acct_;
+  acct_epoch_ = other.acct_epoch_;
+  acct_mappings_ = other.acct_mappings_;
+  acct_bytes_ = other.acct_bytes_;
+  other.items_.clear();
+  other.set_.clear();
+  other.acct_ = nullptr;
+  other.acct_mappings_ = 0;
+  other.acct_bytes_ = 0;
+  return *this;
+}
+
+void MappingSet::DetachAccounting() {
+  if (acct_ != nullptr && acct_->epoch() == acct_epoch_) {
+    acct_->OnRemove(acct_mappings_, acct_bytes_);
+  }
+  acct_ = nullptr;
+  acct_mappings_ = 0;
+  acct_bytes_ = 0;
 }
 
 MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algebra/mapping.h"
+#include "obs/accounting.h"
 
 namespace rdfql {
 
@@ -20,6 +21,15 @@ class ThreadPool;
 class MappingSet {
  public:
   MappingSet() = default;
+  ~MappingSet() { DetachAccounting(); }
+
+  /// Copies re-account their mappings against the accountant installed at
+  /// copy time; moves carry the source's accounting along (and leave the
+  /// source empty and unaccounted).
+  MappingSet(const MappingSet& other);
+  MappingSet& operator=(const MappingSet& other);
+  MappingSet(MappingSet&& other) noexcept;
+  MappingSet& operator=(MappingSet&& other) noexcept;
 
   /// Builds from a list (duplicates collapse).
   static MappingSet FromList(const std::vector<Mapping>& mappings);
@@ -78,9 +88,39 @@ class MappingSet {
   /// Renders the mappings, one per line, sorted for stability.
   std::string ToString(const Dictionary& dict) const;
 
+  /// Returns this set's memory to its accountant (if any) and stops
+  /// reporting. The evaluator detaches a query's result set before handing
+  /// it out, so per-query peaks cover intermediates plus the result but
+  /// the escaping set never holds a pointer to a dead accountant.
+  void DetachAccounting();
+
  private:
+  /// Charges one freshly inserted mapping of `bytes` to the accountant.
+  /// Latches (accountant, epoch) on first use; a latched set whose
+  /// accountant was Reset since goes silent rather than corrupting the new
+  /// epoch's live counts.
+  void AccountAdd(size_t bytes) {
+    if (acct_ == nullptr) {
+      ResourceAccountant* cur = ResourceAccountant::Current();
+      if (cur == nullptr) [[likely]] {
+        return;
+      }
+      acct_ = cur;
+      acct_epoch_ = cur->epoch();
+    }
+    if (acct_->epoch() != acct_epoch_) return;
+    acct_->OnAdd(1, bytes);
+    ++acct_mappings_;
+    acct_bytes_ += bytes;
+  }
+
   std::vector<Mapping> items_;
   std::unordered_set<Mapping, MappingHash> set_;
+
+  ResourceAccountant* acct_ = nullptr;
+  uint64_t acct_epoch_ = 0;
+  uint64_t acct_mappings_ = 0;
+  uint64_t acct_bytes_ = 0;
 };
 
 }  // namespace rdfql

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/pipeline.h"
 #include "util/check.h"
 
 namespace rdfql {
@@ -360,6 +361,54 @@ PatternPtr Pattern::RenameVars(const PatternPtr& p,
   }
   RDFQL_CHECK_MSG(false, "unreachable");
   return nullptr;
+}
+
+PatternShape ShapeOfPattern(const Pattern& p) {
+  PatternShape shape;
+  shape.vars = p.Vars().size();
+  shape.union_width = 1;
+  // Both walks are iterative: UNF/NS-elimination outputs are left-deep
+  // UNION spines far deeper than the call stack tolerates.
+  std::vector<const Pattern*> stack{&p};
+  while (!stack.empty()) {
+    const Pattern* cur = stack.back();
+    stack.pop_back();
+    ++shape.nodes;
+    if (cur->kind() == PatternKind::kUnion) {
+      // Count the maximal UNION spine rooted here in one sweep; its
+      // non-UNION leaves go back on the node stack.
+      uint64_t width = 0;
+      std::vector<const Pattern*> walk{cur};
+      while (!walk.empty()) {
+        const Pattern* s = walk.back();
+        walk.pop_back();
+        if (s->kind() == PatternKind::kUnion) {
+          if (s != cur) ++shape.nodes;
+          walk.push_back(s->right().get());
+          walk.push_back(s->left().get());
+        } else {
+          ++width;
+          stack.push_back(s);
+        }
+      }
+      if (width > shape.union_width) shape.union_width = width;
+    } else {
+      switch (cur->kind()) {
+        case PatternKind::kTriple:
+          break;
+        case PatternKind::kFilter:
+        case PatternKind::kSelect:
+        case PatternKind::kNs:
+          stack.push_back(cur->child().get());
+          break;
+        default:
+          stack.push_back(cur->left().get());
+          stack.push_back(cur->right().get());
+          break;
+      }
+    }
+  }
+  return shape;
 }
 
 PatternPtr Pattern::BindVars(const PatternPtr& p,

@@ -6,8 +6,14 @@
 #include "algebra/result_io.h"
 #include "analysis/fragments.h"
 #include "analysis/well_designed.h"
+#include "obs/accounting.h"
 #include "obs/tracer.h"
+#include "optimize/optimizer.h"
 #include "rdf/ntriples.h"
+#include "transform/ns_elimination.h"
+#include "transform/opt_rewriter.h"
+#include "transform/select_free.h"
+#include "transform/wd_to_simple.h"
 
 namespace rdfql {
 namespace {
@@ -32,11 +38,28 @@ std::string PhaseString(uint64_t ns) {
   return buf;
 }
 
+std::string BytesString(uint64_t bytes) {
+  char buf[32];
+  if (bytes < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / 1e6);
+  }
+  return buf;
+}
+
 }  // namespace
 
 std::string QueryExplanation::ToString() const {
   std::string out = "parse: " + PhaseString(parse_ns) +
-                    "  eval: " + PhaseString(eval_ns) + "\n";
+                    "  eval: " + PhaseString(eval_ns) + "  mem: peak " +
+                    std::to_string(peak_mappings) + " mappings / " +
+                    BytesString(peak_bytes) + "\n";
   out += explanation.ToString();
   return out;
 }
@@ -44,11 +67,26 @@ std::string QueryExplanation::ToString() const {
 Status Engine::LoadGraphText(const std::string& name,
                              std::string_view ntriples) {
   Graph& g = graphs_[name];
-  return ParseNTriples(ntriples, &dict_, &g);
+  Status st = ParseNTriples(ntriples, &dict_, &g);
+  UpdateGraphGauges();
+  return st;
 }
 
 void Engine::PutGraph(const std::string& name, Graph graph) {
   graphs_[name] = std::move(graph);
+  UpdateGraphGauges();
+}
+
+void Engine::UpdateGraphGauges() {
+  size_t bytes = 0;
+  size_t triples = 0;
+  for (const auto& [name, g] : graphs_) {
+    bytes += g.ApproxBytes();
+    triples += g.size();
+  }
+  metrics_.GetGauge("engine.graph_bytes")->Set(static_cast<int64_t>(bytes));
+  metrics_.GetGauge("engine.graph_triples")
+      ->Set(static_cast<int64_t>(triples));
 }
 
 Result<const Graph*> Engine::GetGraph(const std::string& name) const {
@@ -110,10 +148,28 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
     return EvalPattern(*graph, pattern, options);
   }
   if (options.metrics == nullptr) options.metrics = &metrics_;
+  // Per-query memory accounting rides on the metrics opt-in: a fresh
+  // accountant per query, folded into the registry afterwards. A
+  // caller-provided accountant wins (and the caller reads it directly).
+  ResourceAccountant acct;
+  if (options.accountant == nullptr) options.accountant = &acct;
   uint64_t t0 = NowNs();
   MappingSet result = EvalPattern(*graph, pattern, options);
   metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
+  RecordAccounting(*options.accountant);
   return result;
+}
+
+void Engine::RecordAccounting(const ResourceAccountant& acct) {
+  metrics_.GetGauge("engine.peak_mappings")
+      ->Set(static_cast<int64_t>(acct.peak_mappings()));
+  metrics_.GetGauge("engine.peak_bytes")
+      ->Set(static_cast<int64_t>(acct.peak_bytes()));
+  metrics_.GetCounter("engine.total_mappings")->Inc(acct.total_mappings());
+  metrics_.GetHistogram("engine.peak_mappings_per_query")
+      ->Observe(acct.peak_mappings());
+  metrics_.GetHistogram("engine.peak_bytes_per_query")
+      ->Observe(acct.peak_bytes());
 }
 
 Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
@@ -129,13 +185,76 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   if (collect_metrics_ && options.metrics == nullptr) {
     options.metrics = &metrics_;
   }
+  // EXPLAIN ANALYZE always accounts memory, metrics opt-in or not.
+  ResourceAccountant acct;
+  options.accountant = &acct;
   t0 = NowNs();
   out.explanation = ExplainEval(*graph, pattern, dict_, options);
   out.eval_ns = NowNs() - t0;
+  out.peak_mappings = acct.peak_mappings();
+  out.peak_bytes = acct.peak_bytes();
+  out.total_mappings = acct.total_mappings();
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.parse_ns")->Observe(out.parse_ns);
     metrics_.GetHistogram("engine.eval_ns")->Observe(out.eval_ns);
+    RecordAccounting(acct);
   }
+  return out;
+}
+
+Result<TranslationExplanation> Engine::TranslateExplained(
+    std::string_view query, const TranslateOptions& options) {
+  TranslationExplanation out;
+  out.report.set_tracer(options.tracer);
+  PipelineReport* report = &out.report;
+
+  PatternPtr p;
+  {
+    ScopedStage stage(report, "parse", PatternShape{});
+    Result<PatternPtr> parsed = Parse(query);
+    if (!parsed.ok()) {
+      stage.SetError(parsed.status().ToString());
+      return parsed.status();
+    }
+    p = std::move(*parsed);
+    stage.SetOut(ShapeOfPattern(*p));
+    stage.SetDetail(DescribeFragment(p));
+  }
+  out.input = p;
+
+  if (options.optimize) {
+    ScopedStage stage(report, "optimize", ShapeOfPattern(*p));
+    // Structure-only rewrites: no graph is bound at translation time, so
+    // the optimizer runs against empty statistics.
+    GraphStats stats;
+    p = Optimizer(&stats).Optimize(p);
+    stage.SetOut(ShapeOfPattern(*p));
+  }
+
+  if (options.select_free && p->Uses(PatternKind::kSelect)) {
+    p = SelectFreeVersion(p, &dict_, report);
+  }
+
+  if (options.wd_to_simple) {
+    RDFQL_ASSIGN_OR_RETURN(
+        p, WellDesignedToSimple(p, options.max_subtrees, report));
+  }
+
+  if (options.eliminate_ns && p->Uses(PatternKind::kNs)) {
+    RDFQL_ASSIGN_OR_RETURN(p, EliminateNs(p, options.limits, report));
+  }
+
+  if (options.desugar_minus && p->Uses(PatternKind::kMinus)) {
+    p = DesugarMinus(p, &dict_, report);
+  }
+
+  if (options.union_normal_form && !p->Uses(PatternKind::kNs)) {
+    RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> disjuncts,
+                           UnionNormalForm(p, options.limits, report));
+    p = Pattern::UnionAll(disjuncts);
+  }
+
+  out.output = p;
   return out;
 }
 

@@ -12,10 +12,13 @@
 #include "construct/construct_query.h"
 #include "eval/evaluator.h"
 #include "eval/explain.h"
+#include "obs/accounting.h"
 #include "obs/metrics.h"
+#include "obs/pipeline.h"
 #include "parser/parser.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
+#include "transform/union_normal_form.h"
 #include "util/status.h"
 
 namespace rdfql {
@@ -26,14 +29,56 @@ struct QueryExplanation {
   Explanation explanation;  // result + instrumented plan tree
   uint64_t parse_ns = 0;
   uint64_t eval_ns = 0;
+  /// Resource-accountant figures for this query: the high-water mark of
+  /// live mappings / approximate bytes across all intermediate sets (result
+  /// included), and the cumulative number of mappings materialized.
+  uint64_t peak_mappings = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t total_mappings = 0;
 
   const MappingSet& result() const { return explanation.result; }
 
   /// Phase header followed by the plan tree, e.g.
-  ///   parse: 3.1us  eval: 120.4us
+  ///   parse: 3.1us  eval: 120.4us  mem: peak 42 mappings / 3.2KiB
   ///   AND [1] (t=118.0us join_probes=4)
   ///     ...
   std::string ToString() const;
+};
+
+/// Which translation stages `Engine::TranslateExplained` runs, in pipeline
+/// order: parse → optimize → select_free → wd_to_simple → ns_elimination →
+/// desugar_minus → union_normal_form. Conditional stages only fire when the
+/// pattern still uses the construct they remove.
+struct TranslateOptions {
+  bool optimize = true;
+  /// Strip SELECT via Definition F.1 (when SELECT occurs).
+  bool select_free = true;
+  /// Prop 5.6 translation to a simple pattern; opt-in because it requires a
+  /// well-designed input and changes the shape of everything downstream.
+  bool wd_to_simple = false;
+  /// Thm 5.1 NS-elimination (when NS occurs).
+  bool eliminate_ns = true;
+  /// Appendix D MINUS desugaring into OPT+FILTER; opt-in.
+  bool desugar_minus = false;
+  /// Prop D.1 UNION normal form (skipped while NS is still present —
+  /// NS does not distribute over UNION).
+  bool union_normal_form = true;
+  NormalFormLimits limits;
+  size_t max_subtrees = 1u << 16;
+  /// Optional tracer to mirror the stages onto (one "STAGE" span each), so
+  /// a translation and the following evaluation share a Chrome trace.
+  Tracer* tracer = nullptr;
+};
+
+/// EXPLAIN for the translation pipeline: the input and output patterns plus
+/// a per-stage PipelineReport (wall time, shape in/out, blowup ratio).
+struct TranslationExplanation {
+  PatternPtr input;
+  PatternPtr output;
+  PipelineReport report;
+
+  std::string ToString() const { return report.ToText(); }
+  std::string ToJson() const { return report.ToJson(); }
 };
 
 /// What the static and empirical analyzers say about a pattern — the
@@ -85,11 +130,20 @@ class Engine {
                            EvalOptions options = {});
 
   /// Parse + evaluate under a tracer: returns the results together with a
-  /// per-operator EXPLAIN ANALYZE plan and phase timings. Honors `options`'
-  /// join/NS choices (its tracer/trace_dict fields are overridden).
+  /// per-operator EXPLAIN ANALYZE plan, phase timings and the query's peak
+  /// mapping/byte figures. Honors `options`' join/NS choices (its
+  /// tracer/trace_dict/accountant fields are overridden).
   Result<QueryExplanation> QueryExplained(const std::string& graph_name,
                                           std::string_view query,
                                           EvalOptions options = {});
+
+  /// EXPLAIN for the translation pipeline: parses `query` and pushes it
+  /// through the enabled transformation stages, recording wall time and
+  /// size-in/size-out (AST nodes, vars, UNION width) per stage — the
+  /// empirical face of the paper's blowup bounds. Fails with the first
+  /// stage error (limits, non-well-designed input, parse errors).
+  Result<TranslationExplanation> TranslateExplained(
+      std::string_view query, const TranslateOptions& options = {});
 
   /// Evaluates a parsed pattern against a named graph.
   Result<MappingSet> Eval(const std::string& graph_name,
@@ -145,6 +199,14 @@ class Engine {
  private:
   /// Applies the engine-wide thread default to per-query options.
   EvalOptions WithEngineDefaults(EvalOptions options) const;
+
+  /// Recomputes the engine.graph_bytes / engine.graph_triples gauges after
+  /// a graph mutation.
+  void UpdateGraphGauges();
+
+  /// Folds one query's accountant figures into the registry (peak gauges,
+  /// total counter, per-query histograms).
+  void RecordAccounting(const ResourceAccountant& acct);
 
   Dictionary dict_;
   std::map<std::string, Graph> graphs_;

@@ -1,5 +1,7 @@
 #include "eval/evaluator.h"
 
+#include <optional>
+
 #include "algebra/pattern_printer.h"
 #include "eval/ns.h"
 #include "util/check.h"
@@ -40,11 +42,22 @@ void Evaluator::InitPool() {
 
 MappingSet Evaluator::Eval(const PatternPtr& pattern) const {
   RDFQL_CHECK(pattern != nullptr);
-  return EvalNode(*pattern);
+  // Install only a non-null accountant: options_.accountant == nullptr must
+  // not shadow one a caller put up around this evaluation.
+  std::optional<ScopedAccounting> install;
+  if (options_.accountant != nullptr) install.emplace(options_.accountant);
+  MappingSet result = EvalNode(*pattern);
+  result.DetachAccounting();
+  return result;
 }
 
 MappingSet Evaluator::EvalMax(const PatternPtr& pattern) const {
-  return ApplyNs(Eval(pattern));
+  RDFQL_CHECK(pattern != nullptr);
+  std::optional<ScopedAccounting> install;
+  if (options_.accountant != nullptr) install.emplace(options_.accountant);
+  MappingSet result = ApplyNs(EvalNode(*pattern));
+  result.DetachAccounting();
+  return result;
 }
 
 MappingSet Evaluator::ApplyNs(const MappingSet& input) const {

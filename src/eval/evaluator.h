@@ -6,6 +6,7 @@
 
 #include "algebra/mapping_set.h"
 #include "algebra/pattern.h"
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "rdf/graph.h"
@@ -66,6 +67,13 @@ struct EvalOptions {
   /// Dictionary for human-readable span labels ("(?x p ?y)"). Optional;
   /// without it spans carry only the operator kind.
   const Dictionary* trace_dict = nullptr;
+  /// When set, the evaluation runs under this accountant: every MappingSet
+  /// insert/destruction (intermediates included, on every pool thread) and
+  /// the NS kernel's scratch report to it, so live/peak mapping and byte
+  /// figures cover the whole query. The result set is detached before it is
+  /// returned — its memory counts toward the peak but not the final live
+  /// figure, and the escaping set holds no pointer to the accountant.
+  ResourceAccountant* accountant = nullptr;
 
   bool observed() const { return tracer != nullptr || metrics != nullptr; }
 };

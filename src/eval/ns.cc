@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/accounting.h"
 #include "obs/tracer.h"
 #include "util/thread_pool.h"
 
@@ -48,14 +49,22 @@ uint64_t MarkSubsumedInBucket(
     }
     std::unordered_set<Mapping, MappingHash> projections;
     projections.reserve(sup_bucket.size());
+    uint64_t scratch_bytes = 0;
     for (const Mapping* sup : sup_bucket) {
-      projections.insert(sup->RestrictTo(dom));
+      auto [it, inserted] = projections.insert(sup->RestrictTo(dom));
+      if (inserted) scratch_bytes += it->ApproxBytes();
     }
+    // The projection set is the kernel's dominant transient allocation;
+    // report it so per-query peaks reflect NS pruning, not just operator
+    // inputs/outputs.
+    ResourceAccountant* acct = ResourceAccountant::Current();
+    if (acct != nullptr) acct->OnAdd(projections.size(), scratch_bytes);
     pairs += sup_bucket.size() + bucket.size();
     for (const Mapping* m : bucket) {
       if (dead->count(m)) continue;
       if (projections.count(*m)) dead->insert(m);
     }
+    if (acct != nullptr) acct->OnRemove(projections.size(), scratch_bytes);
   }
   return pairs;
 }

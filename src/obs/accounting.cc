@@ -1,0 +1,7 @@
+#include "obs/accounting.h"
+
+namespace rdfql {
+
+std::atomic<ResourceAccountant*> ResourceAccountant::current_{nullptr};
+
+}  // namespace rdfql

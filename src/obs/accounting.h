@@ -1,0 +1,127 @@
+#ifndef RDFQL_OBS_ACCOUNTING_H_
+#define RDFQL_OBS_ACCOUNTING_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rdfql {
+
+/// Tracks the mapping-set memory of one query: live and peak mapping counts
+/// and approximate bytes, plus cumulative totals. MappingSet (and the NS
+/// kernel's transient scratch) report allocations to whichever accountant
+/// is installed via ScopedAccounting; with none installed — the common,
+/// unobserved path — each report is one relaxed atomic load and a branch.
+///
+/// The install point is a process-global atomic (not thread-local) so pool
+/// workers created inside a parallel kernel report to the same accountant
+/// as the coordinating thread. The engine runs one query at a time per
+/// accountant; concurrent queries should each install their own registry-
+/// level accountant or accept merged numbers.
+///
+/// Epochs: a MappingSet that outlives the accountant's Reset must not
+/// decrement counts it never incremented against the new epoch. Sets latch
+/// (accountant, epoch) on first insert and silently stop reporting when
+/// either changed.
+class ResourceAccountant {
+ public:
+  ResourceAccountant() = default;
+  ResourceAccountant(const ResourceAccountant&) = delete;
+  ResourceAccountant& operator=(const ResourceAccountant&) = delete;
+
+  void OnAdd(uint64_t mappings, uint64_t bytes) {
+    uint64_t live_m =
+        live_mappings_.fetch_add(mappings, std::memory_order_relaxed) +
+        mappings;
+    uint64_t live_b =
+        live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    total_mappings_.fetch_add(mappings, std::memory_order_relaxed);
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    RaiseMax(&peak_mappings_, live_m);
+    RaiseMax(&peak_bytes_, live_b);
+  }
+
+  void OnRemove(uint64_t mappings, uint64_t bytes) {
+    live_mappings_.fetch_sub(mappings, std::memory_order_relaxed);
+    live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t live_mappings() const {
+    return live_mappings_.load(std::memory_order_relaxed);
+  }
+  uint64_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_mappings() const {
+    return peak_mappings_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_mappings() const {
+    return total_mappings_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes all counts and advances the epoch, so sets surviving from
+  /// before the reset stop reporting against the fresh numbers.
+  void Reset() {
+    live_mappings_.store(0, std::memory_order_relaxed);
+    live_bytes_.store(0, std::memory_order_relaxed);
+    peak_mappings_.store(0, std::memory_order_relaxed);
+    peak_bytes_.store(0, std::memory_order_relaxed);
+    total_mappings_.store(0, std::memory_order_relaxed);
+    total_bytes_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// The currently installed accountant, or null (the uncounted case).
+  static ResourceAccountant* Current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScopedAccounting;
+
+  static void RaiseMax(std::atomic<uint64_t>* target, uint64_t candidate) {
+    uint64_t seen = target->load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !target->compare_exchange_weak(seen, candidate,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> live_mappings_{0};
+  std::atomic<uint64_t> live_bytes_{0};
+  std::atomic<uint64_t> peak_mappings_{0};
+  std::atomic<uint64_t> peak_bytes_{0};
+  std::atomic<uint64_t> total_mappings_{0};
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> epoch_{0};
+
+  static std::atomic<ResourceAccountant*> current_;
+};
+
+/// Installs an accountant for the enclosing scope, restoring the previous
+/// one on destruction. Null is a valid argument (uninstalls for the scope).
+class ScopedAccounting {
+ public:
+  explicit ScopedAccounting(ResourceAccountant* acct)
+      : prev_(ResourceAccountant::current_.exchange(
+            acct, std::memory_order_relaxed)) {}
+  ~ScopedAccounting() {
+    ResourceAccountant::current_.store(prev_, std::memory_order_relaxed);
+  }
+  ScopedAccounting(const ScopedAccounting&) = delete;
+  ScopedAccounting& operator=(const ScopedAccounting&) = delete;
+
+ private:
+  ResourceAccountant* prev_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_OBS_ACCOUNTING_H_

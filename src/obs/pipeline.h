@@ -1,0 +1,141 @@
+#ifndef RDFQL_OBS_PIPELINE_H_
+#define RDFQL_OBS_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace rdfql {
+
+class Pattern;
+
+/// The size of a pattern as the blow-up analysis sees it: AST nodes,
+/// distinct variables, and UNION width (the largest number of disjuncts of
+/// any maximal UNION spine in the tree). These are the quantities the
+/// paper's constructive translations — NS-elimination (Thm 5.1/Lemma D.3),
+/// UNF (Prop D.1/Lemma D.2), WD→simple (Prop 5.6), SELECT-elimination
+/// (Prop 6.7) — bound, so a stage's in/out shapes make the (up to
+/// double-exponential) growth empirically visible.
+struct PatternShape {
+  uint64_t nodes = 0;
+  uint64_t vars = 0;
+  uint64_t union_width = 0;
+};
+
+/// Measures a pattern. Implemented in algebra/pattern.cc so the obs
+/// library itself stays dependency-free.
+PatternShape ShapeOfPattern(const Pattern& p);
+
+class PipelineReport;
+
+/// Shape of `p` when a report is attached, zeros otherwise — so the
+/// unobserved transform path never pays the measuring walk.
+inline PatternShape ShapeIfReporting(const PipelineReport* report,
+                                     const Pattern& p) {
+  return report != nullptr ? ShapeOfPattern(p) : PatternShape{};
+}
+
+/// One instrumented stage of the translation pipeline: name, wall time,
+/// input/output shapes. Failed stages (limit hit, non-well-designed input,
+/// ...) carry ok=false and the error text; their `out` is meaningless.
+struct PipelineStage {
+  std::string name;    // e.g. "parse", "optimize", "ns_elimination"
+  std::string detail;  // optional human note (fragment, disjunct count, ...)
+  uint64_t wall_ns = 0;
+  PatternShape in;
+  PatternShape out;
+  bool ok = true;
+  std::string error;
+
+  /// Output/input AST-node ratio — the stage's measured blowup. 0 when the
+  /// stage failed or the input was empty.
+  double NodeBlowup() const {
+    return (!ok || in.nodes == 0) ? 0.0
+                                  : static_cast<double>(out.nodes) / in.nodes;
+  }
+};
+
+/// An EXPLAIN-style report of the whole translation pipeline, one entry per
+/// stage in completion order. A report may mirror its stages onto a Tracer
+/// (set_tracer) so translation and evaluation share one Chrome trace.
+class PipelineReport {
+ public:
+  PipelineReport() = default;
+
+  void AddStage(PipelineStage stage);
+
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+  /// First stage with the given name, null if absent.
+  const PipelineStage* Find(std::string_view name) const;
+  uint64_t TotalNs() const;
+  /// True iff every recorded stage succeeded.
+  bool AllOk() const;
+
+  /// When set, each recorded stage also becomes a closed "STAGE" span on
+  /// the tracer (with nodes_in/nodes_out/... counters), composing with the
+  /// evaluator's span tree.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  /// One stage per line:
+  ///   ns_elimination  212.4us  nodes 13 -> 257 (x19.77)  vars 5 -> 5  width 1 -> 16
+  std::string ToText() const;
+  /// {"total_ns":...,"stages":[{"name":..,"wall_ns":..,"ok":..,
+  ///   "in":{"nodes":..,"vars":..,"union_width":..},"out":{...},
+  ///   "node_blowup":..}, ...]}
+  std::string ToJson() const;
+
+ private:
+  std::vector<PipelineStage> stages_;
+  Tracer* tracer_ = nullptr;
+};
+
+/// RAII recorder for one stage. A null report makes everything a no-op, so
+/// instrumented transforms read the same with reporting on or off:
+///
+///   ScopedStage stage(report, "ns_elimination", ShapeOfPattern(*pattern));
+///   ... work ...
+///   stage.SetOut(ShapeOfPattern(*result));   // or SetError(status text)
+///
+/// The stage is appended to the report on destruction; wall time runs from
+/// construction to destruction. Stages therefore land in completion order:
+/// a transform that invokes another reported transform internally records
+/// the inner stage first.
+class ScopedStage {
+ public:
+  ScopedStage(PipelineReport* report, std::string name, PatternShape in);
+  ~ScopedStage();
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  void SetOut(PatternShape out) {
+    if (report_ != nullptr) {
+      stage_.out = out;
+      stage_.ok = true;
+    }
+  }
+  void SetDetail(std::string detail) {
+    if (report_ != nullptr) stage_.detail = std::move(detail);
+  }
+  void SetError(std::string error) {
+    if (report_ != nullptr) {
+      stage_.ok = false;
+      stage_.error = std::move(error);
+    }
+  }
+  bool active() const { return report_ != nullptr; }
+
+ private:
+  PipelineReport* report_;
+  PipelineStage stage_;
+  uint64_t start_ns_ = 0;
+  TraceSpan* span_ = nullptr;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_OBS_PIPELINE_H_

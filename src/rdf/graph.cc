@@ -220,6 +220,17 @@ std::vector<TermId> Graph::Iris() const {
   return ids;
 }
 
+size_t Graph::ApproxBytes() const {
+  // ~2 pointers of hash-set bucket/node overhead per deduped triple; only
+  // materialized indexes (base + side capacity) count.
+  size_t bytes = triples_.capacity() * sizeof(Triple) +
+                 set_.size() * (sizeof(Triple) + 2 * sizeof(void*));
+  for (const Index& idx : index_) {
+    bytes += (idx.base.capacity() + idx.side.capacity()) * sizeof(Triple);
+  }
+  return bytes;
+}
+
 bool operator==(const Graph& a, const Graph& b) {
   return a.size() == b.size() && a.IsSubsetOf(b);
 }

@@ -66,6 +66,11 @@ class Graph {
   /// The set of IRIs mentioned in the graph, I(G), sorted ascending.
   std::vector<TermId> Iris() const;
 
+  /// Approximate resident bytes: triple store, dedup set and whatever
+  /// permutation indexes have been materialized so far. Feeds the
+  /// `engine.graph_bytes` gauge.
+  size_t ApproxBytes() const;
+
   friend bool operator==(const Graph& a, const Graph& b);
 
  private:

@@ -85,9 +85,20 @@ Result<PatternPtr> Eliminate(const PatternPtr& p,
 }  // namespace
 
 Result<PatternPtr> EliminateNs(const PatternPtr& pattern,
-                               const NormalFormLimits& limits) {
+                               const NormalFormLimits& limits,
+                               PipelineReport* report) {
   RDFQL_CHECK(pattern != nullptr);
-  return Eliminate(pattern, limits);
+  ScopedStage stage(report, "ns_elimination",
+                    ShapeIfReporting(report, *pattern));
+  Result<PatternPtr> out = Eliminate(pattern, limits);
+  if (stage.active()) {
+    if (out.ok()) {
+      stage.SetOut(ShapeOfPattern(**out));
+    } else {
+      stage.SetError(out.status().ToString());
+    }
+  }
+  return out;
 }
 
 }  // namespace rdfql

@@ -2,6 +2,7 @@
 #define RDFQL_TRANSFORM_NS_ELIMINATION_H_
 
 #include "algebra/pattern.h"
+#include "obs/pipeline.h"
 #include "transform/union_normal_form.h"
 #include "util/status.h"
 
@@ -18,8 +19,13 @@ namespace rdfql {
 /// over the disjuncts D''_i whose domain strictly contains V. The size of
 /// the output is double-exponential in the input in the worst case
 /// (bench_ns_elimination measures the curve); `limits` caps the work.
+///
+/// With a non-null `report`, records one "ns_elimination" pipeline stage
+/// (wall time, input/output PatternShape, blowup) — as do all the public
+/// transforms in this directory for their own stage names.
 Result<PatternPtr> EliminateNs(const PatternPtr& pattern,
-                               const NormalFormLimits& limits = {});
+                               const NormalFormLimits& limits = {},
+                               PipelineReport* report = nullptr);
 
 }  // namespace rdfql
 

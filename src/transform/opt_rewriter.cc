@@ -39,18 +39,25 @@ PatternPtr Rebuild(const PatternPtr& p, const OptFn& on_opt,
 
 }  // namespace
 
-PatternPtr RewriteOptToNs(const PatternPtr& pattern) {
-  return Rebuild(
+PatternPtr RewriteOptToNs(const PatternPtr& pattern,
+                          PipelineReport* report) {
+  ScopedStage stage(report, "opt_to_ns", ShapeIfReporting(report, *pattern));
+  PatternPtr out = Rebuild(
       pattern,
       [](PatternPtr l, PatternPtr r) {
         return Pattern::Ns(Pattern::Union(l, Pattern::And(l, r)));
       },
       [](PatternPtr l, PatternPtr r) { return Pattern::Minus(l, r); },
       [](PatternPtr c) { return Pattern::Ns(c); });
+  if (stage.active()) stage.SetOut(ShapeOfPattern(*out));
+  return out;
 }
 
-PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict) {
-  return Rebuild(
+PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict,
+                        PipelineReport* report) {
+  ScopedStage stage(report, "desugar_minus",
+                    ShapeIfReporting(report, *pattern));
+  PatternPtr out = Rebuild(
       pattern,
       [](PatternPtr l, PatternPtr r) { return Pattern::Opt(l, r); },
       [dict](PatternPtr l, PatternPtr r) {
@@ -64,16 +71,23 @@ PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict) {
             Builtin::Not(Builtin::Bound(v1)));
       },
       [](PatternPtr c) { return Pattern::Ns(c); });
+  if (stage.active()) stage.SetOut(ShapeOfPattern(*out));
+  return out;
 }
 
-PatternPtr MonotoneEnvelope(const PatternPtr& pattern) {
-  return Rebuild(
+PatternPtr MonotoneEnvelope(const PatternPtr& pattern,
+                            PipelineReport* report) {
+  ScopedStage stage(report, "monotone_envelope",
+                    ShapeIfReporting(report, *pattern));
+  PatternPtr out = Rebuild(
       pattern,
       [](PatternPtr l, PatternPtr r) {
         return Pattern::Union(Pattern::And(l, r), l);
       },
       [](PatternPtr l, PatternPtr) { return l; },
       [](PatternPtr c) { return c; });
+  if (stage.active()) stage.SetOut(ShapeOfPattern(*out));
+  return out;
 }
 
 }  // namespace rdfql

@@ -2,6 +2,7 @@
 #define RDFQL_TRANSFORM_OPT_REWRITER_H_
 
 #include "algebra/pattern.h"
+#include "obs/pipeline.h"
 #include "rdf/dictionary.h"
 
 namespace rdfql {
@@ -13,12 +14,14 @@ namespace rdfql {
 /// NS(P1 UNION (P1 AND P2)) ≡ NS(P1 OPT P2) — the NS encoding keeps the
 /// maximal answers). The rewrite shows NS is "an alternative way of
 /// obtaining optional information".
-PatternPtr RewriteOptToNs(const PatternPtr& pattern);
+PatternPtr RewriteOptToNs(const PatternPtr& pattern,
+                          PipelineReport* report = nullptr);
 
 /// Appendix D: desugars every MINUS node into pure SPARQL,
 ///     P1 MINUS P2  ⇝  (P1 OPT (P2 AND (?v1 ?v2 ?v3))) FILTER !bound(?v1)
 /// with fresh variables ?v1 ?v2 ?v3 interned in `dict`.
-PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict);
+PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict,
+                        PipelineReport* report = nullptr);
 
 /// The monotone envelope of a pattern: strips every non-monotone construct
 /// upward,
@@ -31,7 +34,8 @@ PatternPtr DesugarMinus(const PatternPtr& pattern, Dictionary* dict);
 /// This is the constructive candidate for Theorem 4.1: when P is (weakly)
 /// monotone enough, envelope ≡s P — `FindAufsTranslation` in
 /// fo/interpolant_search.h verifies that claim instance by instance.
-PatternPtr MonotoneEnvelope(const PatternPtr& pattern);
+PatternPtr MonotoneEnvelope(const PatternPtr& pattern,
+                            PipelineReport* report = nullptr);
 
 }  // namespace rdfql
 

@@ -45,9 +45,14 @@ PatternPtr Sf(const PatternPtr& p, Dictionary* dict) {
 
 }  // namespace
 
-PatternPtr SelectFreeVersion(const PatternPtr& pattern, Dictionary* dict) {
+PatternPtr SelectFreeVersion(const PatternPtr& pattern, Dictionary* dict,
+                             PipelineReport* report) {
   RDFQL_CHECK(pattern != nullptr);
-  return Sf(pattern, dict);
+  ScopedStage stage(report, "select_free",
+                    ShapeIfReporting(report, *pattern));
+  PatternPtr out = Sf(pattern, dict);
+  if (stage.active()) stage.SetOut(ShapeOfPattern(*out));
+  return out;
 }
 
 }  // namespace rdfql

@@ -2,6 +2,7 @@
 #define RDFQL_TRANSFORM_SELECT_FREE_H_
 
 #include "algebra/pattern.h"
+#include "obs/pipeline.h"
 #include "rdf/dictionary.h"
 
 namespace rdfql {
@@ -13,7 +14,8 @@ namespace rdfql {
 /// away are renamed to fresh variables; sibling subpatterns receive
 /// disjoint fresh variables. Lemma F.2 relates P and P_sf: µ ∈ ⟦P⟧G iff
 /// some µ' ∈ ⟦P_sf⟧G has µ ⪯ µ' and dom(µ) = dom(µ') ∩ var(P).
-PatternPtr SelectFreeVersion(const PatternPtr& pattern, Dictionary* dict);
+PatternPtr SelectFreeVersion(const PatternPtr& pattern, Dictionary* dict,
+                             PipelineReport* report = nullptr);
 
 }  // namespace rdfql
 

@@ -111,9 +111,29 @@ Result<std::vector<PatternPtr>> Unf(const PatternPtr& p,
 }  // namespace
 
 Result<std::vector<PatternPtr>> UnionNormalForm(
-    const PatternPtr& pattern, const NormalFormLimits& limits) {
+    const PatternPtr& pattern, const NormalFormLimits& limits,
+    PipelineReport* report) {
   RDFQL_CHECK(pattern != nullptr);
-  return Unf(pattern, limits);
+  ScopedStage stage(report, "union_normal_form",
+                    ShapeIfReporting(report, *pattern));
+  Result<std::vector<PatternPtr>> out = Unf(pattern, limits);
+  if (stage.active()) {
+    if (out.ok()) {
+      // Shape of the equivalent D1 UNION ... UNION Dn.
+      PatternShape shape;
+      shape.vars = pattern->Vars().size();
+      shape.union_width = out->size();
+      for (const PatternPtr& d : *out) {
+        shape.nodes += ShapeOfPattern(*d).nodes;
+      }
+      shape.nodes += out->empty() ? 0 : out->size() - 1;
+      stage.SetOut(shape);
+      stage.SetDetail(std::to_string(out->size()) + " disjuncts");
+    } else {
+      stage.SetError(out.status().ToString());
+    }
+  }
+  return out;
 }
 
 std::vector<VarId> CertainVars(const PatternPtr& pattern) {
@@ -156,7 +176,9 @@ std::vector<VarId> CertainVars(const PatternPtr& pattern) {
   return {};
 }
 
-Result<std::vector<FixedDomainDisjunct>> FixedDomainUnionNormalForm(
+namespace {
+
+Result<std::vector<FixedDomainDisjunct>> FixedDomainUnfImpl(
     const PatternPtr& pattern, const NormalFormLimits& limits) {
   RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> disjuncts,
                          UnionNormalForm(pattern, limits));
@@ -196,6 +218,33 @@ Result<std::vector<FixedDomainDisjunct>> FixedDomainUnionNormalForm(
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<FixedDomainDisjunct>> FixedDomainUnionNormalForm(
+    const PatternPtr& pattern, const NormalFormLimits& limits,
+    PipelineReport* report) {
+  ScopedStage stage(report, "fixed_domain_unf",
+                    ShapeIfReporting(report, *pattern));
+  Result<std::vector<FixedDomainDisjunct>> result =
+      FixedDomainUnfImpl(pattern, limits);
+  if (stage.active()) {
+    if (result.ok()) {
+      PatternShape shape;
+      shape.vars = pattern->Vars().size();
+      shape.union_width = result->size();
+      for (const FixedDomainDisjunct& d : *result) {
+        shape.nodes += ShapeOfPattern(*d.pattern).nodes;
+      }
+      shape.nodes += result->empty() ? 0 : result->size() - 1;
+      stage.SetOut(shape);
+      stage.SetDetail(std::to_string(result->size()) + " disjuncts");
+    } else {
+      stage.SetError(result.status().ToString());
+    }
+  }
+  return result;
 }
 
 }  // namespace rdfql

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "obs/pipeline.h"
 #include "util/status.h"
 
 namespace rdfql {
@@ -23,7 +24,8 @@ struct NormalFormLimits {
 /// union-free right-hand side into chained MINUS. The input must be NS-free
 /// (NS does not distribute over UNION; EliminateNs handles it first).
 Result<std::vector<PatternPtr>> UnionNormalForm(
-    const PatternPtr& pattern, const NormalFormLimits& limits = {});
+    const PatternPtr& pattern, const NormalFormLimits& limits = {},
+    PipelineReport* report = nullptr);
 
 /// One disjunct of the fixed-domain UNION normal form of Lemma D.2: a
 /// UNION-free pattern all of whose answers bind exactly `domain`.
@@ -38,7 +40,8 @@ struct FixedDomainDisjunct {
 /// profile). Disjuncts whose domain constraint is syntactically
 /// unsatisfiable (V outside [certain(D), scope(D)]) are pruned.
 Result<std::vector<FixedDomainDisjunct>> FixedDomainUnionNormalForm(
-    const PatternPtr& pattern, const NormalFormLimits& limits = {});
+    const PatternPtr& pattern, const NormalFormLimits& limits = {},
+    PipelineReport* report = nullptr);
 
 /// Variables bound in *every* answer of the pattern, syntactically
 /// approximated from below (used to prune Lemma D.2's 2^|var(P)| domain

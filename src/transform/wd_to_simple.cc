@@ -138,14 +138,29 @@ PatternPtr WdTreeToPattern(const WdTreeNode& node) {
   return block;
 }
 
-Result<PatternPtr> ToOptNormalForm(const PatternPtr& pattern) {
-  RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
-                         BuildWdTree(pattern));
-  return WdTreeToPattern(*tree);
+Result<PatternPtr> ToOptNormalForm(const PatternPtr& pattern,
+                                   PipelineReport* report) {
+  ScopedStage stage(report, "opt_normal_form",
+                    ShapeIfReporting(report, *pattern));
+  Result<PatternPtr> out = [&]() -> Result<PatternPtr> {
+    RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
+                           BuildWdTree(pattern));
+    return WdTreeToPattern(*tree);
+  }();
+  if (stage.active()) {
+    if (out.ok()) {
+      stage.SetOut(ShapeOfPattern(**out));
+    } else {
+      stage.SetError(out.status().ToString());
+    }
+  }
+  return out;
 }
 
-Result<PatternPtr> WellDesignedToAufUnion(const PatternPtr& pattern,
-                                          size_t max_subtrees) {
+namespace {
+
+Result<PatternPtr> WellDesignedToAufUnionImpl(const PatternPtr& pattern,
+                                              size_t max_subtrees) {
   RDFQL_ASSIGN_OR_RETURN(std::unique_ptr<WdTreeNode> tree,
                          BuildWdTree(pattern));
   std::vector<Block> blocks;
@@ -160,11 +175,48 @@ Result<PatternPtr> WellDesignedToAufUnion(const PatternPtr& pattern,
   return Pattern::UnionAll(disjuncts);
 }
 
+}  // namespace
+
+Result<PatternPtr> WellDesignedToAufUnion(const PatternPtr& pattern,
+                                          size_t max_subtrees,
+                                          PipelineReport* report) {
+  ScopedStage stage(report, "wd_to_auf_union",
+                    ShapeIfReporting(report, *pattern));
+  Result<PatternPtr> out = WellDesignedToAufUnionImpl(pattern, max_subtrees);
+  if (stage.active()) {
+    if (out.ok()) {
+      PatternShape shape = ShapeOfPattern(**out);
+      stage.SetOut(shape);
+      stage.SetDetail(std::to_string(shape.union_width) + " disjuncts");
+    } else {
+      stage.SetError(out.status().ToString());
+    }
+  }
+  return out;
+}
+
 Result<PatternPtr> WellDesignedToSimple(const PatternPtr& pattern,
-                                        size_t max_subtrees) {
-  RDFQL_ASSIGN_OR_RETURN(PatternPtr inner,
-                         WellDesignedToAufUnion(pattern, max_subtrees));
-  return Pattern::Ns(inner);
+                                        size_t max_subtrees,
+                                        PipelineReport* report) {
+  ScopedStage stage(report, "wd_to_simple",
+                    ShapeIfReporting(report, *pattern));
+  // The inner translation reports its own "wd_to_auf_union" stage only when
+  // called directly; here the enclosing stage covers it.
+  Result<PatternPtr> out = [&]() -> Result<PatternPtr> {
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr inner,
+                           WellDesignedToAufUnionImpl(pattern, max_subtrees));
+    return Pattern::Ns(inner);
+  }();
+  if (stage.active()) {
+    if (out.ok()) {
+      PatternShape shape = ShapeOfPattern(**out);
+      stage.SetOut(shape);
+      stage.SetDetail(std::to_string(shape.union_width) + " disjuncts");
+    } else {
+      stage.SetError(out.status().ToString());
+    }
+  }
+  return out;
 }
 
 }  // namespace rdfql

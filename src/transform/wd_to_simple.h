@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "obs/pipeline.h"
 #include "util/status.h"
 
 namespace rdfql {
@@ -30,7 +31,8 @@ Result<std::unique_ptr<WdTreeNode>> BuildWdTree(const PatternPtr& pattern);
 /// of the pattern tree containing the root. The number of subtrees is
 /// exponential in the tree size in the worst case; `max_subtrees` caps it.
 Result<PatternPtr> WellDesignedToSimple(const PatternPtr& pattern,
-                                        size_t max_subtrees = 1u << 16);
+                                        size_t max_subtrees = 1u << 16,
+                                        PipelineReport* report = nullptr);
 
 /// Rebuilds a pattern from a well-designed pattern tree: the node's block
 /// is the AND of its triples (FILTERed by its conditions), children attach
@@ -41,13 +43,15 @@ PatternPtr WdTreeToPattern(const WdTreeNode& node);
 /// pattern is equivalent to one in OPT normal form
 /// (...((P1 OPT P2) OPT P3)... with P1 OPT-free) — obtained by a
 /// tree round trip. Fails for non-well-designed inputs.
-Result<PatternPtr> ToOptNormalForm(const PatternPtr& pattern);
+Result<PatternPtr> ToOptNormalForm(const PatternPtr& pattern,
+                                   PipelineReport* report = nullptr);
 
 /// The inner SPARQL[AUF] union of `WellDesignedToSimple` without the
 /// enclosing NS — this is the subsumption-equivalent monotone pattern
 /// promised by Theorem 4.1 for well-designed inputs.
 Result<PatternPtr> WellDesignedToAufUnion(const PatternPtr& pattern,
-                                          size_t max_subtrees = 1u << 16);
+                                          size_t max_subtrees = 1u << 16,
+                                          PipelineReport* report = nullptr);
 
 }  // namespace rdfql
 
