@@ -1,0 +1,183 @@
+// What do the cooperative cancellation checkpoints cost? Three variants of
+// the full university query mix (2 universities):
+//
+//   BM_MixUngoverned        plain Evaluator::Eval — no token installed, so
+//                           every checkpoint is one relaxed load + null
+//                           test. This is the path every caller without
+//                           limits takes.
+//   BM_MixGovernedDisabled  EvalChecked with all-zero limits — must match
+//                           the ungoverned run (it resolves to the same
+//                           path); proves governance is free until opted
+//                           into.
+//   BM_MixGovernedArmed     EvalChecked under generous limits — token
+//                           installed, caps armed on an accountant, every
+//                           checkpoint pays an atomic load (plus a clock
+//                           read at operator granularity).
+//
+// Before google-benchmark runs, a paired pre-pass interleaves the three
+// variants and prints their relative overheads to stderr; the per-sweep
+// medians are attached to the emitted JSON as `paired_*_ns` metrics
+// (timing-named, so bench_diff skips them across machines).
+// docs/robustness.md records the measured figures; the budget for the
+// disabled path is <2%.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/rdfql.h"
+#include "util/check.h"
+#include "workload/university_generator.h"
+
+#include "bench_reporting.h"
+
+namespace rdfql {
+namespace {
+
+struct Mix {
+  Graph graph;
+  std::vector<PatternPtr> patterns;
+};
+
+Engine& SharedEngine() {
+  static Engine engine;
+  return engine;
+}
+
+const Mix& SharedMix() {
+  static Mix mix = [] {
+    Mix m;
+    UniversitySpec spec;
+    spec.num_universities = 2;
+    m.graph = GenerateUniversityGraph(spec, SharedEngine().dict());
+    for (const NamedUniversityQuery& q : UniversityQueryMix()) {
+      Result<PatternPtr> p = SharedEngine().Parse(q.text);
+      RDFQL_CHECK(p.ok());
+      m.patterns.push_back(p.value());
+    }
+    return m;
+  }();
+  return mix;
+}
+
+EvalOptions ArmedOptions() {
+  EvalOptions options;
+  options.limits.max_wall_ms = 600'000;
+  options.limits.max_live_mappings = 1ull << 40;
+  options.limits.max_bytes = 1ull << 40;
+  return options;
+}
+
+size_t RunMixPlain(const Evaluator& evaluator) {
+  size_t answers = 0;
+  for (const PatternPtr& p : SharedMix().patterns) {
+    answers += evaluator.Eval(p).size();
+  }
+  return answers;
+}
+
+size_t RunMixChecked(const Evaluator& evaluator) {
+  size_t answers = 0;
+  for (const PatternPtr& p : SharedMix().patterns) {
+    Result<MappingSet> r = evaluator.EvalChecked(p);
+    RDFQL_CHECK(r.ok());
+    answers += r->size();
+  }
+  return answers;
+}
+
+void BM_MixUngoverned(benchmark::State& state) {
+  Evaluator evaluator(&SharedMix().graph);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixPlain(evaluator);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixUngoverned)->Unit(benchmark::kMillisecond);
+
+void BM_MixGovernedDisabled(benchmark::State& state) {
+  Evaluator evaluator(&SharedMix().graph);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixChecked(evaluator);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixGovernedDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_MixGovernedArmed(benchmark::State& state) {
+  Evaluator evaluator(&SharedMix().graph, ArmedOptions());
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixChecked(evaluator);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixGovernedArmed)->Unit(benchmark::kMillisecond);
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t Median(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Paired pre-pass: interleave the three variants so they share the same
+// cache/frequency conditions, then compare medians.
+void ReportPairedOverhead() {
+  Evaluator plain(&SharedMix().graph);
+  Evaluator armed(&SharedMix().graph, ArmedOptions());
+  // Warm up graph indexes and allocator.
+  RunMixPlain(plain);
+  RunMixChecked(armed);
+  constexpr int kReps = 11;
+  std::vector<uint64_t> ungoverned, disabled, armed_ns;
+  for (int i = 0; i < kReps; ++i) {
+    uint64_t t0 = NowNs();
+    size_t a = RunMixPlain(plain);
+    uint64_t t1 = NowNs();
+    size_t b = RunMixChecked(plain);
+    uint64_t t2 = NowNs();
+    size_t c = RunMixChecked(armed);
+    uint64_t t3 = NowNs();
+    RDFQL_CHECK(a == b && b == c);
+    ungoverned.push_back(t1 - t0);
+    disabled.push_back(t2 - t1);
+    armed_ns.push_back(t3 - t2);
+  }
+  double u = static_cast<double>(Median(ungoverned));
+  double d = static_cast<double>(Median(disabled));
+  double g = static_cast<double>(Median(armed_ns));
+  std::fprintf(stderr,
+               "limits-overhead (paired medians over %d mix sweeps): "
+               "ungoverned=%.2fms disabled=%.2fms (%+.2f%%) "
+               "armed=%.2fms (%+.2f%%); budget for disabled: <2%%\n",
+               kReps, u / 1e6, d / 1e6, (d / u - 1.0) * 100, g / 1e6,
+               (g / u - 1.0) * 100);
+  for (const char* name :
+       {"BM_MixUngoverned", "BM_MixGovernedDisabled", "BM_MixGovernedArmed"}) {
+    bench::AddCaseMetric(name, "paired_ungoverned_ns", u);
+    bench::AddCaseMetric(name, "paired_disabled_ns", d);
+    bench::AddCaseMetric(name, "paired_armed_ns", g);
+  }
+}
+
+}  // namespace
+}  // namespace rdfql
+
+int main(int argc, char** argv) {
+  rdfql::ReportPairedOverhead();
+  return rdfql::bench::BenchMain(argc, argv, "bench_limits_overhead");
+}

@@ -509,9 +509,15 @@ bool ValidateBenchJson(const std::string& json, bool expect_growth,
 
 namespace {
 int cli_threads = 1;
+uint64_t cli_timeout_ms = 0;
+uint64_t cli_max_mb = 0;
 }  // namespace
 
 int CliThreads() { return cli_threads; }
+
+uint64_t CliTimeoutMs() { return cli_timeout_ms; }
+
+uint64_t CliMaxMb() { return cli_max_mb; }
 
 int BenchMain(int argc, char** argv, const char* bench_name) {
   bool emit_json = false;
@@ -529,6 +535,12 @@ int BenchMain(int argc, char** argv, const char* bench_name) {
           static_cast<int>(std::strtol(std::string(a.substr(10)).c_str(),
                                        nullptr, 10));
       if (cli_threads < 1) cli_threads = 1;
+    } else if (a.rfind("--timeout-ms=", 0) == 0) {
+      cli_timeout_ms =
+          std::strtoull(std::string(a.substr(13)).c_str(), nullptr, 10);
+    } else if (a.rfind("--max-mb=", 0) == 0) {
+      cli_max_mb =
+          std::strtoull(std::string(a.substr(9)).c_str(), nullptr, 10);
     } else {
       args.push_back(argv[i]);
     }

@@ -87,6 +87,15 @@ int BenchMain(int argc, char** argv, const char* bench_name);
 /// it back as a `threads` case counter).
 int CliThreads();
 
+/// The `--timeout-ms=N` value BenchMain parsed, 0 (unlimited) when absent.
+/// Benches put this into ResourceLimits::max_wall_ms so a runaway workload
+/// fails typed instead of hanging the bench job.
+uint64_t CliTimeoutMs();
+
+/// The `--max-mb=N` value BenchMain parsed, 0 (unlimited) when absent; maps
+/// to ResourceLimits::max_bytes (decimal megabytes).
+uint64_t CliMaxMb();
+
 }  // namespace bench
 }  // namespace rdfql
 

@@ -55,12 +55,19 @@ void RunMixQuery(benchmark::State& state, const char* family,
   }
   EvalOptions options;
   options.threads = bench::CliThreads();
+  options.limits.max_wall_ms = bench::CliTimeoutMs();
+  options.limits.max_bytes = bench::CliMaxMb() * 1'000'000ull;
   ResourceAccountant acct;
   options.accountant = &acct;
+  Evaluator evaluator(&g, options);
   size_t answers = 0;
   for (auto _ : state) {
-    MappingSet r = EvalPattern(g, pattern, options);
-    answers = r.size();
+    Result<MappingSet> r = evaluator.EvalChecked(pattern);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    answers = r->size();
     benchmark::DoNotOptimize(r);
   }
   state.SetLabel(q.name + (optimize ? " (optimized)" : ""));

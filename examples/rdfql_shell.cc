@@ -19,8 +19,13 @@
 //
 // With no stdin redirection it reads interactively; a built-in demo script
 // runs when invoked with `--demo`.
+//
+// Flags: `--timeout-ms=N` and `--max-mb=N` set engine-wide resource limits
+// (wall clock / live mapping memory) for every query in the session; a
+// query that trips one prints the typed error and the REPL continues.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -224,7 +229,26 @@ int RunDemo(Engine* engine) {
 
 int main(int argc, char** argv) {
   Engine engine;
-  if (argc > 1 && std::string(argv[1]) == "--demo") {
+  bool demo = false;
+  rdfql::ResourceLimits limits;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      limits.max_wall_ms = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--max-mb=", 0) == 0) {
+      limits.max_bytes =
+          std::strtoull(arg.c_str() + 9, nullptr, 10) * 1'000'000ull;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s (try --demo --timeout-ms=N --max-mb=N)\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  engine.SetDefaultLimits(limits);
+  if (demo) {
     return RunDemo(&engine);
   }
   std::string line;

@@ -1,0 +1,54 @@
+# Scripted-stdin smoke test for rdfql_shell: malformed commands, a deeply
+# nested pattern and an unknown command must each print an error while the
+# REPL stays alive — the session still answers the final query and exits 0.
+#
+# Run as: cmake -DSHELL=<path to rdfql_shell> -DOUT_DIR=<scratch dir>
+#               -P shell_smoke.cmake
+if(NOT DEFINED SHELL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "pass -DSHELL=<rdfql_shell> -DOUT_DIR=<scratch dir>")
+endif()
+
+# A pattern nested far past the parser's depth limit: the guard must turn
+# it into a parse error instead of a stack overflow.
+string(REPEAT "(" 100000 OPEN)
+string(REPEAT ")" 100000 CLOSE)
+
+set(lines
+  "triple g Juan was_born_in Chile"
+  "triple g Ana was_born_in Chile"
+  "query g this is ( not a pattern"
+  "frobnicate g (?x was_born_in ?c)"
+  "query g ${OPEN}(?x was_born_in ?c)${CLOSE}"
+  "query nosuchgraph (?x was_born_in ?c)"
+  "query g (?x was_born_in ?c)"
+  "quit")
+string(JOIN "\n" script ${lines})
+file(WRITE "${OUT_DIR}/shell_smoke_input.txt" "${script}\n")
+
+execute_process(
+  COMMAND "${SHELL}" --timeout-ms=10000 --max-mb=512
+  INPUT_FILE "${OUT_DIR}/shell_smoke_input.txt"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "shell exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "error:")
+  message(FATAL_ERROR "expected at least one `error:` line\n${out}")
+endif()
+if(NOT out MATCHES "nesting too deep")
+  message(FATAL_ERROR "expected the deep-nesting parse error\n${out}")
+endif()
+if(NOT out MATCHES "unknown command: frobnicate")
+  message(FATAL_ERROR "expected the unknown-command error\n${out}")
+endif()
+if(NOT out MATCHES "no graph named")
+  message(FATAL_ERROR "expected the missing-graph error\n${out}")
+endif()
+# The REPL must still answer the final query after all of the above.
+if(NOT out MATCHES "Juan")
+  message(FATAL_ERROR "expected results from the final query\n${out}")
+endif()

@@ -4,10 +4,17 @@
 #include <unordered_map>
 
 #include "obs/tracer.h"
+#include "util/limits.h"
 #include "util/thread_pool.h"
 
 namespace rdfql {
 namespace {
+
+// How many outer-loop iterations a serial kernel runs between cooperative
+// checkpoints. Power of two so the test compiles to a mask; small enough
+// that a tripped token stops a quadratic scan promptly, large enough that
+// the ungoverned cost (a relaxed load) vanishes in the loop body.
+constexpr uint64_t kCheckpointStride = 1024;
 
 // Below this many probe-side (resp. left-side) mappings the fork/join
 // overhead outweighs the work; the kernels stay serial. The threshold only
@@ -167,6 +174,9 @@ MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b,
     std::vector<std::vector<Mapping>> results(chunks);
     std::vector<uint64_t> probe_counts(chunks, 0);
     pool->ParallelFor(chunks, [&](size_t c) {
+      // Per-chunk cooperative checkpoint: once the query's token trips,
+      // remaining chunks become no-ops (the whole result is discarded).
+      if (!CooperativeCheckpoint()) return;
       size_t lo = ps.size() * c / chunks;
       size_t hi = ps.size() * (c + 1) / chunks;
       uint64_t local_probes = 0;
@@ -195,7 +205,12 @@ MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b,
   }
 
   uint64_t probes = 0;
+  uint64_t visited = 0;
   for (const Mapping& m : probe) {
+    if ((++visited & (kCheckpointStride - 1)) == 0 &&
+        !CooperativeCheckpoint()) {
+      break;
+    }
     auto it = table.find(KeyHash(m, shared));
     if (it == table.end()) continue;
     for (const Mapping* other : it->second) {
@@ -210,7 +225,12 @@ MappingSet MappingSet::Join(const MappingSet& a, const MappingSet& b,
 MappingSet MappingSet::JoinNestedLoop(const MappingSet& a,
                                       const MappingSet& b) {
   MappingSet out;
+  uint64_t visited = 0;
   for (const Mapping& m1 : a) {
+    if ((++visited & (kCheckpointStride - 1)) == 0 &&
+        !CooperativeCheckpoint()) {
+      break;
+    }
     for (const Mapping& m2 : b) {
       if (m1.CompatibleWith(m2)) out.Add(m1.UnionWith(m2));
     }
@@ -239,6 +259,7 @@ MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b,
     std::vector<std::vector<const Mapping*>> kept(chunks);
     std::vector<uint64_t> pair_counts(chunks, 0);
     pool->ParallelFor(chunks, [&](size_t c) {
+      if (!CooperativeCheckpoint()) return;
       size_t lo = as.size() * c / chunks;
       size_t hi = as.size() * (c + 1) / chunks;
       uint64_t local_pairs = 0;
@@ -266,7 +287,12 @@ MappingSet MappingSet::Minus(const MappingSet& a, const MappingSet& b,
     return out;
   }
   uint64_t pairs = 0;
+  uint64_t visited = 0;
   for (const Mapping& m1 : a) {
+    if ((++visited & (kCheckpointStride - 1)) == 0 &&
+        !CooperativeCheckpoint()) {
+      break;
+    }
     bool incompatible_with_all = true;
     for (const Mapping& m2 : b) {
       ++pairs;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "algebra/result_io.h"
 #include "analysis/fragments.h"
@@ -53,6 +54,28 @@ std::string BytesString(uint64_t bytes) {
   return buf;
 }
 
+std::string LimitsString(const ResourceLimits& limits) {
+  if (!limits.Enforced()) return "none";
+  std::string out;
+  auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += " ";
+    out += piece;
+  };
+  if (limits.max_wall_ms != 0) {
+    append("wall=" + std::to_string(limits.max_wall_ms) + "ms");
+  }
+  if (limits.max_live_mappings != 0) {
+    append("live_mappings=" + std::to_string(limits.max_live_mappings));
+  }
+  if (limits.max_bytes != 0) {
+    append("bytes=" + BytesString(limits.max_bytes));
+  }
+  if (limits.max_ast_nodes != 0) {
+    append("ast_nodes=" + std::to_string(limits.max_ast_nodes));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string QueryExplanation::ToString() const {
@@ -60,6 +83,7 @@ std::string QueryExplanation::ToString() const {
                     "  eval: " + PhaseString(eval_ns) + "  mem: peak " +
                     std::to_string(peak_mappings) + " mappings / " +
                     BytesString(peak_bytes) + "\n";
+  out += "limits: " + LimitsString(limits) + "\n";
   out += explanation.ToString();
   return out;
 }
@@ -136,6 +160,10 @@ EvalOptions Engine::WithEngineDefaults(EvalOptions options) const {
     options.threads = default_threads_;
     options.pool = pool_.get();
   }
+  // Per-query limits win wholesale; otherwise the engine default applies.
+  if (!options.limits.Enforced()) {
+    options.limits = default_limits_;
+  }
   return options;
 }
 
@@ -144,20 +172,46 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
                                 EvalOptions options) {
   RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
   options = WithEngineDefaults(options);
-  if (!collect_metrics_) {
+  bool governed = options.governed();
+  if (!collect_metrics_ && !governed) {
     return EvalPattern(*graph, pattern, options);
   }
-  if (options.metrics == nullptr) options.metrics = &metrics_;
+  if (collect_metrics_ && options.metrics == nullptr) {
+    options.metrics = &metrics_;
+  }
   // Per-query memory accounting rides on the metrics opt-in: a fresh
   // accountant per query, folded into the registry afterwards. A
   // caller-provided accountant wins (and the caller reads it directly).
+  // Governed-only queries without metrics skip it — EvalChecked creates
+  // its own accountant when the limits need one.
   ResourceAccountant acct;
-  if (options.accountant == nullptr) options.accountant = &acct;
+  if (collect_metrics_ && options.accountant == nullptr) {
+    options.accountant = &acct;
+  }
   uint64_t t0 = NowNs();
-  MappingSet result = EvalPattern(*graph, pattern, options);
-  metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
-  RecordAccounting(*options.accountant);
+  Result<MappingSet> result = Evaluator(graph, options).EvalChecked(pattern);
+  if (collect_metrics_) {
+    metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
+    RecordAccounting(*options.accountant);
+  }
+  if (!result.ok()) RecordRejection(result.status());
   return result;
+}
+
+void Engine::RecordRejection(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      metrics_.GetCounter("engine.queries_rejected")->Inc();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      metrics_.GetCounter("engine.queries_deadline_exceeded")->Inc();
+      break;
+    case StatusCode::kCancelled:
+      metrics_.GetCounter("engine.queries_cancelled")->Inc();
+      break;
+    default:
+      break;
+  }
 }
 
 void Engine::RecordAccounting(const ResourceAccountant& acct) {
@@ -188,8 +242,34 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   // EXPLAIN ANALYZE always accounts memory, metrics opt-in or not.
   ResourceAccountant acct;
   options.accountant = &acct;
+  // Arm governance around the traced evaluation: ExplainEval's inner
+  // Evaluator polls the process-global token, so installing it here puts
+  // the instrumented run under the same limits as Engine::Eval.
+  out.limits = options.limits;
+  bool governed = options.governed();
+  CancellationToken local_token;
+  CancellationToken* token =
+      options.cancel != nullptr ? options.cancel : &local_token;
+  if (governed) {
+    Deadline deadline = options.deadline;
+    if (options.limits.max_wall_ms != 0) {
+      Deadline budget = Deadline::AfterMs(options.limits.max_wall_ms);
+      if (budget.SoonerThan(deadline)) deadline = budget;
+    }
+    token->ArmDeadline(deadline);
+    if (options.limits.max_live_mappings != 0 ||
+        options.limits.max_bytes != 0) {
+      acct.ArmCaps(options.limits.max_live_mappings, options.limits.max_bytes,
+                   token);
+    }
+  }
   t0 = NowNs();
-  out.explanation = ExplainEval(*graph, pattern, dict_, options);
+  {
+    std::optional<ScopedCancellation> install;
+    if (governed) install.emplace(token);
+    out.explanation = ExplainEval(*graph, pattern, dict_, options);
+  }
+  acct.DisarmCaps();
   out.eval_ns = NowNs() - t0;
   out.peak_mappings = acct.peak_mappings();
   out.peak_bytes = acct.peak_bytes();
@@ -199,6 +279,11 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     metrics_.GetHistogram("engine.eval_ns")->Observe(out.eval_ns);
     RecordAccounting(acct);
   }
+  if (governed && token->cancelled()) {
+    Status status = token->status();
+    RecordRejection(status);
+    return status;
+  }
   return out;
 }
 
@@ -207,6 +292,46 @@ Result<TranslationExplanation> Engine::TranslateExplained(
   TranslationExplanation out;
   out.report.set_tracer(options.tracer);
   PipelineReport* report = &out.report;
+
+  // Pipeline governance: the AST-node cap folds into the stage limits (the
+  // exponential stages pre-flight against it), the wall budget arms a token
+  // the stages poll, and each stage's output is checked before the next one
+  // runs so the error names the offending stage.
+  NormalFormLimits stage_limits = options.limits;
+  if (options.resources.max_ast_nodes != 0 &&
+      (stage_limits.max_output_nodes == 0 ||
+       options.resources.max_ast_nodes < stage_limits.max_output_nodes)) {
+    stage_limits.max_output_nodes = options.resources.max_ast_nodes;
+  }
+  CancellationToken local_token;
+  CancellationToken* token =
+      options.cancel != nullptr ? options.cancel : &local_token;
+  bool governed =
+      options.cancel != nullptr || options.resources.max_wall_ms != 0;
+  std::optional<ScopedCancellation> install;
+  if (governed) {
+    if (options.resources.max_wall_ms != 0) {
+      token->ArmDeadline(Deadline::AfterMs(options.resources.max_wall_ms));
+    }
+    install.emplace(token);
+  }
+  // Run after every stage: a tripped token wins (the stage may have handed
+  // back a partial rewrite), then the stage's output size is checked.
+  auto stage_guard = [&](const char* stage,
+                         const PatternPtr& result) -> Status {
+    if (governed && token->cancelled()) return token->status();
+    if (options.resources.max_ast_nodes != 0) {
+      uint64_t nodes = ShapeOfPattern(*result).nodes;
+      if (nodes > options.resources.max_ast_nodes) {
+        return Status::ResourceExhausted(
+            std::string(stage) + " produced " + std::to_string(nodes) +
+            " AST nodes (max_ast_nodes=" +
+            std::to_string(options.resources.max_ast_nodes) +
+            "); raise the limit or rewrite the query");
+      }
+    }
+    return Status::Ok();
+  };
 
   PatternPtr p;
   {
@@ -221,6 +346,7 @@ Result<TranslationExplanation> Engine::TranslateExplained(
     stage.SetDetail(DescribeFragment(p));
   }
   out.input = p;
+  RDFQL_RETURN_IF_ERROR(stage_guard("parse", p));
 
   if (options.optimize) {
     ScopedStage stage(report, "optimize", ShapeOfPattern(*p));
@@ -229,29 +355,35 @@ Result<TranslationExplanation> Engine::TranslateExplained(
     GraphStats stats;
     p = Optimizer(&stats).Optimize(p);
     stage.SetOut(ShapeOfPattern(*p));
+    RDFQL_RETURN_IF_ERROR(stage_guard("optimize", p));
   }
 
   if (options.select_free && p->Uses(PatternKind::kSelect)) {
     p = SelectFreeVersion(p, &dict_, report);
+    RDFQL_RETURN_IF_ERROR(stage_guard("select_free", p));
   }
 
   if (options.wd_to_simple) {
     RDFQL_ASSIGN_OR_RETURN(
         p, WellDesignedToSimple(p, options.max_subtrees, report));
+    RDFQL_RETURN_IF_ERROR(stage_guard("wd_to_simple", p));
   }
 
   if (options.eliminate_ns && p->Uses(PatternKind::kNs)) {
-    RDFQL_ASSIGN_OR_RETURN(p, EliminateNs(p, options.limits, report));
+    RDFQL_ASSIGN_OR_RETURN(p, EliminateNs(p, stage_limits, report));
+    RDFQL_RETURN_IF_ERROR(stage_guard("ns_elimination", p));
   }
 
   if (options.desugar_minus && p->Uses(PatternKind::kMinus)) {
     p = DesugarMinus(p, &dict_, report);
+    RDFQL_RETURN_IF_ERROR(stage_guard("desugar_minus", p));
   }
 
   if (options.union_normal_form && !p->Uses(PatternKind::kNs)) {
     RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> disjuncts,
-                           UnionNormalForm(p, options.limits, report));
+                           UnionNormalForm(p, stage_limits, report));
     p = Pattern::UnionAll(disjuncts);
+    RDFQL_RETURN_IF_ERROR(stage_guard("union_normal_form", p));
   }
 
   out.output = p;

@@ -19,6 +19,7 @@
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
 #include "transform/union_normal_form.h"
+#include "util/limits.h"
 #include "util/status.h"
 
 namespace rdfql {
@@ -35,11 +36,15 @@ struct QueryExplanation {
   uint64_t peak_mappings = 0;
   uint64_t peak_bytes = 0;
   uint64_t total_mappings = 0;
+  /// The resource limits the query ran under (engine default or per-query
+  /// override; all-zero when ungoverned).
+  ResourceLimits limits;
 
   const MappingSet& result() const { return explanation.result; }
 
-  /// Phase header followed by the plan tree, e.g.
+  /// Phase header, limits line, then the plan tree, e.g.
   ///   parse: 3.1us  eval: 120.4us  mem: peak 42 mappings / 3.2KiB
+  ///   limits: wall=100ms live_mappings=10000
   ///   AND [1] (t=118.0us join_probes=4)
   ///     ...
   std::string ToString() const;
@@ -68,6 +73,13 @@ struct TranslateOptions {
   /// Optional tracer to mirror the stages onto (one "STAGE" span each), so
   /// a translation and the following evaluation share a Chrome trace.
   Tracer* tracer = nullptr;
+  /// Resource budgets for the pipeline itself: max_ast_nodes caps every
+  /// stage's output (the exponential stages pre-flight it and refuse before
+  /// materializing, naming the offending stage); max_wall_ms bounds the
+  /// whole translation. Evaluation fields are ignored here.
+  ResourceLimits resources;
+  /// Optional external cancellation for the translation.
+  CancellationToken* cancel = nullptr;
 };
 
 /// EXPLAIN for the translation pipeline: the input and output patterns plus
@@ -177,6 +189,21 @@ class Engine {
   void SetDefaultThreads(int threads);
   int default_threads() const { return default_threads_; }
 
+  // --- Resource governance ---
+
+  /// Engine-wide default ResourceLimits. Queries whose options carry no
+  /// limits of their own adopt these; options with any limit set keep their
+  /// own (per-query override wins wholesale, field-by-field merging would
+  /// make overrides impossible to reason about). The default default —
+  /// all zeros — enforces nothing. Rejections surface as
+  /// kDeadlineExceeded / kResourceExhausted statuses and as
+  /// `engine.queries_rejected` / `engine.queries_deadline_exceeded` /
+  /// `engine.queries_cancelled` counters in the metrics registry.
+  void SetDefaultLimits(const ResourceLimits& limits) {
+    default_limits_ = limits;
+  }
+  const ResourceLimits& default_limits() const { return default_limits_; }
+
   // --- Observability ---
 
   /// Turns metric collection on/off (off by default: the uninstrumented
@@ -208,10 +235,15 @@ class Engine {
   /// total counter, per-query histograms).
   void RecordAccounting(const ResourceAccountant& acct);
 
+  /// Counts a governance rejection (always recorded — rejections are rare
+  /// and the registry exists regardless of the metrics opt-in).
+  void RecordRejection(const Status& status);
+
   Dictionary dict_;
   std::map<std::string, Graph> graphs_;
   MetricsRegistry metrics_;
   bool collect_metrics_ = false;
+  ResourceLimits default_limits_;
   int default_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // shared across queries; sized
                                       // default_threads_, created lazily

@@ -60,6 +60,53 @@ MappingSet Evaluator::EvalMax(const PatternPtr& pattern) const {
   return result;
 }
 
+Result<MappingSet> Evaluator::EvalChecked(const PatternPtr& pattern) const {
+  return EvalGoverned(pattern, /*max=*/false);
+}
+
+Result<MappingSet> Evaluator::EvalMaxChecked(const PatternPtr& pattern) const {
+  return EvalGoverned(pattern, /*max=*/true);
+}
+
+Result<MappingSet> Evaluator::EvalGoverned(const PatternPtr& pattern,
+                                           bool max) const {
+  RDFQL_CHECK(pattern != nullptr);
+  if (!options_.governed()) {
+    // Nothing to enforce: take the plain path (no token install, so the
+    // per-operator checkpoints stay a null test).
+    return max ? EvalMax(pattern) : Eval(pattern);
+  }
+  CancellationToken local_token;
+  CancellationToken* token =
+      options_.cancel != nullptr ? options_.cancel : &local_token;
+  if (token->cancelled()) return token->status();
+  Deadline deadline = options_.deadline;
+  if (options_.limits.max_wall_ms != 0) {
+    Deadline budget = Deadline::AfterMs(options_.limits.max_wall_ms);
+    if (budget.SoonerThan(deadline)) deadline = budget;
+  }
+  token->ArmDeadline(deadline);
+  // Live-memory caps ride on the accountant; conjure a private one when the
+  // caller wants caps but no figures.
+  bool memory_caps = options_.limits.max_live_mappings != 0 ||
+                     options_.limits.max_bytes != 0;
+  ResourceAccountant local_acct;
+  ResourceAccountant* acct = options_.accountant;
+  if (acct == nullptr && memory_caps) acct = &local_acct;
+  if (acct != nullptr && memory_caps) {
+    acct->ArmCaps(options_.limits.max_live_mappings, options_.limits.max_bytes,
+                  token);
+  }
+  std::optional<ScopedAccounting> install_acct;
+  if (acct != nullptr) install_acct.emplace(acct);
+  ScopedCancellation install_token(token);
+  MappingSet result = max ? ApplyNs(EvalNode(*pattern)) : EvalNode(*pattern);
+  if (acct != nullptr) acct->DisarmCaps();
+  if (token->cancelled()) return token->status();
+  result.DetachAccounting();
+  return result;
+}
+
 MappingSet Evaluator::ApplyNs(const MappingSet& input) const {
   return options_.ns == EvalOptions::NsAlgo::kBucketed
              ? RemoveSubsumedBucketed(input, pool_)
@@ -143,7 +190,9 @@ MappingSet Evaluator::IndexJoinWithTriple(const MappingSet& left,
   MappingSet out;
   uint64_t probes = 0;
   uint64_t pairs = 0;
+  uint64_t visited = 0;
   for (const Mapping& m : left) {
+    if ((++visited & 1023u) == 0 && !CooperativeCheckpoint()) break;
     // Substitute the bound variables of µ into the triple pattern and
     // probe the graph index with the resulting prefix.
     auto position = [&m](Term term) -> TermId {
@@ -257,6 +306,13 @@ MappingSet Evaluator::EvalNodeObserved(const Pattern& p) const {
 }
 
 MappingSet Evaluator::EvalNodeImpl(const Pattern& p) const {
+  // The per-operator cooperative checkpoint. Ungoverned queries pay one
+  // relaxed load + null test here (bench_limits_overhead keeps it honest);
+  // once a token trips, every remaining operator short-circuits to an empty
+  // set and EvalChecked turns the trip into the query's error.
+  if (!CooperativeCheckpoint()) [[unlikely]] {
+    return MappingSet();
+  }
   switch (p.kind()) {
     case PatternKind::kTriple:
       return EvalTriple(p.triple());

@@ -11,6 +11,8 @@
 #include "obs/tracer.h"
 #include "rdf/graph.h"
 #include "rdf/static_graph.h"
+#include "util/limits.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace rdfql {
@@ -75,7 +77,25 @@ struct EvalOptions {
   /// figure, and the escaping set holds no pointer to the accountant.
   ResourceAccountant* accountant = nullptr;
 
+  // --- Resource governance (opt-in; see docs/robustness.md) ---
+  /// Budgets enforced by EvalChecked/EvalMaxChecked: wall clock, live
+  /// mappings and approximate bytes (max_ast_nodes only concerns the
+  /// translation pipeline). The plain Eval/EvalMax entry points ignore
+  /// these fields — they cannot report an error.
+  ResourceLimits limits;
+  /// Absolute deadline; combined with limits.max_wall_ms (whichever fires
+  /// first). Default: never.
+  Deadline deadline;
+  /// Optional caller-owned token: Cancel() from any thread aborts the
+  /// evaluation with kCancelled at the next checkpoint. When set, it is
+  /// also the token deadline/cap violations trip, so the caller can watch
+  /// one object. When null, EvalChecked uses a private token.
+  CancellationToken* cancel = nullptr;
+
   bool observed() const { return tracer != nullptr || metrics != nullptr; }
+  bool governed() const {
+    return cancel != nullptr || !deadline.infinite() || limits.Enforced();
+  }
 };
 
 /// Bottom-up evaluator implementing ⟦P⟧G exactly as defined in Section 2.1
@@ -113,7 +133,19 @@ class Evaluator {
   /// ⟦P⟧max_G — the maximal answers (Section 5.1).
   MappingSet EvalMax(const PatternPtr& pattern) const;
 
+  /// ⟦P⟧G under the options' resource governance: enforces
+  /// options.limits / options.deadline / options.cancel cooperatively and
+  /// returns kDeadlineExceeded / kResourceExhausted / kCancelled instead of
+  /// a truncated result. With no governance configured this is exactly
+  /// Eval() wrapped in an always-OK Result. Results are bit-identical to
+  /// Eval() whenever no limit trips.
+  Result<MappingSet> EvalChecked(const PatternPtr& pattern) const;
+
+  /// EvalMax with the same governance contract as EvalChecked.
+  Result<MappingSet> EvalMaxChecked(const PatternPtr& pattern) const;
+
  private:
+  Result<MappingSet> EvalGoverned(const PatternPtr& pattern, bool max) const;
   /// Resolves options_.threads/pool into pool_ (see EvalOptions::pool).
   void InitPool();
   MappingSet EvalNode(const Pattern& p) const;

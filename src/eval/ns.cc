@@ -7,6 +7,7 @@
 
 #include "obs/accounting.h"
 #include "obs/tracer.h"
+#include "util/limits.h"
 #include "util/thread_pool.h"
 
 namespace rdfql {
@@ -14,7 +15,11 @@ namespace rdfql {
 MappingSet RemoveSubsumedNaive(const MappingSet& input) {
   MappingSet out;
   uint64_t pairs = 0;
+  uint64_t visited = 0;
   for (const Mapping& m : input) {
+    // The n² scan is the NS kernel's unbounded loop; poll the query's
+    // token every few outer rows so a deadline stops it promptly.
+    if ((++visited & 1023u) == 0 && !CooperativeCheckpoint()) break;
     bool subsumed = false;
     for (const Mapping& other : input) {
       ++pairs;
@@ -42,6 +47,7 @@ uint64_t MarkSubsumedInBucket(
     std::unordered_set<const Mapping*>* dead) {
   uint64_t pairs = 0;
   for (const auto& [sup_dom, sup_bucket] : buckets) {
+    if (!CooperativeCheckpoint()) break;
     if (sup_dom.size() <= dom.size()) continue;
     if (!std::includes(sup_dom.begin(), sup_dom.end(), dom.begin(),
                        dom.end())) {
@@ -95,6 +101,7 @@ MappingSet RemoveSubsumedBucketed(const MappingSet& input, ThreadPool* pool) {
         bucket_list.size());
     std::vector<uint64_t> pairs_local(bucket_list.size(), 0);
     pool->ParallelFor(bucket_list.size(), [&](size_t i) {
+      if (!CooperativeCheckpoint()) return;
       pairs_local[i] =
           MarkSubsumedInBucket(bucket_list[i]->first, bucket_list[i]->second,
                                buckets, &dead_local[i]);

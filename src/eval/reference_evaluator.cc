@@ -5,6 +5,7 @@
 
 #include "obs/tracer.h"
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
@@ -73,6 +74,12 @@ Rows Difference(const Rows& a, const Rows& b) {
 }
 
 Rows Eval(const Graph& g, const Pattern& p) {
+  // Same cooperative contract as the production evaluator: once a token
+  // installed by an enclosing scope trips, every node yields nothing and
+  // the caller must treat the result as void (see ReferenceEval's header).
+  if (!CooperativeCheckpoint()) [[unlikely]] {
+    return Rows();
+  }
   switch (p.kind()) {
     case PatternKind::kTriple:
       return EvalTriple(g, p.triple());

@@ -20,6 +20,11 @@ namespace rdfql {
 /// `join_probes`, `ns_pairs_compared` and `mappings_out` counters — enough
 /// to compare its work against the production evaluator's without giving
 /// the oracle its own (bug-prone) per-node machinery.
+///
+/// Governance: the oracle honors a CancellationToken installed by an
+/// enclosing ScopedCancellation (it stops at the next operator once the
+/// token trips) but cannot report the error itself — callers that install
+/// a token must check it after the call and discard the partial result.
 MappingSet ReferenceEval(const Graph& graph, const PatternPtr& pattern,
                          Tracer* tracer = nullptr);
 

@@ -2,6 +2,7 @@
 
 #include "transform/wd_to_simple.h"
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
@@ -12,7 +13,9 @@ MappingSet ExtendByTriple(const Graph& graph, const MappingSet& seeds,
                           const TriplePattern& t) {
   MappingSet out;
   uint64_t pairs = 0;
+  uint64_t visited = 0;
   for (const Mapping& m : seeds) {
+    if ((++visited & 255u) == 0 && !CooperativeCheckpoint()) break;
     auto position = [&m](Term term) -> TermId {
       if (term.is_iri()) return term.iri();
       std::optional<TermId> v = m.Get(term.var());
@@ -51,6 +54,12 @@ MappingSet ExtendByTriple(const Graph& graph, const MappingSet& seeds,
 // nothing — OPT semantics under well-designedness).
 MappingSet EvalNode(const Graph& graph, const WdTreeNode& node,
                     const MappingSet& seeds) {
+  // Cooperative checkpoint at every block boundary (the recursion runs once
+  // per seed mapping, so a tripped token stops the walk promptly); the
+  // top-level entry point turns the trip into a typed error.
+  if (!CooperativeCheckpoint()) [[unlikely]] {
+    return MappingSet();
+  }
   MappingSet current = seeds;
   for (const TriplePattern& t : node.triples) {
     current = ExtendByTriple(graph, current, t);
@@ -92,7 +101,12 @@ Result<MappingSet> EvalWellDesignedTopDown(const Graph& graph,
   MappingSet seeds;
   seeds.Add(Mapping());
   if (tracer == nullptr && metrics == nullptr) {
-    return EvalNode(graph, *tree, seeds);
+    MappingSet result = EvalNode(graph, *tree, seeds);
+    if (CancellationToken* token = CancellationToken::Current();
+        token != nullptr && token->cancelled()) {
+      return token->status();
+    }
+    return result;
   }
   ScopedSpan span(tracer, "WD-TOPDOWN");
   OpCounters counters;
@@ -103,6 +117,10 @@ Result<MappingSet> EvalWellDesignedTopDown(const Graph& graph,
   }
   counters.mappings_out = result.size();
   counters.AttachTo(&span);
+  if (CancellationToken* token = CancellationToken::Current();
+      token != nullptr && token->cancelled()) {
+    return token->status();
+  }
   if (metrics != nullptr) {
     metrics->GetCounter("wd_eval.evals")->Inc();
     metrics->GetCounter("wd_eval.index_probes")->Inc(counters.index_probes);

@@ -1,7 +1,28 @@
 #include "obs/accounting.h"
 
+#include <string>
+
 namespace rdfql {
 
 std::atomic<ResourceAccountant*> ResourceAccountant::current_{nullptr};
+
+void ResourceAccountant::MaybeTripCaps(uint64_t live_mappings,
+                                       uint64_t live_bytes,
+                                       CancellationToken* token) {
+  uint64_t cap_m = cap_mappings_.load(std::memory_order_relaxed);
+  uint64_t cap_b = cap_bytes_.load(std::memory_order_relaxed);
+  if (cap_m != 0 && live_mappings > cap_m) {
+    token->Cancel(Status::ResourceExhausted(
+        "query exceeded its live-mapping budget (" +
+        std::to_string(live_mappings) + " live > cap " +
+        std::to_string(cap_m) + ")"));
+    return;
+  }
+  if (cap_b != 0 && live_bytes > cap_b) {
+    token->Cancel(Status::ResourceExhausted(
+        "query exceeded its memory budget (~" + std::to_string(live_bytes) +
+        " bytes live > cap " + std::to_string(cap_b) + ")"));
+  }
+}
 
 }  // namespace rdfql

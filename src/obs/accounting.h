@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/limits.h"
+
 namespace rdfql {
 
 /// Tracks the mapping-set memory of one query: live and peak mapping counts
@@ -38,6 +40,10 @@ class ResourceAccountant {
     total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     RaiseMax(&peak_mappings_, live_m);
     RaiseMax(&peak_bytes_, live_b);
+    CancellationToken* token = cap_token_.load(std::memory_order_relaxed);
+    if (token != nullptr) [[unlikely]] {
+      MaybeTripCaps(live_m, live_b, token);
+    }
   }
 
   void OnRemove(uint64_t mappings, uint64_t bytes) {
@@ -78,6 +84,18 @@ class ResourceAccountant {
 
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
+  /// Turns the passive accountant into an enforcer: once armed, any OnAdd
+  /// that pushes the live figures past a non-zero cap cancels `token` with
+  /// kResourceExhausted. Arm before evaluation starts (the fields are read
+  /// concurrently by pool workers but only written here); disarm after.
+  void ArmCaps(uint64_t max_live_mappings, uint64_t max_live_bytes,
+               CancellationToken* token) {
+    cap_mappings_.store(max_live_mappings, std::memory_order_relaxed);
+    cap_bytes_.store(max_live_bytes, std::memory_order_relaxed);
+    cap_token_.store(token, std::memory_order_relaxed);
+  }
+  void DisarmCaps() { cap_token_.store(nullptr, std::memory_order_relaxed); }
+
   /// The currently installed accountant, or null (the uncounted case).
   static ResourceAccountant* Current() {
     return current_.load(std::memory_order_relaxed);
@@ -101,6 +119,14 @@ class ResourceAccountant {
   std::atomic<uint64_t> total_mappings_{0};
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> epoch_{0};
+
+  /// Cold path of the cap check (out of line to keep OnAdd tiny).
+  void MaybeTripCaps(uint64_t live_mappings, uint64_t live_bytes,
+                     CancellationToken* token);
+
+  std::atomic<uint64_t> cap_mappings_{0};
+  std::atomic<uint64_t> cap_bytes_{0};
+  std::atomic<CancellationToken*> cap_token_{nullptr};
 
   static std::atomic<ResourceAccountant*> current_;
 };

@@ -50,6 +50,33 @@ class Parser {
   }
 
  private:
+  // Nesting-depth guard: the parser recurses per '(' / NS( / SELECT level,
+  // so a crafted `((((…))))` input would exhaust the C++ call stack long
+  // before any semantic limit fires. 512 levels is far beyond any real
+  // query yet well inside a default thread stack.
+  static constexpr int kMaxDepth = 512;
+
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    int* depth_;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ >= kMaxDepth) {
+      return Status::ParseError(
+          "pattern nesting too deep (more than " +
+          std::to_string(kMaxDepth) + " levels) at offset " +
+          std::to_string(Peek().offset));
+    }
+    return Status::Ok();
+  }
+
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
     if (i >= tokens_.size()) i = tokens_.size() - 1;
@@ -69,7 +96,29 @@ class Parser {
     return Status::Ok();
   }
 
+  // Interning wrappers: the dictionary signals 31-bit id-space exhaustion
+  // with an invalid id rather than aborting; surface it as a typed error.
+  Result<VarId> InternVar(std::string_view name) {
+    VarId v = dict_->InternVar(name);
+    if (v == kInvalidVarId) {
+      return Status::ResourceExhausted("variable id space exhausted");
+    }
+    return v;
+  }
+
+  Result<TermId> InternIri(std::string_view iri) {
+    TermId id = dict_->InternIri(iri);
+    if (id == kInvalidTermId) {
+      return Status::ResourceExhausted("IRI id space exhausted");
+    }
+    return id;
+  }
+
   Result<PatternPtr> ParseUnion() {
+    // Every pattern-recursion cycle passes through here (ParsePrimary's
+    // '(' / NS / SELECT branches all re-enter ParseUnion).
+    RDFQL_RETURN_IF_ERROR(CheckDepth());
+    DepthGuard guard(&depth_);
     RDFQL_ASSIGN_OR_RETURN(PatternPtr left, ParseOptChain());
     while (At(TokenKind::kKwUnion)) {
       Advance();
@@ -124,7 +173,8 @@ class Parser {
       RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
       std::vector<VarId> vars;
       while (At(TokenKind::kVar)) {
-        vars.push_back(dict_->InternVar(Advance().text));
+        RDFQL_ASSIGN_OR_RETURN(VarId v, InternVar(Advance().text));
+        vars.push_back(v);
       }
       RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
       RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kKwWhere));
@@ -152,10 +202,12 @@ class Parser {
 
   Result<Term> ParseTerm() {
     if (At(TokenKind::kVar)) {
-      return Term::Var(dict_->InternVar(Advance().text));
+      RDFQL_ASSIGN_OR_RETURN(VarId v, InternVar(Advance().text));
+      return Term::Var(v);
     }
     if (At(TokenKind::kIri)) {
-      return Term::Iri(dict_->InternIri(Advance().text));
+      RDFQL_ASSIGN_OR_RETURN(TermId id, InternIri(Advance().text));
+      return Term::Iri(id);
     }
     return Status::ParseError(std::string("expected a term, found ") +
                               TokenKindName(Peek().kind) + " at offset " +
@@ -206,6 +258,10 @@ class Parser {
   }
 
   Result<BuiltinPtr> ParseCondNot() {
+    // Every condition-recursion cycle passes through here ('!' recurses
+    // directly, '(' via ParseCondOr → ParseCondAnd → ParseCondNot).
+    RDFQL_RETURN_IF_ERROR(CheckDepth());
+    DepthGuard guard(&depth_);
     if (At(TokenKind::kBang)) {
       Advance();
       RDFQL_ASSIGN_OR_RETURN(BuiltinPtr inner, ParseCondNot());
@@ -235,12 +291,12 @@ class Parser {
       if (!At(TokenKind::kVar)) {
         return Status::ParseError("expected variable inside bound()");
       }
-      VarId v = dict_->InternVar(Advance().text);
+      RDFQL_ASSIGN_OR_RETURN(VarId v, InternVar(Advance().text));
       RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
       return Builtin::Bound(v);
     }
     if (At(TokenKind::kVar)) {
-      VarId v = dict_->InternVar(Advance().text);
+      RDFQL_ASSIGN_OR_RETURN(VarId v, InternVar(Advance().text));
       bool negated = At(TokenKind::kNeq);
       if (!negated) {
         RDFQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
@@ -249,9 +305,11 @@ class Parser {
       }
       BuiltinPtr eq;
       if (At(TokenKind::kVar)) {
-        eq = Builtin::EqVars(v, dict_->InternVar(Advance().text));
+        RDFQL_ASSIGN_OR_RETURN(VarId rhs, InternVar(Advance().text));
+        eq = Builtin::EqVars(v, rhs);
       } else if (At(TokenKind::kIri)) {
-        eq = Builtin::EqConst(v, dict_->InternIri(Advance().text));
+        RDFQL_ASSIGN_OR_RETURN(TermId rhs, InternIri(Advance().text));
+        eq = Builtin::EqConst(v, rhs);
       } else {
         return Status::ParseError("expected term on right of '='");
       }
@@ -265,6 +323,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
   Dictionary* dict_;
 };
 

@@ -8,7 +8,9 @@ TermId Dictionary::InternIri(std::string_view iri) {
   auto it = iri_index_.find(std::string(iri));
   if (it != iri_index_.end()) return it->second;
   TermId id = static_cast<TermId>(iris_.size());
-  RDFQL_CHECK_MSG(id < 0x7fffffffu, "IRI id space exhausted");
+  // Id-space exhaustion is driven by input volume, not a bug: report it to
+  // the caller (the parsers turn it into a typed error) instead of aborting.
+  if (id >= 0x7fffffffu) return kInvalidTermId;
   iris_.emplace_back(iri);
   iri_index_.emplace(iris_.back(), id);
   return id;
@@ -18,7 +20,7 @@ VarId Dictionary::InternVar(std::string_view name) {
   auto it = var_index_.find(std::string(name));
   if (it != var_index_.end()) return it->second;
   VarId id = static_cast<VarId>(vars_.size());
-  RDFQL_CHECK_MSG(id < 0x7fffffffu, "variable id space exhausted");
+  if (id >= 0x7fffffffu) return kInvalidVarId;
   vars_.emplace_back(name);
   var_index_.emplace(vars_.back(), id);
   return id;

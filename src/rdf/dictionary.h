@@ -23,11 +23,13 @@ class Dictionary {
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
 
-  /// Returns the id for `iri`, interning it if new.
+  /// Returns the id for `iri`, interning it if new. Returns kInvalidTermId
+  /// once the 31-bit id space is exhausted (callers fed by user input must
+  /// check; the parsers turn it into a typed error).
   TermId InternIri(std::string_view iri);
 
   /// Returns the id for variable `name` (without the leading '?'),
-  /// interning it if new.
+  /// interning it if new. Returns kInvalidVarId on id-space exhaustion.
   VarId InternVar(std::string_view name);
 
   /// Looks up an existing IRI; returns kInvalidTermId if absent.

@@ -35,6 +35,10 @@ Status ParseNTriples(std::string_view text, Dictionary* dict, Graph* graph) {
     TermId s = dict->InternIri(StripBrackets(tokens[0]));
     TermId p = dict->InternIri(StripBrackets(tokens[1]));
     TermId o = dict->InternIri(StripBrackets(tokens[2]));
+    if (s == kInvalidTermId || p == kInvalidTermId || o == kInvalidTermId) {
+      return Status::ResourceExhausted("line " + std::to_string(line_no) +
+                                       ": IRI id space exhausted");
+    }
     graph->Insert(s, p, o);
   }
   return Status::Ok();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
@@ -12,12 +13,44 @@ bool StrictSubset(const std::vector<VarId>& a, const std::vector<VarId>& b) {
          std::includes(b.begin(), b.end(), a.begin(), a.end());
 }
 
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > ~b ? ~uint64_t{0} : a + b;
+}
+
 // Rewrites one NS node whose child `q` is already NS-free.
 Result<PatternPtr> EliminateOneNs(const PatternPtr& q,
                                   const NormalFormLimits& limits) {
   RDFQL_ASSIGN_OR_RETURN(std::vector<FixedDomainDisjunct> disjuncts,
                          FixedDomainUnionNormalForm(q, limits));
   RDFQL_CHECK(!disjuncts.empty());
+
+  if (limits.max_output_nodes != 0) {
+    // Pre-flight Lemma D.3's output before building it: disjunct i keeps
+    // its own nodes and subtracts a UNION over every strictly-larger-domain
+    // disjunct, so the output is quadratic in the (already exponential)
+    // disjunct count — the double-exponential face of Thm 5.1.
+    std::vector<uint64_t> nodes(disjuncts.size());
+    for (size_t i = 0; i < disjuncts.size(); ++i) {
+      nodes[i] = ShapeOfPattern(*disjuncts[i].pattern).nodes;
+    }
+    uint64_t predicted = 0;
+    for (size_t i = 0; i < disjuncts.size(); ++i) {
+      predicted = SatAdd(predicted, nodes[i]);
+      for (size_t j = 0; j < disjuncts.size(); ++j) {
+        if (StrictSubset(disjuncts[i].domain, disjuncts[j].domain)) {
+          predicted = SatAdd(predicted, SatAdd(nodes[j], 2));
+        }
+      }
+      if (predicted > limits.max_output_nodes) {
+        return Status::ResourceExhausted(
+            "ns_elimination would materialize ~" + std::to_string(predicted) +
+            "+ AST nodes (max_ast_nodes=" +
+            std::to_string(limits.max_output_nodes) +
+            ") — the Thm 5.1 double-exponential blowup; raise the limit or "
+            "rewrite the query");
+      }
+    }
+  }
 
   std::vector<PatternPtr> pieces;
   pieces.reserve(disjuncts.size());
@@ -42,6 +75,10 @@ Result<PatternPtr> EliminateOneNs(const PatternPtr& q,
 
 Result<PatternPtr> Eliminate(const PatternPtr& p,
                              const NormalFormLimits& limits) {
+  if (CancellationToken* token = CancellationToken::Current();
+      token != nullptr && !token->Check()) {
+    return token->status();
+  }
   switch (p->kind()) {
     case PatternKind::kTriple:
       return p;

@@ -1,6 +1,7 @@
 #include "transform/opt_rewriter.h"
 
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
@@ -9,6 +10,11 @@ namespace {
 template <typename OptFn, typename MinusFn, typename NsFn>
 PatternPtr Rebuild(const PatternPtr& p, const OptFn& on_opt,
                    const MinusFn& on_minus, const NsFn& on_ns) {
+  // Cooperative early-out: a tripped token stops the walk (the node comes
+  // back unchanged; the pipeline driver turns the trip into an error).
+  if (!CooperativeCheckpoint()) [[unlikely]] {
+    return p;
+  }
   switch (p->kind()) {
     case PatternKind::kTriple:
       return p;

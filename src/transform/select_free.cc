@@ -4,11 +4,18 @@
 #include <map>
 
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
 
 PatternPtr Sf(const PatternPtr& p, Dictionary* dict) {
+  // Once the pipeline's token trips, stop rewriting and hand back the node
+  // unchanged; TranslateExplained checks the token after every stage and
+  // discards the partial output.
+  if (!CooperativeCheckpoint()) [[unlikely]] {
+    return p;
+  }
   switch (p->kind()) {
     case PatternKind::kTriple:
       return p;

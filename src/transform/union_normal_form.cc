@@ -3,17 +3,55 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
 
 Status TooBig() {
   return Status::ResourceExhausted(
-      "UNION normal form exceeded the disjunct limit");
+      "union_normal_form exceeded the disjunct limit");
+}
+
+Status TooManyNodes(const char* stage, uint64_t predicted, size_t cap) {
+  return Status::ResourceExhausted(
+      std::string(stage) + " would materialize ~" +
+      std::to_string(predicted) + " AST nodes (max_ast_nodes=" +
+      std::to_string(cap) +
+      ") — this is the paper's exponential blowup; raise the limit or "
+      "rewrite the query");
+}
+
+/// Cancelled / past-deadline check for the (potentially exponential)
+/// transform recursions; OK when no token is installed.
+Status StageCheckpoint() {
+  CancellationToken* token = CancellationToken::Current();
+  if (token != nullptr && !token->Check()) return token->status();
+  return Status::Ok();
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > ~b ? ~uint64_t{0} : a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > ~uint64_t{0} / b ? ~uint64_t{0} : a * b;
+}
+
+/// Σ over the disjuncts of their tree-walk node counts — the size the
+/// evaluator actually visits (shared PatternPtr subtrees count per use).
+uint64_t TotalNodes(const std::vector<PatternPtr>& disjuncts) {
+  uint64_t total = 0;
+  for (const PatternPtr& d : disjuncts) {
+    total = SatAdd(total, ShapeOfPattern(*d).nodes);
+  }
+  return total;
 }
 
 Result<std::vector<PatternPtr>> Unf(const PatternPtr& p,
                                     const NormalFormLimits& limits) {
+  RDFQL_RETURN_IF_ERROR(StageCheckpoint());
   switch (p->kind()) {
     case PatternKind::kTriple:
       return std::vector<PatternPtr>{p};
@@ -32,6 +70,18 @@ Result<std::vector<PatternPtr>> Unf(const PatternPtr& p,
       RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> r,
                              Unf(p->right(), limits));
       if (l.size() * r.size() > limits.max_disjuncts) return TooBig();
+      if (limits.max_output_nodes != 0) {
+        // Every (a AND b) contributes nodes(a) + nodes(b) + 1 to the
+        // evaluator-visible output size; refuse before building any of it.
+        uint64_t predicted =
+            SatAdd(SatAdd(SatMul(TotalNodes(l), r.size()),
+                          SatMul(TotalNodes(r), l.size())),
+                   SatMul(l.size(), r.size()));
+        if (predicted > limits.max_output_nodes) {
+          return TooManyNodes("union_normal_form", predicted,
+                              limits.max_output_nodes);
+        }
+      }
       std::vector<PatternPtr> out;
       out.reserve(l.size() * r.size());
       for (const PatternPtr& a : l) {
@@ -50,6 +100,22 @@ Result<std::vector<PatternPtr>> Unf(const PatternPtr& p,
                              Unf(p->right(), limits));
       size_t total = l.size() * r.size() + l.size();
       if (total > limits.max_disjuncts) return TooBig();
+      if (limits.max_output_nodes != 0) {
+        uint64_t ln = TotalNodes(l);
+        uint64_t rn = TotalNodes(r);
+        // AND half: nodes(a)+nodes(b)+1 per pair; MINUS half: each a keeps
+        // its own nodes plus one chained MINUS over all of r's disjuncts.
+        uint64_t and_half = SatAdd(SatAdd(SatMul(ln, r.size()),
+                                          SatMul(rn, l.size())),
+                                   SatMul(l.size(), r.size()));
+        uint64_t minus_half =
+            SatAdd(ln, SatMul(l.size(), SatAdd(rn, r.size())));
+        uint64_t predicted = SatAdd(and_half, minus_half);
+        if (predicted > limits.max_output_nodes) {
+          return TooManyNodes("union_normal_form", predicted,
+                              limits.max_output_nodes);
+        }
+      }
       std::vector<PatternPtr> out;
       out.reserve(total);
       for (const PatternPtr& a : l) {
@@ -70,6 +136,15 @@ Result<std::vector<PatternPtr>> Unf(const PatternPtr& p,
                              Unf(p->left(), limits));
       RDFQL_ASSIGN_OR_RETURN(std::vector<PatternPtr> r,
                              Unf(p->right(), limits));
+      if (limits.max_output_nodes != 0) {
+        uint64_t predicted =
+            SatAdd(TotalNodes(l),
+                   SatMul(l.size(), SatAdd(TotalNodes(r), r.size())));
+        if (predicted > limits.max_output_nodes) {
+          return TooManyNodes("union_normal_form", predicted,
+                              limits.max_output_nodes);
+        }
+      }
       std::vector<PatternPtr> out;
       out.reserve(l.size());
       for (const PatternPtr& a : l) {
@@ -184,7 +259,9 @@ Result<std::vector<FixedDomainDisjunct>> FixedDomainUnfImpl(
                          UnionNormalForm(pattern, limits));
 
   std::vector<FixedDomainDisjunct> out;
+  uint64_t predicted_nodes = 0;
   for (const PatternPtr& d : disjuncts) {
+    RDFQL_RETURN_IF_ERROR(StageCheckpoint());
     // Lemma D.2 conjoins, for every V ⊆ var(P), the bound/!bound profile of
     // V onto every disjunct. Profiles outside [certain(D), scope(D)] yield
     // empty disjuncts and are pruned (the enumeration below only walks the
@@ -198,6 +275,19 @@ Result<std::vector<FixedDomainDisjunct>> FixedDomainUnfImpl(
         out.size() + (size_t{1} << optional_vars.size()) >
             limits.max_disjuncts) {
       return TooBig();
+    }
+    if (limits.max_output_nodes != 0) {
+      // Each of the 2^k profile copies carries the disjunct plus a FILTER
+      // over a k-conjunct bound/!bound profile (≈ 2k builtin nodes).
+      predicted_nodes = SatAdd(
+          predicted_nodes,
+          SatMul(uint64_t{1} << optional_vars.size(),
+                 SatAdd(ShapeOfPattern(*d).nodes,
+                        2 * optional_vars.size() + 1)));
+      if (predicted_nodes > limits.max_output_nodes) {
+        return TooManyNodes("fixed_domain_unf", predicted_nodes,
+                            limits.max_output_nodes);
+      }
     }
     for (uint64_t mask = 0; mask < (uint64_t{1} << optional_vars.size());
          ++mask) {

@@ -14,6 +14,13 @@ namespace rdfql {
 /// consuming the machine.
 struct NormalFormLimits {
   size_t max_disjuncts = 1u << 20;
+  /// Cap on the AST nodes of a stage's output, counted the way the
+  /// evaluator (and PipelineReport) sees them: shared subtrees count once
+  /// per reference. 0 = unlimited. The transforms pre-flight this bound
+  /// from the input's shape and refuse *before* materializing anything, so
+  /// a double-exponential blowup (Thm 5.1) costs a size computation, not
+  /// the machine.
+  size_t max_output_nodes = 0;
 };
 
 /// UNION normal form (Proposition D.1): returns the disjuncts D1..Dn of an

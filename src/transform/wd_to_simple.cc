@@ -2,6 +2,7 @@
 
 #include "analysis/well_designed.h"
 #include "util/check.h"
+#include "util/limits.h"
 
 namespace rdfql {
 namespace {
@@ -18,6 +19,10 @@ void MergeInto(WdTreeNode* dst, WdTreeNode&& src) {
   }
 }
 
+// Null signals a non-AOF node. BuildWdTree pre-checks AOF membership (via
+// IsWellDesigned), so this "cannot happen" — but it is driven by user query
+// text, so it degrades to a typed error at the public entry point instead
+// of aborting a serving process.
 std::unique_ptr<WdTreeNode> Build(const Pattern& p) {
   switch (p.kind()) {
     case PatternKind::kTriple: {
@@ -28,21 +33,24 @@ std::unique_ptr<WdTreeNode> Build(const Pattern& p) {
     case PatternKind::kAnd: {
       std::unique_ptr<WdTreeNode> l = Build(*p.left());
       std::unique_ptr<WdTreeNode> r = Build(*p.right());
+      if (l == nullptr || r == nullptr) return nullptr;
       MergeInto(l.get(), std::move(*r));
       return l;
     }
     case PatternKind::kOpt: {
       std::unique_ptr<WdTreeNode> l = Build(*p.left());
-      l->children.push_back(Build(*p.right()));
+      std::unique_ptr<WdTreeNode> r = Build(*p.right());
+      if (l == nullptr || r == nullptr) return nullptr;
+      l->children.push_back(std::move(r));
       return l;
     }
     case PatternKind::kFilter: {
       std::unique_ptr<WdTreeNode> node = Build(*p.child());
+      if (node == nullptr) return nullptr;
       node->filters.push_back(p.condition());
       return node;
     }
     default:
-      RDFQL_CHECK_MSG(false, "BuildWdTree: pattern not in SPARQL[AOF]");
       return nullptr;
   }
 }
@@ -63,6 +71,10 @@ void Append(Block* acc, const WdTreeNode& node) {
 // accumulated block for each. Returns false if `max_subtrees` was hit.
 bool EnumerateSubtrees(const WdTreeNode& node, Block prefix,
                        std::vector<Block>* out, size_t max_subtrees) {
+  // The enumeration is exponential in the tree size; poll the query's
+  // token per node so a deadline interrupts it (the caller distinguishes
+  // a trip from the subtree limit).
+  if (!CooperativeCheckpoint()) return false;
   Append(&prefix, node);
   // For each subset of children, recursively expand. We iterate
   // combinatorially: children contribute independently, so enumerate the
@@ -119,7 +131,11 @@ Result<std::unique_ptr<WdTreeNode>> BuildWdTree(const PatternPtr& pattern) {
   if (!IsWellDesigned(pattern, &why)) {
     return Status::InvalidArgument("pattern is not well designed: " + why);
   }
-  return Build(*pattern);
+  std::unique_ptr<WdTreeNode> tree = Build(*pattern);
+  if (tree == nullptr) {
+    return Status::InvalidArgument("BuildWdTree: pattern not in SPARQL[AOF]");
+  }
+  return tree;
 }
 
 PatternPtr WdTreeToPattern(const WdTreeNode& node) {
@@ -165,8 +181,15 @@ Result<PatternPtr> WellDesignedToAufUnionImpl(const PatternPtr& pattern,
                          BuildWdTree(pattern));
   std::vector<Block> blocks;
   if (!EnumerateSubtrees(*tree, Block{}, &blocks, max_subtrees)) {
+    if (CancellationToken* token = CancellationToken::Current();
+        token != nullptr && token->cancelled()) {
+      return token->status();
+    }
     return Status::ResourceExhausted(
-        "WellDesignedToSimple exceeded the subtree limit");
+        "wd_to_simple exceeded the subtree limit (" +
+        std::to_string(max_subtrees) +
+        ") — the Prop 5.6 exponential blowup; raise max_subtrees or "
+        "rewrite the query");
   }
   RDFQL_CHECK(!blocks.empty());
   std::vector<PatternPtr> disjuncts;

@@ -1,0 +1,52 @@
+#include "util/limits.h"
+
+#include <chrono>
+
+namespace rdfql {
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::atomic<CancellationToken*> CancellationToken::current_{nullptr};
+
+Deadline Deadline::AfterMs(uint64_t ms) {
+  Deadline d;
+  d.ns_ = SteadyNowNs() + ms * 1'000'000ull;
+  return d;
+}
+
+bool Deadline::Expired() const {
+  return ns_ != kInfiniteNs && SteadyNowNs() >= ns_;
+}
+
+void CancellationToken::Cancel(Status reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tripped_.load(std::memory_order_relaxed)) return;
+  reason_ = std::move(reason);
+  // Release so a thread that observes tripped_ sees the latched reason.
+  tripped_.store(true, std::memory_order_release);
+}
+
+Status CancellationToken::status() const {
+  if (!cancelled()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+bool CancellationToken::Check() {
+  if (tripped_.load(std::memory_order_acquire)) return false;
+  if (deadline_.Expired()) {
+    Cancel(Status::DeadlineExceeded("query exceeded its wall-clock budget"));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rdfql

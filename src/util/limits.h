@@ -1,0 +1,131 @@
+#ifndef RDFQL_UTIL_LIMITS_H_
+#define RDFQL_UTIL_LIMITS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace rdfql {
+
+/// Resource budgets for one query (or one translation pipeline). Every
+/// field uses 0 as "unlimited", so a default-constructed ResourceLimits
+/// enforces nothing and costs nothing.
+struct ResourceLimits {
+  /// Wall-clock budget from the start of the governed evaluation. Enforced
+  /// cooperatively: the evaluators and kernels check at operator and chunk
+  /// boundaries, so a runaway query stops within one chunk of work.
+  uint64_t max_wall_ms = 0;
+  /// Cap on simultaneously live mappings across every intermediate set of
+  /// the query (the ResourceAccountant's live_mappings figure).
+  uint64_t max_live_mappings = 0;
+  /// Cap on the approximate bytes of live mapping-set memory.
+  uint64_t max_bytes = 0;
+  /// Cap on the AST nodes a translation stage may materialize — the guard
+  /// against the paper's double-exponential blowups (Thm 4.1, Thm 5.1).
+  /// Stages pre-flight their output size and refuse before allocating.
+  uint64_t max_ast_nodes = 0;
+
+  bool Enforced() const {
+    return (max_wall_ms | max_live_mappings | max_bytes | max_ast_nodes) != 0;
+  }
+};
+
+/// A point on the steady clock after which work should stop. Default is
+/// infinitely far away; copying is free (one integer).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// `ms` from now. AfterMs(0) is already expired (useful in tests).
+  static Deadline AfterMs(uint64_t ms);
+
+  bool infinite() const { return ns_ == kInfiniteNs; }
+  bool Expired() const;
+
+  /// True when this deadline fires strictly before `other`.
+  bool SoonerThan(const Deadline& other) const { return ns_ < other.ns_; }
+
+ private:
+  static constexpr uint64_t kInfiniteNs = ~0ull;
+
+  uint64_t ns_ = kInfiniteNs;  // absolute steady-clock nanoseconds
+};
+
+/// A trip-once cancellation flag shared between the thread driving a query
+/// and the pool workers doing its chunks. Anyone may Cancel() it (an
+/// operator deciding the deadline passed, the accountant seeing a cap
+/// crossed, or an external caller aborting the query); the first non-OK
+/// status latches and becomes the query's error.
+///
+/// Like ResourceAccountant, the install point is a process-global atomic
+/// (not thread-local) so pool workers observe the token installed by the
+/// coordinating thread; one governed query runs at a time per process slot
+/// (see docs/robustness.md).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Trips the token. The first caller's status wins; later calls no-op.
+  void Cancel(Status reason);
+
+  bool cancelled() const { return tripped_.load(std::memory_order_acquire); }
+
+  /// The latched reason; OK while not cancelled.
+  Status status() const;
+
+  /// Arms (or replaces) the deadline that Check() enforces.
+  void ArmDeadline(Deadline deadline) { deadline_ = deadline; }
+
+  /// The cooperative checkpoint: false once cancelled, tripping the token
+  /// with kDeadlineExceeded first if the armed deadline has passed. Cost
+  /// when armed: one atomic load plus one clock read.
+  bool Check();
+
+  /// The token installed for the current scope, or null (ungoverned).
+  static CancellationToken* Current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScopedCancellation;
+
+  std::atomic<bool> tripped_{false};
+  Deadline deadline_;  // written before workers start, read-only after
+  mutable std::mutex mu_;
+  Status reason_;  // guarded by mu_ until tripped_ is published
+
+  static std::atomic<CancellationToken*> current_;
+};
+
+/// Installs a token for the enclosing scope, restoring the previous one on
+/// destruction — the same idiom as ScopedAccounting. Null uninstalls.
+class ScopedCancellation {
+ public:
+  explicit ScopedCancellation(CancellationToken* token)
+      : prev_(CancellationToken::current_.exchange(
+            token, std::memory_order_relaxed)) {}
+  ~ScopedCancellation() {
+    CancellationToken::current_.store(prev_, std::memory_order_relaxed);
+  }
+  ScopedCancellation(const ScopedCancellation&) = delete;
+  ScopedCancellation& operator=(const ScopedCancellation&) = delete;
+
+ private:
+  CancellationToken* prev_;
+};
+
+/// The one-liner the hot paths use: true when work may continue. With no
+/// token installed — the ungoverned default — this is a relaxed load and a
+/// null test.
+inline bool CooperativeCheckpoint() {
+  CancellationToken* token = CancellationToken::Current();
+  return token == nullptr || token->Check();
+}
+
+}  // namespace rdfql
+
+#endif  // RDFQL_UTIL_LIMITS_H_

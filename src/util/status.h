@@ -18,6 +18,11 @@ enum class StatusCode {
   kUnsupported,
   kResourceExhausted,
   kInternal,
+  /// A query ran past its wall-clock budget (ResourceLimits::max_wall_ms or
+  /// an explicit Deadline) and was cooperatively cancelled.
+  kDeadlineExceeded,
+  /// The caller cancelled the operation through a CancellationToken.
+  kCancelled,
 };
 
 /// Lightweight status object: the library does not use exceptions (per the
@@ -47,6 +52,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -104,6 +104,49 @@ TEST(ParserTest, ReportsErrors) {
   EXPECT_FALSE(ParsePattern("SELECT {?x} (?x a b)", &dict).ok());
 }
 
+TEST(ParserTest, RejectsDeeplyNestedPatterns) {
+  // 100k levels of grouping would overflow the recursive-descent stack
+  // without the depth guard; it must come back as a parse error instead.
+  constexpr size_t kDepth = 100'000;
+  std::string text;
+  text.reserve(2 * kDepth + 16);
+  text.append(kDepth, '(');
+  text += "(?x p ?y)";
+  text.append(kDepth, ')');
+  Dictionary dict;
+  Result<PatternPtr> r = ParsePattern(text, &dict);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("nesting too deep"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, RejectsDeeplyNestedFilterConditions) {
+  // Same guard for the condition sub-grammar: a long chain of '!' recurses
+  // through ParseCondNot.
+  std::string text = "(?x p ?y) FILTER ";
+  text.append(100'000, '!');
+  text += "bound(?x)";
+  Dictionary dict;
+  Result<PatternPtr> r = ParsePattern(text, &dict);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("nesting too deep"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, AcceptsReasonableNesting) {
+  // Well below the guard: 100 levels of grouping still parse fine.
+  std::string text;
+  text.append(100, '(');
+  text += "(?x p ?y)";
+  text.append(100, ')');
+  Dictionary dict;
+  PatternPtr p = MustParse(text, &dict);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PatternKind::kTriple);
+}
+
 TEST(ParserTest, ParsesConstructQuery) {
   Dictionary dict;
   Result<ParsedConstruct> r = ParseConstruct(
