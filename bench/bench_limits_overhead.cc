@@ -20,6 +20,12 @@
 // (timing-named, so bench_diff skips them across machines).
 // docs/robustness.md records the measured figures; the budget for the
 // disabled path is <2%.
+//
+// A second pair does the same for the query log at the Engine::Query
+// level: BM_MixQueryLogOff (no log attached — the pre-log code path,
+// byte for byte) vs BM_MixQueryLogOn (ring-only QueryLog recording every
+// query). The paired medians land in the JSON as `paired_log_*_ns`; the
+// budget for the disabled path is <2% (docs/observability.md).
 
 #include <benchmark/benchmark.h>
 
@@ -122,6 +128,57 @@ void BM_MixGovernedArmed(benchmark::State& state) {
 }
 BENCHMARK(BM_MixGovernedArmed)->Unit(benchmark::kMillisecond);
 
+// --- Query-log overhead, measured at the Engine::Query level (the log
+// hooks live there, not in the evaluator) ---
+
+void EnsureMixGraph() {
+  static bool registered = [] {
+    SharedEngine().PutGraph("mix", SharedMix().graph);
+    return true;
+  }();
+  (void)registered;
+}
+
+size_t RunMixEngine() {
+  size_t answers = 0;
+  for (const NamedUniversityQuery& q : UniversityQueryMix()) {
+    Result<MappingSet> r = SharedEngine().Query("mix", q.text);
+    RDFQL_CHECK(r.ok());
+    answers += r->size();
+  }
+  return answers;
+}
+
+QueryLog& RingOnlyLog() {
+  static QueryLog log;  // no path: ring buffer only, no file I/O
+  return log;
+}
+
+void BM_MixQueryLogOff(benchmark::State& state) {
+  EnsureMixGraph();
+  SharedEngine().SetQueryLog(nullptr);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixEngine();
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixQueryLogOff)->Unit(benchmark::kMillisecond);
+
+void BM_MixQueryLogOn(benchmark::State& state) {
+  EnsureMixGraph();
+  SharedEngine().SetQueryLog(&RingOnlyLog());
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixEngine();
+    benchmark::DoNotOptimize(answers);
+  }
+  SharedEngine().SetQueryLog(nullptr);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixQueryLogOn)->Unit(benchmark::kMillisecond);
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -174,10 +231,45 @@ void ReportPairedOverhead() {
   }
 }
 
+// Same discipline for the query log: interleaved engine-level sweeps with
+// the log detached vs attached (ring-only), medians to stderr and JSON.
+void ReportQueryLogOverhead() {
+  EnsureMixGraph();
+  SharedEngine().SetQueryLog(nullptr);
+  RunMixEngine();  // warm up
+  constexpr int kReps = 11;
+  std::vector<uint64_t> off_ns, on_ns;
+  for (int i = 0; i < kReps; ++i) {
+    SharedEngine().SetQueryLog(nullptr);
+    uint64_t t0 = NowNs();
+    size_t a = RunMixEngine();
+    uint64_t t1 = NowNs();
+    SharedEngine().SetQueryLog(&RingOnlyLog());
+    size_t b = RunMixEngine();
+    uint64_t t2 = NowNs();
+    SharedEngine().SetQueryLog(nullptr);
+    RDFQL_CHECK(a == b);
+    off_ns.push_back(t1 - t0);
+    on_ns.push_back(t2 - t1);
+  }
+  double off = static_cast<double>(Median(off_ns));
+  double on = static_cast<double>(Median(on_ns));
+  std::fprintf(stderr,
+               "query-log overhead (paired medians over %d mix sweeps): "
+               "off=%.2fms on=%.2fms (%+.2f%%); budget for off (vs the "
+               "pre-log path): <2%% — off IS the pre-log path\n",
+               kReps, off / 1e6, on / 1e6, (on / off - 1.0) * 100);
+  for (const char* name : {"BM_MixQueryLogOff", "BM_MixQueryLogOn"}) {
+    bench::AddCaseMetric(name, "paired_log_off_ns", off);
+    bench::AddCaseMetric(name, "paired_log_on_ns", on);
+  }
+}
+
 }  // namespace
 }  // namespace rdfql
 
 int main(int argc, char** argv) {
   rdfql::ReportPairedOverhead();
+  rdfql::ReportQueryLogOverhead();
   return rdfql::bench::BenchMain(argc, argv, "bench_limits_overhead");
 }

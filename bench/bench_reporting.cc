@@ -5,15 +5,34 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <string_view>
 
 #include "obs/metrics.h"
 
+// Stamped into every emitted BENCH_*.json; the build provides both via
+// target_compile_definitions (see bench/CMakeLists.txt).
+#ifndef RDFQL_GIT_SHA
+#define RDFQL_GIT_SHA "unknown"
+#endif
+#ifndef RDFQL_BUILD_TYPE
+#define RDFQL_BUILD_TYPE "unknown"
+#endif
+
 namespace rdfql {
 namespace bench {
 namespace {
+
+std::string IsoTimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
 
 void AppendDouble(double v, std::string* out) {
   char buf[40];
@@ -299,6 +318,9 @@ void SetCaseMetrics(const std::string& case_name,
   for (const auto& [name, h] : snapshot.histograms) {
     flat.emplace_back(name + ".count", static_cast<double>(h.count));
     flat.emplace_back(name + ".sum", static_cast<double>(h.sum));
+    flat.emplace_back(name + ".p50", h.Percentile(0.5));
+    flat.emplace_back(name + ".p90", h.Percentile(0.9));
+    flat.emplace_back(name + ".p99", h.Percentile(0.99));
   }
   CaseMetricsStore()[case_name] = std::move(flat);
 }
@@ -321,6 +343,12 @@ std::string RenderBenchJson(const std::string& bench_name,
   out += kBenchJsonSchema;
   out += "\",\"bench\":\"";
   AppendJsonEscaped(bench_name, &out);
+  out += "\",\"git_sha\":\"";
+  AppendJsonEscaped(RDFQL_GIT_SHA, &out);
+  out += "\",\"build_type\":\"";
+  AppendJsonEscaped(RDFQL_BUILD_TYPE, &out);
+  out += "\",\"timestamp\":\"";
+  AppendJsonEscaped(IsoTimestampUtc(), &out);
   out += "\",\"cases\":[\n";
   bool first = true;
   for (const BenchCase& c : cases) {
@@ -376,9 +404,11 @@ bool ParseBenchJson(const std::string& json, ParsedBenchDoc* out,
   }
   const JsonValue* schema = root.Find("schema");
   if (schema == nullptr || schema->type != JsonValue::Type::kString ||
-      schema->str != kBenchJsonSchema) {
+      (schema->str != kBenchJsonSchema &&
+       schema->str != kBenchJsonSchemaV2)) {
     return Fail(error, std::string("missing or wrong \"schema\" (want ") +
-                           kBenchJsonSchema + ")");
+                           kBenchJsonSchema + " or " + kBenchJsonSchemaV2 +
+                           ")");
   }
   out->schema = schema->str;
   const JsonValue* bench = root.Find("bench");
@@ -387,6 +417,18 @@ bool ParseBenchJson(const std::string& json, ParsedBenchDoc* out,
     return Fail(error, "missing \"bench\" name");
   }
   out->bench = bench->str;
+  // The provenance stamp is mandatory from v3 on; v2 baselines predate it.
+  for (const auto& [key, field] :
+       {std::pair<const char*, std::string*>{"git_sha", &out->git_sha},
+        {"build_type", &out->build_type},
+        {"timestamp", &out->timestamp}}) {
+    const JsonValue* v = root.Find(key);
+    if (v != nullptr && v->type == JsonValue::Type::kString) {
+      *field = v->str;
+    } else if (out->schema == kBenchJsonSchema) {
+      return Fail(error, std::string("missing \"") + key + "\" stamp");
+    }
+  }
   const JsonValue* cases = root.Find("cases");
   if (cases == nullptr || cases->type != JsonValue::Type::kArray) {
     return Fail(error, "missing \"cases\" array");
@@ -511,6 +553,8 @@ namespace {
 int cli_threads = 1;
 uint64_t cli_timeout_ms = 0;
 uint64_t cli_max_mb = 0;
+std::string cli_query_log_path;
+std::unique_ptr<QueryLog> cli_query_log;
 }  // namespace
 
 int CliThreads() { return cli_threads; }
@@ -518,6 +562,10 @@ int CliThreads() { return cli_threads; }
 uint64_t CliTimeoutMs() { return cli_timeout_ms; }
 
 uint64_t CliMaxMb() { return cli_max_mb; }
+
+const std::string& CliQueryLogPath() { return cli_query_log_path; }
+
+QueryLog* CliQueryLog() { return cli_query_log.get(); }
 
 int BenchMain(int argc, char** argv, const char* bench_name) {
   bool emit_json = false;
@@ -541,8 +589,19 @@ int BenchMain(int argc, char** argv, const char* bench_name) {
     } else if (a.rfind("--max-mb=", 0) == 0) {
       cli_max_mb =
           std::strtoull(std::string(a.substr(9)).c_str(), nullptr, 10);
+    } else if (a.rfind("--query-log=", 0) == 0) {
+      cli_query_log_path = std::string(a.substr(12));
     } else {
       args.push_back(argv[i]);
+    }
+  }
+  if (!cli_query_log_path.empty()) {
+    QueryLogOptions log_options;
+    log_options.path = cli_query_log_path;
+    cli_query_log = std::make_unique<QueryLog>(log_options);
+    if (!cli_query_log->ok()) {
+      std::fprintf(stderr, "%s\n", cli_query_log->error().c_str());
+      return 1;
     }
   }
   int filtered_argc = static_cast<int>(args.size());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 
 namespace rdfql {
 namespace bench {
@@ -20,16 +21,23 @@ struct BenchCase {
   int threads = 1;     // the --threads=N the binary ran under
   std::vector<std::pair<std::string, double>> counters;
   /// Flattened engine-metrics snapshot attached via SetCaseMetrics:
-  /// counters and gauges by name, histograms as <name>.count/<name>.sum.
+  /// counters and gauges by name, histograms as <name>.count/<name>.sum/
+  /// <name>.p50/<name>.p90/<name>.p99 (interpolated percentiles).
   std::vector<std::pair<std::string, double>> metrics;
 };
 
 /// The schema tag every emitted file carries; bump on breaking change.
-/// v2 added the per-case "threads" and "metrics" fields.
-inline constexpr char kBenchJsonSchema[] = "rdfql-bench-v2";
+/// v2 added the per-case "threads" and "metrics" fields; v3 the top-level
+/// provenance stamp ("git_sha"/"build_type"/"timestamp") so BENCH_*.json
+/// history tracks the perf trajectory across commits.
+inline constexpr char kBenchJsonSchema[] = "rdfql-bench-v3";
+/// Still accepted by ParseBenchJson, so baselines committed before the
+/// stamp (bench/baselines/*.json) keep diffing clean.
+inline constexpr char kBenchJsonSchemaV2[] = "rdfql-bench-v2";
 
 /// Renders the shared BENCH_<name>.json document:
-///   {"schema":"rdfql-bench-v2","bench":"<name>","cases":[
+///   {"schema":"rdfql-bench-v3","bench":"<name>","git_sha":..,
+///    "build_type":..,"timestamp":"<ISO-8601 UTC>","cases":[
 ///     {"name":..,"family":..,"args":[..],"iterations":..,
 ///      "real_ns":..,"cpu_ns":..,"threads":..,"counters":{..},
 ///      "metrics":{..}}, ...]}
@@ -41,6 +49,10 @@ std::string RenderBenchJson(const std::string& bench_name,
 struct ParsedBenchDoc {
   std::string schema;
   std::string bench;
+  /// Provenance stamp; empty for v2 documents.
+  std::string git_sha;
+  std::string build_type;
+  std::string timestamp;
   std::vector<BenchCase> cases;
 };
 
@@ -95,6 +107,16 @@ uint64_t CliTimeoutMs();
 /// The `--max-mb=N` value BenchMain parsed, 0 (unlimited) when absent; maps
 /// to ResourceLimits::max_bytes (decimal megabytes).
 uint64_t CliMaxMb();
+
+/// The `--query-log=PATH` value BenchMain parsed; empty when absent.
+const std::string& CliQueryLogPath();
+
+/// The JSONL QueryLog sink BenchMain opened at CliQueryLogPath(), or null
+/// when the flag is absent. Benches that evaluate through an Engine pass
+/// it to Engine::SetQueryLog so a bench run leaves an rdfql_stats-readable
+/// trail next to its BENCH_*.json. Owned by bench_reporting; valid for the
+/// rest of the process.
+QueryLog* CliQueryLog();
 
 }  // namespace bench
 }  // namespace rdfql

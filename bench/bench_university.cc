@@ -83,6 +83,18 @@ void RunMixQuery(benchmark::State& state, const char* family,
   snap.counters["engine.total_mappings"] = acct.total_mappings();
   bench::SetCaseMetrics(
       std::string(family) + "/" + std::to_string(state.range(0)), snap);
+  // With --query-log=PATH, leave one record per case next to the
+  // BENCH_*.json: a single engine-level run of the same query, so
+  // rdfql_stats can slice the workload by fragment afterwards.
+  if (QueryLog* log = bench::CliQueryLog()) {
+    engine.PutGraph("university", g);
+    engine.SetQueryLog(log);
+    EvalOptions logged = options;
+    logged.accountant = nullptr;  // the engine accounts this run itself
+    Result<MappingSet> r = engine.Query("university", q.text, logged);
+    RDFQL_CHECK(r.ok());
+    engine.SetQueryLog(nullptr);
+  }
 }
 
 void BM_UniStudentTeacher(benchmark::State& state) {

@@ -1,0 +1,99 @@
+# Telemetry round-trip smoke test: a scripted 1000-query shell session with
+# --query-log must leave exactly 1000 well-formed JSONL records, and the
+# rdfql_stats CLI must validate the log, render the workload report, and
+# lint the OpenMetrics snapshot the shell wrote at exit.
+#
+# Run as: cmake -DSHELL=<path to rdfql_shell> -DSTATS=<path to rdfql_stats>
+#               -DOUT_DIR=<scratch dir> -P querylog_smoke.cmake
+if(NOT DEFINED SHELL OR NOT DEFINED STATS OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+          "pass -DSHELL=<rdfql_shell> -DSTATS=<rdfql_stats> -DOUT_DIR=<dir>")
+endif()
+
+set(log "${OUT_DIR}/querylog_smoke.jsonl")
+set(metrics "${OUT_DIR}/querylog_smoke_metrics.txt")
+file(REMOVE "${log}" "${metrics}")
+
+# Two triples, then 1000 queries cycling through four shapes (two fragments,
+# one parse error, one missing graph) so the report has several outcome and
+# fragment rows to aggregate.
+set(script "triple g Juan was_born_in Chile\n")
+string(APPEND script "triple g Juan email juan@puc.cl\n")
+foreach(i RANGE 1 250)
+  string(APPEND script "query g (?x was_born_in ?c)\n")
+  string(APPEND script
+         "query g (?x was_born_in ?c) OPT (?x email ?e)\n")
+  string(APPEND script "query g this is ( not a pattern\n")
+  string(APPEND script "query nosuchgraph (?x was_born_in ?c)\n")
+endforeach()
+string(APPEND script "quit\n")
+file(WRITE "${OUT_DIR}/querylog_smoke_input.txt" "${script}")
+
+execute_process(
+  COMMAND "${SHELL}" --query-log=${log} --slow-ms=10000
+          --metrics-out=${metrics}
+  INPUT_FILE "${OUT_DIR}/querylog_smoke_input.txt"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "shell exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+# Every query line — including the rejected ones — must have produced
+# exactly one valid JSONL record.
+execute_process(
+  COMMAND "${STATS}" --check "${log}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rdfql_stats --check failed (${rc})\n${out}${err}")
+endif()
+if(NOT out MATCHES "1000 record\\(s\\) OK")
+  message(FATAL_ERROR "expected 1000 records, got:\n${out}")
+endif()
+
+# The text report must aggregate all three outcomes and both fragments.
+execute_process(
+  COMMAND "${STATS}" "${log}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rdfql_stats report failed (${rc})\n${out}${err}")
+endif()
+foreach(needle
+        "1000 record\\(s\\)" "ok +500" "parse_error +250" "not_found +250"
+        "SPARQL\\[triple\\]" "SPARQL\\[O\\]")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "report missing `${needle}`:\n${out}")
+  endif()
+endforeach()
+
+# The JSON report must parse-roundtrip at least superficially.
+execute_process(
+  COMMAND "${STATS}" --json "${log}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"records\": *1000")
+  message(FATAL_ERROR "rdfql_stats --json failed (${rc})\n${out}${err}")
+endif()
+
+# The OpenMetrics snapshot the shell wrote at exit must pass the linter.
+execute_process(
+  COMMAND "${STATS}" --lint-openmetrics=${metrics}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "openmetrics lint failed (${rc})\n${out}${err}")
+endif()
+
+# A corrupted log must be rejected with a file:line diagnostic.
+file(READ "${log}" logtext)
+file(WRITE "${OUT_DIR}/querylog_smoke_bad.jsonl"
+     "${logtext}{\"v\":1,\"id\":9,\"truncated")
+execute_process(
+  COMMAND "${STATS}" --check "${OUT_DIR}/querylog_smoke_bad.jsonl"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "corrupted log unexpectedly passed --check")
+endif()
+if(NOT err MATCHES "querylog_smoke_bad.jsonl:1001")
+  message(FATAL_ERROR "expected a file:line diagnostic, got:\n${err}")
+endif()

@@ -15,6 +15,8 @@
 //   explain <graph> <pattern>  evaluate with a per-operator trace
 //   dot <graph>                print the graph in Graphviz DOT
 //   graphs                     list loaded graphs
+//   .stats                     workload report over this session's queries
+//   .metrics                   engine metrics in OpenMetrics text format
 //   quit
 //
 // With no stdin redirection it reads interactively; a built-in demo script
@@ -23,6 +25,11 @@
 // Flags: `--timeout-ms=N` and `--max-mb=N` set engine-wide resource limits
 // (wall clock / live mapping memory) for every query in the session; a
 // query that trips one prints the typed error and the REPL continues.
+// Telemetry flags: `--query-log=PATH` appends one JSONL record per query
+// (analyze offline with tools/rdfql_stats), `--slow-ms=N` marks queries
+// past N ms as slow and captures their EXPLAIN ANALYZE into the log,
+// `--sample=N` keeps every Nth successful record (slow/failed always
+// kept), `--metrics-out=PATH` writes the OpenMetrics exposition at exit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,8 @@
 #include <string>
 
 #include "core/rdfql.h"
+#include "obs/openmetrics.h"
+#include "obs/query_log.h"
 #include "util/string_util.h"
 
 namespace {
@@ -106,6 +115,22 @@ bool HandleLine(Engine* engine, const std::string& raw) {
   std::string cmd;
   in >> cmd;
   if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == ".stats") {
+    rdfql::QueryLog* log = engine->query_log();
+    if (log == nullptr) {
+      std::printf("no query log attached\n");
+    } else {
+      rdfql::QueryLogAggregator agg;
+      for (const rdfql::QueryLogRecord& r : log->Snapshot()) agg.Add(r);
+      std::printf("%s", agg.ToText().c_str());
+    }
+    return true;
+  }
+  if (cmd == ".metrics") {
+    std::printf("%s",
+                rdfql::RenderOpenMetrics(engine->MetricsSnapshot()).c_str());
+    return true;
+  }
   if (cmd == "dot") {
     std::string graph_name;
     in >> graph_name;
@@ -231,6 +256,8 @@ int main(int argc, char** argv) {
   Engine engine;
   bool demo = false;
   rdfql::ResourceLimits limits;
+  rdfql::QueryLogOptions log_options;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--demo") {
@@ -240,20 +267,53 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-mb=", 0) == 0) {
       limits.max_bytes =
           std::strtoull(arg.c_str() + 9, nullptr, 10) * 1'000'000ull;
+    } else if (arg.rfind("--query-log=", 0) == 0) {
+      log_options.path = arg.substr(12);
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      log_options.slow_ms = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--sample=", 0) == 0) {
+      log_options.sample_every = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
     } else {
       std::fprintf(stderr,
-                   "unknown flag: %s (try --demo --timeout-ms=N --max-mb=N)\n",
+                   "unknown flag: %s (try --demo --timeout-ms=N --max-mb=N "
+                   "--query-log=PATH --slow-ms=N --sample=N "
+                   "--metrics-out=PATH)\n",
                    arg.c_str());
       return 1;
     }
   }
   engine.SetDefaultLimits(limits);
+  // The shell always keeps a session log (ring-only without --query-log, so
+  // `.stats` works out of the box) and always collects metrics for
+  // `.metrics` — interactive convenience over the last few percent of
+  // throughput; embedders wanting the zero-overhead path leave both off.
+  rdfql::QueryLog query_log(log_options);
+  if (!query_log.ok()) {
+    std::fprintf(stderr, "error: %s\n", query_log.error().c_str());
+    return 1;
+  }
+  engine.SetQueryLog(&query_log);
+  engine.EnableMetrics();
+  int rc = 0;
   if (demo) {
-    return RunDemo(&engine);
+    rc = RunDemo(&engine);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!HandleLine(&engine, line)) break;
+    }
   }
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (!HandleLine(&engine, line)) break;
+  if (!metrics_out.empty()) {
+    std::string text = rdfql::RenderOpenMetrics(engine.MetricsSnapshot());
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << text;
   }
-  return 0;
+  engine.SetQueryLog(nullptr);
+  return rc;
 }

@@ -26,6 +26,43 @@ uint64_t NowNs() {
           .count());
 }
 
+uint64_t UnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The query log's typed-outcome vocabulary, one token per StatusCode.
+const char* OutcomeString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool CrossedSlowThreshold(const QueryLogRecord& record, const QueryLog& log) {
+  uint64_t slow_ms = log.options().slow_ms;
+  return slow_ms != 0 && record.parse_ns + record.eval_ns >= slow_ms * 1'000'000;
+}
+
 std::string PhaseString(uint64_t ns) {
   char buf[32];
   if (ns < 10'000) {
@@ -84,6 +121,13 @@ std::string QueryExplanation::ToString() const {
                     std::to_string(peak_mappings) + " mappings / " +
                     BytesString(peak_bytes) + "\n";
   out += "limits: " + LimitsString(limits) + "\n";
+  if (hist_queries > 0) {
+    out += "time: eval p50=" +
+           PhaseString(static_cast<uint64_t>(eval_p50_ns)) +
+           " p90=" + PhaseString(static_cast<uint64_t>(eval_p90_ns)) +
+           " p99=" + PhaseString(static_cast<uint64_t>(eval_p99_ns)) +
+           " (n=" + std::to_string(hist_queries) + ")\n";
+  }
   out += explanation.ToString();
   return out;
 }
@@ -134,6 +178,11 @@ Result<ConstructQuery> Engine::ParseConstructQuery(std::string_view query) {
 Result<MappingSet> Engine::Query(const std::string& graph_name,
                                  std::string_view query,
                                  EvalOptions options) {
+  QueryLog* log =
+      options.query_log != nullptr ? options.query_log : default_query_log_;
+  if (log != nullptr) {
+    return QueryLogged(graph_name, query, std::move(options), log);
+  }
   if (!collect_metrics_) {
     RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
     return Eval(graph_name, pattern, options);
@@ -143,6 +192,89 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
   RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
   metrics_.GetHistogram("engine.parse_ns")->Observe(NowNs() - t0);
   return Eval(graph_name, pattern, options);
+}
+
+Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
+                                       std::string_view query,
+                                       EvalOptions options, QueryLog* log) {
+  QueryLogRecord rec;
+  rec.correlation_id = log->NextCorrelationId();
+  rec.query_hash = StableQueryHash(query);
+  rec.graph = graph_name;
+  rec.query = std::string(query);
+  rec.unix_ms = UnixMs();
+
+  if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
+  uint64_t t0 = NowNs();
+  Result<PatternPtr> parsed = Parse(query);
+  rec.parse_ns = NowNs() - t0;
+  if (collect_metrics_) {
+    metrics_.GetHistogram("engine.parse_ns")->Observe(rec.parse_ns);
+  }
+  if (!parsed.ok()) {
+    rec.outcome = OutcomeString(parsed.status().code());
+    rec.error = parsed.status().message();
+    rec.slow = CrossedSlowThreshold(rec, *log);
+    log->Record(std::move(rec));
+    return parsed.status();
+  }
+  PatternPtr pattern = *std::move(parsed);
+  rec.fragment = DescribeFragment(pattern);
+
+  Result<const Graph*> graph = GetGraph(graph_name);
+  if (!graph.ok()) {
+    rec.outcome = OutcomeString(graph.status().code());
+    rec.error = graph.status().message();
+    log->Record(std::move(rec));
+    return graph.status();
+  }
+
+  options = WithEngineDefaults(options);
+  rec.threads = options.threads < 1 ? 1 : options.threads;
+  if (collect_metrics_ && options.metrics == nullptr) {
+    options.metrics = &metrics_;
+  }
+  // The log always accounts memory (its records carry peak figures); a
+  // caller-provided accountant wins, exactly as on the unlogged path.
+  ResourceAccountant acct;
+  if (options.accountant == nullptr) options.accountant = &acct;
+
+  t0 = NowNs();
+  Result<MappingSet> result = Evaluator(*graph, options).EvalChecked(pattern);
+  rec.eval_ns = NowNs() - t0;
+  // One measured value into both sinks: the engine histogram and the log
+  // record see the same eval_ns, so rdfql_stats over the log reproduces
+  // MetricsSnapshot's percentiles exactly.
+  if (collect_metrics_) {
+    metrics_.GetHistogram("engine.eval_ns")->Observe(rec.eval_ns);
+    RecordAccounting(*options.accountant);
+  }
+  rec.peak_mappings = options.accountant->peak_mappings();
+  rec.peak_bytes = options.accountant->peak_bytes();
+  rec.total_mappings = options.accountant->total_mappings();
+  if (result.ok()) {
+    rec.rows_out = result.value().size();
+  } else {
+    RecordRejection(result.status());
+    rec.outcome = OutcomeString(result.status().code());
+    rec.error = result.status().message();
+  }
+  rec.slow = CrossedSlowThreshold(rec, *log);
+  if (rec.slow && log->options().explain_slow && result.ok()) {
+    // Capture the full EXPLAIN ANALYZE for the offender: one bounded
+    // re-run under a tracer, governance and accounting cleared so the
+    // capture itself cannot be rejected or skew the figures.
+    EvalOptions explain_options = options;
+    explain_options.limits = ResourceLimits{};
+    explain_options.deadline = Deadline{};
+    explain_options.cancel = nullptr;
+    explain_options.accountant = nullptr;
+    explain_options.metrics = nullptr;
+    rec.explain =
+        ExplainEval(**graph, pattern, dict_, explain_options).ToString();
+  }
+  log->Record(std::move(rec));
+  return result;
 }
 
 void Engine::SetDefaultThreads(int threads) {
@@ -163,6 +295,10 @@ EvalOptions Engine::WithEngineDefaults(EvalOptions options) const {
   // Per-query limits win wholesale; otherwise the engine default applies.
   if (!options.limits.Enforced()) {
     options.limits = default_limits_;
+  }
+  // Same pattern for the query log sink.
+  if (options.query_log == nullptr) {
+    options.query_log = default_query_log_;
   }
   return options;
 }
@@ -229,12 +365,45 @@ void Engine::RecordAccounting(const ResourceAccountant& acct) {
 Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
                                                 std::string_view query,
                                                 EvalOptions options) {
+  QueryLog* log =
+      options.query_log != nullptr ? options.query_log : default_query_log_;
+  QueryLogRecord rec;
+  if (log != nullptr) {
+    rec.correlation_id = log->NextCorrelationId();
+    rec.query_hash = StableQueryHash(query);
+    rec.graph = graph_name;
+    rec.query = std::string(query);
+    rec.unix_ms = UnixMs();
+  }
   QueryExplanation out;
+  out.correlation_id = rec.correlation_id;
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
+  Result<PatternPtr> parsed = Parse(query);
   out.parse_ns = NowNs() - t0;
-  RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
+  if (!parsed.ok()) {
+    if (log != nullptr) {
+      rec.parse_ns = out.parse_ns;
+      rec.outcome = OutcomeString(parsed.status().code());
+      rec.error = parsed.status().message();
+      rec.slow = CrossedSlowThreshold(rec, *log);
+      log->Record(std::move(rec));
+    }
+    return parsed.status();
+  }
+  PatternPtr pattern = *std::move(parsed);
+  rec.parse_ns = out.parse_ns;
+  rec.fragment = DescribeFragment(pattern);
+  Result<const Graph*> graph_result = GetGraph(graph_name);
+  if (!graph_result.ok()) {
+    if (log != nullptr) {
+      rec.outcome = OutcomeString(graph_result.status().code());
+      rec.error = graph_result.status().message();
+      log->Record(std::move(rec));
+    }
+    return graph_result.status();
+  }
+  const Graph* graph = *graph_result;
   options = WithEngineDefaults(options);
   if (collect_metrics_ && options.metrics == nullptr) {
     options.metrics = &metrics_;
@@ -276,8 +445,36 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   out.total_mappings = acct.total_mappings();
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.parse_ns")->Observe(out.parse_ns);
-    metrics_.GetHistogram("engine.eval_ns")->Observe(out.eval_ns);
+    Histogram* eval_hist = metrics_.GetHistogram("engine.eval_ns");
+    eval_hist->Observe(out.eval_ns);
+    out.hist_queries = eval_hist->Count();
+    out.eval_p50_ns = eval_hist->Percentile(0.5);
+    out.eval_p90_ns = eval_hist->Percentile(0.9);
+    out.eval_p99_ns = eval_hist->Percentile(0.99);
     RecordAccounting(acct);
+  }
+  if (out.correlation_id != 0 && out.explanation.plan != nullptr) {
+    out.explanation.plan->counters.emplace_back("correlation_id",
+                                                out.correlation_id);
+  }
+  if (log != nullptr) {
+    rec.eval_ns = out.eval_ns;
+    rec.threads = options.threads < 1 ? 1 : options.threads;
+    rec.rows_out = out.explanation.result.size();
+    rec.peak_mappings = out.peak_mappings;
+    rec.peak_bytes = out.peak_bytes;
+    rec.total_mappings = out.total_mappings;
+    if (governed && token->cancelled()) {
+      Status status = token->status();
+      rec.outcome = OutcomeString(status.code());
+      rec.error = status.message();
+    }
+    rec.slow = CrossedSlowThreshold(rec, *log);
+    // The instrumented plan is already in hand — no re-run needed here.
+    if (rec.slow && log->options().explain_slow) {
+      rec.explain = out.explanation.ToString();
+    }
+    log->Record(std::move(rec));
   }
   if (governed && token->cancelled()) {
     Status status = token->status();

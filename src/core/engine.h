@@ -15,6 +15,7 @@
 #include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "obs/pipeline.h"
+#include "obs/query_log.h"
 #include "parser/parser.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
@@ -39,12 +40,26 @@ struct QueryExplanation {
   /// The resource limits the query ran under (engine default or per-query
   /// override; all-zero when ungoverned).
   ResourceLimits limits;
+  /// Query-log correlation id (0 when no QueryLog was attached). Also
+  /// stamped on the plan root as the `correlation_id` counter, so a log
+  /// record and an EXPLAIN plan can be joined after the fact.
+  uint64_t correlation_id = 0;
+  /// Engine-wide eval-latency percentiles (the engine.eval_ns histogram,
+  /// this query included) at the time of the query. Populated when engine
+  /// metrics are enabled; hist_queries stays 0 otherwise and the `time:`
+  /// line is omitted.
+  uint64_t hist_queries = 0;
+  double eval_p50_ns = 0.0;
+  double eval_p90_ns = 0.0;
+  double eval_p99_ns = 0.0;
 
   const MappingSet& result() const { return explanation.result; }
 
-  /// Phase header, limits line, then the plan tree, e.g.
+  /// Phase header, limits line, percentile line (with metrics enabled),
+  /// then the plan tree, e.g.
   ///   parse: 3.1us  eval: 120.4us  mem: peak 42 mappings / 3.2KiB
   ///   limits: wall=100ms live_mappings=10000
+  ///   time: eval p50=110.2us p90=118.9us p99=119.8us (n=12)
   ///   AND [1] (t=118.0us join_probes=4)
   ///     ...
   std::string ToString() const;
@@ -206,6 +221,17 @@ class Engine {
 
   // --- Observability ---
 
+  /// Engine-wide default QueryLog. While set, Query / QueryExplained (and
+  /// everything routed through them: Ask, QueryCsv, QueryJson) write one
+  /// QueryLogRecord per query — identity, fragment, phase timings, memory
+  /// figures and the typed outcome — to the sink. Queries whose options
+  /// carry their own EvalOptions::query_log keep it (per-query override
+  /// wins wholesale, mirroring the limits pattern). The log must outlive
+  /// the engine or be detached with SetQueryLog(nullptr) first; null (the
+  /// default) keeps the pre-log code path bit for bit.
+  void SetQueryLog(QueryLog* log) { default_query_log_ = log; }
+  QueryLog* query_log() const { return default_query_log_; }
+
   /// Turns metric collection on/off (off by default: the uninstrumented
   /// path stays zero-overhead). While enabled, every Query/Eval records
   /// `engine.*` phase timings and `eval.*` operator counters into this
@@ -227,6 +253,14 @@ class Engine {
   /// Applies the engine-wide thread default to per-query options.
   EvalOptions WithEngineDefaults(EvalOptions options) const;
 
+  /// Query() with a resolved QueryLog sink: same evaluation pipeline, plus
+  /// one record per query (parse failures and rejections included). The
+  /// measured eval_ns is the same value the engine.eval_ns histogram
+  /// observes, so log-side percentiles reproduce MetricsSnapshot exactly.
+  Result<MappingSet> QueryLogged(const std::string& graph_name,
+                                 std::string_view query, EvalOptions options,
+                                 QueryLog* log);
+
   /// Recomputes the engine.graph_bytes / engine.graph_triples gauges after
   /// a graph mutation.
   void UpdateGraphGauges();
@@ -243,6 +277,7 @@ class Engine {
   std::map<std::string, Graph> graphs_;
   MetricsRegistry metrics_;
   bool collect_metrics_ = false;
+  QueryLog* default_query_log_ = nullptr;
   ResourceLimits default_limits_;
   int default_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // shared across queries; sized

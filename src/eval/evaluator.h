@@ -17,6 +17,8 @@
 
 namespace rdfql {
 
+class QueryLog;
+
 /// Tunables for the evaluator — the pairs of algorithms back the ablation
 /// benchmarks (E15/E16 in DESIGN.md) — plus the observability opt-ins.
 struct EvalOptions {
@@ -76,6 +78,13 @@ struct EvalOptions {
   /// returned — its memory counts toward the peak but not the final live
   /// figure, and the escaping set holds no pointer to the accountant.
   ResourceAccountant* accountant = nullptr;
+  /// Consumed by Engine::Query / Engine::QueryExplained (the evaluator
+  /// itself never touches it): overrides the engine's default QueryLog for
+  /// this query, mirroring the limits pattern — per-query value wins
+  /// wholesale. The engine writes one QueryLogRecord per query to the
+  /// resolved sink; null here with no engine default keeps the pre-log
+  /// code path bit for bit.
+  QueryLog* query_log = nullptr;
 
   // --- Resource governance (opt-in; see docs/robustness.md) ---
   /// Budgets enforced by EvalChecked/EvalMaxChecked: wall clock, live

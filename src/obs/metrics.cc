@@ -64,6 +64,49 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+double HistogramPercentile(
+    const std::vector<std::pair<uint64_t, uint64_t>>& buckets,
+    uint64_t count, double q) {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const auto& [bound, n] : buckets) {
+    if (n == 0) continue;
+    cumulative += n;
+    if (static_cast<double>(cumulative) >= rank) {
+      // Bucket range: [bound/2, bound), except bucket 0 which is [0, 1).
+      double lo = bound == 1 ? 0.0 : static_cast<double>(bound) / 2.0;
+      double hi = static_cast<double>(bound);
+      double before = static_cast<double>(cumulative - n);
+      double within = (rank - before) / static_cast<double>(n);
+      if (within < 0.0) within = 0.0;
+      return lo + (hi - lo) * within;
+    }
+  }
+  return static_cast<double>(buckets.back().first);
+}
+
+double Histogram::Percentile(double q) const {
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  uint64_t count = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = BucketCount(i);
+    if (n > 0) {
+      buckets.emplace_back(BucketBound(i), n);
+      count += n;
+    }
+  }
+  // Count from the buckets themselves: Count() may race ahead of the
+  // bucket adds under concurrent Observe (relaxed atomics).
+  return HistogramPercentile(buckets, count, q);
+}
+
+double RegistrySnapshot::HistogramData::Percentile(double q) const {
+  return HistogramPercentile(buckets, count, q);
+}
+
 uint64_t RegistrySnapshot::HistogramData::ApproxQuantile(double q) const {
   if (count == 0) return 0;
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
@@ -86,11 +129,10 @@ std::string RegistrySnapshot::ToText() const {
   for (const auto& [name, h] : histograms) {
     out += name + " count=" + std::to_string(h.count) +
            " sum=" + std::to_string(h.sum);
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), " mean=%.1f p50<=%llu p99<=%llu\n",
-                  h.Mean(),
-                  static_cast<unsigned long long>(h.ApproxQuantile(0.5)),
-                  static_cast<unsigned long long>(h.ApproxQuantile(0.99)));
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " mean=%.1f p50=%.1f p90=%.1f p99=%.1f\n", h.Mean(),
+                  h.Percentile(0.5), h.Percentile(0.9), h.Percentile(0.99));
     out += buf;
   }
   return out;

@@ -56,6 +56,16 @@ class Histogram {
   /// Upper bound (exclusive) of bucket i.
   static uint64_t BucketBound(int i);
 
+  /// The q-quantile (q in [0,1]) estimated by log-linear interpolation:
+  /// the rank q*Count() is located in the cumulative bucket counts and
+  /// interpolated linearly within the power-of-two bucket holding it (the
+  /// buckets are log-spaced, so the interpolation is linear in log space
+  /// of the value range). Exact when all mass sits at bucket edges; always
+  /// within one bucket width of the true quantile. Returns 0 on an empty
+  /// histogram. See also HistogramPercentile / HistogramData::Percentile
+  /// for the snapshot-side equivalents.
+  double Percentile(double q) const;
+
   void Reset();
 
  private:
@@ -80,6 +90,11 @@ struct RegistrySnapshot {
     }
     /// Upper bound of the bucket containing the q-quantile (q in [0,1]).
     uint64_t ApproxQuantile(double q) const;
+    /// Interpolated quantile — same estimator as Histogram::Percentile,
+    /// computed from the snapshot's (bound, count) pairs. The pairs carry
+    /// the exact bucket boundaries, so scrapers (OpenMetrics exposition,
+    /// rdfql_stats) reproduce the engine's percentiles losslessly.
+    double Percentile(double q) const;
   };
 
   std::map<std::string, uint64_t> counters;
@@ -127,6 +142,16 @@ class MetricsRegistry {
 /// Appends a JSON-escaped copy of `s` (quotes not included) to `out`.
 /// Shared by the metrics, tracer and bench JSON emitters.
 void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// The shared percentile estimator behind Histogram::Percentile and
+/// HistogramData::Percentile: `buckets` is the (exclusive upper bound,
+/// observations) list of the non-empty power-of-two buckets in increasing
+/// bound order, `count` the total observation count. Locates the rank
+/// q*count in the cumulative counts and interpolates linearly within the
+/// bucket's [bound/2, bound) range (bucket [0,1) for bound 1).
+double HistogramPercentile(
+    const std::vector<std::pair<uint64_t, uint64_t>>& buckets,
+    uint64_t count, double q);
 
 }  // namespace rdfql
 

@@ -1,0 +1,299 @@
+#include "obs/openmetrics.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+namespace rdfql {
+namespace {
+
+// Registry names use dots ("engine.eval_ns"); the exposition format allows
+// [a-zA-Z0-9_:] with a non-digit first character.
+std::string SanitizedName(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!out.empty()) out.push_back('_');
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseValue(std::string_view s, double* out) {
+  if (s == "+Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  std::string copy(s);
+  char* end = nullptr;
+  double v = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// State for the family currently being linted.
+struct FamilyState {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  bool saw_sample = false;
+  // Histogram bookkeeping.
+  bool saw_inf_bucket = false;
+  bool saw_count = false;
+  bool saw_sum = false;
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_bucket_value = 0.0;
+  double inf_bucket_value = 0.0;
+  double count_value = 0.0;
+};
+
+bool Fail(std::string* error, size_t line_no, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+  }
+  return false;
+}
+
+bool FinishFamily(const FamilyState& fam, size_t line_no, std::string* error) {
+  if (fam.name.empty()) return true;
+  if (!fam.saw_sample) {
+    return Fail(error, line_no, "family '" + fam.name + "' has no samples");
+  }
+  if (fam.type == "histogram") {
+    if (!fam.saw_inf_bucket) {
+      return Fail(error, line_no,
+                  "histogram '" + fam.name + "' missing le=\"+Inf\" bucket");
+    }
+    if (!fam.saw_count || !fam.saw_sum) {
+      return Fail(error, line_no,
+                  "histogram '" + fam.name + "' missing _sum or _count");
+    }
+    if (fam.inf_bucket_value != fam.count_value) {
+      return Fail(error, line_no,
+                  "histogram '" + fam.name +
+                      "' +Inf bucket disagrees with _count");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RenderOpenMetrics(const RegistrySnapshot& snapshot,
+                              std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    std::string metric = SanitizedName(prefix, name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + "_total " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    std::string metric = SanitizedName(prefix, name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string metric = SanitizedName(prefix, name);
+    out += "# TYPE " + metric + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [bound, n] : h.buckets) {
+      cumulative += n;
+      out += metric + "_bucket{le=\"" + std::to_string(bound) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += metric + "_sum " + std::to_string(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool LintOpenMetrics(std::string_view text, std::string* error) {
+  if (text.empty()) {
+    return Fail(error, 0, "empty exposition");
+  }
+  std::set<std::string> closed_families;
+  FamilyState fam;
+  bool saw_eof = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      // The exposition must end with a newline; a trailing fragment is a
+      // violation, an empty remainder means we are done.
+      if (pos < text.size()) {
+        return Fail(error, line_no + 1, "missing trailing newline");
+      }
+      break;
+    }
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (saw_eof) {
+      return Fail(error, line_no, "content after # EOF");
+    }
+    if (line.empty()) {
+      return Fail(error, line_no, "blank line");
+    }
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      size_t sp1 = line.find(' ', 2);
+      std::string_view keyword =
+          line.size() > 2 ? line.substr(2, sp1 == std::string_view::npos
+                                               ? std::string_view::npos
+                                               : sp1 - 2)
+                          : std::string_view();
+      if (keyword == "HELP") continue;
+      if (keyword != "TYPE") {
+        return Fail(error, line_no, "unknown comment (expected TYPE/HELP/EOF)");
+      }
+      size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        return Fail(error, line_no, "malformed # TYPE line");
+      }
+      std::string name(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      std::string type(line.substr(sp2 + 1));
+      if (!ValidMetricName(name)) {
+        return Fail(error, line_no, "invalid metric name '" + name + "'");
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return Fail(error, line_no, "unknown metric type '" + type + "'");
+      }
+      if (!FinishFamily(fam, line_no, error)) return false;
+      if (!fam.name.empty()) closed_families.insert(fam.name);
+      if (closed_families.count(name) != 0) {
+        return Fail(error, line_no,
+                    "family '" + name + "' reopened (families must be "
+                    "contiguous)");
+      }
+      fam = FamilyState{};
+      fam.name = name;
+      fam.type = type;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t brace = line.find('{');
+    size_t name_end = brace != std::string_view::npos ? brace : line.find(' ');
+    if (name_end == std::string_view::npos) {
+      return Fail(error, line_no, "malformed sample line");
+    }
+    std::string name(line.substr(0, name_end));
+    if (!ValidMetricName(name)) {
+      return Fail(error, line_no, "invalid sample name '" + name + "'");
+    }
+    std::string le;
+    size_t value_start = name_end;
+    if (brace != std::string_view::npos) {
+      size_t close = line.find('}', brace);
+      if (close == std::string_view::npos) {
+        return Fail(error, line_no, "unterminated label set");
+      }
+      std::string_view labels = line.substr(brace + 1, close - brace - 1);
+      // The renderer only emits the `le` label; accept exactly that shape.
+      constexpr std::string_view kLe = "le=\"";
+      if (labels.substr(0, kLe.size()) != kLe || labels.empty() ||
+          labels.back() != '"') {
+        return Fail(error, line_no, "unsupported label set '" +
+                                        std::string(labels) + "'");
+      }
+      le = std::string(labels.substr(kLe.size(),
+                                     labels.size() - kLe.size() - 1));
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return Fail(error, line_no, "sample missing value");
+    }
+    double value = 0.0;
+    if (!ParseValue(line.substr(value_start + 1), &value)) {
+      return Fail(error, line_no, "unparseable sample value");
+    }
+    if (fam.name.empty()) {
+      return Fail(error, line_no, "sample before any # TYPE line");
+    }
+    if (fam.type == "counter") {
+      if (name != fam.name + "_total") {
+        return Fail(error, line_no,
+                    "counter sample must be '" + fam.name + "_total'");
+      }
+      if (value < 0) {
+        return Fail(error, line_no, "negative counter value");
+      }
+      if (!le.empty()) {
+        return Fail(error, line_no, "unexpected le label on counter");
+      }
+    } else if (fam.type == "gauge") {
+      if (name != fam.name) {
+        return Fail(error, line_no,
+                    "gauge sample must be '" + fam.name + "'");
+      }
+    } else {  // histogram
+      if (name == fam.name + "_bucket") {
+        if (le.empty()) {
+          return Fail(error, line_no, "histogram bucket missing le label");
+        }
+        double le_value = 0.0;
+        if (!ParseValue(le, &le_value)) {
+          return Fail(error, line_no, "unparseable le value '" + le + "'");
+        }
+        if (le_value <= fam.last_le) {
+          return Fail(error, line_no, "le values must be increasing");
+        }
+        if (fam.saw_sample && value < fam.last_bucket_value) {
+          return Fail(error, line_no,
+                      "cumulative bucket counts must be non-decreasing");
+        }
+        fam.last_le = le_value;
+        fam.last_bucket_value = value;
+        if (le == "+Inf") {
+          fam.saw_inf_bucket = true;
+          fam.inf_bucket_value = value;
+        }
+      } else if (name == fam.name + "_sum") {
+        if (!le.empty()) {
+          return Fail(error, line_no, "unexpected le label on _sum");
+        }
+        fam.saw_sum = true;
+      } else if (name == fam.name + "_count") {
+        if (!le.empty()) {
+          return Fail(error, line_no, "unexpected le label on _count");
+        }
+        fam.saw_count = true;
+        fam.count_value = value;
+      } else {
+        return Fail(error, line_no,
+                    "histogram sample must be '" + fam.name +
+                        "_bucket/_sum/_count'");
+      }
+    }
+    fam.saw_sample = true;
+  }
+  if (!saw_eof) {
+    return Fail(error, line_no, "missing # EOF terminator");
+  }
+  return FinishFamily(fam, line_no, error);
+}
+
+}  // namespace rdfql

@@ -1,0 +1,40 @@
+#ifndef RDFQL_OBS_OPENMETRICS_H_
+#define RDFQL_OBS_OPENMETRICS_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace rdfql {
+
+/// Renders a registry snapshot in the OpenMetrics text exposition format
+/// (the Prometheus scrape format). Metric names are prefixed with
+/// `<prefix>_` and sanitized (dots become underscores); counters get the
+/// mandatory `_total` suffix; histograms render as cumulative
+/// `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` and
+/// `_count`. The output ends with the `# EOF` marker.
+///
+/// One approximation is documented rather than hidden: the engine's
+/// power-of-two buckets use exclusive upper bounds [lo, hi), while
+/// OpenMetrics `le` is inclusive. Rendering bound `hi` as `le="hi"` shifts
+/// each observation by at most one integer, which for nanosecond latencies
+/// is far below the bucket resolution.
+std::string RenderOpenMetrics(const RegistrySnapshot& snapshot,
+                              std::string_view prefix = "rdfql");
+
+/// Validates `text` against the exposition-format grammar understood by
+/// RenderOpenMetrics — a self-contained linter (no network, no external
+/// tools) for CI. Checks: every line is a comment (`# TYPE ...`, `# HELP
+/// ...`, `# EOF`) or a `name{labels} value` sample; metric names are
+/// valid; a family's `# TYPE` precedes its samples and families are
+/// contiguous; counter samples carry the `_total` suffix; histogram
+/// families expose `_bucket`/`_sum`/`_count` with strictly increasing
+/// `le` values, non-decreasing cumulative counts, and a final
+/// `le="+Inf"` bucket equal to `_count`; the last line is `# EOF`.
+/// Returns false with a message in *error on the first violation.
+bool LintOpenMetrics(std::string_view text, std::string* error);
+
+}  // namespace rdfql
+
+#endif  // RDFQL_OBS_OPENMETRICS_H_

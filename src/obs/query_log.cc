@@ -1,0 +1,555 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdfql {
+namespace {
+
+void AppendStringField(const char* key, std::string_view value, bool* first,
+                       std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(key);
+  out->append("\":\"");
+  AppendJsonEscaped(value, out);
+  out->push_back('"');
+}
+
+void AppendUintField(const char* key, uint64_t value, bool* first,
+                     std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  out->append(std::to_string(value));
+}
+
+/// Pretty duration for the text report (mirrors the EXPLAIN phase style).
+std::string NsString(double ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 10'000'000'000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string BytesString(uint64_t bytes) {
+  char buf[32];
+  if (bytes < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / 1e6);
+  }
+  return buf;
+}
+
+std::string Truncated(const std::string& s, size_t max) {
+  if (s.size() <= max) return s;
+  return s.substr(0, max) + "...";
+}
+
+// --- A strict parser for the flat JSON objects QueryLogRecordToJson
+// emits: string, unsigned-integer and boolean values only, one object per
+// line. Kept private to the log: bench JSON has its own reader and the two
+// grammars should be free to drift apart.
+
+class LineParser {
+ public:
+  explicit LineParser(std::string_view text) : text_(text) {}
+
+  bool Fail(std::string* error, const std::string& message) {
+    if (error != nullptr) {
+      *error = message + " near offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out->push_back(esc);
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // Our emitter only \u-escapes control characters.
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseUint(uint64_t* out) {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::strtoull(std::string(text_.substr(start, pos_ - start)).c_str(),
+                         nullptr, 10);
+    return true;
+  }
+
+  bool Literal(std::string_view lit) {
+    SkipWs();
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint64_t StableQueryHash(std::string_view query) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : query) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string QueryLogRecordToJson(const QueryLogRecord& r) {
+  std::string out = "{";
+  bool first = true;
+  AppendUintField("v", 1, &first, &out);
+  AppendUintField("id", r.correlation_id, &first, &out);
+  AppendUintField("hash", r.query_hash, &first, &out);
+  AppendUintField("unix_ms", r.unix_ms, &first, &out);
+  AppendStringField("graph", r.graph, &first, &out);
+  AppendStringField("query", r.query, &first, &out);
+  AppendStringField("fragment", r.fragment, &first, &out);
+  AppendStringField("outcome", r.outcome, &first, &out);
+  if (!r.error.empty()) AppendStringField("error", r.error, &first, &out);
+  AppendUintField("parse_ns", r.parse_ns, &first, &out);
+  if (r.optimize_ns != 0) {
+    AppendUintField("optimize_ns", r.optimize_ns, &first, &out);
+  }
+  AppendUintField("eval_ns", r.eval_ns, &first, &out);
+  AppendUintField("rows_out", r.rows_out, &first, &out);
+  AppendUintField("total_mappings", r.total_mappings, &first, &out);
+  AppendUintField("peak_mappings", r.peak_mappings, &first, &out);
+  AppendUintField("peak_bytes", r.peak_bytes, &first, &out);
+  AppendUintField("threads", static_cast<uint64_t>(r.threads), &first, &out);
+  if (r.slow) {
+    out += ",\"slow\":true";
+    if (!r.explain.empty()) {
+      AppendStringField("explain", r.explain, &first, &out);
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+bool ParseQueryLogLine(std::string_view line, QueryLogRecord* out,
+                       std::string* error) {
+  *out = QueryLogRecord{};
+  bool saw_version = false;
+  LineParser p(line);
+  if (!p.Eat('{')) return p.Fail(error, "expected '{'");
+  if (!p.Peek('}')) {
+    while (true) {
+      std::string key;
+      if (!p.ParseString(&key)) return p.Fail(error, "expected key string");
+      if (!p.Eat(':')) return p.Fail(error, "expected ':'");
+      bool ok = true;
+      uint64_t n = 0;
+      if (key == "v") {
+        ok = p.ParseUint(&n);
+        saw_version = ok && n == 1;
+        if (ok && n != 1) {
+          return p.Fail(error, "unsupported record version " +
+                                   std::to_string(n));
+        }
+      } else if (key == "id") {
+        ok = p.ParseUint(&out->correlation_id);
+      } else if (key == "hash") {
+        ok = p.ParseUint(&out->query_hash);
+      } else if (key == "unix_ms") {
+        ok = p.ParseUint(&out->unix_ms);
+      } else if (key == "graph") {
+        ok = p.ParseString(&out->graph);
+      } else if (key == "query") {
+        ok = p.ParseString(&out->query);
+      } else if (key == "fragment") {
+        ok = p.ParseString(&out->fragment);
+      } else if (key == "outcome") {
+        out->outcome.clear();
+        ok = p.ParseString(&out->outcome);
+      } else if (key == "error") {
+        ok = p.ParseString(&out->error);
+      } else if (key == "parse_ns") {
+        ok = p.ParseUint(&out->parse_ns);
+      } else if (key == "optimize_ns") {
+        ok = p.ParseUint(&out->optimize_ns);
+      } else if (key == "eval_ns") {
+        ok = p.ParseUint(&out->eval_ns);
+      } else if (key == "rows_out") {
+        ok = p.ParseUint(&out->rows_out);
+      } else if (key == "total_mappings") {
+        ok = p.ParseUint(&out->total_mappings);
+      } else if (key == "peak_mappings") {
+        ok = p.ParseUint(&out->peak_mappings);
+      } else if (key == "peak_bytes") {
+        ok = p.ParseUint(&out->peak_bytes);
+      } else if (key == "threads") {
+        ok = p.ParseUint(&n);
+        out->threads = static_cast<int>(n);
+      } else if (key == "slow") {
+        if (p.Literal("true")) {
+          out->slow = true;
+        } else if (p.Literal("false")) {
+          out->slow = false;
+        } else {
+          ok = false;
+        }
+      } else if (key == "explain") {
+        ok = p.ParseString(&out->explain);
+      } else {
+        // Unknown key: skip a string or unsigned value (forward compat).
+        std::string skip_s;
+        ok = p.ParseString(&skip_s) || p.ParseUint(&n) ||
+             p.Literal("true") || p.Literal("false");
+      }
+      if (!ok) return p.Fail(error, "bad value for key \"" + key + "\"");
+      if (p.Eat(',')) continue;
+      break;
+    }
+  }
+  if (!p.Eat('}')) return p.Fail(error, "expected '}'");
+  if (!p.AtEnd()) return p.Fail(error, "trailing bytes after record");
+  if (!saw_version) return p.Fail(error, "missing \"v\":1 version tag");
+  if (out->outcome.empty()) return p.Fail(error, "missing \"outcome\"");
+  return true;
+}
+
+QueryLog::QueryLog(QueryLogOptions options) : options_(std::move(options)) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.sample_every == 0) options_.sample_every = 1;
+  if (!options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), options_.append ? "a" : "w");
+    if (file_ == nullptr) {
+      error_ = "cannot open query log '" + options_.path + "'";
+    }
+  }
+}
+
+QueryLog::~QueryLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void QueryLog::Record(QueryLogRecord record) {
+  uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  bool forced = record.slow || record.outcome != "ok";
+  if (!forced && options_.sample_every > 1 &&
+      n % options_.sample_every != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sampled_out_;
+    return;
+  }
+  if (options_.max_query_bytes != 0 &&
+      record.query.size() > options_.max_query_bytes) {
+    record.query.resize(options_.max_query_bytes);
+  }
+  // Serialize outside the lock; one fwrite per line under it, so records
+  // from concurrent queries never interleave within a line.
+  std::string line;
+  if (file_ != nullptr) {
+    line = QueryLogRecordToJson(record);
+    line.push_back('\n');
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.slow) ++slow_;
+  ++logged_;
+  ring_.push_back(std::move(record));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+  }
+}
+
+std::vector<QueryLogRecord> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryLogRecord>(ring_.begin(), ring_.end());
+}
+
+uint64_t QueryLog::records_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logged_;
+}
+
+uint64_t QueryLog::records_sampled_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_out_;
+}
+
+uint64_t QueryLog::slow_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+void QueryLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+// --- Aggregation ---
+
+void QueryLogAggregator::Add(const QueryLogRecord& record) {
+  ++records_;
+  if (record.slow) ++slow_;
+  ++outcomes_[record.outcome];
+  std::string fragment =
+      record.fragment.empty() ? "(unparsed)" : record.fragment;
+  for (const std::string& key : {fragment, std::string(kAllFragments)}) {
+    FragmentAgg& agg = by_fragment_[key];
+    if (agg.eval_ns == nullptr) agg.eval_ns = std::make_unique<Histogram>();
+    ++agg.count;
+    agg.eval_ns->Observe(record.eval_ns);
+  }
+  kept_.push_back(record);
+}
+
+const QueryLogAggregator::FragmentAgg* QueryLogAggregator::FindFragment(
+    const std::string& fragment) const {
+  auto it = by_fragment_.find(fragment);
+  return it == by_fragment_.end() ? nullptr : &it->second;
+}
+
+double QueryLogAggregator::FragmentPercentile(const std::string& fragment,
+                                              double q) const {
+  const FragmentAgg* agg = FindFragment(fragment);
+  return agg == nullptr ? 0.0 : agg->eval_ns->Percentile(q);
+}
+
+uint64_t QueryLogAggregator::FragmentCount(
+    const std::string& fragment) const {
+  const FragmentAgg* agg = FindFragment(fragment);
+  return agg == nullptr ? 0 : agg->count;
+}
+
+std::vector<std::string> QueryLogAggregator::Fragments() const {
+  std::vector<std::string> out;
+  if (by_fragment_.count(kAllFragments) != 0) out.push_back(kAllFragments);
+  for (const auto& [name, agg] : by_fragment_) {
+    if (name != kAllFragments) out.push_back(name);
+  }
+  return out;
+}
+
+std::string QueryLogAggregator::ToText(size_t top_n) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%llu record(s), %llu slow\n",
+                static_cast<unsigned long long>(records_),
+                static_cast<unsigned long long>(slow_));
+  out += buf;
+
+  out += "\noutcomes:\n";
+  for (const auto& [name, count] : outcomes_) {
+    std::snprintf(buf, sizeof(buf), "  %-20s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+
+  out += "\nlatency by fragment (eval wall time):\n";
+  std::snprintf(buf, sizeof(buf), "  %-24s %8s %10s %10s %10s\n", "fragment",
+                "count", "p50", "p90", "p99");
+  out += buf;
+  for (const std::string& name : Fragments()) {
+    const FragmentAgg* agg = FindFragment(name);
+    std::snprintf(buf, sizeof(buf), "  %-24s %8llu %10s %10s %10s\n",
+                  name.c_str(), static_cast<unsigned long long>(agg->count),
+                  NsString(agg->eval_ns->Percentile(0.5)).c_str(),
+                  NsString(agg->eval_ns->Percentile(0.9)).c_str(),
+                  NsString(agg->eval_ns->Percentile(0.99)).c_str());
+    out += buf;
+  }
+
+  std::vector<const QueryLogRecord*> by_time;
+  std::vector<const QueryLogRecord*> by_bytes;
+  by_time.reserve(kept_.size());
+  for (const QueryLogRecord& r : kept_) {
+    by_time.push_back(&r);
+    by_bytes.push_back(&r);
+  }
+  std::sort(by_time.begin(), by_time.end(),
+            [](const QueryLogRecord* a, const QueryLogRecord* b) {
+              return a->TotalNs() > b->TotalNs();
+            });
+  std::sort(by_bytes.begin(), by_bytes.end(),
+            [](const QueryLogRecord* a, const QueryLogRecord* b) {
+              return a->peak_bytes > b->peak_bytes;
+            });
+  if (by_time.size() > top_n) by_time.resize(top_n);
+  if (by_bytes.size() > top_n) by_bytes.resize(top_n);
+
+  std::snprintf(buf, sizeof(buf), "\ntop %zu slowest:\n", by_time.size());
+  out += buf;
+  for (const QueryLogRecord* r : by_time) {
+    std::snprintf(buf, sizeof(buf), "  %10s  id=%-6llu %-18s %s\n",
+                  NsString(static_cast<double>(r->TotalNs())).c_str(),
+                  static_cast<unsigned long long>(r->correlation_id),
+                  (r->fragment.empty() ? "(unparsed)" : r->fragment).c_str(),
+                  Truncated(r->query, 60).c_str());
+    out += buf;
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "\ntop %zu peak-memory outliers:\n", by_bytes.size());
+  out += buf;
+  for (const QueryLogRecord* r : by_bytes) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %10s  %8llu mappings  id=%-6llu %s\n",
+                  BytesString(r->peak_bytes).c_str(),
+                  static_cast<unsigned long long>(r->peak_mappings),
+                  static_cast<unsigned long long>(r->correlation_id),
+                  Truncated(r->query, 50).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryLogAggregator::ToJson(size_t top_n) const {
+  std::string out = "{\"records\":" + std::to_string(records_) +
+                    ",\"slow\":" + std::to_string(slow_) + ",\"outcomes\":{";
+  bool first = true;
+  for (const auto& [name, count] : outcomes_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(count);
+  }
+  out += "},\"fragments\":[";
+  first = true;
+  for (const std::string& name : Fragments()) {
+    const FragmentAgg* agg = FindFragment(name);
+    if (!first) out += ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"p50_ns\":%.1f,\"p90_ns\":%.1f,"
+                  "\"p99_ns\":%.1f,\"fragment\":\"",
+                  static_cast<unsigned long long>(agg->count),
+                  agg->eval_ns->Percentile(0.5),
+                  agg->eval_ns->Percentile(0.9),
+                  agg->eval_ns->Percentile(0.99));
+    out += buf;
+    AppendJsonEscaped(name, &out);
+    out += "\"}";
+  }
+  out += "],\"slowest\":[";
+  std::vector<const QueryLogRecord*> by_time;
+  by_time.reserve(kept_.size());
+  for (const QueryLogRecord& r : kept_) by_time.push_back(&r);
+  std::sort(by_time.begin(), by_time.end(),
+            [](const QueryLogRecord* a, const QueryLogRecord* b) {
+              return a->TotalNs() > b->TotalNs();
+            });
+  if (by_time.size() > top_n) by_time.resize(top_n);
+  first = true;
+  for (const QueryLogRecord* r : by_time) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(r->correlation_id) +
+           ",\"total_ns\":" + std::to_string(r->TotalNs()) +
+           ",\"peak_bytes\":" + std::to_string(r->peak_bytes) +
+           ",\"query\":\"";
+    AppendJsonEscaped(Truncated(r->query, 120), &out);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rdfql

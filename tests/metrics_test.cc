@@ -55,6 +55,51 @@ TEST(HistogramTest, HugeValuesClampToLastBucket) {
   EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1u);
 }
 
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram h;
+  for (int i = 0; i < 4; ++i) h.Observe(1);  // all in [1, 2)
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 2.0);
+}
+
+TEST(HistogramTest, PercentileBucketZeroSpansZeroToOne) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.5);
+}
+
+TEST(HistogramTest, PercentileCrossesBuckets) {
+  Histogram h;
+  h.Observe(1);  // two in [1, 2)
+  h.Observe(1);
+  h.Observe(7);  // two in [4, 8)
+  h.Observe(7);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.0);   // rank 2 tops out bucket one
+  EXPECT_DOUBLE_EQ(h.Percentile(0.75), 6.0);  // halfway into [4, 8)
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 8.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SnapshotPercentileMatchesLiveHistogram) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h");
+  for (uint64_t v : {0u, 1u, 3u, 9u, 100u, 5000u}) h->Observe(v);
+  RegistrySnapshot snap = reg.Snapshot();
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.histograms.at("h").Percentile(q), h->Percentile(q))
+        << "q=" << q;
+  }
+}
+
 TEST(RegistryTest, FindOrCreateReturnsStablePointers) {
   MetricsRegistry reg;
   Counter* a = reg.GetCounter("eval.join_probes");

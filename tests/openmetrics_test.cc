@@ -1,0 +1,112 @@
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rdfql {
+namespace {
+
+RegistrySnapshot SampleSnapshot() {
+  MetricsRegistry reg;
+  reg.GetCounter("eval.nodes")->Inc(7);
+  reg.GetGauge("engine.graph_bytes")->Set(-5);
+  Histogram* h = reg.GetHistogram("engine.eval_ns");
+  h->Observe(0);    // bucket [0, 1)
+  h->Observe(3);    // bucket [2, 4)
+  h->Observe(3);
+  h->Observe(100);  // bucket [64, 128)
+  return reg.Snapshot();
+}
+
+TEST(OpenMetricsTest, RendersCounterGaugeAndCumulativeHistogram) {
+  std::string text = RenderOpenMetrics(SampleSnapshot());
+  EXPECT_NE(text.find("# TYPE rdfql_eval_nodes counter\n"
+                      "rdfql_eval_nodes_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rdfql_engine_graph_bytes gauge\n"
+                      "rdfql_engine_graph_bytes -5\n"),
+            std::string::npos);
+  // Buckets are cumulative over the exact power-of-two boundaries.
+  EXPECT_NE(text.find("# TYPE rdfql_engine_eval_ns histogram\n"
+                      "rdfql_engine_eval_ns_bucket{le=\"1\"} 1\n"
+                      "rdfql_engine_eval_ns_bucket{le=\"4\"} 3\n"
+                      "rdfql_engine_eval_ns_bucket{le=\"128\"} 4\n"
+                      "rdfql_engine_eval_ns_bucket{le=\"+Inf\"} 4\n"
+                      "rdfql_engine_eval_ns_sum 106\n"
+                      "rdfql_engine_eval_ns_count 4\n"),
+            std::string::npos);
+  // Exposition ends with the EOF marker and nothing after it.
+  std::string tail = "# EOF\n";
+  ASSERT_GE(text.size(), tail.size());
+  EXPECT_EQ(text.substr(text.size() - tail.size()), tail);
+}
+
+TEST(OpenMetricsTest, SanitizesMetricNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("eval.join-probes")->Inc(1);
+  std::string text = RenderOpenMetrics(reg.Snapshot());
+  EXPECT_NE(text.find("rdfql_eval_join_probes_total 1"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, CustomPrefix) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Inc(2);
+  std::string text = RenderOpenMetrics(reg.Snapshot(), "myapp");
+  EXPECT_NE(text.find("myapp_c_total 2"), std::string::npos);
+  EXPECT_EQ(text.find("rdfql_"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, EmptySnapshotIsJustEof) {
+  std::string text = RenderOpenMetrics(RegistrySnapshot{});
+  EXPECT_EQ(text, "# EOF\n");
+}
+
+TEST(OpenMetricsLintTest, AcceptsRenderedOutput) {
+  std::string error;
+  EXPECT_TRUE(LintOpenMetrics(RenderOpenMetrics(SampleSnapshot()), &error))
+      << error;
+  EXPECT_TRUE(LintOpenMetrics("# EOF\n", &error)) << error;
+}
+
+TEST(OpenMetricsLintTest, RejectsStructuralViolations) {
+  struct Case {
+    const char* name;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"missing EOF", "# TYPE a counter\na_total 1\n"},
+      {"content after EOF", "# EOF\n# TYPE a counter\na_total 1\n"},
+      {"missing trailing newline", "# EOF"},
+      {"blank line", "# TYPE a counter\n\na_total 1\n# EOF\n"},
+      {"counter sample without _total suffix",
+       "# TYPE a counter\na 1\n# EOF\n"},
+      {"sample without TYPE", "a_total 1\n# EOF\n"},
+      {"reopened family",
+       "# TYPE a counter\na_total 1\n# TYPE b gauge\nb 1\n"
+       "# TYPE a counter\na_total 2\n# EOF\n"},
+      {"le not increasing",
+       "# TYPE h histogram\nh_bucket{le=\"4\"} 1\nh_bucket{le=\"2\"} 2\n"
+       "h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n# EOF\n"},
+      {"buckets not cumulative",
+       "# TYPE h histogram\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"4\"} 1\n"
+       "h_bucket{le=\"+Inf\"} 3\nh_sum 3\nh_count 3\n# EOF\n"},
+      {"+Inf bucket != count",
+       "# TYPE h histogram\nh_bucket{le=\"2\"} 1\n"
+       "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n# EOF\n"},
+      {"histogram missing +Inf",
+       "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_sum 1\nh_count 1\n"
+       "# EOF\n"},
+      {"not a number", "# TYPE a counter\na_total x\n# EOF\n"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_FALSE(LintOpenMetrics(c.text, &error)) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace rdfql

@@ -1,0 +1,129 @@
+// Offline workload analysis over JSONL query logs (see
+// docs/observability.md, "Query log"):
+//
+//   rdfql_stats queries.jsonl              # text report
+//   rdfql_stats --json a.jsonl b.jsonl     # same report as JSON
+//   rdfql_stats --check queries.jsonl      # validate every line, count
+//   rdfql_stats --top=10 queries.jsonl     # widen the top-N tables
+//   rdfql_stats --lint-openmetrics=metrics.txt
+//
+// --check and --lint-openmetrics exit non-zero on the first violation, so
+// CI can gate on them. Aggregation uses the same power-of-two-bucket
+// histograms as the engine's metrics registry: the per-fragment latency
+// percentiles reported here are exactly the ones Engine::MetricsSnapshot
+// computes for the same workload.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/openmetrics.h"
+#include "obs/query_log.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--check] [--json] [--top=N] "
+               "[--lint-openmetrics=FILE] LOG.jsonl [LOG.jsonl ...]\n",
+               argv0);
+  return 2;
+}
+
+/// Reads one JSONL file into the aggregator. In check mode every record is
+/// still added (so --check can double as a dry-run of the report); a
+/// malformed line fails immediately either way — a query log with garbage
+/// in it should never aggregate silently.
+bool ReadLogFile(const std::string& path, rdfql::QueryLogAggregator* agg,
+                 uint64_t* lines_read) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rdfql_stats: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    rdfql::QueryLogRecord record;
+    std::string error;
+    if (!rdfql::ParseQueryLogLine(line, &record, &error)) {
+      std::fprintf(stderr, "rdfql_stats: %s:%llu: %s\n", path.c_str(),
+                   static_cast<unsigned long long>(line_no), error.c_str());
+      return false;
+    }
+    agg->Add(record);
+    ++*lines_read;
+  }
+  return true;
+}
+
+bool LintFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rdfql_stats: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string error;
+  if (!rdfql::LintOpenMetrics(text, &error)) {
+    std::fprintf(stderr, "rdfql_stats: %s: openmetrics lint: %s\n",
+                 path.c_str(), error.c_str());
+    return false;
+  }
+  std::printf("%s: openmetrics OK\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool json = false;
+  size_t top_n = 5;
+  std::vector<std::string> log_paths;
+  std::vector<std::string> lint_paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top_n = static_cast<size_t>(std::strtoull(arg.c_str() + 6, nullptr, 10));
+    } else if (arg.rfind("--lint-openmetrics=", 0) == 0) {
+      lint_paths.push_back(arg.substr(std::strlen("--lint-openmetrics=")));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "rdfql_stats: unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      log_paths.push_back(arg);
+    }
+  }
+  if (log_paths.empty() && lint_paths.empty()) return Usage(argv[0]);
+
+  for (const std::string& path : lint_paths) {
+    if (!LintFile(path)) return 1;
+  }
+
+  if (log_paths.empty()) return 0;
+  rdfql::QueryLogAggregator agg;
+  uint64_t lines = 0;
+  for (const std::string& path : log_paths) {
+    if (!ReadLogFile(path, &agg, &lines)) return 1;
+  }
+  if (check) {
+    std::printf("%llu record(s) OK\n", static_cast<unsigned long long>(lines));
+    return 0;
+  }
+  std::string report = json ? agg.ToJson(top_n) : agg.ToText(top_n);
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  if (json) std::fputc('\n', stdout);
+  return 0;
+}
