@@ -26,6 +26,13 @@
 // byte for byte) vs BM_MixQueryLogOn (ring-only QueryLog recording every
 // query). The paired medians land in the JSON as `paired_log_*_ns`; the
 // budget for the disabled path is <2% (docs/observability.md).
+//
+// A third pair does the same for live monitoring: BM_MixMonitorOff (the
+// in-flight registry disabled — the pre-registry path) vs BM_MixMonitorOn
+// (every query claims a registry slot, carries the slot's accountant and
+// token, and runs the checkpointed path). Medians land as
+// `paired_monitor_*_ns`; the budget for the disabled path is <2%
+// (docs/observability.md, "Live monitoring").
 
 #include <benchmark/benchmark.h>
 
@@ -179,6 +186,31 @@ void BM_MixQueryLogOn(benchmark::State& state) {
 }
 BENCHMARK(BM_MixQueryLogOn)->Unit(benchmark::kMillisecond);
 
+void BM_MixMonitorOff(benchmark::State& state) {
+  EnsureMixGraph();
+  SharedEngine().EnableLiveMonitoring(false);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixEngine();
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixMonitorOff)->Unit(benchmark::kMillisecond);
+
+void BM_MixMonitorOn(benchmark::State& state) {
+  EnsureMixGraph();
+  SharedEngine().EnableLiveMonitoring(true);
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = RunMixEngine();
+    benchmark::DoNotOptimize(answers);
+  }
+  SharedEngine().EnableLiveMonitoring(false);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_MixMonitorOn)->Unit(benchmark::kMillisecond);
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -265,11 +297,47 @@ void ReportQueryLogOverhead() {
   }
 }
 
+// And for live monitoring: registry off (the pre-registry path) vs on
+// (slot registration + slot-wired accountant/token per query).
+void ReportMonitorOverhead() {
+  EnsureMixGraph();
+  SharedEngine().EnableLiveMonitoring(false);
+  RunMixEngine();  // warm up
+  constexpr int kReps = 11;
+  std::vector<uint64_t> off_ns, on_ns;
+  for (int i = 0; i < kReps; ++i) {
+    SharedEngine().EnableLiveMonitoring(false);
+    uint64_t t0 = NowNs();
+    size_t a = RunMixEngine();
+    uint64_t t1 = NowNs();
+    SharedEngine().EnableLiveMonitoring(true);
+    size_t b = RunMixEngine();
+    uint64_t t2 = NowNs();
+    SharedEngine().EnableLiveMonitoring(false);
+    RDFQL_CHECK(a == b);
+    off_ns.push_back(t1 - t0);
+    on_ns.push_back(t2 - t1);
+  }
+  double off = static_cast<double>(Median(off_ns));
+  double on = static_cast<double>(Median(on_ns));
+  std::fprintf(stderr,
+               "live-monitoring overhead (paired medians over %d mix "
+               "sweeps): off=%.2fms on=%.2fms (%+.2f%%); budget for off (vs "
+               "the pre-registry path): <2%% — off IS the pre-registry "
+               "path\n",
+               kReps, off / 1e6, on / 1e6, (on / off - 1.0) * 100);
+  for (const char* name : {"BM_MixMonitorOff", "BM_MixMonitorOn"}) {
+    bench::AddCaseMetric(name, "paired_monitor_off_ns", off);
+    bench::AddCaseMetric(name, "paired_monitor_on_ns", on);
+  }
+}
+
 }  // namespace
 }  // namespace rdfql
 
 int main(int argc, char** argv) {
   rdfql::ReportPairedOverhead();
   rdfql::ReportQueryLogOverhead();
+  rdfql::ReportMonitorOverhead();
   return rdfql::bench::BenchMain(argc, argv, "bench_limits_overhead");
 }

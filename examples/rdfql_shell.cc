@@ -15,6 +15,11 @@
 //   explain <graph> <pattern>  evaluate with a per-operator trace
 //   dot <graph>                print the graph in Graphviz DOT
 //   graphs                     list loaded graphs
+//   spawn <graph> <pattern>    run a query on a background thread (a job)
+//   .jobs                      list spawned jobs and their outcomes
+//   .wait                      join every spawned job
+//   .sleep <ms>                pause the script (lets jobs make progress)
+//   .ps                        in-flight query table (live registry)
 //   .stats                     workload report over this session's queries
 //   .metrics                   engine metrics in OpenMetrics text format
 //   quit
@@ -30,13 +35,23 @@
 // past N ms as slow and captures their EXPLAIN ANALYZE into the log,
 // `--sample=N` keeps every Nth successful record (slow/failed always
 // kept), `--metrics-out=PATH` writes the OpenMetrics exposition at exit.
+// Live monitoring: `--watchdog-wall-ms=N` / `--watchdog-max-mb=N` arm the
+// slow-query watchdog (offenders are cancelled mid-flight and logged as
+// watchdog_cancelled), `--telemetry-out=PATH` has the sampler rewrite a
+// TelemetrySnapshot JSON file every tick (watch it with tools/rdfql_top),
+// `--telemetry-interval-ms=N` sets the tick period (default 1000).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/rdfql.h"
 #include "obs/openmetrics.h"
@@ -46,6 +61,31 @@
 namespace {
 
 using rdfql::Engine;
+
+/// One `spawn`ed background query. The worker writes `outcome` then
+/// releases `done`; readers check `done` (acquire) before touching it.
+struct Job {
+  int id = 0;
+  std::string query;
+  std::thread thread;
+  std::atomic<bool> done{false};
+  std::string outcome;
+};
+
+std::vector<std::unique_ptr<Job>>& Jobs() {
+  static std::vector<std::unique_ptr<Job>> jobs;
+  return jobs;
+}
+
+void JoinJobs(bool print) {
+  for (std::unique_ptr<Job>& job : Jobs()) {
+    if (job->thread.joinable()) job->thread.join();
+    if (print) {
+      std::printf("job %d: %s  # %s\n", job->id, job->outcome.c_str(),
+                  job->query.c_str());
+    }
+  }
+}
 
 void DoQuery(Engine* engine, const std::string& graph,
              const std::string& text) {
@@ -131,6 +171,29 @@ bool HandleLine(Engine* engine, const std::string& raw) {
                 rdfql::RenderOpenMetrics(engine->MetricsSnapshot()).c_str());
     return true;
   }
+  if (cmd == ".ps") {
+    std::printf("%s", engine->InflightSnapshot().ToText().c_str());
+    return true;
+  }
+  if (cmd == ".jobs") {
+    for (const std::unique_ptr<Job>& job : Jobs()) {
+      bool done = job->done.load(std::memory_order_acquire);
+      std::printf("job %d: %s  # %s\n", job->id,
+                  done ? job->outcome.c_str() : "running",
+                  job->query.c_str());
+    }
+    return true;
+  }
+  if (cmd == ".wait") {
+    JoinJobs(/*print=*/true);
+    return true;
+  }
+  if (cmd == ".sleep") {
+    uint64_t ms = 0;
+    in >> ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return true;
+  }
   if (cmd == "dot") {
     std::string graph_name;
     in >> graph_name;
@@ -176,6 +239,25 @@ bool HandleLine(Engine* engine, const std::string& raw) {
   }
   in >> graph;
   std::getline(in, rest);
+  if (cmd == "spawn") {
+    auto job = std::make_unique<Job>();
+    job->id = static_cast<int>(Jobs().size()) + 1;
+    job->query = std::string(rdfql::StripWhitespace(rest));
+    Job* j = job.get();
+    std::string graph_copy = graph;
+    std::string text = job->query;
+    // Reads-only against the engine: safe to run concurrently with other
+    // queries, but don't load/mutate graphs while jobs are in flight.
+    job->thread = std::thread([engine, j, graph_copy, text] {
+      rdfql::Result<rdfql::MappingSet> r = engine->Query(graph_copy, text);
+      j->outcome = r.ok() ? "ok rows=" + std::to_string(r->size())
+                          : r.status().ToString();
+      j->done.store(true, std::memory_order_release);
+    });
+    std::printf("job %d spawned\n", j->id);
+    Jobs().push_back(std::move(job));
+    return true;
+  }
   if (cmd == "query") {
     DoQuery(engine, graph, rest);
   } else if (cmd == "ask") {
@@ -257,6 +339,8 @@ int main(int argc, char** argv) {
   bool demo = false;
   rdfql::ResourceLimits limits;
   rdfql::QueryLogOptions log_options;
+  rdfql::TelemetryOptions telemetry_options;
+  bool want_telemetry = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -275,11 +359,28 @@ int main(int argc, char** argv) {
       log_options.sample_every = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg.rfind("--watchdog-wall-ms=", 0) == 0) {
+      telemetry_options.watchdog.defaults.max_wall_ms =
+          std::strtoull(arg.c_str() + 19, nullptr, 10);
+      want_telemetry = true;
+    } else if (arg.rfind("--watchdog-max-mb=", 0) == 0) {
+      telemetry_options.watchdog.defaults.max_live_bytes =
+          std::strtoull(arg.c_str() + 18, nullptr, 10) * 1'000'000ull;
+      want_telemetry = true;
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_options.snapshot_path = arg.substr(16);
+      want_telemetry = true;
+    } else if (arg.rfind("--telemetry-interval-ms=", 0) == 0) {
+      telemetry_options.interval_ms =
+          std::strtoull(arg.c_str() + 24, nullptr, 10);
+      want_telemetry = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s (try --demo --timeout-ms=N --max-mb=N "
                    "--query-log=PATH --slow-ms=N --sample=N "
-                   "--metrics-out=PATH)\n",
+                   "--metrics-out=PATH --watchdog-wall-ms=N "
+                   "--watchdog-max-mb=N --telemetry-out=PATH "
+                   "--telemetry-interval-ms=N)\n",
                    arg.c_str());
       return 1;
     }
@@ -296,6 +397,16 @@ int main(int argc, char** argv) {
   }
   engine.SetQueryLog(&query_log);
   engine.EnableMetrics();
+  // `.ps` works out of the box; the sampler/watchdog thread only starts
+  // when a telemetry or watchdog flag asked for it.
+  engine.EnableLiveMonitoring();
+  if (want_telemetry) {
+    rdfql::Status st = engine.StartTelemetry(telemetry_options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   int rc = 0;
   if (demo) {
     rc = RunDemo(&engine);
@@ -305,6 +416,9 @@ int main(int argc, char** argv) {
       if (!HandleLine(&engine, line)) break;
     }
   }
+  JoinJobs(/*print=*/false);
+  // Final tick lands the end-state snapshot in --telemetry-out.
+  engine.StopTelemetry();
   if (!metrics_out.empty()) {
     std::string text = rdfql::RenderOpenMetrics(engine.MetricsSnapshot());
     std::ofstream out(metrics_out);

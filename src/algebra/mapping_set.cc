@@ -226,14 +226,20 @@ MappingSet MappingSet::JoinNestedLoop(const MappingSet& a,
                                       const MappingSet& b) {
   MappingSet out;
   uint64_t visited = 0;
+  bool cancelled = false;
   for (const Mapping& m1 : a) {
-    if ((++visited & (kCheckpointStride - 1)) == 0 &&
-        !CooperativeCheckpoint()) {
-      break;
-    }
+    // Cross products make the *pair* the unit of work: striding on the
+    // outer loop alone would let a handful of wide rows run unchecked
+    // (and unaccounted) for seconds between polls.
     for (const Mapping& m2 : b) {
+      if ((++visited & (kCheckpointStride - 1)) == 0 &&
+          !CooperativeCheckpoint()) {
+        cancelled = true;
+        break;
+      }
       if (m1.CompatibleWith(m2)) out.Add(m1.UnionWith(m2));
     }
+    if (cancelled) break;
   }
   if (OpCounters* oc = ScopedOpCounters::Current()) {
     oc->join_probes += static_cast<uint64_t>(a.size()) * b.size();

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "algebra/pattern_printer.h"
 #include "algebra/result_io.h"
 #include "analysis/fragments.h"
 #include "analysis/well_designed.h"
@@ -113,7 +114,24 @@ std::string LimitsString(const ResourceLimits& limits) {
   return out;
 }
 
+/// The log outcome for a failed query: "watchdog_cancelled" when this
+/// registration's slot says the watchdog tripped the token (and the status
+/// agrees it was a cancellation), the plain per-code token otherwise.
+const char* OutcomeForFailure(const Status& status, InflightSlot* slot) {
+  if (slot != nullptr && slot->watchdog_cancelled() &&
+      status.code() == StatusCode::kCancelled) {
+    return "watchdog_cancelled";
+  }
+  return OutcomeString(status.code());
+}
+
+bool WatchdogTripped(InflightSlot* slot) {
+  return slot != nullptr && slot->watchdog_cancelled();
+}
+
 }  // namespace
+
+Engine::~Engine() { StopTelemetry(); }
 
 std::string QueryExplanation::ToString() const {
   std::string out = "parse: " + PhaseString(parse_ns) +
@@ -183,6 +201,12 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
   if (log != nullptr) {
     return QueryLogged(graph_name, query, std::move(options), log);
   }
+  // Register with the in-flight registry (monitoring opt-in); the nested
+  // Eval below borrows this slot and fills in fragment, threads and the
+  // eval phase.
+  InflightScope monitor(live_monitoring_ ? &inflight_ : nullptr, graph_name,
+                        query, live_monitoring_ ? StableQueryHash(query) : 0);
+  if (monitor.slot() != nullptr) monitor.slot()->SetPhase(QueryPhase::kParsing);
   if (!collect_metrics_) {
     RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
     return Eval(graph_name, pattern, options);
@@ -204,6 +228,14 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
   rec.query = std::string(query);
   rec.unix_ms = UnixMs();
 
+  InflightScope monitor(live_monitoring_ ? &inflight_ : nullptr, graph_name,
+                        query, rec.query_hash);
+  InflightSlot* slot = monitor.slot();
+  if (slot != nullptr) {
+    slot->SetCorrelationId(rec.correlation_id);
+    slot->SetPhase(QueryPhase::kParsing);
+  }
+
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
   Result<PatternPtr> parsed = Parse(query);
@@ -220,6 +252,7 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
   }
   PatternPtr pattern = *std::move(parsed);
   rec.fragment = DescribeFragment(pattern);
+  if (slot != nullptr) slot->SetFragment(rec.fragment);
 
   Result<const Graph*> graph = GetGraph(graph_name);
   if (!graph.ok()) {
@@ -231,17 +264,28 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
 
   options = WithEngineDefaults(options);
   rec.threads = options.threads < 1 ? 1 : options.threads;
+  if (slot != nullptr) slot->SetThreads(rec.threads);
   if (collect_metrics_ && options.metrics == nullptr) {
     options.metrics = &metrics_;
   }
   // The log always accounts memory (its records carry peak figures); a
-  // caller-provided accountant wins, exactly as on the unlogged path.
+  // caller-provided accountant wins, exactly as on the unlogged path. With
+  // a registry slot, the slot-owned accountant is used instead of a local
+  // one so snapshots see the query's live figures, and the slot's token is
+  // wired in so the watchdog can cancel the query mid-flight.
   ResourceAccountant acct;
-  if (options.accountant == nullptr) options.accountant = &acct;
+  if (options.accountant == nullptr) {
+    options.accountant = slot != nullptr ? slot->accountant() : &acct;
+  }
+  if (slot != nullptr && options.cancel == nullptr) {
+    options.cancel = slot->token();
+  }
 
+  if (slot != nullptr) slot->SetPhase(QueryPhase::kEvaluating);
   t0 = NowNs();
   Result<MappingSet> result = Evaluator(*graph, options).EvalChecked(pattern);
   rec.eval_ns = NowNs() - t0;
+  if (slot != nullptr) slot->SetPhase(QueryPhase::kFinishing);
   // One measured value into both sinks: the engine histogram and the log
   // record see the same eval_ns, so rdfql_stats over the log reproduces
   // MetricsSnapshot's percentiles exactly.
@@ -255,8 +299,8 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
   if (result.ok()) {
     rec.rows_out = result.value().size();
   } else {
-    RecordRejection(result.status());
-    rec.outcome = OutcomeString(result.status().code());
+    RecordRejection(result.status(), WatchdogTripped(slot));
+    rec.outcome = OutcomeForFailure(result.status(), slot);
     rec.error = result.status().message();
   }
   rec.slow = CrossedSlowThreshold(rec, *log);
@@ -307,7 +351,26 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
                                 const PatternPtr& pattern,
                                 EvalOptions options) {
   RDFQL_ASSIGN_OR_RETURN(const Graph* graph, GetGraph(graph_name));
+  // Direct Eval calls register with the in-flight registry too; nested
+  // calls (Query -> Eval) borrow the slot their Query already registered.
+  // The pattern is printed back to its concrete syntax only when this call
+  // owns a fresh registration.
+  InflightRegistry* registry = live_monitoring_ ? &inflight_ : nullptr;
+  std::string pattern_text;
+  if (registry != nullptr && InflightScope::CurrentSlot() == nullptr) {
+    pattern_text = PatternToString(pattern, dict_);
+  }
+  InflightScope monitor(
+      registry, graph_name, pattern_text,
+      pattern_text.empty() ? 0 : StableQueryHash(pattern_text));
+  InflightSlot* slot = monitor.slot();
   options = WithEngineDefaults(options);
+  if (slot != nullptr) {
+    slot->SetFragment(DescribeFragment(pattern));
+    slot->SetThreads(options.threads < 1 ? 1 : options.threads);
+    if (options.accountant == nullptr) options.accountant = slot->accountant();
+    if (options.cancel == nullptr) options.cancel = slot->token();
+  }
   bool governed = options.governed();
   if (!collect_metrics_ && !governed) {
     return EvalPattern(*graph, pattern, options);
@@ -324,17 +387,19 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
   if (collect_metrics_ && options.accountant == nullptr) {
     options.accountant = &acct;
   }
+  if (slot != nullptr) slot->SetPhase(QueryPhase::kEvaluating);
   uint64_t t0 = NowNs();
   Result<MappingSet> result = Evaluator(graph, options).EvalChecked(pattern);
+  if (slot != nullptr) slot->SetPhase(QueryPhase::kFinishing);
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
     RecordAccounting(*options.accountant);
   }
-  if (!result.ok()) RecordRejection(result.status());
+  if (!result.ok()) RecordRejection(result.status(), WatchdogTripped(slot));
   return result;
 }
 
-void Engine::RecordRejection(const Status& status) {
+void Engine::RecordRejection(const Status& status, bool watchdog_cancelled) {
   switch (status.code()) {
     case StatusCode::kResourceExhausted:
       metrics_.GetCounter("engine.queries_rejected")->Inc();
@@ -344,11 +409,48 @@ void Engine::RecordRejection(const Status& status) {
       break;
     case StatusCode::kCancelled:
       metrics_.GetCounter("engine.queries_cancelled")->Inc();
+      if (watchdog_cancelled) {
+        metrics_.GetCounter("engine.queries_watchdog_cancelled")->Inc();
+      }
       break;
     default:
       break;
   }
 }
+
+RegistrySnapshot Engine::MetricsSnapshot() {
+  RefreshInflightGauges();
+  return metrics_.Snapshot();
+}
+
+void Engine::RefreshInflightGauges() {
+  metrics_.GetGauge("engine.queries_active")
+      ->Set(static_cast<int64_t>(inflight_.active()));
+  uint64_t live_mappings = 0;
+  uint64_t live_bytes = 0;
+  if (inflight_.active() != 0) {
+    for (const InflightQueryInfo& q : inflight_.Snapshot().queries) {
+      live_mappings += q.live_mappings;
+      live_bytes += q.live_bytes;
+    }
+  }
+  metrics_.GetGauge("inflight.live_mappings")
+      ->Set(static_cast<int64_t>(live_mappings));
+  metrics_.GetGauge("inflight.live_bytes")
+      ->Set(static_cast<int64_t>(live_bytes));
+}
+
+Status Engine::StartTelemetry(const TelemetryOptions& options) {
+  if (telemetry_ != nullptr) {
+    return Status::InvalidArgument("telemetry sampler already running");
+  }
+  EnableLiveMonitoring(true);
+  telemetry_ =
+      std::make_unique<TelemetrySampler>(&metrics_, &inflight_, options);
+  return Status::Ok();
+}
+
+void Engine::StopTelemetry() { telemetry_.reset(); }
 
 void Engine::RecordAccounting(const ResourceAccountant& acct) {
   metrics_.GetGauge("engine.peak_mappings")
@@ -375,6 +477,13 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     rec.query = std::string(query);
     rec.unix_ms = UnixMs();
   }
+  InflightScope monitor(live_monitoring_ ? &inflight_ : nullptr, graph_name,
+                        query, live_monitoring_ ? StableQueryHash(query) : 0);
+  InflightSlot* slot = monitor.slot();
+  if (slot != nullptr) {
+    slot->SetCorrelationId(rec.correlation_id);
+    slot->SetPhase(QueryPhase::kParsing);
+  }
   QueryExplanation out;
   out.correlation_id = rec.correlation_id;
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
@@ -394,6 +503,7 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   PatternPtr pattern = *std::move(parsed);
   rec.parse_ns = out.parse_ns;
   rec.fragment = DescribeFragment(pattern);
+  if (slot != nullptr) slot->SetFragment(rec.fragment);
   Result<const Graph*> graph_result = GetGraph(graph_name);
   if (!graph_result.ok()) {
     if (log != nullptr) {
@@ -405,20 +515,30 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   }
   const Graph* graph = *graph_result;
   options = WithEngineDefaults(options);
+  if (slot != nullptr) {
+    slot->SetThreads(options.threads < 1 ? 1 : options.threads);
+  }
   if (collect_metrics_ && options.metrics == nullptr) {
     options.metrics = &metrics_;
   }
-  // EXPLAIN ANALYZE always accounts memory, metrics opt-in or not.
-  ResourceAccountant acct;
-  options.accountant = &acct;
+  // EXPLAIN ANALYZE always accounts memory, metrics opt-in or not. With a
+  // registry slot the slot-owned accountant is used, so snapshots see the
+  // instrumented run's live figures.
+  ResourceAccountant local_acct;
+  ResourceAccountant* acct = slot != nullptr ? slot->accountant() : &local_acct;
+  options.accountant = acct;
   // Arm governance around the traced evaluation: ExplainEval's inner
-  // Evaluator polls the process-global token, so installing it here puts
-  // the instrumented run under the same limits as Engine::Eval.
+  // Evaluator polls the thread-local token, so installing it here puts
+  // the instrumented run under the same limits as Engine::Eval. A slot's
+  // token is installed even for ungoverned queries — that is the watchdog's
+  // only way in.
   out.limits = options.limits;
   bool governed = options.governed();
   CancellationToken local_token;
-  CancellationToken* token =
-      options.cancel != nullptr ? options.cancel : &local_token;
+  CancellationToken* token = options.cancel != nullptr ? options.cancel
+                             : slot != nullptr         ? slot->token()
+                                                       : &local_token;
+  bool enforced = governed || slot != nullptr;
   if (governed) {
     Deadline deadline = options.deadline;
     if (options.limits.max_wall_ms != 0) {
@@ -428,21 +548,23 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     token->ArmDeadline(deadline);
     if (options.limits.max_live_mappings != 0 ||
         options.limits.max_bytes != 0) {
-      acct.ArmCaps(options.limits.max_live_mappings, options.limits.max_bytes,
-                   token);
+      acct->ArmCaps(options.limits.max_live_mappings, options.limits.max_bytes,
+                    token);
     }
   }
+  if (slot != nullptr) slot->SetPhase(QueryPhase::kEvaluating);
   t0 = NowNs();
   {
     std::optional<ScopedCancellation> install;
-    if (governed) install.emplace(token);
+    if (enforced) install.emplace(token);
     out.explanation = ExplainEval(*graph, pattern, dict_, options);
   }
-  acct.DisarmCaps();
+  acct->DisarmCaps();
   out.eval_ns = NowNs() - t0;
-  out.peak_mappings = acct.peak_mappings();
-  out.peak_bytes = acct.peak_bytes();
-  out.total_mappings = acct.total_mappings();
+  if (slot != nullptr) slot->SetPhase(QueryPhase::kFinishing);
+  out.peak_mappings = acct->peak_mappings();
+  out.peak_bytes = acct->peak_bytes();
+  out.total_mappings = acct->total_mappings();
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.parse_ns")->Observe(out.parse_ns);
     Histogram* eval_hist = metrics_.GetHistogram("engine.eval_ns");
@@ -451,7 +573,7 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     out.eval_p50_ns = eval_hist->Percentile(0.5);
     out.eval_p90_ns = eval_hist->Percentile(0.9);
     out.eval_p99_ns = eval_hist->Percentile(0.99);
-    RecordAccounting(acct);
+    RecordAccounting(*acct);
   }
   if (out.correlation_id != 0 && out.explanation.plan != nullptr) {
     out.explanation.plan->counters.emplace_back("correlation_id",
@@ -464,9 +586,9 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     rec.peak_mappings = out.peak_mappings;
     rec.peak_bytes = out.peak_bytes;
     rec.total_mappings = out.total_mappings;
-    if (governed && token->cancelled()) {
+    if (enforced && token->cancelled()) {
       Status status = token->status();
-      rec.outcome = OutcomeString(status.code());
+      rec.outcome = OutcomeForFailure(status, slot);
       rec.error = status.message();
     }
     rec.slow = CrossedSlowThreshold(rec, *log);
@@ -476,9 +598,9 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     }
     log->Record(std::move(rec));
   }
-  if (governed && token->cancelled()) {
+  if (enforced && token->cancelled()) {
     Status status = token->status();
-    RecordRejection(status);
+    RecordRejection(status, WatchdogTripped(slot));
     return status;
   }
   return out;

@@ -13,9 +13,11 @@
 #include "eval/evaluator.h"
 #include "eval/explain.h"
 #include "obs/accounting.h"
+#include "obs/inflight.h"
 #include "obs/metrics.h"
 #include "obs/pipeline.h"
 #include "obs/query_log.h"
+#include "obs/telemetry.h"
 #include "parser/parser.h"
 #include "rdf/dictionary.h"
 #include "rdf/graph.h"
@@ -130,6 +132,7 @@ struct PatternReport {
 class Engine {
  public:
   Engine() = default;
+  ~Engine();  // stops the telemetry sampler before members go away
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -243,11 +246,50 @@ class Engine {
   /// metrics next to the engine's).
   MetricsRegistry* metrics() { return &metrics_; }
 
-  /// Point-in-time copy of every engine metric.
-  RegistrySnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+  /// Point-in-time copy of every engine metric. Refreshes the inflight
+  /// gauges (engine.queries_active, inflight.*) first, so a scrape sees the
+  /// registry's current occupancy without per-query gauge writes.
+  RegistrySnapshot MetricsSnapshot();
 
   /// Zeroes the engine's metrics (e.g. between bench cases).
   void ResetMetrics() { metrics_.Reset(); }
+
+  // --- Live monitoring ---
+
+  /// Turns the in-flight query registry on/off (off by default: the
+  /// unmonitored path stays as cheap as before this feature existed).
+  /// While enabled, every Query / QueryExplained / Eval registers a slot —
+  /// correlation id, query hash, fragment, current phase, live memory
+  /// figures, a cancellation handle — visible through InflightSnapshot(),
+  /// the shell's `.ps` command and rdfql_top. Registration also wires the
+  /// slot's accountant and token into queries that brought none of their
+  /// own, which is what lets the watchdog cancel them mid-flight.
+  void EnableLiveMonitoring(bool on = true) { live_monitoring_ = on; }
+  bool live_monitoring_enabled() const { return live_monitoring_; }
+
+  /// The registry itself (always present; populated only while live
+  /// monitoring is on). The telemetry sampler and watchdog read it.
+  InflightRegistry* inflight() { return &inflight_; }
+
+  /// Point-in-time view of the queries running right now.
+  rdfql::InflightSnapshot InflightSnapshot() const {
+    return inflight_.Snapshot();
+  }
+
+  /// Starts the background telemetry sampler (and the watchdog, when
+  /// `options.watchdog` enforces anything) over this engine's metrics and
+  /// registry. Implies EnableLiveMonitoring(). Fails if already running.
+  /// `options.interval_ms == 0` creates the sampler without a thread —
+  /// drive it manually with telemetry()->TickNow() (tests, single-shot
+  /// tools).
+  Status StartTelemetry(const TelemetryOptions& options);
+
+  /// Stops and destroys the sampler (takes a final tick first). Live
+  /// monitoring stays enabled. No-op when not running.
+  void StopTelemetry();
+
+  /// The running sampler, or null.
+  TelemetrySampler* telemetry() { return telemetry_.get(); }
 
  private:
   /// Applies the engine-wide thread default to per-query options.
@@ -270,8 +312,14 @@ class Engine {
   void RecordAccounting(const ResourceAccountant& acct);
 
   /// Counts a governance rejection (always recorded — rejections are rare
-  /// and the registry exists regardless of the metrics opt-in).
-  void RecordRejection(const Status& status);
+  /// and the registry exists regardless of the metrics opt-in). When the
+  /// slot says the watchdog did it, engine.queries_watchdog_cancelled is
+  /// counted on top of the plain cancellation counter.
+  void RecordRejection(const Status& status, bool watchdog_cancelled = false);
+
+  /// Copies the registry's occupancy into gauges/counters (called from
+  /// MetricsSnapshot so scrapes stay current at zero per-query cost).
+  void RefreshInflightGauges();
 
   Dictionary dict_;
   std::map<std::string, Graph> graphs_;
@@ -282,6 +330,9 @@ class Engine {
   int default_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // shared across queries; sized
                                       // default_threads_, created lazily
+  bool live_monitoring_ = false;
+  InflightRegistry inflight_;
+  std::unique_ptr<TelemetrySampler> telemetry_;
 };
 
 }  // namespace rdfql

@@ -4,8 +4,6 @@
 
 namespace rdfql {
 
-std::atomic<ResourceAccountant*> ResourceAccountant::current_{nullptr};
-
 void ResourceAccountant::MaybeTripCaps(uint64_t live_mappings,
                                        uint64_t live_bytes,
                                        CancellationToken* token) {

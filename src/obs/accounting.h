@@ -14,11 +14,11 @@ namespace rdfql {
 /// is installed via ScopedAccounting; with none installed — the common,
 /// unobserved path — each report is one relaxed atomic load and a branch.
 ///
-/// The install point is a process-global atomic (not thread-local) so pool
-/// workers created inside a parallel kernel report to the same accountant
-/// as the coordinating thread. The engine runs one query at a time per
-/// accountant; concurrent queries should each install their own registry-
-/// level accountant or accept merged numbers.
+/// The install point lives in the thread-local ExecContext (util/limits.h):
+/// each coordinating thread installs its own accountant, so concurrent
+/// queries are counted independently, and ThreadPool::ParallelFor installs
+/// the coordinator's context on every worker that claims the batch's tasks,
+/// so parallel kernels still report to the right accountant.
 ///
 /// Epochs: a MappingSet that outlives the accountant's Reset must not
 /// decrement counts it never incremented against the new epoch. Sets latch
@@ -96,14 +96,12 @@ class ResourceAccountant {
   }
   void DisarmCaps() { cap_token_.store(nullptr, std::memory_order_relaxed); }
 
-  /// The currently installed accountant, or null (the uncounted case).
+  /// The accountant installed on this thread, or null (the uncounted case).
   static ResourceAccountant* Current() {
-    return current_.load(std::memory_order_relaxed);
+    return CurrentExecContext().accountant;
   }
 
  private:
-  friend class ScopedAccounting;
-
   static void RaiseMax(std::atomic<uint64_t>* target, uint64_t candidate) {
     uint64_t seen = target->load(std::memory_order_relaxed);
     while (candidate > seen &&
@@ -127,20 +125,18 @@ class ResourceAccountant {
   std::atomic<uint64_t> cap_mappings_{0};
   std::atomic<uint64_t> cap_bytes_{0};
   std::atomic<CancellationToken*> cap_token_{nullptr};
-
-  static std::atomic<ResourceAccountant*> current_;
 };
 
-/// Installs an accountant for the enclosing scope, restoring the previous
-/// one on destruction. Null is a valid argument (uninstalls for the scope).
+/// Installs an accountant for the enclosing scope on this thread, restoring
+/// the previous one on destruction. Null is a valid argument (uninstalls
+/// for the scope).
 class ScopedAccounting {
  public:
   explicit ScopedAccounting(ResourceAccountant* acct)
-      : prev_(ResourceAccountant::current_.exchange(
-            acct, std::memory_order_relaxed)) {}
-  ~ScopedAccounting() {
-    ResourceAccountant::current_.store(prev_, std::memory_order_relaxed);
+      : prev_(CurrentExecContext().accountant) {
+    CurrentExecContext().accountant = acct;
   }
+  ~ScopedAccounting() { CurrentExecContext().accountant = prev_; }
   ScopedAccounting(const ScopedAccounting&) = delete;
   ScopedAccounting& operator=(const ScopedAccounting&) = delete;
 

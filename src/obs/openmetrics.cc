@@ -4,9 +4,38 @@
 #include <cstdlib>
 #include <limits>
 #include <set>
+#include <utility>
+#include <vector>
+
+#ifndef RDFQL_GIT_SHA
+#define RDFQL_GIT_SHA "unknown"
+#endif
+#ifndef RDFQL_BUILD_TYPE
+#define RDFQL_BUILD_TYPE "unknown"
+#endif
 
 namespace rdfql {
 namespace {
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+void AppendLabelEscaped(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
 
 // Registry names use dots ("engine.eval_ns"); the exposition format allows
 // [a-zA-Z0-9_:] with a non-digit first character.
@@ -37,6 +66,61 @@ bool ValidMetricName(std::string_view name) {
   return true;
 }
 
+bool ValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+/// Parses `name="value",...` (the exposition label-set grammar with \\, \"
+/// and \n escapes). Returns false on the first malformed pair.
+bool ParseLabelSet(std::string_view labels,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos < labels.size()) {
+    size_t eq = labels.find('=', pos);
+    if (eq == std::string_view::npos) return false;
+    std::string name(labels.substr(pos, eq - pos));
+    if (!ValidLabelName(name)) return false;
+    if (eq + 1 >= labels.size() || labels[eq + 1] != '"') return false;
+    std::string value;
+    size_t i = eq + 2;
+    bool closed = false;
+    while (i < labels.size()) {
+      char c = labels[i++];
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (i >= labels.size()) return false;
+        char esc = labels[i++];
+        if (esc == '\\') {
+          value.push_back('\\');
+        } else if (esc == '"') {
+          value.push_back('"');
+        } else if (esc == 'n') {
+          value.push_back('\n');
+        } else {
+          return false;
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (!closed) return false;
+    out->emplace_back(std::move(name), std::move(value));
+    if (i == labels.size()) return true;
+    if (labels[i] != ',') return false;
+    pos = i + 1;
+    if (pos == labels.size()) return false;  // trailing comma
+  }
+  return labels.empty();
+}
+
 bool ParseValue(std::string_view s, double* out) {
   if (s == "+Inf") {
     *out = std::numeric_limits<double>::infinity();
@@ -53,7 +137,7 @@ bool ParseValue(std::string_view s, double* out) {
 // State for the family currently being linted.
 struct FamilyState {
   std::string name;
-  std::string type;  // "counter" | "gauge" | "histogram"
+  std::string type;  // "counter" | "gauge" | "histogram" | "info"
   bool saw_sample = false;
   // Histogram bookkeeping.
   bool saw_inf_bucket = false;
@@ -97,9 +181,27 @@ bool FinishFamily(const FamilyState& fam, size_t line_no, std::string* error) {
 
 }  // namespace
 
+BuildInfo CurrentBuildInfo() {
+  BuildInfo info;
+  info.sha = RDFQL_GIT_SHA;
+  info.build = RDFQL_BUILD_TYPE;
+  return info;
+}
+
 std::string RenderOpenMetrics(const RegistrySnapshot& snapshot,
-                              std::string_view prefix) {
+                              std::string_view prefix,
+                              bool with_build_info) {
   std::string out;
+  if (with_build_info) {
+    BuildInfo info = CurrentBuildInfo();
+    std::string metric = SanitizedName(prefix, "build");
+    out += "# TYPE " + metric + " info\n";
+    out += metric + "_info{sha=\"";
+    AppendLabelEscaped(info.sha, &out);
+    out += "\",build=\"";
+    AppendLabelEscaped(info.build, &out);
+    out += "\"} 1\n";
+  }
   for (const auto& [name, v] : snapshot.counters) {
     std::string metric = SanitizedName(prefix, name);
     out += "# TYPE " + metric + " counter\n";
@@ -179,7 +281,8 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
       if (!ValidMetricName(name)) {
         return Fail(error, line_no, "invalid metric name '" + name + "'");
       }
-      if (type != "counter" && type != "gauge" && type != "histogram") {
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "info") {
         return Fail(error, line_no, "unknown metric type '" + type + "'");
       }
       if (!FinishFamily(fam, line_no, error)) return false;
@@ -204,7 +307,7 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
     if (!ValidMetricName(name)) {
       return Fail(error, line_no, "invalid sample name '" + name + "'");
     }
-    std::string le;
+    std::vector<std::pair<std::string, std::string>> sample_labels;
     size_t value_start = name_end;
     if (brace != std::string_view::npos) {
       size_t close = line.find('}', brace);
@@ -212,16 +315,19 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
         return Fail(error, line_no, "unterminated label set");
       }
       std::string_view labels = line.substr(brace + 1, close - brace - 1);
-      // The renderer only emits the `le` label; accept exactly that shape.
-      constexpr std::string_view kLe = "le=\"";
-      if (labels.substr(0, kLe.size()) != kLe || labels.empty() ||
-          labels.back() != '"') {
-        return Fail(error, line_no, "unsupported label set '" +
-                                        std::string(labels) + "'");
+      if (!ParseLabelSet(labels, &sample_labels)) {
+        return Fail(error, line_no,
+                    "malformed label set '" + std::string(labels) + "'");
       }
-      le = std::string(labels.substr(kLe.size(),
-                                     labels.size() - kLe.size() - 1));
       value_start = close + 1;
+    }
+    std::string le;
+    bool has_le = false;
+    for (const auto& [lname, lvalue] : sample_labels) {
+      if (lname == "le") {
+        le = lvalue;
+        has_le = true;
+      }
     }
     if (value_start >= line.size() || line[value_start] != ' ') {
       return Fail(error, line_no, "sample missing value");
@@ -241,18 +347,30 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
       if (value < 0) {
         return Fail(error, line_no, "negative counter value");
       }
-      if (!le.empty()) {
-        return Fail(error, line_no, "unexpected le label on counter");
+      if (!sample_labels.empty()) {
+        return Fail(error, line_no, "unexpected labels on counter");
       }
     } else if (fam.type == "gauge") {
       if (name != fam.name) {
         return Fail(error, line_no,
                     "gauge sample must be '" + fam.name + "'");
       }
+      if (!sample_labels.empty()) {
+        return Fail(error, line_no, "unexpected labels on gauge");
+      }
+    } else if (fam.type == "info") {
+      if (name != fam.name + "_info") {
+        return Fail(error, line_no,
+                    "info sample must be '" + fam.name + "_info'");
+      }
+      if (value != 1.0) {
+        return Fail(error, line_no, "info sample value must be 1");
+      }
     } else {  // histogram
       if (name == fam.name + "_bucket") {
-        if (le.empty()) {
-          return Fail(error, line_no, "histogram bucket missing le label");
+        if (!has_le || sample_labels.size() != 1) {
+          return Fail(error, line_no,
+                      "histogram bucket must carry exactly the le label");
         }
         double le_value = 0.0;
         if (!ParseValue(le, &le_value)) {
@@ -272,13 +390,13 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
           fam.inf_bucket_value = value;
         }
       } else if (name == fam.name + "_sum") {
-        if (!le.empty()) {
-          return Fail(error, line_no, "unexpected le label on _sum");
+        if (!sample_labels.empty()) {
+          return Fail(error, line_no, "unexpected labels on _sum");
         }
         fam.saw_sum = true;
       } else if (name == fam.name + "_count") {
-        if (!le.empty()) {
-          return Fail(error, line_no, "unexpected le label on _count");
+        if (!sample_labels.empty()) {
+          return Fail(error, line_no, "unexpected labels on _count");
         }
         fam.saw_count = true;
         fam.count_value = value;

@@ -8,12 +8,26 @@
 
 namespace rdfql {
 
+/// The build provenance rendered as the `<prefix>_build_info` metric:
+/// compile-time git sha and CMake build type, the OpenMetrics `info`
+/// convention for "which binary is this scrape from".
+struct BuildInfo {
+  std::string sha;
+  std::string build;
+};
+
+/// The values baked into this binary (RDFQL_GIT_SHA / RDFQL_BUILD_TYPE
+/// compile definitions; "unknown" when built without them).
+BuildInfo CurrentBuildInfo();
+
 /// Renders a registry snapshot in the OpenMetrics text exposition format
 /// (the Prometheus scrape format). Metric names are prefixed with
 /// `<prefix>_` and sanitized (dots become underscores); counters get the
 /// mandatory `_total` suffix; histograms render as cumulative
 /// `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` and
-/// `_count`. The output ends with the `# EOF` marker.
+/// `_count`. When `with_build_info` is set (the default) the exposition
+/// leads with a `<prefix>_build` info family carrying CurrentBuildInfo()
+/// as labels. The output ends with the `# EOF` marker.
 ///
 /// One approximation is documented rather than hidden: the engine's
 /// power-of-two buckets use exclusive upper bounds [lo, hi), while
@@ -21,18 +35,22 @@ namespace rdfql {
 /// each observation by at most one integer, which for nanosecond latencies
 /// is far below the bucket resolution.
 std::string RenderOpenMetrics(const RegistrySnapshot& snapshot,
-                              std::string_view prefix = "rdfql");
+                              std::string_view prefix = "rdfql",
+                              bool with_build_info = true);
 
 /// Validates `text` against the exposition-format grammar understood by
 /// RenderOpenMetrics — a self-contained linter (no network, no external
 /// tools) for CI. Checks: every line is a comment (`# TYPE ...`, `# HELP
 /// ...`, `# EOF`) or a `name{labels} value` sample; metric names are
-/// valid; a family's `# TYPE` precedes its samples and families are
-/// contiguous; counter samples carry the `_total` suffix; histogram
-/// families expose `_bucket`/`_sum`/`_count` with strictly increasing
-/// `le` values, non-decreasing cumulative counts, and a final
-/// `le="+Inf"` bucket equal to `_count`; the last line is `# EOF`.
-/// Returns false with a message in *error on the first violation.
+/// valid; label sets parse as `name="value",...` with valid label names
+/// and escaping; a family's `# TYPE` precedes its samples and families
+/// are contiguous; counter samples carry the `_total` suffix and no
+/// labels; histogram families expose `_bucket`/`_sum`/`_count` with
+/// strictly increasing `le` values, non-decreasing cumulative counts, and
+/// a final `le="+Inf"` bucket equal to `_count`; info samples carry the
+/// `_info` suffix, value 1, and an arbitrary label set; the last line is
+/// `# EOF`. Returns false with a message in *error on the first
+/// violation.
 bool LintOpenMetrics(std::string_view text, std::string* error);
 
 }  // namespace rdfql

@@ -1,0 +1,656 @@
+#include "obs/telemetry.h"
+
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace rdfql {
+namespace {
+
+uint64_t UnixNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+void AppendUint(const char* key, uint64_t v, bool* first, std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
+  *out += buf;
+}
+
+void AppendInt(const char* key, int64_t v, bool* first, std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, key, v);
+  *out += buf;
+}
+
+void AppendDouble(const char* key, double v, bool* first, std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, v);
+  *out += buf;
+}
+
+void AppendString(const char* key, std::string_view v, bool* first,
+                  std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  *out += key;
+  *out += "\":\"";
+  AppendJsonEscaped(v, out);
+  out->push_back('"');
+}
+
+void AppendBool(const char* key, bool v, bool* first, std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  *out += key;
+  *out += v ? "\":true" : "\":false";
+}
+
+void AppendBuckets(const char* key,
+                   const std::vector<std::pair<uint64_t, uint64_t>>& buckets,
+                   bool* first, std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  *out += key;
+  *out += "\":[";
+  bool inner_first = true;
+  char buf[64];
+  for (const auto& [bound, n] : buckets) {
+    if (!inner_first) out->push_back(',');
+    inner_first = false;
+    std::snprintf(buf, sizeof(buf), "[%" PRIu64 ",%" PRIu64 "]", bound, n);
+    *out += buf;
+  }
+  out->push_back(']');
+}
+
+bool PhaseFromName(std::string_view name, QueryPhase* out) {
+  if (name == "start") *out = QueryPhase::kStarting;
+  else if (name == "parse") *out = QueryPhase::kParsing;
+  else if (name == "eval") *out = QueryPhase::kEvaluating;
+  else if (name == "finish") *out = QueryPhase::kFinishing;
+  else return false;
+  return true;
+}
+
+/// Strict field-order parser for TelemetrySnapshot::ToJson output — the
+/// same hand-rolled discipline as the query-log reader (no JSON library).
+class SnapshotParser {
+ public:
+  explicit SnapshotParser(std::string_view text) : text_(text) {}
+
+  bool Fail(std::string* error, const std::string& message) {
+    if (error != nullptr) {
+      *error = message + " near offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  /// Eats `"key":`.
+  bool Key(const char* key) {
+    SkipWs();
+    size_t len = std::strlen(key);
+    if (pos_ + len + 3 > text_.size() || text_[pos_] != '"') return false;
+    if (text_.compare(pos_ + 1, len, key) != 0) return false;
+    if (text_[pos_ + 1 + len] != '"' || text_[pos_ + 2 + len] != ':') {
+      return false;
+    }
+    pos_ += len + 3;
+    return true;
+  }
+
+  bool ParseUint(uint64_t* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_]))) {
+      return false;
+    }
+    uint64_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
+    }
+    *out = v;
+    return true;
+  }
+
+  bool ParseInt(int64_t* out) {
+    SkipWs();
+    bool negative = pos_ < text_.size() && text_[pos_] == '-';
+    if (negative) ++pos_;
+    uint64_t v = 0;
+    if (!ParseUint(&v)) return false;
+    *out = negative ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+    return true;
+  }
+
+  bool ParseDouble(double* out) {
+    SkipWs();
+    char buf[64];
+    size_t n = 0;
+    while (pos_ + n < text_.size() && n + 1 < sizeof(buf)) {
+      char c = text_[pos_ + n];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
+        buf[n++] = c;
+      } else {
+        break;
+      }
+    }
+    if (n == 0) return false;
+    buf[n] = '\0';
+    char* end = nullptr;
+    *out = std::strtod(buf, &end);
+    if (end != buf + n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    SkipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      *out = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      *out = false;
+      pos_ += 5;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out->push_back(esc);
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseBuckets(std::vector<std::pair<uint64_t, uint64_t>>* out) {
+    if (!Eat('[')) return false;
+    if (Eat(']')) return true;
+    do {
+      uint64_t bound = 0, n = 0;
+      if (!Eat('[') || !ParseUint(&bound) || !Eat(',') || !ParseUint(&n) ||
+          !Eat(']')) {
+        return false;
+      }
+      out->emplace_back(bound, n);
+    } while (Eat(','));
+    return Eat(']');
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendInflightQuery(const InflightQueryInfo& q, std::string* out) {
+  bool first = true;
+  out->push_back('{');
+  AppendUint("slot", q.slot, &first, out);
+  AppendUint("generation", q.generation, &first, out);
+  AppendUint("id", q.correlation_id, &first, out);
+  AppendUint("hash", q.query_hash, &first, out);
+  AppendString("graph", q.graph, &first, out);
+  AppendString("query", q.query, &first, out);
+  AppendString("fragment", q.fragment, &first, out);
+  AppendString("phase", QueryPhaseName(q.phase), &first, out);
+  AppendUint("start_unix_ms", q.start_unix_ms, &first, out);
+  AppendUint("wall_ns", q.wall_ns, &first, out);
+  AppendUint("live_mappings", q.live_mappings, &first, out);
+  AppendUint("live_bytes", q.live_bytes, &first, out);
+  AppendUint("peak_bytes", q.peak_bytes, &first, out);
+  AppendInt("threads", q.threads, &first, out);
+  AppendBool("watchdog_cancelled", q.watchdog_cancelled, &first, out);
+  out->push_back('}');
+}
+
+bool ParseInflightQuery(SnapshotParser* p, InflightQueryInfo* q,
+                        std::string* error) {
+  uint64_t slot = 0;
+  int64_t threads = 1;
+  std::string phase;
+  if (!p->Eat('{') || !p->Key("slot") || !p->ParseUint(&slot) ||
+      !p->Eat(',') || !p->Key("generation") || !p->ParseUint(&q->generation) ||
+      !p->Eat(',') || !p->Key("id") || !p->ParseUint(&q->correlation_id) ||
+      !p->Eat(',') || !p->Key("hash") || !p->ParseUint(&q->query_hash) ||
+      !p->Eat(',') || !p->Key("graph") || !p->ParseString(&q->graph) ||
+      !p->Eat(',') || !p->Key("query") || !p->ParseString(&q->query) ||
+      !p->Eat(',') || !p->Key("fragment") || !p->ParseString(&q->fragment) ||
+      !p->Eat(',') || !p->Key("phase") || !p->ParseString(&phase) ||
+      !p->Eat(',') || !p->Key("start_unix_ms") ||
+      !p->ParseUint(&q->start_unix_ms) || !p->Eat(',') || !p->Key("wall_ns") ||
+      !p->ParseUint(&q->wall_ns) || !p->Eat(',') || !p->Key("live_mappings") ||
+      !p->ParseUint(&q->live_mappings) || !p->Eat(',') ||
+      !p->Key("live_bytes") || !p->ParseUint(&q->live_bytes) || !p->Eat(',') ||
+      !p->Key("peak_bytes") || !p->ParseUint(&q->peak_bytes) || !p->Eat(',') ||
+      !p->Key("threads") || !p->ParseInt(&threads) || !p->Eat(',') ||
+      !p->Key("watchdog_cancelled") || !p->ParseBool(&q->watchdog_cancelled) ||
+      !p->Eat('}')) {
+    return p->Fail(error, "malformed inflight query");
+  }
+  q->slot = static_cast<size_t>(slot);
+  q->threads = static_cast<int>(threads);
+  if (!PhaseFromName(phase, &q->phase)) {
+    return p->Fail(error, "unknown phase '" + phase + "'");
+  }
+  return true;
+}
+
+bool ParseWindow(SnapshotParser* p, TelemetryWindow* w, std::string* error) {
+  if (!p->Eat('{') || !p->Key("end_unix_ms") || !p->ParseUint(&w->end_unix_ms) ||
+      !p->Eat(',') || !p->Key("seconds") || !p->ParseDouble(&w->seconds) ||
+      !p->Eat(',') || !p->Key("queries") || !p->ParseUint(&w->queries) ||
+      !p->Eat(',') || !p->Key("rejections") || !p->ParseUint(&w->rejections) ||
+      !p->Eat(',') || !p->Key("watchdog_cancels") ||
+      !p->ParseUint(&w->watchdog_cancels) || !p->Eat(',') ||
+      !p->Key("eval_count") || !p->ParseUint(&w->eval_count) || !p->Eat(',') ||
+      !p->Key("eval_buckets") || !p->ParseBuckets(&w->eval_buckets) ||
+      !p->Eat('}')) {
+    return p->Fail(error, "malformed telemetry window");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WatchdogPolicy::Enabled() const {
+  if (defaults.Enforced()) return true;
+  for (const auto& [fragment, limits] : per_fragment) {
+    if (limits.Enforced()) return true;
+  }
+  return false;
+}
+
+const WatchdogLimits& WatchdogPolicy::For(const std::string& fragment) const {
+  auto it = per_fragment.find(fragment);
+  return it != per_fragment.end() ? it->second : defaults;
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  bool first = true;
+  out.push_back('{');
+  AppendUint("unix_ms", unix_ms, &first, &out);
+  AppendUint("interval_ms", interval_ms, &first, &out);
+  AppendUint("ticks", ticks, &first, &out);
+  AppendUint("queries_total", queries_total, &first, &out);
+  AppendUint("rejected_total", rejected_total, &first, &out);
+  AppendUint("watchdog_cancelled_total", watchdog_cancelled_total, &first,
+             &out);
+  AppendInt("queries_active", queries_active, &first, &out);
+  AppendDouble("qps", qps, &first, &out);
+  AppendDouble("rejections_per_s", rejections_per_s, &first, &out);
+  AppendDouble("eval_p50_ns", eval_p50_ns, &first, &out);
+  AppendDouble("eval_p99_ns", eval_p99_ns, &first, &out);
+  out += ",\"windows\":[";
+  bool wfirst = true;
+  for (const TelemetryWindow& w : windows) {
+    if (!wfirst) out.push_back(',');
+    wfirst = false;
+    bool f = true;
+    out.push_back('{');
+    AppendUint("end_unix_ms", w.end_unix_ms, &f, &out);
+    AppendDouble("seconds", w.seconds, &f, &out);
+    AppendUint("queries", w.queries, &f, &out);
+    AppendUint("rejections", w.rejections, &f, &out);
+    AppendUint("watchdog_cancels", w.watchdog_cancels, &f, &out);
+    AppendUint("eval_count", w.eval_count, &f, &out);
+    AppendBuckets("eval_buckets", w.eval_buckets, &f, &out);
+    out.push_back('}');
+  }
+  out += "],\"inflight\":{";
+  bool ifirst = true;
+  AppendUint("unix_ms", inflight.unix_ms, &ifirst, &out);
+  AppendUint("registered_total", inflight.registered_total, &ifirst, &out);
+  AppendUint("watchdog_cancelled_total", inflight.watchdog_cancelled_total,
+             &ifirst, &out);
+  out += ",\"queries\":[";
+  bool qfirst = true;
+  for (const InflightQueryInfo& q : inflight.queries) {
+    if (!qfirst) out.push_back(',');
+    qfirst = false;
+    AppendInflightQuery(q, &out);
+  }
+  out += "]}}";
+  return out;
+}
+
+bool ParseTelemetrySnapshot(std::string_view json, TelemetrySnapshot* out,
+                            std::string* error) {
+  *out = TelemetrySnapshot();
+  SnapshotParser p(json);
+  if (!p.Eat('{') || !p.Key("unix_ms") || !p.ParseUint(&out->unix_ms) ||
+      !p.Eat(',') || !p.Key("interval_ms") ||
+      !p.ParseUint(&out->interval_ms) || !p.Eat(',') || !p.Key("ticks") ||
+      !p.ParseUint(&out->ticks) || !p.Eat(',') || !p.Key("queries_total") ||
+      !p.ParseUint(&out->queries_total) || !p.Eat(',') ||
+      !p.Key("rejected_total") || !p.ParseUint(&out->rejected_total) ||
+      !p.Eat(',') || !p.Key("watchdog_cancelled_total") ||
+      !p.ParseUint(&out->watchdog_cancelled_total) || !p.Eat(',') ||
+      !p.Key("queries_active") || !p.ParseInt(&out->queries_active) ||
+      !p.Eat(',') || !p.Key("qps") || !p.ParseDouble(&out->qps) ||
+      !p.Eat(',') || !p.Key("rejections_per_s") ||
+      !p.ParseDouble(&out->rejections_per_s) || !p.Eat(',') ||
+      !p.Key("eval_p50_ns") || !p.ParseDouble(&out->eval_p50_ns) ||
+      !p.Eat(',') || !p.Key("eval_p99_ns") ||
+      !p.ParseDouble(&out->eval_p99_ns)) {
+    return p.Fail(error, "malformed telemetry header");
+  }
+  if (!p.Eat(',') || !p.Key("windows") || !p.Eat('[')) {
+    return p.Fail(error, "missing windows array");
+  }
+  if (!p.Peek(']')) {
+    do {
+      TelemetryWindow w;
+      if (!ParseWindow(&p, &w, error)) return false;
+      out->windows.push_back(std::move(w));
+    } while (p.Eat(','));
+  }
+  if (!p.Eat(']')) return p.Fail(error, "unterminated windows array");
+  if (!p.Eat(',') || !p.Key("inflight") || !p.Eat('{') || !p.Key("unix_ms") ||
+      !p.ParseUint(&out->inflight.unix_ms) || !p.Eat(',') ||
+      !p.Key("registered_total") ||
+      !p.ParseUint(&out->inflight.registered_total) || !p.Eat(',') ||
+      !p.Key("watchdog_cancelled_total") ||
+      !p.ParseUint(&out->inflight.watchdog_cancelled_total) || !p.Eat(',') ||
+      !p.Key("queries") || !p.Eat('[')) {
+    return p.Fail(error, "malformed inflight section");
+  }
+  if (!p.Peek(']')) {
+    do {
+      InflightQueryInfo q;
+      if (!ParseInflightQuery(&p, &q, error)) return false;
+      out->inflight.queries.push_back(std::move(q));
+    } while (p.Eat(','));
+  }
+  if (!p.Eat(']') || !p.Eat('}') || !p.Eat('}') || !p.AtEnd()) {
+    return p.Fail(error, "trailing content");
+  }
+  return true;
+}
+
+TelemetrySampler::TelemetrySampler(MetricsRegistry* metrics,
+                                   InflightRegistry* inflight,
+                                   TelemetryOptions options)
+    : metrics_(metrics), inflight_(inflight), options_(std::move(options)) {
+  prev_steady_ns_ = SteadyNowNs();
+  if (options_.window_count == 0) options_.window_count = 1;
+  if (options_.interval_ms > 0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  loop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One final tick so the snapshot (and its file) reflects the end state.
+  TickNow();
+}
+
+void TelemetrySampler::TickNow() { Tick(); }
+
+uint64_t TelemetrySampler::ticks() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return ticks_;
+}
+
+TelemetrySnapshot TelemetrySampler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return latest_;
+}
+
+void TelemetrySampler::Loop() {
+  std::unique_lock<std::mutex> lock(loop_mu_);
+  while (true) {
+    loop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                      [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::Tick() {
+  // Watchdog sweep first, so a cancellation issued this tick is visible in
+  // the snapshot taken just below (the slot's flag and wall time persist
+  // until the query observes the token and unregisters).
+  if (inflight_ != nullptr && options_.watchdog.Enabled()) {
+    InflightSnapshot sweep = inflight_->Snapshot();
+    for (const InflightQueryInfo& q : sweep.queries) {
+      if (q.watchdog_cancelled) continue;
+      const WatchdogLimits& limits = options_.watchdog.For(q.fragment);
+      uint64_t wall_ms = q.wall_ns / 1'000'000ull;
+      char reason[160];
+      if (limits.max_wall_ms != 0 && wall_ms > limits.max_wall_ms) {
+        std::snprintf(reason, sizeof(reason),
+                      "watchdog: query exceeded max_wall_ms=%" PRIu64
+                      " (ran %" PRIu64 " ms)",
+                      limits.max_wall_ms, wall_ms);
+        inflight_->WatchdogCancel(q.slot, q.generation,
+                                  Status::Cancelled(reason));
+      } else if (limits.max_live_bytes != 0 &&
+                 q.live_bytes > limits.max_live_bytes) {
+        std::snprintf(reason, sizeof(reason),
+                      "watchdog: query exceeded max_live_bytes=%" PRIu64
+                      " (~%" PRIu64 " bytes live)",
+                      limits.max_live_bytes, q.live_bytes);
+        inflight_->WatchdogCancel(q.slot, q.generation,
+                                  Status::Cancelled(reason));
+      }
+    }
+  }
+
+  uint64_t now_steady = SteadyNowNs();
+  RegistrySnapshot m = metrics_ != nullptr ? metrics_->Snapshot()
+                                           : RegistrySnapshot();
+  InflightSnapshot inf =
+      inflight_ != nullptr ? inflight_->Snapshot() : InflightSnapshot();
+
+  auto counter = [&m](const char* name) -> uint64_t {
+    auto it = m.counters.find(name);
+    return it != m.counters.end() ? it->second : 0;
+  };
+  uint64_t queries = counter("engine.queries");
+  uint64_t rejections = counter("engine.queries_rejected") +
+                        counter("engine.queries_deadline_exceeded") +
+                        counter("engine.queries_cancelled");
+  uint64_t watchdog = inf.watchdog_cancelled_total;
+  uint64_t eval_count = 0;
+  std::map<uint64_t, uint64_t> eval_buckets;
+  if (auto it = m.histograms.find("engine.eval_ns");
+      it != m.histograms.end()) {
+    eval_count = it->second.count;
+    for (const auto& [bound, n] : it->second.buckets) eval_buckets[bound] = n;
+  }
+
+  TelemetrySnapshot published;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    TelemetryWindow w;
+    w.end_unix_ms = inf.unix_ms != 0 ? inf.unix_ms : UnixNowMs();
+    w.seconds =
+        static_cast<double>(SaturatingSub(now_steady, prev_steady_ns_)) / 1e9;
+    w.queries = SaturatingSub(queries, prev_queries_);
+    w.rejections = SaturatingSub(rejections, prev_rejections_);
+    w.watchdog_cancels = SaturatingSub(watchdog, prev_watchdog_);
+    w.eval_count = SaturatingSub(eval_count, prev_eval_count_);
+    for (const auto& [bound, n] : eval_buckets) {
+      auto it = prev_eval_buckets_.find(bound);
+      uint64_t delta = SaturatingSub(n, it != prev_eval_buckets_.end()
+                                            ? it->second
+                                            : 0);
+      if (delta > 0) w.eval_buckets.emplace_back(bound, delta);
+    }
+    prev_steady_ns_ = now_steady;
+    prev_queries_ = queries;
+    prev_rejections_ = rejections;
+    prev_watchdog_ = watchdog;
+    prev_eval_count_ = eval_count;
+    prev_eval_buckets_ = std::move(eval_buckets);
+    have_prev_ = true;
+
+    windows_.push_back(std::move(w));
+    while (windows_.size() > options_.window_count) windows_.pop_front();
+
+    // Aggregate the retained windows into the published rates.
+    TelemetrySnapshot snap;
+    snap.unix_ms = windows_.back().end_unix_ms;
+    snap.interval_ms = options_.interval_ms;
+    snap.ticks = ++ticks_;
+    snap.queries_total = queries;
+    snap.rejected_total = rejections;
+    snap.watchdog_cancelled_total = watchdog;
+    snap.queries_active = static_cast<int64_t>(inf.queries.size());
+    double seconds = 0;
+    uint64_t window_queries = 0, window_rejections = 0, window_evals = 0;
+    std::map<uint64_t, uint64_t> merged;
+    for (const TelemetryWindow& win : windows_) {
+      seconds += win.seconds;
+      window_queries += win.queries;
+      window_rejections += win.rejections;
+      window_evals += win.eval_count;
+      for (const auto& [bound, n] : win.eval_buckets) merged[bound] += n;
+    }
+    if (seconds > 0) {
+      snap.qps = static_cast<double>(window_queries) / seconds;
+      snap.rejections_per_s = static_cast<double>(window_rejections) / seconds;
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> merged_vec(merged.begin(),
+                                                          merged.end());
+    snap.eval_p50_ns = HistogramPercentile(merged_vec, window_evals, 0.50);
+    snap.eval_p99_ns = HistogramPercentile(merged_vec, window_evals, 0.99);
+    snap.windows.assign(windows_.begin(), windows_.end());
+    snap.inflight = std::move(inf);
+    latest_ = snap;
+    published = std::move(snap);
+  }
+  WriteSnapshotFile(published);
+}
+
+void TelemetrySampler::WriteSnapshotFile(const TelemetrySnapshot& snap) {
+  if (options_.snapshot_path.empty()) return;
+  std::string tmp = options_.snapshot_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  std::string json = snap.ToJson();
+  json.push_back('\n');
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  // Atomic hand-off: readers (rdfql_top) always see a complete snapshot.
+  std::rename(tmp.c_str(), options_.snapshot_path.c_str());
+}
+
+}  // namespace rdfql

@@ -1,0 +1,160 @@
+#ifndef RDFQL_OBS_TELEMETRY_H_
+#define RDFQL_OBS_TELEMETRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/inflight.h"
+#include "obs/metrics.h"
+
+namespace rdfql {
+
+/// One fragment's (or the default) watchdog budget. 0 means unlimited,
+/// matching the ResourceLimits convention.
+struct WatchdogLimits {
+  uint64_t max_wall_ms = 0;
+  uint64_t max_live_bytes = 0;
+
+  bool Enforced() const { return (max_wall_ms | max_live_bytes) != 0; }
+};
+
+/// The slow-query watchdog policy: default budgets plus optional overrides
+/// keyed by the query's fragment string (DescribeFragment(), e.g.
+/// "NS-SPARQL") — the paper's fragments are exactly the risk classes (an
+/// NS or OPT-heavy query can blow up where a SPARQL[AUF] one cannot), so
+/// per-fragment budgets put tighter leashes on the dangerous shapes.
+struct WatchdogPolicy {
+  WatchdogLimits defaults;
+  std::map<std::string, WatchdogLimits> per_fragment;
+
+  bool Enabled() const;
+  /// The limits applying to `fragment`: the override when present, else
+  /// the defaults.
+  const WatchdogLimits& For(const std::string& fragment) const;
+};
+
+/// One sampling window: the delta of the engine's cumulative counters (and
+/// the eval-latency histogram) across one sampler tick.
+struct TelemetryWindow {
+  uint64_t end_unix_ms = 0;
+  double seconds = 0;
+  uint64_t queries = 0;
+  uint64_t rejections = 0;  // rejected + deadline_exceeded + cancelled
+  uint64_t watchdog_cancels = 0;
+  uint64_t eval_count = 0;
+  /// (exclusive upper bound, observations) deltas of engine.eval_ns for
+  /// the window's non-empty buckets — windowed percentiles come from
+  /// merging these, not from the cumulative histogram.
+  std::vector<std::pair<uint64_t, uint64_t>> eval_buckets;
+};
+
+/// What the sampler publishes each tick: cumulative totals, rates and
+/// percentiles over the retained windows, the windows themselves (oldest
+/// first), and the embedded in-flight registry snapshot. Serializable to a
+/// single JSON object so rdfql_top (or anything else) can follow a file.
+struct TelemetrySnapshot {
+  uint64_t unix_ms = 0;
+  uint64_t interval_ms = 0;
+  uint64_t ticks = 0;
+  uint64_t queries_total = 0;
+  uint64_t rejected_total = 0;
+  uint64_t watchdog_cancelled_total = 0;
+  int64_t queries_active = 0;
+  double qps = 0;
+  double rejections_per_s = 0;
+  double eval_p50_ns = 0;
+  double eval_p99_ns = 0;
+  std::vector<TelemetryWindow> windows;
+  InflightSnapshot inflight;
+
+  std::string ToJson() const;
+};
+
+/// Parses a snapshot produced by TelemetrySnapshot::ToJson (strict field
+/// order, same discipline as the query-log reader). Returns false with a
+/// diagnostic in `*error` on malformed input.
+bool ParseTelemetrySnapshot(std::string_view json, TelemetrySnapshot* out,
+                            std::string* error);
+
+struct TelemetryOptions {
+  /// Tick period. 0 disables the background thread: the owner drives the
+  /// sampler with TickNow() (tests, single-shot tools).
+  uint64_t interval_ms = 1000;
+  /// Sliding windows retained for the rate/percentile aggregates.
+  size_t window_count = 60;
+  WatchdogPolicy watchdog;
+  /// When non-empty, every tick atomically rewrites this file (temp +
+  /// rename) with the current TelemetrySnapshot JSON — the hand-off point
+  /// to rdfql_top.
+  std::string snapshot_path;
+};
+
+/// The windowed telemetry sampler + slow-query watchdog. A background
+/// thread ticks every interval: it diffs the metrics registry's cumulative
+/// counters into a sliding-window view (QPS, rejections/s, windowed
+/// p50/p99 of engine.eval_ns), sweeps the in-flight registry against the
+/// watchdog policy — cancelling offenders through their own tokens — and
+/// publishes the combined snapshot in memory and optionally to a file.
+///
+/// The sampler only reads the registries it is given; it never blocks a
+/// query (per-slot locks are held for field copies only).
+class TelemetrySampler {
+ public:
+  /// `metrics` and `inflight` must outlive the sampler. Starts the
+  /// background thread unless options.interval_ms == 0.
+  TelemetrySampler(MetricsRegistry* metrics, InflightRegistry* inflight,
+                   TelemetryOptions options);
+  ~TelemetrySampler();
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Stops the background thread (idempotent). Runs one final tick so the
+  /// snapshot file reflects the end state.
+  void Stop();
+
+  /// Runs one tick synchronously on the calling thread.
+  void TickNow();
+
+  /// The most recently published snapshot (empty before the first tick).
+  TelemetrySnapshot Snapshot() const;
+
+  uint64_t ticks() const;
+
+ private:
+  void Loop();
+  void Tick();
+  void WriteSnapshotFile(const TelemetrySnapshot& snap);
+
+  MetricsRegistry* metrics_;
+  InflightRegistry* inflight_;
+  TelemetryOptions options_;
+
+  mutable std::mutex state_mu_;
+  // Previous tick's cumulative readings (all guarded by state_mu_).
+  bool have_prev_ = false;
+  uint64_t prev_steady_ns_ = 0;
+  uint64_t prev_queries_ = 0;
+  uint64_t prev_rejections_ = 0;
+  uint64_t prev_watchdog_ = 0;
+  uint64_t prev_eval_count_ = 0;
+  std::map<uint64_t, uint64_t> prev_eval_buckets_;
+  std::deque<TelemetryWindow> windows_;
+  TelemetrySnapshot latest_;
+  uint64_t ticks_ = 0;
+
+  std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_OBS_TELEMETRY_H_

@@ -1,10 +1,12 @@
 #include "rdf/dictionary.h"
 
+#include <mutex>
+
 #include "util/check.h"
 
 namespace rdfql {
 
-TermId Dictionary::InternIri(std::string_view iri) {
+TermId Dictionary::InternIriLocked(std::string_view iri) {
   auto it = iri_index_.find(std::string(iri));
   if (it != iri_index_.end()) return it->second;
   TermId id = static_cast<TermId>(iris_.size());
@@ -16,7 +18,7 @@ TermId Dictionary::InternIri(std::string_view iri) {
   return id;
 }
 
-VarId Dictionary::InternVar(std::string_view name) {
+VarId Dictionary::InternVarLocked(std::string_view name) {
   auto it = var_index_.find(std::string(name));
   if (it != var_index_.end()) return it->second;
   VarId id = static_cast<VarId>(vars_.size());
@@ -26,22 +28,48 @@ VarId Dictionary::InternVar(std::string_view name) {
   return id;
 }
 
+TermId Dictionary::InternIri(std::string_view iri) {
+  // Fast path: most interns are repeat lookups — resolve them under the
+  // shared lock and take the exclusive one only for genuinely new names.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = iri_index_.find(std::string(iri));
+    if (it != iri_index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InternIriLocked(iri);
+}
+
+VarId Dictionary::InternVar(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = var_index_.find(std::string(name));
+    if (it != var_index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InternVarLocked(name);
+}
+
 TermId Dictionary::FindIri(std::string_view iri) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = iri_index_.find(std::string(iri));
   return it == iri_index_.end() ? kInvalidTermId : it->second;
 }
 
 VarId Dictionary::FindVar(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = var_index_.find(std::string(name));
   return it == var_index_.end() ? kInvalidVarId : it->second;
 }
 
 const std::string& Dictionary::IriName(TermId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   RDFQL_CHECK(id < iris_.size());
   return iris_[id];
 }
 
 const std::string& Dictionary::VarName(VarId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   RDFQL_CHECK(id < vars_.size());
   return vars_[id];
 }
@@ -52,21 +80,23 @@ std::string Dictionary::TermName(Term t) const {
 }
 
 VarId Dictionary::FreshVar(std::string_view stem) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (;;) {
     std::string candidate =
         std::string(stem) + "_f" + std::to_string(fresh_counter_++);
     if (var_index_.find(candidate) == var_index_.end()) {
-      return InternVar(candidate);
+      return InternVarLocked(candidate);
     }
   }
 }
 
 TermId Dictionary::FreshIri(std::string_view stem) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (;;) {
     std::string candidate =
         std::string(stem) + "_i" + std::to_string(fresh_counter_++);
     if (iri_index_.find(candidate) == iri_index_.end()) {
-      return InternIri(candidate);
+      return InternIriLocked(candidate);
     }
   }
 }

@@ -1,6 +1,8 @@
 #ifndef RDFQL_RDF_DICTIONARY_H_
 #define RDFQL_RDF_DICTIONARY_H_
 
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -16,6 +18,14 @@ namespace rdfql {
 /// (typically owned by `Engine`); ids are dense and stable, which lets the
 /// algebra work on 32-bit integers instead of strings. Following the paper
 /// we allow any string to be used as an IRI.
+///
+/// Thread-safe: lookups take a shared lock, interning upgrades to an
+/// exclusive one only on a miss, and the evaluation kernels never touch
+/// the dictionary at all (they work on ids) — so concurrent queries (the
+/// shell's `spawn`, anything behind the in-flight registry) only contend
+/// here during parse and result rendering. Names are stored in deques, so
+/// the references `IriName`/`VarName` return stay valid while other
+/// threads intern.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -44,8 +54,14 @@ class Dictionary {
   /// Renders a term: IRIs verbatim, variables with a leading '?'.
   std::string TermName(Term t) const;
 
-  size_t iri_count() const { return iris_.size(); }
-  size_t var_count() const { return vars_.size(); }
+  size_t iri_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return iris_.size();
+  }
+  size_t var_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return vars_.size();
+  }
 
   /// Interns a fresh variable name guaranteed not to collide with any
   /// existing variable (used by renaming transformations, Appendix E/F).
@@ -56,8 +72,15 @@ class Dictionary {
   TermId FreshIri(std::string_view stem);
 
  private:
-  std::vector<std::string> iris_;
-  std::vector<std::string> vars_;
+  /// Intern bodies for callers already holding mu_ exclusively.
+  TermId InternIriLocked(std::string_view iri);
+  VarId InternVarLocked(std::string_view name);
+
+  mutable std::shared_mutex mu_;
+  // Deques, not vectors: growth never moves existing names, so the
+  // references handed out by IriName/VarName survive concurrent interning.
+  std::deque<std::string> iris_;
+  std::deque<std::string> vars_;
   std::unordered_map<std::string, TermId> iri_index_;
   std::unordered_map<std::string, VarId> var_index_;
   uint64_t fresh_counter_ = 0;

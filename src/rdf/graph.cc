@@ -1,7 +1,9 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <mutex>
 #include <tuple>
+#include <utility>
 
 namespace rdfql {
 namespace {
@@ -83,6 +85,31 @@ size_t ScanPrefix(const std::vector<Triple>& base,
 
 }  // namespace
 
+// Hand-written because the index mutex is neither copyable nor movable.
+// Copies are reads of `other` and may run concurrently with its lookups,
+// so they take its shared lock while the indexes are duplicated; moves
+// require exclusive ownership of both sides (like any other write).
+Graph::Graph(const Graph& other) { *this = other; }
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  std::shared_lock<std::shared_mutex> lock(other.index_mu_);
+  triples_ = other.triples_;
+  set_ = other.set_;
+  for (int i = 0; i < 3; ++i) index_[i] = other.index_[i];
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept { *this = std::move(other); }
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  triples_ = std::move(other.triples_);
+  set_ = std::move(other.set_);
+  for (int i = 0; i < 3; ++i) index_[i] = std::move(other.index_[i]);
+  return *this;
+}
+
 bool Graph::Insert(const Triple& t) {
   if (!set_.insert(t).second) return false;
   triples_.push_back(t);
@@ -109,6 +136,18 @@ bool Graph::Erase(const Triple& t) {
 }
 
 void Graph::EnsureIndex(IndexKind kind) const {
+  // Concurrent queries can hit the first lookup on a freshly loaded graph
+  // together, so the lazy build is double-checked: the common "already
+  // covered" case costs one shared lock, and exactly one thread performs
+  // the build. A reader that observes covered == size() here may then
+  // scan without the lock — covered only ever advances to size(), and
+  // nothing mutates a covering index until the next (externally
+  // serialized) write.
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    if (index_[kind].covered == triples_.size()) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   Index& idx = index_[kind];
   if (idx.covered == triples_.size()) return;
   size_t added = triples_.size() - idx.covered;
@@ -225,6 +264,8 @@ size_t Graph::ApproxBytes() const {
   // materialized indexes (base + side capacity) count.
   size_t bytes = triples_.capacity() * sizeof(Triple) +
                  set_.size() * (sizeof(Triple) + 2 * sizeof(void*));
+  // The metrics gauge refresh may run while queries are building indexes.
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
   for (const Index& idx : index_) {
     bytes += (idx.base.capacity() + idx.side.capacity()) * sizeof(Triple);
   }

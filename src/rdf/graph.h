@@ -2,6 +2,7 @@
 #define RDFQL_RDF_GRAPH_H_
 
 #include <functional>
+#include <shared_mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -25,14 +26,22 @@ namespace rdfql {
 /// from scratch — so interleaved insert/match workloads (updates, graph
 /// generators) pay O(side · log side) per touched index instead of a full
 /// O(n log n) re-sort after every insert.
+///
+/// Concurrent *reads* (Match, CountMatches, ApproxBytes, copies) are
+/// thread-safe: the lazy index build is guarded by a shared mutex, and
+/// once an index covers the full triple set readers scan it without
+/// taking the lock (nothing mutates it again until a write). Writes
+/// (Insert/Erase) are not synchronized against readers — same contract
+/// as the rest of the engine: load, then query from as many threads as
+/// you like.
 class Graph {
  public:
   Graph() = default;
 
-  Graph(const Graph&) = default;
-  Graph& operator=(const Graph&) = default;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Inserts a triple; returns true if it was new.
   bool Insert(const Triple& t);
@@ -93,6 +102,9 @@ class Graph {
   std::vector<Triple> triples_;
   std::unordered_set<Triple> set_;
 
+  // Guards the lazy builds of index_ (EnsureIndex) against concurrent
+  // readers; scans themselves run lock-free once covered == size().
+  mutable std::shared_mutex index_mu_;
   mutable Index index_[3];
 };
 

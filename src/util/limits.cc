@@ -14,8 +14,6 @@ uint64_t SteadyNowNs() {
 
 }  // namespace
 
-std::atomic<CancellationToken*> CancellationToken::current_{nullptr};
-
 Deadline Deadline::AfterMs(uint64_t ms) {
   Deadline d;
   d.ns_ = SteadyNowNs() + ms * 1'000'000ull;

@@ -9,6 +9,32 @@
 
 namespace rdfql {
 
+class CancellationToken;
+class ResourceAccountant;  // defined in obs/accounting.h
+
+/// The per-thread governance context: which cancellation token the current
+/// thread's cooperative checkpoints poll and which accountant its
+/// mapping-set allocations report to. Thread-local, so concurrently running
+/// queries on different threads are independently governed;
+/// ThreadPool::ParallelFor snapshots the calling thread's context into the
+/// batch and installs it on every thread that claims the batch's tasks, so
+/// pool workers observe the coordinating thread's token and accountant for
+/// exactly the duration of that batch.
+struct ExecContext {
+  CancellationToken* cancel = nullptr;
+  ResourceAccountant* accountant = nullptr;
+};
+
+namespace internal {
+/// Constant-initialized, so access is a plain TLS load with no init guard.
+inline thread_local ExecContext tls_exec_context;
+}  // namespace internal
+
+/// The calling thread's governance context (mutable reference).
+inline ExecContext& CurrentExecContext() {
+  return internal::tls_exec_context;
+}
+
 /// Resource budgets for one query (or one translation pipeline). Every
 /// field uses 0 as "unlimited", so a default-constructed ResourceLimits
 /// enforces nothing and costs nothing.
@@ -56,13 +82,14 @@ class Deadline {
 /// A trip-once cancellation flag shared between the thread driving a query
 /// and the pool workers doing its chunks. Anyone may Cancel() it (an
 /// operator deciding the deadline passed, the accountant seeing a cap
-/// crossed, or an external caller aborting the query); the first non-OK
-/// status latches and becomes the query's error.
+/// crossed, a watchdog acting on the in-flight registry, or an external
+/// caller aborting the query); the first non-OK status latches and becomes
+/// the query's error.
 ///
-/// Like ResourceAccountant, the install point is a process-global atomic
-/// (not thread-local) so pool workers observe the token installed by the
-/// coordinating thread; one governed query runs at a time per process slot
-/// (see docs/robustness.md).
+/// Like ResourceAccountant, the install point lives in the thread-local
+/// ExecContext, so any number of governed queries may run concurrently —
+/// one per coordinating thread — and ThreadPool::ParallelFor hands each
+/// batch's workers the coordinator's context (see docs/robustness.md).
 class CancellationToken {
  public:
   CancellationToken() = default;
@@ -85,32 +112,27 @@ class CancellationToken {
   /// when armed: one atomic load plus one clock read.
   bool Check();
 
-  /// The token installed for the current scope, or null (ungoverned).
-  static CancellationToken* Current() {
-    return current_.load(std::memory_order_relaxed);
-  }
+  /// The token installed for the current thread's scope, or null
+  /// (ungoverned).
+  static CancellationToken* Current() { return CurrentExecContext().cancel; }
 
  private:
-  friend class ScopedCancellation;
-
   std::atomic<bool> tripped_{false};
   Deadline deadline_;  // written before workers start, read-only after
   mutable std::mutex mu_;
   Status reason_;  // guarded by mu_ until tripped_ is published
-
-  static std::atomic<CancellationToken*> current_;
 };
 
-/// Installs a token for the enclosing scope, restoring the previous one on
-/// destruction — the same idiom as ScopedAccounting. Null uninstalls.
+/// Installs a token for the enclosing scope on this thread, restoring the
+/// previous one on destruction — the same idiom as ScopedAccounting. Null
+/// uninstalls.
 class ScopedCancellation {
  public:
   explicit ScopedCancellation(CancellationToken* token)
-      : prev_(CancellationToken::current_.exchange(
-            token, std::memory_order_relaxed)) {}
-  ~ScopedCancellation() {
-    CancellationToken::current_.store(prev_, std::memory_order_relaxed);
+      : prev_(CurrentExecContext().cancel) {
+    CurrentExecContext().cancel = token;
   }
+  ~ScopedCancellation() { CurrentExecContext().cancel = prev_; }
   ScopedCancellation(const ScopedCancellation&) = delete;
   ScopedCancellation& operator=(const ScopedCancellation&) = delete;
 
@@ -119,8 +141,8 @@ class ScopedCancellation {
 };
 
 /// The one-liner the hot paths use: true when work may continue. With no
-/// token installed — the ungoverned default — this is a relaxed load and a
-/// null test.
+/// token installed — the ungoverned default — this is a thread-local load
+/// and a null test.
 inline bool CooperativeCheckpoint() {
   CancellationToken* token = CancellationToken::Current();
   return token == nullptr || token->Check();

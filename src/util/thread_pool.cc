@@ -20,6 +20,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::DrainBatch(Batch* batch) {
+  // Adopt the batch owner's governance context for the drain: workers pick
+  // up the coordinating thread's token/accountant, the coordinator itself
+  // re-installs its own (a no-op), and a worker hopping between batches of
+  // different queries switches context with each batch.
+  ExecContext saved = CurrentExecContext();
+  CurrentExecContext() = batch->context;
   size_t i;
   while ((i = batch->next.fetch_add(1, std::memory_order_relaxed)) <
          batch->num_tasks) {
@@ -33,6 +39,7 @@ void ThreadPool::DrainBatch(Batch* batch) {
       cv_.notify_all();
     }
   }
+  CurrentExecContext() = saved;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -67,6 +74,7 @@ void ThreadPool::ParallelFor(size_t num_tasks,
   auto batch = std::make_shared<Batch>();
   batch->task = &task;
   batch->num_tasks = num_tasks;
+  batch->context = CurrentExecContext();
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(batch);

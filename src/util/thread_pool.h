@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/limits.h"
+
 namespace rdfql {
 
 /// A fixed-size thread pool built for deterministic data parallelism: the
@@ -33,6 +35,14 @@ namespace rdfql {
 /// nested caller and by any idle worker; a thread blocked in ParallelFor
 /// has no in-progress task of its own, so waits always target running
 /// threads and the nesting cannot deadlock.
+///
+/// Governance propagation: ParallelFor snapshots the calling thread's
+/// ExecContext (cancellation token + resource accountant, both
+/// thread-local) into the batch, and every thread that claims the batch's
+/// tasks runs them under that context. A pool shared by concurrently
+/// governed queries therefore routes each chunk's checkpoints and
+/// allocation reports to the query that forked it, not to whichever query
+/// installed its context last.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (clamped to at least 0). The pool
@@ -52,10 +62,12 @@ class ThreadPool {
   void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
 
  private:
-  /// One in-flight ParallelFor: a claim cursor and a completion count.
+  /// One in-flight ParallelFor: a claim cursor, a completion count, and
+  /// the caller's governance context (installed around each claimed task).
   struct Batch {
     const std::function<void(size_t)>* task = nullptr;
     size_t num_tasks = 0;
+    ExecContext context;  // written before publication, read-only after
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
   };

@@ -60,8 +60,21 @@ TEST(OpenMetricsTest, CustomPrefix) {
 }
 
 TEST(OpenMetricsTest, EmptySnapshotIsJustEof) {
-  std::string text = RenderOpenMetrics(RegistrySnapshot{});
+  std::string text = RenderOpenMetrics(RegistrySnapshot{}, "rdfql",
+                                       /*with_build_info=*/false);
   EXPECT_EQ(text, "# EOF\n");
+}
+
+TEST(OpenMetricsTest, BuildInfoLeadsTheExposition) {
+  std::string text = RenderOpenMetrics(RegistrySnapshot{});
+  EXPECT_EQ(text.find("# TYPE rdfql_build info\n"), 0u);
+  EXPECT_NE(text.find("rdfql_build_info{sha=\""), std::string::npos);
+  EXPECT_NE(text.find(",build=\""), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(LintOpenMetrics(text, &error)) << error;
+  BuildInfo info = CurrentBuildInfo();
+  EXPECT_FALSE(info.sha.empty());
+  EXPECT_FALSE(info.build.empty());
 }
 
 TEST(OpenMetricsLintTest, AcceptsRenderedOutput) {
@@ -100,12 +113,39 @@ TEST(OpenMetricsLintTest, RejectsStructuralViolations) {
        "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_sum 1\nh_count 1\n"
        "# EOF\n"},
       {"not a number", "# TYPE a counter\na_total x\n# EOF\n"},
+      {"info sample without _info suffix",
+       "# TYPE b info\nb{sha=\"x\"} 1\n# EOF\n"},
+      {"info value not 1", "# TYPE b info\nb_info{sha=\"x\"} 2\n# EOF\n"},
+      {"labels on a counter",
+       "# TYPE a counter\na_total{k=\"v\"} 1\n# EOF\n"},
+      {"labels on a gauge", "# TYPE g gauge\ng{k=\"v\"} 1\n# EOF\n"},
+      {"malformed label set", "# TYPE b info\nb_info{sha=x} 1\n# EOF\n"},
+      {"bad label name", "# TYPE b info\nb_info{1a=\"x\"} 1\n# EOF\n"},
+      {"trailing label comma", "# TYPE b info\nb_info{a=\"x\",} 1\n# EOF\n"},
+      {"extra label on histogram bucket",
+       "# TYPE h histogram\nh_bucket{le=\"2\",k=\"v\"} 1\n"
+       "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n# EOF\n"},
   };
   for (const Case& c : cases) {
     std::string error;
     EXPECT_FALSE(LintOpenMetrics(c.text, &error)) << c.name;
     EXPECT_FALSE(error.empty()) << c.name;
   }
+}
+
+TEST(OpenMetricsLintTest, AcceptsInfoFamilies) {
+  std::string error;
+  EXPECT_TRUE(LintOpenMetrics(
+      "# TYPE b info\nb_info{sha=\"abc\",build=\"Release\"} 1\n# EOF\n",
+      &error))
+      << error;
+  // Escaped quote/backslash/newline in a label value.
+  EXPECT_TRUE(LintOpenMetrics(
+      "# TYPE b info\nb_info{v=\"a\\\"b\\\\c\\nd\"} 1\n# EOF\n", &error))
+      << error;
+  // Label-free info sample is legal.
+  EXPECT_TRUE(LintOpenMetrics("# TYPE b info\nb_info 1\n# EOF\n", &error))
+      << error;
 }
 
 }  // namespace
