@@ -553,6 +553,7 @@ namespace {
 int cli_threads = 1;
 uint64_t cli_timeout_ms = 0;
 uint64_t cli_max_mb = 0;
+bool cli_warm_cache = false;
 std::string cli_query_log_path;
 std::unique_ptr<QueryLog> cli_query_log;
 }  // namespace
@@ -562,6 +563,8 @@ int CliThreads() { return cli_threads; }
 uint64_t CliTimeoutMs() { return cli_timeout_ms; }
 
 uint64_t CliMaxMb() { return cli_max_mb; }
+
+bool CliWarmCache() { return cli_warm_cache; }
 
 const std::string& CliQueryLogPath() { return cli_query_log_path; }
 
@@ -589,6 +592,8 @@ int BenchMain(int argc, char** argv, const char* bench_name) {
     } else if (a.rfind("--max-mb=", 0) == 0) {
       cli_max_mb =
           std::strtoull(std::string(a.substr(9)).c_str(), nullptr, 10);
+    } else if (a == "--warm-cache") {
+      cli_warm_cache = true;
     } else if (a.rfind("--query-log=", 0) == 0) {
       cli_query_log_path = std::string(a.substr(12));
     } else {

@@ -108,6 +108,13 @@ uint64_t CliTimeoutMs();
 /// to ResourceLimits::max_bytes (decimal megabytes).
 uint64_t CliMaxMb();
 
+/// Whether `--warm-cache` was passed. Benches that evaluate through an
+/// Engine attach a QueryCache and pre-run their workload once before the
+/// timing loop, so the emitted numbers measure the cache-hit path; diff the
+/// resulting BENCH_*.json against a run without the flag to read the warm
+/// speedup off a real workload.
+bool CliWarmCache();
+
 /// The `--query-log=PATH` value BenchMain parsed; empty when absent.
 const std::string& CliQueryLogPath();
 

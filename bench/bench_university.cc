@@ -60,8 +60,31 @@ void RunMixQuery(benchmark::State& state, const char* family,
   ResourceAccountant acct;
   options.accountant = &acct;
   Evaluator evaluator(&g, options);
+  // With --warm-cache the timing loop goes through the engine façade with a
+  // query cache attached and pre-warmed, so the emitted numbers measure the
+  // cache-hit path; diff against a run without the flag for the speedup.
+  QueryCache cache{QueryCacheOptions{}};
+  if (bench::CliWarmCache()) {
+    engine.PutGraph("university", g);
+    engine.SetQueryCache(&cache);
+    EvalOptions warm = options;
+    warm.accountant = nullptr;
+    RDFQL_CHECK(engine.Query("university", q.text, warm).ok());
+  }
   size_t answers = 0;
   for (auto _ : state) {
+    if (bench::CliWarmCache()) {
+      EvalOptions warm = options;
+      warm.accountant = nullptr;
+      Result<MappingSet> r = engine.Query("university", q.text, warm);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      answers = r->size();
+      benchmark::DoNotOptimize(r);
+      continue;
+    }
     Result<MappingSet> r = evaluator.EvalChecked(pattern);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());

@@ -22,6 +22,8 @@
 //   .ps                        in-flight query table (live registry)
 //   .stats                     workload report over this session's queries
 //   .metrics                   engine metrics in OpenMetrics text format
+//   .cache                     query-cache hit/miss/size counters
+//   .cache clear               drop all cached plans and results
 //   quit
 //
 // With no stdin redirection it reads interactively; a built-in demo script
@@ -40,6 +42,9 @@
 // watchdog_cancelled), `--telemetry-out=PATH` has the sampler rewrite a
 // TelemetrySnapshot JSON file every tick (watch it with tools/rdfql_top),
 // `--telemetry-interval-ms=N` sets the tick period (default 1000).
+// Caching: the shell attaches a query cache by default (plans + results;
+// see docs/performance.md, "Query caching") so repeated queries hit warm;
+// `--no-cache` runs the session without one, and `.cache` inspects it.
 
 #include <atomic>
 #include <chrono>
@@ -173,6 +178,35 @@ bool HandleLine(Engine* engine, const std::string& raw) {
   }
   if (cmd == ".ps") {
     std::printf("%s", engine->InflightSnapshot().ToText().c_str());
+    return true;
+  }
+  if (cmd == ".cache") {
+    rdfql::QueryCache* cache = engine->query_cache();
+    if (cache == nullptr) {
+      std::printf("no query cache attached (started with --no-cache)\n");
+      return true;
+    }
+    std::string sub;
+    in >> sub;
+    if (sub == "clear") {
+      cache->Clear();
+      std::printf("cache cleared\n");
+      return true;
+    }
+    rdfql::QueryCacheStats s = cache->Stats();
+    std::printf(
+        "plan:   %llu hits, %llu misses, %llu evictions, %zu entries\n"
+        "result: %llu hits, %llu misses, %llu evictions, %llu oversize, "
+        "%zu entries, %zu bytes\n"
+        "bypasses: %llu\n",
+        static_cast<unsigned long long>(s.plan_hits),
+        static_cast<unsigned long long>(s.plan_misses),
+        static_cast<unsigned long long>(s.plan_evictions), s.plan_entries,
+        static_cast<unsigned long long>(s.result_hits),
+        static_cast<unsigned long long>(s.result_misses),
+        static_cast<unsigned long long>(s.result_evictions),
+        static_cast<unsigned long long>(s.result_oversize), s.result_entries,
+        s.result_bytes, static_cast<unsigned long long>(s.bypasses));
     return true;
   }
   if (cmd == ".jobs") {
@@ -337,6 +371,7 @@ int RunDemo(Engine* engine) {
 int main(int argc, char** argv) {
   Engine engine;
   bool demo = false;
+  bool no_cache = false;
   rdfql::ResourceLimits limits;
   rdfql::QueryLogOptions log_options;
   rdfql::TelemetryOptions telemetry_options;
@@ -346,6 +381,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       limits.max_wall_ms = std::strtoull(arg.c_str() + 13, nullptr, 10);
     } else if (arg.rfind("--max-mb=", 0) == 0) {
@@ -376,8 +413,8 @@ int main(int argc, char** argv) {
       want_telemetry = true;
     } else {
       std::fprintf(stderr,
-                   "unknown flag: %s (try --demo --timeout-ms=N --max-mb=N "
-                   "--query-log=PATH --slow-ms=N --sample=N "
+                   "unknown flag: %s (try --demo --no-cache --timeout-ms=N "
+                   "--max-mb=N --query-log=PATH --slow-ms=N --sample=N "
                    "--metrics-out=PATH --watchdog-wall-ms=N "
                    "--watchdog-max-mb=N --telemetry-out=PATH "
                    "--telemetry-interval-ms=N)\n",
@@ -397,6 +434,10 @@ int main(int argc, char** argv) {
   }
   engine.SetQueryLog(&query_log);
   engine.EnableMetrics();
+  // Same convenience-over-throughput call as the log/metrics: repeated
+  // queries in a session hit warm unless --no-cache opted out.
+  rdfql::QueryCache query_cache{rdfql::QueryCacheOptions{}};
+  if (!no_cache) engine.SetQueryCache(&query_cache);
   // `.ps` works out of the box; the sampler/watchdog thread only starts
   // when a telemetry or watchdog flag asked for it.
   engine.EnableLiveMonitoring();
@@ -429,5 +470,6 @@ int main(int argc, char** argv) {
     out << text;
   }
   engine.SetQueryLog(nullptr);
+  engine.SetQueryCache(nullptr);
   return rc;
 }

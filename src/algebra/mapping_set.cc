@@ -351,4 +351,10 @@ std::string MappingSet::ToString(const Dictionary& dict) const {
   return out;
 }
 
+size_t MappingSet::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Mapping& m : items_) bytes += m.ApproxBytes();
+  return bytes;
+}
+
 }  // namespace rdfql

@@ -88,6 +88,11 @@ class MappingSet {
   /// Renders the mappings, one per line, sorted for stability.
   std::string ToString(const Dictionary& dict) const;
 
+  /// Approximate resident bytes of the mappings — the sum of the same
+  /// per-mapping estimate the ResourceAccountant charges. Feeds the query
+  /// cache's result byte budgets.
+  size_t ApproxBytes() const;
+
   /// Returns this set's memory to its accountant (if any) and stops
   /// reporting. The evaluator detaches a query's result set before handing
   /// it out, so per-query peaks cover intermediates plus the result but

@@ -139,6 +139,7 @@ std::string QueryExplanation::ToString() const {
                     std::to_string(peak_mappings) + " mappings / " +
                     BytesString(peak_bytes) + "\n";
   out += "limits: " + LimitsString(limits) + "\n";
+  if (!cache_note.empty()) out += "cache: " + cache_note + "\n";
   if (hist_queries > 0) {
     out += "time: eval p50=" +
            PhaseString(static_cast<uint64_t>(eval_p50_ns)) +
@@ -193,6 +194,92 @@ Result<ConstructQuery> Engine::ParseConstructQuery(std::string_view query) {
   return ConstructQuery(std::move(parsed.templ), std::move(parsed.where));
 }
 
+void Engine::SetQueryCache(QueryCache* cache) {
+  query_cache_ = cache;
+  // Rebase the fold baselines on the new cache's lifetime totals so a
+  // pre-used cache doesn't replay its history into this engine's counters.
+  QueryCacheStats s = cache != nullptr ? cache->Stats() : QueryCacheStats{};
+  folded_cache_hits_ = s.hits();
+  folded_cache_misses_ = s.misses();
+  folded_cache_evictions_ = s.evictions();
+  folded_cache_bypasses_ = s.bypasses;
+}
+
+Engine::CacheContext Engine::ResolveCache(std::string_view query,
+                                          const EvalOptions& options) const {
+  CacheContext cc;
+  if (query_cache_ == nullptr) return cc;
+  cc.cache = query_cache_;
+  cc.plan_on = query_cache_->plan_enabled() &&
+               options.use_plan_cache != CacheMode::kOff;
+  cc.result_on = query_cache_->result_enabled() &&
+                 options.use_result_cache != CacheMode::kOff;
+  if (!cc.plan_on && !cc.result_on) {
+    cc.bypass = true;
+    query_cache_->NoteBypass();
+    return cc;
+  }
+  cc.canonical = CanonicalizeQueryText(query);
+  cc.hash = StableQueryHash(cc.canonical);  // idempotent: hash of canonical
+  return cc;
+}
+
+std::shared_ptr<const MappingSet> Engine::CacheResultLookup(
+    CacheContext* cc, const std::string& graph_name,
+    const EvalOptions& options) {
+  auto it = graphs_.find(graph_name);
+  if (it == graphs_.end()) {
+    // Unknown graph: let the normal path surface NotFound (and don't
+    // store under a meaningless epoch).
+    cc->result_on = false;
+    return nullptr;
+  }
+  cc->graph_epoch = it->second.Epoch();
+  cc->epoch_known = true;
+  ResultCacheKey key{cc->hash, graph_name, cc->graph_epoch,
+                     EvalOptionsFingerprint(options)};
+  std::shared_ptr<const MappingSet> hit =
+      cc->cache->GetResult(key, cc->canonical);
+  if (hit != nullptr) cc->result_hit = true;
+  return hit;
+}
+
+Result<PatternPtr> Engine::ParseCached(CacheContext* cc,
+                                       std::string_view query,
+                                       std::string* fragment) {
+  if (cc->plan_on) {
+    if (CachedPlanPtr plan = cc->cache->GetPlan(cc->hash, cc->canonical)) {
+      cc->plan_hit = true;
+      if (fragment != nullptr) *fragment = plan->fragment;
+      return plan->pattern;
+    }
+  }
+  Result<PatternPtr> parsed = Parse(query);
+  if (!parsed.ok()) return parsed;
+  if (cc->plan_on || fragment != nullptr) {
+    std::string frag = DescribeFragment(parsed.value());
+    if (fragment != nullptr) *fragment = frag;
+    if (cc->plan_on) {
+      auto plan = std::make_shared<CachedPlan>();
+      plan->canonical_query = cc->canonical;
+      plan->pattern = parsed.value();
+      plan->fragment = std::move(frag);
+      cc->cache->PutPlan(cc->hash, std::move(plan));
+    }
+  }
+  return parsed;
+}
+
+void Engine::CacheStoreResult(const CacheContext& cc,
+                              const std::string& graph_name,
+                              const EvalOptions& options,
+                              const MappingSet& result) {
+  if (!cc.result_on || !cc.epoch_known || cc.result_hit) return;
+  ResultCacheKey key{cc.hash, graph_name, cc.graph_epoch,
+                     EvalOptionsFingerprint(options)};
+  cc.cache->PutResult(key, cc.canonical, result);
+}
+
 Result<MappingSet> Engine::Query(const std::string& graph_name,
                                  std::string_view query,
                                  EvalOptions options) {
@@ -207,15 +294,34 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
   InflightScope monitor(live_monitoring_ ? &inflight_ : nullptr, graph_name,
                         query, live_monitoring_ ? StableQueryHash(query) : 0);
   if (monitor.slot() != nullptr) monitor.slot()->SetPhase(QueryPhase::kParsing);
+  CacheContext cc = ResolveCache(query, options);
+  if (cc.result_on) {
+    uint64_t t0 = collect_metrics_ ? NowNs() : 0;
+    if (std::shared_ptr<const MappingSet> hit =
+            CacheResultLookup(&cc, graph_name, options)) {
+      if (collect_metrics_) {
+        metrics_.GetCounter("engine.queries")->Inc();
+        // The lookup+copy *is* this query's evaluation; observing it keeps
+        // the latency histogram honest about what callers experienced.
+        metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
+      }
+      return MappingSet(*hit);
+    }
+  }
   if (!collect_metrics_) {
-    RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
-    return Eval(graph_name, pattern, options);
+    RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern,
+                           ParseCached(&cc, query, nullptr));
+    Result<MappingSet> result = Eval(graph_name, pattern, options);
+    if (result.ok()) CacheStoreResult(cc, graph_name, options, result.value());
+    return result;
   }
   metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, Parse(query));
+  RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, ParseCached(&cc, query, nullptr));
   metrics_.GetHistogram("engine.parse_ns")->Observe(NowNs() - t0);
-  return Eval(graph_name, pattern, options);
+  Result<MappingSet> result = Eval(graph_name, pattern, options);
+  if (result.ok()) CacheStoreResult(cc, graph_name, options, result.value());
+  return result;
 }
 
 Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
@@ -236,14 +342,38 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
     slot->SetPhase(QueryPhase::kParsing);
   }
 
+  CacheContext cc = ResolveCache(query, options);
+  if (cc.result_on) {
+    uint64_t t0c = NowNs();
+    if (std::shared_ptr<const MappingSet> hit =
+            CacheResultLookup(&cc, graph_name, options)) {
+      rec.eval_ns = NowNs() - t0c;
+      rec.cache = cc.LogOutcome();
+      // The fragment rides along on the plan entry; recover it without
+      // touching the plan cache's hit/miss accounting.
+      if (CachedPlanPtr plan = cc.cache->PeekPlan(cc.hash, cc.canonical)) {
+        rec.fragment = plan->fragment;
+      }
+      rec.rows_out = hit->size();
+      if (collect_metrics_) {
+        metrics_.GetCounter("engine.queries")->Inc();
+        metrics_.GetHistogram("engine.eval_ns")->Observe(rec.eval_ns);
+      }
+      rec.slow = CrossedSlowThreshold(rec, *log);
+      log->Record(std::move(rec));
+      return MappingSet(*hit);
+    }
+  }
+
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  Result<PatternPtr> parsed = Parse(query);
+  Result<PatternPtr> parsed = ParseCached(&cc, query, &rec.fragment);
   rec.parse_ns = NowNs() - t0;
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.parse_ns")->Observe(rec.parse_ns);
   }
   if (!parsed.ok()) {
+    rec.cache = cc.LogOutcome();
     rec.outcome = OutcomeString(parsed.status().code());
     rec.error = parsed.status().message();
     rec.slow = CrossedSlowThreshold(rec, *log);
@@ -251,11 +381,11 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
     return parsed.status();
   }
   PatternPtr pattern = *std::move(parsed);
-  rec.fragment = DescribeFragment(pattern);
   if (slot != nullptr) slot->SetFragment(rec.fragment);
 
   Result<const Graph*> graph = GetGraph(graph_name);
   if (!graph.ok()) {
+    rec.cache = cc.LogOutcome();
     rec.outcome = OutcomeString(graph.status().code());
     rec.error = graph.status().message();
     log->Record(std::move(rec));
@@ -298,11 +428,13 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
   rec.total_mappings = options.accountant->total_mappings();
   if (result.ok()) {
     rec.rows_out = result.value().size();
+    CacheStoreResult(cc, graph_name, options, result.value());
   } else {
     RecordRejection(result.status(), WatchdogTripped(slot));
     rec.outcome = OutcomeForFailure(result.status(), slot);
     rec.error = result.status().message();
   }
+  rec.cache = cc.LogOutcome();
   rec.slow = CrossedSlowThreshold(rec, *log);
   if (rec.slow && log->options().explain_slow && result.ok()) {
     // Capture the full EXPLAIN ANALYZE for the offender: one bounded
@@ -420,7 +552,29 @@ void Engine::RecordRejection(const Status& status, bool watchdog_cancelled) {
 
 RegistrySnapshot Engine::MetricsSnapshot() {
   RefreshInflightGauges();
+  RefreshCacheMetrics();
   return metrics_.Snapshot();
+}
+
+void Engine::RefreshCacheMetrics() {
+  if (query_cache_ == nullptr) return;
+  QueryCacheStats s = query_cache_->Stats();
+  auto fold = [this](const char* name, uint64_t total, uint64_t* seen) {
+    if (total > *seen) {
+      metrics_.GetCounter(name)->Inc(total - *seen);
+      *seen = total;
+    }
+  };
+  fold("engine.cache_hit", s.hits(), &folded_cache_hits_);
+  fold("engine.cache_miss", s.misses(), &folded_cache_misses_);
+  fold("engine.cache_eviction", s.evictions(), &folded_cache_evictions_);
+  fold("engine.cache_bypass", s.bypasses, &folded_cache_bypasses_);
+  metrics_.GetGauge("engine.cache_plan_entries")
+      ->Set(static_cast<int64_t>(s.plan_entries));
+  metrics_.GetGauge("engine.cache_result_entries")
+      ->Set(static_cast<int64_t>(s.result_entries));
+  metrics_.GetGauge("engine.cache_result_bytes")
+      ->Set(static_cast<int64_t>(s.result_bytes));
 }
 
 void Engine::RefreshInflightGauges() {
@@ -486,13 +640,19 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   }
   QueryExplanation out;
   out.correlation_id = rec.correlation_id;
+  // EXPLAIN consults the plan cache only: it always evaluates (serving a
+  // materialized result would leave nothing to instrument), so its plan
+  // tree and counters are the uncached plan exactly. The instrumented
+  // run's answer is still stored for later plain queries to hit.
+  CacheContext cc = ResolveCache(query, options);
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  Result<PatternPtr> parsed = Parse(query);
+  Result<PatternPtr> parsed = ParseCached(&cc, query, &rec.fragment);
   out.parse_ns = NowNs() - t0;
   if (!parsed.ok()) {
     if (log != nullptr) {
       rec.parse_ns = out.parse_ns;
+      rec.cache = cc.LogOutcome();
       rec.outcome = OutcomeString(parsed.status().code());
       rec.error = parsed.status().message();
       rec.slow = CrossedSlowThreshold(rec, *log);
@@ -502,11 +662,20 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   }
   PatternPtr pattern = *std::move(parsed);
   rec.parse_ns = out.parse_ns;
-  rec.fragment = DescribeFragment(pattern);
   if (slot != nullptr) slot->SetFragment(rec.fragment);
+  if (cc.cache != nullptr) {
+    out.cache_note =
+        cc.bypass
+            ? "bypass"
+            : std::string("plan=") +
+                  (!cc.plan_on ? "off"
+                               : cc.plan_hit ? "hit" : "miss") +
+                  " result=" + (!cc.result_on ? "off" : "live");
+  }
   Result<const Graph*> graph_result = GetGraph(graph_name);
   if (!graph_result.ok()) {
     if (log != nullptr) {
+      rec.cache = cc.LogOutcome();
       rec.outcome = OutcomeString(graph_result.status().code());
       rec.error = graph_result.status().message();
       log->Record(std::move(rec));
@@ -514,6 +683,13 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     return graph_result.status();
   }
   const Graph* graph = *graph_result;
+  if (cc.result_on) {
+    // Epoch read before evaluation, mirroring CacheResultLookup: with no
+    // concurrent writes during queries, this is the state the traced
+    // evaluation sees.
+    cc.graph_epoch = graph->Epoch();
+    cc.epoch_known = true;
+  }
   options = WithEngineDefaults(options);
   if (slot != nullptr) {
     slot->SetThreads(options.threads < 1 ? 1 : options.threads);
@@ -579,7 +755,11 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     out.explanation.plan->counters.emplace_back("correlation_id",
                                                 out.correlation_id);
   }
+  if (!(enforced && token->cancelled())) {
+    CacheStoreResult(cc, graph_name, options, out.explanation.result);
+  }
   if (log != nullptr) {
+    rec.cache = cc.LogOutcome();
     rec.eval_ns = out.eval_ns;
     rec.threads = options.threads < 1 ? 1 : options.threads;
     rec.rows_out = out.explanation.result.size();

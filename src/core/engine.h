@@ -10,6 +10,7 @@
 #include "algebra/pattern.h"
 #include "analysis/monotonicity.h"
 #include "construct/construct_query.h"
+#include "core/query_cache.h"
 #include "eval/evaluator.h"
 #include "eval/explain.h"
 #include "obs/accounting.h"
@@ -54,13 +55,19 @@ struct QueryExplanation {
   double eval_p50_ns = 0.0;
   double eval_p90_ns = 0.0;
   double eval_p99_ns = 0.0;
+  /// Query-cache disposition, e.g. "plan=hit result=live" (EXPLAIN always
+  /// evaluates — it never serves a materialized result, so its plan and
+  /// counters are the uncached plan exactly). Empty — and the `cache:`
+  /// line omitted — when the engine has no cache attached.
+  std::string cache_note;
 
   const MappingSet& result() const { return explanation.result; }
 
-  /// Phase header, limits line, percentile line (with metrics enabled),
-  /// then the plan tree, e.g.
+  /// Phase header, limits line, cache line (with a cache attached),
+  /// percentile line (with metrics enabled), then the plan tree, e.g.
   ///   parse: 3.1us  eval: 120.4us  mem: peak 42 mappings / 3.2KiB
   ///   limits: wall=100ms live_mappings=10000
+  ///   cache: plan=hit result=live
   ///   time: eval p50=110.2us p90=118.9us p99=119.8us (n=12)
   ///   AND [1] (t=118.0us join_probes=4)
   ///     ...
@@ -235,6 +242,22 @@ class Engine {
   void SetQueryLog(QueryLog* log) { default_query_log_ = log; }
   QueryLog* query_log() const { return default_query_log_; }
 
+  /// Engine-wide QueryCache. While set, the text-query entry points
+  /// (Query, Ask, QueryCsv, QueryJson; QueryExplained for the plan side)
+  /// consult it: the plan cache skips re-parsing repeated query text, the
+  /// result cache (when the cache's sizing enables it) serves whole
+  /// MappingSets keyed by (canonical query hash, graph name, graph epoch,
+  /// options fingerprint) — bit-for-bit the uncached answer, since graph
+  /// mutations move Graph::Epoch and stale entries can never hit. Queries
+  /// whose options carry EvalOptions::use_plan_cache / use_result_cache
+  /// override the default wholesale, mirroring the limits pattern. The
+  /// cache must outlive the engine or be detached with
+  /// SetQueryCache(nullptr) first; null (the default) keeps the pre-cache
+  /// code path bit for bit. Pattern-based Eval() never caches — it has no
+  /// query text to key on.
+  void SetQueryCache(QueryCache* cache);
+  QueryCache* query_cache() const { return query_cache_; }
+
   /// Turns metric collection on/off (off by default: the uninstrumented
   /// path stays zero-overhead). While enabled, every Query/Eval records
   /// `engine.*` phase timings and `eval.*` operator counters into this
@@ -292,6 +315,64 @@ class Engine {
   TelemetrySampler* telemetry() { return telemetry_.get(); }
 
  private:
+  /// One text query's resolved cache decisions, threaded through the
+  /// Query/QueryLogged/QueryExplained paths by the helpers below.
+  struct CacheContext {
+    QueryCache* cache = nullptr;  // null ⇒ no cache attached
+    bool plan_on = false;
+    bool result_on = false;
+    bool bypass = false;    // cache attached, disabled per-query
+    bool plan_hit = false;
+    bool result_hit = false;
+    bool epoch_known = false;  // graph epoch was read before evaluation
+    uint64_t hash = 0;         // StableQueryHash of the canonical text
+    uint64_t graph_epoch = 0;
+    std::string canonical;  // CanonicalizeQueryText(query)
+
+    /// The query log's cache-outcome token ("" ⇒ no cache attached).
+    const char* LogOutcome() const {
+      if (cache == nullptr) return "";
+      if (bypass) return "bypass";
+      if (result_hit) return "result_hit";
+      if (plan_hit) return "plan_hit";
+      return "miss";
+    }
+  };
+
+  /// Resolves whether this query uses the attached cache: the cache's own
+  /// sizing is the engine default, EvalOptions::use_*_cache == kOff wins
+  /// wholesale (counted as a bypass when it turns everything off). When
+  /// any caching is on, the canonical text and stable hash are computed
+  /// here, once.
+  CacheContext ResolveCache(std::string_view query,
+                            const EvalOptions& options) const;
+
+  /// Result-cache probe. Reads the graph's epoch *before* evaluation (the
+  /// engine's no-writes-during-queries contract makes that the epoch the
+  /// evaluation sees) and returns the shared cached set on a hit. An
+  /// unknown graph turns result caching off and lets the normal path
+  /// surface NotFound.
+  std::shared_ptr<const MappingSet> CacheResultLookup(
+      CacheContext* cc, const std::string& graph_name,
+      const EvalOptions& options);
+
+  /// Parse via the plan cache: a hit returns the shared immutable pattern
+  /// (and its precomputed fragment, when `fragment` is non-null) without
+  /// touching the parser; a miss parses and installs the new plan.
+  Result<PatternPtr> ParseCached(CacheContext* cc, std::string_view query,
+                                 std::string* fragment);
+
+  /// Installs a successful evaluation's result under the epoch read by
+  /// CacheResultLookup. No-op unless result caching is on for this query.
+  void CacheStoreResult(const CacheContext& cc, const std::string& graph_name,
+                        const EvalOptions& options, const MappingSet& result);
+
+  /// Folds the cache's lifetime stats into the registry: monotone
+  /// engine.cache_{hit,miss,eviction,bypass} counters (delta-tracked, so
+  /// scrapes pay nothing per query) and live-size gauges. Called from
+  /// MetricsSnapshot.
+  void RefreshCacheMetrics();
+
   /// Applies the engine-wide thread default to per-query options.
   EvalOptions WithEngineDefaults(EvalOptions options) const;
 
@@ -333,6 +414,14 @@ class Engine {
   bool live_monitoring_ = false;
   InflightRegistry inflight_;
   std::unique_ptr<TelemetrySampler> telemetry_;
+  QueryCache* query_cache_ = nullptr;
+  // Last cache totals already folded into the registry's monotone
+  // counters (RefreshCacheMetrics); rebased by SetQueryCache so attaching
+  // a pre-used cache doesn't replay its history.
+  uint64_t folded_cache_hits_ = 0;
+  uint64_t folded_cache_misses_ = 0;
+  uint64_t folded_cache_evictions_ = 0;
+  uint64_t folded_cache_bypasses_ = 0;
 };
 
 }  // namespace rdfql

@@ -26,6 +26,7 @@
 #include "complexity/sat_solver.h"      // DPLL oracle
 #include "construct/construct_query.h"  // Section 6
 #include "core/engine.h"                // the façade
+#include "core/query_cache.h"           // sharded plan/result caches
 #include "eval/evaluator.h"             // ⟦·⟧G
 #include "eval/explain.h"               // EXPLAIN-style tracing
 #include "eval/ns.h"                    // ⟦·⟧max

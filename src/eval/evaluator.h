@@ -19,6 +19,14 @@ namespace rdfql {
 
 class QueryLog;
 
+/// Per-query override for the engine's query cache (plan or result side),
+/// mirroring the limits/query-log pattern: an explicit value wins
+/// wholesale. kDefault follows the attached cache's configuration; kOff
+/// bypasses the cache for this query (counted as a bypass); kOn requests
+/// caching where the attached cache supports it — with no cache attached
+/// (or that side disabled by its sizing), it cannot conjure one.
+enum class CacheMode { kDefault, kOn, kOff };
+
 /// Tunables for the evaluator — the pairs of algorithms back the ablation
 /// benchmarks (E15/E16 in DESIGN.md) — plus the observability opt-ins.
 struct EvalOptions {
@@ -85,6 +93,13 @@ struct EvalOptions {
   /// resolved sink; null here with no engine default keeps the pre-log
   /// code path bit for bit.
   QueryLog* query_log = nullptr;
+  /// Consumed by the Engine's text-query entry points (the evaluator
+  /// itself never touches them): per-query use of the engine's attached
+  /// QueryCache. See CacheMode; the plan cache skips re-parsing, the
+  /// result cache serves materialized answers keyed by (query hash, graph
+  /// name, graph epoch, options fingerprint).
+  CacheMode use_plan_cache = CacheMode::kDefault;
+  CacheMode use_result_cache = CacheMode::kDefault;
 
   // --- Resource governance (opt-in; see docs/robustness.md) ---
   /// Budgets enforced by EvalChecked/EvalMaxChecked: wall clock, live

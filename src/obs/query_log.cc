@@ -184,15 +184,63 @@ class LineParser {
   size_t pos_ = 0;
 };
 
+// Streams the canonical form of `query` (comments dropped, whitespace
+// runs collapsed, `<...>`/`"..."` spans preserved verbatim) into `emit`,
+// one byte at a time — shared by the hasher (no allocation) and the
+// string builder so the two can never disagree.
+template <typename Emit>
+void CanonicalScan(std::string_view query, Emit&& emit) {
+  bool pending_space = false;  // whitespace seen since the last emitted byte
+  bool emitted = false;
+  char quote = 0;  // closing delimiter while inside an IRI / string literal
+  for (size_t i = 0; i < query.size(); ++i) {
+    char c = query[i];
+    if (quote != 0) {
+      emit(c);
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '#') {
+      // Comment to end of line. It must not survive collapsing (folding
+      // the next line into the comment would change what the lexer sees),
+      // so it vanishes entirely; the newline is handled as whitespace.
+      while (i + 1 < query.size() && query[i + 1] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (emitted) pending_space = true;  // leading whitespace drops
+      continue;
+    }
+    if (pending_space) {
+      emit(' ');
+      pending_space = false;
+    }
+    emitted = true;
+    emit(c);
+    if (c == '<') {
+      quote = '>';
+    } else if (c == '"') {
+      quote = '"';
+    }
+  }
+}
+
 }  // namespace
 
+std::string CanonicalizeQueryText(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  CanonicalScan(query, [&out](char c) { out.push_back(c); });
+  return out;
+}
+
 uint64_t StableQueryHash(std::string_view query) {
-  // FNV-1a, 64-bit.
+  // FNV-1a, 64-bit, over the canonicalized byte stream.
   uint64_t h = 14695981039346656037ull;
-  for (char c : query) {
+  CanonicalScan(query, [&h](char c) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
-  }
+  });
   return h;
 }
 
@@ -218,6 +266,7 @@ std::string QueryLogRecordToJson(const QueryLogRecord& r) {
   AppendUintField("peak_mappings", r.peak_mappings, &first, &out);
   AppendUintField("peak_bytes", r.peak_bytes, &first, &out);
   AppendUintField("threads", static_cast<uint64_t>(r.threads), &first, &out);
+  if (!r.cache.empty()) AppendStringField("cache", r.cache, &first, &out);
   if (r.slow) {
     out += ",\"slow\":true";
     if (!r.explain.empty()) {
@@ -282,6 +331,8 @@ bool ParseQueryLogLine(std::string_view line, QueryLogRecord* out,
       } else if (key == "threads") {
         ok = p.ParseUint(&n);
         out->threads = static_cast<int>(n);
+      } else if (key == "cache") {
+        ok = p.ParseString(&out->cache);
       } else if (key == "slow") {
         if (p.Literal("true")) {
           out->slow = true;
@@ -388,6 +439,7 @@ void QueryLogAggregator::Add(const QueryLogRecord& record) {
   ++records_;
   if (record.slow) ++slow_;
   ++outcomes_[record.outcome];
+  if (!record.cache.empty()) ++cache_outcomes_[record.cache];
   std::string fragment =
       record.fragment.empty() ? "(unparsed)" : record.fragment;
   for (const std::string& key : {fragment, std::string(kAllFragments)}) {
@@ -396,6 +448,13 @@ void QueryLogAggregator::Add(const QueryLogRecord& record) {
     ++agg.count;
     agg.eval_ns->Observe(record.eval_ns);
   }
+  HashAgg& by_hash = by_hash_[record.query_hash];
+  if (by_hash.eval_ns == nullptr) {
+    by_hash.eval_ns = std::make_unique<Histogram>();
+    by_hash.example = record.query;
+  }
+  ++by_hash.count;
+  by_hash.eval_ns->Observe(record.eval_ns);
   kept_.push_back(record);
 }
 
@@ -439,6 +498,15 @@ std::string QueryLogAggregator::ToText(size_t top_n) const {
     std::snprintf(buf, sizeof(buf), "  %-20s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(count));
     out += buf;
+  }
+
+  if (!cache_outcomes_.empty()) {
+    out += "\ncache:\n";
+    for (const auto& [name, count] : cache_outcomes_) {
+      std::snprintf(buf, sizeof(buf), "  %-20s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+      out += buf;
+    }
   }
 
   out += "\nlatency by fragment (eval wall time):\n";
@@ -510,6 +578,15 @@ std::string QueryLogAggregator::ToJson(size_t top_n) const {
     AppendJsonEscaped(name, &out);
     out += "\":" + std::to_string(count);
   }
+  out += "},\"cache\":{";
+  first = true;
+  for (const auto& [name, count] : cache_outcomes_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(count);
+  }
   out += "},\"fragments\":[";
   first = true;
   for (const std::string& name : Fragments()) {
@@ -546,6 +623,71 @@ std::string QueryLogAggregator::ToJson(size_t top_n) const {
            ",\"peak_bytes\":" + std::to_string(r->peak_bytes) +
            ",\"query\":\"";
     AppendJsonEscaped(Truncated(r->query, 120), &out);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::pair<uint64_t, const QueryLogAggregator::HashAgg*>>
+QueryLogAggregator::TopHashes(size_t top_n) const {
+  std::vector<std::pair<uint64_t, const HashAgg*>> hashes;
+  hashes.reserve(by_hash_.size());
+  for (const auto& [hash, agg] : by_hash_) hashes.emplace_back(hash, &agg);
+  std::sort(hashes.begin(), hashes.end(),
+            [](const std::pair<uint64_t, const HashAgg*>& a,
+               const std::pair<uint64_t, const HashAgg*>& b) {
+              if (a.second->count != b.second->count) {
+                return a.second->count > b.second->count;
+              }
+              return a.first < b.first;
+            });
+  if (hashes.size() > top_n) hashes.resize(top_n);
+  return hashes;
+}
+
+std::string QueryLogAggregator::TopHashesText(size_t top_n) const {
+  auto hashes = TopHashes(top_n);
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "top %zu query hashes (%zu distinct over %llu records):\n",
+                hashes.size(), by_hash_.size(),
+                static_cast<unsigned long long>(records_));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %8s %10s %10s  %s\n", "hash",
+                "count", "p50", "p99", "query");
+  out += buf;
+  for (const auto& [hash, agg] : hashes) {
+    std::snprintf(buf, sizeof(buf), "  %016llx %8llu %10s %10s  %s\n",
+                  static_cast<unsigned long long>(hash),
+                  static_cast<unsigned long long>(agg->count),
+                  NsString(agg->eval_ns->Percentile(0.5)).c_str(),
+                  NsString(agg->eval_ns->Percentile(0.99)).c_str(),
+                  Truncated(agg->example, 60).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryLogAggregator::TopHashesJson(size_t top_n) const {
+  std::string out = "{\"records\":" + std::to_string(records_) +
+                    ",\"distinct_hashes\":" + std::to_string(by_hash_.size()) +
+                    ",\"top_hashes\":[";
+  bool first = true;
+  for (const auto& [hash, agg] : TopHashes(top_n)) {
+    if (!first) out += ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"hash\":%llu,\"count\":%llu,\"p50_ns\":%.1f,"
+                  "\"p99_ns\":%.1f,\"query\":\"",
+                  static_cast<unsigned long long>(hash),
+                  static_cast<unsigned long long>(agg->count),
+                  agg->eval_ns->Percentile(0.5),
+                  agg->eval_ns->Percentile(0.99));
+    out += buf;
+    AppendJsonEscaped(Truncated(agg->example, 120), &out);
     out += "\"}";
   }
   out += "]}";

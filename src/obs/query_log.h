@@ -26,8 +26,9 @@ struct QueryLogRecord {
   /// Monotone per-log id; also attached to the query's EXPLAIN plan as the
   /// `correlation_id` counter, so a log record and a trace can be joined.
   uint64_t correlation_id = 0;
-  /// FNV-1a of the raw query text — stable across sessions and machines,
-  /// so identical queries aggregate under one key.
+  /// FNV-1a of the canonicalized query text (see StableQueryHash) — stable
+  /// across sessions and machines, so identical (and trivially
+  /// reformatted) queries aggregate under one key.
   uint64_t query_hash = 0;
   std::string graph;
   /// Raw query text, truncated to QueryLogOptions::max_query_bytes.
@@ -49,6 +50,12 @@ struct QueryLogRecord {
   uint64_t peak_mappings = 0;   // accountant high-water marks
   uint64_t peak_bytes = 0;
   int threads = 1;
+  /// Query-cache outcome: "result_hit" (answer served from the result
+  /// cache), "plan_hit" (parse skipped, evaluation ran), "miss" (caching
+  /// on, nothing reusable) or "bypass" (cache attached but disabled for
+  /// this query). Empty — and omitted from the JSON — when the engine has
+  /// no cache attached.
+  std::string cache;
   /// parse + eval crossed QueryLogOptions::slow_ms.
   bool slow = false;
   /// Full EXPLAIN ANALYZE text, captured for slow queries when
@@ -82,7 +89,19 @@ struct QueryLogOptions {
   size_t max_query_bytes = 2048;
 };
 
-/// Stable FNV-1a 64-bit hash of the query text.
+/// Canonical form of a query's text for hashing and cache keying: comments
+/// (`#` to end of line) are dropped, runs of whitespace collapse to a
+/// single space, and leading/trailing whitespace disappears — except
+/// inside `<...>` IRIs and `"..."` literals, which are preserved byte for
+/// byte. Idempotent, so canonical text hashes to its own hash.
+std::string CanonicalizeQueryText(std::string_view query);
+
+/// Stable FNV-1a 64-bit hash of the *canonicalized* query text (computed
+/// in one streaming pass, no allocation). Trivially reformatted queries —
+/// different indentation, line breaks or comments — share a hash, so they
+/// aggregate under one key in the query log and share a query-cache entry.
+/// This is the hash-stability contract: the value for a given canonical
+/// text never changes across sessions, machines or versions.
 uint64_t StableQueryHash(std::string_view query);
 
 /// One JSONL line (no trailing newline): a flat JSON object with a `"v":1`
@@ -172,6 +191,11 @@ class QueryLogAggregator {
   const std::map<std::string, uint64_t>& outcomes() const {
     return outcomes_;
   }
+  /// Cache-outcome counts ("result_hit", "plan_hit", "miss", "bypass");
+  /// empty when no record carried a cache field.
+  const std::map<std::string, uint64_t>& cache_outcomes() const {
+    return cache_outcomes_;
+  }
 
   /// The pseudo-fragment key aggregating every record.
   static constexpr const char* kAllFragments = "(all)";
@@ -188,17 +212,36 @@ class QueryLogAggregator {
   /// The same report as one JSON object.
   std::string ToJson(size_t top_n = 5) const;
 
+  /// The most-repeated query hashes — the workload's cache-hit potential:
+  /// per canonical hash, the repeat count, eval-latency p50/p99 and an
+  /// example query text, ordered by count descending. `rdfql_stats
+  /// --top-hashes N` prints exactly this.
+  std::string TopHashesText(size_t top_n) const;
+  /// The same report as one JSON object ({"top_hashes":[...]}).
+  std::string TopHashesJson(size_t top_n) const;
+
  private:
   struct FragmentAgg {
     uint64_t count = 0;
     std::unique_ptr<Histogram> eval_ns;
   };
+  struct HashAgg {
+    uint64_t count = 0;
+    std::unique_ptr<Histogram> eval_ns;
+    std::string example;  // first query text seen for this hash
+  };
   const FragmentAgg* FindFragment(const std::string& fragment) const;
+  /// by_hash_ entries ordered by count descending (ties: hash ascending),
+  /// truncated to top_n.
+  std::vector<std::pair<uint64_t, const HashAgg*>> TopHashes(
+      size_t top_n) const;
 
   uint64_t records_ = 0;
   uint64_t slow_ = 0;
   std::map<std::string, uint64_t> outcomes_;
+  std::map<std::string, uint64_t> cache_outcomes_;
   std::map<std::string, FragmentAgg> by_fragment_;
+  std::map<uint64_t, HashAgg> by_hash_;
   std::vector<QueryLogRecord> kept_;  // for top-N tables
 };
 

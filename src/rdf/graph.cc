@@ -85,6 +85,11 @@ size_t ScanPrefix(const std::vector<Triple>& base,
 
 }  // namespace
 
+uint64_t Graph::NextEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 // Hand-written because the index mutex is neither copyable nor movable.
 // Copies are reads of `other` and may run concurrently with its lookups,
 // so they take its shared lock while the indexes are duplicated; moves
@@ -97,6 +102,10 @@ Graph& Graph::operator=(const Graph& other) {
   triples_ = other.triples_;
   set_ = other.set_;
   for (int i = 0; i < 3; ++i) index_[i] = other.index_[i];
+  // Copies share the source's epoch: identical content, so result-cache
+  // entries stamped with it stay valid. The first mutation of either side
+  // mints a fresh value and they diverge.
+  epoch_.store(other.Epoch(), std::memory_order_relaxed);
   return *this;
 }
 
@@ -107,12 +116,14 @@ Graph& Graph::operator=(Graph&& other) noexcept {
   triples_ = std::move(other.triples_);
   set_ = std::move(other.set_);
   for (int i = 0; i < 3; ++i) index_[i] = std::move(other.index_[i]);
+  epoch_.store(other.Epoch(), std::memory_order_relaxed);
   return *this;
 }
 
 bool Graph::Insert(const Triple& t) {
   if (!set_.insert(t).second) return false;
   triples_.push_back(t);
+  epoch_.store(NextEpoch(), std::memory_order_relaxed);
   // Indexes stay valid for their covered prefix; EnsureIndex absorbs the
   // new tail into each side array on the next lookup.
   return true;
@@ -129,6 +140,7 @@ void Graph::InvalidateIndexes() {
 bool Graph::Erase(const Triple& t) {
   if (set_.erase(t) == 0) return false;
   triples_.erase(std::find(triples_.begin(), triples_.end(), t));
+  epoch_.store(NextEpoch(), std::memory_order_relaxed);
   // Removal from the middle breaks the covered-prefix bookkeeping; erases
   // are rare (updates), so a full invalidation keeps them simple.
   InvalidateIndexes();

@@ -1,6 +1,8 @@
 #ifndef RDFQL_RDF_GRAPH_H_
 #define RDFQL_RDF_GRAPH_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <shared_mutex>
 #include <unordered_set>
@@ -80,6 +82,16 @@ class Graph {
   /// `engine.graph_bytes` gauge.
   size_t ApproxBytes() const;
 
+  /// A stamp of this graph's current state, drawn from one process-global
+  /// monotone counter. Every successful Insert/Erase re-stamps it with a
+  /// fresh value; copies inherit the source's stamp (identical content),
+  /// and no two *distinct* states ever share one — values are only ever
+  /// minted fresh, so equal epochs imply an identical triple set. The
+  /// query cache keys result entries by (graph name, epoch): any mutation
+  /// moves the epoch and stale entries can never hit again, with no lock
+  /// or flag on the read path.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
   friend bool operator==(const Graph& a, const Graph& b);
 
  private:
@@ -99,8 +111,16 @@ class Graph {
   void EnsureIndex(IndexKind kind) const;
   void InvalidateIndexes();
 
+  /// Mints a fresh, never-before-used epoch value.
+  static uint64_t NextEpoch();
+
   std::vector<Triple> triples_;
   std::unordered_set<Triple> set_;
+
+  // Atomic so a metrics scrape or cache lookup racing a graph swap reads a
+  // whole value; writes happen only under the engine's no-writes-during-
+  // queries contract.
+  std::atomic<uint64_t> epoch_{NextEpoch()};
 
   // Guards the lazy builds of index_ (EnsureIndex) against concurrent
   // readers; scans themselves run lock-free once covered == size().

@@ -172,6 +172,57 @@ TEST(GraphTest, SideBufferCrossesRebuildThreshold) {
   }
 }
 
+TEST(GraphTest, EpochBumpsOnMutationOnly) {
+  Graph g;
+  uint64_t e0 = g.Epoch();
+  EXPECT_TRUE(g.Insert(1, 2, 3));
+  uint64_t e1 = g.Epoch();
+  EXPECT_GT(e1, e0);
+  // Duplicate insert and missing erase leave the triple set — and hence
+  // the epoch — untouched.
+  EXPECT_FALSE(g.Insert(1, 2, 3));
+  EXPECT_EQ(g.Epoch(), e1);
+  EXPECT_FALSE(g.Erase(Triple(9, 9, 9)));
+  EXPECT_EQ(g.Epoch(), e1);
+  EXPECT_TRUE(g.Erase(Triple(1, 2, 3)));
+  EXPECT_GT(g.Epoch(), e1);
+  // Reads never bump.
+  uint64_t e2 = g.Epoch();
+  (void)g.Contains(Triple(1, 2, 3));
+  (void)g.CountMatches(kInvalidTermId, kInvalidTermId, kInvalidTermId);
+  EXPECT_EQ(g.Epoch(), e2);
+}
+
+TEST(GraphTest, EpochIsProcessGlobalMonotone) {
+  // Two independent graphs never reuse each other's mutation epochs: a
+  // cache keyed by (name, epoch) can't confuse a replaced graph with its
+  // predecessor.
+  Graph a;
+  EXPECT_TRUE(a.Insert(1, 2, 3));
+  Graph b;
+  EXPECT_TRUE(b.Insert(1, 2, 3));
+  EXPECT_NE(a.Epoch(), b.Epoch());
+  uint64_t before = b.Epoch();
+  EXPECT_TRUE(a.Insert(4, 5, 6));
+  EXPECT_GT(a.Epoch(), before);
+}
+
+TEST(GraphTest, CopiesInheritEpochUntilTheyDiverge) {
+  Graph g;
+  EXPECT_TRUE(g.Insert(1, 2, 3));
+  Graph copy = g;
+  // Identical content, identical epoch: cached results for one are valid
+  // for the other.
+  EXPECT_EQ(copy.Epoch(), g.Epoch());
+  Graph moved = std::move(copy);
+  EXPECT_EQ(moved.Epoch(), g.Epoch());
+  // First mutation of either side mints a fresh global value.
+  uint64_t shared = g.Epoch();
+  EXPECT_TRUE(moved.Insert(7, 8, 9));
+  EXPECT_NE(moved.Epoch(), shared);
+  EXPECT_EQ(g.Epoch(), shared);
+}
+
 TEST(GraphTest, EraseInvalidatesIndexes) {
   Graph g;
   for (TermId i = 0; i < 100; ++i) g.Insert(i, 1, i + 1);

@@ -66,6 +66,7 @@ TEST(QueryLogRecordTest, JsonRoundTripPreservesEveryField) {
   r.peak_bytes = 4040;
   r.threads = 8;
   r.slow = true;
+  r.cache = "result_hit";
   r.explain = "AND [rows=7]\n  triple [rows=2]";
 
   std::string line = QueryLogRecordToJson(r);
@@ -91,7 +92,75 @@ TEST(QueryLogRecordTest, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.peak_bytes, r.peak_bytes);
   EXPECT_EQ(back.threads, r.threads);
   EXPECT_EQ(back.slow, r.slow);
+  EXPECT_EQ(back.cache, r.cache);
   EXPECT_EQ(back.explain, r.explain);
+}
+
+TEST(QueryLogRecordTest, EmptyCacheFieldIsOmittedFromJson) {
+  QueryLogRecord r;
+  r.outcome = "ok";
+  EXPECT_EQ(QueryLogRecordToJson(r).find("\"cache\""), std::string::npos);
+  r.cache = "bypass";
+  std::string line = QueryLogRecordToJson(r);
+  EXPECT_NE(line.find("\"cache\":\"bypass\""), std::string::npos);
+  QueryLogRecord back;
+  std::string error;
+  ASSERT_TRUE(ParseQueryLogLine(line, &back, &error)) << error;
+  EXPECT_EQ(back.cache, "bypass");
+}
+
+TEST(QueryLogRecordTest, QueryHashIsCanonicalized) {
+  // The logged hash keys the *canonical* text, so the same query logged
+  // with different formatting aggregates under one hash.
+  EXPECT_EQ(StableQueryHash("  (?x \t p ?y) # c"),
+            StableQueryHash("(?x p ?y)"));
+}
+
+TEST(QueryLogAggregatorTest, TopHashesRanksRepeatedQueries) {
+  QueryLogAggregator agg;
+  auto add = [&](const char* query, uint64_t eval_ns) {
+    QueryLogRecord r;
+    r.query = query;
+    r.query_hash = StableQueryHash(query);
+    r.eval_ns = eval_ns;
+    r.outcome = "ok";
+    agg.Add(r);
+  };
+  for (int i = 0; i < 5; ++i) add("(?x p ?y)", 1000);
+  for (int i = 0; i < 3; ++i) add("(?x q ?y)", 2000);
+  add("(?x r ?y)", 3000);
+  std::string text = agg.TopHashesText(2);
+  // Ranked by count, truncated to N, with the example query text shown.
+  size_t first = text.find("(?x p ?y)");
+  size_t second = text.find("(?x q ?y)");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(text.find("(?x r ?y)"), std::string::npos);
+  std::string json = agg.TopHashesJson(2);
+  EXPECT_NE(json.find("\"distinct_hashes\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":5"), std::string::npos);
+}
+
+TEST(QueryLogAggregatorTest, CacheOutcomesAggregate) {
+  QueryLogAggregator agg;
+  for (const char* outcome :
+       {"result_hit", "result_hit", "miss", "bypass"}) {
+    QueryLogRecord r;
+    r.outcome = "ok";
+    r.cache = outcome;
+    agg.Add(r);
+  }
+  QueryLogRecord plain;  // pre-cache record: no cache field at all
+  plain.outcome = "ok";
+  agg.Add(plain);
+  EXPECT_EQ(agg.cache_outcomes().at("result_hit"), 2u);
+  EXPECT_EQ(agg.cache_outcomes().at("miss"), 1u);
+  EXPECT_EQ(agg.cache_outcomes().at("bypass"), 1u);
+  EXPECT_EQ(agg.cache_outcomes().count(""), 0u);
+  std::string text = agg.ToText();
+  EXPECT_NE(text.find("cache"), std::string::npos);
+  EXPECT_NE(agg.ToJson().find("\"cache\""), std::string::npos);
 }
 
 TEST(QueryLogRecordTest, MalformedLinesAreRejected) {

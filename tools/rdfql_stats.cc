@@ -5,7 +5,12 @@
 //   rdfql_stats --json a.jsonl b.jsonl     # same report as JSON
 //   rdfql_stats --check queries.jsonl      # validate every line, count
 //   rdfql_stats --top=10 queries.jsonl     # widen the top-N tables
+//   rdfql_stats --top-hashes=10 q.jsonl    # most-repeated query hashes
 //   rdfql_stats --lint-openmetrics=metrics.txt
+//
+// --top-hashes=N replaces the report with the N most-repeated canonical
+// query hashes (count, eval p50/p99, example text) — the workload's
+// cache-hit potential at a glance; combine with --json for machines.
 //
 // --check and --lint-openmetrics exit non-zero on the first violation, so
 // CI can gate on them. Aggregation uses the same power-of-two-bucket
@@ -26,7 +31,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--check] [--json] [--top=N] "
+               "usage: %s [--check] [--json] [--top=N] [--top-hashes=N] "
                "[--lint-openmetrics=FILE] LOG.jsonl [LOG.jsonl ...]\n",
                argv0);
   return 2;
@@ -84,7 +89,9 @@ bool LintFile(const std::string& path) {
 int main(int argc, char** argv) {
   bool check = false;
   bool json = false;
+  bool top_hashes = false;
   size_t top_n = 5;
+  size_t top_hashes_n = 10;
   std::vector<std::string> log_paths;
   std::vector<std::string> lint_paths;
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +102,11 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg.rfind("--top=", 0) == 0) {
       top_n = static_cast<size_t>(std::strtoull(arg.c_str() + 6, nullptr, 10));
+    } else if (arg.rfind("--top-hashes=", 0) == 0) {
+      top_hashes = true;
+      top_hashes_n = static_cast<size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--top-hashes="), nullptr,
+                        10));
     } else if (arg.rfind("--lint-openmetrics=", 0) == 0) {
       lint_paths.push_back(arg.substr(std::strlen("--lint-openmetrics=")));
     } else if (arg == "--help" || arg == "-h") {
@@ -122,7 +134,10 @@ int main(int argc, char** argv) {
     std::printf("%llu record(s) OK\n", static_cast<unsigned long long>(lines));
     return 0;
   }
-  std::string report = json ? agg.ToJson(top_n) : agg.ToText(top_n);
+  std::string report =
+      top_hashes ? (json ? agg.TopHashesJson(top_hashes_n)
+                         : agg.TopHashesText(top_hashes_n))
+                 : (json ? agg.ToJson(top_n) : agg.ToText(top_n));
   std::fwrite(report.data(), 1, report.size(), stdout);
   if (json) std::fputc('\n', stdout);
   return 0;
