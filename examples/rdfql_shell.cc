@@ -24,6 +24,8 @@
 //   .metrics                   engine metrics in OpenMetrics text format
 //   .cache                     query-cache hit/miss/size counters
 //   .cache clear               drop all cached plans and results
+//   .prof [N]                  top-N hot tags from the sampling profiler
+//   .trace FILE                re-run the last query traced, write Chrome JSON
 //   quit
 //
 // With no stdin redirection it reads interactively; a built-in demo script
@@ -45,6 +47,15 @@
 // Caching: the shell attaches a query cache by default (plans + results;
 // see docs/performance.md, "Query caching") so repeated queries hit warm;
 // `--no-cache` runs the session without one, and `.cache` inspects it.
+// Profiling (docs/observability.md, "Profiling"): `--profile-hz=N` starts
+// the engine's sampling profiler at N Hz, `--profile-out=FILE` writes the
+// folded-stack profile at exit (either flag enables the profiler; the
+// default rate is a phase-lock-avoiding 97 Hz), and `.prof [N]` prints the
+// hottest tags mid-session. Tracing: `--trace-out=FILE` attaches one
+// session tracer to every foreground query and writes the combined Chrome
+// trace_event JSON at exit; `.trace FILE` re-runs the most recent query
+// under a fresh tracer and writes its trace immediately.
+// `--threads=N` sets the engine's default per-query parallelism.
 
 #include <atomic>
 #include <chrono>
@@ -61,6 +72,7 @@
 #include "core/rdfql.h"
 #include "obs/openmetrics.h"
 #include "obs/query_log.h"
+#include "obs/tracer.h"
 #include "util/string_util.h"
 
 namespace {
@@ -92,9 +104,26 @@ void JoinJobs(bool print) {
   }
 }
 
+/// Session state the command loop mutates: the optional session tracer
+/// (--trace-out) and the last foreground query, which `.trace FILE` re-runs.
+struct ShellSession {
+  rdfql::Tracer* tracer = nullptr;
+  std::string last_graph;
+  std::string last_query;
+};
+
+ShellSession& Session() {
+  static ShellSession session;
+  return session;
+}
+
 void DoQuery(Engine* engine, const std::string& graph,
              const std::string& text) {
-  rdfql::Result<rdfql::MappingSet> r = engine->Query(graph, text);
+  rdfql::EvalOptions options;
+  // The span tree is single-threaded by contract, so only foreground
+  // queries feed the session tracer (spawned jobs never do).
+  options.tracer = Session().tracer;
+  rdfql::Result<rdfql::MappingSet> r = engine->Query(graph, text, options);
   if (!r.ok()) {
     std::printf("error: %s\n", r.status().ToString().c_str());
     return;
@@ -209,6 +238,58 @@ bool HandleLine(Engine* engine, const std::string& raw) {
         s.result_bytes, static_cast<unsigned long long>(s.bypasses));
     return true;
   }
+  if (cmd == ".prof") {
+    rdfql::Profiler* prof = engine->profiler();
+    if (prof == nullptr) {
+      std::printf("profiler not enabled (start with --profile-hz=N)\n");
+      return true;
+    }
+    size_t n = 10;
+    in >> n;
+    if (n == 0) n = 10;
+    std::printf("ticks=%llu samples=%llu\n",
+                static_cast<unsigned long long>(prof->ticks()),
+                static_cast<unsigned long long>(prof->samples()));
+    std::printf("%-28s %10s %10s\n", "tag", "self", "total");
+    for (const rdfql::ProfileTagTotal& t : prof->TopTags(n)) {
+      std::printf("%-28s %10llu %10llu\n", t.tag.c_str(),
+                  static_cast<unsigned long long>(t.self),
+                  static_cast<unsigned long long>(t.total));
+    }
+    return true;
+  }
+  if (cmd == ".trace") {
+    std::string file;
+    in >> file;
+    if (file.empty()) {
+      std::printf("usage: .trace FILE\n");
+      return true;
+    }
+    if (Session().last_query.empty()) {
+      std::printf("no query to trace yet (run `query` first)\n");
+      return true;
+    }
+    rdfql::Tracer tracer;
+    rdfql::EvalOptions options;
+    options.tracer = &tracer;
+    // A cached result would leave nothing to trace; force a live run.
+    options.use_result_cache = rdfql::CacheMode::kOff;
+    rdfql::Result<rdfql::MappingSet> r =
+        engine->Query(Session().last_graph, Session().last_query, options);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return true;
+    }
+    std::ofstream out(file);
+    if (!out) {
+      std::printf("error: cannot write %s\n", file.c_str());
+      return true;
+    }
+    out << tracer.ToChromeTraceJson();
+    std::printf("trace of `%s` (%zu rows) written to %s\n",
+                Session().last_query.c_str(), r->size(), file.c_str());
+    return true;
+  }
   if (cmd == ".jobs") {
     for (const std::unique_ptr<Job>& job : Jobs()) {
       bool done = job->done.load(std::memory_order_acquire);
@@ -293,6 +374,8 @@ bool HandleLine(Engine* engine, const std::string& raw) {
     return true;
   }
   if (cmd == "query") {
+    Session().last_graph = graph;
+    Session().last_query = std::string(rdfql::StripWhitespace(rest));
     DoQuery(engine, graph, rest);
   } else if (cmd == "ask") {
     rdfql::Result<bool> r = engine->Ask(graph, rest);
@@ -377,6 +460,11 @@ int main(int argc, char** argv) {
   rdfql::TelemetryOptions telemetry_options;
   bool want_telemetry = false;
   std::string metrics_out;
+  std::string profile_out;
+  std::string trace_out;
+  uint64_t profile_hz = 0;
+  bool want_profiler = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--demo") {
@@ -411,13 +499,24 @@ int main(int argc, char** argv) {
       telemetry_options.interval_ms =
           std::strtoull(arg.c_str() + 24, nullptr, 10);
       want_telemetry = true;
+    } else if (arg.rfind("--profile-hz=", 0) == 0) {
+      profile_hz = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      want_profiler = true;
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = arg.substr(14);
+      want_profiler = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s (try --demo --no-cache --timeout-ms=N "
                    "--max-mb=N --query-log=PATH --slow-ms=N --sample=N "
                    "--metrics-out=PATH --watchdog-wall-ms=N "
                    "--watchdog-max-mb=N --telemetry-out=PATH "
-                   "--telemetry-interval-ms=N)\n",
+                   "--telemetry-interval-ms=N --profile-hz=N "
+                   "--profile-out=FILE --trace-out=FILE --threads=N)\n",
                    arg.c_str());
       return 1;
     }
@@ -441,6 +540,18 @@ int main(int argc, char** argv) {
   // `.ps` works out of the box; the sampler/watchdog thread only starts
   // when a telemetry or watchdog flag asked for it.
   engine.EnableLiveMonitoring();
+  if (threads > 0) engine.SetDefaultThreads(threads);
+  if (want_profiler) {
+    rdfql::Status st =
+        profile_hz != 0 ? engine.EnableProfiling(profile_hz)
+                        : engine.EnableProfiling();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  rdfql::Tracer session_tracer;
+  if (!trace_out.empty()) Session().tracer = &session_tracer;
   if (want_telemetry) {
     rdfql::Status st = engine.StartTelemetry(telemetry_options);
     if (!st.ok()) {
@@ -460,6 +571,25 @@ int main(int argc, char** argv) {
   JoinJobs(/*print=*/false);
   // Final tick lands the end-state snapshot in --telemetry-out.
   engine.StopTelemetry();
+  if (want_profiler) {
+    engine.DisableProfiling();
+    if (!profile_out.empty()) {
+      std::ofstream out(profile_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", profile_out.c_str());
+        return 1;
+      }
+      out << engine.DumpProfile();
+    }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << session_tracer.ToChromeTraceJson();
+  }
   if (!metrics_out.empty()) {
     std::string text = rdfql::RenderOpenMetrics(engine.MetricsSnapshot());
     std::ofstream out(metrics_out);

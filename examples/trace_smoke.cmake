@@ -1,0 +1,57 @@
+# Chrome-trace smoke test: both trace paths — the session-wide
+# `--trace-out=FILE` (one tracer spanning every foreground query) and the
+# interactive `.trace FILE` (re-run the last query under a fresh tracer) —
+# must write trace_event JSON that actually parses (cmake's string(JSON))
+# and contains at least one complete-phase span.
+#
+# Run as: cmake -DSHELL=<rdfql_shell> -DOUT_DIR=<scratch dir>
+#               -P trace_smoke.cmake
+if(NOT DEFINED SHELL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "pass -DSHELL=<rdfql_shell> -DOUT_DIR=<dir>")
+endif()
+
+set(session_trace "${OUT_DIR}/trace_smoke_session.json")
+set(inline_trace "${OUT_DIR}/trace_smoke_inline.json")
+file(REMOVE "${session_trace}" "${inline_trace}")
+
+set(script "triple g a p b\n")
+string(APPEND script "triple g b p c\n")
+string(APPEND script "query g (?x p ?y) AND (?y p ?z)\n")
+string(APPEND script "query g (?x p ?y) OPT (?y p ?z)\n")
+string(APPEND script ".trace ${inline_trace}\n")
+string(APPEND script "quit\n")
+file(WRITE "${OUT_DIR}/trace_smoke_input.txt" "${script}")
+
+execute_process(
+  COMMAND "${SHELL}" --trace-out=${session_trace}
+  INPUT_FILE "${OUT_DIR}/trace_smoke_input.txt"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+  TIMEOUT 60)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "shell exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+# Validate each file: parses as JSON, traceEvents is a non-empty array,
+# and the first event is a complete-phase ("X") span with a name.
+foreach(trace "${session_trace}" "${inline_trace}")
+  if(NOT EXISTS "${trace}")
+    message(FATAL_ERROR "${trace} was not written\n${out}")
+  endif()
+  file(READ "${trace}" text)
+  string(JSON n ERROR_VARIABLE jerr LENGTH "${text}" traceEvents)
+  if(NOT jerr STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "${trace} is not valid trace JSON: ${jerr}\n${text}")
+  endif()
+  if(n EQUAL 0)
+    message(FATAL_ERROR "${trace} has no trace events\n${text}")
+  endif()
+  string(JSON ph ERROR_VARIABLE jerr GET "${text}" traceEvents 0 ph)
+  string(JSON name ERROR_VARIABLE jerr2 GET "${text}" traceEvents 0 name)
+  if(NOT ph STREQUAL "X" OR NOT jerr2 STREQUAL "NOTFOUND")
+    message(FATAL_ERROR
+            "${trace} event 0 is not a named complete span\n${text}")
+  endif()
+endforeach()

@@ -16,6 +16,7 @@
 #include "transform/opt_rewriter.h"
 #include "transform/select_free.h"
 #include "transform/wd_to_simple.h"
+#include "util/profile_state.h"
 
 namespace rdfql {
 namespace {
@@ -131,7 +132,10 @@ bool WatchdogTripped(InflightSlot* slot) {
 
 }  // namespace
 
-Engine::~Engine() { StopTelemetry(); }
+Engine::~Engine() {
+  StopTelemetry();
+  DisableProfiling();
+}
 
 std::string QueryExplanation::ToString() const {
   std::string out = "parse: " + PhaseString(parse_ns) +
@@ -286,8 +290,11 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
   QueryLog* log =
       options.query_log != nullptr ? options.query_log : default_query_log_;
   if (log != nullptr) {
+    // QueryLogged opens its own Engine::Query frame — pushing one here too
+    // would double it in every sampled stack.
     return QueryLogged(graph_name, query, std::move(options), log);
   }
+  ProfileFrame profile_frame("Engine::Query");
   // Register with the in-flight registry (monitoring opt-in); the nested
   // Eval below borrows this slot and fills in fragment, threads and the
   // eval phase.
@@ -309,15 +316,22 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
     }
   }
   if (!collect_metrics_) {
-    RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern,
-                           ParseCached(&cc, query, nullptr));
+    PatternPtr pattern;
+    {
+      ProfileFrame parse_frame("Parse");
+      RDFQL_ASSIGN_OR_RETURN(pattern, ParseCached(&cc, query, nullptr));
+    }
     Result<MappingSet> result = Eval(graph_name, pattern, options);
     if (result.ok()) CacheStoreResult(cc, graph_name, options, result.value());
     return result;
   }
   metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  RDFQL_ASSIGN_OR_RETURN(PatternPtr pattern, ParseCached(&cc, query, nullptr));
+  PatternPtr pattern;
+  {
+    ProfileFrame parse_frame("Parse");
+    RDFQL_ASSIGN_OR_RETURN(pattern, ParseCached(&cc, query, nullptr));
+  }
   metrics_.GetHistogram("engine.parse_ns")->Observe(NowNs() - t0);
   Result<MappingSet> result = Eval(graph_name, pattern, options);
   if (result.ok()) CacheStoreResult(cc, graph_name, options, result.value());
@@ -327,6 +341,7 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
 Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
                                        std::string_view query,
                                        EvalOptions options, QueryLog* log) {
+  ProfileFrame profile_frame("Engine::Query");
   QueryLogRecord rec;
   rec.correlation_id = log->NextCorrelationId();
   rec.query_hash = StableQueryHash(query);
@@ -367,7 +382,10 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
 
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  Result<PatternPtr> parsed = ParseCached(&cc, query, &rec.fragment);
+  Result<PatternPtr> parsed = [&] {
+    ProfileFrame parse_frame("Parse");
+    return ParseCached(&cc, query, &rec.fragment);
+  }();
   rec.parse_ns = NowNs() - t0;
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.parse_ns")->Observe(rec.parse_ns);
@@ -413,7 +431,10 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
 
   if (slot != nullptr) slot->SetPhase(QueryPhase::kEvaluating);
   t0 = NowNs();
-  Result<MappingSet> result = Evaluator(*graph, options).EvalChecked(pattern);
+  Result<MappingSet> result = [&] {
+    ProfileFrame eval_frame("Eval");
+    return Evaluator(*graph, options).EvalChecked(pattern);
+  }();
   rec.eval_ns = NowNs() - t0;
   if (slot != nullptr) slot->SetPhase(QueryPhase::kFinishing);
   // One measured value into both sinks: the engine histogram and the log
@@ -504,6 +525,7 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
     if (options.cancel == nullptr) options.cancel = slot->token();
   }
   bool governed = options.governed();
+  ProfileFrame eval_frame("Eval");
   if (!collect_metrics_ && !governed) {
     return EvalPattern(*graph, pattern, options);
   }
@@ -550,10 +572,80 @@ void Engine::RecordRejection(const Status& status, bool watchdog_cancelled) {
   }
 }
 
+namespace {
+
+// Converts one WaitStats site into snapshot entries under `base`:
+// `<base>_contended_total` (counter) and `<base>_wait_ns` (histogram).
+// Bucket bounds mirror obs Histogram exactly (power-of-two exclusive upper
+// bounds), so the injected data is indistinguishable from a registry
+// histogram to every consumer (OpenMetrics, rdfql_stats percentiles).
+void InjectWaitHistogram(const WaitStats::Totals& t, const std::string& name,
+                         RegistrySnapshot* snap) {
+  RegistrySnapshot::HistogramData hist;
+  hist.count = t.count;
+  hist.sum = t.sum_ns;
+  for (int i = 0; i < WaitStats::kNumBuckets; ++i) {
+    if (t.buckets[i] != 0) {
+      hist.buckets.emplace_back(uint64_t{1} << i, t.buckets[i]);
+    }
+  }
+  snap->histograms[name] = std::move(hist);
+}
+
+void InjectWaitHistogram(const WaitStats& stats, const std::string& name,
+                         RegistrySnapshot* snap) {
+  WaitStats::Totals t;
+  stats.AddTo(&t);
+  InjectWaitHistogram(t, name, snap);
+}
+
+void InjectWaitStats(const WaitStats::Totals& t, const std::string& base,
+                     RegistrySnapshot* snap) {
+  snap->counters[base + "_contended_total"] = t.contended;
+  InjectWaitHistogram(t, base + "_wait_ns", snap);
+}
+
+void InjectWaitStats(const WaitStats& stats, const std::string& base,
+                     RegistrySnapshot* snap) {
+  WaitStats::Totals t;
+  stats.AddTo(&t);
+  InjectWaitStats(t, base, snap);
+}
+
+}  // namespace
+
 RegistrySnapshot Engine::MetricsSnapshot() {
   RefreshInflightGauges();
   RefreshCacheMetrics();
-  return metrics_.Snapshot();
+  RegistrySnapshot snap = metrics_.Snapshot();
+  // Pool and lock-contention series live outside the registry (lock-free
+  // WaitStats at the contended sites; the registry's own mutexes must not
+  // appear on those paths), and are merged into every snapshot here —
+  // present whether or not profiling is on.
+  if (pool_ != nullptr) {
+    snap.counters["pool.tasks_total"] =
+        pool_->tasks_total();
+    snap.gauges["pool.queue_depth"] =
+        static_cast<int64_t>(pool_->QueueDepth());
+    InjectWaitHistogram(pool_->queue_delay_stats(), "pool.queue_delay_ns",
+                        &snap);
+    InjectWaitHistogram(pool_->run_time_stats(), "pool.run_ns", &snap);
+  }
+  InjectWaitStats(dict_.lock_wait_stats(), "lock.dictionary", &snap);
+  WaitStats::Totals graph_totals;
+  for (const auto& [name, graph] : graphs_) {
+    graph.index_lock_wait_stats().AddTo(&graph_totals);
+  }
+  InjectWaitStats(graph_totals, "lock.graph_index", &snap);
+  if (query_cache_ != nullptr) {
+    InjectWaitStats(query_cache_->lock_wait_stats(), "lock.query_cache",
+                    &snap);
+  }
+  if (profiler_ != nullptr) {
+    snap.counters["profiler.ticks_total"] = profiler_->ticks();
+    snap.counters["profiler.samples_total"] = profiler_->samples();
+  }
+  return snap;
 }
 
 void Engine::RefreshCacheMetrics() {
@@ -606,6 +698,26 @@ Status Engine::StartTelemetry(const TelemetryOptions& options) {
 
 void Engine::StopTelemetry() { telemetry_.reset(); }
 
+Status Engine::EnableProfiling(uint64_t hz) {
+  if (profiling()) {
+    return Status::InvalidArgument("profiler already running");
+  }
+  // A fresh Profiler per enable: each profiling window aggregates into its
+  // own trie, so dumps describe exactly one window.
+  auto profiler = std::make_unique<Profiler>(ProfilerOptions{hz});
+  if (!profiler->Start()) {
+    return Status::InvalidArgument(
+        "another profiler is active in this process");
+  }
+  profiler_ = std::move(profiler);
+  return Status::Ok();
+}
+
+void Engine::DisableProfiling() {
+  if (profiler_ != nullptr) profiler_->Stop();
+}
+
+
 void Engine::RecordAccounting(const ResourceAccountant& acct) {
   metrics_.GetGauge("engine.peak_mappings")
       ->Set(static_cast<int64_t>(acct.peak_mappings()));
@@ -621,6 +733,7 @@ void Engine::RecordAccounting(const ResourceAccountant& acct) {
 Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
                                                 std::string_view query,
                                                 EvalOptions options) {
+  ProfileFrame profile_frame("Engine::QueryExplained");
   QueryLog* log =
       options.query_log != nullptr ? options.query_log : default_query_log_;
   QueryLogRecord rec;
@@ -647,7 +760,10 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   CacheContext cc = ResolveCache(query, options);
   if (collect_metrics_) metrics_.GetCounter("engine.queries")->Inc();
   uint64_t t0 = NowNs();
-  Result<PatternPtr> parsed = ParseCached(&cc, query, &rec.fragment);
+  Result<PatternPtr> parsed = [&] {
+    ProfileFrame parse_frame("Parse");
+    return ParseCached(&cc, query, &rec.fragment);
+  }();
   out.parse_ns = NowNs() - t0;
   if (!parsed.ok()) {
     if (log != nullptr) {
@@ -733,6 +849,7 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
   {
     std::optional<ScopedCancellation> install;
     if (enforced) install.emplace(token);
+    ProfileFrame eval_frame("Eval");
     out.explanation = ExplainEval(*graph, pattern, dict_, options);
   }
   acct->DisarmCaps();

@@ -17,6 +17,7 @@
 #include "obs/inflight.h"
 #include "obs/metrics.h"
 #include "obs/pipeline.h"
+#include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "obs/telemetry.h"
 #include "parser/parser.h"
@@ -314,6 +315,40 @@ class Engine {
   /// The running sampler, or null.
   TelemetrySampler* telemetry() { return telemetry_.get(); }
 
+  // --- Profiling ---
+
+  /// Starts the sampling profiler at `hz` samples per second (97 by
+  /// default — prime, so it cannot phase-lock with millisecond-periodic
+  /// work). While running, every query pushes op/stage tags onto its
+  /// thread's lock-free tag stack and the background sampler folds
+  /// wall-clock samples — running, pool_queue_wait, lock_wait, idle —
+  /// into a profile dumpable as folded stacks (DumpProfile), JSON or
+  /// top-N hot tags. `hz == 0` creates the profiler without a thread;
+  /// drive it with profiler()->TickNow() (tests, single-shot tools).
+  /// Fails if this engine — or any other profiler in the process, the tag
+  /// stacks are process-global — is already sampling. When off, the query
+  /// path is bit-for-bit the pre-profiler path (one relaxed flag load per
+  /// would-be tag).
+  Status EnableProfiling(uint64_t hz = 97);
+
+  /// Stops sampling (idempotent). The collected profile stays dumpable.
+  void DisableProfiling();
+
+  bool profiling() const {
+    return profiler_ != nullptr && profiler_->running();
+  }
+
+  /// Folded-stack text of the collected profile ("" before any profiling):
+  /// `Engine::Query;Eval;AND;JoinHash 123` per line, flamegraph.pl- and
+  /// speedscope-ready.
+  std::string DumpProfile() const {
+    return profiler_ != nullptr ? profiler_->ToFolded() : std::string();
+  }
+
+  /// The profiler itself (null until EnableProfiling), for JSON dumps,
+  /// TopTags and manual ticking.
+  Profiler* profiler() { return profiler_.get(); }
+
  private:
   /// One text query's resolved cache decisions, threaded through the
   /// Query/QueryLogged/QueryExplained paths by the helpers below.
@@ -414,6 +449,7 @@ class Engine {
   bool live_monitoring_ = false;
   InflightRegistry inflight_;
   std::unique_ptr<TelemetrySampler> telemetry_;
+  std::unique_ptr<Profiler> profiler_;
   QueryCache* query_cache_ = nullptr;
   // Last cache totals already folded into the registry's monotone
   // counters (RefreshCacheMetrics); rebased by SetQueryCache so attaching

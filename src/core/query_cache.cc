@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/timed_lock.h"
+
 namespace rdfql {
 namespace {
 
@@ -77,7 +79,8 @@ CachedPlanPtr QueryCache::GetPlan(uint64_t hash, std::string_view canonical) {
   if (!plan_enabled()) return nullptr;
   PlanShard& shard = plan_shards_[ShardOf(hash)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    TimedExclusiveLock<std::mutex> lock(shard.mu, &lock_wait_,
+                                        "QueryCache::shard");
     auto it = shard.map.find(hash);
     if (it != shard.map.end() &&
         it->second->plan->canonical_query == canonical) {
@@ -94,7 +97,8 @@ CachedPlanPtr QueryCache::PeekPlan(uint64_t hash,
                                    std::string_view canonical) const {
   if (!plan_enabled()) return nullptr;
   const PlanShard& shard = plan_shards_[ShardOf(hash)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  TimedExclusiveLock<std::mutex> lock(shard.mu, &lock_wait_,
+                                        "QueryCache::shard");
   auto it = shard.map.find(hash);
   if (it != shard.map.end() && it->second->plan->canonical_query == canonical) {
     return it->second->plan;
@@ -107,7 +111,8 @@ void QueryCache::PutPlan(uint64_t hash, CachedPlanPtr plan) {
   PlanShard& shard = plan_shards_[ShardOf(hash)];
   uint64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    TimedExclusiveLock<std::mutex> lock(shard.mu, &lock_wait_,
+                                        "QueryCache::shard");
     auto it = shard.map.find(hash);
     if (it != shard.map.end()) {
       it->second->plan = std::move(plan);
@@ -133,7 +138,8 @@ std::shared_ptr<const MappingSet> QueryCache::GetResult(
   uint64_t map_hash = ResultMapHash(key);
   ResultShard& shard = result_shards_[ShardOf(key.query_hash)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    TimedExclusiveLock<std::mutex> lock(shard.mu, &lock_wait_,
+                                        "QueryCache::shard");
     auto it = shard.map.find(map_hash);
     if (it != shard.map.end() && it->second->key == key &&
         it->second->canonical_query == canonical) {
@@ -164,7 +170,8 @@ void QueryCache::PutResult(const ResultCacheKey& key,
   ResultShard& shard = result_shards_[ShardOf(key.query_hash)];
   uint64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    TimedExclusiveLock<std::mutex> lock(shard.mu, &lock_wait_,
+                                        "QueryCache::shard");
     auto it = shard.map.find(map_hash);
     if (it != shard.map.end()) {
       shard.bytes -= it->second->bytes;
@@ -196,12 +203,14 @@ void QueryCache::PutResult(const ResultCacheKey& key,
 void QueryCache::Clear() {
   for (size_t i = 0; i < kQueryCacheShards; ++i) {
     {
-      std::lock_guard<std::mutex> lock(plan_shards_[i].mu);
+      TimedExclusiveLock<std::mutex> lock(plan_shards_[i].mu, &lock_wait_,
+                                          "QueryCache::shard");
       plan_shards_[i].lru.clear();
       plan_shards_[i].map.clear();
     }
     {
-      std::lock_guard<std::mutex> lock(result_shards_[i].mu);
+      TimedExclusiveLock<std::mutex> lock(result_shards_[i].mu, &lock_wait_,
+                                          "QueryCache::shard");
       result_shards_[i].lru.clear();
       result_shards_[i].map.clear();
       result_shards_[i].bytes = 0;
@@ -221,11 +230,13 @@ QueryCacheStats QueryCache::Stats() const {
   s.bypasses = bypasses_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kQueryCacheShards; ++i) {
     {
-      std::lock_guard<std::mutex> lock(plan_shards_[i].mu);
+      TimedExclusiveLock<std::mutex> lock(plan_shards_[i].mu, &lock_wait_,
+                                          "QueryCache::shard");
       s.plan_entries += plan_shards_[i].map.size();
     }
     {
-      std::lock_guard<std::mutex> lock(result_shards_[i].mu);
+      TimedExclusiveLock<std::mutex> lock(result_shards_[i].mu, &lock_wait_,
+                                          "QueryCache::shard");
       s.result_entries += result_shards_[i].map.size();
       s.result_bytes += result_shards_[i].bytes;
     }

@@ -13,6 +13,7 @@
 #include "algebra/mapping_set.h"
 #include "algebra/pattern.h"
 #include "eval/evaluator.h"
+#include "util/profile_state.h"
 
 namespace rdfql {
 
@@ -156,6 +157,12 @@ class QueryCache {
   /// Counts a query that ran with caching switched off per-query.
   void NoteBypass() { bypasses_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Contention across all 32 shard mutexes (plan + result), one combined
+  /// site: per-shard breakdowns would be 32 near-zero histograms, and the
+  /// question the metric answers — "are queries queueing on the cache?" —
+  /// is per-cache. Surfaced as lock.query_cache_*.
+  const WaitStats& lock_wait_stats() const { return lock_wait_; }
+
   /// Drops every entry from both caches. Stats counters keep running —
   /// they are lifetime totals, and the engine folds them into monotone
   /// metrics counters.
@@ -179,6 +186,7 @@ class QueryCache {
   std::atomic<uint64_t> result_evictions_{0};
   std::atomic<uint64_t> result_oversize_{0};
   std::atomic<uint64_t> bypasses_{0};
+  mutable WaitStats lock_wait_;
 
   std::unique_ptr<PlanShard[]> plan_shards_;
   std::unique_ptr<ResultShard[]> result_shards_;

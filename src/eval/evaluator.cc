@@ -258,6 +258,13 @@ MappingSet Evaluator::EvalTriple(const TriplePattern& t) const {
 }
 
 MappingSet Evaluator::EvalNode(const Pattern& p) const {
+  // Mirrors the span labels into the sampling profiler's tag stack, so
+  // folded stacks read Engine::Query;Eval;AND;TRIPLE just like a Chrome
+  // trace. With a tracer attached, ScopedSpan (EvalNodeObserved) pushes
+  // the same tag instead — gating here avoids AND;AND double frames.
+  ProfileFrame profile_frame(
+      profiled_ && options_.tracer == nullptr ? PatternOpName(p.kind())
+                                              : nullptr);
   if (!options_.observed()) [[likely]] {
     return EvalNodeImpl(p);
   }
@@ -320,6 +327,7 @@ MappingSet Evaluator::EvalNodeImpl(const Pattern& p) const {
       if (options_.join == EvalOptions::Join::kIndexNestedLoop &&
           p.right()->kind() == PatternKind::kTriple) {
         MappingSet l = EvalNode(*p.left());
+        ProfileFrame join_frame(profiled_ ? "JoinIndexNested" : nullptr);
         return IndexJoinWithTriple(l, p.right()->triple());
       }
       MappingSet l, r;
@@ -329,9 +337,12 @@ MappingSet Evaluator::EvalNodeImpl(const Pattern& p) const {
         l = EvalNode(*p.left());
         r = EvalNode(*p.right());
       }
-      return options_.join == EvalOptions::Join::kNestedLoop
-                 ? MappingSet::JoinNestedLoop(l, r)
-                 : MappingSet::Join(l, r, pool_);
+      if (options_.join == EvalOptions::Join::kNestedLoop) {
+        ProfileFrame join_frame(profiled_ ? "JoinNested" : nullptr);
+        return MappingSet::JoinNestedLoop(l, r);
+      }
+      ProfileFrame join_frame(profiled_ ? "JoinHash" : nullptr);
+      return MappingSet::Join(l, r, pool_);
     }
     case PatternKind::kUnion: {
       // The unobserved path flattens the whole UNION spine (stack safety
@@ -355,9 +366,14 @@ MappingSet Evaluator::EvalNodeImpl(const Pattern& p) const {
         l = EvalNode(*p.left());
         r = EvalNode(*p.right());
       }
-      MappingSet joined = options_.join == EvalOptions::Join::kNestedLoop
-                              ? MappingSet::JoinNestedLoop(l, r)
-                              : MappingSet::Join(l, r, pool_);
+      MappingSet joined;
+      if (options_.join == EvalOptions::Join::kNestedLoop) {
+        ProfileFrame join_frame(profiled_ ? "JoinNested" : nullptr);
+        joined = MappingSet::JoinNestedLoop(l, r);
+      } else {
+        ProfileFrame join_frame(profiled_ ? "JoinHash" : nullptr);
+        joined = MappingSet::Join(l, r, pool_);
+      }
       return MappingSet::UnionSets(joined, MappingSet::Minus(l, r, pool_));
     }
     case PatternKind::kMinus: {

@@ -12,6 +12,7 @@
 #include "rdf/graph.h"
 #include "rdf/static_graph.h"
 #include "util/limits.h"
+#include "util/profile_state.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -207,6 +208,11 @@ class Evaluator {
   std::unique_ptr<ThreadPool> owned_pool_;
   /// Null on the serial path; the active pool when threads > 1.
   ThreadPool* pool_ = nullptr;
+  /// Snapshot of ProfilingEnabled() at construction: per-node profile
+  /// frames key off one member test, so with profiling off the dispatch
+  /// path carries no atomic load — and a profiler starting mid-query
+  /// simply sees this query's frames from the next query on.
+  bool profiled_ = ProfilingEnabled();
 };
 
 /// One-shot convenience wrapper.

@@ -134,7 +134,10 @@ std::string PipelineReport::ToJson() const {
 
 ScopedStage::ScopedStage(PipelineReport* report, std::string name,
                          PatternShape in)
-    : report_(report) {
+    : report_(report),
+      profile_frame_(report != nullptr && ProfilingEnabled()
+                         ? InternProfileTag(name)
+                         : nullptr) {
   if (report_ == nullptr) return;
   stage_.name = std::move(name);
   stage_.in = in;

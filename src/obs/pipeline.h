@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/tracer.h"
+#include "util/profile_state.h"
 
 namespace rdfql {
 
@@ -131,6 +132,9 @@ class ScopedStage {
 
  private:
   PipelineReport* report_;
+  /// Mirrors the stage name onto the profiler tag stack (no-op when no
+  /// profiler is running), so translation stages appear in folded output.
+  ProfileFrame profile_frame_;
   PipelineStage stage_;
   uint64_t start_ns_ = 0;
   TraceSpan* span_ = nullptr;

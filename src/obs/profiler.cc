@@ -1,0 +1,247 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "obs/metrics.h"
+
+namespace rdfql {
+namespace {
+
+/// The single active profiler. Guarded by a leaky mutex (Stop may run
+/// during static destruction of an engine owned by a static).
+std::mutex* ActiveMu() {
+  static std::mutex* mu = new std::mutex();
+  return mu;
+}
+Profiler** ActiveSlot() {
+  static Profiler** slot = new Profiler*(nullptr);
+  return slot;
+}
+
+}  // namespace
+
+Profiler::Profiler(ProfilerOptions options) : options_(options) {}
+
+Profiler::~Profiler() { Stop(); }
+
+bool Profiler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(*ActiveMu());
+    Profiler*& active = *ActiveSlot();
+    if (active != nullptr && active != this) return false;
+    active = this;
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (running_) return true;
+    running_ = true;
+    stopping_ = false;
+  }
+  SetProfilingEnabled(true);
+  if (options_.hz > 0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  return true;
+}
+
+void Profiler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (!running_) return;
+    running_ = false;
+    stopping_ = true;
+  }
+  SetProfilingEnabled(false);
+  loop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(*ActiveMu());
+  Profiler*& active = *ActiveSlot();
+  if (active == this) active = nullptr;
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  return running_;
+}
+
+Profiler* Profiler::Active() {
+  std::lock_guard<std::mutex> lock(*ActiveMu());
+  return *ActiveSlot();
+}
+
+void Profiler::Loop() {
+  uint64_t period_ns = 1'000'000'000ull / options_.hz;
+  if (period_ns == 0) period_ns = 1;
+  std::unique_lock<std::mutex> lock(loop_mu_);
+  while (true) {
+    loop_cv_.wait_for(lock, std::chrono::nanoseconds(period_ns),
+                      [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    Sample();
+    lock.lock();
+  }
+}
+
+void Profiler::TickNow() { Sample(); }
+
+void Profiler::Sample() {
+  // One stack buffer reused across threads: kMaxDepth frames + a possible
+  // truncation marker + a possible wait-state frame.
+  const char* stack[ProfileThreadSlot::kMaxDepth + 2];
+  std::lock_guard<std::mutex> lock(trie_mu_);
+  ++ticks_;
+  ProfileThreadRegistry::Instance().ForEach([&](const ProfileThreadSlot& slot) {
+    uint32_t raw_depth = 0;
+    size_t n =
+        slot.SnapshotStack(stack, ProfileThreadSlot::kMaxDepth, &raw_depth);
+    if (raw_depth > ProfileThreadSlot::kMaxDepth) stack[n++] = "truncated";
+    ProfileThreadState state = slot.state();
+    if (state == ProfileThreadState::kLockWait ||
+        state == ProfileThreadState::kPoolQueueWait) {
+      stack[n++] = ProfileThreadStateName(state);
+    } else if (n == 0) {
+      // Parked worker or a registered thread between queries: one "idle"
+      // frame keeps total samples proportional to wall time without
+      // polluting real stacks.
+      stack[0] = "idle";
+      n = 1;
+    }
+    Node* node = &root_;
+    for (size_t i = 0; i < n; ++i) {
+      const char* tag = stack[i];
+      if (tag == nullptr) tag = "?";  // torn read of a mid-push frame
+      std::unique_ptr<Node>& child = node->children[tag];
+      if (child == nullptr) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    ++node->self;
+    ++samples_;
+  });
+}
+
+uint64_t Profiler::ticks() const {
+  std::lock_guard<std::mutex> lock(trie_mu_);
+  return ticks_;
+}
+
+uint64_t Profiler::samples() const {
+  std::lock_guard<std::mutex> lock(trie_mu_);
+  return samples_;
+}
+
+std::string Profiler::ToFolded() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(trie_mu_);
+  // std::map keys iterate in pointer order; collect and sort the rendered
+  // lines so the output is deterministic across runs.
+  std::vector<std::string> lines;
+  struct Frame {
+    const Node* node;
+    std::string path;
+  };
+  std::vector<Frame> work;
+  work.push_back({&root_, ""});
+  while (!work.empty()) {
+    Frame f = work.back();
+    work.pop_back();
+    if (f.node->self > 0 && !f.path.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %" PRIu64, f.node->self);
+      lines.push_back(f.path + buf);
+    }
+    for (const auto& [tag, child] : f.node->children) {
+      std::string path = f.path.empty() ? std::string(tag)
+                                        : f.path + ";" + tag;
+      work.push_back({child.get(), std::move(path)});
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<ProfileTagTotal> Profiler::TopTags(size_t n) const {
+  std::map<std::string, ProfileTagTotal> by_tag;
+  {
+    std::lock_guard<std::mutex> lock(trie_mu_);
+    // DFS carrying the set of tags on the current path, so a tag that
+    // recurses (UNION under UNION) counts each sample's total once.
+    struct Frame {
+      const Node* node;
+      std::vector<const char*> path;
+    };
+    std::vector<Frame> work;
+    work.push_back({&root_, {}});
+    while (!work.empty()) {
+      Frame f = work.back();
+      work.pop_back();
+      if (f.node->self > 0 && !f.path.empty()) {
+        ProfileTagTotal& leaf = by_tag[f.path.back()];
+        if (leaf.tag.empty()) leaf.tag = f.path.back();
+        leaf.self += f.node->self;
+        std::set<const char*> distinct(f.path.begin(), f.path.end());
+        for (const char* tag : distinct) {
+          ProfileTagTotal& t = by_tag[tag];
+          if (t.tag.empty()) t.tag = tag;
+          t.total += f.node->self;
+        }
+      }
+      for (const auto& [tag, child] : f.node->children) {
+        Frame next{child.get(), f.path};
+        next.path.push_back(tag);
+        work.push_back(std::move(next));
+      }
+    }
+  }
+  std::vector<ProfileTagTotal> tags;
+  tags.reserve(by_tag.size());
+  for (auto& [name, t] : by_tag) tags.push_back(std::move(t));
+  std::sort(tags.begin(), tags.end(),
+            [](const ProfileTagTotal& a, const ProfileTagTotal& b) {
+              if (a.self != b.self) return a.self > b.self;
+              if (a.total != b.total) return a.total > b.total;
+              return a.tag < b.tag;
+            });
+  if (tags.size() > n) tags.resize(n);
+  return tags;
+}
+
+std::string Profiler::ToJson() const {
+  std::vector<ProfileTagTotal> tags = TopTags(static_cast<size_t>(-1));
+  uint64_t ticks, samples;
+  {
+    std::lock_guard<std::mutex> lock(trie_mu_);
+    ticks = ticks_;
+    samples = samples_;
+  }
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hz\":%" PRIu64 ",\"ticks\":%" PRIu64 ",\"samples\":%" PRIu64
+                ",\"tags\":[",
+                options_.hz, ticks, samples);
+  out += buf;
+  bool first = true;
+  for (const ProfileTagTotal& t : tags) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"tag\":\"";
+    AppendJsonEscaped(t.tag, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"self\":%" PRIu64 ",\"total\":%" PRIu64 "}", t.self,
+                  t.total);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rdfql

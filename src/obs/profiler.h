@@ -1,0 +1,125 @@
+#ifndef RDFQL_OBS_PROFILER_H_
+#define RDFQL_OBS_PROFILER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/profile_state.h"
+
+namespace rdfql {
+
+struct ProfilerOptions {
+  /// Sampling frequency. 0 disables the background thread: the owner
+  /// drives the profiler with TickNow() (tests, single-shot tools) — the
+  /// same convention as TelemetryOptions::interval_ms.
+  uint64_t hz = 97;
+};
+
+/// One tag's aggregate across the whole profile: `self` samples landed
+/// exactly on the tag (it was the innermost frame), `total` samples had it
+/// anywhere on the stack. Sorted by self descending in TopTags.
+struct ProfileTagTotal {
+  std::string tag;
+  uint64_t self = 0;
+  uint64_t total = 0;
+};
+
+/// Wall-clock sampling profiler. A background thread wakes `hz` times a
+/// second and, for every thread in the ProfileThreadRegistry, folds one
+/// sample into an aggregation trie keyed by the thread's tag stack:
+///
+///   - `lock_wait` / `pool_queue_wait` threads fold their stack plus the
+///     state as a synthetic trailing frame (the wait is *attributed* to
+///     whatever the thread was doing when it blocked);
+///   - `running` threads fold their stack as-is;
+///   - threads with an empty stack (and `idle` workers parked in the pool)
+///     fold the single frame "idle".
+///
+/// Because every registered thread contributes one sample per tick whether
+/// running or blocked, sample counts are proportional to *wall time*, not
+/// CPU time — lock convoys and pool barriers show up with their true
+/// weight. Exports: Brendan Gregg folded-stack text (ToFolded → feed to
+/// flamegraph.pl / speedscope), a JSON profile with per-tag self/total
+/// counts (ToJson), and top-N hot tags (TopTags, surfaced by `.prof`,
+/// rdfql_top and telemetry snapshots).
+///
+/// Exactly one profiler can be sampling at a time (it owns the global
+/// ProfilingEnabled flag); Start reports failure on a second concurrent
+/// profiler. The trie survives Stop, so dumps stay available after
+/// sampling ends.
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions options = {});
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Starts sampling: claims the process-global active-profiler slot,
+  /// enables tag collection, and (hz > 0) spawns the sampler thread.
+  /// Returns false if another profiler is already active.
+  bool Start();
+
+  /// Stops sampling and releases the active slot (idempotent). Collected
+  /// samples are retained for dumping.
+  void Stop();
+
+  bool running() const;
+
+  /// Takes one sample of every registered thread on the calling thread —
+  /// the manual-drive path for tests and single-shot dumps.
+  void TickNow();
+
+  uint64_t ticks() const;
+  uint64_t samples() const;
+  uint64_t hz() const { return options_.hz; }
+
+  /// Folded-stack text, one line per distinct stack, lexicographically
+  /// sorted: `Engine::Query;Eval;AND;JoinHash 123`.
+  std::string ToFolded() const;
+
+  /// {"hz":..,"ticks":..,"samples":..,"tags":[{"tag":..,"self":..,
+  ///  "total":..},...]} with tags sorted by self descending.
+  std::string ToJson() const;
+
+  /// The `n` hottest tags by self samples.
+  std::vector<ProfileTagTotal> TopTags(size_t n) const;
+
+  /// The profiler currently sampling, or null. Lets loosely coupled
+  /// consumers (TelemetrySampler's hot-tag panel) find the active profile
+  /// without threading a pointer through every layer.
+  static Profiler* Active();
+
+ private:
+  /// Aggregation trie node. Children are keyed by interned tag pointer —
+  /// identity compare, no string hashing on the sample path.
+  struct Node {
+    std::map<const char*, std::unique_ptr<Node>> children;
+    uint64_t self = 0;
+  };
+
+  void Loop();
+  void Sample();
+
+  ProfilerOptions options_;
+
+  mutable std::mutex trie_mu_;
+  Node root_;
+  uint64_t ticks_ = 0;
+  uint64_t samples_ = 0;
+
+  mutable std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rdfql
+
+#endif  // RDFQL_OBS_PROFILER_H_

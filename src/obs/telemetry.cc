@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include "obs/profiler.h"
+
 #include <cctype>
 #include <chrono>
 #include <cinttypes>
@@ -412,7 +414,22 @@ std::string TelemetrySnapshot::ToJson() const {
     qfirst = false;
     AppendInflightQuery(q, &out);
   }
-  out += "]}}";
+  out += "]}";
+  if (!hot_tags.empty()) {
+    out += ",\"hot_tags\":[";
+    bool hfirst = true;
+    for (const auto& [tag, self] : hot_tags) {
+      if (!hfirst) out.push_back(',');
+      hfirst = false;
+      bool f = true;
+      out.push_back('{');
+      AppendString("tag", tag, &f, &out);
+      AppendUint("self", self, &f, &out);
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  out.push_back('}');
   return out;
 }
 
@@ -464,7 +481,28 @@ bool ParseTelemetrySnapshot(std::string_view json, TelemetrySnapshot* out,
       out->inflight.queries.push_back(std::move(q));
     } while (p.Eat(','));
   }
-  if (!p.Eat(']') || !p.Eat('}') || !p.Eat('}') || !p.AtEnd()) {
+  if (!p.Eat(']') || !p.Eat('}')) {
+    return p.Fail(error, "unterminated inflight section");
+  }
+  if (p.Eat(',')) {
+    if (!p.Key("hot_tags") || !p.Eat('[')) {
+      return p.Fail(error, "malformed hot_tags");
+    }
+    if (!p.Peek(']')) {
+      do {
+        std::string tag;
+        uint64_t self = 0;
+        if (!p.Eat('{') || !p.Key("tag") || !p.ParseString(&tag) ||
+            !p.Eat(',') || !p.Key("self") || !p.ParseUint(&self) ||
+            !p.Eat('}')) {
+          return p.Fail(error, "malformed hot_tags entry");
+        }
+        out->hot_tags.emplace_back(std::move(tag), self);
+      } while (p.Eat(','));
+    }
+    if (!p.Eat(']')) return p.Fail(error, "unterminated hot_tags array");
+  }
+  if (!p.Eat('}') || !p.AtEnd()) {
     return p.Fail(error, "trailing content");
   }
   return true;
@@ -630,6 +668,11 @@ void TelemetrySampler::Tick() {
     snap.eval_p99_ns = HistogramPercentile(merged_vec, window_evals, 0.99);
     snap.windows.assign(windows_.begin(), windows_.end());
     snap.inflight = std::move(inf);
+    if (Profiler* prof = Profiler::Active()) {
+      for (ProfileTagTotal& t : prof->TopTags(8)) {
+        snap.hot_tags.emplace_back(std::move(t.tag), t.self);
+      }
+    }
     latest_ = snap;
     published = std::move(snap);
   }

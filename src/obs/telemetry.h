@@ -73,6 +73,11 @@ struct TelemetrySnapshot {
   double eval_p99_ns = 0;
   std::vector<TelemetryWindow> windows;
   InflightSnapshot inflight;
+  /// The profiler's hottest tags by self samples, (tag, self) pairs hottest
+  /// first — present only while an engine profiler is running (rdfql_top
+  /// renders these as its hot-tag panel). Absent entirely otherwise, and
+  /// the parser accepts both forms.
+  std::vector<std::pair<std::string, uint64_t>> hot_tags;
 
   std::string ToJson() const;
 };

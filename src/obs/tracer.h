@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/profile_state.h"
+
 namespace rdfql {
 
 /// One timed region of work: an operator kind (`op`, e.g. "AND"), an
@@ -82,6 +84,12 @@ class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, std::string op, std::string detail = "")
       : tracer_(tracer),
+        // Mirror the span label onto the sampling profiler's tag stack so
+        // traced operators show up in folded profiles under the same name.
+        // Interning happens only while a profiler is running.
+        profile_frame_(tracer != nullptr && ProfilingEnabled()
+                           ? InternProfileTag(op)
+                           : nullptr),
         span_(tracer == nullptr
                   ? nullptr
                   : tracer->StartSpan(std::move(op), std::move(detail))) {}
@@ -98,6 +106,7 @@ class ScopedSpan {
 
  private:
   Tracer* tracer_;
+  ProfileFrame profile_frame_;
   TraceSpan* span_;
 };
 

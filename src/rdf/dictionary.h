@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rdf/term.h"
+#include "util/profile_state.h"
 
 namespace rdfql {
 
@@ -71,12 +72,18 @@ class Dictionary {
   /// (used by reductions that need IRIs outside I(G) ∪ I(P)).
   TermId FreshIri(std::string_view stem);
 
+  /// Contention on mu_: every acquisition that did not get the lock on
+  /// the first try is counted and its wait timed (Engine::MetricsSnapshot
+  /// surfaces this as lock.dictionary_wait_ns / _contended_total).
+  const WaitStats& lock_wait_stats() const { return lock_wait_; }
+
  private:
   /// Intern bodies for callers already holding mu_ exclusively.
   TermId InternIriLocked(std::string_view iri);
   VarId InternVarLocked(std::string_view name);
 
   mutable std::shared_mutex mu_;
+  mutable WaitStats lock_wait_;
   // Deques, not vectors: growth never moves existing names, so the
   // references handed out by IriName/VarName survive concurrent interning.
   std::deque<std::string> iris_;

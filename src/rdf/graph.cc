@@ -5,6 +5,8 @@
 #include <tuple>
 #include <utility>
 
+#include "util/timed_lock.h"
+
 namespace rdfql {
 namespace {
 
@@ -156,10 +158,12 @@ void Graph::EnsureIndex(IndexKind kind) const {
   // nothing mutates a covering index until the next (externally
   // serialized) write.
   {
-    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    TimedSharedLock<std::shared_mutex> lock(index_mu_, &index_lock_wait_,
+                                            "Graph::EnsureIndex");
     if (index_[kind].covered == triples_.size()) return;
   }
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  TimedExclusiveLock<std::shared_mutex> lock(index_mu_, &index_lock_wait_,
+                                             "Graph::EnsureIndex");
   Index& idx = index_[kind];
   if (idx.covered == triples_.size()) return;
   size_t added = triples_.size() - idx.covered;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/profile_state.h"
 
 namespace rdfql {
 
@@ -92,6 +93,12 @@ class Graph {
   /// or flag on the read path.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
+  /// Contention on index_mu_ (lazy index builds racing concurrent
+  /// queries). Waits are per-graph; Engine::MetricsSnapshot sums them
+  /// across graphs into lock.graph_index_*. Copies start with fresh stats
+  /// — contention history describes a mutex, not the triples.
+  const WaitStats& index_lock_wait_stats() const { return index_lock_wait_; }
+
   friend bool operator==(const Graph& a, const Graph& b);
 
  private:
@@ -125,6 +132,7 @@ class Graph {
   // Guards the lazy builds of index_ (EnsureIndex) against concurrent
   // readers; scans themselves run lock-free once covered == size().
   mutable std::shared_mutex index_mu_;
+  mutable WaitStats index_lock_wait_;
   mutable Index index_[3];
 };
 

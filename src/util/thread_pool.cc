@@ -29,7 +29,17 @@ void ThreadPool::DrainBatch(Batch* batch) {
   size_t i;
   while ((i = batch->next.fetch_add(1, std::memory_order_relaxed)) <
          batch->num_tasks) {
-    (*batch->task)(i);
+    // Queue delay (publish -> this claim) and run time are always
+    // recorded: tasks are coarse chunks (a partitioned join's partition,
+    // an NS pruning slice), so two clock reads per task are noise next to
+    // the task itself.
+    uint64_t claim_ns = ProfileClockNs();
+    queue_delay_.RecordWait(claim_ns - batch->publish_ns);
+    {
+      ProfileFrame frame("pool_task");
+      (*batch->task)(i);
+    }
+    run_time_.RecordWait(ProfileClockNs() - claim_ns);
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch->num_tasks) {
       // Last task: wake the ParallelFor caller (and any idle worker).
@@ -43,6 +53,9 @@ void ThreadPool::DrainBatch(Batch* batch) {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Register this worker with the profile-thread registry up front, so a
+  // profiler started mid-run sees parked workers as "idle" samples.
+  CurrentProfileSlot();
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     // Find a batch with unclaimed tasks.
@@ -64,9 +77,20 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t depth = 0;
+  for (const std::shared_ptr<Batch>& b : active_) {
+    size_t next = b->next.load(std::memory_order_relaxed);
+    if (next < b->num_tasks) depth += b->num_tasks - next;
+  }
+  return depth;
+}
+
 void ThreadPool::ParallelFor(size_t num_tasks,
                              const std::function<void(size_t)>& task) {
   if (num_tasks == 0) return;
+  tasks_total_.fetch_add(num_tasks, std::memory_order_relaxed);
   if (workers_.empty() || num_tasks == 1) {
     for (size_t i = 0; i < num_tasks; ++i) task(i);
     return;
@@ -75,6 +99,7 @@ void ThreadPool::ParallelFor(size_t num_tasks,
   batch->task = &task;
   batch->num_tasks = num_tasks;
   batch->context = CurrentExecContext();
+  batch->publish_ns = ProfileClockNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(batch);
@@ -85,6 +110,10 @@ void ThreadPool::ParallelFor(size_t num_tasks,
   DrainBatch(batch.get());
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // The caller has no task of its own while it waits for the chunks
+    // other threads claimed — that is the pool barrier the profiler
+    // attributes as pool_queue_wait.
+    ProfileStateScope wait_state(ProfileThreadState::kPoolQueueWait);
     cv_.wait(lock, [&batch] {
       return batch->done.load(std::memory_order_acquire) == batch->num_tasks;
     });

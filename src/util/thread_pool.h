@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/limits.h"
+#include "util/profile_state.h"
 
 namespace rdfql {
 
@@ -61,6 +62,24 @@ class ThreadPool {
   /// Tasks must not throw (the engine's error discipline is Status/CHECK).
   void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
 
+  /// Tasks ever submitted (fast-path serial loops included). Relaxed
+  /// atomic — always on, independent of profiling.
+  uint64_t tasks_total() const {
+    return tasks_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Unclaimed tasks across the in-flight batches right now (a scrape-time
+  /// gauge; takes the pool mutex briefly).
+  size_t QueueDepth() const;
+
+  /// Publish→claim delay of every task run through a worker batch (the
+  /// serial fast path has no queue and records nothing). Same power-of-two
+  /// buckets as the metrics registry, so Engine::MetricsSnapshot injects
+  /// these verbatim as pool.queue_delay_ns / pool.run_ns.
+  const WaitStats& queue_delay_stats() const { return queue_delay_; }
+  /// Per-task execution time of batch tasks.
+  const WaitStats& run_time_stats() const { return run_time_; }
+
  private:
   /// One in-flight ParallelFor: a claim cursor, a completion count, and
   /// the caller's governance context (installed around each claimed task).
@@ -68,6 +87,7 @@ class ThreadPool {
     const std::function<void(size_t)>* task = nullptr;
     size_t num_tasks = 0;
     ExecContext context;  // written before publication, read-only after
+    uint64_t publish_ns = 0;  // submit timestamp for queue-delay accounting
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
   };
@@ -76,11 +96,15 @@ class ThreadPool {
   /// Runs tasks from `batch` until none are left to claim.
   void DrainBatch(Batch* batch);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;  // woken on new work and batch completion
   std::vector<std::shared_ptr<Batch>> active_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> tasks_total_{0};
+  WaitStats queue_delay_;
+  WaitStats run_time_;
 };
 
 }  // namespace rdfql

@@ -194,8 +194,17 @@ TEST(EngineMetricsTest, DisabledByDefault) {
   ASSERT_TRUE(engine.LoadGraphText("g", "a p b .").ok());
   ASSERT_TRUE(engine.Query("g", "(?x p ?y)").ok());
   RegistrySnapshot snap = engine.MetricsSnapshot();
-  EXPECT_TRUE(snap.counters.empty());
-  EXPECT_TRUE(snap.histograms.empty());
+  // Per-query instrumentation is off until EnableMetrics(); the only
+  // series in a default snapshot are the ambient lock-contention ones
+  // (always injected so "is it contention?" is answerable from any
+  // scrape — docs/observability.md, "Profiling").
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(name.rfind("lock.", 0), 0u) << name << "=" << value;
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    EXPECT_EQ(name.rfind("lock.", 0), 0u) << name;
+  }
+  EXPECT_EQ(snap.counters.count("lock.dictionary_contended_total"), 1u);
 }
 
 }  // namespace

@@ -6,7 +6,15 @@
 //   rdfql_stats --check queries.jsonl      # validate every line, count
 //   rdfql_stats --top=10 queries.jsonl     # widen the top-N tables
 //   rdfql_stats --top-hashes=10 q.jsonl    # most-repeated query hashes
+//   rdfql_stats --since=2026-08-07T12:00:00Z q.jsonl   # drop older records
+//   rdfql_stats --last=500 q.jsonl         # only the final 500 records
 //   rdfql_stats --lint-openmetrics=metrics.txt
+//
+// --since keeps records whose start time is at or after the given UTC
+// instant (ISO 8601, date-only or date+time with optional trailing Z);
+// --last keeps the final N records across all files in read order. Both
+// compose with every report mode, so "what changed in the last hour" is
+// one flag away.
 //
 // --top-hashes=N replaces the report with the N most-repeated canonical
 // query hashes (count, eval p50/p99, example text) — the workload's
@@ -18,8 +26,10 @@
 // percentiles reported here are exactly the ones Engine::MetricsSnapshot
 // computes for the same workload.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -32,16 +42,48 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--check] [--json] [--top=N] [--top-hashes=N] "
+               "[--since=ISO8601] [--last=N] "
                "[--lint-openmetrics=FILE] LOG.jsonl [LOG.jsonl ...]\n",
                argv0);
   return 2;
 }
 
-/// Reads one JSONL file into the aggregator. In check mode every record is
-/// still added (so --check can double as a dry-run of the report); a
-/// malformed line fails immediately either way — a query log with garbage
-/// in it should never aggregate silently.
-bool ReadLogFile(const std::string& path, rdfql::QueryLogAggregator* agg,
+/// Parses "YYYY-MM-DD" or "YYYY-MM-DD[T ]HH:MM:SS[Z]" as a UTC instant into
+/// milliseconds since the epoch. Returns false on any other shape. The
+/// civil-to-days conversion is the classic Howard Hinnant formula, so the
+/// tool needs no non-portable timegm().
+bool ParseIso8601Ms(const std::string& text, uint64_t* out_ms) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, sec = 0;
+  char sep = 'T';
+  int n = std::sscanf(text.c_str(), "%d-%d-%d%c%d:%d:%d", &y, &mo, &d, &sep,
+                      &h, &mi, &sec);
+  if (n != 3 && n != 7) return false;
+  if (n == 7 && sep != 'T' && sep != ' ') return false;
+  if (n == 7 && text.size() > 19 && !(text.size() == 20 && text[19] == 'Z')) {
+    return false;
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || sec > 60) {
+    return false;
+  }
+  y -= mo <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (mo + (mo > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  const int64_t days = era * 146097LL + doe - 719468;
+  int64_t secs = days * 86400 + h * 3600 + mi * 60 + sec;
+  if (secs < 0) return false;
+  *out_ms = static_cast<uint64_t>(secs) * 1000;
+  return true;
+}
+
+/// Reads one JSONL file into `records`, dropping records older than
+/// `since_ms` (0 = keep all). In check mode every record is still parsed
+/// (so --check can double as a dry-run of the report); a malformed line
+/// fails immediately either way — a query log with garbage in it should
+/// never aggregate silently.
+bool ReadLogFile(const std::string& path, uint64_t since_ms,
+                 std::deque<rdfql::QueryLogRecord>* records,
                  uint64_t* lines_read) {
   std::ifstream in(path);
   if (!in) {
@@ -60,8 +102,9 @@ bool ReadLogFile(const std::string& path, rdfql::QueryLogAggregator* agg,
                    static_cast<unsigned long long>(line_no), error.c_str());
       return false;
     }
-    agg->Add(record);
     ++*lines_read;
+    if (since_ms != 0 && record.unix_ms < since_ms) continue;
+    records->push_back(std::move(record));
   }
   return true;
 }
@@ -92,6 +135,8 @@ int main(int argc, char** argv) {
   bool top_hashes = false;
   size_t top_n = 5;
   size_t top_hashes_n = 10;
+  uint64_t since_ms = 0;
+  uint64_t last_n = 0;
   std::vector<std::string> log_paths;
   std::vector<std::string> lint_paths;
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +152,21 @@ int main(int argc, char** argv) {
       top_hashes_n = static_cast<size_t>(
           std::strtoull(arg.c_str() + std::strlen("--top-hashes="), nullptr,
                         10));
+    } else if (arg.rfind("--since=", 0) == 0) {
+      std::string value = arg.substr(std::strlen("--since="));
+      if (!ParseIso8601Ms(value, &since_ms) || since_ms == 0) {
+        std::fprintf(stderr,
+                     "rdfql_stats: --since wants ISO 8601 UTC "
+                     "(e.g. 2026-08-07T12:00:00Z), got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--last=", 0) == 0) {
+      last_n = std::strtoull(arg.c_str() + std::strlen("--last="), nullptr, 10);
+      if (last_n == 0) {
+        std::fprintf(stderr, "rdfql_stats: --last wants a positive count\n");
+        return 2;
+      }
     } else if (arg.rfind("--lint-openmetrics=", 0) == 0) {
       lint_paths.push_back(arg.substr(std::strlen("--lint-openmetrics=")));
     } else if (arg == "--help" || arg == "-h") {
@@ -125,14 +185,26 @@ int main(int argc, char** argv) {
   }
 
   if (log_paths.empty()) return 0;
-  rdfql::QueryLogAggregator agg;
+  std::deque<rdfql::QueryLogRecord> records;
   uint64_t lines = 0;
   for (const std::string& path : log_paths) {
-    if (!ReadLogFile(path, &agg, &lines)) return 1;
+    if (!ReadLogFile(path, since_ms, &records, &lines)) return 1;
+  }
+  if (last_n != 0) {
+    while (records.size() > last_n) records.pop_front();
   }
   if (check) {
-    std::printf("%llu record(s) OK\n", static_cast<unsigned long long>(lines));
+    std::printf("%llu record(s) OK", static_cast<unsigned long long>(lines));
+    if (since_ms != 0 || last_n != 0) {
+      std::printf(", %llu selected",
+                  static_cast<unsigned long long>(records.size()));
+    }
+    std::printf("\n");
     return 0;
+  }
+  rdfql::QueryLogAggregator agg;
+  for (const rdfql::QueryLogRecord& record : records) {
+    agg.Add(record);
   }
   std::string report =
       top_hashes ? (json ? agg.TopHashesJson(top_hashes_n)

@@ -98,6 +98,22 @@ std::string RenderFrame(const rdfql::TelemetrySnapshot& snap,
   if (!snap.windows.empty()) {
     out += "qps [" + Sparkline(snap.windows) + "]\n";
   }
+  if (!snap.hot_tags.empty()) {
+    // Present only while the engine side runs a sampling profiler: a bar
+    // per tag, scaled to the hottest, so the panel reads like `perf top`.
+    out += "\nhot tags (profiler, self samples)\n";
+    uint64_t max_self = snap.hot_tags.front().second;
+    for (const auto& [tag, self] : snap.hot_tags) {
+      if (self > max_self) max_self = self;
+    }
+    for (const auto& [tag, self] : snap.hot_tags) {
+      int width = max_self > 0 ? static_cast<int>(self * 24 / max_self) : 0;
+      std::snprintf(line, sizeof(line), "  %-28s %8" PRIu64 " %.*s\n",
+                    tag.c_str(), self, width,
+                    "========================");
+      out += line;
+    }
+  }
   out += "\n";
   out += snap.inflight.ToText();
   return out;
