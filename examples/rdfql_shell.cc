@@ -26,6 +26,7 @@
 //   .cache clear               drop all cached plans and results
 //   .prof [N]                  top-N hot tags from the sampling profiler
 //   .trace FILE                re-run the last query traced, write Chrome JSON
+//   .alerts                    alert rule states (with --alert-rules)
 //   quit
 //
 // With no stdin redirection it reads interactively; a built-in demo script
@@ -44,6 +45,13 @@
 // watchdog_cancelled), `--telemetry-out=PATH` has the sampler rewrite a
 // TelemetrySnapshot JSON file every tick (watch it with tools/rdfql_top),
 // `--telemetry-interval-ms=N` sets the tick period (default 1000).
+// Alerting (docs/observability.md, "Alerting & SLOs"): `--alert-rules=FILE`
+// installs a declarative rule set (JSON) evaluated by the telemetry tick
+// against the metrics history ring — it implies telemetry, so combine it
+// with `--telemetry-interval-ms=N` to control the evaluation cadence;
+// `--alert-log=PATH` appends one JSONL record per state transition
+// (summarize offline with rdfql_stats --alerts), and `.alerts` shows the
+// live rule states.
 // Caching: the shell attaches a query cache by default (plans + results;
 // see docs/performance.md, "Query caching") so repeated queries hit warm;
 // `--no-cache` runs the session without one, and `.cache` inspects it.
@@ -207,6 +215,14 @@ bool HandleLine(Engine* engine, const std::string& raw) {
   }
   if (cmd == ".ps") {
     std::printf("%s", engine->InflightSnapshot().ToText().c_str());
+    return true;
+  }
+  if (cmd == ".alerts") {
+    if (engine->alerts() == nullptr) {
+      std::printf("no alert rules installed (start with --alert-rules=FILE)\n");
+    } else {
+      std::printf("%s", engine->AlertSnapshot().ToText().c_str());
+    }
     return true;
   }
   if (cmd == ".cache") {
@@ -459,6 +475,8 @@ int main(int argc, char** argv) {
   rdfql::QueryLogOptions log_options;
   rdfql::TelemetryOptions telemetry_options;
   bool want_telemetry = false;
+  std::string alert_rules_path;
+  std::string alert_log_path;
   std::string metrics_out;
   std::string profile_out;
   std::string trace_out;
@@ -499,6 +517,11 @@ int main(int argc, char** argv) {
       telemetry_options.interval_ms =
           std::strtoull(arg.c_str() + 24, nullptr, 10);
       want_telemetry = true;
+    } else if (arg.rfind("--alert-rules=", 0) == 0) {
+      alert_rules_path = arg.substr(14);
+      want_telemetry = true;
+    } else if (arg.rfind("--alert-log=", 0) == 0) {
+      alert_log_path = arg.substr(12);
     } else if (arg.rfind("--profile-hz=", 0) == 0) {
       profile_hz = std::strtoull(arg.c_str() + 13, nullptr, 10);
       want_profiler = true;
@@ -515,7 +538,8 @@ int main(int argc, char** argv) {
                    "--max-mb=N --query-log=PATH --slow-ms=N --sample=N "
                    "--metrics-out=PATH --watchdog-wall-ms=N "
                    "--watchdog-max-mb=N --telemetry-out=PATH "
-                   "--telemetry-interval-ms=N --profile-hz=N "
+                   "--telemetry-interval-ms=N --alert-rules=FILE "
+                   "--alert-log=PATH --profile-hz=N "
                    "--profile-out=FILE --trace-out=FILE --threads=N)\n",
                    arg.c_str());
       return 1;
@@ -552,6 +576,27 @@ int main(int argc, char** argv) {
   }
   rdfql::Tracer session_tracer;
   if (!trace_out.empty()) Session().tracer = &session_tracer;
+  if (!alert_rules_path.empty()) {
+    std::ifstream rules_in(alert_rules_path);
+    if (!rules_in) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   alert_rules_path.c_str());
+      return 1;
+    }
+    std::stringstream rules_buf;
+    rules_buf << rules_in.rdbuf();
+    rdfql::AlertLogOptions alert_log_options;
+    alert_log_options.path = alert_log_path;
+    rdfql::Status st =
+        engine.SetAlertRules(rules_buf.str(), alert_log_options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else if (!alert_log_path.empty()) {
+    std::fprintf(stderr, "error: --alert-log needs --alert-rules=FILE\n");
+    return 1;
+  }
   if (want_telemetry) {
     rdfql::Status st = engine.StartTelemetry(telemetry_options);
     if (!st.ok()) {

@@ -310,7 +310,15 @@ Result<MappingSet> Engine::Query(const std::string& graph_name,
         metrics_.GetCounter("engine.queries")->Inc();
         // The lookup+copy *is* this query's evaluation; observing it keeps
         // the latency histogram honest about what callers experienced.
-        metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
+        uint64_t hit_ns = NowNs() - t0;
+        metrics_.GetHistogram("engine.eval_ns")->Observe(hit_ns);
+        if (alerts_ != nullptr && alerts_->wants_fragments()) {
+          // The fragment rides on the plan entry; peek so the lookup stays
+          // out of the plan cache's hit/miss accounting.
+          if (CachedPlanPtr plan = cc.cache->PeekPlan(cc.hash, cc.canonical)) {
+            ObserveFragmentLatency(plan->fragment, hit_ns);
+          }
+        }
       }
       return MappingSet(*hit);
     }
@@ -373,6 +381,7 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
       if (collect_metrics_) {
         metrics_.GetCounter("engine.queries")->Inc();
         metrics_.GetHistogram("engine.eval_ns")->Observe(rec.eval_ns);
+        ObserveFragmentLatency(rec.fragment, rec.eval_ns);
       }
       rec.slow = CrossedSlowThreshold(rec, *log);
       log->Record(std::move(rec));
@@ -442,6 +451,7 @@ Result<MappingSet> Engine::QueryLogged(const std::string& graph_name,
   // MetricsSnapshot's percentiles exactly.
   if (collect_metrics_) {
     metrics_.GetHistogram("engine.eval_ns")->Observe(rec.eval_ns);
+    ObserveFragmentLatency(rec.fragment, rec.eval_ns);
     RecordAccounting(*options.accountant);
   }
   rec.peak_mappings = options.accountant->peak_mappings();
@@ -518,8 +528,15 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
       pattern_text.empty() ? 0 : StableQueryHash(pattern_text));
   InflightSlot* slot = monitor.slot();
   options = WithEngineDefaults(options);
+  // The fragment is classified when someone consumes it: a registry slot,
+  // or a fragment-scoped alert rule wanting its latency histogram.
+  std::string fragment;
+  if (slot != nullptr ||
+      (collect_metrics_ && alerts_ != nullptr && alerts_->wants_fragments())) {
+    fragment = DescribeFragment(pattern);
+  }
   if (slot != nullptr) {
-    slot->SetFragment(DescribeFragment(pattern));
+    slot->SetFragment(fragment);
     slot->SetThreads(options.threads < 1 ? 1 : options.threads);
     if (options.accountant == nullptr) options.accountant = slot->accountant();
     if (options.cancel == nullptr) options.cancel = slot->token();
@@ -546,7 +563,9 @@ Result<MappingSet> Engine::Eval(const std::string& graph_name,
   Result<MappingSet> result = Evaluator(graph, options).EvalChecked(pattern);
   if (slot != nullptr) slot->SetPhase(QueryPhase::kFinishing);
   if (collect_metrics_) {
-    metrics_.GetHistogram("engine.eval_ns")->Observe(NowNs() - t0);
+    uint64_t eval_ns = NowNs() - t0;
+    metrics_.GetHistogram("engine.eval_ns")->Observe(eval_ns);
+    ObserveFragmentLatency(fragment, eval_ns);
     RecordAccounting(*options.accountant);
   }
   if (!result.ok()) RecordRejection(result.status(), WatchdogTripped(slot));
@@ -645,6 +664,20 @@ RegistrySnapshot Engine::MetricsSnapshot() {
     snap.counters["profiler.ticks_total"] = profiler_->ticks();
     snap.counters["profiler.samples_total"] = profiler_->samples();
   }
+  if (alerts_ != nullptr) {
+    // Counter/gauge families stay disjoint (OpenMetrics would reject
+    // `engine.alerts_firing` as both): the cumulative transition counters
+    // render as engine_alerts_{pending,fired,resolved}_total, the live
+    // count as the engine_alerts_firing gauge.
+    snap.counters["engine.alerts_pending"] = alerts_->pending_total();
+    snap.counters["engine.alerts_fired"] = alerts_->firing_total();
+    snap.counters["engine.alerts_resolved"] = alerts_->resolved_total();
+    snap.gauges["engine.alerts_firing"] = alerts_->firing_now();
+  }
+  snap.gauges["engine.uptime_seconds"] = static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
   return snap;
 }
 
@@ -691,12 +724,61 @@ Status Engine::StartTelemetry(const TelemetryOptions& options) {
     return Status::InvalidArgument("telemetry sampler already running");
   }
   EnableLiveMonitoring(true);
+  TelemetryOptions effective = options;
+  // Installed alert rules ride every sampler: the tick records the history
+  // sample and evaluates the rules against it.
+  if (history_ != nullptr) effective.history = history_.get();
+  if (alerts_ != nullptr) effective.alerts = alerts_.get();
   telemetry_ =
-      std::make_unique<TelemetrySampler>(&metrics_, &inflight_, options);
+      std::make_unique<TelemetrySampler>(&metrics_, &inflight_, effective);
   return Status::Ok();
 }
 
 void Engine::StopTelemetry() { telemetry_.reset(); }
+
+Status Engine::SetAlertRules(const std::string& rules_json,
+                             const AlertLogOptions& log_options,
+                             const HistoryOptions& history_options) {
+  if (telemetry_ != nullptr) {
+    return Status::InvalidArgument(
+        "stop telemetry before changing alert rules");
+  }
+  std::vector<AlertRule> rules;
+  std::string error;
+  if (!ParseAlertRules(rules_json, &rules, &error)) {
+    return Status::InvalidArgument("alert rules: " + error);
+  }
+  auto history = std::make_unique<MetricsHistory>(history_options);
+  auto alerts = std::make_unique<AlertEngine>(std::move(rules), log_options);
+  if (!alerts->log_ok()) {
+    return Status::InvalidArgument("alert log: " + alerts->log_error());
+  }
+  history_ = std::move(history);
+  alerts_ = std::move(alerts);
+  // Rules without metrics would evaluate an empty ring forever.
+  EnableMetrics(true);
+  return Status::Ok();
+}
+
+Status Engine::ClearAlertRules() {
+  if (telemetry_ != nullptr) {
+    return Status::InvalidArgument(
+        "stop telemetry before clearing alert rules");
+  }
+  alerts_.reset();
+  history_.reset();
+  return Status::Ok();
+}
+
+void Engine::ObserveFragmentLatency(const std::string& fragment,
+                                    uint64_t eval_ns) {
+  if (alerts_ == nullptr || fragment.empty() ||
+      !alerts_->WantsFragment(fragment)) {
+    return;
+  }
+  metrics_.GetHistogram(FragmentMetricName("engine.eval_ns", fragment))
+      ->Observe(eval_ns);
+}
 
 Status Engine::EnableProfiling(uint64_t hz) {
   if (profiling()) {
@@ -862,6 +944,7 @@ Result<QueryExplanation> Engine::QueryExplained(const std::string& graph_name,
     metrics_.GetHistogram("engine.parse_ns")->Observe(out.parse_ns);
     Histogram* eval_hist = metrics_.GetHistogram("engine.eval_ns");
     eval_hist->Observe(out.eval_ns);
+    ObserveFragmentLatency(rec.fragment, out.eval_ns);
     out.hist_queries = eval_hist->Count();
     out.eval_p50_ns = eval_hist->Percentile(0.5);
     out.eval_p90_ns = eval_hist->Percentile(0.9);

@@ -1,6 +1,7 @@
 #ifndef RDFQL_CORE_ENGINE_H_
 #define RDFQL_CORE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -14,6 +15,8 @@
 #include "eval/evaluator.h"
 #include "eval/explain.h"
 #include "obs/accounting.h"
+#include "obs/alerts.h"
+#include "obs/history.h"
 #include "obs/inflight.h"
 #include "obs/metrics.h"
 #include "obs/pipeline.h"
@@ -315,6 +318,37 @@ class Engine {
   /// The running sampler, or null.
   TelemetrySampler* telemetry() { return telemetry_.get(); }
 
+  // --- Alerting ---
+
+  /// Installs a declarative alert rule set (JSON, see obs/alerts.h for the
+  /// grammar) together with the metrics-history ring the rules evaluate
+  /// against. Implies EnableMetrics(). The rules come alive with the next
+  /// StartTelemetry(): each tick records a history sample and advances the
+  /// rule state machines; transitions append to the alert log described by
+  /// `log_options`. Rules are immutable while installed — call again (or
+  /// ClearAlertRules) between telemetry runs to change them; fails while
+  /// the sampler is running. For every fragment named by some rule, the
+  /// engine additionally observes a per-fragment latency histogram
+  /// (FragmentMetricName), so fragment-scoped rules like
+  /// `p99{fragment=SPARQL[AO]} > 50ms` have data to read. Queries that hit
+  /// no fragment-scoped rule pay one pointer test — nothing else changes.
+  Status SetAlertRules(const std::string& rules_json,
+                       const AlertLogOptions& log_options = AlertLogOptions(),
+                       const HistoryOptions& history_options = HistoryOptions());
+
+  /// Drops the rule set and the history ring. Fails while telemetry runs.
+  Status ClearAlertRules();
+
+  /// Point-in-time view of every rule's state (empty when no rules are
+  /// installed).
+  rdfql::AlertSnapshot AlertSnapshot() const {
+    return alerts_ != nullptr ? alerts_->Snapshot() : rdfql::AlertSnapshot{};
+  }
+
+  /// The installed alert engine / history ring, or null.
+  AlertEngine* alerts() { return alerts_.get(); }
+  MetricsHistory* history() { return history_.get(); }
+
   // --- Profiling ---
 
   /// Starts the sampling profiler at `hz` samples per second (97 by
@@ -437,6 +471,10 @@ class Engine {
   /// MetricsSnapshot so scrapes stay current at zero per-query cost).
   void RefreshInflightGauges();
 
+  /// Observes the per-fragment eval-latency histogram when some alert rule
+  /// is scoped to `fragment`; no-op (one pointer test) otherwise.
+  void ObserveFragmentLatency(const std::string& fragment, uint64_t eval_ns);
+
   Dictionary dict_;
   std::map<std::string, Graph> graphs_;
   MetricsRegistry metrics_;
@@ -449,6 +487,14 @@ class Engine {
   bool live_monitoring_ = false;
   InflightRegistry inflight_;
   std::unique_ptr<TelemetrySampler> telemetry_;
+  // History ring + alert engine (SetAlertRules); the sampler borrows raw
+  // pointers to both, so they must outlive any running telemetry — which
+  // SetAlertRules/ClearAlertRules enforce by refusing to run mid-sampling.
+  std::unique_ptr<MetricsHistory> history_;
+  std::unique_ptr<AlertEngine> alerts_;
+  // For the engine.uptime_seconds gauge.
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   std::unique_ptr<Profiler> profiler_;
   QueryCache* query_cache_ = nullptr;
   // Last cache totals already folded into the registry's monotone

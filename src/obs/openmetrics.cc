@@ -233,7 +233,12 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
   if (text.empty()) {
     return Fail(error, 0, "empty exposition");
   }
-  std::set<std::string> closed_families;
+  // Every family a # TYPE line ever declared: a second declaration of the
+  // same family is rejected by name, whether or not samples sit between
+  // the two (Prometheus and the OpenMetrics spec both treat a duplicate
+  // TYPE as a hard error, not a continuation). This also covers reopened
+  // families — reopening one necessarily re-declares its TYPE.
+  std::set<std::string> declared_families;
   FamilyState fam;
   bool saw_eof = false;
   size_t line_no = 0;
@@ -285,13 +290,12 @@ bool LintOpenMetrics(std::string_view text, std::string* error) {
           type != "info") {
         return Fail(error, line_no, "unknown metric type '" + type + "'");
       }
-      if (!FinishFamily(fam, line_no, error)) return false;
-      if (!fam.name.empty()) closed_families.insert(fam.name);
-      if (closed_families.count(name) != 0) {
+      if (declared_families.count(name) != 0) {
         return Fail(error, line_no,
-                    "family '" + name + "' reopened (families must be "
-                    "contiguous)");
+                    "duplicate # TYPE for family '" + name + "'");
       }
+      declared_families.insert(name);
+      if (!FinishFamily(fam, line_no, error)) return false;
       fam = FamilyState{};
       fam.name = name;
       fam.type = type;

@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include "obs/json_util.h"
+#include "obs/openmetrics.h"
 #include "obs/profiler.h"
 
 #include <cctype>
@@ -29,67 +31,13 @@ uint64_t SteadyNowNs() {
 
 uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
 
-void AppendUint(const char* key, uint64_t v, bool* first, std::string* out) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
-  *out += buf;
-}
-
-void AppendInt(const char* key, int64_t v, bool* first, std::string* out) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, key, v);
-  *out += buf;
-}
-
-void AppendDouble(const char* key, double v, bool* first, std::string* out) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, v);
-  *out += buf;
-}
-
-void AppendString(const char* key, std::string_view v, bool* first,
-                  std::string* out) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  out->push_back('"');
-  *out += key;
-  *out += "\":\"";
-  AppendJsonEscaped(v, out);
-  out->push_back('"');
-}
-
-void AppendBool(const char* key, bool v, bool* first, std::string* out) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  out->push_back('"');
-  *out += key;
-  *out += v ? "\":true" : "\":false";
-}
-
-void AppendBuckets(const char* key,
-                   const std::vector<std::pair<uint64_t, uint64_t>>& buckets,
-                   bool* first, std::string* out) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  out->push_back('"');
-  *out += key;
-  *out += "\":[";
-  bool inner_first = true;
-  char buf[64];
-  for (const auto& [bound, n] : buckets) {
-    if (!inner_first) out->push_back(',');
-    inner_first = false;
-    std::snprintf(buf, sizeof(buf), "[%" PRIu64 ",%" PRIu64 "]", bound, n);
-    *out += buf;
-  }
-  out->push_back(']');
-}
+using jsonutil::AppendBool;
+using jsonutil::AppendBuckets;
+using jsonutil::AppendDouble;
+using jsonutil::AppendInt;
+using jsonutil::AppendString;
+using jsonutil::AppendUint;
+using SnapshotParser = jsonutil::JsonParser;
 
 bool PhaseFromName(std::string_view name, QueryPhase* out) {
   if (name == "start") *out = QueryPhase::kStarting;
@@ -99,191 +47,6 @@ bool PhaseFromName(std::string_view name, QueryPhase* out) {
   else return false;
   return true;
 }
-
-/// Strict field-order parser for TelemetrySnapshot::ToJson output — the
-/// same hand-rolled discipline as the query-log reader (no JSON library).
-class SnapshotParser {
- public:
-  explicit SnapshotParser(std::string_view text) : text_(text) {}
-
-  bool Fail(std::string* error, const std::string& message) {
-    if (error != nullptr) {
-      *error = message + " near offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Eat(char c) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool Peek(char c) {
-    SkipWs();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  bool AtEnd() {
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
-  /// Eats `"key":`.
-  bool Key(const char* key) {
-    SkipWs();
-    size_t len = std::strlen(key);
-    if (pos_ + len + 3 > text_.size() || text_[pos_] != '"') return false;
-    if (text_.compare(pos_ + 1, len, key) != 0) return false;
-    if (text_[pos_ + 1 + len] != '"' || text_[pos_ + 2 + len] != ':') {
-      return false;
-    }
-    pos_ += len + 3;
-    return true;
-  }
-
-  bool ParseUint(uint64_t* out) {
-    SkipWs();
-    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
-                                    text_[pos_]))) {
-      return false;
-    }
-    uint64_t v = 0;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      v = v * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
-    }
-    *out = v;
-    return true;
-  }
-
-  bool ParseInt(int64_t* out) {
-    SkipWs();
-    bool negative = pos_ < text_.size() && text_[pos_] == '-';
-    if (negative) ++pos_;
-    uint64_t v = 0;
-    if (!ParseUint(&v)) return false;
-    *out = negative ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
-    return true;
-  }
-
-  bool ParseDouble(double* out) {
-    SkipWs();
-    char buf[64];
-    size_t n = 0;
-    while (pos_ + n < text_.size() && n + 1 < sizeof(buf)) {
-      char c = text_[pos_ + n];
-      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
-          c == '+' || c == '.' || c == 'e' || c == 'E') {
-        buf[n++] = c;
-      } else {
-        break;
-      }
-    }
-    if (n == 0) return false;
-    buf[n] = '\0';
-    char* end = nullptr;
-    *out = std::strtod(buf, &end);
-    if (end != buf + n) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseBool(bool* out) {
-    SkipWs();
-    if (text_.compare(pos_, 4, "true") == 0) {
-      *out = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      *out = false;
-      pos_ += 5;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseString(std::string* out) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        char esc = text_[pos_++];
-        switch (esc) {
-          case '"':
-          case '\\':
-          case '/':
-            out->push_back(esc);
-            break;
-          case 'n':
-            out->push_back('\n');
-            break;
-          case 't':
-            out->push_back('\t');
-            break;
-          case 'r':
-            out->push_back('\r');
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return false;
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return false;
-              }
-            }
-            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
-            break;
-          }
-          default:
-            return false;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;
-  }
-
-  bool ParseBuckets(std::vector<std::pair<uint64_t, uint64_t>>* out) {
-    if (!Eat('[')) return false;
-    if (Eat(']')) return true;
-    do {
-      uint64_t bound = 0, n = 0;
-      if (!Eat('[') || !ParseUint(&bound) || !Eat(',') || !ParseUint(&n) ||
-          !Eat(']')) {
-        return false;
-      }
-      out->emplace_back(bound, n);
-    } while (Eat(','));
-    return Eat(']');
-  }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-};
 
 void AppendInflightQuery(const InflightQueryInfo& q, std::string* out) {
   bool first = true;
@@ -429,6 +192,17 @@ std::string TelemetrySnapshot::ToJson() const {
     }
     out.push_back(']');
   }
+  if (has_alerts) {
+    out += ",\"alerts\":";
+    out += alerts.ToJson();
+  }
+  if (!build_sha.empty() || !build_type.empty()) {
+    out += ",\"build\":{";
+    bool bfirst = true;
+    AppendString("sha", build_sha, &bfirst, &out);
+    AppendString("build", build_type, &bfirst, &out);
+    out.push_back('}');
+  }
   out.push_back('}');
   return out;
 }
@@ -484,23 +258,69 @@ bool ParseTelemetrySnapshot(std::string_view json, TelemetrySnapshot* out,
   if (!p.Eat(']') || !p.Eat('}')) {
     return p.Fail(error, "unterminated inflight section");
   }
-  if (p.Eat(',')) {
-    if (!p.Key("hot_tags") || !p.Eat('[')) {
-      return p.Fail(error, "malformed hot_tags");
+  // Optional trailing sections, each emitted only when its producer was
+  // attached: hot_tags (profiler), alerts (alert engine), build
+  // (provenance). Absent forms parse too.
+  bool more = p.Eat(',');
+  while (more) {
+    if (p.Key("hot_tags")) {
+      if (!p.Eat('[')) return p.Fail(error, "malformed hot_tags");
+      if (!p.Peek(']')) {
+        do {
+          std::string tag;
+          uint64_t self = 0;
+          if (!p.Eat('{') || !p.Key("tag") || !p.ParseString(&tag) ||
+              !p.Eat(',') || !p.Key("self") || !p.ParseUint(&self) ||
+              !p.Eat('}')) {
+            return p.Fail(error, "malformed hot_tags entry");
+          }
+          out->hot_tags.emplace_back(std::move(tag), self);
+        } while (p.Eat(','));
+      }
+      if (!p.Eat(']')) return p.Fail(error, "unterminated hot_tags array");
+    } else if (p.Key("alerts")) {
+      out->has_alerts = true;
+      if (!p.Eat('{') || !p.Key("unix_ms") ||
+          !p.ParseUint(&out->alerts.unix_ms) || !p.Eat(',') ||
+          !p.Key("pending_total") ||
+          !p.ParseUint(&out->alerts.pending_total) || !p.Eat(',') ||
+          !p.Key("firing_total") || !p.ParseUint(&out->alerts.firing_total) ||
+          !p.Eat(',') || !p.Key("resolved_total") ||
+          !p.ParseUint(&out->alerts.resolved_total) || !p.Eat(',') ||
+          !p.Key("rules") || !p.Eat('[')) {
+        return p.Fail(error, "malformed alerts section");
+      }
+      if (!p.Peek(']')) {
+        do {
+          AlertRuleStatus r;
+          if (!p.Eat('{') || !p.Key("name") || !p.ParseString(&r.name) ||
+              !p.Eat(',') || !p.Key("severity") ||
+              !p.ParseString(&r.severity) || !p.Eat(',') || !p.Key("state") ||
+              !p.ParseString(&r.state) || !p.Eat(',') || !p.Key("fragment") ||
+              !p.ParseString(&r.fragment) || !p.Eat(',') || !p.Key("value") ||
+              !p.ParseDouble(&r.value) || !p.Eat(',') ||
+              !p.Key("threshold") || !p.ParseDouble(&r.threshold) ||
+              !p.Eat(',') || !p.Key("since_unix_ms") ||
+              !p.ParseUint(&r.since_unix_ms) || !p.Eat(',') ||
+              !p.Key("fires") || !p.ParseUint(&r.fires) || !p.Eat('}')) {
+            return p.Fail(error, "malformed alert rule status");
+          }
+          out->alerts.rules.push_back(std::move(r));
+        } while (p.Eat(','));
+      }
+      if (!p.Eat(']') || !p.Eat('}')) {
+        return p.Fail(error, "unterminated alerts section");
+      }
+    } else if (p.Key("build")) {
+      if (!p.Eat('{') || !p.Key("sha") || !p.ParseString(&out->build_sha) ||
+          !p.Eat(',') || !p.Key("build") ||
+          !p.ParseString(&out->build_type) || !p.Eat('}')) {
+        return p.Fail(error, "malformed build section");
+      }
+    } else {
+      return p.Fail(error, "unknown trailing section");
     }
-    if (!p.Peek(']')) {
-      do {
-        std::string tag;
-        uint64_t self = 0;
-        if (!p.Eat('{') || !p.Key("tag") || !p.ParseString(&tag) ||
-            !p.Eat(',') || !p.Key("self") || !p.ParseUint(&self) ||
-            !p.Eat('}')) {
-          return p.Fail(error, "malformed hot_tags entry");
-        }
-        out->hot_tags.emplace_back(std::move(tag), self);
-      } while (p.Eat(','));
-    }
-    if (!p.Eat(']')) return p.Fail(error, "unterminated hot_tags array");
+    more = p.Eat(',');
   }
   if (!p.Eat('}') || !p.AtEnd()) {
     return p.Fail(error, "trailing content");
@@ -531,6 +351,18 @@ void TelemetrySampler::Stop() {
   if (thread_.joinable()) thread_.join();
   // One final tick so the snapshot (and its file) reflects the end state.
   TickNow();
+  // And a final history flush, so short-lived runs persist their ring even
+  // if they never reached the periodic persist threshold.
+  if (options_.history != nullptr) options_.history->WriteFile();
+}
+
+WatchdogPolicy TelemetrySampler::EffectiveWatchdog() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  WatchdogPolicy effective = options_.watchdog;
+  for (const auto& [fragment, limits] : escalations_) {
+    effective.per_fragment[fragment] = limits;
+  }
+  return effective;
 }
 
 void TelemetrySampler::TickNow() { Tick(); }
@@ -560,12 +392,15 @@ void TelemetrySampler::Loop() {
 void TelemetrySampler::Tick() {
   // Watchdog sweep first, so a cancellation issued this tick is visible in
   // the snapshot taken just below (the slot's flag and wall time persist
-  // until the query observes the token and unregisters).
-  if (inflight_ != nullptr && options_.watchdog.Enabled()) {
+  // until the query observes the token and unregisters). The policy is the
+  // configured one plus any per-fragment escalations from firing alert
+  // rules (computed at the end of the previous tick).
+  WatchdogPolicy sweep_policy = EffectiveWatchdog();
+  if (inflight_ != nullptr && sweep_policy.Enabled()) {
     InflightSnapshot sweep = inflight_->Snapshot();
     for (const InflightQueryInfo& q : sweep.queries) {
       if (q.watchdog_cancelled) continue;
-      const WatchdogLimits& limits = options_.watchdog.For(q.fragment);
+      const WatchdogLimits& limits = sweep_policy.For(q.fragment);
       uint64_t wall_ms = q.wall_ns / 1'000'000ull;
       char reason[160];
       if (limits.max_wall_ms != 0 && wall_ms > limits.max_wall_ms) {
@@ -592,6 +427,28 @@ void TelemetrySampler::Tick() {
                                            : RegistrySnapshot();
   InflightSnapshot inf =
       inflight_ != nullptr ? inflight_->Snapshot() : InflightSnapshot();
+  uint64_t now_unix_ms = inf.unix_ms != 0 ? inf.unix_ms : UnixNowMs();
+
+  // History + alerts ride the same tick: the ring records the registry
+  // delta, then the rules are evaluated against the updated ring, and any
+  // watchdog escalations from firing rules take effect at the next sweep.
+  if (options_.history != nullptr) {
+    options_.history->Record(m, now_unix_ms);
+    if (options_.alerts != nullptr) {
+      options_.alerts->Evaluate(*options_.history, now_unix_ms);
+      std::vector<std::pair<std::string, uint64_t>> escalations =
+          options_.alerts->WatchdogEscalations();
+      std::lock_guard<std::mutex> lock(state_mu_);
+      escalations_.clear();
+      for (const auto& [fragment, wall_ms] : escalations) {
+        WatchdogLimits limits = options_.watchdog.For(fragment);
+        if (limits.max_wall_ms == 0 || wall_ms < limits.max_wall_ms) {
+          limits.max_wall_ms = wall_ms;
+        }
+        escalations_[fragment] = limits;
+      }
+    }
+  }
 
   auto counter = [&m](const char* name) -> uint64_t {
     auto it = m.counters.find(name);
@@ -614,7 +471,7 @@ void TelemetrySampler::Tick() {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     TelemetryWindow w;
-    w.end_unix_ms = inf.unix_ms != 0 ? inf.unix_ms : UnixNowMs();
+    w.end_unix_ms = now_unix_ms;
     w.seconds =
         static_cast<double>(SaturatingSub(now_steady, prev_steady_ns_)) / 1e9;
     w.queries = SaturatingSub(queries, prev_queries_);
@@ -673,6 +530,13 @@ void TelemetrySampler::Tick() {
         snap.hot_tags.emplace_back(std::move(t.tag), t.self);
       }
     }
+    if (options_.alerts != nullptr) {
+      snap.has_alerts = true;
+      snap.alerts = options_.alerts->Snapshot();
+    }
+    BuildInfo build = CurrentBuildInfo();
+    snap.build_sha = build.sha;
+    snap.build_type = build.build;
     latest_ = snap;
     published = std::move(snap);
   }

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/alerts.h"
+#include "obs/history.h"
 #include "obs/inflight.h"
 #include "obs/metrics.h"
 
@@ -78,6 +80,16 @@ struct TelemetrySnapshot {
   /// renders these as its hot-tag panel). Absent entirely otherwise, and
   /// the parser accepts both forms.
   std::vector<std::pair<std::string, uint64_t>> hot_tags;
+  /// Alert-engine view at the tick — present only when the sampler drives
+  /// an AlertEngine (has_alerts distinguishes "no engine" from "no rules");
+  /// the parser accepts both forms.
+  bool has_alerts = false;
+  AlertSnapshot alerts;
+  /// Build provenance (same values as the OpenMetrics rdfql_build_info and
+  /// the bench JSON v3 stamp). Absent from snapshots written by older
+  /// builds; the parser accepts both forms.
+  std::string build_sha;
+  std::string build_type;
 
   std::string ToJson() const;
 };
@@ -99,6 +111,16 @@ struct TelemetryOptions {
   /// rename) with the current TelemetrySnapshot JSON — the hand-off point
   /// to rdfql_top.
   std::string snapshot_path;
+  /// When set, every tick records the registry snapshot into this history
+  /// ring (and Stop() persists it, if the ring has a jsonl_path). Must
+  /// outlive the sampler. Note the ring sees the raw registry — the series
+  /// Engine::MetricsSnapshot injects on top (pool.*, lock.*) are not in it.
+  MetricsHistory* history = nullptr;
+  /// When set (requires `history`), every tick evaluates the alert rules
+  /// against the ring, embeds the AlertSnapshot into the telemetry
+  /// snapshot, and folds watchdog escalations from firing rules into the
+  /// effective watchdog policy. Must outlive the sampler.
+  AlertEngine* alerts = nullptr;
 };
 
 /// The windowed telemetry sampler + slow-query watchdog. A background
@@ -132,6 +154,10 @@ class TelemetrySampler {
 
   uint64_t ticks() const;
 
+  /// The watchdog policy the next sweep will enforce: the configured policy
+  /// plus per-fragment overrides escalated from firing alert rules.
+  WatchdogPolicy EffectiveWatchdog() const;
+
  private:
   void Loop();
   void Tick();
@@ -153,6 +179,10 @@ class TelemetrySampler {
   std::deque<TelemetryWindow> windows_;
   TelemetrySnapshot latest_;
   uint64_t ticks_ = 0;
+  /// Watchdog overrides escalated from firing alert rules (guarded by
+  /// state_mu_); recomputed after each alert evaluation, enforced by the
+  /// next tick's sweep.
+  std::map<std::string, WatchdogLimits> escalations_;
 
   std::mutex loop_mu_;
   std::condition_variable loop_cv_;

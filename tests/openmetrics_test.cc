@@ -133,6 +133,23 @@ TEST(OpenMetricsLintTest, RejectsStructuralViolations) {
   }
 }
 
+TEST(OpenMetricsLintTest, RejectsDuplicateTypeLines) {
+  std::string error;
+  EXPECT_FALSE(LintOpenMetrics(
+      "# TYPE a counter\na_total 1\n# TYPE a counter\na_total 2\n# EOF\n",
+      &error));
+  EXPECT_NE(error.find("duplicate # TYPE for family 'a'"), std::string::npos)
+      << error;
+  // Reopening a family after another necessarily re-declares its TYPE, so
+  // it reports the same explicit error.
+  EXPECT_FALSE(LintOpenMetrics(
+      "# TYPE a counter\na_total 1\n# TYPE b gauge\nb 1\n"
+      "# TYPE a counter\na_total 2\n# EOF\n",
+      &error));
+  EXPECT_NE(error.find("duplicate # TYPE for family 'a'"), std::string::npos)
+      << error;
+}
+
 TEST(OpenMetricsLintTest, AcceptsInfoFamilies) {
   std::string error;
   EXPECT_TRUE(LintOpenMetrics(

@@ -270,5 +270,76 @@ TEST_F(TelemetryEngineTest, WatchdogHonorsPerFragmentByteBudgets) {
   engine_.StopTelemetry();
 }
 
+// A MetricsRegistry::Reset between ticks makes every cumulative counter go
+// backwards. The sampler's window diffing must clamp those deltas to zero —
+// not wrap to ~2^64 — and resume normal diffing from the reset baseline.
+TEST_F(TelemetryEngineTest, WindowDiffingClampsAcrossMidStreamReset) {
+  TelemetryOptions options;
+  options.interval_ms = 0;
+  ASSERT_TRUE(engine_.StartTelemetry(options).ok());
+  engine_.telemetry()->TickNow();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine_.Query("g", "(?x p ?y)").ok());
+  }
+  engine_.telemetry()->TickNow();
+  TelemetrySnapshot snap = engine_.telemetry()->Snapshot();
+  EXPECT_EQ(snap.windows.back().queries, 3u);
+
+  // One more query, then the rug-pull: counters drop below the window base.
+  ASSERT_TRUE(engine_.Query("g", "(?x p ?y)").ok());
+  engine_.ResetMetrics();
+  engine_.telemetry()->TickNow();
+  snap = engine_.telemetry()->Snapshot();
+  // Clamped: a sane zero-delta window, no underflow anywhere.
+  EXPECT_EQ(snap.windows.back().queries, 0u);
+  EXPECT_EQ(snap.windows.back().eval_count, 0u);
+  EXPECT_LT(snap.queries_total, 1000u);
+  EXPECT_GE(snap.qps, 0.0);
+  EXPECT_LT(snap.qps, 1e6);
+
+  // Diffing resumes from the reset baseline, not the stale one.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(engine_.Query("g", "(?x p ?y)").ok());
+  }
+  engine_.telemetry()->TickNow();
+  snap = engine_.telemetry()->Snapshot();
+  EXPECT_EQ(snap.windows.back().queries, 2u);
+  engine_.StopTelemetry();
+}
+
+// Snapshot JSON with the optional alert and build tails present: the parser
+// must round-trip them exactly, and rdfql_top's panel data must survive.
+TEST_F(TelemetryEngineTest, SnapshotJsonRoundTripsWithAlertTail) {
+  ASSERT_TRUE(engine_
+                  .SetAlertRules(
+                      R"({"version":1,"rules":[{"name":"any-query",
+                          "agg":"delta","metric":"engine.queries","op":">",
+                          "threshold":0,"windows":["10s"]}]})")
+                  .ok());
+  TelemetryOptions options;
+  options.interval_ms = 0;
+  ASSERT_TRUE(engine_.StartTelemetry(options).ok());
+  engine_.telemetry()->TickNow();
+  ASSERT_TRUE(engine_.Query("g", "(?x p ?y)").ok());
+  engine_.telemetry()->TickNow();
+
+  TelemetrySnapshot snap = engine_.telemetry()->Snapshot();
+  ASSERT_TRUE(snap.has_alerts);
+  EXPECT_FALSE(snap.build_sha.empty());
+  std::string json = snap.ToJson();
+  TelemetrySnapshot parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTelemetrySnapshot(json, &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.has_alerts);
+  ASSERT_EQ(parsed.alerts.rules.size(), 1u);
+  EXPECT_EQ(parsed.alerts.rules[0].name, "any-query");
+  EXPECT_EQ(parsed.alerts.rules[0].state, "firing");
+  EXPECT_EQ(parsed.build_sha, snap.build_sha);
+  EXPECT_EQ(parsed.build_type, snap.build_type);
+  // Canonical: parse -> re-serialize is byte-identical.
+  EXPECT_EQ(parsed.ToJson(), json);
+  engine_.StopTelemetry();
+}
+
 }  // namespace
 }  // namespace rdfql

@@ -9,6 +9,7 @@
 //   rdfql_stats --since=2026-08-07T12:00:00Z q.jsonl   # drop older records
 //   rdfql_stats --last=500 q.jsonl         # only the final 500 records
 //   rdfql_stats --lint-openmetrics=metrics.txt
+//   rdfql_stats --alerts=alerts.jsonl      # summarize an alert log
 //
 // --since keeps records whose start time is at or after the given UTC
 // instant (ISO 8601, date-only or date+time with optional trailing Z);
@@ -31,9 +32,12 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/alerts.h"
+#include "obs/json_util.h"
 #include "obs/openmetrics.h"
 #include "obs/query_log.h"
 
@@ -43,7 +47,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--check] [--json] [--top=N] [--top-hashes=N] "
                "[--since=ISO8601] [--last=N] "
-               "[--lint-openmetrics=FILE] LOG.jsonl [LOG.jsonl ...]\n",
+               "[--lint-openmetrics=FILE] [--alerts=FILE] "
+               "LOG.jsonl [LOG.jsonl ...]\n",
                argv0);
   return 2;
 }
@@ -127,6 +132,123 @@ bool LintFile(const std::string& path) {
   return true;
 }
 
+/// Per-rule roll-up of an alert log (--alerts).
+struct AlertRuleAgg {
+  std::string severity;
+  std::string fragment;
+  uint64_t pending = 0;
+  uint64_t firing = 0;
+  uint64_t resolved = 0;
+  std::string last_state;
+  uint64_t last_unix_ms = 0;
+  double last_value = 0;
+  double threshold = 0;
+};
+
+/// Reads alert-transition JSONL files and prints the roll-up: totals by
+/// state, then one row per rule. A malformed line fails immediately, same
+/// policy as the query-log reader.
+bool AlertsReport(const std::vector<std::string>& paths, bool json,
+                  uint64_t since_ms) {
+  std::vector<rdfql::AlertTransition> transitions;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "rdfql_stats: cannot open '%s'\n", path.c_str());
+      return false;
+    }
+    std::string line;
+    uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      rdfql::AlertTransition t;
+      std::string error;
+      if (!rdfql::ParseAlertLogLine(line, &t, &error)) {
+        std::fprintf(stderr, "rdfql_stats: %s:%llu: %s\n", path.c_str(),
+                     static_cast<unsigned long long>(line_no), error.c_str());
+        return false;
+      }
+      if (since_ms != 0 && t.unix_ms < since_ms) continue;
+      transitions.push_back(std::move(t));
+    }
+  }
+  uint64_t pending = 0, firing = 0, resolved = 0;
+  std::map<std::string, AlertRuleAgg> rules;
+  for (const rdfql::AlertTransition& t : transitions) {
+    AlertRuleAgg& agg = rules[t.rule];
+    agg.severity = t.severity;
+    agg.fragment = t.fragment;
+    agg.threshold = t.threshold;
+    if (t.state == "pending") {
+      ++agg.pending;
+      ++pending;
+    } else if (t.state == "firing") {
+      ++agg.firing;
+      ++firing;
+    } else if (t.state == "resolved") {
+      ++agg.resolved;
+      ++resolved;
+    }
+    agg.last_state = t.state;
+    agg.last_unix_ms = t.unix_ms;
+    agg.last_value = t.value;
+  }
+  if (json) {
+    namespace ju = rdfql::jsonutil;
+    std::string out = "{";
+    bool first = true;
+    ju::AppendUint("transitions", transitions.size(), &first, &out);
+    ju::AppendUint("pending", pending, &first, &out);
+    ju::AppendUint("firing", firing, &first, &out);
+    ju::AppendUint("resolved", resolved, &first, &out);
+    out += ",\"rules\":[";
+    bool first_rule = true;
+    for (const auto& [name, agg] : rules) {
+      if (!first_rule) out += ",";
+      first_rule = false;
+      out += "{";
+      bool f = true;
+      ju::AppendString("rule", name, &f, &out);
+      ju::AppendString("severity", agg.severity, &f, &out);
+      ju::AppendString("fragment", agg.fragment, &f, &out);
+      ju::AppendUint("pending", agg.pending, &f, &out);
+      ju::AppendUint("firing", agg.firing, &f, &out);
+      ju::AppendUint("resolved", agg.resolved, &f, &out);
+      ju::AppendString("last_state", agg.last_state, &f, &out);
+      ju::AppendUint("last_unix_ms", agg.last_unix_ms, &f, &out);
+      ju::AppendDouble("last_value", agg.last_value, &f, &out);
+      ju::AppendDouble("threshold", agg.threshold, &f, &out);
+      out += "}";
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return true;
+  }
+  std::printf("alerts: %llu transition(s), %llu rule(s) | pending=%llu "
+              "firing=%llu resolved=%llu\n",
+              static_cast<unsigned long long>(transitions.size()),
+              static_cast<unsigned long long>(rules.size()),
+              static_cast<unsigned long long>(pending),
+              static_cast<unsigned long long>(firing),
+              static_cast<unsigned long long>(resolved));
+  if (!rules.empty()) {
+    std::printf("  %-28s %-8s %5s %5s %5s  %-9s %10s %10s\n", "rule", "sev",
+                "pend", "fire", "res", "last", "value", "threshold");
+    for (const auto& [name, agg] : rules) {
+      std::string label = name;
+      if (!agg.fragment.empty()) label += "{" + agg.fragment + "}";
+      std::printf("  %-28s %-8s %5llu %5llu %5llu  %-9s %10.4g %10.4g\n",
+                  label.c_str(), agg.severity.c_str(),
+                  static_cast<unsigned long long>(agg.pending),
+                  static_cast<unsigned long long>(agg.firing),
+                  static_cast<unsigned long long>(agg.resolved),
+                  agg.last_state.c_str(), agg.last_value, agg.threshold);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,6 +261,7 @@ int main(int argc, char** argv) {
   uint64_t last_n = 0;
   std::vector<std::string> log_paths;
   std::vector<std::string> lint_paths;
+  std::vector<std::string> alert_paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--check") {
@@ -169,6 +292,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--lint-openmetrics=", 0) == 0) {
       lint_paths.push_back(arg.substr(std::strlen("--lint-openmetrics=")));
+    } else if (arg.rfind("--alerts=", 0) == 0) {
+      alert_paths.push_back(arg.substr(std::strlen("--alerts=")));
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else if (arg.rfind("--", 0) == 0) {
@@ -178,10 +303,15 @@ int main(int argc, char** argv) {
       log_paths.push_back(arg);
     }
   }
-  if (log_paths.empty() && lint_paths.empty()) return Usage(argv[0]);
+  if (log_paths.empty() && lint_paths.empty() && alert_paths.empty()) {
+    return Usage(argv[0]);
+  }
 
   for (const std::string& path : lint_paths) {
     if (!LintFile(path)) return 1;
+  }
+  if (!alert_paths.empty() && !AlertsReport(alert_paths, json, since_ms)) {
+    return 1;
   }
 
   if (log_paths.empty()) return 0;

@@ -4,6 +4,8 @@
 //   rdfql_top --once SNAPSHOT.json          render one frame and exit
 //   rdfql_top --interval-ms=N ...           redraw period (default 500)
 //   rdfql_top --frames=N ...                exit after N redraws (scripts)
+//   rdfql_top --no-color ...                plain text, no ANSI escapes
+//                                           (auto when stdout is not a tty)
 //
 // SNAPSHOT.json is the file a TelemetrySampler rewrites atomically every
 // tick (`--telemetry-out=PATH` on rdfql_shell, or
@@ -24,6 +26,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "obs/telemetry.h"
 
@@ -80,9 +84,10 @@ std::string RenderFrame(const rdfql::TelemetrySnapshot& snap,
   std::string out;
   std::snprintf(line, sizeof(line),
                 "rdfql_top — %s  %s UTC  tick %" PRIu64 " (every %" PRIu64
-                "ms)\n",
+                "ms)%s%s\n",
                 path.c_str(), TimeString(snap.unix_ms).c_str(), snap.ticks,
-                snap.interval_ms);
+                snap.interval_ms, snap.build_sha.empty() ? "" : "  build ",
+                snap.build_sha.c_str());
   out += line;
   std::snprintf(line, sizeof(line),
                 "queries: %" PRIu64 " total, %.2f/s | rejected: %" PRIu64
@@ -97,6 +102,11 @@ std::string RenderFrame(const rdfql::TelemetrySnapshot& snap,
   out += line;
   if (!snap.windows.empty()) {
     out += "qps [" + Sparkline(snap.windows) + "]\n";
+  }
+  if (snap.has_alerts) {
+    // Present only when the engine side runs an alert engine. Firing rules
+    // first (they are why anyone is staring at this screen), then the rest.
+    out += "\n" + snap.alerts.ToText();
   }
   if (!snap.hot_tags.empty()) {
     // Present only while the engine side runs a sampling profiler: a bar
@@ -132,6 +142,9 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 int main(int argc, char** argv) {
   bool once = false;
+  // ANSI clear/home only when a human is watching: piping into a file or a
+  // test harness gets plain text frames without asking.
+  bool color = isatty(fileno(stdout)) != 0;
   uint64_t interval_ms = 500;
   uint64_t frames = 0;  // 0 = forever
   std::string path;
@@ -139,14 +152,16 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--once") {
       once = true;
+    } else if (arg == "--no-color") {
+      color = false;
     } else if (arg.rfind("--interval-ms=", 0) == 0) {
       interval_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else if (arg.rfind("--frames=", 0) == 0) {
       frames = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: rdfql_top [--once] [--interval-ms=N] [--frames=N] "
-                   "SNAPSHOT.json\n");
+                   "usage: rdfql_top [--once] [--no-color] [--interval-ms=N] "
+                   "[--frames=N] SNAPSHOT.json\n");
       return 1;
     } else {
       path = arg;
@@ -177,7 +192,7 @@ int main(int argc, char** argv) {
                    error.c_str());
     } else {
       // Clear + home, then the frame: flicker-free enough without curses.
-      if (!once) std::fputs("\033[2J\033[H", stdout);
+      if (!once && color) std::fputs("\033[2J\033[H", stdout);
       std::fputs(RenderFrame(snap, path).c_str(), stdout);
       std::fflush(stdout);
       ++rendered;
